@@ -1,0 +1,99 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every experiment binary prints a markdown table with the same rows/series
+// as the corresponding figure in the paper (execution time normal vs
+// re-optimized, per query class). "Time" is the engine's deterministic
+// simulated time (DESIGN.md §3), so runs are exactly reproducible.
+
+#ifndef REOPTDB_BENCH_BENCH_COMMON_H_
+#define REOPTDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace bench {
+
+/// Paper-proportional engine configuration.
+///
+/// The paper ran TPC-D SF 3 (3 GB) with a 32 MB buffer pool per node
+/// (~1% of the data) and deliberately scarce memory. We scale everything
+/// by the same ratios: at the default SF 0.02 the database is ~25 MB, the
+/// buffer pool ~0.5 MB (64 pages) and query memory ~1.5 MB (192 pages).
+struct BenchConfig {
+  double scale_factor = 0.02;
+  double zipf_z = 0.0;
+  uint64_t seed = 42;
+  size_t buffer_pool_pages = 64;
+  double query_mem_pages = 192;
+  HistogramKind analyze_kind = HistogramKind::kMaxDiff;
+  /// Fraction of extra orders inserted after ANALYZE (stale catalog; the
+  /// paper's footnote-2 error source). Concentrated in a hot date window.
+  double update_fraction = 1.0;
+
+  static BenchConfig FromEnv() {
+    BenchConfig c;
+    if (const char* sf = std::getenv("REOPTDB_BENCH_SF")) c.scale_factor = atof(sf);
+    if (const char* mem = std::getenv("REOPTDB_BENCH_MEM"))
+      c.query_mem_pages = atof(mem);
+    return c;
+  }
+};
+
+inline std::unique_ptr<Database> MakeTpcdDatabase(const BenchConfig& cfg) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = cfg.buffer_pool_pages;
+  opts.query_mem_pages = cfg.query_mem_pages;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = cfg.scale_factor;
+  gen.zipf_z = cfg.zipf_z;
+  gen.seed = cfg.seed;
+  gen.analyze_options.histogram_kind = cfg.analyze_kind;
+  gen.update_fraction = cfg.update_fraction;
+  Status st = tpcd::Load(db.get(), gen);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tpcd load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+inline ReoptOptions Mode(ReoptMode mode) {
+  ReoptOptions o;  // paper defaults: mu=0.05, theta1=0.05, theta2=0.2
+  o.mode = mode;
+  return o;
+}
+
+/// Runs a query under a mode; aborts on error (benchmarks must not
+/// silently skip experiments).
+inline QueryResult MustRun(Database* db, const std::string& sql,
+                           const ReoptOptions& opts) {
+  Result<QueryResult> r = db->ExecuteWith(sql, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\nsql: %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline void PrintHeader(const char* title, const BenchConfig& cfg) {
+  std::printf("\n## %s\n\n", title);
+  std::printf("TPC-D scale %.3f, zipf z=%.1f, buffer pool %zu pages, "
+              "query memory %.0f pages; times are simulated ms "
+              "(deterministic).\n\n",
+              cfg.scale_factor, cfg.zipf_z, cfg.buffer_pool_pages,
+              cfg.query_mem_pages);
+}
+
+}  // namespace bench
+}  // namespace reoptdb
+
+#endif  // REOPTDB_BENCH_BENCH_COMMON_H_

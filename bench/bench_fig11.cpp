@@ -1,0 +1,43 @@
+// Figure 11: Isolating the effect of improvements.
+//
+// Runs the medium (Q3, Q10) and complex (Q5, Q7, Q8) queries in two
+// restricted modes: memory re-allocation only, and plan modification only.
+// Paper's result shape: medium queries benefit only from memory
+// management; complex queries see 5-10% from memory and a larger 10-20%
+// from plan modification.
+
+#include "bench_common.h"
+
+using namespace reoptdb;
+using namespace reoptdb::bench;
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Figure 11: memory-management-only vs plan-modification-only",
+              cfg);
+  auto db = MakeTpcdDatabase(cfg);
+
+  std::printf("| query | class | normal ms | memory-only | plan-only | "
+              "full |\n");
+  std::printf("|---|---|---|---|---|---|\n");
+  for (const tpcd::TpcdQuery& q : tpcd::AllQueries()) {
+    if (q.cls == tpcd::QueryClass::kSimple) continue;  // as in the paper
+    QueryResult normal = MustRun(db.get(), q.sql, Mode(ReoptMode::kOff));
+    QueryResult mem = MustRun(db.get(), q.sql, Mode(ReoptMode::kMemoryOnly));
+    QueryResult planm = MustRun(db.get(), q.sql, Mode(ReoptMode::kPlanOnly));
+    QueryResult full = MustRun(db.get(), q.sql, Mode(ReoptMode::kFull));
+    double base = normal.report.sim_time_ms;
+    auto imp = [&](const QueryResult& r) {
+      return (1.0 - r.report.sim_time_ms / base) * 100;
+    };
+    std::printf("| %s | %s | %.1f | %+.1f%% (%d reallocs) | %+.1f%% "
+                "(%d switches) | %+.1f%% |\n",
+                q.name, tpcd::QueryClassName(q.cls), base, imp(mem),
+                mem.report.memory_reallocations, imp(planm),
+                planm.report.plans_switched, imp(full));
+  }
+  std::printf(
+      "\nExpected shape (paper): medium queries benefit only from memory "
+      "management; complex queries gain more from plan modification.\n");
+  return 0;
+}

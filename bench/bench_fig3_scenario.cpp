@@ -1,0 +1,114 @@
+// Figure 3 scenario: dynamic memory re-allocation on the running example.
+//
+// Reproduces the paper's Section 2.3 narrative. The filter over Rel1
+// carries two anti-correlated attributes, so the optimizer's independence
+// assumption OVERestimates its output by ~2x (paper: estimated 15000
+// tuples, actual 7500). Under a memory budget that cannot satisfy both
+// joins' estimated maxima, the second hash join is allocated its minimum
+// and runs in multiple passes. With Dynamic Re-Optimization, the observed
+// filter cardinality lets the Memory Manager re-allocate, and the second
+// join completes in one pass.
+
+#include "bench_common.h"
+#include "common/rng.h"
+
+using namespace reoptdb;
+using namespace reoptdb::bench;
+
+namespace {
+
+void LoadRunningExample(Database* db, int n1, int n2, int n3) {
+  Rng rng(7);
+  // Paper proportions (Fig. 3): filter(Rel1) ~3MB estimated is the
+  // smallest build candidate; Rel2 (~8MB) and Rel3 are larger, so the
+  // optimizer builds the first hash join on the filtered Rel1 and the
+  // second on the first join's output.
+  Schema r1(std::vector<Column>{{"", "selectattr1", ValueType::kInt64, 8},
+                                {"", "selectattr2", ValueType::kInt64, 8},
+                                {"", "joinattr2", ValueType::kInt64, 8},
+                                {"", "joinattr3", ValueType::kInt64, 8},
+                                {"", "groupattr", ValueType::kInt64, 8},
+                                {"", "payload1", ValueType::kString, 24}});
+  Schema r2(std::vector<Column>{{"", "joinattr2", ValueType::kInt64, 8},
+                                {"", "payload2", ValueType::kString, 24}});
+  Schema r3(std::vector<Column>{{"", "joinattr3", ValueType::kInt64, 8},
+                                {"", "payload3", ValueType::kString, 24}});
+  (void)db->CreateTable("rel1", r1);
+  (void)db->CreateTable("rel2", r2);
+  (void)db->CreateTable("rel3", r3);
+  std::string pay1(100, 'x');
+  std::string pay(160, 'y');
+  for (int i = 0; i < n1; ++i) {
+    int64_t a1 = rng.NextInt(0, 999);
+    // Half the rows anti-correlate selectattr2 with selectattr1; the
+    // conjunction (a1 < 500 AND a2 < 500) is half as selective as the
+    // independence assumption predicts.
+    int64_t a2 = rng.NextBool(0.5) ? 999 - a1 : rng.NextInt(0, 999);
+    (void)db->Insert(
+        "rel1", Tuple({Value(a1), Value(a2),
+                       Value(rng.NextInt(0, n2 - 1)),
+                       Value(rng.NextInt(0, n3 - 1)),
+                       Value(rng.NextInt(0, 499)), Value(pay1)}));
+  }
+  for (int i = 0; i < n2; ++i)
+    (void)db->Insert("rel2", Tuple({Value(int64_t{i}), Value(pay)}));
+  for (int i = 0; i < n3; ++i)
+    (void)db->Insert("rel3", Tuple({Value(int64_t{i}), Value(pay)}));
+  (void)db->DeclareKey("rel2", "joinattr2");
+  (void)db->DeclareKey("rel3", "joinattr3");
+  for (const char* t : {"rel1", "rel2", "rel3"}) (void)db->Analyze(t);
+}
+
+int CountEvents(const QueryResult& r, const char* needle) {
+  int n = 0;
+  for (const std::string& e : r.report.events)
+    if (e.find(needle) != std::string::npos) ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  std::printf("\n## Figure 3 scenario: memory re-allocation on the running "
+              "example\n\n");
+
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 64;
+  opts.query_mem_pages = 1000;  // the paper's 8 MB
+  Database db(opts);
+  LoadRunningExample(&db, 60000, 40000, 30000);
+
+  const std::string sql =
+      "SELECT groupattr, AVG(selectattr1) AS avg1, AVG(selectattr2) AS avg2 "
+      "FROM rel1, rel2, rel3 "
+      "WHERE selectattr1 < 500 AND selectattr2 < 500 "
+      "AND rel1.joinattr2 = rel2.joinattr2 "
+      "AND rel1.joinattr3 = rel3.joinattr3 "
+      "GROUP BY groupattr";
+
+  QueryResult normal = MustRun(&db, sql, Mode(ReoptMode::kOff));
+  QueryResult reopt = MustRun(&db, sql, Mode(ReoptMode::kMemoryOnly));
+
+  std::printf("| run | time ms | page I/Os | join spills | reallocations |\n");
+  std::printf("|---|---|---|---|---|\n");
+  std::printf("| normal      | %.1f | %llu | %d | - |\n",
+              normal.report.sim_time_ms,
+              static_cast<unsigned long long>(normal.report.page_ios),
+              CountEvents(normal, "exceeded budget"));
+  std::printf("| re-optimized | %.1f | %llu | %d | %d |\n",
+              reopt.report.sim_time_ms,
+              static_cast<unsigned long long>(reopt.report.page_ios),
+              CountEvents(reopt, "exceeded budget"),
+              reopt.report.memory_reallocations);
+
+  for (const EdgeComparison& e : reopt.report.edges) {
+    std::printf("  observed edge %d: estimated %.0f rows, actual %.0f\n",
+                e.node_id, e.estimated_rows, e.observed_rows);
+  }
+  double imp = (1.0 - reopt.report.sim_time_ms / normal.report.sim_time_ms);
+  std::printf("\nimprovement: %+.1f%% (paper narrative: the observed filter "
+              "cardinality halves the second join's demand, unlocking a "
+              "one-pass join)\n", imp * 100);
+  return 0;
+}

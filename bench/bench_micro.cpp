@@ -1,0 +1,146 @@
+// Substrate micro-benchmarks (google-benchmark): B+-tree, heap scans,
+// histograms, sketches, sampling, parser+optimizer latency.
+//
+// These measure real wall-clock performance of the building blocks, unlike
+// the figure benches which report deterministic simulated time.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "stats/fm_sketch.h"
+#include "stats/histogram.h"
+#include "stats/reservoir.h"
+#include "stats/zipf.h"
+#include "storage/btree.h"
+
+namespace reoptdb {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DiskManager disk;
+    BufferPool pool(&disk, 256);
+    BTree tree = BTree::Create(&pool).value();
+    Rng rng(1);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(rng.NextInt(0, 1 << 20), Rid{0, 0}).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 256);
+  BTree tree = BTree::Create(&pool).value();
+  for (int64_t i = 0; i < 100000; ++i)
+    (void)tree.Insert(i, Rid{static_cast<uint32_t>(i), 0});
+  Rng rng(2);
+  std::vector<Rid> rids;
+  for (auto _ : state) {
+    rids.clear();
+    benchmark::DoNotOptimize(
+        tree.Lookup(rng.NextInt(0, 99999), &rids).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_HeapAppendScan(benchmark::State& state) {
+  for (auto _ : state) {
+    DiskManager disk;
+    BufferPool pool(&disk, 64);
+    HeapFile heap(&pool);
+    Tuple t({Value(int64_t{1}), Value(2.5), Value("payload-payload")});
+    for (int i = 0; i < state.range(0); ++i) (void)heap.Append(t);
+    (void)heap.Flush();
+    HeapFile::Iterator it = heap.Scan();
+    Tuple out;
+    int n = 0;
+    while (it.Next(&out).value()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapAppendScan)->Arg(10000);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values(100000);
+  for (double& v : values) v = rng.NextDouble(0, 1e6);
+  for (auto _ : state) {
+    Histogram h = Histogram::Build(
+        static_cast<HistogramKind>(state.range(0)), values, 50,
+        values.size());
+    benchmark::DoNotOptimize(h.total_count());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_HistogramBuild)
+    ->Arg(static_cast<int>(HistogramKind::kEquiWidth))
+    ->Arg(static_cast<int>(HistogramKind::kEquiDepth))
+    ->Arg(static_cast<int>(HistogramKind::kMaxDiff));
+
+void BM_FmSketchAdd(benchmark::State& state) {
+  FmSketch sketch;
+  uint64_t i = 0;
+  for (auto _ : state) sketch.AddHash(SplitMix64(++i));
+  benchmark::DoNotOptimize(sketch.Estimate());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmSketchAdd);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  ReservoirSampler<double> sampler(1024, 4);
+  double v = 0;
+  for (auto _ : state) sampler.Add(v += 1.0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution dist(100000, 0.6, true);
+  Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(dist.Sample(&rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_ParseBindOptimize(benchmark::State& state) {
+  Database db;
+  Schema emp(std::vector<Column>{{"", "a", ValueType::kInt64, 8},
+                                 {"", "b", ValueType::kInt64, 8}});
+  Schema dept(std::vector<Column>{{"", "b", ValueType::kInt64, 8},
+                                  {"", "c", ValueType::kInt64, 8}});
+  Schema extra(std::vector<Column>{{"", "c", ValueType::kInt64, 8},
+                                   {"", "d", ValueType::kInt64, 8}});
+  (void)db.CreateTable("t1", emp);
+  (void)db.CreateTable("t2", dept);
+  (void)db.CreateTable("t3", extra);
+  const std::string sql =
+      "SELECT t1.a, COUNT(*) AS n FROM t1, t2, t3 "
+      "WHERE t1.b = t2.b AND t2.c = t3.c AND a > 5 GROUP BY t1.a";
+  Optimizer opt(db.catalog(), &db.cost_model());
+  for (auto _ : state) {
+    SelectStmtAst ast = ParseSelect(sql).value();
+    QuerySpec spec = Bind(ast, *db.catalog()).value();
+    Result<OptimizeResult> plan = opt.Plan(spec);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseBindOptimize);
+
+}  // namespace
+}  // namespace reoptdb
+
+BENCHMARK_MAIN();

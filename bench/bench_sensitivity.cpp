@@ -1,0 +1,61 @@
+// Sensitivity ablation: mu, theta1, theta2.
+//
+// The paper sets mu=0.05, theta1=0.05, theta2=0.2 and defers the
+// sensitivity study to Kabra's thesis [12]; this bench implements it.
+// Sweeps each knob on a complex query (Q5) and a medium query (Q3).
+
+#include "bench_common.h"
+
+using namespace reoptdb;
+using namespace reoptdb::bench;
+
+namespace {
+
+void Sweep(Database* db, const char* qname, const std::string& sql) {
+  QueryResult normal = MustRun(db, sql, Mode(ReoptMode::kOff));
+  double base = normal.report.sim_time_ms;
+  std::printf("\n### %s (normal = %.1f ms)\n\n", qname, base);
+
+  std::printf("| mu | improvement | collectors |\n|---|---|---|\n");
+  for (double mu : {0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    ReoptOptions o = Mode(ReoptMode::kFull);
+    o.mu = mu;
+    QueryResult r = MustRun(db, sql, o);
+    std::printf("| %.3f | %+.1f%% | %d |\n", mu,
+                (1.0 - r.report.sim_time_ms / base) * 100,
+                r.report.collectors_inserted);
+  }
+
+  std::printf("\n| theta2 | improvement | reopts considered | switches |\n");
+  std::printf("|---|---|---|---|\n");
+  for (double t2 : {0.05, 0.1, 0.2, 0.4, 0.8, 2.0}) {
+    ReoptOptions o = Mode(ReoptMode::kFull);
+    o.theta2 = t2;
+    QueryResult r = MustRun(db, sql, o);
+    std::printf("| %.2f | %+.1f%% | %d | %d |\n", t2,
+                (1.0 - r.report.sim_time_ms / base) * 100,
+                r.report.reopts_considered, r.report.plans_switched);
+  }
+
+  std::printf("\n| theta1 | improvement | reopts considered |\n|---|---|---|\n");
+  for (double t1 : {0.005, 0.02, 0.05, 0.2, 1.0}) {
+    ReoptOptions o = Mode(ReoptMode::kFull);
+    o.theta1 = t1;
+    QueryResult r = MustRun(db, sql, o);
+    std::printf("| %.3f | %+.1f%% | %d |\n", t1,
+                (1.0 - r.report.sim_time_ms / base) * 100,
+                r.report.reopts_considered);
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Sensitivity to mu, theta1, theta2 (paper Section 2.4/3.2)",
+              cfg);
+  auto db = MakeTpcdDatabase(cfg);
+  Sweep(db.get(), "Q5 (complex)", tpcd::Q5Sql());
+  Sweep(db.get(), "Q3 (medium)", tpcd::Q3Sql());
+  return 0;
+}

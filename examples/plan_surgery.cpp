@@ -1,0 +1,128 @@
+// Plan surgery walkthrough: a step-by-step tour of the paper's Figures 4-6
+// on the running example, printing each stage of the machinery:
+//   1. the annotated plan with the optimizer's estimates,
+//   2. the statistics collectors the SCIA chose (and why: inaccuracy
+//      potentials),
+//   3. the re-optimization gate firing,
+//   4. the remainder query's SQL over the temp table,
+//   5. the new plan and the final result.
+//
+//   ./build/examples/plan_surgery
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "optimizer/remainder_sql.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/inaccuracy.h"
+
+using namespace reoptdb;
+
+int main() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 64;
+  opts.query_mem_pages = 400;
+  Database db(opts);
+
+  // The running example of the paper's Figure 1, with a correlated filter
+  // the optimizer cannot see through (footnote 2).
+  Rng rng(11);
+  Schema r1(std::vector<Column>{{"", "selectattr1", ValueType::kInt64, 8},
+                                {"", "selectattr2", ValueType::kInt64, 8},
+                                {"", "joinattr2", ValueType::kInt64, 8},
+                                {"", "groupattr", ValueType::kInt64, 8}});
+  Schema r2(std::vector<Column>{{"", "joinattr2", ValueType::kInt64, 8},
+                                {"", "joinattr3", ValueType::kInt64, 8}});
+  Schema r3(std::vector<Column>{{"", "joinattr3", ValueType::kInt64, 8},
+                                {"", "payload", ValueType::kString, 40}});
+  (void)db.CreateTable("rel1", r1);
+  (void)db.CreateTable("rel2", r2);
+  (void)db.CreateTable("rel3", r3);
+  std::string pay(40, 'z');
+  for (int i = 0; i < 40000; ++i) {
+    int64_t a1 = rng.NextInt(0, 999);
+    (void)db.Insert("rel1", Tuple({Value(a1), Value(a1),  // correlated!
+                                   Value(rng.NextInt(0, 3999)),
+                                   Value(rng.NextInt(0, 99))}));
+  }
+  for (int i = 0; i < 4000; ++i)
+    (void)db.Insert("rel2", Tuple({Value(int64_t{i}),
+                                   Value(rng.NextInt(0, 199999))}));
+  for (int i = 0; i < 200000; ++i)
+    (void)db.Insert("rel3", Tuple({Value(int64_t{i}), Value(pay)}));
+  (void)db.DeclareKey("rel2", "joinattr2");
+  (void)db.DeclareKey("rel3", "joinattr3");
+  (void)db.CreateIndex("rel3", "joinattr3");
+  for (const char* t : {"rel1", "rel2", "rel3"}) (void)db.Analyze(t);
+
+  const std::string sql =
+      "SELECT groupattr, COUNT(*) AS n FROM rel1, rel2, rel3 "
+      "WHERE selectattr1 < 100 AND selectattr2 < 100 "
+      "AND rel1.joinattr2 = rel2.joinattr2 "
+      "AND rel2.joinattr3 = rel3.joinattr3 "
+      "GROUP BY groupattr";
+
+  std::printf("=== 1. The annotated plan (optimizer estimates inline)\n\n");
+  Result<std::string> explain = db.Explain(sql);
+  if (explain.ok()) std::printf("%s\n", explain->c_str());
+
+  std::printf("=== 2. Inaccuracy potentials (paper Section 2.5)\n\n");
+  {
+    SelectStmtAst ast = ParseSelect(sql).value();
+    QuerySpec spec = Bind(ast, *db.catalog()).value();
+    InaccuracyAnalyzer analyzer(db.catalog(), &spec);
+    for (const char* col :
+         {"rel1.selectattr1", "rel1.joinattr2", "rel3.joinattr3"}) {
+      std::printf("  histogram on %-18s -> %s\n", col,
+                  InaccuracyLevelName(analyzer.BaseHistogramPotential(col)));
+    }
+    PlanNode scan;
+    scan.kind = OpKind::kSeqScan;
+    scan.table = "rel1";
+    scan.alias = "rel1";
+    scan.filters.push_back(
+        ScalarPred{"rel1.selectattr1", CmpOp::kLt, false,
+                   Value(int64_t{100}), ""});
+    scan.filters.push_back(
+        ScalarPred{"rel1.selectattr2", CmpOp::kLt, false,
+                   Value(int64_t{100}), ""});
+    std::printf("  filtered rel1 scan output -> %s "
+                "(multi-attribute selection bump)\n",
+                InaccuracyLevelName(analyzer.NodePotential(scan)));
+  }
+
+  std::printf("\n=== 3. Execution with Dynamic Re-Optimization\n\n");
+  ReoptOptions full;  // paper defaults
+  Result<QueryResult> r = db.ExecuteWith(sql, full);
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& e : r->report.events)
+    std::printf("  %s\n", e.c_str());
+  for (const EdgeComparison& e : r->report.edges)
+    std::printf("  observed edge %d: est %.0f vs actual %.0f rows\n",
+                e.node_id, e.estimated_rows, e.observed_rows);
+
+  if (!r->report.plan_after.empty()) {
+    std::printf("\n=== 4. Plan for the remainder (over the temp table)\n\n%s",
+                r->report.plan_after.c_str());
+  }
+
+  std::printf("\n=== 5. Result (%zu groups), %0.1f simulated ms, "
+              "%d plan switch(es)\n",
+              r->rows.size(), r->report.sim_time_ms,
+              r->report.plans_switched);
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  Result<QueryResult> baseline = db.ExecuteWith(sql, off);
+  if (baseline.ok()) {
+    std::printf("    normal execution: %.1f ms -> improvement %+.1f%%\n",
+                baseline->report.sim_time_ms,
+                (1.0 - r->report.sim_time_ms /
+                           baseline->report.sim_time_ms) * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Stale/skewed catalog walkthrough: shows how estimate quality degrades as
+// the catalog ages and data skews, and how the statistics collectors see
+// through it — the error sources from the paper's footnote 2 made visible.
+//
+//   ./build/examples/skewed_catalog
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+using namespace reoptdb;
+
+namespace {
+
+void Report(const char* label, Database* db, const std::string& sql) {
+  ReoptOptions probe;            // collectors on, decisions off:
+  probe.mode = ReoptMode::kPlanOnly;
+  probe.theta2 = 1e12;           // observe only
+  Result<QueryResult> r = db->ExecuteWith(sql, probe);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n%s\n", label);
+  std::printf("  %-10s %14s %14s %9s\n", "edge", "estimated", "observed",
+              "ratio");
+  for (const EdgeComparison& e : r->report.edges) {
+    double ratio = e.observed_rows / std::max(1.0, e.estimated_rows);
+    std::printf("  node %-5d %14.0f %14.0f %8.2fx\n", e.node_id,
+                e.estimated_rows, e.observed_rows, ratio);
+  }
+}
+
+std::unique_ptr<Database> Make(double z, double update_fraction) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 64;
+  opts.query_mem_pages = 96;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.005;
+  gen.zipf_z = z;
+  gen.update_fraction = update_fraction;
+  Status st = tpcd::Load(db.get(), gen);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  const std::string sql = tpcd::Q3Sql();
+  std::printf("Query under observation: TPC-D Q3\n%s\n", sql.c_str());
+
+  auto fresh = Make(/*z=*/0.0, /*update_fraction=*/0.0);
+  Report("fresh catalog, uniform data (estimates should track reality):",
+         fresh.get(), sql);
+
+  auto stale = Make(/*z=*/0.0, /*update_fraction=*/1.0);
+  Report("stale catalog (updates since ANALYZE): estimates fall behind:",
+         stale.get(), sql);
+
+  auto skewed = Make(/*z=*/0.6, /*update_fraction=*/1.0);
+  Report("stale catalog + Zipf z=0.6 skew:", skewed.get(), sql);
+
+  std::printf(
+      "\nThese observed/estimated gaps are exactly what the Dynamic "
+      "Re-Optimization gate (Eq. 2) keys on: run the same queries with "
+      "ReoptMode::kFull to see the engine act on them.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "catalog/catalog.h"
+
+#include <unordered_set>
+
+#include "stats/reservoir.h"
+
+namespace reoptdb {
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                        bool is_temp) {
+  if (tables_.count(name))
+    return Status::AlreadyExists("table exists: " + name);
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  // Qualify unqualified columns with the table name.
+  std::vector<Column> cols;
+  for (Column c : schema.columns()) {
+    if (c.qualifier.empty()) c.qualifier = name;
+    cols.push_back(std::move(c));
+  }
+  info->schema = Schema(std::move(cols));
+  info->heap = std::make_unique<HeapFile>(pool_);
+  info->is_temp = is_temp;
+  TableInfo* raw = info.get();
+  tables_[name] = std::move(info);
+  return raw;
+}
+
+Status Catalog::DeclareKey(const std::string& table, const std::string& column) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  info->key_columns.insert(column);
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& table, const std::string& column) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  ASSIGN_OR_RETURN(size_t col_idx, info->schema.IndexOf(column));
+  if (info->schema.column(col_idx).type != ValueType::kInt64)
+    return Status::NotSupported("indexes require INT columns: " + column);
+  if (info->indexes.count(column))
+    return Status::AlreadyExists("index exists on " + table + "." + column);
+
+  ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_));
+  auto index = std::make_unique<BTree>(std::move(tree));
+
+  // Bulk build by walking heap pages directly so rids are exact. Flush the
+  // tail page first so every row lives on a disk page.
+  RETURN_IF_ERROR(info->heap->Flush());
+  for (size_t p = 0; p < info->heap->flushed_page_count(); ++p) {
+    ASSIGN_OR_RETURN(PageGuard guard, PageGuard::Fetch(pool_, info->heap->page_id(p)));
+    uint16_t count = slotted::Count(*guard.page());
+    for (uint16_t s = 0; s < count; ++s) {
+      const char* data;
+      size_t len;
+      RETURN_IF_ERROR(slotted::Read(*guard.page(), s, &data, &len));
+      size_t off = 0;
+      ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(data, len, &off));
+      RETURN_IF_ERROR(index->Insert(tuple.at(col_idx).AsInt(),
+                                    Rid{static_cast<uint32_t>(p), s}));
+    }
+  }
+  info->indexes[column] = std::move(index);
+  return Status::OK();
+}
+
+Status Catalog::Analyze(const std::string& table, const AnalyzeOptions& opts) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  TableStats stats;
+  stats.analyzed = true;
+  stats.row_count = static_cast<double>(info->heap->tuple_count());
+  stats.page_count = static_cast<double>(info->heap->page_count());
+  stats.avg_tuple_bytes = info->heap->avg_tuple_bytes();
+  stats.update_activity = 0;
+
+  const size_t ncols = info->schema.NumColumns();
+  std::vector<ReservoirSampler<double>> samples;
+  std::vector<std::unordered_set<uint64_t>> distinct(ncols);
+  std::vector<double> mins(ncols, 0), maxs(ncols, 0);
+  std::vector<bool> seen(ncols, false);
+  std::vector<double> widths(ncols, 0);
+  samples.reserve(ncols);
+  size_t reservoir_cap =
+      opts.sample_size == 0 ? static_cast<size_t>(stats.row_count) + 1
+                            : opts.sample_size;
+  for (size_t c = 0; c < ncols; ++c)
+    samples.emplace_back(reservoir_cap, opts.seed + c);
+
+  HeapFile::Iterator it = info->heap->Scan();
+  Tuple t;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    for (size_t c = 0; c < ncols; ++c) {
+      const Value& v = t.at(c);
+      distinct[c].insert(v.Hash());
+      widths[c] += static_cast<double>(v.SerializedSize());
+      if (v.is_string()) continue;
+      double d = v.AsNumeric();
+      if (!seen[c]) {
+        mins[c] = maxs[c] = d;
+        seen[c] = true;
+      } else {
+        mins[c] = std::min(mins[c], d);
+        maxs[c] = std::max(maxs[c], d);
+      }
+      samples[c].Add(d);
+    }
+  }
+
+  for (size_t c = 0; c < ncols; ++c) {
+    const Column& col = info->schema.column(c);
+    ColumnStats cs;
+    cs.type = col.type;
+    cs.distinct = static_cast<double>(distinct[c].size());
+    cs.avg_width =
+        stats.row_count > 0 ? widths[c] / stats.row_count : col.avg_width;
+    if (seen[c]) {
+      cs.has_bounds = true;
+      cs.min = mins[c];
+      cs.max = maxs[c];
+      if (opts.histogram_kind != HistogramKind::kNone) {
+        cs.histogram =
+            Histogram::Build(opts.histogram_kind, samples[c].sample(),
+                             opts.histogram_buckets, stats.row_count);
+      }
+    }
+    stats.columns[col.name] = std::move(cs);
+  }
+  info->stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  info->stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::BumpUpdateActivity(const std::string& table, double fraction) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  info->stats.update_activity += fraction;
+  return Status::OK();
+}
+
+Result<TableInfo*> Catalog::Get(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Result<const TableInfo*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return const_cast<const TableInfo*>(it->second.get());
+}
+
+Status Catalog::Drop(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  RETURN_IF_ERROR(it->second->heap->Destroy());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,115 @@
+// System catalog: tables, indexes, and statistics.
+
+#ifndef REOPTDB_CATALOG_CATALOG_H_
+#define REOPTDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "catalog/column_stats.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "types/schema.h"
+
+namespace reoptdb {
+
+/// \brief Table-level statistics snapshot (what ANALYZE computes).
+struct TableStats {
+  bool analyzed = false;
+  double row_count = 0;
+  double page_count = 0;
+  double avg_tuple_bytes = 0;
+  /// Fraction of rows inserted/updated since the last ANALYZE. The paper's
+  /// inaccuracy-potential rules bump all levels when this is significant.
+  double update_activity = 0;
+  std::map<std::string, ColumnStats> columns;  // bare column name -> stats
+
+  const ColumnStats* Find(const std::string& column) const {
+    auto it = columns.find(column);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// \brief A table: schema, heap storage, indexes, statistics.
+struct TableInfo {
+  std::string name;
+  Schema schema;                 // columns qualified with the table name
+  std::unique_ptr<HeapFile> heap;
+  std::map<std::string, std::unique_ptr<BTree>> indexes;  // column -> index
+  std::set<std::string> key_columns;  // columns that are unique keys
+  TableStats stats;
+  bool is_temp = false;
+
+  const BTree* FindIndex(const std::string& column) const {
+    auto it = indexes.find(column);
+    return it == indexes.end() ? nullptr : it->second.get();
+  }
+};
+
+/// \brief Options controlling ANALYZE.
+struct AnalyzeOptions {
+  HistogramKind histogram_kind = HistogramKind::kMaxDiff;
+  int histogram_buckets = 50;
+  /// 0 = scan everything; otherwise reservoir-sample this many rows.
+  size_t sample_size = 0;
+  uint64_t seed = 42;
+};
+
+/// \brief The system catalog.
+///
+/// Owns every table's storage. Temp tables created by mid-query
+/// re-optimization live here too, flagged is_temp, and are dropped when the
+/// query finishes.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates an empty table. Columns in `schema` must be qualified with
+  /// `name` (the catalog enforces this for unqualified input).
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                 bool is_temp = false);
+
+  /// Declares `column` a unique key of `table` (for the optimizer's
+  /// key-join inaccuracy rule and cardinality bounds).
+  Status DeclareKey(const std::string& table, const std::string& column);
+
+  /// Builds a B+-tree index on an int64 column.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Scans the table and recomputes its statistics.
+  Status Analyze(const std::string& table, const AnalyzeOptions& opts);
+
+  /// Overwrites a table's statistics wholesale (used to model stale
+  /// catalogs and to register observed statistics for temp tables).
+  Status SetStats(const std::string& table, TableStats stats);
+
+  /// Records update activity (fraction of rows changed since ANALYZE).
+  Status BumpUpdateActivity(const std::string& table, double fraction);
+
+  Result<TableInfo*> Get(const std::string& name);
+  Result<const TableInfo*> Get(const std::string& name) const;
+  bool Exists(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Drops a table, destroying its heap pages. Required for temp tables.
+  Status Drop(const std::string& name);
+
+  /// Fresh name for a mid-query temp table ("__temp1", "__temp2", ...).
+  std::string NextTempName() {
+    return "__temp" + std::to_string(++temp_counter_);
+  }
+
+  BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_CATALOG_CATALOG_H_

@@ -1,0 +1,55 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace reoptdb {
+
+namespace {
+// System-R fallback selectivities when no statistics exist [22].
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+}  // namespace
+
+double ColumnStats::SelectivityEquals(double v, double row_count) const {
+  if (row_count <= 0) return 0;
+  if (has_histogram()) {
+    return std::clamp(histogram.EstimateEqual(v) / histogram.total_count(), 0.0,
+                      1.0);
+  }
+  if (distinct > 0) {
+    if (has_bounds && (v < min || v > max)) return 0;
+    return 1.0 / distinct;
+  }
+  return kDefaultEqSelectivity;
+}
+
+double ColumnStats::SelectivityRange(double lo, bool lo_strict, double hi,
+                                     bool hi_strict, double row_count) const {
+  if (row_count <= 0) return 0;
+  if (has_histogram()) {
+    return std::clamp(
+        histogram.EstimateRange(lo, lo_strict, hi, hi_strict) /
+            histogram.total_count(),
+        0.0, 1.0);
+  }
+  if (has_bounds && max > min) {
+    // Uniform interpolation over [min, max].
+    double clo = std::max(lo, min), chi = std::min(hi, max);
+    if (clo > chi) return 0;
+    return std::clamp((chi - clo) / (max - min), 0.0, 1.0);
+  }
+  return kDefaultRangeSelectivity;
+}
+
+std::string ColumnStats::ToString() const {
+  std::ostringstream os;
+  os << ValueTypeName(type);
+  if (has_bounds) os << " [" << min << ", " << max << "]";
+  if (distinct > 0) os << " d=" << distinct;
+  if (has_histogram()) os << " " << histogram.ToString();
+  return os.str();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,41 @@
+// Per-column statistics stored in the catalog and produced by collectors.
+
+#ifndef REOPTDB_CATALOG_COLUMN_STATS_H_
+#define REOPTDB_CATALOG_COLUMN_STATS_H_
+
+#include <string>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace reoptdb {
+
+/// \brief Statistics about one column.
+///
+/// Numeric columns carry min/max and (optionally) a histogram; string
+/// columns carry only a distinct count (equality selectivity = 1/distinct).
+struct ColumnStats {
+  ValueType type = ValueType::kInt64;
+  bool has_bounds = false;
+  double min = 0;
+  double max = 0;
+  double distinct = 0;        // 0 = unknown
+  Histogram histogram;        // kind kNone when absent
+  double avg_width = 8.0;     // bytes
+
+  bool has_histogram() const { return histogram.kind() != HistogramKind::kNone; }
+
+  /// Selectivity of `col = v` given `row_count` table rows.
+  double SelectivityEquals(double v, double row_count) const;
+
+  /// Selectivity of a range predicate lo </<= col </<= hi. Pass
+  /// -inf/+inf for one-sided ranges.
+  double SelectivityRange(double lo, bool lo_strict, double hi, bool hi_strict,
+                          double row_count) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_CATALOG_COLUMN_STATS_H_

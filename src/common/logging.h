@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// Logging defaults to kWarn so library users see problems but not chatter;
+// tests and benches raise the level when tracing re-optimization decisions.
+
+#ifndef REOPTDB_COMMON_LOGGING_H_
+#define REOPTDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace reoptdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level emitted; returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream collector used by the REOPTDB_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define REOPTDB_LOG(level)                                             \
+  if (::reoptdb::LogLevel::level < ::reoptdb::GetLogLevel()) {         \
+  } else                                                               \
+    ::reoptdb::internal::LogMessage(::reoptdb::LogLevel::level,        \
+                                    __FILE__, __LINE__)                \
+        .stream()
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_COMMON_LOGGING_H_

@@ -1,0 +1,153 @@
+// Status / Result error-handling primitives for reoptdb.
+//
+// The library does not throw exceptions: every fallible operation returns a
+// Status (or a Result<T> when it also produces a value), in the style of
+// RocksDB and Arrow.
+
+#ifndef REOPTDB_COMMON_STATUS_H_
+#define REOPTDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace reoptdb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kResourceExhausted,
+  kNotSupported,
+  kInternal,
+  kParseError,
+  kBindError,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK or carries a code plus a message. It is cheap to
+/// copy in the OK case and must be checked by the caller (callers typically
+/// use the RETURN_IF_ERROR macro).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Equivalent to arrow::Result / absl::StatusOr. Access the value only after
+/// checking ok(); ValueOrDie() asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    return ok() ? ok_status : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)             \
+  do {                                    \
+    ::reoptdb::Status _st = (expr);       \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+#define REOPTDB_CONCAT_INNER(a, b) a##b
+#define REOPTDB_CONCAT(a, b) REOPTDB_CONCAT_INNER(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; on success assigns the
+// value to `lhs` (which may include a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  ASSIGN_OR_RETURN_IMPL(REOPTDB_CONCAT(_res_, __LINE__), lhs, rexpr)
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value();
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_COMMON_STATUS_H_

@@ -1,0 +1,207 @@
+#include "engine/database.h"
+
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "parser/statement.h"
+
+namespace reoptdb {
+
+Database::Database(DatabaseOptions opts)
+    : opts_(opts),
+      pool_(&disk_, opts.buffer_pool_pages),
+      catalog_(&pool_),
+      cost_(opts.cost_params) {}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  return catalog_.CreateTable(name, std::move(schema)).status();
+}
+
+Status Database::Insert(const std::string& table, Tuple row) {
+  ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(table));
+  if (row.size() != info->schema.NumColumns())
+    return Status::InvalidArgument("row arity mismatch for " + table);
+  return info->heap->Append(row).status();
+}
+
+Status Database::BulkLoad(const std::string& table,
+                          const std::vector<Tuple>& rows) {
+  ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(table));
+  for (const Tuple& row : rows) {
+    if (row.size() != info->schema.NumColumns())
+      return Status::InvalidArgument("row arity mismatch for " + table);
+    RETURN_IF_ERROR(info->heap->Append(row).status());
+  }
+  return info->heap->Flush();
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column) {
+  return catalog_.CreateIndex(table, column);
+}
+
+Status Database::DeclareKey(const std::string& table,
+                            const std::string& column) {
+  return catalog_.DeclareKey(table, column);
+}
+
+Status Database::Analyze(const std::string& table, const AnalyzeOptions& opts) {
+  return catalog_.Analyze(table, opts);
+}
+
+Status Database::BumpUpdateActivity(const std::string& table,
+                                    double fraction) {
+  return catalog_.BumpUpdateActivity(table, fraction);
+}
+
+const OptimizerCalibration& Database::calibration() {
+  if (!calibrated_ && opts_.calibrate_max_relations > 1) {
+    Result<OptimizerCalibration> cal =
+        OptimizerCalibration::Run(opts_.calibrate_max_relations, cost_);
+    if (cal.ok()) calibration_ = std::move(cal).value();
+    calibrated_ = true;
+  }
+  return calibration_;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  return ExecuteWith(sql, opts_.reopt);
+}
+
+Result<QueryResult> Database::ExecuteWith(const std::string& sql,
+                                          const ReoptOptions& reopt) {
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
+  ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, catalog_));
+
+  OptimizerOptions opt_opts = opts_.optimizer;
+  opt_opts.assumed_mem_pages = opts_.query_mem_pages;
+  opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+
+  const OptimizerCalibration& cal = calibration();
+  DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
+                                 opts_.query_mem_pages);
+  ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
+
+  QueryResult result;
+  ASSIGN_OR_RETURN(result.report,
+                   reoptimizer.Execute(std::move(spec), &ctx, &result.rows,
+                                       &result.schema));
+  return result;
+}
+
+Result<PreparedQuery> Database::Prepare(
+    const std::string& sql, std::vector<double> memory_candidates) {
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
+  ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, catalog_));
+  if (memory_candidates.empty()) {
+    memory_candidates = {opts_.query_mem_pages / 4, opts_.query_mem_pages,
+                         opts_.query_mem_pages * 4};
+  }
+  OptimizerOptions opt_opts = opts_.optimizer;
+  opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+  ASSIGN_OR_RETURN(ParametricPlanSet plans,
+                   ParametricPlanSet::Plan(&catalog_, &cost_, opt_opts, spec,
+                                           std::move(memory_candidates)));
+  return PreparedQuery{std::move(spec), std::move(plans)};
+}
+
+Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
+                                              double actual_mem_pages,
+                                              const ReoptOptions& reopt) {
+  const ParametricBranch& branch = prepared.plans.Pick(actual_mem_pages);
+  std::unique_ptr<PlanNode> plan = branch.plan->Clone();
+  plan->PostOrder([](PlanNode* n) {
+    n->observed = ObservedStats{};
+    n->improved = n->est;
+    n->mem_budget_pages = 0;
+  });
+
+  OptimizerOptions opt_opts = opts_.optimizer;
+  opt_opts.assumed_mem_pages = actual_mem_pages;
+  opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+  const OptimizerCalibration& cal = calibration();
+  DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
+                                 actual_mem_pages);
+  ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
+
+  QueryResult result;
+  ASSIGN_OR_RETURN(result.report,
+                   reoptimizer.ExecuteWithPlan(prepared.spec, std::move(plan),
+                                               &ctx, &result.rows,
+                                               &result.schema));
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  QueryResult result;
+
+  if (std::holds_alternative<SelectStmtAst>(stmt)) {
+    return Execute(sql);
+  }
+  if (auto* ct = std::get_if<CreateTableAst>(&stmt)) {
+    RETURN_IF_ERROR(CreateTable(ct->table, Schema(ct->columns)));
+    for (const std::string& key : ct->keys)
+      RETURN_IF_ERROR(DeclareKey(ct->table, key));
+    result.message = "created table " + ct->table;
+    return result;
+  }
+  if (auto* ci = std::get_if<CreateIndexAst>(&stmt)) {
+    RETURN_IF_ERROR(CreateIndex(ci->table, ci->column));
+    result.message = "created index on " + ci->table + "." + ci->column;
+    return result;
+  }
+  if (auto* ins = std::get_if<InsertAst>(&stmt)) {
+    ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(ins->table));
+    for (const std::vector<Value>& row : ins->rows) {
+      if (row.size() != info->schema.NumColumns())
+        return Status::InvalidArgument("INSERT arity mismatch for " +
+                                       ins->table);
+      for (size_t i = 0; i < row.size(); ++i) {
+        bool want_str = info->schema.column(i).type == ValueType::kString;
+        if (want_str != row[i].is_string())
+          return Status::InvalidArgument(
+              "INSERT type mismatch in column " +
+              info->schema.column(i).name);
+      }
+      RETURN_IF_ERROR(info->heap->Append(Tuple(row)).status());
+    }
+    RETURN_IF_ERROR(info->heap->Flush());
+    result.message =
+        "inserted " + std::to_string(ins->rows.size()) + " row(s)";
+    return result;
+  }
+  if (auto* dt = std::get_if<DropTableAst>(&stmt)) {
+    RETURN_IF_ERROR(catalog_.Drop(dt->table));
+    result.message = "dropped table " + dt->table;
+    return result;
+  }
+  if (auto* an = std::get_if<AnalyzeAst>(&stmt)) {
+    RETURN_IF_ERROR(Analyze(an->table));
+    result.message = "analyzed " + an->table;
+    return result;
+  }
+  if (auto* ex = std::get_if<ExplainAst>(&stmt)) {
+    ASSIGN_OR_RETURN(QuerySpec spec, Bind(ex->select, catalog_));
+    OptimizerOptions opt_opts = opts_.optimizer;
+    opt_opts.assumed_mem_pages = opts_.query_mem_pages;
+    opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+    Optimizer optimizer(&catalog_, &cost_, opt_opts);
+    ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+    result.message = opt.plan->ToString();
+    return result;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
+  ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, catalog_));
+  OptimizerOptions opt_opts = opts_.optimizer;
+  opt_opts.assumed_mem_pages = opts_.query_mem_pages;
+  opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+  Optimizer optimizer(&catalog_, &cost_, opt_opts);
+  ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+  return opt.plan->ToString();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,140 @@
+// Database: the library's public entry point.
+//
+// Owns the storage stack (simulated disk, buffer pool), catalog, cost
+// model, optimizer calibration, and configuration, and executes SQL with
+// or without Dynamic Re-Optimization.
+//
+// Quickstart:
+//   Database db;
+//   db.CreateTable("t", schema);
+//   db.Insert("t", tuple);  // or BulkLoad
+//   db.Analyze("t");
+//   auto result = db.Execute("SELECT a, SUM(b) FROM t GROUP BY a");
+
+#ifndef REOPTDB_ENGINE_DATABASE_H_
+#define REOPTDB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/calibration.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/parametric.h"
+#include "reopt/controller.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace reoptdb {
+
+/// Engine configuration.
+struct DatabaseOptions {
+  /// Buffer pool size in pages. Models the paper's 32MB-per-node pool,
+  /// scaled with the dataset.
+  size_t buffer_pool_pages = 2048;
+  /// Memory (pages) the MemoryManager divides among one query's operators.
+  double query_mem_pages = 256;
+  CostParams cost_params;
+  OptimizerOptions optimizer;
+  ReoptOptions reopt;
+  /// Calibrate optimizer time on star joins up to this relation count at
+  /// first use (paper Section 2.4); 0 disables calibration.
+  int calibrate_max_relations = 9;
+};
+
+/// A compiled query with one plan per anticipated memory budget — the
+/// paper's Section 4 parametric/dynamic hybrid. Built once by Prepare(),
+/// executed many times by ExecutePrepared() under whatever memory is
+/// actually available.
+struct PreparedQuery {
+  QuerySpec spec;
+  ParametricPlanSet plans;
+};
+
+/// Result of one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+  ExecutionReport report;
+  /// For DDL/DML/EXPLAIN: a human-readable summary (row counts, plan text).
+  std::string message;
+};
+
+/// \brief A single-node database instance.
+class Database {
+ public:
+  explicit Database(DatabaseOptions opts = DatabaseOptions{});
+
+  // --- DDL / loading.
+
+  /// Creates a table; unqualified column names are qualified with `name`.
+  Status CreateTable(const std::string& name, Schema schema);
+  /// Appends one row.
+  Status Insert(const std::string& table, Tuple row);
+  /// Appends many rows and flushes the tail page.
+  Status BulkLoad(const std::string& table, const std::vector<Tuple>& rows);
+  /// Builds a B+-tree index on an INT column.
+  Status CreateIndex(const std::string& table, const std::string& column);
+  /// Declares a unique-key column (used by the key-join inaccuracy rule).
+  Status DeclareKey(const std::string& table, const std::string& column);
+  /// Recomputes catalog statistics.
+  Status Analyze(const std::string& table,
+                 const AnalyzeOptions& opts = AnalyzeOptions{});
+  /// Marks a fraction of the table as updated since ANALYZE.
+  Status BumpUpdateActivity(const std::string& table, double fraction);
+
+  // --- Queries.
+
+  /// Parses, binds, optimizes and executes with the configured ReoptOptions.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes any statement: SELECT, CREATE TABLE, CREATE INDEX, INSERT,
+  /// ANALYZE, or EXPLAIN. DDL/DML return an empty row set plus a message.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Same, overriding the re-optimization configuration for this query.
+  Result<QueryResult> ExecuteWith(const std::string& sql,
+                                  const ReoptOptions& reopt);
+
+  /// The optimizer's annotated plan, pretty-printed.
+  Result<std::string> Explain(const std::string& sql);
+
+  // --- Parametric plans (the paper's Section 4 hybrid).
+
+  /// Compiles `sql` once per anticipated memory budget. An empty candidate
+  /// list defaults to {1/4x, 1x, 4x} of the configured query memory.
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                std::vector<double> memory_candidates = {});
+
+  /// Executes the branch nearest `actual_mem_pages`, under that budget,
+  /// with Dynamic Re-Optimization covering whatever the anticipation
+  /// missed (`reopt.mode = kOff` isolates the pure parametric behaviour).
+  Result<QueryResult> ExecutePrepared(const PreparedQuery& prepared,
+                                      double actual_mem_pages,
+                                      const ReoptOptions& reopt);
+
+  // --- Introspection.
+
+  Catalog* catalog() { return &catalog_; }
+  const CostModel& cost_model() const { return cost_; }
+  DiskManager* disk() { return &disk_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  const DatabaseOptions& options() const { return opts_; }
+  const OptimizerCalibration& calibration();
+
+ private:
+  DatabaseOptions opts_;
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  CostModel cost_;
+  OptimizerCalibration calibration_;
+  bool calibrated_ = false;
+  uint64_t query_counter_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_ENGINE_DATABASE_H_

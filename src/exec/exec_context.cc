@@ -1,0 +1,20 @@
+#include "exec/exec_context.h"
+
+namespace reoptdb {
+
+ExecContext::ExecContext(BufferPool* pool, Catalog* catalog,
+                         const CostModel* cost, uint64_t seed)
+    : pool_(pool), catalog_(catalog), cost_(cost), rng_(seed) {
+  disk_start_ = pool->disk()->stats();
+}
+
+uint64_t ExecContext::PageIos() const {
+  DiskStats d = pool_->disk()->stats() - disk_start_;
+  return d.page_reads + d.page_writes;
+}
+
+double ExecContext::SimElapsedMs() const {
+  return cost_->TimeMs(PageIos(), cpu_) + external_ms_;
+}
+
+}  // namespace reoptdb

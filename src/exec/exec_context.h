@@ -1,0 +1,88 @@
+// Per-query execution context: storage handles, work counters, and the
+// simulated clock.
+
+#ifndef REOPTDB_EXEC_EXEC_CONTEXT_H_
+#define REOPTDB_EXEC_EXEC_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/physical_plan.h"
+#include "common/rng.h"
+#include "optimizer/cost_model.h"
+#include "storage/buffer_pool.h"
+
+namespace reoptdb {
+
+/// \brief State shared by all operators of one query execution.
+///
+/// The simulated clock is derived, not stored: elapsed time = (disk I/Os
+/// since query start) x t_io + (CPU work counters) x per-op costs + any
+/// externally charged time (e.g. simulated re-optimization cost). This
+/// makes "work already done" queryable at any point mid-flight, which the
+/// re-optimization gate needs.
+class ExecContext {
+ public:
+  ExecContext(BufferPool* pool, Catalog* catalog, const CostModel* cost,
+              uint64_t seed = 7);
+
+  BufferPool* pool() const { return pool_; }
+  Catalog* catalog() const { return catalog_; }
+  const CostModel& cost() const { return *cost_; }
+  Rng* rng() { return &rng_; }
+
+  void ChargeTuples(uint64_t n) { cpu_.tuples += n; }
+  void ChargeHash(uint64_t n) { cpu_.hash_ops += n; }
+  void ChargeCmp(uint64_t n) { cpu_.cmp_ops += n; }
+  void ChargeStat(uint64_t n) { cpu_.stat_ops += n; }
+
+  /// Adds simulated time not captured by counters (re-optimization cost).
+  void ChargeExternalMs(double ms) { external_ms_ += ms; }
+
+  /// Simulated milliseconds elapsed since this context was created.
+  double SimElapsedMs() const;
+
+  /// Page I/Os since this context was created.
+  uint64_t PageIos() const;
+
+  const CpuWork& cpu_work() const { return cpu_; }
+  double external_ms() const { return external_ms_; }
+
+  /// Appends a human-readable execution event (spills, reopt decisions);
+  /// surfaced in the ExecutionReport.
+  void AddEvent(std::string event) { events_.push_back(std::move(event)); }
+  const std::vector<std::string>& events() const { return events_; }
+
+  /// Hook invoked by a statistics collector the moment it finalizes
+  /// (possibly mid-stage). Used by the paper's Section 2.3 extension:
+  /// "if operators can respond to changes in memory allocation in
+  /// mid-execution, our algorithm can be extended to take advantage".
+  using CollectorHook = std::function<void(PlanNode*)>;
+  void SetCollectorHook(CollectorHook hook) { hook_ = std::move(hook); }
+  void NotifyCollectorFinalized(PlanNode* node) {
+    if (hook_) hook_(node);
+  }
+
+  /// Creates a temp heap file on this query's buffer pool.
+  std::unique_ptr<HeapFile> MakeTempHeap() const {
+    return std::make_unique<HeapFile>(pool_);
+  }
+
+ private:
+  BufferPool* pool_;
+  Catalog* catalog_;
+  const CostModel* cost_;
+  Rng rng_;
+  CpuWork cpu_;
+  DiskStats disk_start_;
+  double external_ms_ = 0;
+  std::vector<std::string> events_;
+  CollectorHook hook_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_EXEC_CONTEXT_H_

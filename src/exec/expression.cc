@@ -1,0 +1,57 @@
+#include "exec/expression.h"
+
+namespace reoptdb {
+
+bool CompiledPred::Eval(const Tuple& t) const {
+  const Value& lhs = t.at(col);
+  const Value& rhs = rhs_is_column ? t.at(rhs_col) : literal;
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+Result<CompiledPred> CompilePred(const ScalarPred& pred, const Schema& schema) {
+  CompiledPred out;
+  ASSIGN_OR_RETURN(out.col, schema.IndexOf(pred.column));
+  out.op = pred.op;
+  out.rhs_is_column = pred.rhs_is_column;
+  if (pred.rhs_is_column) {
+    ASSIGN_OR_RETURN(out.rhs_col, schema.IndexOf(pred.rhs_column));
+  } else {
+    out.literal = pred.literal;
+  }
+  return out;
+}
+
+Result<std::vector<CompiledPred>> CompilePreds(
+    const std::vector<ScalarPred>& preds, const Schema& schema) {
+  std::vector<CompiledPred> out;
+  out.reserve(preds.size());
+  for (const ScalarPred& p : preds) {
+    ASSIGN_OR_RETURN(CompiledPred cp, CompilePred(p, schema));
+    out.push_back(std::move(cp));
+  }
+  return out;
+}
+
+bool EvalAll(const std::vector<CompiledPred>& preds, const Tuple& t) {
+  for (const CompiledPred& p : preds) {
+    if (!p.Eval(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,38 @@
+// Compiled predicate evaluation.
+
+#ifndef REOPTDB_EXEC_EXPRESSION_H_
+#define REOPTDB_EXEC_EXPRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/physical_plan.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace reoptdb {
+
+/// \brief A ScalarPred with column names resolved to tuple indexes.
+struct CompiledPred {
+  size_t col = 0;
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_column = false;
+  Value literal;
+  size_t rhs_col = 0;
+
+  bool Eval(const Tuple& t) const;
+};
+
+/// Resolves a predicate against `schema`.
+Result<CompiledPred> CompilePred(const ScalarPred& pred, const Schema& schema);
+
+/// Resolves a batch; returns error on any unknown column.
+Result<std::vector<CompiledPred>> CompilePreds(
+    const std::vector<ScalarPred>& preds, const Schema& schema);
+
+/// Evaluates a conjunction.
+bool EvalAll(const std::vector<CompiledPred>& preds, const Tuple& t);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_EXPRESSION_H_

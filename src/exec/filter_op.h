@@ -1,0 +1,41 @@
+// Standalone filter operator (the optimizer pushes predicates into scans;
+// this operator exists for plans built by hand and for tests).
+
+#ifndef REOPTDB_EXEC_FILTER_OP_H_
+#define REOPTDB_EXEC_FILTER_OP_H_
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace reoptdb {
+
+/// \brief Streams child tuples that satisfy the node's predicates.
+class FilterOp : public Operator {
+ public:
+  FilterOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override {
+    RETURN_IF_ERROR(OpenChildren());
+    ASSIGN_OR_RETURN(preds_,
+                     CompilePreds(node_->filters, child(0)->OutputSchema()));
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
+      if (!more) return false;
+      ctx_->ChargeTuples(1);
+      if (EvalAll(preds_, *out)) return true;
+    }
+  }
+
+  Status Close() override { return CloseChildren(); }
+
+ private:
+  std::vector<CompiledPred> preds_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_FILTER_OP_H_

@@ -1,0 +1,330 @@
+#include "exec/hash_aggregate.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace reoptdb {
+
+namespace {
+constexpr double kStateOverheadBytes = 96;
+constexpr int kMaxSpillDepth = 6;
+
+uint64_t KeyHash(const std::string& key, int depth) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(depth)));
+}
+}  // namespace
+
+Status HashAggregateOp::Open() {
+  RETURN_IF_ERROR(OpenChildren());
+  const Schema& in = child(0)->OutputSchema();
+  for (const std::string& g : node_->group_cols) {
+    ASSIGN_OR_RETURN(size_t i, in.IndexOf(g));
+    group_idx_.push_back(i);
+  }
+  for (const AggSpec& a : node_->aggs) {
+    if (a.count_star) {
+      agg_idx_.push_back(SIZE_MAX);
+    } else {
+      ASSIGN_OR_RETURN(size_t i, in.IndexOf(a.column));
+      agg_idx_.push_back(i);
+    }
+  }
+  // Output layout: node->project_cols[i] names the group column feeding
+  // output column i, or "" for the next aggregate.
+  size_t agg_ordinal = 0;
+  for (const std::string& src : node_->project_cols) {
+    if (src.empty()) {
+      out_cols_.push_back(OutCol{false, agg_ordinal++});
+      continue;
+    }
+    size_t g = 0;
+    bool found = false;
+    for (size_t i = 0; i < node_->group_cols.size(); ++i) {
+      if (node_->group_cols[i] == src) {
+        g = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      return Status::Internal("aggregate output source not in group cols: " +
+                              src);
+    out_cols_.push_back(OutCol{true, g});
+  }
+  budget_bytes_ =
+      std::max(1.0, node_->mem_budget_pages > 0 ? node_->mem_budget_pages : 64) *
+      kPageSize;
+  fanout_ = static_cast<size_t>(
+      std::clamp(node_->mem_budget_pages - 1, 2.0, 32.0));
+  return Status::OK();
+}
+
+std::string HashAggregateOp::KeyOf(const std::vector<Value>& gv) const {
+  std::string key;
+  for (const Value& v : gv) v.SerializeTo(&key);
+  return key;
+}
+
+void HashAggregateOp::Merge(const std::string& key, GroupState state) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    mem_bytes_ += key.size() + kStateOverheadBytes +
+                  node_->aggs.size() * sizeof(OneAgg);
+    table_.emplace(key, std::move(state));
+    return;
+  }
+  GroupState& dst = it->second;
+  for (size_t i = 0; i < dst.aggs.size(); ++i) {
+    OneAgg& d = dst.aggs[i];
+    const OneAgg& s = state.aggs[i];
+    d.sum += s.sum;
+    d.count += s.count;
+    if (s.has_minmax) {
+      if (!d.has_minmax) {
+        d.min = s.min;
+        d.max = s.max;
+        d.has_minmax = true;
+      } else {
+        if (s.min < d.min) d.min = s.min;
+        if (s.max > d.max) d.max = s.max;
+      }
+    }
+  }
+}
+
+Tuple HashAggregateOp::StateToTuple(const GroupState& s) const {
+  std::vector<Value> v = s.group_values;
+  for (const OneAgg& a : s.aggs) {
+    v.push_back(Value(a.sum));
+    v.push_back(Value(a.count));
+    v.push_back(Value(static_cast<int64_t>(a.has_minmax ? 1 : 0)));
+    v.push_back(a.has_minmax ? a.min : Value(int64_t{0}));
+    v.push_back(a.has_minmax ? a.max : Value(int64_t{0}));
+  }
+  return Tuple(std::move(v));
+}
+
+Result<HashAggregateOp::GroupState> HashAggregateOp::TupleToState(
+    const Tuple& t) const {
+  GroupState s;
+  const size_t ng = node_->group_cols.size();
+  const size_t na = node_->aggs.size();
+  if (t.size() != ng + na * 5)
+    return Status::Internal("aggregate spill tuple has wrong arity");
+  for (size_t i = 0; i < ng; ++i) s.group_values.push_back(t.at(i));
+  for (size_t i = 0; i < na; ++i) {
+    OneAgg a;
+    size_t base = ng + i * 5;
+    a.sum = t.at(base).AsDouble();
+    a.count = t.at(base + 1).AsInt();
+    a.has_minmax = t.at(base + 2).AsInt() != 0;
+    a.min = t.at(base + 3);
+    a.max = t.at(base + 4);
+    s.aggs.push_back(std::move(a));
+  }
+  return s;
+}
+
+Status HashAggregateOp::SpillAll(int depth) {
+  if (parts_.empty()) {
+    for (size_t i = 0; i < fanout_; ++i) parts_.push_back(ctx_->MakeTempHeap());
+    spilled_ = true;
+    spill_depth_ = depth;
+    ctx_->AddEvent("aggregate " + std::to_string(node_->id) +
+                   ": groups exceeded budget, spilling to " +
+                   std::to_string(fanout_) + " partitions");
+  }
+  for (auto& [key, state] : table_) {
+    size_t p = KeyHash(key, depth) % fanout_;
+    RETURN_IF_ERROR(parts_[p]->Append(StateToTuple(state)).status());
+  }
+  table_.clear();
+  mem_bytes_ = 0;
+  return Status::OK();
+}
+
+Status HashAggregateOp::EnsureBlockingPhase() {
+  if (built_) return Status::OK();
+  built_ = true;
+  if (node_->mem_budget_pages > 0)
+    budget_bytes_ = std::max(1.0, node_->mem_budget_pages) * kPageSize;
+  fanout_ = static_cast<size_t>(
+      std::clamp(node_->mem_budget_pages - 1, 2.0, 32.0));
+
+  Tuple row;
+  uint64_t rows_seen = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
+    if (!more) break;
+    ctx_->ChargeHash(1);
+    // Mid-execution memory response (paper Section 2.3 extension).
+    if ((++rows_seen & 0x1ff) == 0 && !spilled_) {
+      double latest = std::max(1.0, node_->mem_budget_pages) * kPageSize;
+      if (latest > budget_bytes_) budget_bytes_ = latest;
+    }
+    GroupState s;
+    for (size_t i : group_idx_) s.group_values.push_back(row.at(i));
+    for (size_t i = 0; i < node_->aggs.size(); ++i) {
+      OneAgg a;
+      a.count = 1;
+      if (agg_idx_[i] != SIZE_MAX) {
+        const Value& v = row.at(agg_idx_[i]);
+        if (!v.is_string()) a.sum = v.AsNumeric();
+        a.min = a.max = v;
+        a.has_minmax = true;
+      }
+      s.aggs.push_back(std::move(a));
+    }
+    // Compute the key before moving the state (argument evaluation order
+    // would otherwise be free to move the group values away first).
+    std::string key = KeyOf(s.group_values);
+    Merge(key, std::move(s));
+    if (mem_bytes_ > budget_bytes_) RETURN_IF_ERROR(SpillAll(1));
+  }
+
+  if (spilled_) {
+    // Residual in-memory groups join the partitions.
+    RETURN_IF_ERROR(SpillAll(spill_depth_));
+    for (auto& p : parts_) {
+      RETURN_IF_ERROR(p->Flush());
+      pending_.push_back(PendingPartition{std::move(p), spill_depth_});
+    }
+    parts_.clear();
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOp::AbsorbPartition(PendingPartition part) {
+  table_.clear();
+  mem_bytes_ = 0;
+  HeapFile::Iterator it = part.file->Scan();
+  Tuple t;
+  bool overflow = false;
+  std::vector<std::unique_ptr<HeapFile>> subs;
+  int depth = part.depth + 1;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    ctx_->ChargeHash(1);
+    ASSIGN_OR_RETURN(GroupState s, TupleToState(t));
+    std::string key = KeyOf(s.group_values);
+    if (!overflow) {
+      Merge(key, std::move(s));
+      if (mem_bytes_ > budget_bytes_ && part.depth < kMaxSpillDepth) {
+        // Re-partition one level deeper: dump the table and stream the rest.
+        overflow = true;
+        for (size_t i = 0; i < fanout_; ++i) subs.push_back(ctx_->MakeTempHeap());
+        for (auto& [k, st] : table_) {
+          size_t p = KeyHash(k, depth) % fanout_;
+          RETURN_IF_ERROR(subs[p]->Append(StateToTuple(st)).status());
+        }
+        table_.clear();
+        mem_bytes_ = 0;
+        ctx_->AddEvent("aggregate " + std::to_string(node_->id) +
+                       ": partition overflow, re-partitioning at depth " +
+                       std::to_string(depth));
+      }
+    } else {
+      size_t p = KeyHash(key, depth) % fanout_;
+      RETURN_IF_ERROR(subs[p]->Append(StateToTuple(s)).status());
+    }
+  }
+  if (overflow) {
+    for (auto& sp : subs) {
+      RETURN_IF_ERROR(sp->Flush());
+      pending_.push_front(PendingPartition{std::move(sp), depth});
+    }
+    table_.clear();
+  }
+  return Status::OK();
+}
+
+void HashAggregateOp::StartEmit() {
+  emit_rows_.clear();
+  emit_rows_.reserve(table_.size());
+  for (auto& [key, state] : table_) emit_rows_.push_back(std::move(state));
+  table_.clear();
+  mem_bytes_ = 0;
+  emit_pos_ = 0;
+  emitting_ = true;
+}
+
+Tuple HashAggregateOp::FinalizeGroup(const GroupState& s) const {
+  std::vector<Value> out;
+  out.reserve(out_cols_.size());
+  for (const OutCol& oc : out_cols_) {
+    if (oc.is_group) {
+      out.push_back(s.group_values[oc.idx]);
+      continue;
+    }
+    const OneAgg& a = s.aggs[oc.idx];
+    switch (node_->aggs[oc.idx].func) {
+      case AggFunc::kSum:
+        out.push_back(Value(a.sum));
+        break;
+      case AggFunc::kCount:
+        out.push_back(Value(a.count));
+        break;
+      case AggFunc::kAvg:
+        out.push_back(Value(a.count > 0 ? a.sum / static_cast<double>(a.count)
+                                        : 0.0));
+        break;
+      case AggFunc::kMin:
+        out.push_back(a.has_minmax ? a.min : Value(int64_t{0}));
+        break;
+      case AggFunc::kMax:
+        out.push_back(a.has_minmax ? a.max : Value(int64_t{0}));
+        break;
+      case AggFunc::kNone:
+        out.push_back(Value(int64_t{0}));
+        break;
+    }
+  }
+  return Tuple(std::move(out));
+}
+
+Result<bool> HashAggregateOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(EnsureBlockingPhase());
+  while (true) {
+    if (!emitting_) StartEmit();
+    if (emit_pos_ < emit_rows_.size()) {
+      *out = FinalizeGroup(emit_rows_[emit_pos_++]);
+      ctx_->ChargeTuples(1);
+      emitted_any_ = true;
+      return true;
+    }
+    if (!pending_.empty()) {
+      PendingPartition part = std::move(pending_.front());
+      pending_.pop_front();
+      RETURN_IF_ERROR(AbsorbPartition(std::move(part)));
+      StartEmit();
+      continue;
+    }
+    // Global aggregate over an empty input yields one all-zero row.
+    if (node_->group_cols.empty() && !emitted_any_ && !emitted_empty_global_) {
+      emitted_empty_global_ = true;
+      GroupState s;
+      s.aggs.resize(node_->aggs.size());
+      *out = FinalizeGroup(s);
+      ctx_->ChargeTuples(1);
+      return true;
+    }
+    return false;
+  }
+}
+
+Status HashAggregateOp::Close() {
+  table_.clear();
+  pending_.clear();
+  parts_.clear();
+  emit_rows_.clear();
+  return CloseChildren();
+}
+
+}  // namespace reoptdb

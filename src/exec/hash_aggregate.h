@@ -1,0 +1,98 @@
+// Hash aggregation with partition spilling.
+//
+// Aggregate states (sum, count, min, max) are mergeable, so on memory
+// overflow the operator spills *partial states* to hash partitions and
+// merges them partition-by-partition — group counts that exceed the
+// optimizer's estimate degrade gracefully into extra I/O, which is exactly
+// what the paper's unique-values statistics help the memory manager avoid.
+
+#ifndef REOPTDB_EXEC_HASH_AGGREGATE_H_
+#define REOPTDB_EXEC_HASH_AGGREGATE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief Hash-based GROUP BY + aggregates.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Status EnsureBlockingPhase() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+  bool spilled() const { return spilled_; }
+
+ private:
+  /// Mergeable state of one aggregate within one group.
+  struct OneAgg {
+    double sum = 0;
+    int64_t count = 0;
+    Value min, max;
+    bool has_minmax = false;
+  };
+  struct GroupState {
+    std::vector<Value> group_values;
+    std::vector<OneAgg> aggs;
+  };
+
+  struct PendingPartition {
+    std::unique_ptr<HeapFile> file;
+    int depth;
+  };
+
+  /// Merges one partial state into the in-memory table. `bytes_delta`
+  /// receives the growth in accounted memory.
+  void Merge(const std::string& key, GroupState state);
+
+  /// Serializes a group state into a spill tuple and back.
+  Tuple StateToTuple(const GroupState& s) const;
+  Result<GroupState> TupleToState(const Tuple& t) const;
+
+  std::string KeyOf(const std::vector<Value>& group_values) const;
+  Status SpillAll(int depth);
+  Status AbsorbPartition(PendingPartition part);
+  void StartEmit();
+  Tuple FinalizeGroup(const GroupState& s) const;
+
+  // Input column indexes.
+  std::vector<size_t> group_idx_;
+  std::vector<size_t> agg_idx_;  // per AggSpec; SIZE_MAX for COUNT(*)
+
+  // Output layout: for each output column, either a group ordinal or an
+  // aggregate ordinal.
+  struct OutCol {
+    bool is_group;
+    size_t idx;
+  };
+  std::vector<OutCol> out_cols_;
+
+  double budget_bytes_ = 0;
+  size_t fanout_ = 8;
+  bool built_ = false;
+  bool spilled_ = false;
+
+  std::unordered_map<std::string, GroupState> table_;
+  double mem_bytes_ = 0;
+  std::deque<PendingPartition> pending_;
+  std::vector<std::unique_ptr<HeapFile>> parts_;  // open spill partitions
+  int spill_depth_ = 0;
+
+  // Emission state.
+  bool emitting_ = false;
+  std::vector<GroupState> emit_rows_;
+  size_t emit_pos_ = 0;
+  bool emitted_any_ = false;
+  bool emitted_empty_global_ = false;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_HASH_AGGREGATE_H_

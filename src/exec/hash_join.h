@@ -1,0 +1,88 @@
+// Hybrid hash join with Grace-style partition overflow.
+//
+// The build side (child 0 — the paper's "left input") is consumed in the
+// blocking phase. If it fits the operator's memory budget, the join runs in
+// one pass; otherwise both inputs are partitioned to temp files and joined
+// partition-by-partition, recursively re-partitioning build partitions that
+// still exceed the budget. An *under-estimated* build side therefore causes
+// a mid-build spill and an extra read+write of both inputs — the exact
+// failure mode the paper's Fig. 3 memory re-allocation example corrects.
+
+#ifndef REOPTDB_EXEC_HASH_JOIN_H_
+#define REOPTDB_EXEC_HASH_JOIN_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief Hybrid hash join operator.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Status EnsureBlockingPhase() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+  /// Number of partitioning passes performed (0 = pure in-memory).
+  int passes() const { return passes_; }
+
+ private:
+  struct PartitionPair {
+    std::unique_ptr<HeapFile> build;
+    std::unique_ptr<HeapFile> probe;
+    int depth = 0;
+  };
+
+  uint64_t BuildHash(const Tuple& t, int depth) const;
+  uint64_t ProbeHash(const Tuple& t, int depth) const;
+
+  /// Moves the in-memory build rows into fresh partitions (spill).
+  Status SpillBuild();
+
+  /// Loads the next pending partition's build side into the in-memory
+  /// table, re-partitioning if it still exceeds the budget. Returns false
+  /// when no partitions remain.
+  Result<bool> LoadNextPartition();
+
+  /// Inserts one build row into the in-memory table.
+  void InsertBuildRow(Tuple row);
+
+  std::vector<size_t> build_keys_, probe_keys_;
+  double budget_bytes_ = 0;
+  size_t fanout_ = 8;
+  bool built_ = false;
+  int passes_ = 0;
+
+  // In-memory hash table over the (current) build rows.
+  std::vector<Tuple> build_rows_;
+  std::unordered_multimap<uint64_t, size_t> table_;
+  double mem_bytes_ = 0;
+  bool in_memory_ = true;
+
+  // Partitioned mode.
+  std::vector<std::unique_ptr<HeapFile>> build_parts_;
+  std::vector<std::unique_ptr<HeapFile>> probe_parts_;
+  bool probe_partitioned_ = false;
+  std::deque<PartitionPair> pending_;
+  std::optional<HeapFile::Iterator> part_probe_it_;
+  std::unique_ptr<HeapFile> current_build_file_, current_probe_file_;
+  int current_depth_ = 0;
+
+  // Probe state.
+  Tuple probe_row_;
+  std::vector<size_t> matches_;
+  size_t match_pos_ = 0;
+  bool have_probe_row_ = false;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_HASH_JOIN_H_

@@ -1,0 +1,45 @@
+#include "exec/index_nl_join.h"
+
+namespace reoptdb {
+
+Status IndexNLJoinOp::Open() {
+  RETURN_IF_ERROR(OpenChildren());
+  ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
+  inner_heap_ = info->heap.get();
+  index_ = info->FindIndex(node_->index_column);
+  if (index_ == nullptr)
+    return Status::Internal("index-nl join: no index on " + node_->table +
+                            "." + node_->index_column);
+  ASSIGN_OR_RETURN(outer_key_,
+                   child(0)->OutputSchema().IndexOf(node_->left_keys[0]));
+  ASSIGN_OR_RETURN(residuals_,
+                   CompilePreds(node_->filters, node_->output_schema));
+  return Status::OK();
+}
+
+Result<bool> IndexNLJoinOp::Next(Tuple* out) {
+  while (true) {
+    while (have_outer_ && match_pos_ < matches_.size()) {
+      const Rid& rid = matches_[match_pos_++];
+      ASSIGN_OR_RETURN(Tuple inner, inner_heap_->Fetch(rid));
+      Tuple joined = Tuple::Concat(outer_row_, inner);
+      ctx_->ChargeTuples(1);
+      if (!EvalAll(residuals_, joined)) continue;
+      *out = std::move(joined);
+      return true;
+    }
+    ASSIGN_OR_RETURN(bool more, child(0)->Next(&outer_row_));
+    if (!more) return false;
+    have_outer_ = true;
+    ctx_->ChargeHash(1);  // models per-probe CPU
+    matches_.clear();
+    match_pos_ = 0;
+    const Value& key = outer_row_.at(outer_key_);
+    if (!key.is_int()) return Status::Internal("index-nl join: non-int key");
+    RETURN_IF_ERROR(index_->Lookup(key.AsInt(), &matches_));
+  }
+}
+
+Status IndexNLJoinOp::Close() { return CloseChildren(); }
+
+}  // namespace reoptdb

@@ -1,0 +1,42 @@
+// Indexed nested-loops join: probes the inner table's B+-tree per outer row.
+
+#ifndef REOPTDB_EXEC_INDEX_NL_JOIN_H_
+#define REOPTDB_EXEC_INDEX_NL_JOIN_H_
+
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "storage/btree.h"
+
+namespace reoptdb {
+
+/// \brief Indexed nested-loops join.
+///
+/// Child 0 is the outer input. The inner side is a base table (node->table)
+/// with a B+-tree on node->index_column; node->filters holds the inner
+/// relation's residual predicates plus any extra join predicates, evaluated
+/// against the concatenated output schema.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  const HeapFile* inner_heap_ = nullptr;
+  const BTree* index_ = nullptr;
+  size_t outer_key_ = 0;
+  std::vector<CompiledPred> residuals_;
+
+  Tuple outer_row_;
+  std::vector<Rid> matches_;
+  size_t match_pos_ = 0;
+  bool have_outer_ = false;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_INDEX_NL_JOIN_H_

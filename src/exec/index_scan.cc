@@ -1,0 +1,39 @@
+#include "exec/index_scan.h"
+
+#include <limits>
+
+namespace reoptdb {
+
+Status IndexScanOp::Open() {
+  ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
+  heap_ = info->heap.get();
+  const BTree* index = info->FindIndex(node_->index_column);
+  if (index == nullptr)
+    return Status::Internal("index scan: no index on " + node_->table + "." +
+                            node_->index_column);
+  int64_t lo = node_->range_lo.value_or(std::numeric_limits<int64_t>::min());
+  int64_t hi = node_->range_hi.value_or(std::numeric_limits<int64_t>::max());
+  ASSIGN_OR_RETURN(BTree::Iterator it, index->SeekRange(lo, hi));
+  it_.emplace(std::move(it));
+  ASSIGN_OR_RETURN(preds_, CompilePreds(node_->filters, node_->output_schema));
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Tuple* out) {
+  int64_t key;
+  Rid rid;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it_->Next(&key, &rid));
+    if (!more) return false;
+    ASSIGN_OR_RETURN(*out, heap_->Fetch(rid));
+    ctx_->ChargeTuples(1);
+    if (EvalAll(preds_, *out)) return true;
+  }
+}
+
+Status IndexScanOp::Close() {
+  it_.reset();
+  return Status::OK();
+}
+
+}  // namespace reoptdb

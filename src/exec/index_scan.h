@@ -1,0 +1,33 @@
+// B+-tree index range scan with heap fetches and residual filters.
+
+#ifndef REOPTDB_EXEC_INDEX_SCAN_H_
+#define REOPTDB_EXEC_INDEX_SCAN_H_
+
+#include <optional>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "storage/btree.h"
+
+namespace reoptdb {
+
+/// \brief Index range scan: walks index entries in [range_lo, range_hi],
+/// fetches matching heap tuples (buffer-pool cached), and applies the
+/// node's residual predicates.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  const HeapFile* heap_ = nullptr;
+  std::optional<BTree::Iterator> it_;
+  std::vector<CompiledPred> preds_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_INDEX_SCAN_H_

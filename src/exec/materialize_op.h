@@ -1,0 +1,63 @@
+// Materialization: write the child's output to a temp heap, then stream it.
+
+#ifndef REOPTDB_EXEC_MATERIALIZE_OP_H_
+#define REOPTDB_EXEC_MATERIALIZE_OP_H_
+
+#include <memory>
+#include <optional>
+
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief Pipeline breaker that forces an intermediate result to disk.
+///
+/// Mid-query plan modification uses the same write path via the scheduler,
+/// which redirects an in-flight operator's output into a catalog temp
+/// table; this operator covers plan-internal materialization.
+class MaterializeOp : public Operator {
+ public:
+  MaterializeOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override {
+    RETURN_IF_ERROR(OpenChildren());
+    return Status::OK();
+  }
+
+  Status EnsureBlockingPhase() override {
+    if (built_) return Status::OK();
+    built_ = true;
+    temp_ = ctx_->MakeTempHeap();
+    Tuple row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
+      if (!more) break;
+      RETURN_IF_ERROR(temp_->Append(row).status());
+      ctx_->ChargeTuples(1);
+    }
+    RETURN_IF_ERROR(temp_->Flush());
+    it_.emplace(temp_->Scan());
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    RETURN_IF_ERROR(EnsureBlockingPhase());
+    return it_->Next(out);
+  }
+
+  Status Close() override {
+    it_.reset();
+    temp_.reset();
+    return CloseChildren();
+  }
+
+ private:
+  bool built_ = false;
+  std::unique_ptr<HeapFile> temp_;
+  std::optional<HeapFile::Iterator> it_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_MATERIALIZE_OP_H_

@@ -1,0 +1,122 @@
+#include "exec/merge_join.h"
+
+namespace reoptdb {
+
+Status MergeJoinOp::Open() {
+  RETURN_IF_ERROR(OpenChildren());
+  const Schema& ls = child(0)->OutputSchema();
+  const Schema& rs = child(1)->OutputSchema();
+  for (const std::string& k : node_->left_keys) {
+    ASSIGN_OR_RETURN(size_t i, ls.IndexOf(k));
+    left_keys_.push_back(i);
+  }
+  for (const std::string& k : node_->right_keys) {
+    ASSIGN_OR_RETURN(size_t i, rs.IndexOf(k));
+    right_keys_.push_back(i);
+  }
+  return Status::OK();
+}
+
+int MergeJoinOp::CompareKeys(const Tuple& left, const Tuple& right) const {
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    int c = left.at(left_keys_[i]).Compare(right.at(right_keys_[i]));
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Status MergeJoinOp::AdvanceRightGroup() {
+  right_group_.clear();
+  if (!right_started_) {
+    right_started_ = true;
+    ASSIGN_OR_RETURN(right_ahead_valid_, child(1)->Next(&right_ahead_));
+    if (!right_ahead_valid_) right_exhausted_ = true;
+  }
+  if (!right_ahead_valid_) {
+    right_exhausted_ = true;
+    return Status::OK();
+  }
+  right_group_.push_back(std::move(right_ahead_));
+  right_ahead_valid_ = false;
+  while (true) {
+    Tuple next;
+    ASSIGN_OR_RETURN(bool more, child(1)->Next(&next));
+    if (!more) {
+      right_exhausted_ = true;
+      return Status::OK();
+    }
+    ctx_->ChargeCmp(1);
+    // Right-to-right key comparison (same key columns on both operands).
+    bool same = true;
+    for (size_t i = 0; i < right_keys_.size(); ++i) {
+      if (next.at(right_keys_[i]) != right_group_[0].at(right_keys_[i])) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      right_group_.push_back(std::move(next));
+    } else {
+      right_ahead_ = std::move(next);
+      right_ahead_valid_ = true;
+      return Status::OK();
+    }
+  }
+}
+
+Result<bool> MergeJoinOp::Next(Tuple* out) {
+  while (true) {
+    // Emit pending pairs for the current match.
+    if (matching_ && group_pos_ < right_group_.size()) {
+      *out = Tuple::Concat(left_row_, right_group_[group_pos_++]);
+      ctx_->ChargeTuples(1);
+      return true;
+    }
+    if (matching_) {
+      // Done pairing this left row; the next left row may match the same
+      // right group (duplicate left keys).
+      matching_ = false;
+      ASSIGN_OR_RETURN(left_valid_, child(0)->Next(&left_row_));
+      if (!left_valid_) return false;
+      ctx_->ChargeCmp(1);
+      if (!right_group_.empty() &&
+          CompareKeys(left_row_, right_group_[0]) == 0) {
+        matching_ = true;
+        group_pos_ = 0;
+      }
+      continue;
+    }
+
+    // Alignment phase.
+    if (!left_valid_) {
+      ASSIGN_OR_RETURN(left_valid_, child(0)->Next(&left_row_));
+      if (!left_valid_) return false;
+    }
+    if (right_group_.empty()) {
+      if (right_exhausted_) return false;
+      RETURN_IF_ERROR(AdvanceRightGroup());
+      if (right_group_.empty()) return false;
+    }
+    ctx_->ChargeCmp(1);
+    int c = CompareKeys(left_row_, right_group_[0]);
+    if (c == 0) {
+      matching_ = true;
+      group_pos_ = 0;
+    } else if (c < 0) {
+      ASSIGN_OR_RETURN(left_valid_, child(0)->Next(&left_row_));
+      if (!left_valid_) return false;
+    } else {
+      right_group_.clear();
+      if (right_exhausted_) return false;
+      RETURN_IF_ERROR(AdvanceRightGroup());
+      if (right_group_.empty()) return false;
+    }
+  }
+}
+
+Status MergeJoinOp::Close() {
+  right_group_.clear();
+  return CloseChildren();
+}
+
+}  // namespace reoptdb

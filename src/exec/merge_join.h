@@ -1,0 +1,55 @@
+// Sort-merge join over two sorted inputs.
+//
+// The optimizer emits this node with explicit kSort children, so each sort
+// is a blocking stage of its own — in the Paradise segmentation this adds
+// two more pipeline breaks (and therefore two more re-optimization points)
+// compared with a hash join.
+
+#ifndef REOPTDB_EXEC_MERGE_JOIN_H_
+#define REOPTDB_EXEC_MERGE_JOIN_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace reoptdb {
+
+/// \brief Merge join of two inputs sorted on the join keys.
+///
+/// Duplicate key groups on the right side are buffered in memory and
+/// cross-produced with the matching left rows (standard mark/rewind
+/// behaviour, implemented with an explicit group buffer).
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  /// Lexicographic comparison of the key columns. <0, 0, >0.
+  int CompareKeys(const Tuple& left, const Tuple& right) const;
+
+  /// Pulls the next right-side group of equal keys into right_group_.
+  Status AdvanceRightGroup();
+
+  std::vector<size_t> left_keys_, right_keys_;
+
+  Tuple left_row_;
+  bool left_valid_ = false;
+
+  // Current right-side duplicate group and the lookahead row beyond it.
+  std::vector<Tuple> right_group_;
+  Tuple right_ahead_;
+  bool right_ahead_valid_ = false;
+  bool right_exhausted_ = false;
+  bool right_started_ = false;
+
+  size_t group_pos_ = 0;   // next right row to pair with left_row_
+  bool matching_ = false;  // left_row_ matches right_group_
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_MERGE_JOIN_H_

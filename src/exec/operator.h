@@ -1,0 +1,67 @@
+// Physical operator interface (Volcano-style iterator model).
+
+#ifndef REOPTDB_EXEC_OPERATOR_H_
+#define REOPTDB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "plan/physical_plan.h"
+#include "types/tuple.h"
+
+namespace reoptdb {
+
+/// \brief Base class of all physical operators.
+///
+/// Lifecycle: Open() (recursively opens children, performs no blocking
+/// work) -> Next() repeatedly -> Close(). Blocking operators additionally
+/// expose EnsureBlockingPhase(), which the scheduler calls at stage
+/// boundaries; Next() calls it implicitly, so operators also work when
+/// pulled directly.
+class Operator {
+ public:
+  Operator(ExecContext* ctx, PlanNode* node) : ctx_(ctx), node_(node) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Tuple* out) = 0;
+  virtual Status Close() = 0;
+
+  /// Runs the blocking phase (hash-join build, aggregate absorb, sort run
+  /// formation, materialization). Idempotent. No-op for streaming ops.
+  virtual Status EnsureBlockingPhase() { return Status::OK(); }
+
+  const Schema& OutputSchema() const { return node_->output_schema; }
+  PlanNode* node() const { return node_; }
+  ExecContext* ctx() const { return ctx_; }
+
+  const std::vector<std::unique_ptr<Operator>>& children() const {
+    return children_;
+  }
+  Operator* child(size_t i) const { return children_[i].get(); }
+  void AddChild(std::unique_ptr<Operator> op) {
+    children_.push_back(std::move(op));
+  }
+
+ protected:
+  Status OpenChildren() {
+    for (auto& c : children_) RETURN_IF_ERROR(c->Open());
+    return Status::OK();
+  }
+  Status CloseChildren() {
+    for (auto& c : children_) RETURN_IF_ERROR(c->Close());
+    return Status::OK();
+  }
+
+  ExecContext* ctx_;
+  PlanNode* node_;
+  std::vector<std::unique_ptr<Operator>> children_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_OPERATOR_H_

@@ -1,0 +1,66 @@
+#include "exec/operator_factory.h"
+
+#include "exec/filter_op.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/index_nl_join.h"
+#include "exec/index_scan.h"
+#include "exec/materialize_op.h"
+#include "exec/merge_join.h"
+#include "exec/project_op.h"
+#include "exec/seq_scan.h"
+#include "exec/sort_op.h"
+#include "exec/stats_collector_op.h"
+
+namespace reoptdb {
+
+Result<std::unique_ptr<Operator>> BuildOperatorTree(ExecContext* ctx,
+                                                    PlanNode* node) {
+  std::unique_ptr<Operator> op;
+  switch (node->kind) {
+    case OpKind::kSeqScan:
+      op = std::make_unique<SeqScanOp>(ctx, node);
+      break;
+    case OpKind::kIndexScan:
+      op = std::make_unique<IndexScanOp>(ctx, node);
+      break;
+    case OpKind::kFilter:
+      op = std::make_unique<FilterOp>(ctx, node);
+      break;
+    case OpKind::kProject:
+      op = std::make_unique<ProjectOp>(ctx, node);
+      break;
+    case OpKind::kHashJoin:
+      op = std::make_unique<HashJoinOp>(ctx, node);
+      break;
+    case OpKind::kMergeJoin:
+      op = std::make_unique<MergeJoinOp>(ctx, node);
+      break;
+    case OpKind::kIndexNLJoin:
+      op = std::make_unique<IndexNLJoinOp>(ctx, node);
+      break;
+    case OpKind::kHashAggregate:
+      op = std::make_unique<HashAggregateOp>(ctx, node);
+      break;
+    case OpKind::kSort:
+      op = std::make_unique<SortOp>(ctx, node);
+      break;
+    case OpKind::kMaterialize:
+      op = std::make_unique<MaterializeOp>(ctx, node);
+      break;
+    case OpKind::kStatsCollector:
+      op = std::make_unique<StatsCollectorOp>(ctx, node);
+      break;
+    case OpKind::kLimit:
+      op = std::make_unique<LimitOp>(ctx, node);
+      break;
+  }
+  for (auto& child : node->children) {
+    ASSIGN_OR_RETURN(std::unique_ptr<Operator> c,
+                     BuildOperatorTree(ctx, child.get()));
+    op->AddChild(std::move(c));
+  }
+  return op;
+}
+
+}  // namespace reoptdb

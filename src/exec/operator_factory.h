@@ -1,0 +1,18 @@
+// Builds an operator tree from a physical plan.
+
+#ifndef REOPTDB_EXEC_OPERATOR_FACTORY_H_
+#define REOPTDB_EXEC_OPERATOR_FACTORY_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace reoptdb {
+
+/// Recursively instantiates the operator for `node` and its children.
+Result<std::unique_ptr<Operator>> BuildOperatorTree(ExecContext* ctx,
+                                                    PlanNode* node);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_OPERATOR_FACTORY_H_

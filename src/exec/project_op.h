@@ -1,0 +1,66 @@
+// Column projection / renaming.
+
+#ifndef REOPTDB_EXEC_PROJECT_OP_H_
+#define REOPTDB_EXEC_PROJECT_OP_H_
+
+#include "exec/operator.h"
+
+namespace reoptdb {
+
+/// \brief Projects the child's columns listed in node->project_cols into
+/// the output schema order (pure column moves; no cost charged).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override {
+    RETURN_IF_ERROR(OpenChildren());
+    const Schema& in = child(0)->OutputSchema();
+    for (const std::string& col : node_->project_cols) {
+      ASSIGN_OR_RETURN(size_t idx, in.IndexOf(col));
+      indexes_.push_back(idx);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    Tuple in;
+    ASSIGN_OR_RETURN(bool more, child(0)->Next(&in));
+    if (!more) return false;
+    std::vector<Value> values;
+    values.reserve(indexes_.size());
+    for (size_t i : indexes_) values.push_back(in.at(i));
+    *out = Tuple(std::move(values));
+    return true;
+  }
+
+  Status Close() override { return CloseChildren(); }
+
+ private:
+  std::vector<size_t> indexes_;
+};
+
+/// \brief LIMIT n.
+class LimitOp : public Operator {
+ public:
+  LimitOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override { return OpenChildren(); }
+
+  Result<bool> Next(Tuple* out) override {
+    if (node_->limit >= 0 && emitted_ >= node_->limit) return false;
+    ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
+    if (!more) return false;
+    ++emitted_;
+    return true;
+  }
+
+  Status Close() override { return CloseChildren(); }
+
+ private:
+  int64_t emitted_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_PROJECT_OP_H_

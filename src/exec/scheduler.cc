@@ -1,0 +1,110 @@
+#include "exec/scheduler.h"
+
+#include "exec/operator_factory.h"
+#include "memory/memory_manager.h"
+
+namespace reoptdb {
+
+Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Create(
+    ExecContext* ctx, PlanNode* root) {
+  auto exec = std::unique_ptr<PipelineExecutor>(new PipelineExecutor(ctx, root));
+  ASSIGN_OR_RETURN(exec->root_op_, BuildOperatorTree(ctx, root));
+  exec->CollectStages(root);
+  exec->IndexOps(exec->root_op_.get());
+  return exec;
+}
+
+void PipelineExecutor::CollectStages(PlanNode* node) {
+  // Build-side-first blocking order, shared with the MemoryManager so both
+  // agree on "execution order".
+  CollectBlockingOrder(node, &stages_);
+}
+
+void PipelineExecutor::IndexOps(Operator* op) {
+  op_index_.emplace_back(op->node(), op);
+  if (op->node()->kind == OpKind::kStatsCollector) {
+    collectors_.emplace_back(op->node(),
+                             static_cast<StatsCollectorOp*>(op));
+  }
+  for (const auto& c : op->children()) IndexOps(c.get());
+}
+
+Operator* PipelineExecutor::FindOp(const PlanNode* node) const {
+  for (const auto& [n, op] : op_index_) {
+    if (n == node) return op;
+  }
+  return nullptr;
+}
+
+Status PipelineExecutor::Open() {
+  if (opened_) return Status::OK();
+  opened_ = true;
+  return root_op_->Open();
+}
+
+Status PipelineExecutor::Close() { return root_op_->Close(); }
+
+void PipelineExecutor::SweepCollectors(StageResult* result) {
+  for (auto& [node, op] : collectors_) {
+    if (!op->finalized()) continue;
+    if (reported_collectors_.count(node->id)) continue;
+    reported_collectors_.insert(node->id);
+    result->new_collectors.push_back(node);
+  }
+}
+
+Result<PipelineExecutor::StageResult> PipelineExecutor::RunNextStage(
+    std::vector<Tuple>* sink) {
+  RETURN_IF_ERROR(Open());
+  StageResult result;
+  if (delivery_done_)
+    return Status::Internal("RunNextStage called after completion");
+
+  if (next_stage_ < stages_.size()) {
+    PlanNode* node = stages_[next_stage_++];
+    Operator* op = FindOp(node);
+    if (op == nullptr) return Status::Internal("stage operator not found");
+    RETURN_IF_ERROR(op->EnsureBlockingPhase());
+    result.stage_node = node;
+    SweepCollectors(&result);
+    return result;
+  }
+
+  // Delivery stage: drain the root.
+  Tuple row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, root_op_->Next(&row));
+    if (!more) break;
+    if (sink) sink->push_back(std::move(row));
+  }
+  delivery_done_ = true;
+  result.finished = true;
+  SweepCollectors(&result);
+  return result;
+}
+
+std::vector<PlanNode*> PipelineExecutor::PendingStages() const {
+  std::vector<PlanNode*> out;
+  for (size_t i = next_stage_; i < stages_.size(); ++i)
+    out.push_back(stages_[i]);
+  return out;
+}
+
+Result<uint64_t> PipelineExecutor::MaterializeInto(PlanNode* node,
+                                                   HeapFile* temp) {
+  RETURN_IF_ERROR(Open());
+  Operator* op = FindOp(node);
+  if (op == nullptr) return Status::Internal("materialize: operator not found");
+  Tuple row;
+  uint64_t rows = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    RETURN_IF_ERROR(temp->Append(row).status());
+    ++rows;
+  }
+  RETURN_IF_ERROR(temp->Flush());
+  return rows;
+}
+
+}  // namespace reoptdb

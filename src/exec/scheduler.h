@@ -1,0 +1,90 @@
+// Segment scheduler / dispatcher (paper Section 3.1).
+//
+// A plan is partitioned into stages at blocking-operator boundaries: each
+// stage runs one pipeline to completion (a hash-join build, an aggregate
+// absorb, a sort's run formation, a materialization), and the final
+// delivery stage streams the root's output. Statistics collectors finalize
+// when the pipeline draining them completes; after every stage the
+// dispatcher reports newly finalized collectors so the Dynamic
+// Re-Optimization controller can act between stages.
+
+#ifndef REOPTDB_EXEC_SCHEDULER_H_
+#define REOPTDB_EXEC_SCHEDULER_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/stats_collector_op.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief Stage-by-stage executor for one physical plan.
+class PipelineExecutor {
+ public:
+  /// Builds the operator tree and computes the stage sequence.
+  static Result<std::unique_ptr<PipelineExecutor>> Create(ExecContext* ctx,
+                                                          PlanNode* root);
+
+  /// Outcome of one stage.
+  struct StageResult {
+    bool finished = false;       ///< delivery stage completed
+    PlanNode* stage_node = nullptr;  ///< blocking node run (null = delivery)
+    /// Collectors that finalized during this stage.
+    std::vector<PlanNode*> new_collectors;
+  };
+
+  /// Runs the next stage. During the delivery stage, output rows are
+  /// appended to `*sink` (pass nullptr to discard them).
+  Result<StageResult> RunNextStage(std::vector<Tuple>* sink);
+
+  /// True when stages remain (including delivery).
+  bool HasMoreStages() const { return !delivery_done_; }
+
+  /// The next stage's blocking node (nullptr when the next stage is
+  /// delivery).
+  PlanNode* PeekNextStage() const {
+    return next_stage_ < stages_.size() ? stages_[next_stage_] : nullptr;
+  }
+
+  /// Blocking nodes that have not started yet (their stage has not run).
+  std::vector<PlanNode*> PendingStages() const;
+
+  /// Plan modification support: runs `node`'s remaining output to
+  /// completion, appending every tuple to `temp` (the paper's redirect of
+  /// the in-flight operator's output to a temporary file). The executor
+  /// must be abandoned afterwards. Returns the number of rows written.
+  Result<uint64_t> MaterializeInto(PlanNode* node, HeapFile* temp);
+
+  Status Open();
+  Status Close();
+
+  PlanNode* root() const { return root_; }
+  Operator* FindOp(const PlanNode* node) const;
+
+ private:
+  PipelineExecutor(ExecContext* ctx, PlanNode* root)
+      : ctx_(ctx), root_(root) {}
+
+  void CollectStages(PlanNode* node);
+  void IndexOps(Operator* op);
+  void SweepCollectors(StageResult* result);
+
+  ExecContext* ctx_;
+  PlanNode* root_;
+  std::unique_ptr<Operator> root_op_;
+  std::vector<PlanNode*> stages_;
+  size_t next_stage_ = 0;
+  bool delivery_done_ = false;
+  bool opened_ = false;
+
+  std::vector<std::pair<PlanNode*, StatsCollectorOp*>> collectors_;
+  std::set<int> reported_collectors_;
+  std::vector<std::pair<const PlanNode*, Operator*>> op_index_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_SCHEDULER_H_

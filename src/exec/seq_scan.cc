@@ -1,0 +1,27 @@
+#include "exec/seq_scan.h"
+
+namespace reoptdb {
+
+Status SeqScanOp::Open() {
+  ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
+  heap_ = info->heap.get();
+  it_.emplace(heap_->Scan());
+  ASSIGN_OR_RETURN(preds_, CompilePreds(node_->filters, node_->output_schema));
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Tuple* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it_->Next(out));
+    if (!more) return false;
+    ctx_->ChargeTuples(1);
+    if (EvalAll(preds_, *out)) return true;
+  }
+}
+
+Status SeqScanOp::Close() {
+  it_.reset();
+  return Status::OK();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,31 @@
+// Sequential scan with pushed-down filters.
+
+#ifndef REOPTDB_EXEC_SEQ_SCAN_H_
+#define REOPTDB_EXEC_SEQ_SCAN_H_
+
+#include <optional>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief Full-table scan applying the node's filter predicates inline.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  const HeapFile* heap_ = nullptr;
+  std::optional<HeapFile::Iterator> it_;
+  std::vector<CompiledPred> preds_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_SEQ_SCAN_H_

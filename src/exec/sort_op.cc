@@ -1,0 +1,124 @@
+#include "exec/sort_op.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reoptdb {
+
+Status SortOp::Open() {
+  RETURN_IF_ERROR(OpenChildren());
+  const Schema& in = child(0)->OutputSchema();
+  for (const auto& [name, asc] : node_->sort_keys) {
+    ASSIGN_OR_RETURN(size_t i, in.IndexOf(name));
+    keys_.emplace_back(i, asc);
+  }
+  budget_bytes_ =
+      std::max(1.0, node_->mem_budget_pages > 0 ? node_->mem_budget_pages : 64) *
+      kPageSize;
+  return Status::OK();
+}
+
+bool SortOp::Less(const Tuple& a, const Tuple& b) const {
+  for (const auto& [idx, asc] : keys_) {
+    int c = a.at(idx).Compare(b.at(idx));
+    if (c != 0) return asc ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+Status SortOp::FlushRun() {
+  std::sort(rows_.begin(), rows_.end(),
+            [this](const Tuple& a, const Tuple& b) { return Less(a, b); });
+  double n = static_cast<double>(rows_.size());
+  ctx_->ChargeCmp(static_cast<uint64_t>(n * std::log2(std::max(2.0, n))));
+  auto run = ctx_->MakeTempHeap();
+  for (const Tuple& t : rows_) RETURN_IF_ERROR(run->Append(t).status());
+  RETURN_IF_ERROR(run->Flush());
+  runs_.push_back(std::move(run));
+  rows_.clear();
+  mem_bytes_ = 0;
+  return Status::OK();
+}
+
+Status SortOp::EnsureBlockingPhase() {
+  if (built_) return Status::OK();
+  built_ = true;
+  if (node_->mem_budget_pages > 0)
+    budget_bytes_ = std::max(1.0, node_->mem_budget_pages) * kPageSize;
+
+  Tuple row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
+    if (!more) break;
+    mem_bytes_ += static_cast<double>(row.SerializedSize()) + 32;
+    rows_.push_back(std::move(row));
+    if (mem_bytes_ > budget_bytes_) RETURN_IF_ERROR(FlushRun());
+  }
+
+  if (runs_.empty()) {
+    // Fully in-memory.
+    std::sort(rows_.begin(), rows_.end(),
+              [this](const Tuple& a, const Tuple& b) { return Less(a, b); });
+    double n = static_cast<double>(rows_.size());
+    if (n > 0)
+      ctx_->ChargeCmp(static_cast<uint64_t>(n * std::log2(std::max(2.0, n))));
+    return Status::OK();
+  }
+
+  ctx_->AddEvent("sort " + std::to_string(node_->id) + ": external sort with " +
+                 std::to_string(runs_.size() + 1) + " runs");
+  if (!rows_.empty()) RETURN_IF_ERROR(FlushRun());
+  // Open merge sources and seed the loser heap.
+  for (auto& run : runs_) {
+    MergeSource src{run->Scan(), Tuple(), false};
+    ASSIGN_OR_RETURN(src.valid, src.it.Next(&src.current));
+    size_t idx = sources_.size();
+    sources_.push_back(std::move(src));
+    if (sources_[idx].valid) heap_.push_back(idx);
+  }
+  auto greater = [this](size_t a, size_t b) {
+    return Less(sources_[b].current, sources_[a].current);
+  };
+  std::make_heap(heap_.begin(), heap_.end(), greater);
+  merging_ = true;
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Tuple* out) {
+  RETURN_IF_ERROR(EnsureBlockingPhase());
+  if (!merging_) {
+    if (emit_pos_ >= rows_.size()) return false;
+    *out = rows_[emit_pos_++];
+    ctx_->ChargeTuples(1);
+    return true;
+  }
+  // K-way merge via a binary heap: O(log k) comparisons per row, the
+  // assumption the sort cost model makes.
+  if (heap_.empty()) return false;
+  auto greater = [this](size_t a, size_t b) {
+    return Less(sources_[b].current, sources_[a].current);
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), greater);
+  size_t best = heap_.back();
+  heap_.pop_back();
+  *out = sources_[best].current;
+  ASSIGN_OR_RETURN(sources_[best].valid,
+                   sources_[best].it.Next(&sources_[best].current));
+  if (sources_[best].valid) {
+    heap_.push_back(best);
+    std::push_heap(heap_.begin(), heap_.end(), greater);
+  }
+  ctx_->ChargeCmp(1 + static_cast<uint64_t>(
+                          std::log2(std::max<size_t>(2, heap_.size() + 1))));
+  ctx_->ChargeTuples(1);
+  return true;
+}
+
+Status SortOp::Close() {
+  rows_.clear();
+  sources_.clear();
+  runs_.clear();
+  return CloseChildren();
+}
+
+}  // namespace reoptdb

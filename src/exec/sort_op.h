@@ -1,0 +1,57 @@
+// External merge sort.
+
+#ifndef REOPTDB_EXEC_SORT_OP_H_
+#define REOPTDB_EXEC_SORT_OP_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "exec/operator.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+
+/// \brief ORDER BY via in-memory sort or external run merge.
+///
+/// Input rows accumulate up to the memory budget; overflowing input is cut
+/// into sorted runs on temp files and merged with a k-way heap.
+class SortOp : public Operator {
+ public:
+  SortOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Status EnsureBlockingPhase() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+  size_t run_count() const { return runs_.size(); }
+
+ private:
+  /// true if a sorts before b.
+  bool Less(const Tuple& a, const Tuple& b) const;
+  Status FlushRun();
+
+  std::vector<std::pair<size_t, bool>> keys_;  // (column index, ascending)
+  double budget_bytes_ = 0;
+  bool built_ = false;
+
+  std::vector<Tuple> rows_;
+  double mem_bytes_ = 0;
+  std::vector<std::unique_ptr<HeapFile>> runs_;
+
+  // Merge state.
+  struct MergeSource {
+    HeapFile::Iterator it;
+    Tuple current;
+    bool valid = false;
+  };
+  std::vector<MergeSource> sources_;
+  std::vector<size_t> heap_;  // indexes into sources_, min-heap by Less
+  bool merging_ = false;
+  size_t emit_pos_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_SORT_OP_H_

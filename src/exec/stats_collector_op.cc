@@ -1,0 +1,105 @@
+#include "exec/stats_collector_op.h"
+
+#include "common/logging.h"
+
+namespace reoptdb {
+
+Status StatsCollectorOp::Open() {
+  RETURN_IF_ERROR(OpenChildren());
+  const Schema& schema = node_->output_schema;
+  minmax_.assign(schema.NumColumns(), MinMax{});
+  uint64_t seed = 0xc011ec70 + static_cast<uint64_t>(node_->id);
+  for (const std::string& q : node_->collector.histogram_cols) {
+    ASSIGN_OR_RETURN(size_t i, schema.IndexOf(q));
+    hists_.push_back(
+        HistCollector{i, q,
+                      ReservoirSampler<double>(
+                          node_->collector.reservoir_capacity, seed++)});
+  }
+  for (const std::string& q : node_->collector.unique_cols) {
+    ASSIGN_OR_RETURN(size_t i, schema.IndexOf(q));
+    uniques_.push_back(UniqueCollector{i, q, FmSketch()});
+  }
+  return Status::OK();
+}
+
+void StatsCollectorOp::Observe(const Tuple& t) {
+  ++count_;
+  bytes_ += static_cast<double>(t.SerializedSize());
+  for (size_t i = 0; i < minmax_.size(); ++i) {
+    const Value& v = t.at(i);
+    if (v.is_string()) continue;
+    double d = v.AsNumeric();
+    MinMax& mm = minmax_[i];
+    if (!mm.seen) {
+      mm.min = mm.max = d;
+      mm.seen = true;
+    } else {
+      if (d < mm.min) mm.min = d;
+      if (d > mm.max) mm.max = d;
+    }
+  }
+  for (HistCollector& h : hists_) {
+    const Value& v = t.at(h.col);
+    if (!v.is_string()) h.sample.Add(v.AsNumeric());
+  }
+  for (UniqueCollector& u : uniques_) u.sketch.AddHash(t.at(u.col).Hash());
+  uint64_t charged = hists_.size() + uniques_.size();
+  if (charged > 0) ctx_->ChargeStat(charged);
+}
+
+void StatsCollectorOp::Finalize() {
+  finalized_ = true;
+  ObservedStats obs;
+  obs.valid = true;
+  obs.cardinality = static_cast<double>(count_);
+  obs.avg_tuple_bytes = count_ > 0 ? bytes_ / static_cast<double>(count_) : 0;
+
+  const Schema& schema = node_->output_schema;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (!minmax_[i].seen) continue;
+    ColumnStats cs;
+    cs.type = schema.column(i).type;
+    cs.has_bounds = true;
+    cs.min = minmax_[i].min;
+    cs.max = minmax_[i].max;
+    cs.avg_width = schema.column(i).avg_width;
+    obs.columns[schema.column(i).QualifiedName()] = std::move(cs);
+  }
+  for (HistCollector& h : hists_) {
+    ColumnStats& cs = obs.columns[h.qualified];
+    // Run-time histograms can be specific to their purpose (Section 2.2);
+    // we always build the serial-family MaxDiff kind.
+    cs.histogram = Histogram::Build(HistogramKind::kMaxDiff,
+                                    h.sample.sample(),
+                                    node_->collector.num_buckets,
+                                    static_cast<double>(count_));
+    if (cs.histogram.kind() != HistogramKind::kNone)
+      cs.distinct = cs.histogram.EstimateDistinct();
+  }
+  for (UniqueCollector& u : uniques_) {
+    ColumnStats& cs = obs.columns[u.qualified];
+    double est = u.sketch.Estimate();
+    cs.distinct = std::min(est, static_cast<double>(count_));
+  }
+
+  node_->observed = obs;
+  if (!node_->children.empty()) node_->children[0]->observed = obs;
+  ctx_->NotifyCollectorFinalized(node_);
+  REOPTDB_LOG(kDebug) << "collector " << node_->id << " finalized: rows="
+                      << count_;
+}
+
+Result<bool> StatsCollectorOp::Next(Tuple* out) {
+  ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
+  if (!more) {
+    if (!finalized_) Finalize();
+    return false;
+  }
+  Observe(*out);
+  return true;
+}
+
+Status StatsCollectorOp::Close() { return CloseChildren(); }
+
+}  // namespace reoptdb

@@ -1,0 +1,63 @@
+// Statistics-collector operator (paper Section 2.2, Fig. 2).
+//
+// A streaming pass-through: it examines tuples without copying, blocking or
+// I/O. It maintains a running count, average tuple size, and per-column
+// min/max (treated as free), plus — where the SCIA asked for them —
+// reservoir-sampled histograms and FM-sketch unique-value counts. When its
+// input is exhausted it finalizes ObservedStats into its plan node (and the
+// observed edge's child node) and flags completion to the dispatcher.
+
+#ifndef REOPTDB_EXEC_STATS_COLLECTOR_OP_H_
+#define REOPTDB_EXEC_STATS_COLLECTOR_OP_H_
+
+#include <map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "stats/fm_sketch.h"
+#include "stats/reservoir.h"
+
+namespace reoptdb {
+
+/// \brief Streaming statistics collection.
+class StatsCollectorOp : public Operator {
+ public:
+  StatsCollectorOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+  /// True once the input is exhausted and observations are published.
+  bool finalized() const { return finalized_; }
+
+ private:
+  void Observe(const Tuple& t);
+  void Finalize();
+
+  struct HistCollector {
+    size_t col;
+    std::string qualified;
+    ReservoirSampler<double> sample;
+  };
+  struct UniqueCollector {
+    size_t col;
+    std::string qualified;
+    FmSketch sketch;
+  };
+  struct MinMax {
+    bool seen = false;
+    double min = 0, max = 0;
+  };
+
+  uint64_t count_ = 0;
+  double bytes_ = 0;
+  std::vector<MinMax> minmax_;  // per numeric column (always collected)
+  std::vector<HistCollector> hists_;
+  std::vector<UniqueCollector> uniques_;
+  bool finalized_ = false;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_STATS_COLLECTOR_OP_H_

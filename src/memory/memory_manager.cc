@@ -1,0 +1,118 @@
+#include "memory/memory_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/page.h"
+
+namespace reoptdb {
+
+void CollectBlockingOrder(PlanNode* root, std::vector<PlanNode*>* out) {
+  switch (root->kind) {
+    case OpKind::kHashJoin:
+      CollectBlockingOrder(root->children[0].get(), out);
+      out->push_back(root);
+      CollectBlockingOrder(root->children[1].get(), out);
+      break;
+    case OpKind::kHashAggregate:
+    case OpKind::kSort:
+    case OpKind::kMaterialize:
+      CollectBlockingOrder(root->children[0].get(), out);
+      out->push_back(root);
+      break;
+    default:
+      for (auto& c : root->children) CollectBlockingOrder(c.get(), out);
+      break;
+  }
+}
+
+void MemoryManager::ComputeDemands(PlanNode* node) const {
+  switch (node->kind) {
+    case OpKind::kHashJoin: {
+      double build_pages = node->children[0]->improved.pages;
+      node->max_mem_pages = cost_->HashJoinMaxMem(build_pages);
+      node->min_mem_pages = cost_->HashJoinMinMem(build_pages);
+      break;
+    }
+    case OpKind::kHashAggregate: {
+      double groups =
+          node->improved.num_groups > 0 ? node->improved.num_groups : 1;
+      double group_bytes = node->output_schema.AvgTupleBytes() + 96;
+      node->max_mem_pages = cost_->AggregateMaxMem(groups, group_bytes);
+      node->min_mem_pages = cost_->AggregateMinMem(groups, group_bytes);
+      break;
+    }
+    case OpKind::kSort: {
+      double pages = node->children[0]->improved.pages;
+      node->max_mem_pages = cost_->SortMaxMem(pages);
+      node->min_mem_pages = cost_->SortMinMem(pages);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool MemoryManager::Allocate(PlanNode* root,
+                             const std::set<int>& frozen_ids) const {
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(root, &order);
+  std::vector<PlanNode*> consumers;
+  double frozen_total = 0;
+  for (PlanNode* n : order) {
+    if (!n->IsMemoryConsumer()) continue;
+    if (frozen_ids.count(n->id)) {
+      frozen_total += n->mem_budget_pages;
+      continue;
+    }
+    ComputeDemands(n);
+    consumers.push_back(n);
+  }
+  if (consumers.empty()) return false;
+
+  double budget = std::max(0.0, total_pages_ - frozen_total);
+
+  // Pass 1: everyone gets its minimum (clamped to the budget share).
+  std::vector<double> grant(consumers.size());
+  double granted = 0;
+  for (size_t i = 0; i < consumers.size(); ++i) {
+    grant[i] = consumers[i]->min_mem_pages;
+    granted += grant[i];
+  }
+  if (granted > budget) {
+    // Not even the minima fit: scale down proportionally (floor 2 pages).
+    double scale = budget / granted;
+    granted = 0;
+    for (double& g : grant) {
+      g = std::max(2.0, std::floor(g * scale));
+      granted += g;
+    }
+  }
+
+  // Pass 2: in execution order, upgrade an operator to its maximum if the
+  // full upgrade fits; otherwise it keeps its minimum (the paper's policy:
+  // the first join gets its maximum, the second only its minimum).
+  for (size_t i = 0; i < consumers.size(); ++i) {
+    double extra = consumers[i]->max_mem_pages - grant[i];
+    if (extra <= 0) continue;
+    if (extra <= budget - granted) {
+      grant[i] += extra;
+      granted += extra;
+    }
+  }
+
+  // Pass 3: leftover goes to the last operator (the paper hands the
+  // remainder to the aggregate at the top).
+  double leftover = budget - granted;
+  if (leftover > 0 && !consumers.empty())
+    grant.back() += leftover;
+
+  bool changed = false;
+  for (size_t i = 0; i < consumers.size(); ++i) {
+    if (consumers[i]->mem_budget_pages != grant[i]) changed = true;
+    consumers[i]->mem_budget_pages = grant[i];
+  }
+  return changed;
+}
+
+}  // namespace reoptdb

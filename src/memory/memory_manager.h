@@ -1,0 +1,52 @@
+// Query memory manager (after Paradise's memory module, [15] Nag & DeWitt).
+//
+// Each memory-consuming operator declares a minimum and maximum memory
+// demand derived from (improved) size estimates. The manager divides the
+// query's memory budget: maxima are granted in execution order while the
+// remaining budget still covers the minima of later operators; everything
+// else gets its minimum; leftover memory goes to the last operators —
+// reproducing the paper's Fig. 3 narrative. Operators that have already
+// started keep their allocation (Section 2.3: "once an operator starts
+// executing, its memory allocation cannot be changed").
+
+#ifndef REOPTDB_MEMORY_MEMORY_MANAGER_H_
+#define REOPTDB_MEMORY_MEMORY_MANAGER_H_
+
+#include <set>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "plan/physical_plan.h"
+
+namespace reoptdb {
+
+/// Blocking-stage execution order of a plan (build-side-first traversal);
+/// shared by the scheduler and the memory manager.
+void CollectBlockingOrder(PlanNode* root, std::vector<PlanNode*>* out);
+
+/// \brief Divides query memory among a plan's operators.
+class MemoryManager {
+ public:
+  MemoryManager(const CostModel* cost, double query_mem_pages)
+      : cost_(cost), total_pages_(query_mem_pages) {}
+
+  /// Recomputes min/max demands from `improved` estimates and re-divides
+  /// memory among the plan's memory consumers. Operators whose node id is
+  /// in `frozen_ids` keep their current budget (already started/finished).
+  /// Returns true if any pending operator's budget changed.
+  bool Allocate(PlanNode* root, const std::set<int>& frozen_ids) const;
+
+  /// Fills node->min_mem_pages / max_mem_pages from the node's children's
+  /// improved estimates.
+  void ComputeDemands(PlanNode* node) const;
+
+  double total_pages() const { return total_pages_; }
+
+ private:
+  const CostModel* cost_;
+  double total_pages_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_MEMORY_MEMORY_MANAGER_H_

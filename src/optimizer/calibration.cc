@@ -1,0 +1,81 @@
+#include "optimizer/calibration.h"
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "optimizer/optimizer.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace reoptdb {
+
+Result<OptimizerCalibration> OptimizerCalibration::Run(int max_relations,
+                                                       const CostModel& cost) {
+  OptimizerCalibration cal;
+  cal.per_plan_ms_ = cost.params().t_opt_per_plan_ms;
+  cal.time_by_rels_.assign(static_cast<size_t>(max_relations) + 1, 0.0);
+
+  // Scratch catalog: a fact table with max_relations-1 dimension keys plus
+  // the dimension tables. Optimization effort does not depend on data, so
+  // the tables stay empty.
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Catalog catalog(&pool);
+
+  const int ndims = max_relations - 1;
+  Schema fact_schema;
+  fact_schema.AddColumn(Column{"", "f_id", ValueType::kInt64, 8});
+  for (int d = 0; d < ndims; ++d) {
+    fact_schema.AddColumn(
+        Column{"", "f_d" + std::to_string(d), ValueType::kInt64, 8});
+  }
+  ASSIGN_OR_RETURN(TableInfo * fact,
+                   catalog.CreateTable("cal_fact", fact_schema));
+  (void)fact;
+  for (int d = 0; d < ndims; ++d) {
+    Schema s;
+    s.AddColumn(Column{"", "d" + std::to_string(d) + "_id",
+                       ValueType::kInt64, 8});
+    RETURN_IF_ERROR(
+        catalog.CreateTable("cal_dim" + std::to_string(d), s).status());
+  }
+
+  Optimizer optimizer(&catalog, &cost);
+  for (int n = 2; n <= max_relations; ++n) {
+    QuerySpec spec;
+    spec.relations.push_back(RelationRef{"cal_fact", "cal_fact"});
+    for (int d = 0; d < n - 1; ++d) {
+      std::string dim = "cal_dim" + std::to_string(d);
+      spec.relations.push_back(RelationRef{dim, dim});
+      JoinPred j;
+      j.left_rel = 0;
+      j.left_col = "f_d" + std::to_string(d);
+      j.right_rel = d + 1;
+      j.right_col = "d" + std::to_string(d) + "_id";
+      spec.joins.push_back(j);
+    }
+    OutputItem item;
+    item.col = ColumnId{0, "f_id", ValueType::kInt64};
+    item.name = "f_id";
+    spec.items.push_back(item);
+
+    ASSIGN_OR_RETURN(OptimizeResult r, optimizer.Plan(spec));
+    cal.time_by_rels_[n] = r.sim_opt_time_ms;
+  }
+  // A single-relation query costs at least one access-path enumeration.
+  cal.time_by_rels_[1] = cal.per_plan_ms_ * 2;
+  return cal;
+}
+
+double OptimizerCalibration::EstimateOptTimeMs(int num_relations) const {
+  if (num_relations < 1) return 0;
+  if (!time_by_rels_.empty() &&
+      num_relations < static_cast<int>(time_by_rels_.size())) {
+    return time_by_rels_[num_relations];
+  }
+  // Extrapolate: left-deep star-join DP enumerates O(n * 2^n) plans.
+  double n = static_cast<double>(num_relations);
+  return per_plan_ms_ * n * std::pow(2.0, n);
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,46 @@
+// Optimizer-time calibration (paper Section 2.4).
+//
+// "The time taken to optimize a star-join query containing n joins is
+// usually rather stable for a given optimizer and database system. Hence,
+// an optimizer for a particular database system can be calibrated to obtain
+// these estimates." This module performs exactly that calibration: it runs
+// the optimizer on synthetic star-join queries and records the simulated
+// optimization time per relation count, giving the conservative
+// T_opt,estimated used by the re-optimization gate.
+
+#ifndef REOPTDB_OPTIMIZER_CALIBRATION_H_
+#define REOPTDB_OPTIMIZER_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+
+namespace reoptdb {
+
+/// \brief Calibrated optimizer-time table.
+class OptimizerCalibration {
+ public:
+  /// Uncalibrated: falls back to an exponential model.
+  OptimizerCalibration() = default;
+
+  /// Optimizes star-join queries with 2..max_relations relations against a
+  /// scratch catalog and records simulated optimization time per count.
+  static Result<OptimizerCalibration> Run(int max_relations,
+                                          const CostModel& cost);
+
+  /// Conservative estimate of the (simulated) time to optimize a query
+  /// with `num_relations` relations; extrapolates beyond the table.
+  double EstimateOptTimeMs(int num_relations) const;
+
+  bool calibrated() const { return !time_by_rels_.empty(); }
+
+ private:
+  /// time_by_rels_[n] = simulated ms to optimize an n-relation star join.
+  std::vector<double> time_by_rels_;
+  double per_plan_ms_ = 0.02;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_CALIBRATION_H_

@@ -1,0 +1,105 @@
+// Cost model shared by the optimizer (estimates) and the execution engine
+// (actuals).
+//
+// Execution "time" is deterministic: page I/Os and per-tuple CPU operations
+// are counted and converted to milliseconds with the constants below. The
+// optimizer predicts the same quantities from its cardinality estimates, so
+// optimizer-vs-observed comparisons (the heart of the paper's reopt gate)
+// are apples-to-apples.
+
+#ifndef REOPTDB_OPTIMIZER_COST_MODEL_H_
+#define REOPTDB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace reoptdb {
+
+/// Calibration constants (defaults approximate a late-90s disk-bound node:
+/// 1 ms per 8K page, microseconds per tuple of CPU work).
+struct CostParams {
+  double t_io_ms = 1.0;            ///< per page read or written
+  double t_cpu_tuple_ms = 0.002;   ///< per tuple passing through an operator
+  double t_hash_ms = 0.001;        ///< per hash-table insert or probe
+  double t_cmp_ms = 0.0005;        ///< per comparison (sorts)
+  double t_stat_ms = 0.0002;       ///< per tuple per collected statistic
+  double hash_fudge = 1.2;         ///< F: hash-table space overhead factor
+  double t_opt_per_plan_ms = 0.02; ///< simulated optimizer cost per plan
+                                   ///< enumerated (calibrated; Section 2.4)
+};
+
+/// Counters of CPU-side work performed during execution.
+struct CpuWork {
+  uint64_t tuples = 0;
+  uint64_t hash_ops = 0;
+  uint64_t cmp_ops = 0;
+  uint64_t stat_ops = 0;
+
+  CpuWork operator-(const CpuWork& o) const {
+    return CpuWork{tuples - o.tuples, hash_ops - o.hash_ops,
+                   cmp_ops - o.cmp_ops, stat_ops - o.stat_ops};
+  }
+};
+
+/// \brief Cost formulas for every physical operator.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams{}) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Converts work counters + page I/Os into simulated milliseconds.
+  double TimeMs(uint64_t page_ios, const CpuWork& cpu) const;
+
+  // --- Operator self-costs (excluding children). All sizes in pages,
+  //     cardinalities in rows.
+
+  double SeqScan(double pages, double rows) const;
+
+  /// Index range scan: tree descent + leaf walk + per-match heap fetches.
+  /// `match_io_prob` models buffer-pool absorption of repeated heap hits.
+  double IndexScan(double height, double matches, double leaf_pages,
+                   double match_io_prob) const;
+
+  /// Hybrid hash join. Sets `*passes` to the number of partitioning passes
+  /// (0 = in-memory one-pass).
+  double HashJoin(double build_rows, double build_pages, double probe_rows,
+                  double probe_pages, double mem_pages, double out_rows,
+                  int* passes) const;
+
+  /// Merge phase of a sort-merge join (the sorts are separate nodes).
+  double MergeJoin(double left_rows, double right_rows, double out_rows) const;
+
+  /// Indexed nested-loops join: one index probe per outer row.
+  double IndexNLJoin(double outer_rows, double inner_height,
+                     double total_matches, double match_io_prob) const;
+
+  /// Hash aggregation with partition spilling when groups exceed memory.
+  double HashAggregate(double in_rows, double in_pages, double groups,
+                       double group_bytes, double mem_pages) const;
+
+  /// External merge sort.
+  double Sort(double rows, double pages, double mem_pages) const;
+
+  /// Write out + read back of an intermediate result.
+  double Materialize(double pages) const;
+
+  /// Statistics collector: per-tuple cost per statistic collected.
+  double Collector(double rows, int num_stats) const;
+
+  // --- Memory demands (pages), following the paper's Fig. 3 narrative:
+  //     hash join max = F x build size + overhead, min = sqrt of that.
+
+  double HashJoinMaxMem(double build_pages) const;
+  double HashJoinMinMem(double build_pages) const;
+  double AggregateMaxMem(double groups, double group_bytes) const;
+  double AggregateMinMem(double groups, double group_bytes) const;
+  double SortMaxMem(double input_pages) const;
+  double SortMinMem(double input_pages) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,536 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+namespace {
+
+/// One DP table entry: the cheapest plan found for a relation subset.
+struct DpEntry {
+  std::unique_ptr<PlanNode> plan;
+  DerivedRel stats;
+  double cost = 0;
+};
+
+/// Mutable planning state for one Plan() call.
+struct Planner {
+  const Catalog* catalog;
+  const CostModel* cost;
+  const OptimizerOptions* opts;
+  const QuerySpec* spec;
+  Estimator est;
+  uint64_t enumerated = 0;
+  std::map<uint32_t, DpEntry> dp;
+
+  Planner(const Catalog* c, const CostModel* cm, const OptimizerOptions* o,
+          const QuerySpec* s, const BaseRelOverrides* overrides)
+      : catalog(c),
+        cost(cm),
+        opts(o),
+        spec(s),
+        est(c, s, overrides, o->histogram_join_estimation) {}
+
+  double MissProb(double table_pages) const {
+    return std::clamp(table_pages / std::max(1.0, opts->pool_pages_hint), 0.02,
+                      1.0);
+  }
+
+  /// Considers `cand` for subset `mask`, keeping it if cheapest.
+  void Offer(uint32_t mask, std::unique_ptr<PlanNode> plan, DerivedRel stats,
+             double total_cost) {
+    ++enumerated;
+    auto it = dp.find(mask);
+    if (it != dp.end() && it->second.cost <= total_cost) return;
+    DpEntry e;
+    e.plan = std::move(plan);
+    e.stats = std::move(stats);
+    e.cost = total_cost;
+    dp[mask] = std::move(e);
+  }
+
+  Status PlanBaseRel(int r);
+  Status PlanJoins();
+  Status TryJoin(uint32_t left_mask, int r);
+  Result<std::unique_ptr<PlanNode>> Finish();
+};
+
+Schema ScanSchema(const TableInfo& info, const std::string& alias) {
+  std::vector<Column> cols;
+  for (Column c : info.schema.columns()) {
+    c.qualifier = alias;
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+std::vector<ScalarPred> RelFilters(const QuerySpec& spec, int r) {
+  std::vector<ScalarPred> out;
+  const std::string& alias = spec.relations[r].alias;
+  for (const FilterPred& f : spec.filters) {
+    if (f.rel != r) continue;
+    ScalarPred p;
+    p.column = alias + "." + f.column;
+    p.op = f.op;
+    p.rhs_is_column = f.rhs_is_column;
+    p.literal = f.literal;
+    if (f.rhs_is_column) p.rhs_column = alias + "." + f.rhs_column;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void FillOutputEstimates(PlanNode* n, const DerivedRel& stats,
+                         double cost_self, double children_total) {
+  n->est.cardinality = stats.rows;
+  n->est.avg_tuple_bytes = stats.avg_tuple_bytes;
+  n->est.pages = stats.Pages();
+  n->est.cost_self_ms = cost_self;
+  n->est.cost_total_ms = cost_self + children_total;
+  n->improved = n->est;  // until run-time observations arrive
+}
+
+Status Planner::PlanBaseRel(int r) {
+  const RelationRef& ref = spec->relations[r];
+  ASSIGN_OR_RETURN(const TableInfo* info, catalog->Get(ref.table));
+  ASSIGN_OR_RETURN(DerivedRel raw, est.RawRel(r));
+  ASSIGN_OR_RETURN(DerivedRel filtered, est.BaseRel(r));
+  const uint32_t mask = 1u << r;
+
+  // Sequential scan with pushed-down filters.
+  {
+    auto n = std::make_unique<PlanNode>();
+    n->kind = OpKind::kSeqScan;
+    n->table = ref.table;
+    n->alias = ref.alias;
+    n->filters = RelFilters(*spec, r);
+    n->output_schema = ScanSchema(*info, ref.alias);
+    n->covers = {r};
+    double c = cost->SeqScan(static_cast<double>(info->heap->page_count()),
+                             raw.rows);
+    FillOutputEstimates(n.get(), filtered, c, 0);
+    n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
+    Offer(mask, std::move(n), filtered, c);
+  }
+
+  // Index scans: one candidate per index whose column carries a literal
+  // equality or range filter.
+  if (opts->enable_index_scan) {
+    for (const auto& [col, index] : info->indexes) {
+      bool has_pred = false;
+      std::optional<int64_t> lo, hi;
+      for (const FilterPred& f : spec->filters) {
+        if (f.rel != r || f.column != col || f.rhs_is_column) continue;
+        if (f.literal.is_string()) continue;
+        int64_t v = static_cast<int64_t>(f.literal.AsNumeric());
+        switch (f.op) {
+          case CmpOp::kEq:
+            lo = lo ? std::max(*lo, v) : v;
+            hi = hi ? std::min(*hi, v) : v;
+            has_pred = true;
+            break;
+          case CmpOp::kLt:
+            hi = hi ? std::min(*hi, v - 1) : v - 1;
+            has_pred = true;
+            break;
+          case CmpOp::kLe:
+            hi = hi ? std::min(*hi, v) : v;
+            has_pred = true;
+            break;
+          case CmpOp::kGt:
+            lo = lo ? std::max(*lo, v + 1) : v + 1;
+            has_pred = true;
+            break;
+          case CmpOp::kGe:
+            lo = lo ? std::max(*lo, v) : v;
+            has_pred = true;
+            break;
+          default:
+            break;
+        }
+      }
+      if (!has_pred) continue;
+
+      // Matches before residual predicates.
+      const ColumnStats* cs = raw.Find(ref.alias + "." + col);
+      double matches = raw.rows;
+      if (cs) {
+        const double inf = std::numeric_limits<double>::infinity();
+        matches = raw.rows *
+                  cs->SelectivityRange(lo ? static_cast<double>(*lo) : -inf,
+                                       false,
+                                       hi ? static_cast<double>(*hi) : inf,
+                                       false, raw.rows);
+      }
+      matches = std::max(1.0, matches);
+      double leaf_pages =
+          std::max(1.0, matches / 400.0);  // ~400 index entries per leaf
+      double miss =
+          MissProb(static_cast<double>(info->heap->page_count()));
+
+      auto n = std::make_unique<PlanNode>();
+      n->kind = OpKind::kIndexScan;
+      n->table = ref.table;
+      n->alias = ref.alias;
+      n->index_column = col;
+      n->range_lo = lo;
+      n->range_hi = hi;
+      n->filters = RelFilters(*spec, r);  // residuals re-checked after fetch
+      n->output_schema = ScanSchema(*info, ref.alias);
+      n->covers = {r};
+      double c = cost->IndexScan(index->height(), matches, leaf_pages, miss);
+      FillOutputEstimates(n.get(), filtered, c, 0);
+      n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
+      Offer(mask, std::move(n), filtered, c);
+    }
+  }
+  return Status::OK();
+}
+
+Status Planner::TryJoin(uint32_t left_mask, int r) {
+  auto left_it = dp.find(left_mask);
+  auto right_it = dp.find(1u << r);
+  if (left_it == dp.end() || right_it == dp.end()) return Status::OK();
+  DpEntry& left = left_it->second;
+  DpEntry& right = right_it->second;
+
+  // Join predicates connecting the left subset with r.
+  std::vector<const JoinPred*> preds;
+  for (const JoinPred& j : spec->joins) {
+    bool lr = (left_mask >> j.left_rel & 1) && j.right_rel == r;
+    bool rl = (left_mask >> j.right_rel & 1) && j.left_rel == r;
+    if (lr || rl) preds.push_back(&j);
+  }
+
+  const uint32_t mask = left_mask | (1u << r);
+  DerivedRel joined = est.Join(left.stats, right.stats, preds);
+
+  auto make_hash_join = [&](DpEntry& build, DpEntry& probe,
+                            bool build_is_left_subset) {
+    auto n = std::make_unique<PlanNode>();
+    n->kind = OpKind::kHashJoin;
+    for (const JoinPred* p : preds) {
+      std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
+      std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
+      // Keys on the build (child 0) side go to left_keys.
+      bool left_pred_on_build = build_is_left_subset
+                                    ? (left_mask >> p->left_rel & 1) != 0
+                                    : p->left_rel == r;
+      if (left_pred_on_build) {
+        n->left_keys.push_back(lq);
+        n->right_keys.push_back(rq);
+      } else {
+        n->left_keys.push_back(rq);
+        n->right_keys.push_back(lq);
+      }
+    }
+    n->output_schema = Schema::Concat(build.plan->output_schema,
+                                      probe.plan->output_schema);
+    n->covers = build.plan->covers;
+    n->covers.insert(probe.plan->covers.begin(), probe.plan->covers.end());
+    int passes = 0;
+    double c = cost->HashJoin(build.stats.rows, build.stats.Pages(),
+                              probe.stats.rows, probe.stats.Pages(),
+                              opts->assumed_mem_pages, joined.rows, &passes);
+    // Join output column order follows the schema concat; DerivedRel is a
+    // map so no reorder is needed.
+    DerivedRel out = joined;
+    out.avg_tuple_bytes =
+        build.stats.avg_tuple_bytes + probe.stats.avg_tuple_bytes;
+    double children = build.cost + probe.cost;
+    n->children.push_back(build.plan->Clone());
+    n->children.push_back(probe.plan->Clone());
+    FillOutputEstimates(n.get(), out, c, children);
+    Offer(mask, std::move(n), out, children + c);
+  };
+
+  // Sort-merge join: explicit sorts on the join keys become blocking
+  // stages of their own (more re-optimization points); competitive when
+  // both inputs fit sort memory or are badly skewed for hashing.
+  auto make_merge_join = [&]() {
+    auto wrap_sort = [&](DpEntry& e,
+                         const std::vector<std::string>& keys) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->kind = OpKind::kSort;
+      for (const std::string& k : keys) sort->sort_keys.emplace_back(k, true);
+      sort->output_schema = e.plan->output_schema;
+      sort->covers = e.plan->covers;
+      double c = cost->Sort(e.stats.rows, e.stats.Pages(),
+                            opts->assumed_mem_pages);
+      sort->children.push_back(e.plan->Clone());
+      FillOutputEstimates(sort.get(), e.stats, c, e.cost);
+      return sort;
+    };
+    auto n = std::make_unique<PlanNode>();
+    n->kind = OpKind::kMergeJoin;
+    for (const JoinPred* p : preds) {
+      std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
+      std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
+      bool pred_left_in_subset = (left_mask >> p->left_rel & 1) != 0;
+      n->left_keys.push_back(pred_left_in_subset ? lq : rq);
+      n->right_keys.push_back(pred_left_in_subset ? rq : lq);
+    }
+    std::unique_ptr<PlanNode> lsort = wrap_sort(left, n->left_keys);
+    std::unique_ptr<PlanNode> rsort = wrap_sort(right, n->right_keys);
+    n->output_schema = Schema::Concat(lsort->output_schema,
+                                      rsort->output_schema);
+    n->covers = left.plan->covers;
+    n->covers.insert(right.plan->covers.begin(), right.plan->covers.end());
+    double children = lsort->est.cost_total_ms + rsort->est.cost_total_ms;
+    double c = cost->MergeJoin(left.stats.rows, right.stats.rows, joined.rows);
+    n->children.push_back(std::move(lsort));
+    n->children.push_back(std::move(rsort));
+    DerivedRel out = joined;
+    FillOutputEstimates(n.get(), out, c, children);
+    Offer(mask, std::move(n), out, children + c);
+  };
+
+  if (!preds.empty()) {
+    make_hash_join(left, right, /*build_is_left_subset=*/true);
+    if (!opts->build_on_left_subtree || __builtin_popcount(left_mask) == 1)
+      make_hash_join(right, left, /*build_is_left_subset=*/false);
+    if (opts->enable_sort_merge_join) make_merge_join();
+  } else {
+    // Cross product: only via (cheap) hash join with no keys.
+    make_hash_join(right, left, false);
+  }
+
+  // Indexed nested-loops join: outer = left subset, inner = base relation r
+  // with an index on its join column.
+  if (opts->enable_index_nl_join && !preds.empty()) {
+    const RelationRef& ref = spec->relations[r];
+    Result<const TableInfo*> info_r = catalog->Get(ref.table);
+    if (!info_r.ok()) return info_r.status();
+    const TableInfo* info = info_r.value();
+    for (const JoinPred* p : preds) {
+      const std::string& inner_col = p->left_rel == r ? p->left_col : p->right_col;
+      const std::string& outer_q =
+          p->left_rel == r ? spec->Qualified(ColumnId{p->right_rel, p->right_col})
+                           : spec->Qualified(ColumnId{p->left_rel, p->left_col});
+      const BTree* index = info->FindIndex(inner_col);
+      if (index == nullptr) continue;
+
+      ASSIGN_OR_RETURN(DerivedRel raw_r, est.RawRel(r));
+      // Matches fetched per index probe, before residual filters.
+      const ColumnStats* ics = raw_r.Find(ref.alias + "." + inner_col);
+      double d_inner = (ics && ics->distinct > 0) ? ics->distinct : raw_r.rows;
+      double matches = left.stats.rows * raw_r.rows / std::max(1.0, d_inner);
+      double miss = MissProb(static_cast<double>(info->heap->page_count()));
+
+      auto n = std::make_unique<PlanNode>();
+      n->kind = OpKind::kIndexNLJoin;
+      n->table = ref.table;
+      n->alias = ref.alias;
+      n->index_column = inner_col;
+      n->left_keys.push_back(outer_q);           // outer key column
+      n->right_keys.push_back(ref.alias + "." + inner_col);
+      n->filters = RelFilters(*spec, r);  // inner residual filters
+      // Remaining join predicates become residual filters too.
+      for (const JoinPred* q : preds) {
+        if (q == p) continue;
+        ScalarPred sp;
+        sp.column = spec->Qualified(ColumnId{q->left_rel, q->left_col});
+        sp.op = CmpOp::kEq;
+        sp.rhs_is_column = true;
+        sp.rhs_column = spec->Qualified(ColumnId{q->right_rel, q->right_col});
+        n->filters.push_back(std::move(sp));
+      }
+      n->output_schema = Schema::Concat(left.plan->output_schema,
+                                        ScanSchema(*info, ref.alias));
+      n->covers = left.plan->covers;
+      n->covers.insert(r);
+      double c = cost->IndexNLJoin(left.stats.rows, index->height(), matches,
+                                   miss);
+      n->children.push_back(left.plan->Clone());
+      FillOutputEstimates(n.get(), joined, c, left.cost);
+      Offer(mask, std::move(n), joined, left.cost + c);
+    }
+  }
+  return Status::OK();
+}
+
+Status Planner::PlanJoins() {
+  const int n = static_cast<int>(spec->relations.size());
+  const uint32_t full = (1u << n) - 1;
+  // Enumerate left-deep plans by subset size.
+  for (int size = 2; size <= n; ++size) {
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      for (int r = 0; r < n; ++r) {
+        if (!(mask >> r & 1)) continue;
+        uint32_t left_mask = mask & ~(1u << r);
+        if (left_mask == 0) continue;
+        // Skip cross products when the subset has connected splits.
+        bool connected = false;
+        for (const JoinPred& j : spec->joins) {
+          if (((left_mask >> j.left_rel & 1) && j.right_rel == r) ||
+              ((left_mask >> j.right_rel & 1) && j.left_rel == r)) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) RETURN_IF_ERROR(TryJoin(left_mask, r));
+      }
+      if (dp.find(mask) == dp.end()) {
+        // No connected split: fall back to cross products.
+        for (int r = 0; r < n; ++r) {
+          if (!(mask >> r & 1)) continue;
+          uint32_t left_mask = mask & ~(1u << r);
+          if (left_mask == 0) continue;
+          RETURN_IF_ERROR(TryJoin(left_mask, r));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::Finish() {
+  const uint32_t full = (1u << spec->relations.size()) - 1;
+  auto it = dp.find(full);
+  if (it == dp.end()) return Status::Internal("optimizer: no complete plan");
+  std::unique_ptr<PlanNode> plan = it->second.plan->Clone();
+  DerivedRel stats = it->second.stats;
+  double total = it->second.cost;
+
+  const bool aggregated = spec->has_aggregates() || !spec->group_by.empty();
+  if (aggregated) {
+    auto agg = std::make_unique<PlanNode>();
+    agg->kind = OpKind::kHashAggregate;
+    for (const ColumnId& g : spec->group_by)
+      agg->group_cols.push_back(spec->Qualified(g));
+    Schema out_schema;
+    for (const OutputItem& item : spec->items) {
+      if (item.agg == AggFunc::kNone) {
+        Column c;
+        c.qualifier = "";
+        c.name = item.name;
+        c.type = item.col.type;
+        const ColumnStats* cs = stats.Find(spec->Qualified(item.col));
+        if (cs) c.avg_width = cs->avg_width;
+        out_schema.AddColumn(c);
+        // Source mapping for the executor: group column feeding this output.
+        agg->project_cols.push_back(spec->Qualified(item.col));
+        continue;
+      }
+      agg->project_cols.push_back("");  // aggregate output
+      AggSpec a;
+      a.func = item.agg;
+      a.count_star = item.count_star;
+      if (!item.count_star) a.column = spec->Qualified(item.col);
+      a.out_name = item.name;
+      a.out_type = item.agg == AggFunc::kCount ? ValueType::kInt64
+                   : (item.agg == AggFunc::kMin || item.agg == AggFunc::kMax)
+                       ? item.col.type
+                       : ValueType::kDouble;
+      agg->aggs.push_back(a);
+      Column c;
+      c.name = item.name;
+      c.type = a.out_type;
+      out_schema.AddColumn(c);
+    }
+    agg->output_schema = out_schema;
+    agg->covers = plan->covers;
+
+    double groups = Estimator::GroupCount(stats, agg->group_cols);
+    double group_bytes = out_schema.AvgTupleBytes() + 32;  // hash entry overhead
+    double c = cost->HashAggregate(stats.rows, stats.Pages(), groups,
+                                   group_bytes, opts->assumed_mem_pages);
+    DerivedRel out;
+    out.rows = groups;
+    out.avg_tuple_bytes = out_schema.AvgTupleBytes();
+    agg->children.push_back(std::move(plan));
+    FillOutputEstimates(agg.get(), out, c, total);
+    agg->est.num_groups = groups;
+    agg->improved = agg->est;
+    plan = std::move(agg);
+    stats = out;
+    total += c;
+    ++enumerated;
+  } else {
+    auto proj = std::make_unique<PlanNode>();
+    proj->kind = OpKind::kProject;
+    Schema out_schema;
+    for (const OutputItem& item : spec->items) {
+      proj->project_cols.push_back(spec->Qualified(item.col));
+      proj->project_names.push_back(item.name);
+      Column c;
+      c.name = item.name;
+      c.type = item.col.type;
+      out_schema.AddColumn(c);
+    }
+    proj->output_schema = out_schema;
+    proj->covers = plan->covers;
+    DerivedRel out = stats;
+    out.avg_tuple_bytes = out_schema.AvgTupleBytes();
+    double c = 0;  // projection is free (column moves only)
+    proj->children.push_back(std::move(plan));
+    FillOutputEstimates(proj.get(), out, c, total);
+    plan = std::move(proj);
+    stats = out;
+  }
+
+  if (!spec->order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = OpKind::kSort;
+    for (const auto& [item_idx, asc] : spec->order_by)
+      sort->sort_keys.emplace_back(spec->items[item_idx].name, asc);
+    sort->output_schema = plan->output_schema;
+    sort->covers = plan->covers;
+    double c = cost->Sort(stats.rows, stats.Pages(), opts->assumed_mem_pages);
+    sort->children.push_back(std::move(plan));
+    FillOutputEstimates(sort.get(), stats, c, total);
+    plan = std::move(sort);
+    total += c;
+  }
+
+  if (spec->limit >= 0) {
+    auto lim = std::make_unique<PlanNode>();
+    lim->kind = OpKind::kLimit;
+    lim->limit = spec->limit;
+    lim->output_schema = plan->output_schema;
+    lim->covers = plan->covers;
+    DerivedRel out = stats;
+    out.rows = std::min(out.rows, static_cast<double>(spec->limit));
+    lim->children.push_back(std::move(plan));
+    FillOutputEstimates(lim.get(), out, 0, total);
+    plan = std::move(lim);
+  }
+  return plan;
+}
+
+}  // namespace
+
+void AssignPlanIds(PlanNode* root) {
+  int next = 0;
+  root->PostOrder([&](PlanNode* n) { n->id = next++; });
+}
+
+Result<OptimizeResult> Optimizer::Plan(
+    const QuerySpec& spec, const BaseRelOverrides* overrides) const {
+  if (spec.relations.empty())
+    return Status::InvalidArgument("query has no relations");
+  if (spec.relations.size() > 20)
+    return Status::NotSupported("too many relations (max 20)");
+
+  Planner planner(catalog_, cost_, &opts_, &spec, overrides);
+  for (int r = 0; r < static_cast<int>(spec.relations.size()); ++r)
+    RETURN_IF_ERROR(planner.PlanBaseRel(r));
+  RETURN_IF_ERROR(planner.PlanJoins());
+  ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Finish());
+  AssignPlanIds(plan.get());
+
+  OptimizeResult result;
+  result.plan = std::move(plan);
+  result.plans_enumerated = planner.enumerated;
+  result.sim_opt_time_ms =
+      static_cast<double>(planner.enumerated) * cost_->params().t_opt_per_plan_ms;
+  return result;
+}
+
+}  // namespace reoptdb

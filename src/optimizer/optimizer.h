@@ -1,0 +1,86 @@
+// System-R style dynamic-programming query optimizer [22].
+//
+// Produces annotated physical plans: every node carries the optimizer's
+// cardinality/size/cost estimates, which the Dynamic Re-Optimization
+// machinery later compares against observed statistics.
+
+#ifndef REOPTDB_OPTIMIZER_OPTIMIZER_H_
+#define REOPTDB_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/selectivity.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+/// Optimizer knobs.
+struct OptimizerOptions {
+  /// Memory (pages) the optimizer optimistically assumes each
+  /// memory-consuming operator will receive. The actual division is decided
+  /// by the MemoryManager at execution time — exactly the estimate/actual
+  /// gap the paper's dynamic memory re-allocation corrects.
+  double assumed_mem_pages = 512;
+  bool enable_index_nl_join = true;
+  /// Sort-merge joins (fully implemented and tested) are excluded from the
+  /// default search space: Paradise's optimizer was hash-based, and the
+  /// SMJ cost model is not yet calibrated against the re-optimization
+  /// gate's accept test (DESIGN.md §7). Enable for experiments.
+  bool enable_sort_merge_join = false;
+  bool enable_index_scan = true;
+  /// Paradise/System-R plan shape: hash joins consume the accumulated left
+  /// subtree as their build input ("a blocking operator, like hash-join,
+  /// consumes all of its first input", paper Section 2.2). Every join
+  /// boundary then breaks the pipeline, which is what gives mid-query
+  /// re-optimization its decision points. Setting this false enables the
+  /// modern build-on-smaller-side orientation (ablation).
+  bool build_on_left_subtree = true;
+  /// Bucket-overlap equi-join estimation (post-1998; ablation only — see
+  /// Estimator). Dramatically improves static plans, which shrinks the
+  /// opportunity for mid-query re-optimization.
+  bool histogram_join_estimation = false;
+  /// Probability that a heap fetch during an index probe misses the buffer
+  /// pool, as a fraction of table pages over pool pages.
+  double pool_pages_hint = 4096;
+};
+
+/// Result of an optimization run.
+struct OptimizeResult {
+  std::unique_ptr<PlanNode> plan;
+  /// Number of (partial) plans costed — the DP enumeration effort. The
+  /// simulated optimization time is this count times t_opt_per_plan_ms,
+  /// mirroring the paper's observation that optimization cost depends on
+  /// the number of operators, not data sizes (Section 2.4).
+  uint64_t plans_enumerated = 0;
+  double sim_opt_time_ms = 0;
+};
+
+/// \brief The conventional query optimizer wrapped by Dynamic Re-Optimization.
+class Optimizer {
+ public:
+  Optimizer(const Catalog* catalog, const CostModel* cost,
+            OptimizerOptions opts = OptimizerOptions{})
+      : catalog_(catalog), cost_(cost), opts_(opts) {}
+
+  /// Plans a bound query. Supports up to 20 relations. `overrides`
+  /// optionally replaces catalog-derived base-relation estimates with
+  /// run-time observations (mid-query re-optimization).
+  Result<OptimizeResult> Plan(
+      const QuerySpec& spec,
+      const BaseRelOverrides* overrides = nullptr) const;
+
+ private:
+  const Catalog* catalog_;
+  const CostModel* cost_;
+  OptimizerOptions opts_;
+};
+
+/// Assigns post-order ids to every node in the plan.
+void AssignPlanIds(PlanNode* root);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,54 @@
+#include "optimizer/parametric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace reoptdb {
+
+Result<ParametricPlanSet> ParametricPlanSet::Plan(
+    const Catalog* catalog, const CostModel* cost,
+    OptimizerOptions base_options, const QuerySpec& spec,
+    std::vector<double> memory_candidates) {
+  if (memory_candidates.empty())
+    return Status::InvalidArgument("parametric: no memory candidates");
+  std::sort(memory_candidates.begin(), memory_candidates.end());
+  memory_candidates.erase(
+      std::unique(memory_candidates.begin(), memory_candidates.end()),
+      memory_candidates.end());
+
+  ParametricPlanSet set;
+  for (double mem : memory_candidates) {
+    if (mem <= 0)
+      return Status::InvalidArgument("parametric: non-positive budget");
+    OptimizerOptions opts = base_options;
+    opts.assumed_mem_pages = mem;
+    Optimizer optimizer(catalog, cost, opts);
+    ASSIGN_OR_RETURN(OptimizeResult r, optimizer.Plan(spec));
+    ParametricBranch branch;
+    branch.assumed_mem_pages = mem;
+    branch.plan = std::move(r.plan);
+    branch.plans_enumerated = r.plans_enumerated;
+    set.total_sim_opt_time_ms_ += r.sim_opt_time_ms;
+    set.branches_.push_back(std::move(branch));
+  }
+  return set;
+}
+
+const ParametricBranch& ParametricPlanSet::Pick(
+    double actual_mem_pages) const {
+  assert(!branches_.empty());
+  const ParametricBranch* best = &branches_.front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const ParametricBranch& b : branches_) {
+    double dist = std::fabs(std::log(std::max(1.0, actual_mem_pages)) -
+                            std::log(std::max(1.0, b.assumed_mem_pages)));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &b;
+    }
+  }
+  return *best;
+}
+
+}  // namespace reoptdb

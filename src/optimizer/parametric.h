@@ -1,0 +1,64 @@
+// Parametric plans — the paper's proposed hybrid (Section 4).
+//
+// "A hybrid algorithm that combines the parametric/dynamic query plans
+// approach [10, 8, 7] and the Dynamic Re-Optimization algorithm could
+// possibly combine the best features of both approaches. The query
+// optimizer can try to anticipate the most common cases that might arise
+// at run-time and produce a parameterized plan that covers these
+// possibilities. At query execution time, statistics can be observed to
+// determine which plan to choose. If a situation arises that is not
+// covered ... dynamic re-optimization can be used."
+//
+// The compile-time unknown parameterized here is the one the paper calls
+// out first: *available memory*. A ParametricPlanSet holds one plan per
+// anticipated memory budget; at execution time the branch nearest the
+// actual budget is picked, and Dynamic Re-Optimization covers whatever the
+// anticipation missed.
+
+#ifndef REOPTDB_OPTIMIZER_PARAMETRIC_H_
+#define REOPTDB_OPTIMIZER_PARAMETRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+
+namespace reoptdb {
+
+/// One anticipated run-time case.
+struct ParametricBranch {
+  double assumed_mem_pages = 0;
+  std::unique_ptr<PlanNode> plan;
+  uint64_t plans_enumerated = 0;
+};
+
+/// \brief A set of plans, one per anticipated memory budget.
+class ParametricPlanSet {
+ public:
+  /// Optimizes `spec` once per candidate budget. Candidates must be
+  /// non-empty; duplicates are collapsed.
+  static Result<ParametricPlanSet> Plan(const Catalog* catalog,
+                                        const CostModel* cost,
+                                        OptimizerOptions base_options,
+                                        const QuerySpec& spec,
+                                        std::vector<double> memory_candidates);
+
+  /// The branch whose assumed budget is nearest (in log space) to the
+  /// actual budget known at execution time.
+  const ParametricBranch& Pick(double actual_mem_pages) const;
+
+  size_t size() const { return branches_.size(); }
+  const std::vector<ParametricBranch>& branches() const { return branches_; }
+
+  /// Total simulated optimization time spent building the set (paid once
+  /// at prepare time, amortized over executions).
+  double total_sim_opt_time_ms() const { return total_sim_opt_time_ms_; }
+
+ private:
+  std::vector<ParametricBranch> branches_;  // sorted by assumed budget
+  double total_sim_opt_time_ms_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_PARAMETRIC_H_

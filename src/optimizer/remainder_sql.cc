@@ -1,0 +1,89 @@
+#include "optimizer/remainder_sql.h"
+
+#include <map>
+
+namespace reoptdb {
+
+std::string TempColumnName(const std::string& alias, const std::string& col) {
+  return alias + "__" + col;
+}
+
+Schema TempTableSchema(const std::string& temp_name,
+                       const Schema& intermediate_schema) {
+  std::vector<Column> cols;
+  for (const Column& c : intermediate_schema.columns()) {
+    Column out = c;
+    out.name = TempColumnName(c.qualifier, c.name);
+    out.qualifier = temp_name;
+    cols.push_back(std::move(out));
+  }
+  return Schema(std::move(cols));
+}
+
+Result<QuerySpec> BuildRemainderSpec(const QuerySpec& original,
+                                     const std::set<int>& covered,
+                                     const std::string& temp_name) {
+  if (covered.empty())
+    return Status::InvalidArgument("remainder: empty covered set");
+
+  QuerySpec out;
+  out.limit = original.limit;
+
+  // Relation 0 is the temp table; remaining relations keep their order.
+  out.relations.push_back(RelationRef{temp_name, temp_name});
+  std::map<int, int> remap;  // old rel idx -> new rel idx (uncovered only)
+  for (int r = 0; r < static_cast<int>(original.relations.size()); ++r) {
+    if (covered.count(r)) continue;
+    remap[r] = static_cast<int>(out.relations.size());
+    out.relations.push_back(original.relations[r]);
+  }
+
+  auto remap_col = [&](const ColumnId& c) -> ColumnId {
+    ColumnId nc;
+    nc.type = c.type;
+    if (covered.count(c.rel)) {
+      nc.rel = 0;
+      nc.column = TempColumnName(original.relations[c.rel].alias, c.column);
+    } else {
+      nc.rel = remap.at(c.rel);
+      nc.column = c.column;
+    }
+    return nc;
+  };
+
+  // Filters on covered relations were applied inside the completed subtree.
+  for (const FilterPred& f : original.filters) {
+    if (covered.count(f.rel)) continue;
+    FilterPred nf = f;
+    nf.rel = remap.at(f.rel);
+    out.filters.push_back(std::move(nf));
+  }
+
+  for (const JoinPred& j : original.joins) {
+    bool lc = covered.count(j.left_rel) > 0;
+    bool rc = covered.count(j.right_rel) > 0;
+    if (lc && rc) continue;  // applied inside the subtree
+    ColumnId l = remap_col(ColumnId{j.left_rel, j.left_col});
+    ColumnId r = remap_col(ColumnId{j.right_rel, j.right_col});
+    JoinPred nj;
+    if (l.rel <= r.rel) {
+      nj = JoinPred{l.rel, l.column, r.rel, r.column};
+    } else {
+      nj = JoinPred{r.rel, r.column, l.rel, l.column};
+    }
+    out.joins.push_back(std::move(nj));
+  }
+
+  for (const OutputItem& item : original.items) {
+    OutputItem ni = item;
+    if (!item.count_star) ni.col = remap_col(item.col);
+    out.items.push_back(std::move(ni));
+  }
+  for (const ColumnId& g : original.group_by)
+    out.group_by.push_back(remap_col(g));
+  out.order_by = original.order_by;  // indexes into items are unchanged
+
+  return out;
+}
+
+}  // namespace reoptdb

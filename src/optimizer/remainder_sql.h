@@ -1,0 +1,41 @@
+// Remainder-query construction for mid-query plan modification.
+//
+// After the in-flight operator's output (covering relation set S) is
+// redirected to a temp table, "SQL corresponding to the remainder of the
+// query is generated in terms of this temporary file [and] re-submitted to
+// the parser/optimizer like a regular query" (paper Section 2.4, Fig. 6).
+
+#ifndef REOPTDB_OPTIMIZER_REMAINDER_SQL_H_
+#define REOPTDB_OPTIMIZER_REMAINDER_SQL_H_
+
+#include <set>
+#include <string>
+
+#include "plan/query_spec.h"
+#include "types/schema.h"
+
+namespace reoptdb {
+
+/// Name of a covered relation's column inside the temp table
+/// ("alias__col"; the double underscore avoids collisions with base names
+/// and keeps self-join aliases distinct).
+std::string TempColumnName(const std::string& alias, const std::string& col);
+
+/// Schema for the temp table holding the materialized intermediate result.
+/// `intermediate_schema` is the output schema of the completed subtree
+/// (columns qualified by their original aliases).
+Schema TempTableSchema(const std::string& temp_name,
+                       const Schema& intermediate_schema);
+
+/// Builds the remainder query: the original query with the covered
+/// relations replaced by the temp table. Filters on covered relations have
+/// already been applied inside the completed subtree and are dropped; joins
+/// internal to the covered set are dropped; joins crossing the boundary are
+/// re-targeted at the temp table's renamed columns.
+Result<QuerySpec> BuildRemainderSpec(const QuerySpec& original,
+                                     const std::set<int>& covered,
+                                     const std::string& temp_name);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_REMAINDER_SQL_H_

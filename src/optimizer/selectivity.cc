@@ -1,0 +1,287 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/page.h"
+
+namespace reoptdb {
+
+namespace {
+// System-R magic numbers [22], used when no statistics help.
+constexpr double kDefaultEq = 0.1;
+constexpr double kDefaultRange = 1.0 / 3.0;
+constexpr double kDefaultNe = 0.9;
+// Column-vs-column predicates within one relation (e.g. correlated dates):
+// the engine has no joint statistics, so a constant is all it can do —
+// a deliberate, realistic source of estimation error.
+constexpr double kColColRange = 1.0 / 3.0;
+constexpr double kColColEq = 0.05;
+// Slotted-page overhead: 4-byte slot per tuple + page header.
+constexpr double kPageFillFactor = 0.95;
+}  // namespace
+
+double DerivedRel::Pages() const {
+  double bytes = rows * (avg_tuple_bytes + 4.0);
+  return std::max(1.0, std::ceil(bytes / (kPageSize * kPageFillFactor)));
+}
+
+double Estimator::OnePredSelectivity(const ColumnStats* cs, const FilterPred& f,
+                                     double rows) {
+  if (f.rhs_is_column) {
+    return f.op == CmpOp::kEq ? kColColEq
+           : f.op == CmpOp::kNe ? kDefaultNe
+                                : kColColRange;
+  }
+  if (cs == nullptr) {
+    switch (f.op) {
+      case CmpOp::kEq:
+        return kDefaultEq;
+      case CmpOp::kNe:
+        return kDefaultNe;
+      default:
+        return kDefaultRange;
+    }
+  }
+  if (f.literal.is_string()) {
+    double d = cs->distinct > 0 ? cs->distinct : 1.0 / kDefaultEq;
+    double eq = 1.0 / std::max(1.0, d);
+    switch (f.op) {
+      case CmpOp::kEq:
+        return eq;
+      case CmpOp::kNe:
+        return 1.0 - eq;
+      default:
+        return kDefaultRange;  // range over strings: no stats
+    }
+  }
+  const double v = f.literal.AsNumeric();
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (f.op) {
+    case CmpOp::kEq:
+      return cs->SelectivityEquals(v, rows);
+    case CmpOp::kNe:
+      return 1.0 - cs->SelectivityEquals(v, rows);
+    case CmpOp::kLt:
+      return cs->SelectivityRange(-inf, false, v, /*hi_strict=*/true, rows);
+    case CmpOp::kLe:
+      return cs->SelectivityRange(-inf, false, v, /*hi_strict=*/false, rows);
+    case CmpOp::kGt:
+      return cs->SelectivityRange(v, /*lo_strict=*/true, inf, false, rows);
+    case CmpOp::kGe:
+      return cs->SelectivityRange(v, /*lo_strict=*/false, inf, false, rows);
+  }
+  return kDefaultRange;
+}
+
+Result<DerivedRel> Estimator::RawRel(int rel_idx) const {
+  const RelationRef& ref = spec_->relations[rel_idx];
+  ASSIGN_OR_RETURN(const TableInfo* info, catalog_->Get(ref.table));
+  DerivedRel rel;
+  const TableStats& ts = info->stats;
+  rel.rows = ts.analyzed ? ts.row_count
+                         : static_cast<double>(info->heap->tuple_count());
+  rel.avg_tuple_bytes = ts.analyzed && ts.avg_tuple_bytes > 0
+                            ? ts.avg_tuple_bytes
+                            : std::max(16.0, info->heap->avg_tuple_bytes());
+  for (const Column& c : info->schema.columns()) {
+    ColumnStats cs;
+    const ColumnStats* found = ts.Find(c.name);
+    if (found) {
+      cs = *found;
+    } else {
+      cs.type = c.type;
+      cs.avg_width = c.avg_width;
+    }
+    rel.cols[ref.alias + "." + c.name] = std::move(cs);
+  }
+  return rel;
+}
+
+Result<double> Estimator::FilterSelectivity(int rel_idx) const {
+  ASSIGN_OR_RETURN(DerivedRel raw, RawRel(rel_idx));
+  double sel = 1.0;
+  const RelationRef& ref = spec_->relations[rel_idx];
+
+  // Range predicates on the same column are merged into one interval
+  // before estimation (multiplying them as if independent would square
+  // the selectivity of a BETWEEN). Other predicate shapes multiply under
+  // the independence assumption.
+  struct RangeAcc {
+    double lo = -std::numeric_limits<double>::infinity();
+    bool lo_strict = false;
+    double hi = std::numeric_limits<double>::infinity();
+    bool hi_strict = false;
+  };
+  std::map<std::string, RangeAcc> ranges;
+
+  for (const FilterPred& f : spec_->filters) {
+    if (f.rel != rel_idx) continue;
+    const ColumnStats* cs = raw.Find(ref.alias + "." + f.column);
+    const bool mergeable_range =
+        !f.rhs_is_column && !f.literal.is_string() &&
+        (f.op == CmpOp::kLt || f.op == CmpOp::kLe || f.op == CmpOp::kGt ||
+         f.op == CmpOp::kGe || f.op == CmpOp::kEq);
+    if (!mergeable_range) {
+      sel *= OnePredSelectivity(cs, f, raw.rows);  // independence assumption
+      continue;
+    }
+    RangeAcc& acc = ranges[f.column];
+    double v = f.literal.AsNumeric();
+    switch (f.op) {
+      case CmpOp::kEq:
+        if (v >= acc.lo) {
+          acc.lo = v;
+          acc.lo_strict = false;
+        }
+        if (v <= acc.hi) {
+          acc.hi = v;
+          acc.hi_strict = false;
+        }
+        break;
+      case CmpOp::kLt:
+        if (v < acc.hi || (v == acc.hi && !acc.hi_strict)) {
+          acc.hi = v;
+          acc.hi_strict = true;
+        }
+        break;
+      case CmpOp::kLe:
+        if (v < acc.hi) {
+          acc.hi = v;
+          acc.hi_strict = false;
+        }
+        break;
+      case CmpOp::kGt:
+        if (v > acc.lo || (v == acc.lo && !acc.lo_strict)) {
+          acc.lo = v;
+          acc.lo_strict = true;
+        }
+        break;
+      case CmpOp::kGe:
+        if (v > acc.lo) {
+          acc.lo = v;
+          acc.lo_strict = false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [column, acc] : ranges) {
+    const ColumnStats* cs = raw.Find(ref.alias + "." + column);
+    if (cs == nullptr) {
+      sel *= kDefaultRange;
+      continue;
+    }
+    sel *= cs->SelectivityRange(acc.lo, acc.lo_strict, acc.hi, acc.hi_strict,
+                                raw.rows);
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+Result<DerivedRel> Estimator::BaseRel(int rel_idx) const {
+  if (overrides_ != nullptr) {
+    auto it = overrides_->find(spec_->relations[rel_idx].alias);
+    if (it != overrides_->end()) return it->second;
+  }
+  ASSIGN_OR_RETURN(DerivedRel rel, RawRel(rel_idx));
+  ASSIGN_OR_RETURN(double sel, FilterSelectivity(rel_idx));
+  double new_rows = std::max(1.0, rel.rows * sel);
+
+  const RelationRef& ref = spec_->relations[rel_idx];
+  // Adjust per-column stats: filtered columns lose their histogram and get
+  // tightened bounds; every distinct count is capped by the new row count.
+  for (auto& [name, cs] : rel.cols) {
+    bool filtered = false;
+    for (const FilterPred& f : spec_->filters) {
+      if (f.rel != rel_idx || ref.alias + "." + f.column != name) continue;
+      filtered = true;
+      if (!f.rhs_is_column && !f.literal.is_string() && cs.has_bounds) {
+        double v = f.literal.AsNumeric();
+        switch (f.op) {
+          case CmpOp::kEq:
+            cs.min = cs.max = v;
+            break;
+          case CmpOp::kLt:
+          case CmpOp::kLe:
+            cs.max = std::min(cs.max, v);
+            break;
+          case CmpOp::kGt:
+          case CmpOp::kGe:
+            cs.min = std::max(cs.min, v);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    if (filtered) {
+      if (cs.has_histogram()) {
+        // Keep distinct-in-range before dropping the histogram.
+        cs.distinct = cs.histogram.EstimateDistinctInRange(cs.min, cs.max);
+        cs.histogram = Histogram();
+      } else if (cs.distinct > 0) {
+        cs.distinct = std::max(1.0, cs.distinct * sel);
+      }
+    }
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, new_rows);
+  }
+  rel.rows = new_rows;
+  return rel;
+}
+
+DerivedRel Estimator::Join(const DerivedRel& left, const DerivedRel& right,
+                           const std::vector<const JoinPred*>& preds) const {
+  DerivedRel out;
+  double sel = 1.0;
+  for (const JoinPred* p : preds) {
+    std::string lq = spec_->relations[p->left_rel].alias + "." + p->left_col;
+    std::string rq = spec_->relations[p->right_rel].alias + "." + p->right_col;
+    const ColumnStats* lcs = left.Find(lq);
+    if (lcs == nullptr) lcs = right.Find(lq);
+    const ColumnStats* rcs = right.Find(rq);
+    if (rcs == nullptr) rcs = left.Find(rq);
+    // When both join columns carry histograms, estimate by bucket overlap:
+    // this sees partial/disjoint key domains that 1/max(V) cannot.
+    if (histogram_joins_ && lcs != nullptr && rcs != nullptr &&
+        lcs->has_histogram() && rcs->has_histogram() && left.rows > 0 &&
+        right.rows > 0) {
+      double join_card = Histogram::EstimateEquiJoinCard(lcs->histogram,
+                                                         rcs->histogram);
+      // Scale from histogram totals to the derived relations' row counts
+      // (histograms may predate earlier filters).
+      double lt = std::max(1.0, lcs->histogram.total_count());
+      double rt = std::max(1.0, rcs->histogram.total_count());
+      join_card *= (left.rows / lt) * (right.rows / rt);
+      sel *= std::clamp(join_card / (left.rows * right.rows), 0.0, 1.0);
+      continue;
+    }
+    double dl = (lcs && lcs->distinct > 0) ? lcs->distinct : left.rows;
+    double dr = (rcs && rcs->distinct > 0) ? rcs->distinct : right.rows;
+    sel *= 1.0 / std::max({1.0, dl, dr});
+  }
+  if (preds.empty()) sel = 1.0;  // cross product
+  out.rows = std::max(1.0, left.rows * right.rows * sel);
+  out.avg_tuple_bytes = left.avg_tuple_bytes + right.avg_tuple_bytes;
+  out.cols = left.cols;
+  for (const auto& [name, cs] : right.cols) out.cols[name] = cs;
+  for (auto& [name, cs] : out.cols) {
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, out.rows);
+  }
+  return out;
+}
+
+double Estimator::GroupCount(const DerivedRel& input,
+                             const std::vector<std::string>& qualified_cols) {
+  if (qualified_cols.empty()) return 1;
+  double product = 1;
+  for (const std::string& q : qualified_cols) {
+    const ColumnStats* cs = input.Find(q);
+    double d = (cs && cs->distinct > 0) ? cs->distinct : input.rows * 0.1;
+    product *= std::max(1.0, d);
+    if (product > input.rows) break;
+  }
+  return std::max(1.0, std::min(product, input.rows));
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,89 @@
+// Cardinality and selectivity estimation.
+//
+// Standard System-R-style estimation over catalog statistics: histograms
+// when available, distinct counts for equality, magic numbers as a last
+// resort, independence across conjuncts, and 1/max(V_l, V_r) for equi-joins.
+// These assumptions are exactly the error sources the paper targets
+// (footnote 2: stale histograms, correlated attributes, opaque predicates;
+// [9]: errors grow exponentially with join count).
+
+#ifndef REOPTDB_OPTIMIZER_SELECTIVITY_H_
+#define REOPTDB_OPTIMIZER_SELECTIVITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+/// \brief Statistics derived for an intermediate planning relation.
+struct DerivedRel {
+  double rows = 0;
+  double avg_tuple_bytes = 0;
+  /// Qualified column name ("alias.col") -> propagated stats.
+  std::map<std::string, ColumnStats> cols;
+
+  /// Estimated size in pages (slotted-page overhead included).
+  double Pages() const;
+
+  const ColumnStats* Find(const std::string& qualified) const {
+    auto it = cols.find(qualified);
+    return it == cols.end() ? nullptr : &it->second;
+  }
+};
+
+/// Observed statistics for a base relation *after* its filters, collected
+/// at run time and fed back into re-optimization ("the optimizer is
+/// re-invoked with new statistics", paper Section 2.4). Keyed by alias.
+using BaseRelOverrides = std::map<std::string, DerivedRel>;
+
+/// \brief Estimator bound to one query's catalog snapshot.
+class Estimator {
+ public:
+  /// `histogram_joins` enables bucket-overlap equi-join estimation — a
+  /// post-1998 technique that sees partial/disjoint key domains. Default
+  /// off: the paper-era baseline is the System-R 1/max(V) formula, and the
+  /// reproduction depends on its blind spots (see DESIGN.md §7).
+  Estimator(const Catalog* catalog, const QuerySpec* spec,
+            const BaseRelOverrides* overrides = nullptr,
+            bool histogram_joins = false)
+      : catalog_(catalog),
+        spec_(spec),
+        overrides_(overrides),
+        histogram_joins_(histogram_joins) {}
+
+  /// Stats for relation `rel_idx` after applying its pushed-down filters.
+  /// Run-time overrides, when present, replace the catalog-derived result.
+  Result<DerivedRel> BaseRel(int rel_idx) const;
+
+  /// Stats for relation `rel_idx` before any filters.
+  Result<DerivedRel> RawRel(int rel_idx) const;
+
+  /// Combined selectivity of the spec's filters on `rel_idx`.
+  Result<double> FilterSelectivity(int rel_idx) const;
+
+  /// Selectivity of a single filter given the column's stats (may be null).
+  static double OnePredSelectivity(const ColumnStats* cs, const FilterPred& f,
+                                   double rows);
+
+  /// Join of two derived relations over the given equi-join predicates.
+  DerivedRel Join(const DerivedRel& left, const DerivedRel& right,
+                  const std::vector<const JoinPred*>& preds) const;
+
+  /// Estimated number of groups for GROUP BY over `group_cols`.
+  static double GroupCount(const DerivedRel& input,
+                           const std::vector<std::string>& qualified_cols);
+
+ private:
+  const Catalog* catalog_;
+  const QuerySpec* spec_;
+  const BaseRelOverrides* overrides_;
+  bool histogram_joins_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_SELECTIVITY_H_

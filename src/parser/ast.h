@@ -1,0 +1,93 @@
+// Abstract syntax tree for the SQL subset.
+//
+// Grammar (informal):
+//   query      := SELECT items FROM table_ref (',' table_ref)*
+//                 [WHERE pred (AND pred)*]
+//                 [GROUP BY col (',' col)*]
+//                 [ORDER BY col [ASC|DESC] (',' ...)*]
+//                 [LIMIT n] [';']
+//   item       := col | agg '(' col ')' [AS ident] | COUNT '(' '*' ')' [AS ident]
+//   table_ref  := ident [ident]                 -- optional alias
+//   pred       := operand cmp operand | col BETWEEN lit AND lit
+//   operand    := col | literal
+//   col        := ident | ident '.' ident
+
+#ifndef REOPTDB_PARSER_AST_H_
+#define REOPTDB_PARSER_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "types/value.h"
+
+namespace reoptdb {
+
+/// Comparison operators.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Flips the operator for swapped operands (a < b  <=>  b > a).
+CmpOp FlipCmp(CmpOp op);
+
+/// Aggregate functions.
+enum class AggFunc : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// Possibly qualified column reference ("alias.col" or "col").
+struct ColumnRefAst {
+  std::string qualifier;  // empty when unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Either a column ref or a literal value.
+using OperandAst = std::variant<ColumnRefAst, Value>;
+
+/// One conjunct of the WHERE clause.
+struct PredicateAst {
+  OperandAst lhs;
+  CmpOp op = CmpOp::kEq;
+  OperandAst rhs;
+};
+
+/// One item of the SELECT list.
+struct SelectItemAst {
+  AggFunc agg = AggFunc::kNone;
+  bool count_star = false;   // COUNT(*)
+  bool star = false;         // bare '*': expand to all columns
+  ColumnRefAst column;       // unused when count_star/star
+  std::string alias;         // optional output name
+};
+
+/// A FROM-clause entry.
+struct TableRefAst {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+/// ORDER BY entry.
+struct OrderByAst {
+  ColumnRefAst column;
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmtAst {
+  std::vector<SelectItemAst> items;
+  std::vector<TableRefAst> tables;
+  std::vector<PredicateAst> predicates;  // implicitly AND-ed
+  std::vector<ColumnRefAst> group_by;
+  std::vector<OrderByAst> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_AST_H_

@@ -1,0 +1,206 @@
+#include "parser/binder.h"
+
+#include <algorithm>
+#include <map>
+
+namespace reoptdb {
+
+namespace {
+
+/// Resolution context: the bound FROM clause.
+struct Scope {
+  const Catalog* catalog;
+  std::vector<RelationRef> relations;
+  std::vector<const TableInfo*> tables;
+
+  Result<ColumnId> Resolve(const ColumnRefAst& ref) const {
+    ColumnId out;
+    int matches = 0;
+    for (size_t r = 0; r < relations.size(); ++r) {
+      if (!ref.qualifier.empty() && relations[r].alias != ref.qualifier)
+        continue;
+      Result<size_t> idx = tables[r]->schema.IndexOf(ref.name);
+      if (!idx.ok()) continue;
+      ++matches;
+      out.rel = static_cast<int>(r);
+      out.column = ref.name;
+      out.type = tables[r]->schema.column(idx.value()).type;
+    }
+    if (matches == 0)
+      return Status::BindError("column not found: " + ref.ToString());
+    if (matches > 1)
+      return Status::BindError("ambiguous column: " + ref.ToString());
+    return out;
+  }
+};
+
+bool IsNumeric(ValueType t) { return t != ValueType::kString; }
+
+Status CheckComparable(ValueType a, ValueType b, const std::string& ctx) {
+  bool ok = (a == ValueType::kString) == (b == ValueType::kString);
+  if (!ok)
+    return Status::BindError("type mismatch (string vs numeric) in " + ctx);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QuerySpec> Bind(const SelectStmtAst& stmt, const Catalog& catalog) {
+  if (stmt.tables.empty()) return Status::BindError("FROM clause is empty");
+
+  Scope scope;
+  scope.catalog = &catalog;
+  for (const TableRefAst& t : stmt.tables) {
+    ASSIGN_OR_RETURN(const TableInfo* info, catalog.Get(t.table));
+    for (const RelationRef& existing : scope.relations) {
+      if (existing.alias == t.alias)
+        return Status::BindError("duplicate table alias: " + t.alias);
+    }
+    scope.relations.push_back(RelationRef{t.alias, t.table});
+    scope.tables.push_back(info);
+  }
+
+  QuerySpec spec;
+  spec.relations = scope.relations;
+  spec.limit = stmt.limit;
+
+  // Predicates.
+  for (const PredicateAst& p : stmt.predicates) {
+    const bool lhs_col = std::holds_alternative<ColumnRefAst>(p.lhs);
+    const bool rhs_col = std::holds_alternative<ColumnRefAst>(p.rhs);
+    if (!lhs_col && !rhs_col)
+      return Status::NotSupported("constant-only predicate");
+
+    if (lhs_col && rhs_col) {
+      ASSIGN_OR_RETURN(ColumnId l, scope.Resolve(std::get<ColumnRefAst>(p.lhs)));
+      ASSIGN_OR_RETURN(ColumnId r, scope.Resolve(std::get<ColumnRefAst>(p.rhs)));
+      RETURN_IF_ERROR(CheckComparable(l.type, r.type, "predicate"));
+      if (l.rel == r.rel) {
+        FilterPred f;
+        f.rel = l.rel;
+        f.column = l.column;
+        f.op = p.op;
+        f.rhs_is_column = true;
+        f.rhs_column = r.column;
+        spec.filters.push_back(std::move(f));
+      } else {
+        if (p.op != CmpOp::kEq)
+          return Status::NotSupported(
+              "cross-relation predicates must be equi-joins");
+        JoinPred j;
+        if (l.rel < r.rel) {
+          j = JoinPred{l.rel, l.column, r.rel, r.column};
+        } else {
+          j = JoinPred{r.rel, r.column, l.rel, l.column};
+        }
+        spec.joins.push_back(std::move(j));
+      }
+      continue;
+    }
+
+    // Column vs literal (normalize: column on the left).
+    ColumnRefAst col_ref =
+        lhs_col ? std::get<ColumnRefAst>(p.lhs) : std::get<ColumnRefAst>(p.rhs);
+    Value lit = lhs_col ? std::get<Value>(p.rhs) : std::get<Value>(p.lhs);
+    CmpOp op = lhs_col ? p.op : FlipCmp(p.op);
+    ASSIGN_OR_RETURN(ColumnId c, scope.Resolve(col_ref));
+    RETURN_IF_ERROR(CheckComparable(c.type, lit.type(), "predicate"));
+    FilterPred f;
+    f.rel = c.rel;
+    f.column = c.column;
+    f.op = op;
+    f.literal = std::move(lit);
+    spec.filters.push_back(std::move(f));
+  }
+
+  // Select items ('*' expands to every column of every relation).
+  std::vector<SelectItemAst> items;
+  for (const SelectItemAst& item : stmt.items) {
+    if (!item.star) {
+      items.push_back(item);
+      continue;
+    }
+    for (size_t r = 0; r < scope.relations.size(); ++r) {
+      for (const Column& c : scope.tables[r]->schema.columns()) {
+        SelectItemAst expanded;
+        expanded.column = ColumnRefAst{scope.relations[r].alias, c.name};
+        items.push_back(std::move(expanded));
+      }
+    }
+  }
+
+  std::map<std::string, int> name_counts;
+  for (const SelectItemAst& item : items) {
+    OutputItem out;
+    out.agg = item.agg;
+    out.count_star = item.count_star;
+    if (!item.count_star) {
+      ASSIGN_OR_RETURN(out.col, scope.Resolve(item.column));
+      if (item.agg != AggFunc::kNone && item.agg != AggFunc::kCount &&
+          item.agg != AggFunc::kMin && item.agg != AggFunc::kMax &&
+          !IsNumeric(out.col.type)) {
+        return Status::BindError(std::string(AggFuncName(item.agg)) +
+                                 " requires a numeric column");
+      }
+    }
+    if (!item.alias.empty()) {
+      out.name = item.alias;
+    } else if (item.agg == AggFunc::kNone) {
+      out.name = out.col.column;
+    } else {
+      std::string base = AggFuncName(item.agg);
+      std::transform(base.begin(), base.end(), base.begin(), ::tolower);
+      out.name = base + "_" + (item.count_star ? "star" : out.col.column);
+    }
+    int n = name_counts[out.name]++;
+    if (n > 0) out.name += "_" + std::to_string(n);
+    spec.items.push_back(std::move(out));
+  }
+
+  // Group by.
+  for (const ColumnRefAst& g : stmt.group_by) {
+    ASSIGN_OR_RETURN(ColumnId c, scope.Resolve(g));
+    spec.group_by.push_back(std::move(c));
+  }
+
+  // Aggregation semantics.
+  const bool has_agg = spec.has_aggregates() || !spec.group_by.empty();
+  if (has_agg) {
+    for (const OutputItem& item : spec.items) {
+      if (item.agg != AggFunc::kNone) continue;
+      bool grouped = false;
+      for (const ColumnId& g : spec.group_by)
+        if (g == item.col) grouped = true;
+      if (!grouped)
+        return Status::BindError("column " + spec.Qualified(item.col) +
+                                 " must appear in GROUP BY");
+    }
+  }
+
+  // Order by: bind to select items by output name, or by the bare/qualified
+  // column name of a plain item.
+  for (const OrderByAst& ob : stmt.order_by) {
+    int idx = -1;
+    for (size_t i = 0; i < spec.items.size(); ++i) {
+      const OutputItem& item = spec.items[i];
+      if (ob.column.qualifier.empty() && item.name == ob.column.name) {
+        idx = static_cast<int>(i);
+        break;
+      }
+      if (item.agg == AggFunc::kNone && item.col.column == ob.column.name &&
+          (ob.column.qualifier.empty() ||
+           spec.relations[item.col.rel].alias == ob.column.qualifier)) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idx < 0)
+      return Status::BindError("ORDER BY column not in select list: " +
+                               ob.column.ToString());
+    spec.order_by.emplace_back(idx, ob.ascending);
+  }
+
+  return spec;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,23 @@
+// Binder: resolves a parsed AST against the catalog, producing a QuerySpec.
+
+#ifndef REOPTDB_PARSER_BINDER_H_
+#define REOPTDB_PARSER_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+/// Resolves names, classifies predicates into per-relation filters and
+/// equi-joins, and validates aggregation/grouping semantics.
+///
+/// Restrictions (returned as BindError / NotSupported):
+///  - cross-relation predicates must be equality joins;
+///  - with aggregation, every plain select item must appear in GROUP BY;
+///  - ORDER BY must reference select-list columns (by alias or name).
+Result<QuerySpec> Bind(const SelectStmtAst& stmt, const Catalog& catalog);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_BINDER_H_

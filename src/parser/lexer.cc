@@ -1,0 +1,178 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace reoptdb {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "SELECT", "FROM",  "WHERE", "AND",   "GROUP", "BY",    "ORDER",
+      "ASC",    "DESC",  "LIMIT", "AS",    "SUM",   "AVG",   "COUNT",
+      "MIN",    "MAX",   "BETWEEN", "NOT", "OR",    "INSERT", "INTO",
+      "VALUES", "CREATE", "TABLE", "INDEX", "ON",   "EXPLAIN", "ANALYZE",
+      "INT",    "DOUBLE", "STRING", "PRIMARY", "KEY", "DROP"};
+  return kw;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType t, size_t pos) {
+    Token tok;
+    tok.type = t;
+    tok.pos = pos;
+    out.push_back(tok);
+    return &out.back();
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string up = Upper(word);
+      Token* t;
+      if (Keywords().count(up)) {
+        t = push(TokenType::kKeyword, start);
+        t->text = up;
+      } else {
+        t = push(TokenType::kIdentifier, start);
+        t->text = Lower(word);
+      }
+      i = j;
+      continue;
+    }
+    // '-' followed by a digit always starts a negative literal: the SQL
+    // subset has no arithmetic, so '-' never means subtraction.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') {
+          if (is_float) break;
+          is_float = true;
+        }
+        ++j;
+      }
+      std::string num = sql.substr(i, j - i);
+      if (is_float) {
+        Token* t = push(TokenType::kFloat, start);
+        t->text = num;
+        t->float_value = std::stod(num);
+      } else {
+        Token* t = push(TokenType::kInteger, start);
+        t->text = num;
+        t->int_value = std::stoll(num);
+      }
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < n && sql[j] != '\'') s.push_back(sql[j++]);
+      if (j >= n)
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      Token* t = push(TokenType::kString, start);
+      t->text = std::move(s);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenType::kEof, n);
+  return out;
+}
+
+}  // namespace reoptdb

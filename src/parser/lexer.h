@@ -1,0 +1,21 @@
+// Lexer for the SQL subset.
+
+#ifndef REOPTDB_PARSER_LEXER_H_
+#define REOPTDB_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace reoptdb {
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers are lower-cased (the engine is
+/// case-insensitive, like most SQL systems).
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_LEXER_H_

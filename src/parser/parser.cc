@@ -1,0 +1,282 @@
+#include "parser/parser.h"
+
+#include "parser/lexer.h"
+
+namespace reoptdb {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Token-stream cursor with helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (Match(t)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + what + " at offset " +
+                              std::to_string(Peek().pos) + " (found '" +
+                              Peek().text + "')");
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + kw + " at offset " +
+                              std::to_string(Peek().pos));
+  }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<ColumnRefAst> ParseColumnRef(Cursor* c) {
+  if (!c->Check(TokenType::kIdentifier))
+    return Status::ParseError("expected column name at offset " +
+                              std::to_string(c->Peek().pos));
+  ColumnRefAst ref;
+  ref.name = c->Advance().text;
+  if (c->Match(TokenType::kDot)) {
+    if (!c->Check(TokenType::kIdentifier))
+      return Status::ParseError("expected column after '.'");
+    ref.qualifier = ref.name;
+    ref.name = c->Advance().text;
+  }
+  return ref;
+}
+
+Result<OperandAst> ParseOperand(Cursor* c) {
+  const Token& t = c->Peek();
+  switch (t.type) {
+    case TokenType::kInteger:
+      c->Advance();
+      return OperandAst(Value(t.int_value));
+    case TokenType::kFloat:
+      c->Advance();
+      return OperandAst(Value(t.float_value));
+    case TokenType::kString:
+      c->Advance();
+      return OperandAst(Value(t.text));
+    case TokenType::kIdentifier: {
+      ASSIGN_OR_RETURN(ColumnRefAst ref, ParseColumnRef(c));
+      return OperandAst(std::move(ref));
+    }
+    default:
+      return Status::ParseError("expected column or literal at offset " +
+                                std::to_string(t.pos));
+  }
+}
+
+Result<CmpOp> ParseCmp(Cursor* c) {
+  switch (c->Peek().type) {
+    case TokenType::kEq:
+      c->Advance();
+      return CmpOp::kEq;
+    case TokenType::kNe:
+      c->Advance();
+      return CmpOp::kNe;
+    case TokenType::kLt:
+      c->Advance();
+      return CmpOp::kLt;
+    case TokenType::kLe:
+      c->Advance();
+      return CmpOp::kLe;
+    case TokenType::kGt:
+      c->Advance();
+      return CmpOp::kGt;
+    case TokenType::kGe:
+      c->Advance();
+      return CmpOp::kGe;
+    default:
+      return Status::ParseError("expected comparison operator at offset " +
+                                std::to_string(c->Peek().pos));
+  }
+}
+
+Status ParsePredicate(Cursor* c, std::vector<PredicateAst>* out) {
+  ASSIGN_OR_RETURN(OperandAst lhs, ParseOperand(c));
+  if (c->MatchKeyword("BETWEEN")) {
+    // col BETWEEN a AND b  ->  col >= a AND col <= b
+    if (!std::holds_alternative<ColumnRefAst>(lhs))
+      return Status::ParseError("BETWEEN requires a column on the left");
+    ASSIGN_OR_RETURN(OperandAst lo, ParseOperand(c));
+    RETURN_IF_ERROR(c->ExpectKeyword("AND"));
+    ASSIGN_OR_RETURN(OperandAst hi, ParseOperand(c));
+    out->push_back(PredicateAst{lhs, CmpOp::kGe, std::move(lo)});
+    out->push_back(PredicateAst{std::move(lhs), CmpOp::kLe, std::move(hi)});
+    return Status::OK();
+  }
+  ASSIGN_OR_RETURN(CmpOp op, ParseCmp(c));
+  ASSIGN_OR_RETURN(OperandAst rhs, ParseOperand(c));
+  out->push_back(PredicateAst{std::move(lhs), op, std::move(rhs)});
+  return Status::OK();
+}
+
+Result<SelectItemAst> ParseSelectItem(Cursor* c) {
+  SelectItemAst item;
+  if (c->Match(TokenType::kStar)) {
+    item.star = true;
+    return item;
+  }
+  const Token& t = c->Peek();
+  auto agg_of = [](const std::string& kw) {
+    if (kw == "SUM") return AggFunc::kSum;
+    if (kw == "AVG") return AggFunc::kAvg;
+    if (kw == "COUNT") return AggFunc::kCount;
+    if (kw == "MIN") return AggFunc::kMin;
+    if (kw == "MAX") return AggFunc::kMax;
+    return AggFunc::kNone;
+  };
+  if (t.type == TokenType::kKeyword && agg_of(t.text) != AggFunc::kNone) {
+    item.agg = agg_of(t.text);
+    c->Advance();
+    RETURN_IF_ERROR(c->Expect(TokenType::kLParen, "'('"));
+    if (item.agg == AggFunc::kCount && c->Match(TokenType::kStar)) {
+      item.count_star = true;
+    } else {
+      ASSIGN_OR_RETURN(item.column, ParseColumnRef(c));
+    }
+    RETURN_IF_ERROR(c->Expect(TokenType::kRParen, "')'"));
+  } else {
+    ASSIGN_OR_RETURN(item.column, ParseColumnRef(c));
+  }
+  if (c->MatchKeyword("AS")) {
+    if (!c->Check(TokenType::kIdentifier))
+      return Status::ParseError("expected alias after AS");
+    item.alias = c->Advance().text;
+  }
+  return item;
+}
+
+}  // namespace
+
+Result<SelectStmtAst> ParseSelect(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Cursor c(std::move(tokens));
+  SelectStmtAst stmt;
+
+  RETURN_IF_ERROR(c.ExpectKeyword("SELECT"));
+  do {
+    ASSIGN_OR_RETURN(SelectItemAst item, ParseSelectItem(&c));
+    stmt.items.push_back(std::move(item));
+  } while (c.Match(TokenType::kComma));
+
+  RETURN_IF_ERROR(c.ExpectKeyword("FROM"));
+  do {
+    if (!c.Check(TokenType::kIdentifier))
+      return Status::ParseError("expected table name at offset " +
+                                std::to_string(c.Peek().pos));
+    TableRefAst ref;
+    ref.table = c.Advance().text;
+    ref.alias = ref.table;
+    if (c.Check(TokenType::kIdentifier)) ref.alias = c.Advance().text;
+    stmt.tables.push_back(std::move(ref));
+  } while (c.Match(TokenType::kComma));
+
+  if (c.MatchKeyword("WHERE")) {
+    do {
+      RETURN_IF_ERROR(ParsePredicate(&c, &stmt.predicates));
+    } while (c.MatchKeyword("AND"));
+  }
+
+  if (c.MatchKeyword("GROUP")) {
+    RETURN_IF_ERROR(c.ExpectKeyword("BY"));
+    do {
+      ASSIGN_OR_RETURN(ColumnRefAst ref, ParseColumnRef(&c));
+      stmt.group_by.push_back(std::move(ref));
+    } while (c.Match(TokenType::kComma));
+  }
+
+  if (c.MatchKeyword("ORDER")) {
+    RETURN_IF_ERROR(c.ExpectKeyword("BY"));
+    do {
+      OrderByAst ob;
+      ASSIGN_OR_RETURN(ob.column, ParseColumnRef(&c));
+      if (c.MatchKeyword("DESC")) {
+        ob.ascending = false;
+      } else {
+        c.MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(ob));
+    } while (c.Match(TokenType::kComma));
+  }
+
+  if (c.MatchKeyword("LIMIT")) {
+    if (!c.Check(TokenType::kInteger))
+      return Status::ParseError("expected integer after LIMIT");
+    stmt.limit = c.Advance().int_value;
+  }
+
+  c.Match(TokenType::kSemicolon);
+  if (!c.Check(TokenType::kEof))
+    return Status::ParseError("trailing tokens at offset " +
+                              std::to_string(c.Peek().pos));
+  return stmt;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset.
+
+#ifndef REOPTDB_PARSER_PARSER_H_
+#define REOPTDB_PARSER_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace reoptdb {
+
+/// Parses one SELECT statement.
+Result<SelectStmtAst> ParseSelect(const std::string& sql);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_PARSER_H_

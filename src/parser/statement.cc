@@ -1,0 +1,172 @@
+#include "parser/statement.h"
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace reoptdb {
+
+namespace {
+
+/// Minimal cursor over the token stream (statement-level grammar only).
+class Toks {
+ public:
+  explicit Toks(std::vector<Token> t) : toks_(std::move(t)) {}
+
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Advance() {
+    return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_];
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool Match(TokenType t) {
+    if (Peek().type != t) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (Match(t)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + what +
+                              " at offset " + std::to_string(Peek().pos));
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Status::ParseError(std::string("expected ") + kw + " at offset " +
+                              std::to_string(Peek().pos));
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier)
+      return Status::ParseError(std::string("expected ") + what +
+                                " at offset " + std::to_string(Peek().pos));
+    return Advance().text;
+  }
+  bool AtEnd() {
+    Match(TokenType::kSemicolon);
+    return Peek().type == TokenType::kEof;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<Statement> ParseCreate(Toks* t) {
+  if (t->MatchKeyword("TABLE")) {
+    CreateTableAst ast;
+    ASSIGN_OR_RETURN(ast.table, t->ExpectIdentifier("table name"));
+    RETURN_IF_ERROR(t->Expect(TokenType::kLParen, "'('"));
+    do {
+      Column col;
+      ASSIGN_OR_RETURN(col.name, t->ExpectIdentifier("column name"));
+      if (t->MatchKeyword("INT")) {
+        col.type = ValueType::kInt64;
+        col.avg_width = 8;
+      } else if (t->MatchKeyword("DOUBLE")) {
+        col.type = ValueType::kDouble;
+        col.avg_width = 8;
+      } else if (t->MatchKeyword("STRING")) {
+        col.type = ValueType::kString;
+        col.avg_width = 16;
+      } else {
+        return Status::ParseError("expected column type (INT/DOUBLE/STRING)");
+      }
+      if (t->MatchKeyword("PRIMARY")) {
+        RETURN_IF_ERROR(t->ExpectKeyword("KEY"));
+        ast.keys.push_back(col.name);
+      }
+      ast.columns.push_back(std::move(col));
+    } while (t->Match(TokenType::kComma));
+    RETURN_IF_ERROR(t->Expect(TokenType::kRParen, "')'"));
+    if (!t->AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(std::move(ast));
+  }
+  if (t->MatchKeyword("INDEX")) {
+    CreateIndexAst ast;
+    RETURN_IF_ERROR(t->ExpectKeyword("ON"));
+    ASSIGN_OR_RETURN(ast.table, t->ExpectIdentifier("table name"));
+    RETURN_IF_ERROR(t->Expect(TokenType::kLParen, "'('"));
+    ASSIGN_OR_RETURN(ast.column, t->ExpectIdentifier("column name"));
+    RETURN_IF_ERROR(t->Expect(TokenType::kRParen, "')'"));
+    if (!t->AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(std::move(ast));
+  }
+  return Status::ParseError("expected TABLE or INDEX after CREATE");
+}
+
+Result<Statement> ParseInsert(Toks* t) {
+  InsertAst ast;
+  RETURN_IF_ERROR(t->ExpectKeyword("INTO"));
+  ASSIGN_OR_RETURN(ast.table, t->ExpectIdentifier("table name"));
+  RETURN_IF_ERROR(t->ExpectKeyword("VALUES"));
+  do {
+    RETURN_IF_ERROR(t->Expect(TokenType::kLParen, "'('"));
+    std::vector<Value> row;
+    do {
+      const Token& tok = t->Peek();
+      switch (tok.type) {
+        case TokenType::kInteger:
+          row.push_back(Value(tok.int_value));
+          break;
+        case TokenType::kFloat:
+          row.push_back(Value(tok.float_value));
+          break;
+        case TokenType::kString:
+          row.push_back(Value(tok.text));
+          break;
+        default:
+          return Status::ParseError("expected literal in VALUES at offset " +
+                                    std::to_string(tok.pos));
+      }
+      t->Advance();
+    } while (t->Match(TokenType::kComma));
+    RETURN_IF_ERROR(t->Expect(TokenType::kRParen, "')'"));
+    ast.rows.push_back(std::move(row));
+  } while (t->Match(TokenType::kComma));
+  if (!t->AtEnd()) return Status::ParseError("trailing tokens");
+  return Statement(std::move(ast));
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  if (tokens.empty() || tokens[0].type == TokenType::kEof)
+    return Status::ParseError("empty statement");
+
+  const Token& first = tokens[0];
+  if (first.IsKeyword("SELECT")) {
+    ASSIGN_OR_RETURN(SelectStmtAst select, ParseSelect(sql));
+    return Statement(std::move(select));
+  }
+  if (first.IsKeyword("EXPLAIN")) {
+    // Re-parse everything after the EXPLAIN keyword as a SELECT.
+    if (tokens.size() < 2)
+      return Status::ParseError("expected SELECT after EXPLAIN");
+    std::string rest = sql.substr(tokens[1].pos);
+    ASSIGN_OR_RETURN(SelectStmtAst select, ParseSelect(rest));
+    return Statement(ExplainAst{std::move(select)});
+  }
+
+  Toks t(std::move(tokens));
+  if (t.MatchKeyword("CREATE")) return ParseCreate(&t);
+  if (t.MatchKeyword("INSERT")) return ParseInsert(&t);
+  if (t.MatchKeyword("DROP")) {
+    RETURN_IF_ERROR(t.ExpectKeyword("TABLE"));
+    DropTableAst ast;
+    ASSIGN_OR_RETURN(ast.table, t.ExpectIdentifier("table name"));
+    if (!t.AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(std::move(ast));
+  }
+  if (t.MatchKeyword("ANALYZE")) {
+    AnalyzeAst ast;
+    ASSIGN_OR_RETURN(ast.table, t.ExpectIdentifier("table name"));
+    if (!t.AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(std::move(ast));
+  }
+  return Status::ParseError("unrecognized statement at offset " +
+                            std::to_string(first.pos));
+}
+
+}  // namespace reoptdb

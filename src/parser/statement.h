@@ -1,0 +1,64 @@
+// Full statement grammar: DDL, DML and queries.
+//
+//   statement := select
+//              | CREATE TABLE name '(' col type [PRIMARY KEY] (',' ...)* ')'
+//              | CREATE INDEX ON name '(' column ')'
+//              | INSERT INTO name VALUES '(' literal, ... ')' (',' '(' ... ')')*
+//              | ANALYZE name
+//              | DROP TABLE name
+//              | EXPLAIN select
+//
+// Types: INT | DOUBLE | STRING.
+
+#ifndef REOPTDB_PARSER_STATEMENT_H_
+#define REOPTDB_PARSER_STATEMENT_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "types/schema.h"
+
+namespace reoptdb {
+
+struct CreateTableAst {
+  std::string table;
+  std::vector<Column> columns;       // unqualified
+  std::vector<std::string> keys;     // PRIMARY KEY columns
+};
+
+struct CreateIndexAst {
+  std::string table;
+  std::string column;
+};
+
+struct InsertAst {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct AnalyzeAst {
+  std::string table;
+};
+
+struct DropTableAst {
+  std::string table;
+};
+
+struct ExplainAst {
+  SelectStmtAst select;
+};
+
+/// Any parsed statement.
+using Statement = std::variant<SelectStmtAst, CreateTableAst, CreateIndexAst,
+                               InsertAst, AnalyzeAst, ExplainAst,
+                               DropTableAst>;
+
+/// Parses one statement of any kind.
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_STATEMENT_H_

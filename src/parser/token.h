@@ -1,0 +1,47 @@
+// Token types for the SQL subset lexer.
+
+#ifndef REOPTDB_PARSER_TOKEN_H_
+#define REOPTDB_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reoptdb {
+
+enum class TokenType : uint8_t {
+  kEof,
+  kIdentifier,  // table/column names (case preserved)
+  kKeyword,     // upper-cased SQL keyword
+  kInteger,
+  kFloat,
+  kString,   // quoted literal, quotes stripped
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kSemicolon,
+  kEq,    // =
+  kNe,    // <> or !=
+  kLt,    // <
+  kLe,    // <=
+  kGt,    // >
+  kGe,    // >=
+};
+
+/// \brief One lexical token with source position for error messages.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // identifier/keyword/literal text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t pos = 0;  // byte offset in the query string
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PARSER_TOKEN_H_

@@ -1,0 +1,147 @@
+#include "plan/physical_plan.h"
+
+#include <sstream>
+
+namespace reoptdb {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kSeqScan:
+      return "SeqScan";
+    case OpKind::kIndexScan:
+      return "IndexScan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kMergeJoin:
+      return "MergeJoin";
+    case OpKind::kIndexNLJoin:
+      return "IndexNLJoin";
+    case OpKind::kHashAggregate:
+      return "HashAggregate";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kMaterialize:
+      return "Materialize";
+    case OpKind::kStatsCollector:
+      return "StatsCollector";
+    case OpKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+std::string ScalarPred::ToString() const {
+  std::ostringstream os;
+  os << column << " " << CmpOpName(op) << " "
+     << (rhs_is_column ? rhs_column : literal.ToString());
+  return os.str();
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad << OpKindName(kind);
+  switch (kind) {
+    case OpKind::kSeqScan:
+    case OpKind::kIndexScan:
+      os << " " << table;
+      if (alias != table) os << " AS " << alias;
+      if (kind == OpKind::kIndexScan) {
+        os << " USING " << index_column;
+        if (range_lo) os << " lo=" << *range_lo;
+        if (range_hi) os << " hi=" << *range_hi;
+      }
+      break;
+    case OpKind::kIndexNLJoin:
+      os << " inner=" << table << " AS " << alias << "." << index_column;
+      break;
+    case OpKind::kMergeJoin:
+    case OpKind::kHashJoin: {
+      os << " ";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i) os << ", ";
+        os << left_keys[i] << "=" << right_keys[i];
+      }
+      break;
+    }
+    case OpKind::kHashAggregate: {
+      os << " groups=(";
+      for (size_t i = 0; i < group_cols.size(); ++i) {
+        if (i) os << ",";
+        os << group_cols[i];
+      }
+      os << ")";
+      break;
+    }
+    case OpKind::kStatsCollector: {
+      os << " [hist:";
+      for (const auto& c : collector.histogram_cols) os << " " << c;
+      os << "; uniq:";
+      for (const auto& c : collector.unique_cols) os << " " << c;
+      os << "]";
+      break;
+    }
+    default:
+      break;
+  }
+  if (!filters.empty()) {
+    os << " where";
+    for (const auto& f : filters) os << " (" << f.ToString() << ")";
+  }
+  os << "  {rows=" << est.cardinality << " pages=" << est.pages
+     << " cost=" << est.cost_total_ms << "ms";
+  if (IsMemoryConsumer()) {
+    os << " mem=" << mem_budget_pages << "/[" << min_mem_pages << ","
+       << max_mem_pages << "]pg";
+  }
+  if (observed.valid) os << " observed_rows=" << observed.cardinality;
+  os << "}\n";
+  for (const auto& c : children) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto n = std::make_unique<PlanNode>();
+  *n = PlanNode{};  // ensure defaults
+  n->kind = kind;
+  n->id = id;
+  n->output_schema = output_schema;
+  n->covers = covers;
+  n->table = table;
+  n->alias = alias;
+  n->filters = filters;
+  n->index_column = index_column;
+  n->range_lo = range_lo;
+  n->range_hi = range_hi;
+  n->left_keys = left_keys;
+  n->right_keys = right_keys;
+  n->group_cols = group_cols;
+  n->aggs = aggs;
+  n->project_cols = project_cols;
+  n->project_names = project_names;
+  n->sort_keys = sort_keys;
+  n->limit = limit;
+  n->collector = collector;
+  n->est = est;
+  n->improved = improved;
+  n->min_mem_pages = min_mem_pages;
+  n->max_mem_pages = max_mem_pages;
+  n->mem_budget_pages = mem_budget_pages;
+  for (const auto& c : children) n->children.push_back(c->Clone());
+  return n;
+}
+
+PlanNode* PlanNode::Find(int node_id) {
+  if (id == node_id) return this;
+  for (auto& c : children) {
+    PlanNode* f = c->Find(node_id);
+    if (f) return f;
+  }
+  return nullptr;
+}
+
+}  // namespace reoptdb

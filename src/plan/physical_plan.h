@@ -1,0 +1,183 @@
+// Annotated physical query execution plans.
+//
+// Requirement #1 of the Dynamic Re-Optimization algorithm: the optimizer's
+// estimates (cardinalities, sizes, costs, group counts) are embedded in the
+// plan it produces and travel with it to the execution engine. Run-time
+// observations are written back into the same nodes by the
+// statistics-collector operators.
+
+#ifndef REOPTDB_PLAN_PHYSICAL_PLAN_H_
+#define REOPTDB_PLAN_PHYSICAL_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "parser/ast.h"
+#include "plan/query_spec.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace reoptdb {
+
+enum class OpKind : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kHashJoin,       // child 0 = build (paper: "left input"), child 1 = probe
+  kMergeJoin,      // children sorted on the join keys (via kSort nodes)
+  kIndexNLJoin,    // child 0 = outer; inner is an indexed base table
+  kHashAggregate,
+  kSort,
+  kMaterialize,    // writes child output to a temp heap, then streams it
+  kStatsCollector, // streaming pass-through gathering statistics
+  kLimit,
+};
+
+const char* OpKindName(OpKind k);
+
+/// A predicate evaluated against an operator's input schema; columns are
+/// qualified names ("alias.col") resolved at operator-build time.
+struct ScalarPred {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_column = false;
+  Value literal;
+  std::string rhs_column;
+
+  std::string ToString() const;
+};
+
+/// Optimizer annotations on one plan node (the paper's "annotated query
+/// execution plan").
+struct PlanEstimates {
+  double cardinality = 0;      ///< estimated output rows
+  double avg_tuple_bytes = 0;  ///< estimated output tuple width
+  double pages = 0;            ///< estimated output size in pages
+  double cost_self_ms = 0;     ///< operator's own simulated cost
+  double cost_total_ms = 0;    ///< cumulative subtree cost
+  double num_groups = 0;       ///< aggregates: estimated group count
+  double selectivity = 1.0;    ///< filters/joins: estimated selectivity
+};
+
+/// Run-time observations for one plan edge, produced by a collector.
+struct ObservedStats {
+  bool valid = false;
+  double cardinality = 0;
+  double avg_tuple_bytes = 0;
+  /// Per-attribute statistics (qualified column name -> stats). Histograms
+  /// are built from a reservoir sample; distinct counts from an FM sketch.
+  std::map<std::string, ColumnStats> columns;
+};
+
+/// What a statistics-collector node computes (chosen by the SCIA;
+/// cardinality / average tuple size / min-max are always collected since
+/// their cost is negligible — paper Section 2.5).
+struct CollectorSpec {
+  std::vector<std::string> histogram_cols;  ///< qualified names
+  std::vector<std::string> unique_cols;     ///< qualified names
+  int num_buckets = 50;
+  size_t reservoir_capacity = 1024;  ///< one page worth of sample values
+};
+
+/// One aggregate computed by a kHashAggregate node.
+struct AggSpec {
+  AggFunc func = AggFunc::kNone;
+  bool count_star = false;
+  std::string column;  ///< qualified input column (unused for COUNT(*))
+  std::string out_name;
+  ValueType out_type = ValueType::kDouble;
+};
+
+/// \brief A node of the physical plan tree.
+struct PlanNode {
+  OpKind kind;
+  int id = -1;  ///< unique within the plan (assigned by the optimizer)
+  std::vector<std::unique_ptr<PlanNode>> children;
+  Schema output_schema;
+
+  /// QuerySpec relation ordinals covered by this subtree (drives remainder
+  /// reconstruction during plan modification).
+  std::set<int> covers;
+
+  // --- Scans (kSeqScan / kIndexScan, and the inner side of kIndexNLJoin).
+  std::string table;
+  std::string alias;
+  std::vector<ScalarPred> filters;  ///< pushed-down / residual predicates
+  std::string index_column;         ///< bare column name carrying the index
+  std::optional<int64_t> range_lo, range_hi;  ///< inclusive index bounds
+
+  // --- Joins.
+  std::vector<std::string> left_keys, right_keys;  ///< qualified names
+
+  // --- Aggregation.
+  std::vector<std::string> group_cols;  ///< qualified names
+  std::vector<AggSpec> aggs;
+
+  // --- Projection (kProject): qualified input columns and output names.
+  std::vector<std::string> project_cols;
+  std::vector<std::string> project_names;
+
+  // --- Sort keys: (output-schema column name, ascending).
+  std::vector<std::pair<std::string, bool>> sort_keys;
+
+  // --- Limit.
+  int64_t limit = -1;
+
+  // --- Statistics collection (kStatsCollector).
+  CollectorSpec collector;
+
+  // --- Annotations.
+  PlanEstimates est;       ///< the optimizer's original estimates
+  ObservedStats observed;  ///< run-time observations (collectors)
+  /// Estimates recomputed from run-time observations ("improved estimates",
+  /// paper Section 2.2). Initialized to `est`; refreshed after each stage.
+  PlanEstimates improved;
+
+  // --- Memory (memory-consuming operators only).
+  double min_mem_pages = 0;
+  double max_mem_pages = 0;
+  double mem_budget_pages = 0;  ///< assigned by the MemoryManager
+
+  /// True for operators with a blocking phase that defines a scheduler
+  /// stage boundary (hash-join build, aggregate absorb, sort, materialize).
+  bool IsBlocking() const {
+    return kind == OpKind::kHashJoin || kind == OpKind::kHashAggregate ||
+           kind == OpKind::kSort || kind == OpKind::kMaterialize;
+  }
+
+  bool IsMemoryConsumer() const {
+    return kind == OpKind::kHashJoin || kind == OpKind::kHashAggregate ||
+           kind == OpKind::kSort;
+  }
+
+  /// Pretty-printed tree with annotations (EXPLAIN output).
+  std::string ToString(int indent = 0) const;
+
+  /// Deep copy (estimates included, observations reset).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Finds a node by id (nullptr when absent).
+  PlanNode* Find(int node_id);
+
+  /// Visits nodes in post-order.
+  template <typename F>
+  void PostOrder(F&& f) {
+    for (auto& c : children) c->PostOrder(f);
+    f(this);
+  }
+  template <typename F>
+  void PostOrder(F&& f) const {
+    for (const auto& c : children) c->PostOrder(f);
+    f(this);
+  }
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PLAN_PHYSICAL_PLAN_H_

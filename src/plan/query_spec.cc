@@ -1,0 +1,63 @@
+#include "plan/query_spec.h"
+
+#include <sstream>
+
+namespace reoptdb {
+
+std::string QuerySpec::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ", ";
+    const OutputItem& it = items[i];
+    if (it.agg != AggFunc::kNone) {
+      os << AggFuncName(it.agg) << "(";
+      os << (it.count_star ? "*" : Qualified(it.col));
+      os << ")";
+      os << " AS " << it.name;
+    } else {
+      os << Qualified(it.col);
+    }
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i) os << ", ";
+    os << relations[i].table;
+    if (relations[i].alias != relations[i].table) os << " " << relations[i].alias;
+  }
+  bool first = true;
+  auto conj = [&]() -> std::ostream& {
+    os << (first ? " WHERE " : " AND ");
+    first = false;
+    return os;
+  };
+  for (const FilterPred& f : filters) {
+    conj() << relations[f.rel].alias << "." << f.column << " "
+           << CmpOpName(f.op) << " "
+           << (f.rhs_is_column
+                   ? relations[f.rel].alias + "." + f.rhs_column
+                   : f.literal.ToString());
+  }
+  for (const JoinPred& j : joins) {
+    conj() << relations[j.left_rel].alias << "." << j.left_col << " = "
+           << relations[j.right_rel].alias << "." << j.right_col;
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << Qualified(group_by[i]);
+    }
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) os << ", ";
+      os << items[order_by[i].first].name << (order_by[i].second ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace reoptdb

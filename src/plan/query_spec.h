@@ -1,0 +1,91 @@
+// QuerySpec: a bound, validated query — the optimizer's input.
+//
+// Mid-query re-optimization round-trips through this form: the remainder of
+// a partially executed query is expressed as a new QuerySpec over a temp
+// table, rendered to SQL (ToSql), and re-submitted through the parser and
+// optimizer like a regular query (the paper's Fig. 6 strategy).
+
+#ifndef REOPTDB_PLAN_QUERY_SPEC_H_
+#define REOPTDB_PLAN_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+#include "types/value.h"
+
+namespace reoptdb {
+
+/// A FROM-clause relation: catalog table plus the alias used in the query.
+struct RelationRef {
+  std::string alias;
+  std::string table;
+};
+
+/// A resolved column: relation ordinal plus bare column name.
+struct ColumnId {
+  int rel = -1;
+  std::string column;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const ColumnId& o) const {
+    return rel == o.rel && column == o.column;
+  }
+};
+
+/// Single-relation predicate: `col op literal`, or `col op col2` with both
+/// columns from the same relation.
+struct FilterPred {
+  int rel = -1;
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_column = false;
+  Value literal;           // when !rhs_is_column
+  std::string rhs_column;  // when rhs_is_column (same relation)
+};
+
+/// Equi-join predicate between two relations (canonical: left_rel < right_rel).
+struct JoinPred {
+  int left_rel = -1;
+  std::string left_col;
+  int right_rel = -1;
+  std::string right_col;
+};
+
+/// One SELECT-list item (plain column or aggregate).
+struct OutputItem {
+  AggFunc agg = AggFunc::kNone;
+  bool count_star = false;
+  ColumnId col;       // unused when count_star
+  std::string name;   // output column name
+};
+
+/// \brief A bound query.
+struct QuerySpec {
+  std::vector<RelationRef> relations;
+  std::vector<FilterPred> filters;
+  std::vector<JoinPred> joins;
+  std::vector<OutputItem> items;
+  std::vector<ColumnId> group_by;
+  /// (index into items, ascending).
+  std::vector<std::pair<int, bool>> order_by;
+  int64_t limit = -1;
+
+  bool has_aggregates() const {
+    for (const OutputItem& it : items)
+      if (it.agg != AggFunc::kNone) return true;
+    return false;
+  }
+
+  /// Qualified name "alias.column" for display / SQL generation.
+  std::string Qualified(const ColumnId& c) const {
+    return relations[c.rel].alias + "." + c.column;
+  }
+
+  /// Renders the spec back to SQL text.
+  std::string ToSql() const;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_PLAN_QUERY_SPEC_H_

@@ -1,0 +1,500 @@
+#include "reopt/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "exec/scheduler.h"
+#include "memory/memory_manager.h"
+#include "optimizer/remainder_sql.h"
+#include "optimizer/selectivity.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+const char* ReoptModeName(ReoptMode mode) {
+  switch (mode) {
+    case ReoptMode::kOff:
+      return "off";
+    case ReoptMode::kMemoryOnly:
+      return "memory-only";
+    case ReoptMode::kPlanOnly:
+      return "plan-only";
+    case ReoptMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+double PagesOf(double rows, double bytes) {
+  return std::max(1.0, std::ceil(rows * (bytes + 4.0) / (kPageSize * 0.95)));
+}
+
+/// Operator self-cost from a given set of input/output estimates and the
+/// actual memory budget.
+double SelfCost(const PlanNode& n, const CostModel& cost, bool improved) {
+  auto in = [&](size_t i) -> const PlanEstimates& {
+    return improved ? n.children[i]->improved : n.children[i]->est;
+  };
+  const PlanEstimates& out = improved ? n.improved : n.est;
+  double mem = n.mem_budget_pages > 0 ? n.mem_budget_pages : 64;
+  switch (n.kind) {
+    case OpKind::kSeqScan:
+    case OpKind::kIndexScan:
+      // Scan cost is dominated by the (fixed) table size; for index scans
+      // the match count could shift, but collectors sit above scans so the
+      // original estimate is the best available.
+      return n.est.cost_self_ms;
+    case OpKind::kHashJoin: {
+      int passes = 0;
+      return cost.HashJoin(in(0).cardinality, in(0).pages, in(1).cardinality,
+                           in(1).pages, mem, out.cardinality, &passes);
+    }
+    case OpKind::kMergeJoin:
+      return cost.MergeJoin(in(0).cardinality, in(1).cardinality,
+                            out.cardinality);
+    case OpKind::kIndexNLJoin: {
+      // Probe cost scales linearly with the outer cardinality.
+      double base = std::max(1e-9, n.est.cost_self_ms);
+      double est_outer = std::max(1.0, n.children[0]->est.cardinality);
+      return base * (in(0).cardinality / est_outer);
+    }
+    case OpKind::kHashAggregate: {
+      double groups = out.num_groups > 0 ? out.num_groups : out.cardinality;
+      double group_bytes = n.output_schema.AvgTupleBytes() + 96;
+      return cost.HashAggregate(in(0).cardinality, in(0).pages, groups,
+                                group_bytes, mem);
+    }
+    case OpKind::kSort:
+      return cost.Sort(in(0).cardinality, in(0).pages, mem);
+    case OpKind::kMaterialize:
+      return cost.Materialize(in(0).pages);
+    case OpKind::kStatsCollector: {
+      int nstats = static_cast<int>(n.collector.histogram_cols.size() +
+                                    n.collector.unique_cols.size());
+      return cost.Collector(in(0).cardinality, nstats);
+    }
+    default:
+      return n.est.cost_self_ms;
+  }
+}
+
+}  // namespace
+
+void RecostWithBudgets(PlanNode* root, const CostModel& cost) {
+  root->PostOrder([&](PlanNode* n) {
+    n->est.cost_self_ms = SelfCost(*n, cost, /*improved=*/false);
+    double total = n->est.cost_self_ms;
+    for (auto& c : n->children) total += c->est.cost_total_ms;
+    n->est.cost_total_ms = total;
+    n->improved = n->est;
+  });
+}
+
+void RefreshImprovedEstimates(PlanNode* root, const CostModel& cost) {
+  root->PostOrder([&](PlanNode* n) {
+    PlanEstimates imp = n->est;
+    if (n->children.empty()) {
+      // Base scans: collectors sit above them and also write into the scan
+      // node's `observed`.
+      if (n->observed.valid) {
+        imp.cardinality = n->observed.cardinality;
+        if (n->observed.avg_tuple_bytes > 0)
+          imp.avg_tuple_bytes = n->observed.avg_tuple_bytes;
+      }
+    } else if (n->observed.valid) {
+      imp.cardinality = n->observed.cardinality;
+      if (n->observed.avg_tuple_bytes > 0)
+        imp.avg_tuple_bytes = n->observed.avg_tuple_bytes;
+    } else {
+      // Scale the estimate by the children's improvement ratios.
+      double ratio = 1.0;
+      for (auto& c : n->children) {
+        double est_card = std::max(1.0, c->est.cardinality);
+        ratio *= std::max(1e-6, c->improved.cardinality) / est_card;
+      }
+      imp.cardinality = std::max(1.0, n->est.cardinality * ratio);
+    }
+    // Aggregates: refine the group count from observed unique values of
+    // the group columns when available.
+    if (n->kind == OpKind::kHashAggregate && !n->children.empty()) {
+      const PlanNode& child = *n->children[0];
+      double groups = n->est.num_groups;
+      if (child.observed.valid && !n->group_cols.empty()) {
+        double product = 1;
+        bool all = true;
+        for (const std::string& g : n->group_cols) {
+          auto it = child.observed.columns.find(g);
+          if (it == child.observed.columns.end() || it->second.distinct <= 0) {
+            all = false;
+            break;
+          }
+          product *= it->second.distinct;
+        }
+        if (all) groups = product;
+      }
+      groups = std::min(std::max(1.0, groups),
+                        std::max(1.0, child.improved.cardinality));
+      imp.num_groups = groups;
+      if (!n->observed.valid) imp.cardinality = groups;
+    }
+    imp.pages = PagesOf(imp.cardinality, imp.avg_tuple_bytes);
+    n->improved = imp;
+    n->improved.cost_self_ms = SelfCost(*n, cost, /*improved=*/true);
+    double total = n->improved.cost_self_ms;
+    for (auto& c : n->children) total += c->improved.cost_total_ms;
+    n->improved.cost_total_ms = total;
+  });
+}
+
+BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
+                                         const QuerySpec& spec,
+                                         const Catalog& catalog) {
+  BaseRelOverrides overrides;
+  root.PostOrder([&](const PlanNode* n) {
+    if (n->kind != OpKind::kSeqScan && n->kind != OpKind::kIndexScan) return;
+    if (!n->observed.valid) return;
+    DerivedRel rel;
+    rel.rows = std::max(1.0, n->observed.cardinality);
+    rel.avg_tuple_bytes = n->observed.avg_tuple_bytes > 0
+                              ? n->observed.avg_tuple_bytes
+                              : n->est.avg_tuple_bytes;
+    // Base: catalog column stats (capped); overlay: observations.
+    Result<const TableInfo*> info = catalog.Get(n->table);
+    if (info.ok()) {
+      for (const Column& c : info.value()->schema.columns()) {
+        ColumnStats cs;
+        const ColumnStats* base = info.value()->stats.Find(c.name);
+        if (base) {
+          cs = *base;
+        } else {
+          cs.type = c.type;
+          cs.avg_width = c.avg_width;
+        }
+        if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, rel.rows);
+        rel.cols[n->alias + "." + c.name] = std::move(cs);
+      }
+    }
+    for (const auto& [qualified, cs] : n->observed.columns) {
+      ColumnStats& dst = rel.cols[qualified];
+      if (cs.has_bounds) {
+        dst.has_bounds = true;
+        dst.min = cs.min;
+        dst.max = cs.max;
+      }
+      if (cs.distinct > 0) dst.distinct = std::min(cs.distinct, rel.rows);
+      if (cs.has_histogram()) dst.histogram = cs.histogram;
+    }
+    overrides[n->alias] = std::move(rel);
+  });
+  return overrides;
+}
+
+TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
+                          const Catalog& catalog) {
+  TableStats ts;
+  ts.analyzed = true;
+  ts.row_count = std::max(1.0, frontier.improved.cardinality);
+  ts.avg_tuple_bytes = frontier.improved.avg_tuple_bytes;
+  ts.page_count = frontier.improved.pages;
+
+  for (const Column& col : frontier.output_schema.columns()) {
+    const std::string qualified = col.qualifier + "." + col.name;
+    ColumnStats cs;
+    cs.type = col.type;
+    cs.avg_width = col.avg_width;
+
+    // Prefer the shallowest observed statistic in the subtree (closest to
+    // the frontier's output distribution).
+    const ColumnStats* found = nullptr;
+    frontier.PostOrder([&](const PlanNode* n) {
+      if (!n->observed.valid) return;
+      auto it = n->observed.columns.find(qualified);
+      if (it != n->observed.columns.end()) found = &it->second;
+    });
+    if (found != nullptr) {
+      cs = *found;
+    } else {
+      // Fall back to the base table's catalog statistics.
+      for (const RelationRef& r : spec.relations) {
+        if (r.alias != col.qualifier) continue;
+        Result<const TableInfo*> info = catalog.Get(r.table);
+        if (!info.ok()) break;
+        const ColumnStats* base = info.value()->stats.Find(col.name);
+        if (base != nullptr) cs = *base;
+        break;
+      }
+    }
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, ts.row_count);
+    ts.columns[TempColumnName(col.qualifier, col.name)] = std::move(cs);
+  }
+  return ts;
+}
+
+Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
+                                                    ExecContext* ctx,
+                                                    std::vector<Tuple>* rows,
+                                                    Schema* out_schema) {
+  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
+  ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+  ctx->ChargeExternalMs(opt.sim_opt_time_ms);
+  return ExecuteWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
+                         out_schema);
+}
+
+Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
+    QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
+    std::vector<Tuple>* rows, Schema* out_schema) {
+  ExecutionReport report;
+  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
+
+  if (opts_.mode != ReoptMode::kOff) {
+    SciaOptions scia;
+    scia.mu = opts_.mu;
+    scia.histogram_buckets = opts_.histogram_buckets;
+    scia.reservoir_capacity = opts_.reservoir_capacity;
+    ASSIGN_OR_RETURN(SciaResult sres, InsertStatsCollectors(
+                                          &plan, spec, *catalog_, *cost_, scia));
+    report.collectors_inserted = sres.collectors_inserted;
+  }
+
+  MemoryManager mm(cost_, query_mem_pages_);
+  std::set<int> started;
+  mm.Allocate(plan.get(), started);
+  RecostWithBudgets(plan.get(), *cost_);
+  report.plan_before = plan->ToString();
+  report.estimated_cost_ms = plan->est.cost_total_ms;
+  if (out_schema) *out_schema = plan->output_schema;
+
+  std::vector<std::string> temp_tables;
+  bool finished = false;
+
+  // Section 2.3 extension: react to collector completions immediately,
+  // not just at stage boundaries. Operators re-read their budgets while
+  // running, so an in-flight build can pick up extra memory.
+  if (opts_.mid_execution_memory &&
+      (opts_.mode == ReoptMode::kMemoryOnly ||
+       opts_.mode == ReoptMode::kFull)) {
+    live_plan_slot_ = std::make_shared<PlanNode*>(nullptr);
+    std::shared_ptr<PlanNode*> live_plan = live_plan_slot_;
+    ctx->SetCollectorHook([this, ctx, live_plan,
+                           &mm](PlanNode* collector) {
+      PlanNode* root = *live_plan;
+      if (root == nullptr || root->Find(collector->id) != collector) return;
+      RefreshImprovedEstimates(root, *cost_);
+      std::set<int> no_frozen;  // running operators may respond mid-flight
+      if (mm.Allocate(root, no_frozen)) {
+        ctx->AddEvent("mid-execution memory response after collector " +
+                      std::to_string(collector->id));
+      }
+    });
+    // The hook needs the current root even after plan switches.
+    ctx->AddEvent("mid-execution memory response enabled");
+  }
+
+  while (!finished) {
+    if (live_plan_slot_) *live_plan_slot_ = plan.get();
+    ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
+                     PipelineExecutor::Create(ctx, plan.get()));
+    RETURN_IF_ERROR(exec->Open());
+    bool switched = false;
+
+    while (exec->HasMoreStages()) {
+      ASSIGN_OR_RETURN(PipelineExecutor::StageResult stage,
+                       exec->RunNextStage(rows));
+      if (stage.stage_node) started.insert(stage.stage_node->id);
+      for (PlanNode* c : stage.new_collectors) {
+        report.edges.push_back(EdgeComparison{
+            c->id, c->est.cardinality, c->observed.cardinality});
+      }
+      if (stage.finished) {
+        finished = true;
+        break;
+      }
+      if (opts_.mode == ReoptMode::kOff || stage.new_collectors.empty())
+        continue;
+
+      RefreshImprovedEstimates(plan.get(), *cost_);
+
+      // Dynamic memory re-allocation for operators that have not started.
+      // The new allocation is kept only if it improves the (improved)
+      // estimated total — "overall performance is expected to improve
+      // since the new memory allocation is based on improved estimates".
+      if (opts_.mode == ReoptMode::kMemoryOnly ||
+          opts_.mode == ReoptMode::kFull) {
+        std::map<int, double> snapshot;
+        plan->PostOrder([&](PlanNode* n) {
+          if (n->IsMemoryConsumer()) snapshot[n->id] = n->mem_budget_pages;
+        });
+        double before = plan->improved.cost_total_ms;
+        if (mm.Allocate(plan.get(), started)) {
+          RefreshImprovedEstimates(plan.get(), *cost_);
+          // Keep the new allocation only with a clear improvement margin —
+          // estimate noise should not shuffle budgets back and forth.
+          if (plan->improved.cost_total_ms < before * 0.98) {
+            ++report.memory_reallocations;
+            ctx->AddEvent("memory re-allocated after collector feedback");
+          } else {
+            plan->PostOrder([&](PlanNode* n) {
+              auto it = snapshot.find(n->id);
+              if (it != snapshot.end()) n->mem_budget_pages = it->second;
+            });
+            RefreshImprovedEstimates(plan.get(), *cost_);
+          }
+        }
+      }
+
+      // Query plan modification.
+      if ((opts_.mode != ReoptMode::kPlanOnly &&
+           opts_.mode != ReoptMode::kFull) ||
+          report.plans_switched >= opts_.max_plan_switches ||
+          stage.stage_node == nullptr) {
+        continue;
+      }
+      PlanNode* frontier = stage.stage_node;
+      // Nothing left to re-order when the frontier already covers every
+      // relation.
+      if (frontier->covers.size() >= spec.relations.size()) continue;
+
+      const double work_done =
+          std::max(0.0, ctx->SimElapsedMs() - ctx->external_ms());
+      const double rem_cur = std::max(
+          1e-3, plan->improved.cost_total_ms - work_done);
+
+      // Eq. (2): is the current plan likely sub-optimal?
+      const double t_est = std::max(1e-9, plan->est.cost_total_ms);
+      const double degradation =
+          (plan->improved.cost_total_ms - plan->est.cost_total_ms) / t_est;
+      ctx->AddEvent("eq2 check after stage " +
+                    std::to_string(frontier->id) + ": improved=" +
+                    std::to_string(plan->improved.cost_total_ms) + " est=" +
+                    std::to_string(plan->est.cost_total_ms) +
+                    " degradation=" + std::to_string(degradation));
+      if (degradation <= opts_.theta2) continue;
+
+      // Eq. (1): is re-optimization cheap relative to what remains?
+      const int remainder_rels = static_cast<int>(
+          spec.relations.size() - frontier->covers.size() + 1);
+      const double t_opt_est =
+          calibration_ ? calibration_->EstimateOptTimeMs(remainder_rels)
+                       : cost_->params().t_opt_per_plan_ms * 256;
+      if (t_opt_est > opts_.theta1 * rem_cur) continue;
+
+      // Re-invoke the optimizer on the remainder over a (virtual) temp.
+      ++report.reopts_considered;
+      std::string temp_name = catalog_->NextTempName();
+      Schema temp_schema = TempTableSchema(temp_name, frontier->output_schema);
+      ASSIGN_OR_RETURN(TableInfo * temp_info,
+                       catalog_->CreateTable(temp_name, temp_schema,
+                                             /*is_temp=*/true));
+      RETURN_IF_ERROR(
+          catalog_->SetStats(temp_name, BuildTempStats(*frontier, spec,
+                                                       *catalog_)));
+      ASSIGN_OR_RETURN(QuerySpec remainder,
+                       BuildRemainderSpec(spec, frontier->covers, temp_name));
+
+      // Re-invoke the optimizer with the new statistics: observed base
+      // relation stats override the (possibly stale) catalog.
+      BaseRelOverrides overrides =
+          CollectBaseRelOverrides(*plan, spec, *catalog_);
+      Result<OptimizeResult> new_opt = optimizer.Plan(remainder, &overrides);
+      if (!new_opt.ok()) {
+        (void)catalog_->Drop(temp_name);
+        return new_opt.status();
+      }
+      ctx->ChargeExternalMs(new_opt->sim_opt_time_ms);
+      report.reopt_overhead_ms += new_opt->sim_opt_time_ms;
+
+      // Cost the candidate under the memory it would actually receive;
+      // comparing an optimistically costed new plan against the
+      // budget-aware improved estimate of the current plan would bias the
+      // gate toward switching.
+      {
+        std::set<int> fresh;
+        mm.Allocate(new_opt->plan.get(), fresh);
+        RecostWithBudgets(new_opt->plan.get(), *cost_);
+      }
+
+      const double finish_frontier =
+          std::max(0.0, frontier->improved.cost_total_ms - work_done);
+      const double write_cost =
+          frontier->improved.pages * cost_->params().t_io_ms;
+      const double rem_new = finish_frontier + write_cost +
+                             new_opt->plan->est.cost_total_ms + t_opt_est;
+
+      ctx->AddEvent("reopt gate: rem_cur=" + std::to_string(rem_cur) +
+                    "ms rem_new=" + std::to_string(rem_new) + "ms");
+      if (rem_new >= rem_cur) {
+        // Reject: keep the current plan; only the optimizer call was paid.
+        RETURN_IF_ERROR(catalog_->Drop(temp_name));
+        continue;
+      }
+
+      // Accept: let the in-flight operator run to completion, redirecting
+      // its output to the temp table (Fig. 6).
+      ASSIGN_OR_RETURN(uint64_t mat_rows,
+                       exec->MaterializeInto(frontier, temp_info->heap.get()));
+      ctx->AddEvent("plan switched: materialized " + std::to_string(mat_rows) +
+                    " rows into " + temp_name);
+      temp_tables.push_back(temp_name);
+
+      // Refresh the temp's stats with exact counts.
+      TableStats exact = temp_info->stats;
+      exact.row_count = static_cast<double>(mat_rows);
+      exact.page_count = static_cast<double>(temp_info->heap->page_count());
+      exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
+      RETURN_IF_ERROR(catalog_->SetStats(temp_name, std::move(exact)));
+
+      std::unique_ptr<PlanNode> new_plan = std::move(new_opt->plan);
+      if (opts_.mode == ReoptMode::kFull || opts_.mode == ReoptMode::kPlanOnly) {
+        SciaOptions scia;
+        scia.mu = opts_.mu;
+        scia.histogram_buckets = opts_.histogram_buckets;
+        scia.reservoir_capacity = opts_.reservoir_capacity;
+        ASSIGN_OR_RETURN(
+            SciaResult sres,
+            InsertStatsCollectors(&new_plan, remainder, *catalog_, *cost_,
+                                  scia));
+        report.collectors_inserted += sres.collectors_inserted;
+      }
+      started.clear();
+      mm.Allocate(new_plan.get(), started);
+      RecostWithBudgets(new_plan.get(), *cost_);
+
+      RETURN_IF_ERROR(exec->Close());
+      spec = std::move(remainder);
+      plan = std::move(new_plan);
+      ++report.plans_switched;
+      report.plan_after = plan->ToString();
+      if (out_schema) *out_schema = plan->output_schema;
+      switched = true;
+      break;
+    }
+
+    if (!switched) {
+      RETURN_IF_ERROR(exec->Close());
+      break;
+    }
+  }
+
+  if (live_plan_slot_) {
+    // Defuse the hook before the plan tree dies (error paths included:
+    // the shared slot is nulled so a late notification is a no-op).
+    *live_plan_slot_ = nullptr;
+    ctx->SetCollectorHook(nullptr);
+    live_plan_slot_.reset();
+  }
+
+  for (const std::string& t : temp_tables) RETURN_IF_ERROR(catalog_->Drop(t));
+
+  report.sim_time_ms = ctx->SimElapsedMs();
+  report.page_ios = ctx->PageIos();
+  report.output_rows = rows ? rows->size() : 0;
+  for (const std::string& e : ctx->events()) report.events.push_back(e);
+  return report;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,157 @@
+// Dynamic Re-Optimization controller (the paper's core contribution,
+// Sections 2.4-2.6 and 3.1).
+//
+// Drives stage-by-stage execution. When statistics collectors complete, it
+// refreshes the "improved estimates", re-invokes the memory manager for
+// operators that have not started, and applies the re-optimization gate:
+//
+//   Eq. (1): do not re-invoke the optimizer unless its estimated cost is at
+//            most theta1 of the improved remaining execution time;
+//   Eq. (2): only consider re-optimization when
+//            (T_improved - T_optimizer) / T_optimizer > theta2.
+//
+// When the gate fires, the remainder of the query is expressed as SQL over
+// a temp table holding the in-flight operator's output, re-optimized, and
+// the new plan is adopted only if its estimated total (re-optimization and
+// materialization overheads included) beats the improved estimate of the
+// current plan.
+
+#ifndef REOPTDB_REOPT_CONTROLLER_H_
+#define REOPTDB_REOPT_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/exec_context.h"
+#include "optimizer/calibration.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+#include "reopt/scia.h"
+
+namespace reoptdb {
+
+/// Which parts of Dynamic Re-Optimization are active (Fig. 11 isolates
+/// memory-only vs plan-modification-only).
+enum class ReoptMode : uint8_t {
+  kOff = 0,         ///< conventional execution, no collectors
+  kMemoryOnly = 1,  ///< dynamic memory re-allocation only
+  kPlanOnly = 2,    ///< plan modification only
+  kFull = 3,        ///< both (the paper's default configuration)
+};
+
+const char* ReoptModeName(ReoptMode mode);
+
+/// Dynamic Re-Optimization knobs (defaults = the paper's experiments).
+struct ReoptOptions {
+  ReoptMode mode = ReoptMode::kFull;
+  double mu = 0.05;      ///< max collection overhead fraction
+  double theta1 = 0.05;  ///< Eq. (1) optimizer-cost gate
+  double theta2 = 0.2;   ///< Eq. (2) sub-optimality indicator threshold
+  int max_plan_switches = 2;
+  /// Section 2.3 extension: when a collector finalizes mid-stage, re-run
+  /// the memory manager immediately; running operators that can respond to
+  /// budget changes (hash join builds, aggregates) pick the change up
+  /// without waiting for the stage boundary. Off by default (the paper's
+  /// base algorithm assumes allocations are fixed once an operator starts).
+  bool mid_execution_memory = false;
+  int histogram_buckets = 50;
+  size_t reservoir_capacity = 1024;
+};
+
+/// Comparison of one observed intermediate edge against the estimate.
+struct EdgeComparison {
+  int node_id = -1;
+  double estimated_rows = 0;
+  double observed_rows = 0;
+};
+
+/// What happened during one query execution.
+struct ExecutionReport {
+  double sim_time_ms = 0;        ///< total simulated execution time
+  uint64_t page_ios = 0;
+  uint64_t output_rows = 0;
+  int collectors_inserted = 0;
+  int memory_reallocations = 0;
+  int reopts_considered = 0;     ///< optimizer re-invocations mid-query
+  int plans_switched = 0;
+  double reopt_overhead_ms = 0;  ///< simulated re-optimization cost charged
+  double estimated_cost_ms = 0;  ///< the initial plan's estimated total
+  std::string plan_before;
+  std::string plan_after;        ///< empty unless a switch happened
+  std::vector<EdgeComparison> edges;
+  std::vector<std::string> events;
+};
+
+/// \brief Executes queries under Dynamic Re-Optimization.
+class DynamicReoptimizer {
+ public:
+  DynamicReoptimizer(Catalog* catalog, const CostModel* cost,
+                     const OptimizerCalibration* calibration,
+                     OptimizerOptions optimizer_opts, ReoptOptions reopt_opts,
+                     double query_mem_pages)
+      : catalog_(catalog),
+        cost_(cost),
+        calibration_(calibration),
+        optimizer_opts_(optimizer_opts),
+        opts_(reopt_opts),
+        query_mem_pages_(query_mem_pages) {}
+
+  /// Executes a bound query; appends output rows and returns the report.
+  Result<ExecutionReport> Execute(QuerySpec spec, ExecContext* ctx,
+                                  std::vector<Tuple>* rows,
+                                  Schema* out_schema);
+
+  /// Executes with a caller-supplied initial plan (e.g. one branch of a
+  /// parametric plan set — the paper's Section 4 hybrid). Takes ownership;
+  /// the plan's annotations are mutated during execution.
+  Result<ExecutionReport> ExecuteWithPlan(QuerySpec spec,
+                                          std::unique_ptr<PlanNode> plan,
+                                          ExecContext* ctx,
+                                          std::vector<Tuple>* rows,
+                                          Schema* out_schema);
+
+ private:
+  Catalog* catalog_;
+  const CostModel* cost_;
+  const OptimizerCalibration* calibration_;
+  OptimizerOptions optimizer_opts_;
+  ReoptOptions opts_;
+  double query_mem_pages_;
+  /// Shared slot holding the live plan root for the mid-execution hook;
+  /// shared_ptr so the hook closure stays valid (and harmless, pointing at
+  /// null) even if Execute unwinds early on an error.
+  std::shared_ptr<PlanNode*> live_plan_slot_;
+};
+
+/// Recomputes est.cost_self/cost_total using the actual memory budgets
+/// assigned by the MemoryManager (called once after initial allocation so
+/// the "optimizer estimate" baseline reflects real memory conditions).
+void RecostWithBudgets(PlanNode* root, const CostModel& cost);
+
+/// Propagates run-time observations upward into the `improved` annotations:
+/// observed cardinalities replace estimates where collectors reported;
+/// un-observed nodes scale by their children's improvement ratios; operator
+/// costs are recomputed with actual memory budgets (Section 2.2's
+/// "improved estimates").
+void RefreshImprovedEstimates(PlanNode* root, const CostModel& cost);
+
+/// Harvests observed base-relation statistics (post-filter cardinalities,
+/// run-time histograms, distinct counts) from a partially executed plan,
+/// keyed by alias, for feeding the re-invoked optimizer.
+BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
+                                         const QuerySpec& spec,
+                                         const Catalog& catalog);
+
+/// Builds catalog statistics for a temp table holding `frontier`'s output,
+/// using observed statistics from the subtree where available and base
+/// catalog statistics otherwise.
+TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
+                          const Catalog& catalog);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_REOPT_CONTROLLER_H_

@@ -1,0 +1,179 @@
+#include "reopt/inaccuracy.h"
+
+#include <set>
+
+namespace reoptdb {
+
+namespace {
+// Update activity above this fraction counts as "significant" and bumps
+// every potential one level.
+constexpr double kSignificantUpdateActivity = 0.1;
+}  // namespace
+
+const char* InaccuracyLevelName(InaccuracyLevel level) {
+  switch (level) {
+    case InaccuracyLevel::kLow:
+      return "low";
+    case InaccuracyLevel::kMedium:
+      return "medium";
+    case InaccuracyLevel::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+InaccuracyLevel Bump(InaccuracyLevel level) {
+  return level == InaccuracyLevel::kHigh
+             ? InaccuracyLevel::kHigh
+             : static_cast<InaccuracyLevel>(static_cast<uint8_t>(level) + 1);
+}
+
+InaccuracyLevel MaxLevel(InaccuracyLevel a, InaccuracyLevel b) {
+  return a > b ? a : b;
+}
+
+bool InaccuracyAnalyzer::ResolveBase(const std::string& qualified,
+                                     const TableInfo** table,
+                                     std::string* column) const {
+  size_t dot = qualified.find('.');
+  if (dot == std::string::npos) return false;
+  std::string alias = qualified.substr(0, dot);
+  *column = qualified.substr(dot + 1);
+  for (const RelationRef& r : spec_->relations) {
+    if (r.alias != alias) continue;
+    Result<const TableInfo*> info = catalog_->Get(r.table);
+    if (!info.ok()) return false;
+    *table = info.value();
+    return true;
+  }
+  return false;
+}
+
+InaccuracyLevel InaccuracyAnalyzer::BaseHistogramPotential(
+    const std::string& qualified) const {
+  const TableInfo* table;
+  std::string column;
+  if (!ResolveBase(qualified, &table, &column)) return InaccuracyLevel::kHigh;
+
+  InaccuracyLevel level = InaccuracyLevel::kHigh;
+  const ColumnStats* cs = table->stats.Find(column);
+  if (cs != nullptr && cs->has_histogram()) {
+    switch (cs->histogram.kind()) {
+      case HistogramKind::kMaxDiff:  // serial-family histogram
+        level = InaccuracyLevel::kLow;
+        break;
+      case HistogramKind::kEquiWidth:
+      case HistogramKind::kEquiDepth:
+        level = InaccuracyLevel::kMedium;
+        break;
+      default:
+        level = InaccuracyLevel::kHigh;
+        break;
+    }
+  }
+  if (table->stats.update_activity > kSignificantUpdateActivity)
+    level = Bump(level);
+  return level;
+}
+
+InaccuracyLevel InaccuracyAnalyzer::NodePotential(const PlanNode& node) const {
+  switch (node.kind) {
+    case OpKind::kSeqScan:
+    case OpKind::kIndexScan: {
+      if (node.filters.empty()) {
+        // Cardinality of a bare scan is exact in the catalog.
+        Result<const TableInfo*> info = catalog_->Get(node.table);
+        InaccuracyLevel level = InaccuracyLevel::kLow;
+        if (info.ok() &&
+            info.value()->stats.update_activity > kSignificantUpdateActivity)
+          level = Bump(level);
+        return level;
+      }
+      // Selection: inherit from the filtered columns' histograms; bump for
+      // multi-attribute predicates (uncaptured correlation) and for
+      // column-vs-column predicates.
+      std::set<std::string> attrs;
+      bool col_col = false;
+      InaccuracyLevel level = InaccuracyLevel::kLow;
+      for (const ScalarPred& p : node.filters) {
+        attrs.insert(p.column);
+        if (p.rhs_is_column) {
+          attrs.insert(p.rhs_column);
+          col_col = true;
+        }
+        level = MaxLevel(level, BaseHistogramPotential(p.column));
+      }
+      if (attrs.size() >= 2 || col_col) level = Bump(level);
+      return level;
+    }
+    case OpKind::kHashJoin:
+    case OpKind::kIndexNLJoin: {
+      InaccuracyLevel level = InaccuracyLevel::kLow;
+      for (const auto& c : node.children)
+        level = MaxLevel(level, NodePotential(*c));
+      // Key equi-joins propagate; non-key equi-joins bump one level.
+      bool all_keys = true;
+      for (size_t i = 0; i < node.left_keys.size(); ++i) {
+        auto is_key = [&](const std::string& qualified) {
+          const TableInfo* table;
+          std::string column;
+          if (!ResolveBase(qualified, &table, &column)) return false;
+          return table->key_columns.count(column) > 0;
+        };
+        if (!is_key(node.left_keys[i]) && !is_key(node.right_keys[i]))
+          all_keys = false;
+      }
+      if (node.kind == OpKind::kIndexNLJoin) {
+        // Inner side is a base table scanned through the index.
+        const TableInfo* table;
+        std::string column;
+        if (ResolveBase(node.right_keys[0], &table, &column) &&
+            table->stats.update_activity > kSignificantUpdateActivity) {
+          level = Bump(level);
+        }
+      }
+      return all_keys ? level : Bump(level);
+    }
+    case OpKind::kHashAggregate: {
+      // Output cardinality = number of groups: the unique-count potential
+      // of the group columns in the input.
+      InaccuracyLevel level = InaccuracyLevel::kLow;
+      for (const std::string& g : node.group_cols)
+        level = MaxLevel(level, UniquePotential(*node.children[0], g));
+      return level;
+    }
+    default: {
+      InaccuracyLevel level = InaccuracyLevel::kLow;
+      for (const auto& c : node.children)
+        level = MaxLevel(level, NodePotential(*c));
+      return level;
+    }
+  }
+}
+
+InaccuracyLevel InaccuracyAnalyzer::HistogramPotential(
+    const PlanNode& node, const std::string& qualified) const {
+  return MaxLevel(NodePotential(node), BaseHistogramPotential(qualified));
+}
+
+InaccuracyLevel InaccuracyAnalyzer::UniquePotential(
+    const PlanNode& node, const std::string& qualified) const {
+  // Low only for attributes of an unfiltered base table with a known
+  // distinct count; high at every intermediate point (paper rule).
+  if ((node.kind == OpKind::kSeqScan || node.kind == OpKind::kIndexScan) &&
+      node.filters.empty()) {
+    const TableInfo* table;
+    std::string column;
+    if (ResolveBase(qualified, &table, &column)) {
+      const ColumnStats* cs = table->stats.Find(column);
+      if (cs != nullptr && cs->distinct > 0) {
+        return table->stats.update_activity > kSignificantUpdateActivity
+                   ? InaccuracyLevel::kMedium
+                   : InaccuracyLevel::kLow;
+      }
+    }
+  }
+  return InaccuracyLevel::kHigh;
+}
+
+}  // namespace reoptdb

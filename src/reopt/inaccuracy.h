@@ -1,0 +1,74 @@
+// Inaccuracy potentials (paper Section 2.5).
+//
+// The statistics-collectors insertion algorithm assigns each candidate
+// statistic an inaccuracy potential of low / medium / high — the likelihood
+// that the optimizer's corresponding estimate is wrong — using the paper's
+// propagation rules:
+//   - base-table histogram: low for serial-family histograms (MaxDiff),
+//     medium for equi-width/equi-depth, high when absent;
+//   - unique-value counts: low only on base tables, high at any
+//     intermediate point;
+//   - significant update activity since ANALYZE bumps everything a level;
+//   - selections over a single attribute inherit the input level;
+//     multi-attribute selections (possible correlation) bump one level;
+//     user-defined predicates are always high;
+//   - equi-joins on key attributes inherit max(inputs); non-key equi-joins
+//     bump one level; non-equi-joins are high;
+//   - aggregates inherit the unique-count potential of the group columns.
+
+#ifndef REOPTDB_REOPT_INACCURACY_H_
+#define REOPTDB_REOPT_INACCURACY_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+enum class InaccuracyLevel : uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+const char* InaccuracyLevelName(InaccuracyLevel level);
+
+/// One level higher (saturating at high).
+InaccuracyLevel Bump(InaccuracyLevel level);
+
+InaccuracyLevel MaxLevel(InaccuracyLevel a, InaccuracyLevel b);
+
+/// \brief Computes inaccuracy potentials over an annotated plan.
+class InaccuracyAnalyzer {
+ public:
+  InaccuracyAnalyzer(const Catalog* catalog, const QuerySpec* spec)
+      : catalog_(catalog), spec_(spec) {}
+
+  /// Potential of the catalog histogram on a base-table column
+  /// ("alias.col"), including the update-activity bump.
+  InaccuracyLevel BaseHistogramPotential(const std::string& qualified) const;
+
+  /// Potential of the node's output-cardinality estimate.
+  InaccuracyLevel NodePotential(const PlanNode& node) const;
+
+  /// Potential of a histogram on `qualified` at the node's output: the
+  /// worse of the column's source potential and the node's own potential.
+  InaccuracyLevel HistogramPotential(const PlanNode& node,
+                                     const std::string& qualified) const;
+
+  /// Potential of the unique-value count of `qualified` at the node's
+  /// output: low only for an unfiltered base-table scan with a known
+  /// distinct count; high everywhere else.
+  InaccuracyLevel UniquePotential(const PlanNode& node,
+                                  const std::string& qualified) const;
+
+ private:
+  /// Resolves "alias.col" to the base table and bare column.
+  bool ResolveBase(const std::string& qualified, const TableInfo** table,
+                   std::string* column) const;
+
+  const Catalog* catalog_;
+  const QuerySpec* spec_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_REOPT_INACCURACY_H_

@@ -1,0 +1,176 @@
+#include "reopt/scia.h"
+
+#include <algorithm>
+#include <map>
+
+#include "optimizer/optimizer.h"
+
+namespace reoptdb {
+
+void RecomputeCostTotals(PlanNode* root) {
+  root->PostOrder([](PlanNode* n) {
+    double total = n->est.cost_self_ms;
+    for (auto& c : n->children) total += c->est.cost_total_ms;
+    n->est.cost_total_ms = total;
+  });
+}
+
+namespace {
+
+bool IsCandidateEdge(const PlanNode& n) {
+  switch (n.kind) {
+    case OpKind::kSeqScan:
+    case OpKind::kIndexScan:
+    case OpKind::kHashJoin:
+    case OpKind::kIndexNLJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Walks the plan collecting candidates; `ancestors` is the path from the
+/// root down to (excluding) `node`.
+void EnumerateCandidates(PlanNode* node, std::vector<PlanNode*>* ancestors,
+                         const InaccuracyAnalyzer& analyzer,
+                         const CostModel& cost, double root_total,
+                         std::vector<StatCandidate>* out) {
+  if (IsCandidateEdge(*node) && !ancestors->empty()) {
+    // Useful statistics: columns of this output used above.
+    std::map<std::pair<bool, std::string>, PlanNode*> wanted;  // -> consumer
+    for (auto it = ancestors->rbegin(); it != ancestors->rend(); ++it) {
+      PlanNode* a = *it;
+      auto consider = [&](bool is_hist, const std::string& col) {
+        if (!node->output_schema.Contains(col)) return;
+        auto key = std::make_pair(is_hist, col);
+        if (!wanted.count(key)) wanted[key] = a;  // nearest consumer wins
+      };
+      if (a->kind == OpKind::kHashJoin) {
+        for (const std::string& k : a->left_keys) consider(true, k);
+        for (const std::string& k : a->right_keys) consider(true, k);
+      } else if (a->kind == OpKind::kIndexNLJoin) {
+        consider(true, a->left_keys[0]);
+        for (const ScalarPred& p : a->filters) {
+          consider(true, p.column);
+          if (p.rhs_is_column) consider(true, p.rhs_column);
+        }
+      } else if (a->kind == OpKind::kHashAggregate) {
+        for (const std::string& g : a->group_cols) consider(false, g);
+      }
+    }
+    for (const auto& [key, consumer] : wanted) {
+      const auto& [is_hist, col] = key;
+      StatCandidate c;
+      c.below_node_id = node->id;
+      c.is_histogram = is_hist;
+      c.column = col;
+      c.potential = is_hist ? analyzer.HistogramPotential(*node, col)
+                            : analyzer.UniquePotential(*node, col);
+      double affected = root_total - consumer->est.cost_total_ms +
+                        consumer->est.cost_self_ms;
+      c.affected_fraction =
+          root_total > 0 ? std::clamp(affected / root_total, 0.0, 1.0) : 0;
+      c.collect_cost_ms = cost.Collector(node->est.cardinality, 1);
+      out->push_back(std::move(c));
+    }
+  }
+  ancestors->push_back(node);
+  for (auto& child : node->children)
+    EnumerateCandidates(child.get(), ancestors, analyzer, cost, root_total,
+                        out);
+  ancestors->pop_back();
+}
+
+/// Wraps candidate edges (children slots) with collector nodes.
+void InsertCollectors(
+    std::unique_ptr<PlanNode>* slot,
+    const std::map<int, std::pair<std::vector<std::string>,
+                                  std::vector<std::string>>>& stats_by_node,
+    const CostModel& cost, const SciaOptions& opts, int* inserted) {
+  PlanNode* node = slot->get();
+  // Recurse first (ids are stable during insertion: new nodes get id -1
+  // until reassignment).
+  for (auto& child : node->children)
+    InsertCollectors(&child, stats_by_node, cost, opts, inserted);
+
+  if (!IsCandidateEdge(*node)) return;
+  auto coll = std::make_unique<PlanNode>();
+  coll->kind = OpKind::kStatsCollector;
+  coll->output_schema = node->output_schema;
+  coll->covers = node->covers;
+  coll->est = node->est;
+  auto it = stats_by_node.find(node->id);
+  int nstats = 0;
+  if (it != stats_by_node.end()) {
+    coll->collector.histogram_cols = it->second.first;
+    coll->collector.unique_cols = it->second.second;
+    nstats = static_cast<int>(it->second.first.size() +
+                              it->second.second.size());
+  }
+  coll->collector.num_buckets = opts.histogram_buckets;
+  coll->collector.reservoir_capacity = opts.reservoir_capacity;
+  coll->est.cost_self_ms = cost.Collector(node->est.cardinality, nstats);
+  coll->improved = coll->est;
+  coll->children.push_back(std::move(*slot));
+  *slot = std::move(coll);
+  ++*inserted;
+}
+
+}  // namespace
+
+Result<SciaResult> InsertStatsCollectors(std::unique_ptr<PlanNode>* root,
+                                         const QuerySpec& spec,
+                                         const Catalog& catalog,
+                                         const CostModel& cost,
+                                         const SciaOptions& opts) {
+  SciaResult result;
+  InaccuracyAnalyzer analyzer(&catalog, &spec);
+  double root_total = (*root)->est.cost_total_ms;
+
+  std::vector<PlanNode*> ancestors;
+  EnumerateCandidates(root->get(), &ancestors, analyzer, cost, root_total,
+                      &result.candidates);
+
+  // Effectiveness order: higher inaccuracy potential first, then larger
+  // affected fraction. Delete from the least effective end until the total
+  // collection cost fits the mu budget.
+  std::vector<StatCandidate*> ranked;
+  double total_cost = 0;
+  for (StatCandidate& c : result.candidates) {
+    ranked.push_back(&c);
+    total_cost += c.collect_cost_ms;
+    c.kept = true;
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const StatCandidate* a, const StatCandidate* b) {
+              if (a->potential != b->potential)
+                return a->potential < b->potential;  // least effective first
+              return a->affected_fraction < b->affected_fraction;
+            });
+  const double budget = opts.mu * root_total;
+  for (StatCandidate* c : ranked) {
+    if (total_cost <= budget) break;
+    c->kept = false;
+    total_cost -= c->collect_cost_ms;
+  }
+  result.estimated_overhead_ms = total_cost;
+
+  // Group kept statistics by edge.
+  std::map<int, std::pair<std::vector<std::string>, std::vector<std::string>>>
+      stats_by_node;
+  for (const StatCandidate& c : result.candidates) {
+    if (!c.kept) continue;
+    auto& entry = stats_by_node[c.below_node_id];
+    (c.is_histogram ? entry.first : entry.second).push_back(c.column);
+  }
+
+  InsertCollectors(root, stats_by_node, cost, opts,
+                   &result.collectors_inserted);
+  RecomputeCostTotals(root->get());
+  AssignPlanIds(root->get());
+  // Re-sync improved annotations after the structural edit.
+  (*root)->PostOrder([](PlanNode* n) { n->improved = n->est; });
+  return result;
+}
+
+}  // namespace reoptdb

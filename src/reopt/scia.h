@@ -1,0 +1,69 @@
+// Statistics-collectors insertion algorithm — SCIA (paper Section 2.5).
+//
+// Post-processes the optimizer's plan: enumerates the potentially useful
+// statistics (a histogram on an attribute used by a later join/selection; a
+// unique count on attributes grouped later), ranks them by effectiveness
+// (inaccuracy potential first, affected plan fraction second), drops the
+// least effective until the estimated collection cost fits within
+// mu x estimated query time, and inserts statistics-collector operators.
+// Cardinality / average size / min-max are collected on every intermediate
+// edge for free.
+
+#ifndef REOPTDB_REOPT_SCIA_H_
+#define REOPTDB_REOPT_SCIA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+#include "reopt/inaccuracy.h"
+
+namespace reoptdb {
+
+/// SCIA knobs.
+struct SciaOptions {
+  /// Maximum acceptable statistics-collection overhead as a fraction of
+  /// estimated query time (the paper's mu; experiments use 0.05).
+  double mu = 0.05;
+  int histogram_buckets = 50;
+  size_t reservoir_capacity = 1024;
+};
+
+/// One candidate statistic considered by the algorithm (exposed for tests
+/// and EXPLAIN-style introspection).
+struct StatCandidate {
+  int below_node_id = -1;  ///< collector goes on this node's output edge
+  bool is_histogram = false;  ///< false = unique-value count
+  std::string column;         ///< qualified name
+  InaccuracyLevel potential = InaccuracyLevel::kLow;
+  double affected_fraction = 0;  ///< of total plan cost
+  double collect_cost_ms = 0;
+  bool kept = false;
+};
+
+/// Result of the insertion pass.
+struct SciaResult {
+  int collectors_inserted = 0;
+  double estimated_overhead_ms = 0;
+  std::vector<StatCandidate> candidates;
+};
+
+/// Inserts statistics-collector nodes into `root` (mutated in place; node
+/// ids are re-assigned; cumulative cost annotations updated).
+Result<SciaResult> InsertStatsCollectors(std::unique_ptr<PlanNode>* root,
+                                         const QuerySpec& spec,
+                                         const Catalog& catalog,
+                                         const CostModel& cost,
+                                         const SciaOptions& opts);
+
+/// Recomputes est.cost_total_ms bottom-up from est.cost_self_ms (used after
+/// structural plan edits).
+void RecomputeCostTotals(PlanNode* root);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_REOPT_SCIA_H_

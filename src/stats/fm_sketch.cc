@@ -1,0 +1,43 @@
+#include "stats/fm_sketch.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace reoptdb {
+
+namespace {
+// Magic constant from Flajolet & Martin (phi correction factor).
+constexpr double kPhi = 0.77351;
+}  // namespace
+
+FmSketch::FmSketch() { Reset(); }
+
+void FmSketch::Reset() { std::memset(bitmaps_, 0, sizeof(bitmaps_)); }
+
+void FmSketch::AddHash(uint64_t hash) {
+  int map = static_cast<int>(hash & (kNumMaps - 1));
+  uint64_t rest = hash >> 6;
+  // rho = position of the lowest set bit of the remaining bits.
+  int rho = rest == 0 ? 57 : __builtin_ctzll(rest);
+  if (rho > 57) rho = 57;
+  bitmaps_[map] |= (1ULL << rho);
+}
+
+double FmSketch::Estimate() const {
+  // Average position of the lowest unset bit across bitmaps.
+  double sum_r = 0;
+  for (int i = 0; i < kNumMaps; ++i) {
+    uint64_t bm = bitmaps_[i];
+    int r = 0;
+    while (r < 58 && (bm & (1ULL << r))) ++r;
+    sum_r += r;
+  }
+  double mean_r = sum_r / kNumMaps;
+  return kNumMaps / kPhi * std::pow(2.0, mean_r);
+}
+
+void FmSketch::Merge(const FmSketch& other) {
+  for (int i = 0; i < kNumMaps; ++i) bitmaps_[i] |= other.bitmaps_[i];
+}
+
+}  // namespace reoptdb

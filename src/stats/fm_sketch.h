@@ -1,0 +1,37 @@
+// Flajolet-Martin probabilistic counting (PCSA) [6].
+//
+// Used by the statistics-collector operator to estimate the number of
+// unique values of an attribute (or attribute set) in one streaming pass —
+// the paper's "bitmap approach of [6]".
+
+#ifndef REOPTDB_STATS_FM_SKETCH_H_
+#define REOPTDB_STATS_FM_SKETCH_H_
+
+#include <cstdint>
+
+namespace reoptdb {
+
+/// \brief PCSA distinct-count sketch with 64 bitmaps.
+class FmSketch {
+ public:
+  FmSketch();
+
+  /// Adds a (pre-hashed) element.
+  void AddHash(uint64_t hash);
+
+  /// Estimated number of distinct elements seen.
+  double Estimate() const;
+
+  /// Merges another sketch (union of the underlying sets).
+  void Merge(const FmSketch& other);
+
+  void Reset();
+
+ private:
+  static constexpr int kNumMaps = 64;
+  uint64_t bitmaps_[kNumMaps];
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STATS_FM_SKETCH_H_

@@ -1,0 +1,229 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace reoptdb {
+
+const char* HistogramKindName(HistogramKind k) {
+  switch (k) {
+    case HistogramKind::kNone:
+      return "none";
+    case HistogramKind::kEquiWidth:
+      return "equi-width";
+    case HistogramKind::kEquiDepth:
+      return "equi-depth";
+    case HistogramKind::kMaxDiff:
+      return "maxdiff";
+  }
+  return "?";
+}
+
+namespace {
+
+struct DistinctFreq {
+  double value;
+  double freq;
+};
+
+std::vector<DistinctFreq> DistinctFrequencies(const std::vector<double>& sorted) {
+  std::vector<DistinctFreq> out;
+  for (double v : sorted) {
+    if (!out.empty() && out.back().value == v) {
+      out.back().freq += 1;
+    } else {
+      out.push_back({v, 1});
+    }
+  }
+  return out;
+}
+
+// Builds one bucket from a run of distinct-value frequencies [i, j).
+HistogramBucket MakeBucket(const std::vector<DistinctFreq>& df, size_t i,
+                           size_t j) {
+  HistogramBucket b;
+  b.lo = df[i].value;
+  b.hi = df[j - 1].value;
+  b.count = 0;
+  b.distinct = static_cast<double>(j - i);
+  for (size_t k = i; k < j; ++k) b.count += df[k].freq;
+  return b;
+}
+
+}  // namespace
+
+Histogram Histogram::Build(HistogramKind kind, std::vector<double> values,
+                           int num_buckets, double population) {
+  Histogram h;
+  h.kind_ = kind;
+  if (values.empty() || num_buckets <= 0 || kind == HistogramKind::kNone) {
+    h.kind_ = HistogramKind::kNone;
+    return h;
+  }
+  std::sort(values.begin(), values.end());
+  h.min_ = values.front();
+  h.max_ = values.back();
+  double scale = population / static_cast<double>(values.size());
+
+  std::vector<DistinctFreq> df = DistinctFrequencies(values);
+  size_t nb = std::min<size_t>(num_buckets, df.size());
+
+  switch (kind) {
+    case HistogramKind::kEquiWidth: {
+      double width = (h.max_ - h.min_) / static_cast<double>(nb);
+      if (width <= 0) width = 1;
+      size_t i = 0;
+      for (size_t b = 0; b < nb && i < df.size(); ++b) {
+        double hi = (b + 1 == nb) ? h.max_ : h.min_ + width * (b + 1);
+        size_t j = i;
+        while (j < df.size() && (df[j].value <= hi || b + 1 == nb)) ++j;
+        if (j == i) continue;
+        h.buckets_.push_back(MakeBucket(df, i, j));
+        i = j;
+      }
+      break;
+    }
+    case HistogramKind::kEquiDepth: {
+      double target = static_cast<double>(values.size()) / nb;
+      size_t i = 0;
+      double acc = 0;
+      size_t start = 0;
+      size_t made = 0;
+      for (i = 0; i < df.size(); ++i) {
+        acc += df[i].freq;
+        bool last_bucket = (made + 1 == nb);
+        if (!last_bucket && acc >= target) {
+          h.buckets_.push_back(MakeBucket(df, start, i + 1));
+          start = i + 1;
+          acc = 0;
+          ++made;
+        }
+      }
+      if (start < df.size()) h.buckets_.push_back(MakeBucket(df, start, df.size()));
+      break;
+    }
+    case HistogramKind::kMaxDiff: {
+      // Boundaries at the nb-1 largest adjacent frequency differences
+      // (MaxDiff(V,F) approximation; see DESIGN.md).
+      std::vector<std::pair<double, size_t>> diffs;  // (diff, boundary after i)
+      for (size_t i = 0; i + 1 < df.size(); ++i) {
+        diffs.push_back({std::fabs(df[i + 1].freq - df[i].freq), i});
+      }
+      std::sort(diffs.begin(), diffs.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::vector<size_t> bounds;
+      for (size_t k = 0; k + 1 < nb && k < diffs.size(); ++k)
+        bounds.push_back(diffs[k].second);
+      std::sort(bounds.begin(), bounds.end());
+      size_t start = 0;
+      for (size_t b : bounds) {
+        h.buckets_.push_back(MakeBucket(df, start, b + 1));
+        start = b + 1;
+      }
+      if (start < df.size())
+        h.buckets_.push_back(MakeBucket(df, start, df.size()));
+      break;
+    }
+    case HistogramKind::kNone:
+      break;
+  }
+
+  for (HistogramBucket& b : h.buckets_) {
+    b.count *= scale;
+    h.total_ += b.count;
+  }
+  return h;
+}
+
+double Histogram::EstimateLess(double v, bool inclusive) const {
+  if (empty()) return 0;
+  double acc = 0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > b.hi || (inclusive && v == b.hi)) {
+      acc += b.count;
+      continue;
+    }
+    if (v < b.lo || (!inclusive && v == b.lo)) break;
+    // Partial bucket: uniform interpolation.
+    double width = b.hi - b.lo;
+    double frac = width <= 0 ? 1.0 : (v - b.lo) / width;
+    if (inclusive && b.distinct > 0) frac += 1.0 / b.distinct;
+    frac = std::clamp(frac, 0.0, 1.0);
+    acc += b.count * frac;
+    break;
+  }
+  return acc;
+}
+
+double Histogram::EstimateEqual(double v) const {
+  if (empty()) return 0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v < b.lo || v > b.hi) continue;
+    return b.count / std::max(1.0, b.distinct);
+  }
+  return 0;
+}
+
+double Histogram::EstimateRange(double lo, bool lo_strict, double hi,
+                                bool hi_strict) const {
+  if (empty() || lo > hi) return 0;
+  double upper = EstimateLess(hi, /*inclusive=*/!hi_strict);
+  double lower = EstimateLess(lo, /*inclusive=*/lo_strict);
+  return std::max(0.0, upper - lower);
+}
+
+double Histogram::EstimateDistinct() const {
+  double d = 0;
+  for (const HistogramBucket& b : buckets_) d += b.distinct;
+  return d;
+}
+
+double Histogram::EstimateDistinctInRange(double lo, double hi) const {
+  double d = 0;
+  for (const HistogramBucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    double width = b.hi - b.lo;
+    if (width <= 0) {
+      d += b.distinct;
+      continue;
+    }
+    double olo = std::max(lo, b.lo), ohi = std::min(hi, b.hi);
+    d += b.distinct * std::max(0.0, (ohi - olo) / width);
+  }
+  return std::max(1.0, d);
+}
+
+double Histogram::EstimateEquiJoinCard(const Histogram& left,
+                                       const Histogram& right) {
+  if (left.empty() || right.empty()) return 0;
+  double total = 0;
+  for (const HistogramBucket& lb : left.buckets_) {
+    for (const HistogramBucket& rb : right.buckets_) {
+      double lo = std::max(lb.lo, rb.lo);
+      double hi = std::min(lb.hi, rb.hi);
+      if (lo > hi) continue;
+      // Fraction of each bucket falling inside the overlap (uniform
+      // spread assumption; single-value buckets overlap fully).
+      double lw = lb.hi - lb.lo, rw = rb.hi - rb.lo;
+      double lfrac = lw <= 0 ? 1.0 : std::min(1.0, (hi - lo) / lw);
+      double rfrac = rw <= 0 ? 1.0 : std::min(1.0, (hi - lo) / rw);
+      double lcnt = lb.count * lfrac;
+      double rcnt = rb.count * rfrac;
+      double ld = std::max(1.0, lb.distinct * lfrac);
+      double rd = std::max(1.0, rb.distinct * rfrac);
+      total += lcnt * rcnt / std::max(ld, rd);
+    }
+  }
+  return total;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << HistogramKindName(kind_) << "[" << buckets_.size() << " buckets, n="
+     << total_ << "]";
+  return os.str();
+}
+
+}  // namespace reoptdb

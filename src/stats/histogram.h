@@ -1,0 +1,92 @@
+// Histograms for selectivity estimation ([19] Poosala & Ioannidis family).
+//
+// Three kinds are supported, mirroring the paper's inaccuracy-potential
+// rules: equi-width and equi-depth ("medium" accuracy) and MaxDiff, the
+// serial-family histogram Paradise used ("low" inaccuracy potential).
+
+#ifndef REOPTDB_STATS_HISTOGRAM_H_
+#define REOPTDB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reoptdb {
+
+enum class HistogramKind : uint8_t {
+  kNone = 0,
+  kEquiWidth = 1,
+  kEquiDepth = 2,
+  kMaxDiff = 3,
+};
+
+const char* HistogramKindName(HistogramKind k);
+
+/// \brief One histogram bucket over a numeric domain.
+///
+/// Covers [lo, hi] (hi inclusive); `count` tuples with `distinct` distinct
+/// values assumed uniformly spread within the bucket.
+struct HistogramBucket {
+  double lo = 0;
+  double hi = 0;
+  double count = 0;
+  double distinct = 1;
+};
+
+/// \brief Numeric histogram with estimation primitives.
+///
+/// When built from a reservoir sample, counts are scaled to the full
+/// population size, matching how Paradise builds run-time histograms [19,24].
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds a histogram of `kind` with (up to) `num_buckets` buckets from
+  /// `values` (need not be sorted; a sorted copy is made). `population`
+  /// scales counts when `values` is a sample; pass values.size() when exact.
+  static Histogram Build(HistogramKind kind, std::vector<double> values,
+                         int num_buckets, double population);
+
+  HistogramKind kind() const { return kind_; }
+  bool empty() const { return buckets_.empty(); }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  double total_count() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Estimated number of tuples with value < v (or <= v).
+  double EstimateLess(double v, bool inclusive) const;
+
+  /// Estimated number of tuples with value == v.
+  double EstimateEqual(double v) const;
+
+  /// Estimated tuples in [lo, hi] with optional strict bounds.
+  double EstimateRange(double lo, bool lo_strict, double hi,
+                       bool hi_strict) const;
+
+  /// Estimated number of distinct values in the whole histogram.
+  double EstimateDistinct() const;
+
+  /// Estimated distinct values within [lo, hi].
+  double EstimateDistinctInRange(double lo, double hi) const;
+
+  std::string ToString() const;
+
+  /// Estimated equi-join result size between two histogrammed columns:
+  /// sum over overlapping bucket regions of |L||R| / max(d_L, d_R), the
+  /// containment assumption applied per region. Detects disjoint domains
+  /// (returns ~0) that the classic 1/max(V) formula cannot see.
+  static double EstimateEquiJoinCard(const Histogram& left,
+                                     const Histogram& right);
+
+ private:
+  HistogramKind kind_ = HistogramKind::kNone;
+  std::vector<HistogramBucket> buckets_;
+  double total_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STATS_HISTOGRAM_H_

@@ -1,0 +1,54 @@
+// Vitter's reservoir sampling, Algorithm R [24].
+//
+// The statistics-collector operator keeps one page worth of sample values
+// and builds run-time histograms from it, exactly as the paper's Paradise
+// implementation does (Section 3.1).
+
+#ifndef REOPTDB_STATS_RESERVOIR_H_
+#define REOPTDB_STATS_RESERVOIR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace reoptdb {
+
+/// \brief Uniform random sample of fixed capacity over a stream.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    // Reserve lazily beyond a page's worth: ANALYZE without sampling sets
+    // capacity = row count, and an eager full reservation per column would
+    // spike memory on large tables before a single row is offered.
+    sample_.reserve(std::min<size_t>(capacity, 4096));
+  }
+
+  /// Offers one stream element.
+  void Add(const T& value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    // Replace a random slot with probability capacity/seen (Algorithm R).
+    uint64_t j = rng_.NextBelow(seen_);
+    if (j < capacity_) sample_[j] = value;
+  }
+
+  uint64_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STATS_RESERVOIR_H_

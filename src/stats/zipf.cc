@@ -1,0 +1,39 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace reoptdb {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z, bool scramble,
+                                   uint64_t scramble_seed)
+    : n_(n), z_(z), scramble_(scramble), scramble_seed_(scramble_seed) {
+  assert(n > 0);
+  if (z <= 0) return;  // uniform fast path
+  cdf_.resize(n);
+  double acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), z);
+    cdf_[i] = acc;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  uint64_t rank;
+  if (cdf_.empty()) {
+    rank = rng->NextBelow(n_);
+  } else {
+    double u = rng->NextDouble();
+    rank = static_cast<uint64_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    if (rank >= n_) rank = n_ - 1;
+  }
+  if (!scramble_) return rank;
+  // Map rank through a fixed pseudo-random function; collisions are fine
+  // (the goal is only to decouple frequency rank from domain position).
+  return SplitMix64(rank ^ scramble_seed_) % n_;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,41 @@
+// Generalized Zipfian distribution [27], as used in the paper's skew
+// experiments (z = 0.3 and z = 0.6 over all non-key attributes).
+
+#ifndef REOPTDB_STATS_ZIPF_H_
+#define REOPTDB_STATS_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace reoptdb {
+
+/// \brief Samples ranks in [0, n) with P(rank i) proportional to 1/(i+1)^z.
+///
+/// z = 0 degenerates to uniform. Ranks can optionally be scrambled through a
+/// fixed pseudo-random permutation so the heavy hitters are not the smallest
+/// domain values (Paradise's generator skews frequencies, not positions).
+class ZipfDistribution {
+ public:
+  /// Precomputes the CDF for a domain of `n` values with exponent `z`.
+  ZipfDistribution(uint64_t n, double z, bool scramble = false,
+                   uint64_t scramble_seed = 0x5eedcafe);
+
+  /// Draws one rank (or scrambled value) in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t domain() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  bool scramble_;
+  uint64_t scramble_seed_;
+  std::vector<double> cdf_;  // empty when z == 0 (uniform fast path)
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STATS_ZIPF_H_

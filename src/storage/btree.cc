@@ -1,0 +1,295 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace reoptdb {
+
+namespace {
+
+// Node layout.
+//   0: u8  is_leaf
+//   2: u16 count
+//   4: u32 next-leaf (leaf) / first-child (internal)
+//   8: entries
+// Leaf entry: i64 key, u32 rid.page_ordinal, u32 rid.slot        (16 bytes)
+// Internal entry: i64 key, u32 rpage, u32 rslot, u32 child       (20 bytes)
+constexpr size_t kEntriesOff = 8;
+constexpr size_t kLeafEntryBytes = 16;
+constexpr size_t kInternalEntryBytes = 20;
+constexpr size_t kLeafCap = (kPageSize - kEntriesOff) / kLeafEntryBytes;
+constexpr size_t kInternalCap = (kPageSize - kEntriesOff) / kInternalEntryBytes;
+
+struct LeafEntry {
+  int64_t key;
+  Rid rid;
+};
+struct InternalEntry {
+  int64_t key;
+  Rid rid;
+  PageId child;
+};
+
+// Composite (key, rid) ordering.
+bool CompositeLess(int64_t ka, const Rid& ra, int64_t kb, const Rid& rb) {
+  if (ka != kb) return ka < kb;
+  return ra < rb;
+}
+
+bool IsLeaf(const Page& p) { return p.data[0] != 0; }
+uint16_t NodeCount(const Page& p) {
+  uint16_t v;
+  std::memcpy(&v, p.data + 2, sizeof(v));
+  return v;
+}
+uint32_t NodeLink(const Page& p) {
+  uint32_t v;
+  std::memcpy(&v, p.data + 4, sizeof(v));
+  return v;
+}
+void SetHeader(Page* p, bool leaf, uint16_t count, uint32_t link) {
+  p->data[0] = leaf ? 1 : 0;
+  std::memcpy(p->data + 2, &count, sizeof(count));
+  std::memcpy(p->data + 4, &link, sizeof(link));
+}
+
+LeafEntry ReadLeafEntry(const Page& p, size_t i) {
+  LeafEntry e;
+  const char* base = p.data + kEntriesOff + i * kLeafEntryBytes;
+  std::memcpy(&e.key, base, 8);
+  std::memcpy(&e.rid.page_ordinal, base + 8, 4);
+  std::memcpy(&e.rid.slot, base + 12, 4);
+  return e;
+}
+void LoadLeaf(const Page& p, std::vector<LeafEntry>* out) {
+  uint16_t n = NodeCount(p);
+  out->resize(n);
+  for (uint16_t i = 0; i < n; ++i) (*out)[i] = ReadLeafEntry(p, i);
+}
+void StoreLeaf(Page* p, const std::vector<LeafEntry>& entries, uint32_t next) {
+  SetHeader(p, /*leaf=*/true, static_cast<uint16_t>(entries.size()), next);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    char* base = p->data + kEntriesOff + i * kLeafEntryBytes;
+    std::memcpy(base, &entries[i].key, 8);
+    std::memcpy(base + 8, &entries[i].rid.page_ordinal, 4);
+    std::memcpy(base + 12, &entries[i].rid.slot, 4);
+  }
+}
+
+InternalEntry ReadInternalEntry(const Page& p, size_t i) {
+  InternalEntry e;
+  const char* base = p.data + kEntriesOff + i * kInternalEntryBytes;
+  std::memcpy(&e.key, base, 8);
+  std::memcpy(&e.rid.page_ordinal, base + 8, 4);
+  std::memcpy(&e.rid.slot, base + 12, 4);
+  std::memcpy(&e.child, base + 16, 4);
+  return e;
+}
+void LoadInternal(const Page& p, PageId* first_child,
+                  std::vector<InternalEntry>* out) {
+  *first_child = NodeLink(p);
+  uint16_t n = NodeCount(p);
+  out->resize(n);
+  for (uint16_t i = 0; i < n; ++i) (*out)[i] = ReadInternalEntry(p, i);
+}
+void StoreInternal(Page* p, PageId first_child,
+                   const std::vector<InternalEntry>& entries) {
+  SetHeader(p, /*leaf=*/false, static_cast<uint16_t>(entries.size()),
+            first_child);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    char* base = p->data + kEntriesOff + i * kInternalEntryBytes;
+    std::memcpy(base, &entries[i].key, 8);
+    std::memcpy(base + 8, &entries[i].rid.page_ordinal, 4);
+    std::memcpy(base + 12, &entries[i].rid.slot, 4);
+    std::memcpy(base + 16, &entries[i].child, 4);
+  }
+}
+
+// Child that may contain the composite (key, rid): the child of the last
+// entry whose composite is <= target, or first_child when all are greater.
+PageId PickChild(PageId first_child, const std::vector<InternalEntry>& es,
+                 int64_t key, const Rid& rid) {
+  PageId child = first_child;
+  for (const InternalEntry& e : es) {
+    if (CompositeLess(key, rid, e.key, e.rid)) break;
+    child = e.child;
+  }
+  return child;
+}
+
+}  // namespace
+
+Result<BTree> BTree::Create(BufferPool* pool) {
+  BTree tree(pool);
+  ASSIGN_OR_RETURN(auto id_page, pool->NewPage());
+  SetHeader(id_page.second, /*leaf=*/true, 0, kInvalidPageId);
+  RETURN_IF_ERROR(pool->Unpin(id_page.first, /*dirty=*/true));
+  tree.root_ = id_page.first;
+  return tree;
+}
+
+Status BTree::InsertRec(PageId node, int64_t key, const Rid& rid,
+                        std::optional<SplitResult>* split) {
+  split->reset();
+  ASSIGN_OR_RETURN(PageGuard guard, PageGuard::Fetch(pool_, node));
+
+  if (IsLeaf(*guard.page())) {
+    std::vector<LeafEntry> entries;
+    LoadLeaf(*guard.page(), &entries);
+    auto pos = std::lower_bound(
+        entries.begin(), entries.end(), LeafEntry{key, rid},
+        [](const LeafEntry& a, const LeafEntry& b) {
+          return CompositeLess(a.key, a.rid, b.key, b.rid);
+        });
+    entries.insert(pos, LeafEntry{key, rid});
+    if (entries.size() <= kLeafCap) {
+      StoreLeaf(guard.page(), entries, NodeLink(*guard.page()));
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Split: move the upper half to a new right sibling.
+    size_t mid = entries.size() / 2;
+    std::vector<LeafEntry> right_entries(entries.begin() + mid, entries.end());
+    entries.resize(mid);
+    uint32_t old_next = NodeLink(*guard.page());
+    ASSIGN_OR_RETURN(auto right, pool_->NewPage());
+    ++nodes_;
+    StoreLeaf(right.second, right_entries, old_next);
+    RETURN_IF_ERROR(pool_->Unpin(right.first, /*dirty=*/true));
+    StoreLeaf(guard.page(), entries, right.first);
+    guard.MarkDirty();
+    *split = SplitResult{right_entries[0].key, right_entries[0].rid,
+                         right.first};
+    return Status::OK();
+  }
+
+  // Internal node.
+  PageId first_child;
+  std::vector<InternalEntry> entries;
+  LoadInternal(*guard.page(), &first_child, &entries);
+  PageId child = PickChild(first_child, entries, key, rid);
+
+  std::optional<SplitResult> child_split;
+  RETURN_IF_ERROR(InsertRec(child, key, rid, &child_split));
+  if (!child_split) return Status::OK();
+
+  InternalEntry new_entry{child_split->sep_key, child_split->sep_rid,
+                          child_split->right};
+  auto pos = std::lower_bound(
+      entries.begin(), entries.end(), new_entry,
+      [](const InternalEntry& a, const InternalEntry& b) {
+        return CompositeLess(a.key, a.rid, b.key, b.rid);
+      });
+  entries.insert(pos, new_entry);
+  if (entries.size() <= kInternalCap) {
+    StoreInternal(guard.page(), first_child, entries);
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  // Split internal node: middle entry is promoted.
+  size_t mid = entries.size() / 2;
+  InternalEntry promoted = entries[mid];
+  std::vector<InternalEntry> right_entries(entries.begin() + mid + 1,
+                                           entries.end());
+  entries.resize(mid);
+  ASSIGN_OR_RETURN(auto right, pool_->NewPage());
+  ++nodes_;
+  StoreInternal(right.second, promoted.child, right_entries);
+  RETURN_IF_ERROR(pool_->Unpin(right.first, /*dirty=*/true));
+  StoreInternal(guard.page(), first_child, entries);
+  guard.MarkDirty();
+  *split = SplitResult{promoted.key, promoted.rid, right.first};
+  return Status::OK();
+}
+
+Status BTree::Insert(int64_t key, const Rid& rid) {
+  std::optional<SplitResult> split;
+  RETURN_IF_ERROR(InsertRec(root_, key, rid, &split));
+  ++entries_;
+  if (!split) return Status::OK();
+  // Grow a new root.
+  ASSIGN_OR_RETURN(auto new_root, pool_->NewPage());
+  ++nodes_;
+  std::vector<InternalEntry> entries{
+      InternalEntry{split->sep_key, split->sep_rid, split->right}};
+  StoreInternal(new_root.second, root_, entries);
+  RETURN_IF_ERROR(pool_->Unpin(new_root.first, /*dirty=*/true));
+  root_ = new_root.first;
+  ++height_;
+  return Status::OK();
+}
+
+Result<PageId> BTree::DescendToLeaf(int64_t key, const Rid& rid) const {
+  PageId node = root_;
+  while (true) {
+    ASSIGN_OR_RETURN(PageGuard guard, PageGuard::Fetch(pool_, node));
+    if (IsLeaf(*guard.page())) return node;
+    PageId first_child;
+    std::vector<InternalEntry> entries;
+    LoadInternal(*guard.page(), &first_child, &entries);
+    node = PickChild(first_child, entries, key, rid);
+  }
+}
+
+Result<BTree::Iterator> BTree::SeekAtLeast(int64_t lo) const {
+  Rid zero{0, 0};
+  ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(lo, zero));
+  Iterator it;
+  it.pool_ = pool_;
+  it.leaf_ = leaf;
+  // Position at the first entry >= (lo, zero).
+  ASSIGN_OR_RETURN(PageGuard guard, PageGuard::Fetch(pool_, leaf));
+  uint16_t n = NodeCount(*guard.page());
+  uint32_t pos = 0;
+  while (pos < n) {
+    LeafEntry e = ReadLeafEntry(*guard.page(), pos);
+    if (!CompositeLess(e.key, e.rid, lo, zero)) break;
+    ++pos;
+  }
+  it.pos_ = pos;
+  return it;
+}
+
+Result<BTree::Iterator> BTree::SeekRange(int64_t lo, int64_t hi) const {
+  ASSIGN_OR_RETURN(Iterator it, SeekAtLeast(lo));
+  it.bounded_ = true;
+  it.hi_ = hi;
+  return it;
+}
+
+Status BTree::Lookup(int64_t key, std::vector<Rid>* out) const {
+  ASSIGN_OR_RETURN(Iterator it, SeekRange(key, key));
+  int64_t k;
+  Rid rid;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&k, &rid));
+    if (!more) break;
+    out->push_back(rid);
+  }
+  return Status::OK();
+}
+
+Result<bool> BTree::Iterator::Next(int64_t* key, Rid* rid) {
+  while (true) {
+    if (leaf_ == kInvalidPageId) return false;
+    ASSIGN_OR_RETURN(PageGuard guard, PageGuard::Fetch(pool_, leaf_));
+    uint16_t n = NodeCount(*guard.page());
+    if (pos_ >= n) {
+      leaf_ = NodeLink(*guard.page());
+      pos_ = 0;
+      continue;
+    }
+    LeafEntry e = ReadLeafEntry(*guard.page(), pos_);
+    ++pos_;
+    if (bounded_ && e.key > hi_) {
+      leaf_ = kInvalidPageId;
+      return false;
+    }
+    *key = e.key;
+    *rid = e.rid;
+    return true;
+  }
+}
+
+}  // namespace reoptdb

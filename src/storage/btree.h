@@ -1,0 +1,84 @@
+// Paged B+-tree index: int64 keys -> Rids, duplicates allowed.
+//
+// Entries are made unique by using (key, rid) as the composite sort key, the
+// standard trick for secondary indexes with duplicate attribute values. All
+// node accesses go through the buffer pool, so index probes cost real
+// (simulated) I/O, with hot upper levels naturally cached.
+
+#ifndef REOPTDB_STORAGE_BTREE_H_
+#define REOPTDB_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+/// \brief B+-tree over (int64 key, Rid) composite entries.
+class BTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf).
+  static Result<BTree> Create(BufferPool* pool);
+
+  /// Inserts one entry.
+  Status Insert(int64_t key, const Rid& rid);
+
+  /// Tree height in levels (1 = root is a leaf).
+  int height() const { return height_; }
+
+  /// Number of entries.
+  uint64_t entry_count() const { return entries_; }
+
+  /// Number of pages used by the tree.
+  uint64_t node_count() const { return nodes_; }
+
+  /// \brief Forward cursor positioned by Seek*.
+  class Iterator {
+   public:
+    /// Advances to the next entry; returns false at end.
+    Result<bool> Next(int64_t* key, Rid* rid);
+
+   private:
+    friend class BTree;
+    BufferPool* pool_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    uint32_t pos_ = 0;
+    bool bounded_ = false;
+    int64_t hi_ = 0;  // inclusive upper bound when bounded_
+  };
+
+  /// Cursor at the first entry with key >= `lo`; unbounded above.
+  Result<Iterator> SeekAtLeast(int64_t lo) const;
+
+  /// Cursor over keys in [lo, hi] inclusive.
+  Result<Iterator> SeekRange(int64_t lo, int64_t hi) const;
+
+  /// Collects all rids whose key equals `key` (convenience for point probes).
+  Status Lookup(int64_t key, std::vector<Rid>* out) const;
+
+ private:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  struct SplitResult {
+    int64_t sep_key;
+    Rid sep_rid;
+    PageId right;
+  };
+
+  Status InsertRec(PageId node, int64_t key, const Rid& rid,
+                   std::optional<SplitResult>* split);
+  Result<PageId> DescendToLeaf(int64_t key, const Rid& rid) const;
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;
+  uint64_t entries_ = 0;
+  uint64_t nodes_ = 1;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STORAGE_BTREE_H_

@@ -1,0 +1,143 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <string>
+
+namespace reoptdb {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk), frames_(capacity_pages) {
+  assert(capacity_pages >= 4 && "buffer pool too small to operate");
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i)
+    free_frames_.push_back(capacity_pages - 1 - i);
+}
+
+void BufferPool::TouchLru(size_t frame_idx) {
+  auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(frame_idx);
+  lru_pos_[frame_idx] = std::prev(lru_.end());
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    size_t idx = *it;
+    Frame& f = frames_[idx];
+    if (f.pin_count > 0) continue;
+    // Evict.
+    if (f.dirty) {
+      RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.page));
+      ++stats_.dirty_evictions;
+      f.dirty = false;
+    }
+    table_.erase(f.page_id);
+    lru_.erase(it);
+    lru_pos_.erase(idx);
+    f.page_id = kInvalidPageId;
+    return idx;
+  }
+  return Status::ResourceExhausted("buffer pool: all frames pinned");
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    TouchLru(it->second);
+    ++stats_.hits;
+    return &f.page;
+  }
+  ++stats_.misses;
+  ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  RETURN_IF_ERROR(disk_->ReadPage(id, &f.page));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  table_[id] = idx;
+  TouchLru(idx);
+  return &f.page;
+}
+
+Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
+  ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  PageId id = disk_->AllocatePage();
+  Frame& f = frames_[idx];
+  f.page.Zero();
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  table_[id] = idx;
+  TouchLru(idx);
+  return std::make_pair(id, &f.page);
+}
+
+Status BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = table_.find(id);
+  if (it == table_.end())
+    return Status::Internal("unpin of non-resident page " + std::to_string(id));
+  Frame& f = frames_[it->second];
+  if (f.pin_count <= 0)
+    return Status::Internal("unpin of unpinned page " + std::to_string(id));
+  --f.pin_count;
+  f.dirty = f.dirty || dirty;
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    RETURN_IF_ERROR(disk_->WritePage(id, f.page));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, idx] : table_) {
+    Frame& f = frames_[idx];
+    if (f.dirty) {
+      RETURN_IF_ERROR(disk_->WritePage(id, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  Discard(id);
+  return disk_->FreePage(id);
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  size_t idx = it->second;
+  Frame& f = frames_[idx];
+  assert(f.pin_count == 0 && "discard of pinned page");
+  table_.erase(it);
+  auto pos = lru_pos_.find(idx);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  free_frames_.push_back(idx);
+}
+
+Result<PageGuard> PageGuard::Fetch(BufferPool* pool, PageId id) {
+  ASSIGN_OR_RETURN(Page * page, pool->FetchPage(id));
+  return PageGuard(pool, id, page);
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,130 @@
+// LRU buffer pool over the simulated disk.
+//
+// Fetches that hit the pool cost nothing; misses read from the DiskManager
+// (charged). Dirty evictions write back (charged). The pool size models the
+// paper's 32MB-per-node buffer pool, scaled with the dataset (DESIGN.md §3).
+
+#ifndef REOPTDB_STORAGE_BUFFER_POOL_H_
+#define REOPTDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+/// Buffer-pool hit/miss counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dirty_evictions = 0;
+};
+
+/// \brief Fixed-capacity page cache with LRU replacement and pin counts.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames backed by `disk`.
+  BufferPool(DiskManager* disk, size_t capacity_pages);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, loading it from disk on a miss. Returns the frame's
+  /// page bytes; valid until Unpin.
+  Result<Page*> FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and pins it (zeroed, marked dirty).
+  Result<std::pair<PageId, Page*>> NewPage();
+
+  /// Releases a pin; `dirty` marks the frame for write-back on eviction.
+  Status Unpin(PageId id, bool dirty);
+
+  /// Writes the page back if dirty (no-op when clean or absent).
+  Status FlushPage(PageId id);
+
+  /// Flushes all dirty resident pages.
+  Status FlushAll();
+
+  /// Drops the page from the pool (must be unpinned) and frees it on disk.
+  Status DeletePage(PageId id);
+
+  /// Drops the page from the pool without disk I/O (for pages about to be
+  /// freed wholesale, e.g. temp files). Page must be unpinned or absent.
+  void Discard(PageId id);
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    Page page;
+  };
+
+  /// Picks an unpinned victim frame (LRU), evicting its current page.
+  Result<size_t> GetVictimFrame();
+  void TouchLru(size_t frame_idx);
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  std::list<size_t> lru_;                     // front = least recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// \brief RAII pin guard.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    page_ = o.page_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  /// Fetches and pins `id`.
+  static Result<PageGuard> Fetch(BufferPool* pool, PageId id);
+
+  Page* page() const { return page_; }
+  PageId id() const { return id_; }
+  bool valid() const { return page_ != nullptr; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ && page_) {
+      pool_->Unpin(id_, dirty_);
+      pool_ = nullptr;
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STORAGE_BUFFER_POOL_H_

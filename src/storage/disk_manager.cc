@@ -1,0 +1,43 @@
+#include "storage/disk_manager.h"
+
+#include <string>
+
+namespace reoptdb {
+
+PageId DiskManager::AllocatePage() {
+  PageId id = next_id_++;
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  pages_.emplace(id, std::move(page));
+  ++stats_.pages_allocated;
+  return id;
+}
+
+Status DiskManager::FreePage(PageId id) {
+  auto it = pages_.find(id);
+  if (it == pages_.end())
+    return Status::IoError("free of unknown page " + std::to_string(id));
+  pages_.erase(it);
+  ++stats_.pages_freed;
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) {
+  auto it = pages_.find(id);
+  if (it == pages_.end())
+    return Status::IoError("read of unknown page " + std::to_string(id));
+  *out = *it->second;
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  auto it = pages_.find(id);
+  if (it == pages_.end())
+    return Status::IoError("write of unknown page " + std::to_string(id));
+  *it->second = page;
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,71 @@
+// Simulated disk with exact I/O accounting.
+//
+// The paper's measurements (SIGMOD'98 hardware) are dominated by page I/O:
+// one-pass vs. two-pass hash joins, extra materializations, wrong join
+// orders. We therefore simulate the disk: pages live in host memory, and
+// every page read/write increments counters that the cost model converts
+// into deterministic "simulated milliseconds". This reproduces the paper's
+// result *shapes* independent of 2026 hardware (see DESIGN.md §3).
+
+#ifndef REOPTDB_STORAGE_DISK_MANAGER_H_
+#define REOPTDB_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+/// Monotonic counters of disk traffic.
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+  uint64_t pages_freed = 0;
+
+  DiskStats operator-(const DiskStats& o) const {
+    return DiskStats{page_reads - o.page_reads, page_writes - o.page_writes,
+                     pages_allocated - o.pages_allocated,
+                     pages_freed - o.pages_freed};
+  }
+};
+
+/// \brief Allocates, reads and writes simulated pages.
+///
+/// Single-threaded; the engine is a single-query-at-a-time system, like the
+/// per-node data server in Paradise.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a zeroed page and returns its id.
+  PageId AllocatePage();
+
+  /// Releases a page's storage. Reading a freed page is an error.
+  Status FreePage(PageId id);
+
+  /// Copies the page contents into `*out`, charging one read.
+  Status ReadPage(PageId id, Page* out);
+
+  /// Copies `page` to the simulated disk, charging one write.
+  Status WritePage(PageId id, const Page& page);
+
+  const DiskStats& stats() const { return stats_; }
+
+  /// Number of live (allocated, not freed) pages.
+  size_t live_pages() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+  PageId next_id_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STORAGE_DISK_MANAGER_H_

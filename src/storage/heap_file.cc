@@ -1,0 +1,172 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+#include <string>
+
+namespace reoptdb {
+
+namespace slotted {
+
+// Layout: [u16 count][u16 free_end] [slot0 off,len][slot1 off,len]...
+// Tuple payloads grow downward from the end of the page; free_end is the
+// lowest byte used by payload data (kPageSize when empty).
+
+namespace {
+constexpr size_t kHeaderBytes = 4;
+constexpr size_t kSlotBytes = 4;
+
+uint16_t ReadU16(const Page& p, size_t off) {
+  uint16_t v;
+  std::memcpy(&v, p.data + off, sizeof(v));
+  return v;
+}
+void WriteU16(Page* p, size_t off, uint16_t v) {
+  std::memcpy(p->data + off, &v, sizeof(v));
+}
+}  // namespace
+
+uint16_t Count(const Page& p) { return ReadU16(p, 0); }
+
+Result<uint32_t> Insert(Page* p, const std::string& payload) {
+  uint16_t count = ReadU16(*p, 0);
+  uint16_t free_end = ReadU16(*p, 2);
+  if (free_end == 0) free_end = static_cast<uint16_t>(kPageSize);  // fresh page
+
+  size_t slots_end = kHeaderBytes + kSlotBytes * (count + 1);
+  if (payload.size() > kPageSize - kHeaderBytes - kSlotBytes)
+    return Status::InvalidArgument("tuple larger than a page");
+  if (slots_end + payload.size() > free_end)
+    return Status::NotSupported("page full");
+
+  uint16_t new_free = static_cast<uint16_t>(free_end - payload.size());
+  std::memcpy(p->data + new_free, payload.data(), payload.size());
+  size_t slot_off = kHeaderBytes + kSlotBytes * count;
+  WriteU16(p, slot_off, new_free);
+  WriteU16(p, slot_off + 2, static_cast<uint16_t>(payload.size()));
+  WriteU16(p, 0, static_cast<uint16_t>(count + 1));
+  WriteU16(p, 2, new_free);
+  return static_cast<uint32_t>(count);
+}
+
+Status Read(const Page& p, uint32_t slot, const char** data, size_t* len) {
+  uint16_t count = ReadU16(p, 0);
+  if (slot >= count)
+    return Status::Internal("slot out of range: " + std::to_string(slot));
+  size_t slot_off = kHeaderBytes + kSlotBytes * slot;
+  uint16_t off = ReadU16(p, slot_off);
+  uint16_t sz = ReadU16(p, slot_off + 2);
+  *data = p.data + off;
+  *len = sz;
+  return Status::OK();
+}
+
+}  // namespace slotted
+
+HeapFile::~HeapFile() {
+  // Best-effort: release pages so long-lived pools don't leak temp space.
+  (void)Destroy();
+}
+
+Result<Rid> HeapFile::Append(const Tuple& tuple) {
+  std::string payload;
+  tuple.SerializeTo(&payload);
+
+  if (!tail_) {
+    tail_ = std::make_unique<Page>();
+    tail_->Zero();
+    tail_id_ = pool_->disk()->AllocatePage();
+  }
+  Result<uint32_t> slot = slotted::Insert(tail_.get(), payload);
+  if (!slot.ok()) {
+    if (slot.status().code() != StatusCode::kNotSupported)
+      return slot.status();
+    // Tail full: flush it and start a new one.
+    RETURN_IF_ERROR(Flush());
+    tail_ = std::make_unique<Page>();
+    tail_->Zero();
+    tail_id_ = pool_->disk()->AllocatePage();
+    ASSIGN_OR_RETURN(uint32_t s2, slotted::Insert(tail_.get(), payload));
+    slot = s2;
+  }
+  ++tuple_count_;
+  total_tuple_bytes_ += payload.size();
+  return Rid{static_cast<uint32_t>(pages_.size()), slot.value()};
+}
+
+Status HeapFile::Flush() {
+  if (!tail_) return Status::OK();
+  RETURN_IF_ERROR(pool_->disk()->WritePage(tail_id_, *tail_));
+  pages_.push_back(tail_id_);
+  tail_.reset();
+  tail_id_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Result<Tuple> HeapFile::Fetch(const Rid& rid) const {
+  const size_t flushed = pages_.size();
+  if (rid.page_ordinal == flushed && tail_) {
+    const char* data;
+    size_t len;
+    RETURN_IF_ERROR(slotted::Read(*tail_, rid.slot, &data, &len));
+    size_t offset = 0;
+    return Tuple::Deserialize(data, len, &offset);
+  }
+  if (rid.page_ordinal >= flushed)
+    return Status::Internal("rid page out of range");
+  ASSIGN_OR_RETURN(PageGuard guard,
+                   PageGuard::Fetch(pool_, pages_[rid.page_ordinal]));
+  const char* data;
+  size_t len;
+  RETURN_IF_ERROR(slotted::Read(*guard.page(), rid.slot, &data, &len));
+  size_t offset = 0;
+  return Tuple::Deserialize(data, len, &offset);
+}
+
+Status HeapFile::Destroy() {
+  for (PageId id : pages_) {
+    pool_->Discard(id);
+    RETURN_IF_ERROR(pool_->disk()->FreePage(id));
+  }
+  pages_.clear();
+  if (tail_) {
+    RETURN_IF_ERROR(pool_->disk()->FreePage(tail_id_));
+    tail_.reset();
+    tail_id_ = kInvalidPageId;
+  }
+  tuple_count_ = 0;
+  total_tuple_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HeapFile::Iterator::Next(Tuple* out) {
+  while (true) {
+    const size_t flushed = file_->pages_.size();
+    const size_t total = flushed + (file_->tail_ ? 1 : 0);
+    if (page_ordinal_ >= total) return false;
+    if (!loaded_) {
+      if (page_ordinal_ < flushed) {
+        RETURN_IF_ERROR(
+            file_->pool_->disk()->ReadPage(file_->pages_[page_ordinal_], &buf_));
+      } else {
+        buf_ = *file_->tail_;  // in-memory tail: no I/O
+      }
+      loaded_ = true;
+      slot_ = 0;
+    }
+    uint16_t count = slotted::Count(buf_);
+    if (slot_ >= count) {
+      loaded_ = false;
+      ++page_ordinal_;
+      continue;
+    }
+    const char* data;
+    size_t len;
+    RETURN_IF_ERROR(slotted::Read(buf_, slot_, &data, &len));
+    ++slot_;
+    size_t offset = 0;
+    ASSIGN_OR_RETURN(*out, Tuple::Deserialize(data, len, &offset));
+    return true;
+  }
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,41 @@
+// Fixed-size page, the unit of simulated I/O.
+
+#ifndef REOPTDB_STORAGE_PAGE_H_
+#define REOPTDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace reoptdb {
+
+/// Page size in bytes. 8 KiB, matching common database defaults.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifier of a page on the simulated disk.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// \brief Raw page bytes.
+struct Page {
+  char data[kPageSize];
+  void Zero() { std::memset(data, 0, kPageSize); }
+};
+
+/// \brief Record identifier: ordinal of the page within its heap file plus
+/// the slot number inside that page.
+struct Rid {
+  uint32_t page_ordinal = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page_ordinal == o.page_ordinal && slot == o.slot;
+  }
+  bool operator<(const Rid& o) const {
+    return page_ordinal != o.page_ordinal ? page_ordinal < o.page_ordinal
+                                          : slot < o.slot;
+  }
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_STORAGE_PAGE_H_

@@ -1,0 +1,301 @@
+#include "tpcd/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "stats/zipf.h"
+
+namespace reoptdb {
+namespace tpcd {
+
+namespace {
+
+const char* kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",     "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",      "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",     "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",      "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+// Standard TPC-D nation -> region assignment.
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+
+const char* kTypeA[6] = {"STANDARD", "SMALL", "MEDIUM",
+                         "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypeB[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypeC[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "MACHINERY", "HOUSEHOLD"};
+
+Column IntCol(const char* name) {
+  return Column{"", name, ValueType::kInt64, 8};
+}
+Column DblCol(const char* name) {
+  return Column{"", name, ValueType::kDouble, 8};
+}
+Column StrCol(const char* name, double width) {
+  return Column{"", name, ValueType::kString, width};
+}
+
+int64_t YearOf(int64_t day) { return 1992 + day / 365; }
+
+/// Per-attribute skew helper: draws from a Zipf over [0, n) or uniform.
+class Skewed {
+ public:
+  Skewed(uint64_t n, double z, uint64_t scramble_seed)
+      : dist_(n, z, /*scramble=*/z > 0, scramble_seed) {}
+  int64_t Draw(Rng* rng) const {
+    return static_cast<int64_t>(dist_.Sample(rng));
+  }
+
+ private:
+  ZipfDistribution dist_;
+};
+
+}  // namespace
+
+TpcdSizes SizesFor(double sf) {
+  TpcdSizes s;
+  s.supplier = std::max<int64_t>(5, static_cast<int64_t>(10000 * sf));
+  s.customer = std::max<int64_t>(10, static_cast<int64_t>(150000 * sf));
+  s.part = std::max<int64_t>(10, static_cast<int64_t>(200000 * sf));
+  s.partsupp = std::max<int64_t>(20, static_cast<int64_t>(800000 * sf));
+  s.orders = std::max<int64_t>(20, static_cast<int64_t>(1500000 * sf));
+  return s;
+}
+
+const char* NationName(int64_t nationkey) { return kNations[nationkey % 25]; }
+const char* RegionName(int64_t regionkey) { return kRegions[regionkey % 5]; }
+int64_t NationRegion(int64_t nationkey) {
+  return kNationRegion[nationkey % 25];
+}
+std::string PartTypeName(int64_t index) {
+  int64_t i = index % 150;
+  return std::string(kTypeA[i / 25]) + " " + kTypeB[(i / 5) % 5] + " " +
+         kTypeC[i % 5];
+}
+const char* MktSegmentName(int64_t index) { return kSegments[index % 5]; }
+
+Status Load(Database* db, const TpcdOptions& opts) {
+  const TpcdSizes sizes = SizesFor(opts.scale_factor);
+  const double z = opts.zipf_z;
+  Rng rng(opts.seed);
+
+  // --- region
+  {
+    Schema s(std::vector<Column>{IntCol("r_regionkey"), StrCol("r_name", 8)});
+    RETURN_IF_ERROR(db->CreateTable("region", s));
+    for (int64_t r = 0; r < sizes.region; ++r) {
+      RETURN_IF_ERROR(db->Insert(
+          "region", Tuple({Value(r), Value(std::string(RegionName(r)))})));
+    }
+  }
+
+  // --- nation
+  {
+    Schema s(std::vector<Column>{IntCol("n_nationkey"), StrCol("n_name", 10),
+                                 IntCol("n_regionkey")});
+    RETURN_IF_ERROR(db->CreateTable("nation", s));
+    for (int64_t n = 0; n < sizes.nation; ++n) {
+      RETURN_IF_ERROR(db->Insert(
+          "nation", Tuple({Value(n), Value(std::string(NationName(n))),
+                           Value(NationRegion(n))})));
+    }
+  }
+
+  // --- supplier
+  Skewed nation_skew(25, z, opts.seed ^ 0x11);
+  {
+    Schema s(std::vector<Column>{IntCol("s_suppkey"), IntCol("s_nationkey"),
+                                 DblCol("s_acctbal")});
+    RETURN_IF_ERROR(db->CreateTable("supplier", s));
+    for (int64_t k = 0; k < sizes.supplier; ++k) {
+      RETURN_IF_ERROR(db->Insert(
+          "supplier",
+          Tuple({Value(k), Value(nation_skew.Draw(&rng)),
+                 Value(rng.NextDouble(-999.99, 9999.99))})));
+    }
+  }
+
+  // --- customer
+  Skewed segment_skew(5, z, opts.seed ^ 0x22);
+  {
+    Schema s(std::vector<Column>{IntCol("c_custkey"), IntCol("c_nationkey"),
+                                 StrCol("c_mktsegment", 10),
+                                 DblCol("c_acctbal")});
+    RETURN_IF_ERROR(db->CreateTable("customer", s));
+    for (int64_t k = 0; k < sizes.customer; ++k) {
+      RETURN_IF_ERROR(db->Insert(
+          "customer",
+          Tuple({Value(k), Value(nation_skew.Draw(&rng)),
+                 Value(std::string(MktSegmentName(segment_skew.Draw(&rng)))),
+                 Value(rng.NextDouble(-999.99, 9999.99))})));
+    }
+  }
+
+  // --- part
+  Skewed type_skew(150, z, opts.seed ^ 0x33);
+  Skewed size_skew(50, z, opts.seed ^ 0x44);
+  {
+    Schema s(std::vector<Column>{IntCol("p_partkey"), StrCol("p_type", 22),
+                                 IntCol("p_size"), DblCol("p_retailprice")});
+    RETURN_IF_ERROR(db->CreateTable("part", s));
+    for (int64_t k = 0; k < sizes.part; ++k) {
+      RETURN_IF_ERROR(db->Insert(
+          "part", Tuple({Value(k), Value(PartTypeName(type_skew.Draw(&rng))),
+                         Value(size_skew.Draw(&rng) + 1),
+                         Value(900.0 + (k % 1000) * 0.1)})));
+    }
+  }
+
+  // --- partsupp
+  {
+    Schema s(std::vector<Column>{IntCol("ps_partkey"), IntCol("ps_suppkey"),
+                                 DblCol("ps_supplycost")});
+    RETURN_IF_ERROR(db->CreateTable("partsupp", s));
+    for (int64_t k = 0; k < sizes.partsupp; ++k) {
+      RETURN_IF_ERROR(db->Insert(
+          "partsupp",
+          Tuple({Value(k % sizes.part),
+                 Value(static_cast<int64_t>(rng.NextBelow(sizes.supplier))),
+                 Value(rng.NextDouble(1.0, 1000.0))})));
+    }
+  }
+
+  // --- orders + lineitem
+  Skewed date_skew(kEndDate - 120, z, opts.seed ^ 0x55);
+  Skewed qty_skew(50, z, opts.seed ^ 0x66);
+  {
+    Schema so(std::vector<Column>{
+        IntCol("o_orderkey"), IntCol("o_custkey"), StrCol("o_orderstatus", 1),
+        DblCol("o_totalprice"), IntCol("o_orderdate"), IntCol("o_orderyear")});
+    RETURN_IF_ERROR(db->CreateTable("orders", so));
+    Schema sl(std::vector<Column>{
+        IntCol("l_orderkey"), IntCol("l_partkey"), IntCol("l_suppkey"),
+        IntCol("l_linenumber"), DblCol("l_quantity"),
+        DblCol("l_extendedprice"), DblCol("l_discount"),
+        StrCol("l_returnflag", 1), StrCol("l_linestatus", 1),
+        IntCol("l_shipdate"), IntCol("l_commitdate"), IntCol("l_receiptdate"),
+        IntCol("l_shipyear")});
+    RETURN_IF_ERROR(db->CreateTable("lineitem", sl));
+  }
+
+  // Appends one order with its lineitems; `draw_date` picks the orderdate.
+  auto append_order = [&](int64_t o,
+                          const std::function<int64_t()>& draw_date) -> Status {
+    int64_t custkey = static_cast<int64_t>(rng.NextBelow(sizes.customer));
+    int64_t orderdate = draw_date();
+    int64_t nlines = rng.NextInt(1, 7);
+    double totalprice = 0;
+    for (int64_t ln = 0; ln < nlines; ++ln) {
+      int64_t shipdate = orderdate + rng.NextInt(1, 121);
+      int64_t commitdate = orderdate + rng.NextInt(30, 90);
+      int64_t receiptdate = shipdate + rng.NextInt(1, 30);
+      double quantity = static_cast<double>(qty_skew.Draw(&rng) + 1);
+      // Correlated discount: bulk lines earn bigger discounts. The
+      // optimizer's independence assumption cannot see this.
+      double discount = quantity >= 25 ? rng.NextDouble(0.04, 0.10)
+                                       : rng.NextDouble(0.0, 0.04);
+      double extprice = quantity * rng.NextDouble(900.0, 1100.0);
+      totalprice += extprice * (1 - discount);
+      const char* returnflag = receiptdate <= kCurrentDate
+                                   ? (rng.NextBool(0.5) ? "R" : "A")
+                                   : "N";
+      const char* linestatus = shipdate <= kCurrentDate ? "F" : "O";
+      RETURN_IF_ERROR(db->Insert(
+          "lineitem",
+          Tuple({Value(o), Value(static_cast<int64_t>(rng.NextBelow(
+                               static_cast<uint64_t>(sizes.part)))),
+                 Value(static_cast<int64_t>(rng.NextBelow(
+                     static_cast<uint64_t>(sizes.supplier)))),
+                 Value(ln + 1), Value(quantity), Value(extprice),
+                 Value(discount), Value(std::string(returnflag)),
+                 Value(std::string(linestatus)), Value(shipdate),
+                 Value(commitdate), Value(receiptdate),
+                 Value(YearOf(shipdate))})));
+    }
+    const char* status = orderdate + 121 <= kCurrentDate ? "F" : "O";
+    return db->Insert("orders",
+                      Tuple({Value(o), Value(custkey),
+                             Value(std::string(status)), Value(totalprice),
+                             Value(orderdate), Value(YearOf(orderdate))}));
+  };
+
+  for (int64_t o = 0; o < sizes.orders; ++o) {
+    RETURN_IF_ERROR(append_order(o, [&]() { return date_skew.Draw(&rng); }));
+  }
+
+  auto flush_all = [&]() -> Status {
+    for (const char* t : {"region", "nation", "supplier", "customer", "part",
+                          "partsupp", "orders", "lineitem"}) {
+      ASSIGN_OR_RETURN(TableInfo * info, db->catalog()->Get(t));
+      RETURN_IF_ERROR(info->heap->Flush());
+    }
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(flush_all());
+
+  // ANALYZE sees only the base load; updates below stay invisible to the
+  // catalog, exactly like a production system between ANALYZE runs.
+  if (opts.analyze) {
+    for (const char* t : {"region", "nation", "supplier", "customer", "part",
+                          "partsupp", "orders", "lineitem"}) {
+      RETURN_IF_ERROR(db->Analyze(t, opts.analyze_options));
+    }
+  }
+
+  if (opts.update_fraction > 0) {
+    // New customers sign up, concentrated in one hot market segment
+    // (business growth looks like this; the stale catalog still believes
+    // segments are evenly spread).
+    int64_t new_customers =
+        static_cast<int64_t>(sizes.customer * opts.update_fraction);
+    for (int64_t k = 0; k < new_customers; ++k) {
+      RETURN_IF_ERROR(db->Insert(
+          "customer",
+          Tuple({Value(sizes.customer + k), Value(nation_skew.Draw(&rng)),
+                 Value(std::string("BUILDING")),
+                 Value(rng.NextDouble(-999.99, 9999.99))})));
+    }
+    int64_t extra = static_cast<int64_t>(sizes.orders * opts.update_fraction);
+    for (int64_t i = 0; i < extra; ++i) {
+      RETURN_IF_ERROR(append_order(sizes.orders + i, [&]() {
+        return rng.NextInt(opts.update_date_lo, opts.update_date_hi);
+      }));
+    }
+    RETURN_IF_ERROR(flush_all());
+    RETURN_IF_ERROR(db->BumpUpdateActivity("customer", opts.update_fraction));
+    RETURN_IF_ERROR(db->BumpUpdateActivity("orders", opts.update_fraction));
+    RETURN_IF_ERROR(db->BumpUpdateActivity("lineitem", opts.update_fraction));
+  }
+
+  // Keys (for the key-join inaccuracy rule and estimation).
+  RETURN_IF_ERROR(db->DeclareKey("region", "r_regionkey"));
+  RETURN_IF_ERROR(db->DeclareKey("nation", "n_nationkey"));
+  RETURN_IF_ERROR(db->DeclareKey("supplier", "s_suppkey"));
+  RETURN_IF_ERROR(db->DeclareKey("customer", "c_custkey"));
+  RETURN_IF_ERROR(db->DeclareKey("part", "p_partkey"));
+  RETURN_IF_ERROR(db->DeclareKey("orders", "o_orderkey"));
+
+  // Indexes are built after every batch so they cover the whole table.
+  if (opts.build_indexes) {
+    RETURN_IF_ERROR(db->CreateIndex("nation", "n_nationkey"));
+    RETURN_IF_ERROR(db->CreateIndex("supplier", "s_suppkey"));
+    RETURN_IF_ERROR(db->CreateIndex("customer", "c_custkey"));
+    RETURN_IF_ERROR(db->CreateIndex("part", "p_partkey"));
+    RETURN_IF_ERROR(db->CreateIndex("orders", "o_orderkey"));
+    RETURN_IF_ERROR(db->CreateIndex("lineitem", "l_orderkey"));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcd
+}  // namespace reoptdb

@@ -1,0 +1,83 @@
+// TPC-D-like data generator [21], scaled down (DESIGN.md §3).
+//
+// Produces the eight TPC-D tables with the standard row-count ratios at a
+// configurable scale factor, optionally skewing non-key attributes with a
+// generalized Zipfian distribution (z = 0.3 / 0.6 in the paper's Fig. 12).
+// Dates are day numbers (0 = 1992-01-01, 2556 = 1998-12-31). Derived year
+// columns (o_orderyear, l_shipyear) substitute for the YEAR() expressions
+// the engine's SQL subset lacks.
+//
+// Deliberate correlations (footnote 2's error sources, built into data):
+//  - l_shipdate/l_commitdate/l_receiptdate derive from o_orderdate;
+//  - l_discount depends on l_quantity (high quantities earn discounts);
+//  - l_returnflag/l_linestatus depend on the dates.
+
+#ifndef REOPTDB_TPCD_DBGEN_H_
+#define REOPTDB_TPCD_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/database.h"
+
+namespace reoptdb {
+namespace tpcd {
+
+/// Date domain (day numbers).
+inline constexpr int64_t kStartDate = 0;     // 1992-01-01
+inline constexpr int64_t kEndDate = 2556;    // 1998-12-31
+inline constexpr int64_t kCurrentDate = 2190;  // ~1998-06-01
+
+/// Generator configuration.
+struct TpcdOptions {
+  double scale_factor = 0.01;  ///< 1.0 = the full TPC-D SF1 row counts
+  double zipf_z = 0.0;         ///< skew on non-key attributes (0 = uniform)
+  uint64_t seed = 42;
+  bool build_indexes = true;
+  bool analyze = true;
+  AnalyzeOptions analyze_options;  ///< histogram kind/buckets for ANALYZE
+
+  /// Update staleness (paper footnote 2: "histograms might be
+  /// out-of-date"): after ANALYZE runs on the base load, this fraction of
+  /// additional orders (with their lineitems) is inserted WITHOUT
+  /// refreshing statistics. The new orders concentrate in
+  /// [update_date_lo, update_date_hi], so date-range selectivities the
+  /// optimizer derives from the stale catalog are genuinely wrong —
+  /// exactly the error the Dynamic Re-Optimization experiments exercise.
+  double update_fraction = 0;
+  int64_t update_date_lo = 730;
+  int64_t update_date_hi = 1700;
+};
+
+/// Row counts for a scale factor.
+struct TpcdSizes {
+  int64_t region = 5;
+  int64_t nation = 25;
+  int64_t supplier = 0;
+  int64_t customer = 0;
+  int64_t part = 0;
+  int64_t partsupp = 0;
+  int64_t orders = 0;
+  /// lineitem count is data-dependent (1-7 lines per order, avg 4).
+};
+
+TpcdSizes SizesFor(double scale_factor);
+
+/// Creates, loads, indexes and analyzes the TPC-D tables in `db`.
+Status Load(Database* db, const TpcdOptions& opts);
+
+/// The standard 25 nation names / 5 region names and the nation->region map.
+const char* NationName(int64_t nationkey);
+const char* RegionName(int64_t regionkey);
+int64_t NationRegion(int64_t nationkey);
+
+/// One of the 150 part types ("ECONOMY ANODIZED STEEL", ...).
+std::string PartTypeName(int64_t index);
+
+/// One of the 5 market segments.
+const char* MktSegmentName(int64_t index);
+
+}  // namespace tpcd
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TPCD_DBGEN_H_

@@ -1,0 +1,98 @@
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace tpcd {
+
+std::string Q1Sql() {
+  return "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+         "SUM(l_extendedprice) AS sum_base_price, AVG(l_discount) AS avg_disc, "
+         "COUNT(*) AS count_order "
+         "FROM lineitem WHERE l_shipdate <= 2100 "
+         "GROUP BY l_returnflag, l_linestatus";
+}
+
+std::string Q3Sql() {
+  return "SELECT l_orderkey, o_orderdate, SUM(l_extendedprice) AS revenue "
+         "FROM customer, orders, lineitem "
+         "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+         "AND l_orderkey = o_orderkey AND o_orderdate < 1260 "
+         "AND l_shipdate > 1260 "
+         "GROUP BY l_orderkey, o_orderdate";
+}
+
+std::string Q5Sql() {
+  return "SELECT n_name, SUM(l_extendedprice) AS revenue "
+         "FROM customer, orders, lineitem, supplier, nation, region "
+         "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+         "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+         "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+         "AND r_name = 'ASIA' AND o_orderdate >= 730 AND o_orderdate < 1095 "
+         "GROUP BY n_name";
+}
+
+std::string Q6Sql() {
+  return "SELECT SUM(l_extendedprice) AS revenue FROM lineitem "
+         "WHERE l_shipdate >= 730 AND l_shipdate < 1095 "
+         "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+}
+
+std::string Q7Sql() {
+  return "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+         "l_shipyear, SUM(l_extendedprice) AS revenue "
+         "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+         "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+         "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+         "AND c_nationkey = n2.n_nationkey AND n1.n_name = 'FRANCE' "
+         "AND n2.n_name = 'GERMANY' "
+         "AND l_shipdate >= 1095 AND l_shipdate <= 1825 "
+         "GROUP BY n1.n_name, n2.n_name, l_shipyear";
+}
+
+std::string Q8Sql() {
+  return "SELECT o_orderyear, AVG(l_extendedprice) AS mkt_share "
+         "FROM part, supplier, lineitem, orders, customer, nation n1, "
+         "nation n2, region "
+         "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+         "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+         "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+         "AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey "
+         "AND o_orderdate >= 1095 AND o_orderdate <= 1825 "
+         "AND p_type = 'ECONOMY ANODIZED STEEL' "
+         "GROUP BY o_orderyear";
+}
+
+std::string Q10Sql() {
+  return "SELECT c_custkey, n_name, SUM(l_extendedprice) AS revenue "
+         "FROM customer, orders, lineitem, nation "
+         "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+         "AND o_orderdate >= 730 AND o_orderdate < 820 "
+         "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+         "GROUP BY c_custkey, n_name";
+}
+
+std::vector<TpcdQuery> AllQueries() {
+  return {
+      {"Q1", QueryClass::kSimple, Q1Sql()},
+      {"Q3", QueryClass::kMedium, Q3Sql()},
+      {"Q5", QueryClass::kComplex, Q5Sql()},
+      {"Q6", QueryClass::kSimple, Q6Sql()},
+      {"Q7", QueryClass::kComplex, Q7Sql()},
+      {"Q8", QueryClass::kComplex, Q8Sql()},
+      {"Q10", QueryClass::kMedium, Q10Sql()},
+  };
+}
+
+const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kSimple:
+      return "simple";
+    case QueryClass::kMedium:
+      return "medium";
+    case QueryClass::kComplex:
+      return "complex";
+  }
+  return "?";
+}
+
+}  // namespace tpcd
+}  // namespace reoptdb

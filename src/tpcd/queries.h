@@ -1,0 +1,47 @@
+// The paper's TPC-D query set: Q1, Q3, Q5, Q6, Q7, Q8, Q10.
+//
+// Queries are simplified exactly as the paper's footnote 4 describes
+// (aggregates over expressions become single-column aggregates) and adapted
+// to the engine's SQL subset (YEAR(date) becomes the generator's derived
+// year columns; Q7's symmetric nation disjunction keeps one branch).
+//
+// The paper's classification (Section 3.2):
+//   simple  (0-1 joins):  Q1, Q6  — never re-optimized
+//   medium  (2-3 joins):  Q3, Q10 — benefit from memory re-allocation
+//   complex (4+  joins):  Q5, Q7, Q8 — primary targets of plan modification
+
+#ifndef REOPTDB_TPCD_QUERIES_H_
+#define REOPTDB_TPCD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace reoptdb {
+namespace tpcd {
+
+/// Query complexity classes from the paper.
+enum class QueryClass { kSimple, kMedium, kComplex };
+
+struct TpcdQuery {
+  const char* name;  ///< "Q1", "Q3", ...
+  QueryClass cls;
+  std::string sql;
+};
+
+std::string Q1Sql();
+std::string Q3Sql();
+std::string Q5Sql();
+std::string Q6Sql();
+std::string Q7Sql();
+std::string Q8Sql();
+std::string Q10Sql();
+
+/// All seven queries in the paper's order.
+std::vector<TpcdQuery> AllQueries();
+
+const char* QueryClassName(QueryClass cls);
+
+}  // namespace tpcd
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TPCD_QUERIES_H_

@@ -1,0 +1,55 @@
+#include "types/schema.h"
+
+#include <sstream>
+
+namespace reoptdb {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  // Split "qual.col" if a dot is present.
+  std::string qual, col;
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    qual = name.substr(0, dot);
+    col = name.substr(dot + 1);
+  } else {
+    col = name;
+  }
+
+  size_t found = cols_.size();
+  int matches = 0;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const Column& c = cols_[i];
+    if (c.name != col) continue;
+    if (!qual.empty() && c.qualifier != qual) continue;
+    ++matches;
+    found = i;
+  }
+  if (matches == 0) return Status::NotFound("column not found: " + name);
+  if (matches > 1) return Status::BindError("ambiguous column: " + name);
+  return found;
+}
+
+double Schema::AvgTupleBytes() const {
+  double total = 0;
+  for (const Column& c : cols_) total += c.avg_width + 1.0;  // +1 type tag
+  return total;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& c : right.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) os << ", ";
+    os << cols_[i].QualifiedName() << " " << ValueTypeName(cols_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace reoptdb

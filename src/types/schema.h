@@ -1,0 +1,68 @@
+// Column and Schema: the shape of tuples flowing between operators.
+
+#ifndef REOPTDB_TYPES_SCHEMA_H_
+#define REOPTDB_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace reoptdb {
+
+/// \brief One column of a schema.
+///
+/// `qualifier` is the table alias the column came from ("" for computed
+/// columns such as aggregates). `avg_width` is the average payload size in
+/// bytes, used by memory-demand and cost estimation.
+struct Column {
+  std::string qualifier;
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  double avg_width = 8.0;
+
+  /// "qualifier.name" or just "name" when unqualified.
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief An ordered list of columns with name-based lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  void AddColumn(Column col) { cols_.push_back(std::move(col)); }
+
+  /// Resolves `name`, which may be "qual.col" or a bare "col".
+  /// A bare name must be unambiguous across qualifiers.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Returns true if the named column resolves.
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  /// Average serialized tuple width in bytes (sum of column widths plus
+  /// per-value tags).
+  double AvgTupleBytes() const;
+
+  /// Concatenation (join output): left columns then right columns.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TYPES_SCHEMA_H_

@@ -1,0 +1,68 @@
+#include "types/tuple.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace reoptdb {
+
+size_t Tuple::SerializedSize() const {
+  size_t total = sizeof(uint16_t);
+  for (const Value& v : values_) total += v.SerializedSize();
+  return total;
+}
+
+void Tuple::SerializeTo(std::string* out) const {
+  uint16_t n = static_cast<uint16_t>(values_.size());
+  out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Value& v : values_) v.SerializeTo(out);
+}
+
+Result<Tuple> Tuple::Deserialize(const char* data, size_t size, size_t* offset) {
+  if (*offset + sizeof(uint16_t) > size)
+    return Status::Internal("tuple: truncated field count");
+  uint16_t n;
+  std::memcpy(&n, data + *offset, sizeof(n));
+  *offset += sizeof(n);
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(Value v, Value::Deserialize(data, size, offset));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values = left.values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+uint64_t Tuple::HashOn(const std::vector<size_t>& cols) const {
+  uint64_t h = 0x12345678abcdef01ULL;
+  for (size_t c : cols) {
+    h = h * 0x100000001b3ULL ^ values_[c].Hash();
+  }
+  return h;
+}
+
+bool Tuple::EqualsOn(const Tuple& other, const std::vector<size_t>& mine,
+                     const std::vector<size_t>& theirs) const {
+  for (size_t i = 0; i < mine.size(); ++i) {
+    if (values_[mine[i]] != other.values_[theirs[i]]) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,59 @@
+// Tuple: a row of Values, with page-friendly (de)serialization.
+
+#ifndef REOPTDB_TYPES_TUPLE_H_
+#define REOPTDB_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace reoptdb {
+
+/// \brief A row of values.
+///
+/// Tuples are positional; the associated Schema gives names and types.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Clear() { values_.clear(); }
+
+  /// Serialized byte size (2-byte field count + per-value bytes).
+  size_t SerializedSize() const;
+
+  /// Appends the wire form to `out`.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses one tuple from `data + *offset`, advancing `*offset`.
+  static Result<Tuple> Deserialize(const char* data, size_t size, size_t* offset);
+
+  /// Concatenates two tuples (join output).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Combined hash over the given column indexes.
+  uint64_t HashOn(const std::vector<size_t>& cols) const;
+
+  /// True if this and `other` agree on the given column indexes.
+  bool EqualsOn(const Tuple& other, const std::vector<size_t>& mine,
+                const std::vector<size_t>& theirs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TYPES_TUPLE_H_

@@ -1,0 +1,154 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace reoptdb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    assert(is_string() && other.is_string() &&
+           "cannot compare string with numeric");
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  if (is_int() && other.is_int()) {
+    int64_t a = AsInt(), b = other.AsInt();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  double a = AsNumeric(), b = other.AsNumeric();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return SplitMix64(static_cast<uint64_t>(AsInt()));
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles identically to the equivalent int so that
+      // cross-type numeric equi-joins hash consistently.
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return SplitMix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return SplitMix64(bits);
+    }
+    case ValueType::kString: {
+      // FNV-1a, finalized through SplitMix64.
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : AsString()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return SplitMix64(h);
+    }
+  }
+  return 0;
+}
+
+size_t Value::SerializedSize() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return 1 + sizeof(int64_t);
+    case ValueType::kDouble:
+      return 1 + sizeof(double);
+    case ValueType::kString:
+      return 1 + sizeof(uint32_t) + AsString().size();
+  }
+  return 0;
+}
+
+void Value::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kInt64: {
+      int64_t v = AsInt();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case ValueType::kDouble: {
+      double v = AsDouble();
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = AsString();
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+Result<Value> Value::Deserialize(const char* data, size_t size, size_t* offset) {
+  if (*offset + 1 > size) return Status::Internal("value: truncated tag");
+  uint8_t tag = static_cast<uint8_t>(data[*offset]);
+  *offset += 1;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      if (*offset + sizeof(int64_t) > size)
+        return Status::Internal("value: truncated int");
+      int64_t v;
+      std::memcpy(&v, data + *offset, sizeof(v));
+      *offset += sizeof(v);
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      if (*offset + sizeof(double) > size)
+        return Status::Internal("value: truncated double");
+      double v;
+      std::memcpy(&v, data + *offset, sizeof(v));
+      *offset += sizeof(v);
+      return Value(v);
+    }
+    case ValueType::kString: {
+      if (*offset + sizeof(uint32_t) > size)
+        return Status::Internal("value: truncated string length");
+      uint32_t len;
+      std::memcpy(&len, data + *offset, sizeof(len));
+      *offset += sizeof(len);
+      if (*offset + len > size) return Status::Internal("value: truncated string");
+      std::string s(data + *offset, len);
+      *offset += len;
+      return Value(std::move(s));
+    }
+    default:
+      return Status::Internal("value: bad type tag");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace reoptdb

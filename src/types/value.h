@@ -1,0 +1,78 @@
+// Scalar value type used throughout the engine.
+
+#ifndef REOPTDB_TYPES_VALUE_H_
+#define REOPTDB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace reoptdb {
+
+/// Supported column types. Dates are stored as kInt64 day numbers.
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Human-readable name ("INT", "DOUBLE", "STRING").
+const char* ValueTypeName(ValueType t);
+
+/// \brief A dynamically typed scalar.
+///
+/// Values are totally ordered within a type; comparing values of different
+/// numeric types coerces to double. Comparing a string with a number is a
+/// programming error (checked by the binder before execution).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_int() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 widened to double. Requires a numeric type.
+  double AsNumeric() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Three-way comparison. Numeric types compare by value; strings
+  /// lexicographically. Mixed string/number comparison asserts.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Stable 64-bit hash (used by hash join / aggregation / sketches).
+  uint64_t Hash() const;
+
+  /// Serialized size in bytes (1-byte tag + payload).
+  size_t SerializedSize() const;
+
+  /// Appends the serialized form to `out`.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses one value from `data + *offset`, advancing `*offset`.
+  static Result<Value> Deserialize(const char* data, size_t size, size_t* offset);
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TYPES_VALUE_H_

@@ -1,0 +1,192 @@
+// Tests for the binder: name resolution, predicate classification,
+// aggregation validation, and SQL round-tripping.
+
+#include "gtest/gtest.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace reoptdb {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : pool_(&disk_, 64), catalog_(&pool_) {
+    Schema emp(std::vector<Column>{{"", "emp_id", ValueType::kInt64, 8},
+                                   {"", "dept_id", ValueType::kInt64, 8},
+                                   {"", "salary", ValueType::kDouble, 8},
+                                   {"", "name", ValueType::kString, 10}});
+    Schema dept(std::vector<Column>{{"", "dept_id", ValueType::kInt64, 8},
+                                    {"", "dept_name", ValueType::kString, 10}});
+    EXPECT_TRUE(catalog_.CreateTable("emp", emp).ok());
+    EXPECT_TRUE(catalog_.CreateTable("dept", dept).ok());
+  }
+
+  Result<QuerySpec> BindSql(const std::string& sql) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), catalog_);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesBareColumns) {
+  Result<QuerySpec> r = BindSql("SELECT emp_id, salary FROM emp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().items[0].col.rel, 0);
+  EXPECT_EQ(r.value().items[0].col.column, "emp_id");
+  EXPECT_EQ(r.value().items[1].col.type, ValueType::kDouble);
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  Result<QuerySpec> r = BindSql("SELECT dept_id FROM emp, dept");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+  // Qualification resolves the ambiguity.
+  EXPECT_TRUE(BindSql("SELECT emp.dept_id FROM emp, dept").ok());
+}
+
+TEST_F(BinderTest, UnknownColumnAndTableFail) {
+  EXPECT_FALSE(BindSql("SELECT nope FROM emp").ok());
+  EXPECT_EQ(BindSql("SELECT a FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, DuplicateAliasFails) {
+  EXPECT_FALSE(BindSql("SELECT e.emp_id FROM emp e, dept e").ok());
+}
+
+TEST_F(BinderTest, ClassifiesFiltersAndJoins) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT emp_id FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 1000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().joins.size(), 1u);
+  EXPECT_EQ(r.value().joins[0].left_rel, 0);
+  EXPECT_EQ(r.value().joins[0].right_rel, 1);
+  ASSERT_EQ(r.value().filters.size(), 1u);
+  EXPECT_EQ(r.value().filters[0].rel, 0);
+  EXPECT_EQ(r.value().filters[0].column, "salary");
+}
+
+TEST_F(BinderTest, SameRelationColumnPredicateBecomesFilter) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT emp_id FROM emp WHERE emp_id < dept_id AND salary >= 10.5");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().filters.size(), 2u);
+  EXPECT_TRUE(r.value().filters[0].rhs_is_column);
+  EXPECT_EQ(r.value().filters[0].rhs_column, "dept_id");
+  EXPECT_FALSE(r.value().filters[1].rhs_is_column);
+}
+
+TEST_F(BinderTest, LiteralNormalizedToRhs) {
+  Result<QuerySpec> r = BindSql("SELECT emp_id FROM emp WHERE 1000 < salary");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().filters.size(), 1u);
+  EXPECT_EQ(r.value().filters[0].column, "salary");
+  EXPECT_EQ(r.value().filters[0].op, CmpOp::kGt);  // flipped
+}
+
+TEST_F(BinderTest, CrossRelationInequalityRejected) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id < dept.dept_id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BinderTest, TypeMismatchRejected) {
+  EXPECT_FALSE(BindSql("SELECT emp_id FROM emp WHERE name > 5").ok());
+  EXPECT_FALSE(BindSql("SELECT emp_id FROM emp WHERE salary = 'x'").ok());
+  EXPECT_FALSE(
+      BindSql("SELECT e.emp_id FROM emp e, dept d WHERE e.name = d.dept_id")
+          .ok());
+}
+
+TEST_F(BinderTest, AggregationValidation) {
+  // Plain column not in GROUP BY.
+  Result<QuerySpec> bad =
+      BindSql("SELECT dept_id, name, SUM(salary) FROM emp GROUP BY dept_id");
+  ASSERT_FALSE(bad.ok());
+  // Correct form binds.
+  Result<QuerySpec> good = BindSql(
+      "SELECT emp.dept_id, SUM(salary) FROM emp GROUP BY emp.dept_id");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good.value().has_aggregates());
+  ASSERT_EQ(good.value().group_by.size(), 1u);
+}
+
+TEST_F(BinderTest, SumOfStringRejected) {
+  EXPECT_FALSE(BindSql("SELECT SUM(name) FROM emp").ok());
+  // MIN/MAX of strings are fine.
+  EXPECT_TRUE(BindSql("SELECT MIN(name) FROM emp").ok());
+}
+
+TEST_F(BinderTest, OrderByBindsToSelectList) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp "
+      "GROUP BY emp.dept_id ORDER BY total DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().order_by.size(), 1u);
+  EXPECT_EQ(r.value().order_by[0].first, 1);
+  EXPECT_FALSE(r.value().order_by[0].second);
+
+  EXPECT_FALSE(
+      BindSql("SELECT emp_id FROM emp ORDER BY salary").ok());  // not selected
+}
+
+TEST_F(BinderTest, DefaultOutputNames) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT emp.dept_id, SUM(salary), COUNT(*) FROM emp GROUP BY emp.dept_id");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().items[0].name, "dept_id");
+  EXPECT_EQ(r.value().items[1].name, "sum_salary");
+  EXPECT_EQ(r.value().items[2].name, "count_star");
+}
+
+TEST_F(BinderTest, ToSqlRoundTrips) {
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 1000 "
+      "GROUP BY emp.dept_id ORDER BY total DESC LIMIT 5";
+  Result<QuerySpec> once = BindSql(sql);
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  std::string regenerated = once.value().ToSql();
+  Result<QuerySpec> twice = BindSql(regenerated);
+  ASSERT_TRUE(twice.ok()) << "regen: " << regenerated << " -> "
+                          << twice.status().ToString();
+  EXPECT_EQ(once.value().ToSql(), twice.value().ToSql());
+  EXPECT_EQ(twice.value().joins.size(), 1u);
+  EXPECT_EQ(twice.value().limit, 5);
+}
+
+TEST_F(BinderTest, StarExpandsToAllColumns) {
+  Result<QuerySpec> r = BindSql("SELECT * FROM emp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().items.size(), 4u);
+  EXPECT_EQ(r.value().items[0].name, "emp_id");
+  EXPECT_EQ(r.value().items[3].name, "name");
+
+  // Across a join: emp columns then dept columns, duplicates renamed.
+  Result<QuerySpec> j = BindSql(
+      "SELECT * FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  ASSERT_EQ(j.value().items.size(), 6u);
+  EXPECT_EQ(j.value().items[1].name, "dept_id");
+  EXPECT_EQ(j.value().items[4].name, "dept_id_1");  // dept's copy renamed
+}
+
+TEST_F(BinderTest, SelfJoinAliases) {
+  Result<QuerySpec> r = BindSql(
+      "SELECT e1.emp_id FROM emp e1, emp e2 WHERE e1.dept_id = e2.emp_id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().joins.size(), 1u);
+  EXPECT_EQ(r.value().relations[0].alias, "e1");
+  EXPECT_EQ(r.value().relations[1].alias, "e2");
+}
+
+}  // namespace
+}  // namespace reoptdb

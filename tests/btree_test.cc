@@ -1,0 +1,168 @@
+// Tests for the paged B+-tree.
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/btree.h"
+
+namespace reoptdb {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : pool_(&disk_, 64) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+std::vector<std::pair<int64_t, Rid>> Drain(BTree::Iterator it) {
+  std::vector<std::pair<int64_t, Rid>> out;
+  int64_t k;
+  Rid rid;
+  while (true) {
+    Result<bool> more = it.Next(&k, &rid);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !more.value()) break;
+    out.emplace_back(k, rid);
+  }
+  return out;
+}
+
+TEST_F(BTreeTest, EmptyTree) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 1);
+  EXPECT_EQ(tree->entry_count(), 0u);
+  Result<BTree::Iterator> it = tree->SeekAtLeast(0);
+  ASSERT_TRUE(it.ok());
+  EXPECT_TRUE(Drain(std::move(it.value())).empty());
+}
+
+TEST_F(BTreeTest, InsertAndLookup) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 100; ++k)
+    ASSERT_TRUE(tree->Insert(k, Rid{static_cast<uint32_t>(k), 0}).ok());
+  std::vector<Rid> rids;
+  ASSERT_TRUE(tree->Lookup(42, &rids).ok());
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0].page_ordinal, 42u);
+  rids.clear();
+  ASSERT_TRUE(tree->Lookup(1000, &rids).ok());
+  EXPECT_TRUE(rids.empty());
+}
+
+TEST_F(BTreeTest, Duplicates) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t i = 0; i < 50; ++i)
+    ASSERT_TRUE(tree->Insert(7, Rid{i, i}).ok());
+  ASSERT_TRUE(tree->Insert(6, Rid{0, 0}).ok());
+  ASSERT_TRUE(tree->Insert(8, Rid{0, 0}).ok());
+  std::vector<Rid> rids;
+  ASSERT_TRUE(tree->Lookup(7, &rids).ok());
+  EXPECT_EQ(rids.size(), 50u);
+}
+
+TEST_F(BTreeTest, RangeScan) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 1000; k += 2)  // even keys
+    ASSERT_TRUE(tree->Insert(k, Rid{static_cast<uint32_t>(k), 0}).ok());
+  Result<BTree::Iterator> it = tree->SeekRange(101, 199);
+  ASSERT_TRUE(it.ok());
+  auto entries = Drain(std::move(it.value()));
+  ASSERT_EQ(entries.size(), 49u);  // 102..198 even
+  EXPECT_EQ(entries.front().first, 102);
+  EXPECT_EQ(entries.back().first, 198);
+}
+
+TEST_F(BTreeTest, SplitsGrowHeight) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  const int n = 20000;
+  for (int64_t k = 0; k < n; ++k)
+    ASSERT_TRUE(tree->Insert(k, Rid{static_cast<uint32_t>(k), 0}).ok());
+  EXPECT_GE(tree->height(), 2);
+  EXPECT_EQ(tree->entry_count(), static_cast<uint64_t>(n));
+  EXPECT_GT(tree->node_count(), 1u);
+  // Full scan returns sorted keys.
+  Result<BTree::Iterator> it = tree->SeekAtLeast(INT64_MIN);
+  ASSERT_TRUE(it.ok());
+  auto entries = Drain(std::move(it.value()));
+  ASSERT_EQ(entries.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(entries[i].first, i);
+}
+
+TEST_F(BTreeTest, NegativeKeys) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = -100; k <= 100; ++k)
+    ASSERT_TRUE(tree->Insert(k, Rid{0, 0}).ok());
+  Result<BTree::Iterator> it = tree->SeekRange(-50, -40);
+  ASSERT_TRUE(it.ok());
+  auto entries = Drain(std::move(it.value()));
+  EXPECT_EQ(entries.size(), 11u);
+  EXPECT_EQ(entries.front().first, -50);
+}
+
+// Property test: random inserts match a std::multimap reference on random
+// range queries.
+class BTreePropertyTest : public BTreeTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  std::multimap<int64_t, Rid> ref;
+
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    int64_t key = rng.NextInt(0, 500);  // plenty of duplicates
+    Rid rid{static_cast<uint32_t>(i), static_cast<uint32_t>(i % 7)};
+    ASSERT_TRUE(tree->Insert(key, rid).ok());
+    ref.emplace(key, rid);
+  }
+  EXPECT_EQ(tree->entry_count(), static_cast<uint64_t>(n));
+
+  for (int q = 0; q < 50; ++q) {
+    int64_t lo = rng.NextInt(0, 500);
+    int64_t hi = lo + rng.NextInt(0, 100);
+    Result<BTree::Iterator> it = tree->SeekRange(lo, hi);
+    ASSERT_TRUE(it.ok());
+    auto got = Drain(std::move(it.value()));
+    size_t expected = 0;
+    for (auto mit = ref.lower_bound(lo);
+         mit != ref.end() && mit->first <= hi; ++mit)
+      ++expected;
+    EXPECT_EQ(got.size(), expected) << "range [" << lo << "," << hi << "]";
+    // Keys are non-decreasing.
+    for (size_t i = 1; i < got.size(); ++i)
+      EXPECT_LE(got[i - 1].first, got[i].first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_F(BTreeTest, ProbesUseBufferPool) {
+  Result<BTree> tree = BTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 10000; ++k)
+    ASSERT_TRUE(tree->Insert(k, Rid{0, 0}).ok());
+  // Repeated lookups of the same key should be nearly free after warm-up.
+  std::vector<Rid> rids;
+  ASSERT_TRUE(tree->Lookup(5000, &rids).ok());
+  uint64_t reads = disk_.stats().page_reads;
+  for (int i = 0; i < 100; ++i) {
+    rids.clear();
+    ASSERT_TRUE(tree->Lookup(5000, &rids).ok());
+  }
+  EXPECT_EQ(disk_.stats().page_reads, reads);  // all hits
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,200 @@
+// Tests for the catalog: tables, indexes, ANALYZE, staleness.
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace reoptdb {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : pool_(&disk_, 64), catalog_(&pool_) {}
+
+  Schema TwoColSchema() {
+    return Schema(std::vector<Column>{{"", "id", ValueType::kInt64, 8},
+                                      {"", "name", ValueType::kString, 10}});
+  }
+
+  void Load(TableInfo* info, int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(info->heap
+                      ->Append(Tuple({Value(int64_t{i}),
+                                      Value("n" + std::to_string(i % 7))}))
+                      .ok());
+    }
+    ASSERT_TRUE(info->heap->Flush().ok());
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGet) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(catalog_.Exists("t"));
+  EXPECT_FALSE(catalog_.Exists("u"));
+  // Columns got qualified with the table name.
+  EXPECT_EQ(t.value()->schema.column(0).QualifiedName(), "t.id");
+  EXPECT_TRUE(catalog_.Get("t").ok());
+  EXPECT_FALSE(catalog_.Get("u").ok());
+}
+
+TEST_F(CatalogTest, DuplicateCreateFails) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColSchema()).ok());
+  Result<TableInfo*> again = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, AnalyzeComputesStats) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  Load(t.value(), 1000);
+
+  AnalyzeOptions opts;
+  opts.histogram_kind = HistogramKind::kMaxDiff;
+  ASSERT_TRUE(catalog_.Analyze("t", opts).ok());
+
+  const TableStats& stats = t.value()->stats;
+  EXPECT_TRUE(stats.analyzed);
+  EXPECT_DOUBLE_EQ(stats.row_count, 1000);
+  EXPECT_GT(stats.page_count, 0);
+  EXPECT_GT(stats.avg_tuple_bytes, 0);
+
+  const ColumnStats* id = stats.Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_TRUE(id->has_bounds);
+  EXPECT_DOUBLE_EQ(id->min, 0);
+  EXPECT_DOUBLE_EQ(id->max, 999);
+  EXPECT_DOUBLE_EQ(id->distinct, 1000);
+  EXPECT_TRUE(id->has_histogram());
+
+  const ColumnStats* name = stats.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_FALSE(name->has_bounds);       // strings have no numeric bounds
+  EXPECT_DOUBLE_EQ(name->distinct, 7);  // i % 7
+  EXPECT_FALSE(name->has_histogram());
+}
+
+TEST_F(CatalogTest, AnalyzeWithSampling) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  Load(t.value(), 5000);
+  AnalyzeOptions opts;
+  opts.sample_size = 500;
+  ASSERT_TRUE(catalog_.Analyze("t", opts).ok());
+  const ColumnStats* id = t.value()->stats.Find("id");
+  ASSERT_NE(id, nullptr);
+  // Histogram built from the sample is scaled to the full row count.
+  EXPECT_NEAR(id->histogram.total_count(), 5000, 50);
+}
+
+TEST_F(CatalogTest, CreateIndexAndProbe) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  Load(t.value(), 500);
+  ASSERT_TRUE(catalog_.CreateIndex("t", "id").ok());
+  const BTree* index = t.value()->FindIndex("id");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->entry_count(), 500u);
+  std::vector<Rid> rids;
+  ASSERT_TRUE(index->Lookup(123, &rids).ok());
+  ASSERT_EQ(rids.size(), 1u);
+  Result<Tuple> row = t.value()->heap->Fetch(rids[0]);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value().at(0).AsInt(), 123);
+}
+
+TEST_F(CatalogTest, IndexOnStringRejected) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  Status s = catalog_.CreateIndex("t", "name");
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+}
+
+TEST_F(CatalogTest, DuplicateIndexRejected) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(catalog_.CreateIndex("t", "id").ok());
+  EXPECT_EQ(catalog_.CreateIndex("t", "id").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, KeysAndUpdateActivity) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(catalog_.DeclareKey("t", "id").ok());
+  Result<TableInfo*> t = catalog_.Get("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value()->key_columns.count("id"));
+
+  ASSERT_TRUE(catalog_.BumpUpdateActivity("t", 0.25).ok());
+  EXPECT_DOUBLE_EQ(t.value()->stats.update_activity, 0.25);
+  // ANALYZE resets staleness.
+  ASSERT_TRUE(catalog_.Analyze("t", AnalyzeOptions{}).ok());
+  EXPECT_DOUBLE_EQ(t.value()->stats.update_activity, 0);
+}
+
+TEST_F(CatalogTest, DropFreesPages) {
+  Result<TableInfo*> t = catalog_.CreateTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  Load(t.value(), 2000);
+  size_t live = disk_.live_pages();
+  EXPECT_GT(live, 0u);
+  ASSERT_TRUE(catalog_.Drop("t").ok());
+  EXPECT_FALSE(catalog_.Exists("t"));
+  EXPECT_LT(disk_.live_pages(), live);
+  EXPECT_EQ(catalog_.Drop("t").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, TempNamesAreFresh) {
+  std::string a = catalog_.NextTempName();
+  std::string b = catalog_.NextTempName();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(CatalogTest, SetStatsOverrides) {
+  ASSERT_TRUE(catalog_.CreateTable("t", TwoColSchema()).ok());
+  TableStats ts;
+  ts.analyzed = true;
+  ts.row_count = 12345;
+  ASSERT_TRUE(catalog_.SetStats("t", ts).ok());
+  Result<TableInfo*> t = catalog_.Get("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t.value()->stats.row_count, 12345);
+}
+
+TEST(ColumnStatsTest, SelectivityWithHistogram) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i % 100);
+  ColumnStats cs;
+  cs.type = ValueType::kInt64;
+  cs.has_bounds = true;
+  cs.min = 0;
+  cs.max = 99;
+  cs.distinct = 100;
+  cs.histogram =
+      Histogram::Build(HistogramKind::kMaxDiff, values, 50, values.size());
+  EXPECT_NEAR(cs.SelectivityEquals(50, 1000), 0.01, 0.01);
+  EXPECT_NEAR(cs.SelectivityRange(0, false, 49, false, 1000), 0.5, 0.08);
+}
+
+TEST(ColumnStatsTest, SelectivityFallbacks) {
+  ColumnStats cs;  // no stats at all
+  EXPECT_DOUBLE_EQ(cs.SelectivityEquals(5, 100), 0.1);      // System-R magic
+  // Bounds only: uniform interpolation.
+  cs.has_bounds = true;
+  cs.min = 0;
+  cs.max = 100;
+  EXPECT_NEAR(cs.SelectivityRange(0, false, 50, false, 100), 0.5, 1e-9);
+  // Distinct only: 1/V.
+  cs.distinct = 20;
+  EXPECT_DOUBLE_EQ(cs.SelectivityEquals(5, 100), 0.05);
+  EXPECT_DOUBLE_EQ(cs.SelectivityEquals(500, 100), 0);  // out of bounds
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,284 @@
+// Execution-engine correctness: operators against reference answers, spill
+// behaviour under tight memory, and cost accounting invariants.
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+ReoptOptions Off() {
+  ReoptOptions o;
+  o.mode = ReoptMode::kOff;
+  return o;
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() { LoadEmpDept(&db_, 500, 10); }
+  Database db_;
+};
+
+TEST_F(ExecTest, FullScan) {
+  Result<QueryResult> r = db_.ExecuteWith("SELECT emp_id FROM emp", Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 500u);
+}
+
+TEST_F(ExecTest, FilterPredicates) {
+  // emp_id in [100, 199]: 100 rows.
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp_id FROM emp WHERE emp_id >= 100 AND emp_id < 200", Off());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 100u);
+  for (const Tuple& t : r.value().rows) {
+    EXPECT_GE(t.at(0).AsInt(), 100);
+    EXPECT_LT(t.at(0).AsInt(), 200);
+  }
+}
+
+TEST_F(ExecTest, StringEqualityAndNe) {
+  Result<QueryResult> eq = db_.ExecuteWith(
+      "SELECT emp_id FROM emp WHERE name = 'emp7'", Off());
+  ASSERT_TRUE(eq.ok());
+  ASSERT_EQ(eq.value().rows.size(), 1u);
+  EXPECT_EQ(eq.value().rows[0].at(0).AsInt(), 7);
+
+  Result<QueryResult> ne = db_.ExecuteWith(
+      "SELECT emp_id FROM emp WHERE name <> 'emp7'", Off());
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne.value().rows.size(), 499u);
+}
+
+TEST_F(ExecTest, ColumnVsColumnFilter) {
+  // salary = 1000 + emp_id*10 -> emp_id*1.0 < dept_id only for emp_id < ...
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp_id FROM emp WHERE emp_id < dept_id", Off());
+  ASSERT_TRUE(r.ok());
+  // dept_id = emp_id % 10, so emp_id < dept_id only for emp_id in 0..9
+  // where emp_id < emp_id%10 never holds... verify against brute force:
+  int expected = 0;
+  for (int i = 0; i < 500; ++i)
+    if (i < i % 10) ++expected;
+  EXPECT_EQ(r.value().rows.size(), static_cast<size_t>(expected));
+}
+
+TEST_F(ExecTest, JoinMatchesReference) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp_id, dept_name FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND emp_id < 30",
+      Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 30u);
+  std::vector<std::string> got = Canon(r.value().rows);
+  std::vector<Tuple> expected;
+  for (int i = 0; i < 30; ++i)
+    expected.push_back(
+        Tuple({Value(int64_t{i}), Value("dept" + std::to_string(i % 10))}));
+  EXPECT_EQ(got, Canon(expected));
+}
+
+TEST_F(ExecTest, ThreeWayJoin) {
+  // emp x dept x dept(region) is not available; self-join dept instead.
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT e.emp_id FROM emp e, dept d1, dept d2 "
+      "WHERE e.dept_id = d1.dept_id AND d1.region_id = d2.region_id AND "
+      "e.emp_id < 10",
+      Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Each dept joins every dept sharing its region (10 depts, 3 regions:
+  // region 0 {0,3,6,9}=4, region1 {1,4,7}=3, region2 {2,5,8}=3).
+  size_t expected = 0;
+  auto region_size = [](int d) {
+    int region = d % 3;
+    return region == 0 ? 4 : 3;
+  };
+  for (int i = 0; i < 10; ++i) expected += region_size(i % 10);
+  EXPECT_EQ(r.value().rows.size(), expected);
+}
+
+TEST_F(ExecTest, GlobalAggregates) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) "
+      "FROM emp",
+      Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  const Tuple& t = r.value().rows[0];
+  double sum = 0;
+  for (int i = 0; i < 500; ++i) sum += 1000.0 + i * 10;
+  EXPECT_EQ(t.at(0).AsInt(), 500);
+  EXPECT_NEAR(t.at(1).AsDouble(), sum, 1e-6);
+  EXPECT_NEAR(t.at(2).AsDouble(), sum / 500, 1e-6);
+  EXPECT_NEAR(t.at(3).AsDouble(), 1000.0, 1e-9);
+  EXPECT_NEAR(t.at(4).AsDouble(), 1000.0 + 499 * 10, 1e-9);
+}
+
+TEST_F(ExecTest, GroupByAggregate) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp.dept_id, COUNT(*) AS cnt FROM emp GROUP BY emp.dept_id",
+      Off());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 10u);
+  for (const Tuple& t : r.value().rows) EXPECT_EQ(t.at(1).AsInt(), 50);
+}
+
+TEST_F(ExecTest, GroupByEmptyInputYieldsNoGroups) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp.dept_id, COUNT(*) FROM emp WHERE emp_id < 0 "
+      "GROUP BY emp.dept_id",
+      Off());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rows.empty());
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInputYieldsZeroRow) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT COUNT(*) FROM emp WHERE emp_id < 0", Off());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0].at(0).AsInt(), 0);
+}
+
+TEST_F(ExecTest, OrderByAndLimit) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp_id, salary FROM emp WHERE emp_id < 100 "
+      "ORDER BY salary DESC LIMIT 5",
+      Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 5u);
+  for (size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(r.value().rows[i].at(0).AsInt(), 99 - static_cast<int64_t>(i));
+}
+
+TEST_F(ExecTest, OrderByAscendingTies) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT emp.dept_id FROM emp WHERE emp_id < 50 ORDER BY dept_id",
+      Off());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 50u);
+  for (size_t i = 1; i < 50; ++i)
+    EXPECT_LE(r.value().rows[i - 1].at(0).AsInt(),
+              r.value().rows[i].at(0).AsInt());
+}
+
+// Spill correctness: the same query under generous and tiny memory budgets
+// must return identical results, and the tiny run must do more I/O.
+TEST(ExecSpillTest, HashJoinSpillIsCorrect) {
+  DatabaseOptions big_opts;
+  big_opts.query_mem_pages = 512;
+  DatabaseOptions small_opts;
+  small_opts.query_mem_pages = 8;
+
+  Database big(big_opts), small(small_opts);
+  LoadEmpDept(&big, 4000, 40);
+  LoadEmpDept(&small, 4000, 40);
+
+  const std::string sql =
+      "SELECT emp_id, dept_name FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id";
+  Result<QueryResult> rb = big.ExecuteWith(sql, Off());
+  Result<QueryResult> rs = small.ExecuteWith(sql, Off());
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rb.value().rows.size(), 4000u);
+  EXPECT_EQ(Canon(rb.value().rows), Canon(rs.value().rows));
+}
+
+TEST(ExecSpillTest, SelfJoinSpillStress) {
+  DatabaseOptions opts;
+  opts.query_mem_pages = 6;  // forces Grace partitioning + recursion
+  Database db(opts);
+  LoadEmpDept(&db, 3000, 30);
+  Result<QueryResult> r = db.ExecuteWith(
+      "SELECT e1.emp_id FROM emp e1, emp e2 "
+      "WHERE e1.emp_id = e2.emp_id",
+      Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows.size(), 3000u);
+}
+
+TEST(ExecSpillTest, AggregateSpillIsCorrect) {
+  DatabaseOptions small_opts;
+  small_opts.query_mem_pages = 4;
+  Database small(small_opts);
+  Database big;
+  LoadEmpDept(&small, 5000, 1000);  // 1000 groups
+  LoadEmpDept(&big, 5000, 1000);
+  const std::string sql =
+      "SELECT emp.dept_id, COUNT(*) AS c, SUM(salary) AS s FROM emp "
+      "GROUP BY emp.dept_id";
+  Result<QueryResult> rs = small.ExecuteWith(sql, Off());
+  Result<QueryResult> rb = big.ExecuteWith(sql, Off());
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1000u);
+  EXPECT_EQ(Canon(rs.value().rows), Canon(rb.value().rows));
+}
+
+TEST(ExecSpillTest, ExternalSortIsCorrect) {
+  DatabaseOptions small_opts;
+  small_opts.query_mem_pages = 4;
+  Database small(small_opts);
+  LoadEmpDept(&small, 5000, 10);
+  Result<QueryResult> r = small.ExecuteWith(
+      "SELECT emp_id FROM emp ORDER BY emp_id DESC", Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 5000u);
+  for (size_t i = 1; i < r.value().rows.size(); ++i)
+    EXPECT_GE(r.value().rows[i - 1].at(0).AsInt(),
+              r.value().rows[i].at(0).AsInt());
+}
+
+TEST_F(ExecTest, IndexJoinAndHashJoinAgree) {
+  ASSERT_TRUE(db_.CreateIndex("dept", "dept_id").ok());
+  const std::string sql =
+      "SELECT emp_id, dept_name FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND emp_id < 100";
+  // With the index available the optimizer may pick IndexNLJoin; with a
+  // separate db without indexes it must hash join. Results must agree.
+  Database no_index;
+  LoadEmpDept(&no_index, 500, 10);
+  Result<QueryResult> a = db_.ExecuteWith(sql, Off());
+  Result<QueryResult> b = no_index.ExecuteWith(sql, Off());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Canon(a.value().rows), Canon(b.value().rows));
+}
+
+TEST_F(ExecTest, SimulatedTimeAndIosPositive) {
+  Result<QueryResult> r = db_.ExecuteWith("SELECT emp_id FROM emp", Off());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().report.sim_time_ms, 0);
+  EXPECT_GT(r.value().report.page_ios, 0u);
+  EXPECT_EQ(r.value().report.output_rows, 500u);
+}
+
+TEST_F(ExecTest, DeterministicAcrossRuns) {
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) AS s FROM emp GROUP BY emp.dept_id";
+  Result<QueryResult> a = db_.ExecuteWith(sql, Off());
+  Result<QueryResult> b = db_.ExecuteWith(sql, Off());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Canon(a.value().rows), Canon(b.value().rows));
+  EXPECT_DOUBLE_EQ(a.value().report.sim_time_ms, b.value().report.sim_time_ms);
+  EXPECT_EQ(a.value().report.page_ios, b.value().report.page_ios);
+}
+
+TEST_F(ExecTest, MinMaxOnStrings) {
+  Result<QueryResult> r = db_.ExecuteWith(
+      "SELECT MIN(name), MAX(name) FROM emp WHERE emp_id < 3", Off());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0].at(0).AsString(), "emp0");
+  EXPECT_EQ(r.value().rows[0].at(1).AsString(), "emp2");
+}
+
+}  // namespace
+}  // namespace reoptdb

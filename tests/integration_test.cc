@@ -1,0 +1,161 @@
+// Cross-cutting integration tests: result equivalence across re-optimization
+// modes, memory budgets and data skew; determinism; temp-table hygiene.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+struct SweepParam {
+  int query_idx;
+  double zipf_z;
+  double mem_pages;
+};
+
+class ModeEquivalenceSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static Database* GetDb(double z, double mem) {
+    // Cache one database per configuration (loading dominates test time).
+    static std::map<std::pair<int, int>, std::unique_ptr<Database>> cache;
+    auto key = std::make_pair(static_cast<int>(z * 10),
+                              static_cast<int>(mem));
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second.get();
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 256;
+    opts.query_mem_pages = mem;
+    auto db = std::make_unique<Database>(opts);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = 0.002;
+    gen.zipf_z = z;
+    EXPECT_TRUE(tpcd::Load(db.get(), gen).ok());
+    Database* raw = db.get();
+    cache[key] = std::move(db);
+    return raw;
+  }
+};
+
+TEST_P(ModeEquivalenceSweep, AllModesAgree) {
+  const SweepParam& p = GetParam();
+  Database* db = GetDb(p.zipf_z, p.mem_pages);
+  const tpcd::TpcdQuery q = tpcd::AllQueries()[p.query_idx];
+
+  std::vector<std::string> reference;
+  for (ReoptMode mode : {ReoptMode::kOff, ReoptMode::kMemoryOnly,
+                         ReoptMode::kPlanOnly, ReoptMode::kFull}) {
+    ReoptOptions o;
+    o.mode = mode;
+    Result<QueryResult> r = db->ExecuteWith(q.sql, o);
+    ASSERT_TRUE(r.ok()) << q.name << "/" << ReoptModeName(mode) << ": "
+                        << r.status().ToString();
+    if (reference.empty()) {
+      reference = Canon(r.value().rows);
+    } else {
+      ASSERT_EQ(Canon(r.value().rows), reference)
+          << q.name << " diverges under " << ReoptModeName(mode)
+          << " (z=" << p.zipf_z << ", mem=" << p.mem_pages << ")";
+    }
+  }
+}
+
+std::vector<SweepParam> SweepParams() {
+  std::vector<SweepParam> out;
+  for (int q = 0; q < 7; ++q) {
+    out.push_back({q, 0.0, 64});
+    out.push_back({q, 0.6, 64});
+    out.push_back({q, 0.0, 16});  // tight memory: exercise spills
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModeEquivalenceSweep, ::testing::ValuesIn(SweepParams()),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const SweepParam& p = info.param;
+      return std::string(tpcd::AllQueries()[p.query_idx].name) + "_z" +
+             std::to_string(static_cast<int>(p.zipf_z * 10)) + "_m" +
+             std::to_string(static_cast<int>(p.mem_pages));
+    });
+
+TEST(IntegrationTest, SimulatedTimeIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    DatabaseOptions opts;
+    opts.query_mem_pages = 32;
+    Database db(opts);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = 0.002;
+    gen.seed = seed;
+    EXPECT_TRUE(tpcd::Load(&db, gen).ok());
+    Result<QueryResult> r = db.Execute(tpcd::Q5Sql());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value().report.sim_time_ms;
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(IntegrationTest, NoTempTablesOrPageLeaksAcrossQueries) {
+  DatabaseOptions opts;
+  opts.query_mem_pages = 32;
+  Database db(opts);
+  LoadEmpDept(&db, 2000, 20);
+  size_t live_before = db.disk()->live_pages();
+  for (int i = 0; i < 5; ++i) {
+    Result<QueryResult> r = db.Execute(
+        "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+        "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Temp/spill pages must all be reclaimed.
+  EXPECT_EQ(db.disk()->live_pages(), live_before);
+}
+
+TEST(IntegrationTest, ExplainShowsAnnotations) {
+  Database db;
+  LoadEmpDept(&db);
+  Result<std::string> plan = db.Explain(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("HashAggregate"), std::string::npos);
+  EXPECT_NE(plan->find("rows="), std::string::npos);
+  EXPECT_NE(plan->find("cost="), std::string::npos);
+}
+
+TEST(IntegrationTest, CollectionOverheadRespectsMu) {
+  // With reopt decisions effectively disabled (theta2 huge) the only extra
+  // work vs kOff is statistics collection, bounded by mu.
+  DatabaseOptions opts;
+  opts.query_mem_pages = 128;
+  Database db(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.002;
+  ASSERT_TRUE(tpcd::Load(&db, gen).ok());
+
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  ReoptOptions collectors_only;
+  collectors_only.mode = ReoptMode::kFull;
+  collectors_only.theta2 = 1e12;
+  collectors_only.mu = 0.05;
+
+  for (const auto& q : tpcd::AllQueries()) {
+    Result<QueryResult> base = db.ExecuteWith(q.sql, off);
+    Result<QueryResult> with = db.ExecuteWith(q.sql, collectors_only);
+    ASSERT_TRUE(base.ok()) << q.name;
+    ASSERT_TRUE(with.ok()) << q.name;
+    // Memory re-allocation can only help; collection overhead is bounded.
+    double slowdown = with.value().report.sim_time_ms /
+                      base.value().report.sim_time_ms;
+    EXPECT_LT(slowdown, 1.12) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace reoptdb

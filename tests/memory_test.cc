@@ -1,0 +1,163 @@
+// Tests for the memory manager: demand computation, the allocation policy
+// from the paper's Fig. 3 narrative, and frozen (started) operators.
+
+#include "gtest/gtest.h"
+#include "memory/memory_manager.h"
+#include "optimizer/cost_model.h"
+#include "plan/physical_plan.h"
+
+namespace reoptdb {
+namespace {
+
+/// Builds: Aggregate <- HJ2 <- HJ1 <- (scan, scan), HJ2 probe = scan.
+/// Mirrors the paper's Fig. 3 plan shape.
+std::unique_ptr<PlanNode> Fig3Plan(double filter_pages) {
+  auto scan1 = std::make_unique<PlanNode>();
+  scan1->kind = OpKind::kSeqScan;
+  scan1->est.cardinality = 15000;
+  scan1->est.pages = filter_pages;
+  scan1->improved = scan1->est;
+
+  auto scan2 = std::make_unique<PlanNode>();
+  scan2->kind = OpKind::kSeqScan;
+  scan2->est.cardinality = 40000;
+  scan2->est.pages = 1000;
+  scan2->improved = scan2->est;
+
+  auto hj1 = std::make_unique<PlanNode>();
+  hj1->kind = OpKind::kHashJoin;
+  hj1->est.cardinality = 15000;
+  hj1->est.pages = filter_pages + 10;
+  hj1->children.push_back(std::move(scan1));  // build = filtered Rel1
+  hj1->children.push_back(std::move(scan2));
+  hj1->improved = hj1->est;
+
+  auto scan3 = std::make_unique<PlanNode>();
+  scan3->kind = OpKind::kSeqScan;
+  scan3->est.cardinality = 5000;
+  scan3->est.pages = 200;
+  scan3->improved = scan3->est;
+
+  auto hj2 = std::make_unique<PlanNode>();
+  hj2->kind = OpKind::kHashJoin;
+  hj2->est.cardinality = 15000;
+  hj2->est.pages = filter_pages + 20;
+  hj2->children.push_back(std::move(hj1));  // build = HJ1 output
+  hj2->children.push_back(std::move(scan3));
+  hj2->improved = hj2->est;
+
+  auto agg = std::make_unique<PlanNode>();
+  agg->kind = OpKind::kHashAggregate;
+  agg->group_cols = {"r.g"};
+  agg->est.cardinality = 100;
+  agg->est.num_groups = 100;
+  agg->improved = agg->est;
+  agg->output_schema =
+      Schema(std::vector<Column>{{"", "g", ValueType::kInt64, 8}});
+  agg->children.push_back(std::move(hj2));
+  int id = 0;
+  agg->PostOrder([&](PlanNode* n) { n->id = id++; });
+  return agg;
+}
+
+TEST(MemoryManagerTest, BlockingOrderIsBuildFirst) {
+  auto plan = Fig3Plan(400);
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0]->kind, OpKind::kHashJoin);  // HJ1 (deepest build)
+  EXPECT_EQ(order[1]->kind, OpKind::kHashJoin);  // HJ2
+  EXPECT_EQ(order[2]->kind, OpKind::kHashAggregate);
+}
+
+TEST(MemoryManagerTest, DemandsFromImprovedEstimates) {
+  CostModel cost;
+  MemoryManager mm(&cost, 1000);
+  auto plan = Fig3Plan(400);
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  mm.ComputeDemands(order[0]);
+  EXPECT_DOUBLE_EQ(order[0]->max_mem_pages, cost.HashJoinMaxMem(400));
+  EXPECT_DOUBLE_EQ(order[0]->min_mem_pages, cost.HashJoinMinMem(400));
+  EXPECT_GT(order[0]->max_mem_pages, order[0]->min_mem_pages);
+}
+
+TEST(MemoryManagerTest, AmpleMemoryGrantsMaxima) {
+  CostModel cost;
+  MemoryManager mm(&cost, 100000);
+  auto plan = Fig3Plan(400);
+  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  for (PlanNode* n : order)
+    EXPECT_GE(n->mem_budget_pages, n->max_mem_pages) << OpKindName(n->kind);
+}
+
+TEST(MemoryManagerTest, ScarceMemoryFirstOperatorWins) {
+  // The paper's Fig. 3: under pressure the first join gets its maximum,
+  // the second gets its minimum.
+  CostModel cost;
+  auto plan = Fig3Plan(400);
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  double total = cost.HashJoinMaxMem(400) + cost.HashJoinMinMem(410) + 8;
+  MemoryManager mm(&cost, total);
+  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  EXPECT_GE(order[0]->mem_budget_pages, order[0]->max_mem_pages);
+  EXPECT_LT(order[1]->mem_budget_pages, order[1]->max_mem_pages);
+  EXPECT_GE(order[1]->mem_budget_pages, order[1]->min_mem_pages);
+}
+
+TEST(MemoryManagerTest, FrozenOperatorsKeepBudget) {
+  CostModel cost;
+  MemoryManager mm(&cost, 2000);
+  auto plan = Fig3Plan(400);
+  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  double hj1_before = order[0]->mem_budget_pages;
+
+  // HJ1 started; Rel1 turned out smaller -> improved estimates shrink.
+  order[0]->children[0]->improved.pages = 100;
+  std::set<int> frozen = {order[0]->id};
+  mm.Allocate(plan.get(), frozen);
+  EXPECT_DOUBLE_EQ(order[0]->mem_budget_pages, hj1_before);
+}
+
+TEST(MemoryManagerTest, ImprovedEstimatesUnlockOnePass) {
+  // The Fig. 3 story: with the 15000-row estimate HJ2's max demand cannot
+  // be met; with the observed 7500 rows it can.
+  CostModel cost;
+  auto plan = Fig3Plan(400);
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+
+  double budget = cost.HashJoinMaxMem(400) + cost.HashJoinMaxMem(210) + 4;
+  MemoryManager mm(&cost, budget);
+  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  EXPECT_LT(order[1]->mem_budget_pages, cost.HashJoinMaxMem(410));
+
+  // Observed: HJ1 output only half as large.
+  order[1]->children[0]->improved.pages = 205;
+  std::set<int> frozen = {order[0]->id};
+  ASSERT_TRUE(mm.Allocate(plan.get(), frozen));
+  EXPECT_GE(order[1]->mem_budget_pages, cost.HashJoinMaxMem(205));
+}
+
+TEST(MemoryManagerTest, MinimaScaledWhenBudgetTiny) {
+  CostModel cost;
+  MemoryManager mm(&cost, 6);
+  auto plan = Fig3Plan(4000);
+  mm.Allocate(plan.get(), {});
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  double total = 0;
+  for (PlanNode* n : order) {
+    EXPECT_GE(n->mem_budget_pages, 2);
+    total += n->mem_budget_pages;
+  }
+  EXPECT_LE(total, 6 + 3 * 2);  // floor of 2 pages each may overshoot a bit
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,153 @@
+// Tests for the sort-merge join operator and its optimizer integration.
+
+#include "exec/scheduler.h"
+#include "gtest/gtest.h"
+#include "memory/memory_manager.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+class MergeJoinTest : public ::testing::Test {
+ protected:
+  MergeJoinTest() { LoadEmpDept(&db_, 400, 10); }
+
+  /// Hand-builds sort(emp) MERGE sort(dept) on dept_id and executes it.
+  Result<std::vector<Tuple>> RunHandBuiltMergeJoin() {
+    auto scan_emp = std::make_unique<PlanNode>();
+    scan_emp->kind = OpKind::kSeqScan;
+    scan_emp->table = "emp";
+    scan_emp->alias = "emp";
+    scan_emp->output_schema = db_.catalog()->Get("emp").value()->schema;
+
+    auto scan_dept = std::make_unique<PlanNode>();
+    scan_dept->kind = OpKind::kSeqScan;
+    scan_dept->table = "dept";
+    scan_dept->alias = "dept";
+    scan_dept->output_schema = db_.catalog()->Get("dept").value()->schema;
+
+    auto sort_emp = std::make_unique<PlanNode>();
+    sort_emp->kind = OpKind::kSort;
+    sort_emp->sort_keys = {{"emp.dept_id", true}};
+    sort_emp->output_schema = scan_emp->output_schema;
+    sort_emp->mem_budget_pages = 64;
+    sort_emp->children.push_back(std::move(scan_emp));
+
+    auto sort_dept = std::make_unique<PlanNode>();
+    sort_dept->kind = OpKind::kSort;
+    sort_dept->sort_keys = {{"dept.dept_id", true}};
+    sort_dept->output_schema = scan_dept->output_schema;
+    sort_dept->mem_budget_pages = 64;
+    sort_dept->children.push_back(std::move(scan_dept));
+
+    auto join = std::make_unique<PlanNode>();
+    join->kind = OpKind::kMergeJoin;
+    join->left_keys = {"emp.dept_id"};
+    join->right_keys = {"dept.dept_id"};
+    join->output_schema = Schema::Concat(sort_emp->output_schema,
+                                         sort_dept->output_schema);
+    join->children.push_back(std::move(sort_emp));
+    join->children.push_back(std::move(sort_dept));
+    int id = 0;
+    join->PostOrder([&](PlanNode* n) {
+      n->id = id++;
+      n->improved = n->est;
+    });
+
+    ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+    ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
+                     PipelineExecutor::Create(&ctx, join.get()));
+    std::vector<Tuple> rows;
+    while (exec->HasMoreStages()) {
+      ASSIGN_OR_RETURN(PipelineExecutor::StageResult stage,
+                       exec->RunNextStage(&rows));
+      if (stage.finished) break;
+    }
+    RETURN_IF_ERROR(exec->Close());
+    return rows;
+  }
+
+  Database db_;
+};
+
+TEST_F(MergeJoinTest, MatchesHashJoinResults) {
+  Result<std::vector<Tuple>> merge_rows = RunHandBuiltMergeJoin();
+  ASSERT_TRUE(merge_rows.ok()) << merge_rows.status().ToString();
+  // Every emp row matches exactly one dept row.
+  EXPECT_EQ(merge_rows.value().size(), 400u);
+
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  Result<QueryResult> reference = db_.ExecuteWith(
+      "SELECT emp_id, dept_name FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id",
+      off);
+  ASSERT_TRUE(reference.ok());
+  // Project the hand-built join's output down to the same two columns.
+  std::vector<Tuple> projected;
+  for (const Tuple& t : merge_rows.value())
+    projected.push_back(Tuple({t.at(0), t.at(5)}));  // emp_id, dept_name
+  EXPECT_EQ(Canon(projected), Canon(reference.value().rows));
+}
+
+TEST_F(MergeJoinTest, DuplicateKeysCrossProduct) {
+  // Self-join of dept on region_id: regions {0:{0,3,6,9}, 1:{1,4,7},
+  // 2:{2,5,8}} -> 4*4 + 3*3 + 3*3 = 34 pairs.
+  Database db;
+  LoadEmpDept(&db, 10, 10);
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  Result<QueryResult> hash = db.ExecuteWith(
+      "SELECT d1.dept_id FROM dept d1, dept d2 "
+      "WHERE d1.region_id = d2.region_id",
+      off);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash.value().rows.size(), 34u);
+}
+
+TEST_F(MergeJoinTest, OptimizerCanChooseMergeJoin) {
+  // With sort-merge enabled the DP must at least *consider* it; verify the
+  // search space contains it by forcing the choice: disable nothing and
+  // check a query where sorts are cheap (inputs fit memory) still returns
+  // correct results whichever join wins.
+  SelectStmtAst ast = ParseSelect(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id")
+      .value();
+  QuerySpec spec = Bind(ast, *db_.catalog()).value();
+
+  OptimizerOptions with_smj;
+  with_smj.enable_sort_merge_join = true;
+  OptimizerOptions without;
+  without.enable_sort_merge_join = false;
+  Optimizer a(db_.catalog(), &db_.cost_model(), with_smj);
+  Optimizer b(db_.catalog(), &db_.cost_model(), without);
+  OptimizeResult ra = a.Plan(spec).value();
+  OptimizeResult rb = b.Plan(spec).value();
+  // The larger search space enumerates strictly more candidates...
+  EXPECT_GT(ra.plans_enumerated, rb.plans_enumerated);
+  // ...and never yields a worse plan estimate.
+  EXPECT_LE(ra.plan->est.cost_total_ms, rb.plan->est.cost_total_ms * 1.0001);
+}
+
+TEST_F(MergeJoinTest, EmptyInputs) {
+  Database db;
+  LoadEmpDept(&db, 5, 5);
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  // Empty left side after filter.
+  Result<QueryResult> r = db.ExecuteWith(
+      "SELECT emp_id FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND emp_id < 0",
+      off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rows.empty());
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,273 @@
+// Tests for selectivity estimation, the cost model, DP join enumeration,
+// plan annotation, calibration, and remainder-spec construction.
+
+#include "gtest/gtest.h"
+#include "optimizer/calibration.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/remainder_sql.h"
+#include "optimizer/selectivity.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::LoadEmpDept;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() { LoadEmpDept(&db_, 2000, 20); }
+
+  Result<QuerySpec> BindSql(const std::string& sql) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), *db_.catalog());
+  }
+
+  Result<OptimizeResult> Plan(const std::string& sql) {
+    Result<QuerySpec> spec = BindSql(sql);
+    if (!spec.ok()) return spec.status();
+    Optimizer opt(db_.catalog(), &db_.cost_model());
+    return opt.Plan(spec.value());
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerTest, EstimatorBaseRelCardinality) {
+  Result<QuerySpec> spec =
+      BindSql("SELECT emp_id FROM emp WHERE emp_id < 1000");
+  ASSERT_TRUE(spec.ok());
+  Estimator est(db_.catalog(), &spec.value());
+  Result<DerivedRel> rel = est.BaseRel(0);
+  ASSERT_TRUE(rel.ok());
+  // emp_id uniform 0..1999; < 1000 selects half.
+  EXPECT_NEAR(rel.value().rows, 1000, 120);
+}
+
+TEST_F(OptimizerTest, EstimatorEqualityOnKey) {
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp WHERE emp_id = 7");
+  ASSERT_TRUE(spec.ok());
+  Estimator est(db_.catalog(), &spec.value());
+  Result<DerivedRel> rel = est.BaseRel(0);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_NEAR(rel.value().rows, 1, 3);
+}
+
+TEST_F(OptimizerTest, EstimatorJoinUsesDistinctCounts) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(spec.ok());
+  Estimator est(db_.catalog(), &spec.value());
+  Result<DerivedRel> emp = est.BaseRel(0);
+  Result<DerivedRel> dept = est.BaseRel(1);
+  ASSERT_TRUE(emp.ok());
+  ASSERT_TRUE(dept.ok());
+  std::vector<const JoinPred*> preds{&spec.value().joins[0]};
+  DerivedRel joined = est.Join(emp.value(), dept.value(), preds);
+  // FK join: every emp row matches exactly one dept -> ~2000 rows.
+  EXPECT_NEAR(joined.rows, 2000, 200);
+}
+
+TEST_F(OptimizerTest, GroupCountEstimate) {
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  Estimator est(db_.catalog(), &spec.value());
+  Result<DerivedRel> rel = est.BaseRel(0);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_NEAR(Estimator::GroupCount(rel.value(), {"emp.dept_id"}), 20, 3);
+  // Group count never exceeds the input cardinality.
+  EXPECT_LE(Estimator::GroupCount(rel.value(), {"emp.emp_id", "emp.dept_id"}),
+            rel.value().rows + 1);
+}
+
+TEST_F(OptimizerTest, PlanSingleTableHasScanAndAnnotations) {
+  Result<OptimizeResult> r =
+      Plan("SELECT emp_id FROM emp WHERE salary > 5000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PlanNode& root = *r.value().plan;
+  EXPECT_EQ(root.kind, OpKind::kProject);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0]->kind, OpKind::kSeqScan);
+  // Annotated: estimates present on every node.
+  root.PostOrder([](const PlanNode* n) {
+    EXPECT_GT(n->est.cardinality, 0) << OpKindName(n->kind);
+    EXPECT_GE(n->est.cost_total_ms, n->est.cost_self_ms);
+  });
+  EXPECT_GT(r.value().plans_enumerated, 0u);
+  EXPECT_GT(r.value().sim_opt_time_ms, 0);
+}
+
+TEST_F(OptimizerTest, JoinPlanCoversAllRelations) {
+  Result<OptimizeResult> r = Plan(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(r.ok());
+  const PlanNode& root = *r.value().plan;
+  EXPECT_EQ(root.covers.size(), 2u);
+  bool has_join = false;
+  root.PostOrder([&](const PlanNode* n) {
+    if (n->kind == OpKind::kHashJoin || n->kind == OpKind::kIndexNLJoin)
+      has_join = true;
+  });
+  EXPECT_TRUE(has_join);
+}
+
+TEST_F(OptimizerTest, HashJoinBuildsOnSmallerInput) {
+  Result<OptimizeResult> r = Plan(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(r.ok());
+  // Find the hash join; its build (child 0) should be the small dept side.
+  const PlanNode* join = nullptr;
+  r.value().plan->PostOrder([&](const PlanNode* n) {
+    if (n->kind == OpKind::kHashJoin) join = n;
+  });
+  if (join != nullptr) {
+    EXPECT_LE(join->children[0]->est.cardinality,
+              join->children[1]->est.cardinality);
+  }
+}
+
+TEST_F(OptimizerTest, IndexScanChosenForSelectiveKeyPredicate) {
+  ASSERT_TRUE(db_.CreateIndex("emp", "emp_id").ok());
+  Result<OptimizeResult> r =
+      Plan("SELECT emp_id FROM emp WHERE emp_id = 42");
+  ASSERT_TRUE(r.ok());
+  bool has_index_scan = false;
+  r.value().plan->PostOrder([&](const PlanNode* n) {
+    if (n->kind == OpKind::kIndexScan) {
+      has_index_scan = true;
+      EXPECT_EQ(n->index_column, "emp_id");
+      ASSERT_TRUE(n->range_lo.has_value());
+      EXPECT_EQ(*n->range_lo, 42);
+      EXPECT_EQ(*n->range_hi, 42);
+    }
+  });
+  EXPECT_TRUE(has_index_scan);
+}
+
+TEST_F(OptimizerTest, SeqScanChosenForUnselectivePredicate) {
+  ASSERT_TRUE(db_.CreateIndex("emp", "emp_id").ok());
+  Result<OptimizeResult> r =
+      Plan("SELECT emp_id FROM emp WHERE emp_id >= 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().plan->children[0]->kind, OpKind::kSeqScan);
+}
+
+TEST_F(OptimizerTest, AggregatePlanShape) {
+  Result<OptimizeResult> r = Plan(
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp GROUP BY emp.dept_id "
+      "ORDER BY total DESC LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PlanNode* n = r.value().plan.get();
+  EXPECT_EQ(n->kind, OpKind::kLimit);
+  n = n->children[0].get();
+  EXPECT_EQ(n->kind, OpKind::kSort);
+  n = n->children[0].get();
+  EXPECT_EQ(n->kind, OpKind::kHashAggregate);
+  EXPECT_GT(n->est.num_groups, 0);
+  EXPECT_EQ(n->output_schema.NumColumns(), 2u);
+  EXPECT_EQ(n->output_schema.column(1).type, ValueType::kDouble);
+}
+
+TEST_F(OptimizerTest, MoreJoinsEnumerateMorePlans) {
+  Result<OptimizeResult> one = Plan("SELECT emp_id FROM emp");
+  Result<OptimizeResult> two = Plan(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_GT(two.value().plans_enumerated, one.value().plans_enumerated);
+}
+
+TEST(CostModelTest, HashJoinPassesDependOnMemory) {
+  CostModel cost;
+  int passes_big = -1, passes_small = -1;
+  double c_big = cost.HashJoin(10000, 100, 10000, 100, /*mem=*/200, 10000,
+                               &passes_big);
+  double c_small = cost.HashJoin(10000, 100, 10000, 100, /*mem=*/10, 10000,
+                                 &passes_small);
+  EXPECT_EQ(passes_big, 0);
+  EXPECT_GE(passes_small, 1);
+  EXPECT_GT(c_small, c_big);
+}
+
+TEST(CostModelTest, MemoryDemandsMatchPaperNarrative) {
+  CostModel cost;
+  // Max demand = F x build size + overhead; min ~ sqrt of that.
+  EXPECT_GT(cost.HashJoinMaxMem(100), 100);
+  EXPECT_LT(cost.HashJoinMinMem(100), cost.HashJoinMaxMem(100));
+  EXPECT_GE(cost.HashJoinMinMem(100), 2);
+  EXPECT_GE(cost.SortMinMem(100), 2);
+  EXPECT_DOUBLE_EQ(cost.SortMaxMem(100), 100);
+}
+
+TEST(CostModelTest, SortCostGrowsWhenSpilling) {
+  CostModel cost;
+  EXPECT_GT(cost.Sort(100000, 500, 10), cost.Sort(100000, 500, 1000));
+}
+
+TEST(CostModelTest, TimeMsCombinesCounters) {
+  CostParams p;
+  p.t_io_ms = 2;
+  p.t_cpu_tuple_ms = 0.5;
+  CostModel cost(p);
+  CpuWork w;
+  w.tuples = 10;
+  EXPECT_DOUBLE_EQ(cost.TimeMs(3, w), 3 * 2 + 10 * 0.5);
+}
+
+TEST(CalibrationTest, MonotoneInRelationCount) {
+  CostModel cost;
+  Result<OptimizerCalibration> cal = OptimizerCalibration::Run(7, cost);
+  ASSERT_TRUE(cal.ok()) << cal.status().ToString();
+  EXPECT_TRUE(cal.value().calibrated());
+  double prev = 0;
+  for (int n = 2; n <= 7; ++n) {
+    double t = cal.value().EstimateOptTimeMs(n);
+    EXPECT_GT(t, prev) << "n=" << n;
+    prev = t;
+  }
+  // Extrapolation beyond the table keeps growing.
+  EXPECT_GT(cal.value().EstimateOptTimeMs(10),
+            cal.value().EstimateOptTimeMs(7));
+}
+
+TEST_F(OptimizerTest, RemainderSpecConstruction) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 100 AND dept_name = 'x' "
+      "GROUP BY emp.dept_id");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  // Pretend the emp side (relation 0) was materialized.
+  Result<QuerySpec> rem =
+      BuildRemainderSpec(spec.value(), {0}, "__temp1");
+  ASSERT_TRUE(rem.ok());
+  const QuerySpec& q = rem.value();
+  ASSERT_EQ(q.relations.size(), 2u);
+  EXPECT_EQ(q.relations[0].table, "__temp1");
+  EXPECT_EQ(q.relations[1].table, "dept");
+  // The emp filter is gone; the dept filter survives.
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].column, "dept_name");
+  // The join now targets the temp's renamed column.
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(q.joins[0].left_rel, 0);
+  EXPECT_EQ(q.joins[0].left_col, "emp__dept_id");
+  // Items and group-by remapped.
+  EXPECT_EQ(q.items[0].col.rel, 0);
+  EXPECT_EQ(q.items[0].col.column, "emp__dept_id");
+  EXPECT_EQ(q.group_by[0].column, "emp__dept_id");
+}
+
+TEST_F(OptimizerTest, TempSchemaNaming) {
+  Schema inter(std::vector<Column>{{"e1", "a", ValueType::kInt64, 8},
+                                   {"e2", "a", ValueType::kInt64, 8}});
+  Schema temp = TempTableSchema("__temp9", inter);
+  EXPECT_EQ(temp.column(0).QualifiedName(), "__temp9.e1__a");
+  EXPECT_EQ(temp.column(1).QualifiedName(), "__temp9.e2__a");
+  EXPECT_EQ(TempColumnName("n1", "n_name"), "n1__n_name");
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,138 @@
+// Tests for parametric plans (the paper's Section 4 hybrid).
+
+#include "gtest/gtest.h"
+#include "optimizer/parametric.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+class ParametricTest : public ::testing::Test {
+ protected:
+  ParametricTest() { LoadEmpDept(&db_, 2000, 20); }
+
+  Result<QuerySpec> BindSql(const std::string& sql) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), *db_.catalog());
+  }
+
+  Database db_;
+};
+
+TEST_F(ParametricTest, BuildsOneBranchPerBudget) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(spec.ok());
+  Result<ParametricPlanSet> set = ParametricPlanSet::Plan(
+      db_.catalog(), &db_.cost_model(), OptimizerOptions{}, spec.value(),
+      {16, 64, 256, 64});  // duplicate collapses
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->size(), 3u);
+  EXPECT_GT(set->total_sim_opt_time_ms(), 0);
+  for (const ParametricBranch& b : set->branches()) {
+    ASSERT_NE(b.plan, nullptr);
+    EXPECT_GT(b.plans_enumerated, 0u);
+    EXPECT_GT(b.plan->est.cost_total_ms, 0);
+  }
+}
+
+TEST_F(ParametricTest, PickNearestInLogSpace) {
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  ParametricPlanSet set =
+      ParametricPlanSet::Plan(db_.catalog(), &db_.cost_model(),
+                              OptimizerOptions{}, spec.value(), {16, 256})
+          .value();
+  EXPECT_DOUBLE_EQ(set.Pick(10).assumed_mem_pages, 16);
+  EXPECT_DOUBLE_EQ(set.Pick(16).assumed_mem_pages, 16);
+  // 64 = geometric mean: log-distance ties break to the first branch.
+  EXPECT_DOUBLE_EQ(set.Pick(63).assumed_mem_pages, 16);
+  EXPECT_DOUBLE_EQ(set.Pick(65).assumed_mem_pages, 256);
+  EXPECT_DOUBLE_EQ(set.Pick(100000).assumed_mem_pages, 256);
+}
+
+TEST_F(ParametricTest, InvalidInputsRejected) {
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(ParametricPlanSet::Plan(db_.catalog(), &db_.cost_model(),
+                                       OptimizerOptions{}, spec.value(), {})
+                   .ok());
+  EXPECT_FALSE(ParametricPlanSet::Plan(db_.catalog(), &db_.cost_model(),
+                                       OptimizerOptions{}, spec.value(),
+                                       {64, -1})
+                   .ok());
+}
+
+TEST_F(ParametricTest, PrepareExecuteMatchesDirectExecution) {
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id";
+  Result<PreparedQuery> prepared = db_.Prepare(sql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->plans.size(), 3u);  // default 1/4x, 1x, 4x
+
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  Result<QueryResult> direct = db_.ExecuteWith(sql, off);
+  ASSERT_TRUE(direct.ok());
+
+  for (double mem : {8.0, 64.0, 512.0}) {
+    Result<QueryResult> via =
+        db_.ExecutePrepared(*prepared, mem, off);
+    ASSERT_TRUE(via.ok()) << via.status().ToString();
+    EXPECT_EQ(Canon(via->rows), Canon(direct->rows)) << "mem=" << mem;
+  }
+}
+
+TEST_F(ParametricTest, RepeatedExecutionIsStable) {
+  Result<PreparedQuery> prepared =
+      db_.Prepare("SELECT COUNT(*) FROM emp WHERE salary > 2000");
+  ASSERT_TRUE(prepared.ok());
+  ReoptOptions full;
+  Result<QueryResult> a = db_.ExecutePrepared(*prepared, 64, full);
+  Result<QueryResult> b = db_.ExecutePrepared(*prepared, 64, full);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Cloned branches must not leak run-time state between executions.
+  EXPECT_EQ(Canon(a->rows), Canon(b->rows));
+  EXPECT_DOUBLE_EQ(a->report.sim_time_ms, b->report.sim_time_ms);
+}
+
+TEST(ParametricHybridTest, ReoptCoversUnanticipatedCases) {
+  // Stale catalog: the parametric branches are all planned from wrong
+  // statistics; the hybrid (branch pick + Dynamic Re-Optimization) must
+  // still return correct results and may act mid-query.
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 64;
+  Database db(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;
+  ASSERT_TRUE(tpcd::Load(&db, gen).ok());
+
+  Result<PreparedQuery> prepared = db.Prepare(tpcd::Q5Sql(), {16, 64, 256});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  ReoptOptions full;
+  Result<QueryResult> pure = db.ExecutePrepared(*prepared, 64, off);
+  Result<QueryResult> hybrid = db.ExecutePrepared(*prepared, 64, full);
+  ASSERT_TRUE(pure.ok());
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ(Canon(pure->rows), Canon(hybrid->rows));
+  // The hybrid should never be meaningfully slower than pure parametric.
+  EXPECT_LT(hybrid->report.sim_time_ms, pure->report.sim_time_ms * 1.10);
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,149 @@
+// Tests for the lexer and SQL parser.
+
+#include "gtest/gtest.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace reoptdb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> r =
+      Lex("SELECT a, b FROM t WHERE a <= 10 AND b <> 'x'");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[2].type, TokenType::kComma);
+  EXPECT_EQ(toks.back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  Result<std::vector<Token>> r = Lex("42 3.25 'hello world' -7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].int_value, 42);
+  EXPECT_DOUBLE_EQ(r.value()[1].float_value, 3.25);
+  EXPECT_EQ(r.value()[2].text, "hello world");
+}
+
+TEST(LexerTest, IdentifiersLowercasedKeywordsUppercased) {
+  Result<std::vector<Token>> r = Lex("Select FooBar from T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].IsKeyword("SELECT"));
+  EXPECT_EQ(r.value()[1].text, "foobar");
+  EXPECT_EQ(r.value()[3].text, "t");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  Result<std::vector<Token>> r = Lex("= <> != < <= > >=");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].type, TokenType::kEq);
+  EXPECT_EQ(r.value()[1].type, TokenType::kNe);
+  EXPECT_EQ(r.value()[2].type, TokenType::kNe);
+  EXPECT_EQ(r.value()[3].type, TokenType::kLt);
+  EXPECT_EQ(r.value()[4].type, TokenType::kLe);
+  EXPECT_EQ(r.value()[5].type, TokenType::kGt);
+  EXPECT_EQ(r.value()[6].type, TokenType::kGe);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharFails) { EXPECT_FALSE(Lex("SELECT #").ok()); }
+
+TEST(ParserTest, MinimalSelect) {
+  Result<SelectStmtAst> r = ParseSelect("SELECT a FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().items.size(), 1u);
+  EXPECT_EQ(r.value().items[0].column.name, "a");
+  ASSERT_EQ(r.value().tables.size(), 1u);
+  EXPECT_EQ(r.value().tables[0].table, "t");
+  EXPECT_EQ(r.value().tables[0].alias, "t");
+}
+
+TEST(ParserTest, QualifiedColumnsAndAliases) {
+  Result<SelectStmtAst> r =
+      ParseSelect("SELECT n1.n_name FROM nation n1, nation n2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().items[0].column.qualifier, "n1");
+  EXPECT_EQ(r.value().tables[0].alias, "n1");
+  EXPECT_EQ(r.value().tables[1].alias, "n2");
+  EXPECT_EQ(r.value().tables[1].table, "nation");
+}
+
+TEST(ParserTest, Aggregates) {
+  Result<SelectStmtAst> r = ParseSelect(
+      "SELECT SUM(a) AS total, AVG(b), COUNT(*), MIN(c), MAX(d) FROM t");
+  ASSERT_TRUE(r.ok());
+  const auto& items = r.value().items;
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].agg, AggFunc::kSum);
+  EXPECT_EQ(items[0].alias, "total");
+  EXPECT_EQ(items[1].agg, AggFunc::kAvg);
+  EXPECT_TRUE(items[2].count_star);
+  EXPECT_EQ(items[3].agg, AggFunc::kMin);
+  EXPECT_EQ(items[4].agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, WhereConjunction) {
+  Result<SelectStmtAst> r = ParseSelect(
+      "SELECT a FROM t WHERE a = 1 AND b < 2.5 AND c = 'x' AND a = b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().predicates.size(), 4u);
+}
+
+TEST(ParserTest, BetweenDesugarsToTwoPredicates) {
+  Result<SelectStmtAst> r =
+      ParseSelect("SELECT a FROM t WHERE a BETWEEN 3 AND 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().predicates.size(), 2u);
+  EXPECT_EQ(r.value().predicates[0].op, CmpOp::kGe);
+  EXPECT_EQ(r.value().predicates[1].op, CmpOp::kLe);
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  Result<SelectStmtAst> r = ParseSelect(
+      "SELECT a, SUM(b) AS s FROM t GROUP BY a ORDER BY s DESC, a LIMIT 10;");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().group_by.size(), 1u);
+  ASSERT_EQ(r.value().order_by.size(), 2u);
+  EXPECT_FALSE(r.value().order_by[0].ascending);
+  EXPECT_TRUE(r.value().order_by[1].ascending);
+  EXPECT_EQ(r.value().limit, 10);
+}
+
+TEST(ParserTest, LiteralOnLeft) {
+  Result<SelectStmtAst> r = ParseSelect("SELECT a FROM t WHERE 5 < a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::holds_alternative<Value>(r.value().predicates[0].lhs));
+}
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, RejectsMalformedInput) {
+  Result<SelectStmtAst> r = ParseSelect(GetParam());
+  EXPECT_FALSE(r.ok()) << "accepted: " << GetParam();
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadQueries, ParserErrorTest,
+    ::testing::Values("", "SELECT", "SELECT FROM t", "SELECT a",
+                      "SELECT a FROM", "SELECT a FROM t WHERE",
+                      "SELECT a FROM t WHERE a >",
+                      "SELECT a FROM t WHERE a BETWEEN 1", "FROM t SELECT a",
+                      "SELECT a FROM t GROUP a",
+                      "SELECT a FROM t ORDER a",
+                      "SELECT a FROM t LIMIT x",
+                      "SELECT SUM(a FROM t",
+                      "SELECT a FROM t extra garbage here",
+                      "SELECT a FROM t WHERE a = 1 2"));
+
+TEST(ParserTest, BetweenRequiresColumnLhs) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE 5 BETWEEN 1 AND 9").ok());
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,227 @@
+// Tests for the re-optimization internals added around the controller:
+// base-relation overrides for re-invoked optimization, temp-table stats
+// construction, the mid-execution memory extension, and remainder-SQL
+// round trips.
+
+#include "gtest/gtest.h"
+#include "memory/memory_manager.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/remainder_sql.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/controller.h"
+#include "reopt/scia.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+class OverridesTest : public ::testing::Test {
+ protected:
+  OverridesTest() { LoadEmpDept(&db_, 1000, 10); }
+
+  Result<QuerySpec> BindSql(const std::string& sql) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), *db_.catalog());
+  }
+
+  Database db_;
+};
+
+TEST_F(OverridesTest, ObservedScanStatsOverrideCatalog) {
+  Result<QuerySpec> spec =
+      BindSql("SELECT emp_id FROM emp WHERE salary > 3000");
+  ASSERT_TRUE(spec.ok());
+
+  // Build a fake partially-executed plan: a scan with observations.
+  PlanNode scan;
+  scan.kind = OpKind::kSeqScan;
+  scan.table = "emp";
+  scan.alias = "emp";
+  scan.est.cardinality = 700;
+  scan.observed.valid = true;
+  scan.observed.cardinality = 42;
+  scan.observed.avg_tuple_bytes = 50;
+  ColumnStats salary_obs;
+  salary_obs.type = ValueType::kDouble;
+  salary_obs.has_bounds = true;
+  salary_obs.min = 3000;
+  salary_obs.max = 9000;
+  salary_obs.distinct = 40;
+  scan.observed.columns["emp.salary"] = salary_obs;
+
+  BaseRelOverrides overrides =
+      CollectBaseRelOverrides(scan, spec.value(), *db_.catalog());
+  ASSERT_EQ(overrides.size(), 1u);
+  ASSERT_TRUE(overrides.count("emp"));
+  const DerivedRel& rel = overrides.at("emp");
+  EXPECT_DOUBLE_EQ(rel.rows, 42);
+  // Observed bounds override the catalog...
+  const ColumnStats* sal = rel.Find("emp.salary");
+  ASSERT_NE(sal, nullptr);
+  EXPECT_DOUBLE_EQ(sal->min, 3000);
+  EXPECT_DOUBLE_EQ(sal->distinct, 40);
+  // ...while unobserved columns fall back to (capped) catalog stats.
+  const ColumnStats* dept = rel.Find("emp.dept_id");
+  ASSERT_NE(dept, nullptr);
+  EXPECT_LE(dept->distinct, 42);
+
+  // The estimator prefers the override wholesale.
+  Estimator est(db_.catalog(), &spec.value(), &overrides);
+  Result<DerivedRel> base = est.BaseRel(0);
+  ASSERT_TRUE(base.ok());
+  EXPECT_DOUBLE_EQ(base.value().rows, 42);
+}
+
+TEST_F(OverridesTest, UnobservedScansProduceNoOverride) {
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  PlanNode scan;
+  scan.kind = OpKind::kSeqScan;
+  scan.table = "emp";
+  scan.alias = "emp";
+  BaseRelOverrides overrides =
+      CollectBaseRelOverrides(scan, spec.value(), *db_.catalog());
+  EXPECT_TRUE(overrides.empty());
+}
+
+TEST_F(OverridesTest, BuildTempStatsPrefersObservations) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(spec.ok());
+
+  // Frontier: a join whose build-side scan was observed.
+  PlanNode frontier;
+  frontier.kind = OpKind::kHashJoin;
+  frontier.output_schema =
+      Schema(std::vector<Column>{{"emp", "emp_id", ValueType::kInt64, 8},
+                                 {"emp", "dept_id", ValueType::kInt64, 8},
+                                 {"dept", "dept_name", ValueType::kString, 10}});
+  frontier.improved.cardinality = 123;
+  frontier.improved.avg_tuple_bytes = 40;
+  frontier.improved.pages = 2;
+
+  auto child = std::make_unique<PlanNode>();
+  child->kind = OpKind::kSeqScan;
+  child->observed.valid = true;
+  ColumnStats obs;
+  obs.type = ValueType::kInt64;
+  obs.distinct = 77;
+  child->observed.columns["emp.dept_id"] = obs;
+  frontier.children.push_back(std::move(child));
+
+  TableStats ts = BuildTempStats(frontier, spec.value(), *db_.catalog());
+  EXPECT_DOUBLE_EQ(ts.row_count, 123);
+  // Column renamed to the temp convention, stats from the observation.
+  ASSERT_TRUE(ts.columns.count("emp__dept_id"));
+  EXPECT_DOUBLE_EQ(ts.columns.at("emp__dept_id").distinct, 77);
+  // Unobserved column fell back to the catalog (capped by row count).
+  ASSERT_TRUE(ts.columns.count("emp__emp_id"));
+  EXPECT_LE(ts.columns.at("emp__emp_id").distinct, 123);
+}
+
+TEST_F(OverridesTest, RemainderSqlOfSelfJoinParsesAndBinds) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT e1.emp_id FROM emp e1, emp e2, dept "
+      "WHERE e1.dept_id = e2.dept_id AND e2.dept_id = dept.dept_id "
+      "AND e1.salary > 100");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  Result<QuerySpec> rem = BuildRemainderSpec(spec.value(), {0, 1}, "__tmpx");
+  ASSERT_TRUE(rem.ok());
+  // Register a temp table matching the remainder schema so the regenerated
+  // SQL binds.
+  Schema inter(std::vector<Column>{{"e1", "emp_id", ValueType::kInt64, 8},
+                                   {"e1", "dept_id", ValueType::kInt64, 8},
+                                   {"e2", "dept_id", ValueType::kInt64, 8}});
+  Schema temp_schema = TempTableSchema("__tmpx", inter);
+  ASSERT_TRUE(db_.catalog()->CreateTable("__tmpx", temp_schema, true).ok());
+
+  std::string sql = rem.value().ToSql();
+  Result<SelectStmtAst> reparsed = ParseSelect(sql);
+  ASSERT_TRUE(reparsed.ok()) << sql;
+  Result<QuerySpec> rebound = Bind(reparsed.value(), *db_.catalog());
+  ASSERT_TRUE(rebound.ok()) << sql << " -> " << rebound.status().ToString();
+  EXPECT_EQ(rebound.value().joins.size(), 1u);
+  EXPECT_EQ(rebound.value().joins[0].left_col, "e2__dept_id");
+}
+
+class MidExecutionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 128;
+    opts.query_mem_pages = 48;
+    db_ = new Database(opts);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = 0.003;
+    gen.update_fraction = 1.0;  // stale catalog: estimates will be wrong
+    ASSERT_TRUE(tpcd::Load(db_, gen).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* MidExecutionTest::db_ = nullptr;
+
+TEST_F(MidExecutionTest, ExtensionPreservesResults) {
+  for (const auto& q : tpcd::AllQueries()) {
+    ReoptOptions base;
+    base.mode = ReoptMode::kMemoryOnly;
+    ReoptOptions ext = base;
+    ext.mid_execution_memory = true;
+    Result<QueryResult> a = db_->ExecuteWith(q.sql, base);
+    Result<QueryResult> b = db_->ExecuteWith(q.sql, ext);
+    ASSERT_TRUE(a.ok()) << q.name;
+    ASSERT_TRUE(b.ok()) << q.name;
+    EXPECT_EQ(Canon(a.value().rows), Canon(b.value().rows)) << q.name;
+  }
+}
+
+TEST_F(MidExecutionTest, ExtensionEmitsItsEvent) {
+  ReoptOptions ext;
+  ext.mode = ReoptMode::kFull;
+  ext.mid_execution_memory = true;
+  Result<QueryResult> r = db_->ExecuteWith(tpcd::Q5Sql(), ext);
+  ASSERT_TRUE(r.ok());
+  bool enabled = false;
+  for (const std::string& e : r.value().report.events)
+    if (e.find("mid-execution memory response enabled") != std::string::npos)
+      enabled = true;
+  EXPECT_TRUE(enabled);
+}
+
+TEST_F(MidExecutionTest, ExtensionNeverSlowerThanBaseMemoryMode) {
+  // The extension only adds earlier (accepted-if-better) re-allocations;
+  // results may match or improve, but the simulated time should not blow
+  // up relative to the stage-boundary-only mode.
+  for (const char* qname : {"Q5", "Q7", "Q10"}) {
+    const tpcd::TpcdQuery* q = nullptr;
+    auto all = tpcd::AllQueries();
+    for (const auto& cand : all)
+      if (std::string(cand.name) == qname) q = &cand;
+    ReoptOptions base;
+    base.mode = ReoptMode::kMemoryOnly;
+    ReoptOptions ext = base;
+    ext.mid_execution_memory = true;
+    Result<QueryResult> a = db_->ExecuteWith(q->sql, base);
+    Result<QueryResult> b = db_->ExecuteWith(q->sql, ext);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_LT(b.value().report.sim_time_ms,
+              a.value().report.sim_time_ms * 1.10)
+        << qname;
+  }
+}
+
+}  // namespace
+}  // namespace reoptdb

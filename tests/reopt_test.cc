@@ -1,0 +1,377 @@
+// Tests for the Dynamic Re-Optimization machinery: inaccuracy potentials,
+// the SCIA, improved-estimate refresh, and the controller's behaviour.
+
+#include "gtest/gtest.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/controller.h"
+#include "reopt/inaccuracy.h"
+#include "reopt/scia.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+TEST(InaccuracyLevelTest, BumpSaturates) {
+  EXPECT_EQ(Bump(InaccuracyLevel::kLow), InaccuracyLevel::kMedium);
+  EXPECT_EQ(Bump(InaccuracyLevel::kMedium), InaccuracyLevel::kHigh);
+  EXPECT_EQ(Bump(InaccuracyLevel::kHigh), InaccuracyLevel::kHigh);
+  EXPECT_EQ(MaxLevel(InaccuracyLevel::kLow, InaccuracyLevel::kMedium),
+            InaccuracyLevel::kMedium);
+}
+
+class InaccuracyTest : public ::testing::Test {
+ protected:
+  void Load(HistogramKind kind) {
+    AnalyzeOptions a;
+    a.histogram_kind = kind;
+    DatabaseOptions opts;
+    db_ = std::make_unique<Database>(opts);
+    LoadEmpDept(db_.get());
+    REOPTDB_ASSERT_OK(db_->Analyze("emp", a));
+    REOPTDB_ASSERT_OK(db_->Analyze("dept", a));
+  }
+
+  Result<QuerySpec> BindSql(const std::string& sql) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    return Bind(ast.value(), *db_->catalog());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(InaccuracyTest, BaseHistogramPotentialByKind) {
+  Load(HistogramKind::kMaxDiff);
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  InaccuracyAnalyzer serial(db_->catalog(), &spec.value());
+  EXPECT_EQ(serial.BaseHistogramPotential("emp.salary"),
+            InaccuracyLevel::kLow);
+  // Strings have no histogram -> high.
+  EXPECT_EQ(serial.BaseHistogramPotential("emp.name"),
+            InaccuracyLevel::kHigh);
+
+  Load(HistogramKind::kEquiWidth);
+  Result<QuerySpec> spec2 = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec2.ok());
+  InaccuracyAnalyzer ew(db_->catalog(), &spec2.value());
+  EXPECT_EQ(ew.BaseHistogramPotential("emp.salary"),
+            InaccuracyLevel::kMedium);
+}
+
+TEST_F(InaccuracyTest, UpdateActivityBumpsLevel) {
+  Load(HistogramKind::kMaxDiff);
+  REOPTDB_ASSERT_OK(db_->BumpUpdateActivity("emp", 0.5));
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  InaccuracyAnalyzer a(db_->catalog(), &spec.value());
+  EXPECT_EQ(a.BaseHistogramPotential("emp.salary"),
+            InaccuracyLevel::kMedium);  // low bumped once
+}
+
+TEST_F(InaccuracyTest, MultiAttributeSelectionBumps) {
+  Load(HistogramKind::kMaxDiff);
+  Result<QuerySpec> one =
+      BindSql("SELECT emp_id FROM emp WHERE salary > 100");
+  Result<QuerySpec> two = BindSql(
+      "SELECT emp_id FROM emp WHERE salary > 100 AND emp_id < 50");
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+
+  PlanNode scan_one;
+  scan_one.kind = OpKind::kSeqScan;
+  scan_one.table = "emp";
+  scan_one.alias = "emp";
+  scan_one.filters.push_back(
+      ScalarPred{"emp.salary", CmpOp::kGt, false, Value(100.0), ""});
+
+  PlanNode scan_two = {};
+  scan_two.kind = OpKind::kSeqScan;
+  scan_two.table = "emp";
+  scan_two.alias = "emp";
+  scan_two.filters.push_back(
+      ScalarPred{"emp.salary", CmpOp::kGt, false, Value(100.0), ""});
+  scan_two.filters.push_back(
+      ScalarPred{"emp.emp_id", CmpOp::kLt, false, Value(int64_t{50}), ""});
+
+  InaccuracyAnalyzer a1(db_->catalog(), &one.value());
+  InaccuracyAnalyzer a2(db_->catalog(), &two.value());
+  InaccuracyLevel p1 = a1.NodePotential(scan_one);
+  InaccuracyLevel p2 = a2.NodePotential(scan_two);
+  EXPECT_EQ(p1, InaccuracyLevel::kLow);     // serial histogram
+  EXPECT_EQ(p2, InaccuracyLevel::kMedium);  // correlation bump
+}
+
+TEST_F(InaccuracyTest, UniquePotentialRules) {
+  Load(HistogramKind::kMaxDiff);
+  Result<QuerySpec> spec = BindSql("SELECT emp_id FROM emp");
+  ASSERT_TRUE(spec.ok());
+  InaccuracyAnalyzer a(db_->catalog(), &spec.value());
+
+  PlanNode bare_scan;
+  bare_scan.kind = OpKind::kSeqScan;
+  bare_scan.table = "emp";
+  bare_scan.alias = "emp";
+  EXPECT_EQ(a.UniquePotential(bare_scan, "emp.dept_id"),
+            InaccuracyLevel::kLow);
+
+  PlanNode filtered = {};
+  filtered.kind = OpKind::kSeqScan;
+  filtered.table = "emp";
+  filtered.alias = "emp";
+  filtered.filters.push_back(
+      ScalarPred{"emp.salary", CmpOp::kGt, false, Value(1.0), ""});
+  EXPECT_EQ(a.UniquePotential(filtered, "emp.dept_id"),
+            InaccuracyLevel::kHigh);
+}
+
+class SciaTest : public ::testing::Test {
+ protected:
+  SciaTest() { LoadEmpDept(&db_, 2000, 20); }
+
+  Result<std::unique_ptr<PlanNode>> PlanFor(const std::string& sql,
+                                            QuerySpec* spec_out) {
+    Result<SelectStmtAst> ast = ParseSelect(sql);
+    if (!ast.ok()) return ast.status();
+    Result<QuerySpec> spec = Bind(ast.value(), *db_.catalog());
+    if (!spec.ok()) return spec.status();
+    *spec_out = spec.value();
+    Optimizer opt(db_.catalog(), &db_.cost_model());
+    Result<OptimizeResult> r = opt.Plan(spec.value());
+    if (!r.ok()) return r.status();
+    return std::move(r.value().plan);
+  }
+
+  Database db_;
+};
+
+TEST_F(SciaTest, InsertsCollectorsOnScanAndJoinEdges) {
+  QuerySpec spec;
+  Result<std::unique_ptr<PlanNode>> plan = PlanFor(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 2000 "
+      "GROUP BY emp.dept_id",
+      &spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  SciaOptions opts;
+  Result<SciaResult> r = InsertStatsCollectors(&plan.value(), spec,
+                                               *db_.catalog(),
+                                               db_.cost_model(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r.value().collectors_inserted, 3);  // 2 scans + 1 join
+
+  int collectors = 0;
+  plan.value()->PostOrder([&](const PlanNode* n) {
+    if (n->kind == OpKind::kStatsCollector) ++collectors;
+  });
+  EXPECT_EQ(collectors, r.value().collectors_inserted);
+}
+
+TEST_F(SciaTest, CandidatesIncludeJoinHistogramAndGroupUnique) {
+  QuerySpec spec;
+  Result<std::unique_ptr<PlanNode>> plan = PlanFor(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 2000 "
+      "GROUP BY emp.dept_id",
+      &spec);
+  ASSERT_TRUE(plan.ok());
+  SciaOptions opts;
+  Result<SciaResult> r = InsertStatsCollectors(&plan.value(), spec,
+                                               *db_.catalog(),
+                                               db_.cost_model(), opts);
+  ASSERT_TRUE(r.ok());
+  bool has_join_hist = false, has_group_unique = false;
+  for (const StatCandidate& c : r.value().candidates) {
+    if (c.is_histogram && c.column == "emp.dept_id") has_join_hist = true;
+    if (!c.is_histogram && c.column == "emp.dept_id") has_group_unique = true;
+  }
+  EXPECT_TRUE(has_join_hist);
+  EXPECT_TRUE(has_group_unique);
+}
+
+TEST_F(SciaTest, MuBudgetDropsLeastEffective) {
+  QuerySpec spec;
+  Result<std::unique_ptr<PlanNode>> plan = PlanFor(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      &spec);
+  ASSERT_TRUE(plan.ok());
+  SciaOptions tight;
+  tight.mu = 1e-9;  // essentially no budget
+  Result<SciaResult> r = InsertStatsCollectors(&plan.value(), spec,
+                                               *db_.catalog(),
+                                               db_.cost_model(), tight);
+  ASSERT_TRUE(r.ok());
+  for (const StatCandidate& c : r.value().candidates)
+    EXPECT_FALSE(c.kept) << c.column;
+  EXPECT_NEAR(r.value().estimated_overhead_ms, 0, 1e-6);
+}
+
+TEST_F(SciaTest, CostTotalsIncludeCollectors) {
+  QuerySpec spec;
+  Result<std::unique_ptr<PlanNode>> plan = PlanFor(
+      "SELECT emp.dept_id, SUM(salary) FROM emp GROUP BY emp.dept_id", &spec);
+  ASSERT_TRUE(plan.ok());
+  double before = plan.value()->est.cost_total_ms;
+  SciaOptions opts;
+  Result<SciaResult> r = InsertStatsCollectors(&plan.value(), spec,
+                                               *db_.catalog(),
+                                               db_.cost_model(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(plan.value()->est.cost_total_ms, before);
+  // Overhead respects mu.
+  EXPECT_LE(r.value().estimated_overhead_ms, opts.mu * before * 1.01);
+}
+
+TEST(RefreshTest, ObservedCardinalityPropagatesUpward) {
+  // scan(est 1000) -> collector(observed 100) -> agg(est groups 50)
+  auto scan = std::make_unique<PlanNode>();
+  scan->kind = OpKind::kSeqScan;
+  scan->est.cardinality = 1000;
+  scan->est.pages = 10;
+  scan->est.avg_tuple_bytes = 40;
+  scan->est.cost_self_ms = 10;
+
+  auto coll = std::make_unique<PlanNode>();
+  coll->kind = OpKind::kStatsCollector;
+  coll->est = scan->est;
+  coll->observed.valid = true;
+  coll->observed.cardinality = 100;
+  coll->observed.avg_tuple_bytes = 40;
+  coll->children.push_back(std::move(scan));
+  coll->children[0]->observed = coll->observed;
+
+  auto agg = std::make_unique<PlanNode>();
+  agg->kind = OpKind::kHashAggregate;
+  agg->group_cols = {"t.g"};
+  agg->est.cardinality = 50;
+  agg->est.num_groups = 50;
+  agg->output_schema =
+      Schema(std::vector<Column>{{"", "g", ValueType::kInt64, 8}});
+  agg->children.push_back(std::move(coll));
+  int id = 0;
+  agg->PostOrder([&](PlanNode* n) {
+    n->id = id++;
+    n->improved = n->est;
+  });
+
+  CostModel cost;
+  RefreshImprovedEstimates(agg.get(), cost);
+  EXPECT_DOUBLE_EQ(agg->children[0]->improved.cardinality, 100);
+  EXPECT_DOUBLE_EQ(agg->children[0]->children[0]->improved.cardinality, 100);
+  // Groups capped by the improved input cardinality.
+  EXPECT_LE(agg->improved.num_groups, 100);
+  EXPECT_GT(agg->improved.cost_total_ms, 0);
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    DatabaseOptions opts;
+    opts.query_mem_pages = 64;
+    opts.buffer_pool_pages = 256;
+    db_ = std::make_unique<Database>(opts);
+    LoadEmpDept(db_.get(), 3000, 30);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ControllerTest, AllModesReturnSameRows) {
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) AS total FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 2000 "
+      "GROUP BY emp.dept_id";
+  std::vector<std::string> reference;
+  for (ReoptMode mode : {ReoptMode::kOff, ReoptMode::kMemoryOnly,
+                         ReoptMode::kPlanOnly, ReoptMode::kFull}) {
+    ReoptOptions o;
+    o.mode = mode;
+    Result<QueryResult> r = db_->ExecuteWith(sql, o);
+    ASSERT_TRUE(r.ok()) << ReoptModeName(mode) << ": "
+                        << r.status().ToString();
+    if (reference.empty()) {
+      reference = Canon(r.value().rows);
+    } else {
+      EXPECT_EQ(Canon(r.value().rows), reference) << ReoptModeName(mode);
+    }
+  }
+}
+
+TEST_F(ControllerTest, OffModeHasNoCollectors) {
+  ReoptOptions off;
+  off.mode = ReoptMode::kOff;
+  Result<QueryResult> r =
+      db_->ExecuteWith("SELECT emp_id FROM emp WHERE salary > 100", off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().report.collectors_inserted, 0);
+  EXPECT_EQ(r.value().report.memory_reallocations, 0);
+  EXPECT_EQ(r.value().report.plans_switched, 0);
+}
+
+TEST_F(ControllerTest, MemoryOnlyNeverSwitchesPlans) {
+  ReoptOptions mem;
+  mem.mode = ReoptMode::kMemoryOnly;
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      mem);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().report.plans_switched, 0);
+  EXPECT_EQ(r.value().report.reopts_considered, 0);
+}
+
+TEST_F(ControllerTest, Theta2GateBlocksReoptWhenHuge) {
+  ReoptOptions strict;
+  strict.mode = ReoptMode::kFull;
+  strict.theta2 = 1e9;  // never consider the plan sub-optimal
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT e.emp_id FROM emp e, dept d1, dept d2 "
+      "WHERE e.dept_id = d1.dept_id AND d1.region_id = d2.region_id",
+      strict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().report.reopts_considered, 0);
+  EXPECT_EQ(r.value().report.plans_switched, 0);
+}
+
+TEST_F(ControllerTest, ReportIsPopulated) {
+  ReoptOptions full;
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      full);
+  ASSERT_TRUE(r.ok());
+  const ExecutionReport& rep = r.value().report;
+  EXPECT_GT(rep.sim_time_ms, 0);
+  EXPECT_GT(rep.estimated_cost_ms, 0);
+  EXPECT_FALSE(rep.plan_before.empty());
+  EXPECT_GT(rep.collectors_inserted, 0);
+  EXPECT_FALSE(rep.edges.empty());
+  for (const EdgeComparison& e : rep.edges) {
+    EXPECT_GE(e.observed_rows, 0);
+    EXPECT_GT(e.estimated_rows, 0);
+  }
+}
+
+TEST_F(ControllerTest, TempTablesCleanedUpAfterSwitch) {
+  // Force switches by making the gate maximally permissive.
+  ReoptOptions eager;
+  eager.mode = ReoptMode::kFull;
+  eager.theta2 = -1.0;  // any degradation (even none) passes Eq. 2
+  eager.theta1 = 1e9;
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT e.emp_id FROM emp e, dept d1, dept d2 "
+      "WHERE e.dept_id = d1.dept_id AND d1.region_id = d2.region_id "
+      "AND e.salary > 2000",
+      eager);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // No temp tables linger in the catalog.
+  EXPECT_FALSE(db_->catalog()->Exists("__temp1"));
+  EXPECT_FALSE(db_->catalog()->Exists("__temp2"));
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,195 @@
+// Tests for the segment scheduler: stage sequencing, collector completion
+// reporting, frontier materialization, and the expression evaluator.
+
+#include "exec/expression.h"
+#include "exec/scheduler.h"
+#include "gtest/gtest.h"
+#include "memory/memory_manager.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/scia.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::LoadEmpDept;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() { LoadEmpDept(&db_, 500, 10); }
+
+  /// Optimizes `sql` (optionally inserting collectors) and returns the plan.
+  std::unique_ptr<PlanNode> PlanFor(const std::string& sql,
+                                    bool with_collectors) {
+    SelectStmtAst ast = ParseSelect(sql).value();
+    spec_ = Bind(ast, *db_.catalog()).value();
+    Optimizer opt(db_.catalog(), &db_.cost_model());
+    std::unique_ptr<PlanNode> plan = opt.Plan(spec_).value().plan;
+    if (with_collectors) {
+      SciaOptions opts;
+      (void)InsertStatsCollectors(&plan, spec_, *db_.catalog(),
+                                  db_.cost_model(), opts);
+    }
+    MemoryManager mm(&db_.cost_model(), 128);
+    mm.Allocate(plan.get(), {});
+    return plan;
+  }
+
+  Database db_;
+  QuerySpec spec_;
+};
+
+TEST_F(SchedulerTest, StagesRunInOrderAndFinish) {
+  auto plan = PlanFor(
+      "SELECT emp.dept_id, COUNT(*) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      /*with_collectors=*/false);
+  ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+  auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+
+  std::vector<OpKind> stage_kinds;
+  std::vector<Tuple> rows;
+  bool finished = false;
+  while (exec->HasMoreStages()) {
+    auto stage = exec->RunNextStage(&rows).value();
+    if (stage.finished) {
+      finished = true;
+      break;
+    }
+    ASSERT_NE(stage.stage_node, nullptr);
+    stage_kinds.push_back(stage.stage_node->kind);
+  }
+  EXPECT_TRUE(finished);
+  // One hash-join build + the aggregate absorb, then delivery.
+  ASSERT_EQ(stage_kinds.size(), 2u);
+  EXPECT_EQ(stage_kinds[0], OpKind::kHashJoin);
+  EXPECT_EQ(stage_kinds[1], OpKind::kHashAggregate);
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_TRUE(exec->Close().ok());
+}
+
+TEST_F(SchedulerTest, CollectorsReportWhenTheirPipelineCompletes) {
+  auto plan = PlanFor(
+      "SELECT emp.dept_id, COUNT(*) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      /*with_collectors=*/true);
+  ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+  auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+
+  int total_collectors = 0;
+  plan->PostOrder([&](PlanNode* n) {
+    if (n->kind == OpKind::kStatsCollector) ++total_collectors;
+  });
+
+  std::vector<Tuple> rows;
+  int reported = 0;
+  while (exec->HasMoreStages()) {
+    auto stage = exec->RunNextStage(&rows).value();
+    for (PlanNode* c : stage.new_collectors) {
+      EXPECT_TRUE(c->observed.valid);
+      EXPECT_GT(c->observed.cardinality, 0);
+      ++reported;
+    }
+    if (stage.finished) break;
+  }
+  EXPECT_EQ(reported, total_collectors);
+  EXPECT_TRUE(exec->Close().ok());
+}
+
+TEST_F(SchedulerTest, PendingStagesShrink) {
+  auto plan = PlanFor(
+      "SELECT e.emp_id FROM emp e, dept d1, dept d2 "
+      "WHERE e.dept_id = d1.dept_id AND d1.region_id = d2.region_id",
+      /*with_collectors=*/false);
+  ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+  auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+  size_t before = exec->PendingStages().size();
+  EXPECT_GT(before, 0u);
+  std::vector<Tuple> rows;
+  (void)exec->RunNextStage(&rows).value();
+  EXPECT_EQ(exec->PendingStages().size(), before - 1);
+  EXPECT_TRUE(exec->Close().ok());
+}
+
+TEST_F(SchedulerTest, MaterializeIntoCapturesFrontierOutput) {
+  auto plan = PlanFor(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id",
+      /*with_collectors=*/false);
+  ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+  auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+
+  // Run the join's build stage, then redirect its output to a temp heap.
+  std::vector<Tuple> rows;
+  auto stage = exec->RunNextStage(&rows).value();
+  ASSERT_NE(stage.stage_node, nullptr);
+  ASSERT_EQ(stage.stage_node->kind, OpKind::kHashJoin);
+
+  HeapFile temp(db_.buffer_pool());
+  uint64_t n = exec->MaterializeInto(stage.stage_node, &temp).value();
+  EXPECT_EQ(n, 500u);  // every emp row joins exactly one dept
+  EXPECT_EQ(temp.tuple_count(), 500u);
+  // Output schema arity: emp columns + dept columns.
+  HeapFile::Iterator it = temp.Scan();
+  Tuple t;
+  ASSERT_TRUE(it.Next(&t).value());
+  EXPECT_EQ(t.size(), stage.stage_node->output_schema.NumColumns());
+  EXPECT_TRUE(exec->Close().ok());
+}
+
+TEST(ExpressionTest, EvalMatrix) {
+  Schema schema(std::vector<Column>{{"t", "a", ValueType::kInt64, 8},
+                                    {"t", "b", ValueType::kString, 8}});
+  Tuple row({Value(int64_t{5}), Value("mm")});
+
+  struct Case {
+    CmpOp op;
+    int64_t lit;
+    bool expect;
+  };
+  for (const Case& c : std::vector<Case>{{CmpOp::kEq, 5, true},
+                                         {CmpOp::kEq, 4, false},
+                                         {CmpOp::kNe, 4, true},
+                                         {CmpOp::kLt, 6, true},
+                                         {CmpOp::kLt, 5, false},
+                                         {CmpOp::kLe, 5, true},
+                                         {CmpOp::kGt, 4, true},
+                                         {CmpOp::kGe, 5, true},
+                                         {CmpOp::kGe, 6, false}}) {
+    ScalarPred p{"t.a", c.op, false, Value(c.lit), ""};
+    CompiledPred cp = CompilePred(p, schema).value();
+    EXPECT_EQ(cp.Eval(row), c.expect) << CmpOpName(c.op) << " " << c.lit;
+  }
+
+  // String comparison and column-vs-column.
+  ScalarPred ps{"t.b", CmpOp::kGt, false, Value("aa"), ""};
+  EXPECT_TRUE(CompilePred(ps, schema).value().Eval(row));
+
+  Schema two(std::vector<Column>{{"t", "a", ValueType::kInt64, 8},
+                                 {"t", "c", ValueType::kInt64, 8}});
+  Tuple row2({Value(int64_t{5}), Value(int64_t{7})});
+  ScalarPred pc{"t.a", CmpOp::kLt, true, Value(), "t.c"};
+  EXPECT_TRUE(CompilePred(pc, two).value().Eval(row2));
+
+  // Unknown column fails compilation.
+  ScalarPred bad{"t.zzz", CmpOp::kEq, false, Value(int64_t{1}), ""};
+  EXPECT_FALSE(CompilePred(bad, schema).ok());
+}
+
+TEST(ExpressionTest, EvalAllConjunction) {
+  Schema schema(std::vector<Column>{{"t", "a", ValueType::kInt64, 8}});
+  Tuple row({Value(int64_t{5})});
+  std::vector<ScalarPred> preds{
+      ScalarPred{"t.a", CmpOp::kGe, false, Value(int64_t{0}), ""},
+      ScalarPred{"t.a", CmpOp::kLt, false, Value(int64_t{10}), ""}};
+  auto compiled = CompilePreds(preds, schema).value();
+  EXPECT_TRUE(EvalAll(compiled, row));
+  EXPECT_TRUE(EvalAll({}, row));  // empty conjunction is true
+  preds.push_back(ScalarPred{"t.a", CmpOp::kEq, false, Value(int64_t{9}), ""});
+  compiled = CompilePreds(preds, schema).value();
+  EXPECT_FALSE(EvalAll(compiled, row));
+}
+
+}  // namespace
+}  // namespace reoptdb

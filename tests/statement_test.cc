@@ -1,0 +1,163 @@
+// Tests for the statement grammar (DDL/DML) and Database::ExecuteSql.
+
+#include "engine/database.h"
+#include "gtest/gtest.h"
+#include "parser/statement.h"
+#include "test_util.h"
+
+namespace reoptdb {
+namespace {
+
+TEST(StatementParseTest, CreateTable) {
+  Result<Statement> r = ParseStatement(
+      "CREATE TABLE emp (id INT PRIMARY KEY, salary DOUBLE, name STRING)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* ct = std::get_if<CreateTableAst>(&r.value());
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(ct->table, "emp");
+  ASSERT_EQ(ct->columns.size(), 3u);
+  EXPECT_EQ(ct->columns[0].type, ValueType::kInt64);
+  EXPECT_EQ(ct->columns[1].type, ValueType::kDouble);
+  EXPECT_EQ(ct->columns[2].type, ValueType::kString);
+  ASSERT_EQ(ct->keys.size(), 1u);
+  EXPECT_EQ(ct->keys[0], "id");
+}
+
+TEST(StatementParseTest, CreateIndex) {
+  Result<Statement> r = ParseStatement("CREATE INDEX ON emp (id);");
+  ASSERT_TRUE(r.ok());
+  auto* ci = std::get_if<CreateIndexAst>(&r.value());
+  ASSERT_NE(ci, nullptr);
+  EXPECT_EQ(ci->table, "emp");
+  EXPECT_EQ(ci->column, "id");
+}
+
+TEST(StatementParseTest, InsertMultiRow) {
+  Result<Statement> r = ParseStatement(
+      "INSERT INTO emp VALUES (1, 10.5, 'ann'), (2, 20.0, 'bob')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* ins = std::get_if<InsertAst>(&r.value());
+  ASSERT_NE(ins, nullptr);
+  ASSERT_EQ(ins->rows.size(), 2u);
+  EXPECT_EQ(ins->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(ins->rows[1][2].AsString(), "bob");
+}
+
+TEST(StatementParseTest, AnalyzeAndExplain) {
+  Result<Statement> a = ParseStatement("ANALYZE emp");
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(std::get_if<AnalyzeAst>(&a.value()), nullptr);
+
+  Result<Statement> e = ParseStatement("EXPLAIN SELECT id FROM emp");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto* ex = std::get_if<ExplainAst>(&e.value());
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->select.items.size(), 1u);
+}
+
+TEST(StatementParseTest, SelectDispatchesToSelectAst) {
+  Result<Statement> r = ParseStatement("SELECT a FROM t WHERE a < 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(std::get_if<SelectStmtAst>(&r.value()), nullptr);
+}
+
+class StatementErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatementErrorTest, Rejected) {
+  Result<Statement> r = ParseStatement(GetParam());
+  EXPECT_FALSE(r.ok()) << "accepted: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bad, StatementErrorTest,
+    ::testing::Values("", "CREATE", "CREATE VIEW v", "CREATE TABLE t",
+                      "CREATE TABLE t (a)", "CREATE TABLE t (a BLOB)",
+                      "CREATE INDEX emp (id)", "INSERT emp VALUES (1)",
+                      "INSERT INTO emp VALUES 1, 2",
+                      "INSERT INTO emp VALUES (SELECT)",
+                      "ANALYZE", "DROP t", "DROP INDEX i",
+                      "CREATE TABLE t (a INT) garbage"));
+
+TEST(StatementParseTest, DropTable) {
+  Result<Statement> r = ParseStatement("DROP TABLE emp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* dt = std::get_if<DropTableAst>(&r.value());
+  ASSERT_NE(dt, nullptr);
+  EXPECT_EQ(dt->table, "emp");
+}
+
+class ExecuteSqlTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(ExecuteSqlTest, FullDdlDmlQueryCycle) {
+  Result<QueryResult> r = db_.ExecuteSql(
+      "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary DOUBLE, "
+      "name STRING)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->message.find("created table"), std::string::npos);
+
+  r = db_.ExecuteSql(
+      "INSERT INTO emp VALUES (1, 10, 100.0, 'ann'), (2, 10, 200.0, 'bob'), "
+      "(3, 20, 300.0, 'cho')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->message.find("3 row"), std::string::npos);
+
+  ASSERT_TRUE(db_.ExecuteSql("CREATE INDEX ON emp (id)").ok());
+  ASSERT_TRUE(db_.ExecuteSql("ANALYZE emp").ok());
+
+  Result<QueryResult> q = db_.ExecuteSql(
+      "SELECT emp.dept, SUM(salary) AS total FROM emp GROUP BY emp.dept "
+      "ORDER BY total");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->rows.size(), 2u);
+  EXPECT_EQ(q->rows[0].at(0).AsInt(), 20);
+  EXPECT_DOUBLE_EQ(q->rows[0].at(1).AsDouble(), 300.0);
+  EXPECT_DOUBLE_EQ(q->rows[1].at(1).AsDouble(), 300.0);
+
+  Result<QueryResult> ex =
+      db_.ExecuteSql("EXPLAIN SELECT id FROM emp WHERE id = 2");
+  ASSERT_TRUE(ex.ok());
+  EXPECT_NE(ex->message.find("rows="), std::string::npos);
+  // At 3 rows a sequential scan wins; either way the plan scans emp.
+  EXPECT_NE(ex->message.find("emp"), std::string::npos);
+}
+
+TEST_F(ExecuteSqlTest, InsertTypeChecks) {
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INT, s STRING)").ok());
+  // Arity mismatch.
+  EXPECT_FALSE(db_.ExecuteSql("INSERT INTO t VALUES (1)").ok());
+  // Type mismatch: string into INT.
+  EXPECT_FALSE(db_.ExecuteSql("INSERT INTO t VALUES ('x', 'y')").ok());
+  // Numeric coercion int->double column is fine the other way; INT column
+  // accepts an integer literal.
+  EXPECT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES (1, 'y')").ok());
+}
+
+TEST_F(ExecuteSqlTest, PrimaryKeyDeclarationFlowsToCatalog) {
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  Result<TableInfo*> info = db_.catalog()->Get("t");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value()->key_columns.count("a"));
+  EXPECT_FALSE(info.value()->key_columns.count("b"));
+}
+
+TEST_F(ExecuteSqlTest, DropTableRemovesFromCatalog) {
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
+  Result<QueryResult> r = db_.ExecuteSql("DROP TABLE t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(db_.catalog()->Exists("t"));
+  EXPECT_FALSE(db_.ExecuteSql("SELECT a FROM t").ok());
+  EXPECT_FALSE(db_.ExecuteSql("DROP TABLE t").ok());
+}
+
+TEST_F(ExecuteSqlTest, UnknownTableErrors) {
+  EXPECT_FALSE(db_.ExecuteSql("INSERT INTO nope VALUES (1)").ok());
+  EXPECT_FALSE(db_.ExecuteSql("ANALYZE nope").ok());
+  EXPECT_FALSE(db_.ExecuteSql("CREATE INDEX ON nope (x)").ok());
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,269 @@
+// Tests for histograms, reservoir sampling, FM sketch, Zipf.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/fm_sketch.h"
+#include "stats/histogram.h"
+#include "stats/reservoir.h"
+#include "stats/zipf.h"
+
+namespace reoptdb {
+namespace {
+
+std::vector<double> UniformValues(int n, double lo, double hi, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(lo, hi);
+  return v;
+}
+
+class HistogramKindTest : public ::testing::TestWithParam<HistogramKind> {};
+
+TEST_P(HistogramKindTest, TotalAndBoundsPreserved) {
+  auto values = UniformValues(10000, 0, 100, 1);
+  Histogram h = Histogram::Build(GetParam(), values, 20, values.size());
+  EXPECT_EQ(h.kind(), GetParam());
+  EXPECT_NEAR(h.total_count(), 10000, 1);
+  EXPECT_GE(h.min(), 0);
+  EXPECT_LE(h.max(), 100);
+  EXPECT_FALSE(h.empty());
+}
+
+TEST_P(HistogramKindTest, RangeEstimateAccurateOnUniform) {
+  auto values = UniformValues(20000, 0, 100, 2);
+  Histogram h = Histogram::Build(GetParam(), values, 50, values.size());
+  // True count in [20, 40] is ~20% of 20000.
+  double est = h.EstimateRange(20, false, 40, false);
+  EXPECT_NEAR(est / 20000, 0.2, 0.05);
+  // One-sided: < 50 is ~half.
+  double less = h.EstimateLess(50, false);
+  EXPECT_NEAR(less / 20000, 0.5, 0.05);
+}
+
+TEST_P(HistogramKindTest, ScalesSampleToPopulation) {
+  auto values = UniformValues(1000, 0, 10, 3);
+  Histogram h = Histogram::Build(GetParam(), values, 10, /*population=*/1e6);
+  EXPECT_NEAR(h.total_count(), 1e6, 1e6 * 0.01);
+}
+
+TEST_P(HistogramKindTest, EmptyInputYieldsNone) {
+  Histogram h = Histogram::Build(GetParam(), {}, 10, 0);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.EstimateEqual(5), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, HistogramKindTest,
+                         ::testing::Values(HistogramKind::kEquiWidth,
+                                           HistogramKind::kEquiDepth,
+                                           HistogramKind::kMaxDiff));
+
+TEST(HistogramTest, EqualityOnDiscreteDomain) {
+  // 10 distinct values, value v appearing (v+1)*100 times.
+  std::vector<double> values;
+  for (int v = 0; v < 10; ++v)
+    for (int i = 0; i < (v + 1) * 100; ++i) values.push_back(v);
+  Histogram h =
+      Histogram::Build(HistogramKind::kMaxDiff, values, 10, values.size());
+  // With one bucket per distinct value, equality estimates are exact.
+  EXPECT_NEAR(h.EstimateEqual(9), 1000, 50);
+  EXPECT_NEAR(h.EstimateEqual(0), 100, 50);
+  EXPECT_EQ(h.EstimateEqual(42), 0);
+}
+
+TEST(HistogramTest, MaxDiffBeatsEquiWidthOnSkew) {
+  // Heavy head: value 0 dominates; a few spread-out tail values.
+  std::vector<double> values(10000, 0.0);
+  for (int i = 0; i < 100; ++i) values.push_back(50 + i * 0.5);
+  double truth_tail = 100;
+
+  Histogram md =
+      Histogram::Build(HistogramKind::kMaxDiff, values, 10, values.size());
+  Histogram ew =
+      Histogram::Build(HistogramKind::kEquiWidth, values, 10, values.size());
+  double md_err =
+      std::abs(md.EstimateRange(40, false, 200, false) - truth_tail);
+  double ew_err =
+      std::abs(ew.EstimateRange(40, false, 200, false) - truth_tail);
+  EXPECT_LE(md_err, ew_err + 1);
+}
+
+TEST(HistogramTest, DistinctInRange) {
+  std::vector<double> values;
+  for (int v = 0; v < 100; ++v) values.push_back(v);
+  Histogram h =
+      Histogram::Build(HistogramKind::kEquiDepth, values, 10, values.size());
+  EXPECT_NEAR(h.EstimateDistinct(), 100, 1);
+  EXPECT_NEAR(h.EstimateDistinctInRange(0, 49), 50, 10);
+}
+
+TEST(HistogramJoinTest, ForeignKeyJoinNearExact) {
+  // L: 10000 rows over keys 0..999 (10 each); R: keys 0..999 unique.
+  std::vector<double> l, r;
+  for (int k = 0; k < 1000; ++k) {
+    r.push_back(k);
+    for (int i = 0; i < 10; ++i) l.push_back(k);
+  }
+  Histogram hl = Histogram::Build(HistogramKind::kEquiDepth, l, 40, l.size());
+  Histogram hr = Histogram::Build(HistogramKind::kEquiDepth, r, 40, r.size());
+  double est = Histogram::EstimateEquiJoinCard(hl, hr);
+  EXPECT_NEAR(est, 10000, 2500);  // true join size = 10000
+}
+
+TEST(HistogramJoinTest, DisjointDomainsNearZero) {
+  std::vector<double> l, r;
+  for (int k = 0; k < 1000; ++k) {
+    l.push_back(k);
+    r.push_back(k + 5000);  // no overlap
+  }
+  Histogram hl = Histogram::Build(HistogramKind::kEquiWidth, l, 20, l.size());
+  Histogram hr = Histogram::Build(HistogramKind::kEquiWidth, r, 20, r.size());
+  EXPECT_DOUBLE_EQ(Histogram::EstimateEquiJoinCard(hl, hr), 0);
+}
+
+TEST(HistogramJoinTest, HalfOverlapScales) {
+  // R covers only the upper half of L's domain: the classic 1/max(V)
+  // formula predicts a full-size join; overlap estimation halves it.
+  std::vector<double> l, r;
+  for (int k = 0; k < 2000; ++k) l.push_back(k);
+  for (int k = 1000; k < 2000; ++k) r.push_back(k);
+  Histogram hl = Histogram::Build(HistogramKind::kEquiDepth, l, 50, l.size());
+  Histogram hr = Histogram::Build(HistogramKind::kEquiDepth, r, 50, r.size());
+  double est = Histogram::EstimateEquiJoinCard(hl, hr);
+  EXPECT_NEAR(est, 1000, 300);
+}
+
+TEST(HistogramJoinTest, EmptyHistogramYieldsZero) {
+  Histogram h = Histogram::Build(HistogramKind::kMaxDiff, {1, 2, 3}, 3, 3);
+  EXPECT_DOUBLE_EQ(Histogram::EstimateEquiJoinCard(h, Histogram()), 0);
+}
+
+TEST(ReservoirTest, KeepsAllWhenUnderCapacity) {
+  ReservoirSampler<int> r(100, 1);
+  for (int i = 0; i < 50; ++i) r.Add(i);
+  EXPECT_EQ(r.sample().size(), 50u);
+  EXPECT_EQ(r.seen(), 50u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  ReservoirSampler<int> r(100, 2);
+  for (int i = 0; i < 100000; ++i) r.Add(i);
+  EXPECT_EQ(r.sample().size(), 100u);
+  EXPECT_EQ(r.seen(), 100000u);
+}
+
+TEST(ReservoirTest, ApproximatelyUniform) {
+  // Each element should be kept with probability k/n; check the mean of
+  // kept values is near the stream mean.
+  ReservoirSampler<double> r(500, 3);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) r.Add(i);
+  double sum = 0;
+  for (double v : r.sample()) sum += v;
+  double mean = sum / r.sample().size();
+  EXPECT_NEAR(mean, n / 2.0, n * 0.06);
+}
+
+TEST(ReservoirTest, DeterministicForSeed) {
+  ReservoirSampler<int> a(10, 7), b(10, 7);
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(a.sample(), b.sample());
+}
+
+class FmSketchAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmSketchAccuracyTest, EstimatesWithinFactorTwo) {
+  const int distinct = GetParam();
+  FmSketch sketch;
+  Rng rng(42);
+  for (int i = 0; i < distinct; ++i) {
+    uint64_t h = SplitMix64(static_cast<uint64_t>(i) * 2654435761ULL + 12345);
+    // Duplicates must not change the estimate.
+    sketch.AddHash(h);
+    sketch.AddHash(h);
+  }
+  double est = sketch.Estimate();
+  EXPECT_GT(est, distinct / 2.2) << "distinct=" << distinct;
+  EXPECT_LT(est, distinct * 2.2) << "distinct=" << distinct;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, FmSketchAccuracyTest,
+                         ::testing::Values(1000, 10000, 100000));
+
+TEST(FmSketchTest, MergeIsUnion) {
+  FmSketch a, b;
+  for (int i = 0; i < 5000; ++i)
+    a.AddHash(SplitMix64(static_cast<uint64_t>(i)));
+  for (int i = 5000; i < 10000; ++i)
+    b.AddHash(SplitMix64(static_cast<uint64_t>(i)));
+  double ea = a.Estimate();
+  a.Merge(b);
+  EXPECT_GT(a.Estimate(), ea * 1.3);
+}
+
+TEST(FmSketchTest, ResetClears) {
+  FmSketch s;
+  for (int i = 0; i < 1000; ++i) s.AddHash(SplitMix64(i));
+  s.Reset();
+  EXPECT_LT(s.Estimate(), 200);  // baseline bias only
+}
+
+TEST(ZipfTest, ZeroIsUniform) {
+  ZipfDistribution z(100, 0.0);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.Sample(&rng)]++;
+  // Expect every value hit, roughly evenly.
+  EXPECT_EQ(counts.size(), 100u);
+  for (auto& [v, c] : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  ZipfDistribution z(1000, 1.0);
+  Rng rng(2);
+  int top10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (z.Sample(&rng) < 10) ++top10;
+  // With z=1 the top-10 ranks carry a large share (~39% for n=1000).
+  EXPECT_GT(top10, n / 4);
+}
+
+TEST(ZipfTest, HigherZMoreSkew) {
+  Rng r1(3), r2(3);
+  ZipfDistribution z3(1000, 0.3), z6(1000, 0.6);
+  int top_z3 = 0, top_z6 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (z3.Sample(&r1) < 50) ++top_z3;
+    if (z6.Sample(&r2) < 50) ++top_z6;
+  }
+  EXPECT_GT(top_z6, top_z3);
+}
+
+TEST(ZipfTest, ScrambleDecouplesRankFromValue) {
+  ZipfDistribution z(1000, 0.8, /*scramble=*/true, 99);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.Sample(&rng)]++;
+  // The most frequent value should (very likely) not be value 0.
+  uint64_t best = 0;
+  int best_count = 0;
+  for (auto& [v, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = v;
+    }
+  }
+  EXPECT_NE(best, 0u);
+  EXPECT_LT(best, 1000u);
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,240 @@
+// Tests for DiskManager / BufferPool / HeapFile.
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+
+namespace reoptdb {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  DiskManager disk;
+  PageId id = disk.AllocatePage();
+  Page p;
+  p.Zero();
+  p.data[0] = 'x';
+  ASSERT_TRUE(disk.WritePage(id, p).ok());
+  Page q;
+  ASSERT_TRUE(disk.ReadPage(id, &q).ok());
+  EXPECT_EQ(q.data[0], 'x');
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+  EXPECT_EQ(disk.stats().page_writes, 1u);
+  EXPECT_EQ(disk.stats().pages_allocated, 1u);
+}
+
+TEST(DiskManagerTest, FreedPageInaccessible) {
+  DiskManager disk;
+  PageId id = disk.AllocatePage();
+  ASSERT_TRUE(disk.FreePage(id).ok());
+  Page p;
+  EXPECT_FALSE(disk.ReadPage(id, &p).ok());
+  EXPECT_FALSE(disk.FreePage(id).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(BufferPoolTest, HitAvoidsDiskRead) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  PageId id = disk.AllocatePage();
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  ASSERT_TRUE(pool.Unpin(id, false).ok());
+  uint64_t reads = disk.stats().page_reads;
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  ASSERT_TRUE(pool.Unpin(id, false).ok());
+  EXPECT_EQ(disk.stats().page_reads, reads);  // served from the pool
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirty) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(disk.AllocatePage());
+  // Dirty the first page.
+  {
+    Result<Page*> p = pool.FetchPage(ids[0]);
+    ASSERT_TRUE(p.ok());
+    p.value()->data[0] = 'd';
+    ASSERT_TRUE(pool.Unpin(ids[0], true).ok());
+  }
+  // Flood the pool to force eviction of ids[0].
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_TRUE(pool.FetchPage(ids[i]).ok());
+    ASSERT_TRUE(pool.Unpin(ids[i], false).ok());
+  }
+  PageId extra = disk.AllocatePage();
+  ASSERT_TRUE(pool.FetchPage(extra).ok());
+  ASSERT_TRUE(pool.Unpin(extra, false).ok());
+  EXPECT_GE(pool.stats().dirty_evictions, 1u);
+  Page back;
+  ASSERT_TRUE(disk.ReadPage(ids[0], &back).ok());
+  EXPECT_EQ(back.data[0], 'd');
+}
+
+TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(disk.AllocatePage());
+    ASSERT_TRUE(pool.FetchPage(ids[i]).ok());  // keep pinned
+  }
+  PageId extra = disk.AllocatePage();
+  Result<Page*> r = pool.FetchPage(extra);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  for (PageId id : ids) ASSERT_TRUE(pool.Unpin(id, false).ok());
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId id = disk.AllocatePage();
+  EXPECT_FALSE(pool.Unpin(id, false).ok());  // not resident
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  ASSERT_TRUE(pool.Unpin(id, false).ok());
+  EXPECT_FALSE(pool.Unpin(id, false).ok());  // pin count already 0
+}
+
+TEST(PageGuardTest, ReleasesOnDestruction) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId id = disk.AllocatePage();
+  {
+    Result<PageGuard> g = PageGuard::Fetch(&pool, id);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g.value().valid());
+  }
+  // If the guard leaked its pin this second fetch-all would fail.
+  for (int i = 0; i < 8; ++i) {
+    PageId extra = disk.AllocatePage();
+    ASSERT_TRUE(pool.FetchPage(extra).ok());
+    ASSERT_TRUE(pool.Unpin(extra, false).ok());
+  }
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : pool_(&disk_, 16) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, AppendFetchScan) {
+  HeapFile heap(&pool_);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 100; ++i) {
+    Result<Rid> rid =
+        heap.Append(Tuple({Value(int64_t{i}), Value("row" + std::to_string(i))}));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  EXPECT_EQ(heap.tuple_count(), 100u);
+
+  // Point fetch (including rows still on the in-memory tail page).
+  for (int i = 0; i < 100; i += 7) {
+    Result<Tuple> t = heap.Fetch(rids[i]);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t.value().at(0).AsInt(), i);
+  }
+
+  // Scan sees all rows in order.
+  HeapFile::Iterator it = heap.Scan();
+  Tuple t;
+  int count = 0;
+  while (true) {
+    Result<bool> more = it.Next(&t);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_EQ(t.at(0).AsInt(), count);
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(HeapFileTest, SpillsToMultiplePages) {
+  HeapFile heap(&pool_);
+  std::string big(1000, 'x');
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(heap.Append(Tuple({Value(int64_t{i}), Value(big)})).ok());
+  EXPECT_GT(heap.page_count(), 10u);
+  ASSERT_TRUE(heap.Flush().ok());
+  EXPECT_EQ(heap.flushed_page_count(), heap.page_count());
+
+  // Every scan of a flushed file reads every page from disk.
+  uint64_t reads_before = disk_.stats().page_reads;
+  HeapFile::Iterator it = heap.Scan();
+  Tuple t;
+  int count = 0;
+  while (it.Next(&t).value()) ++count;
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(disk_.stats().page_reads - reads_before, heap.page_count());
+}
+
+TEST_F(HeapFileTest, WriteOncePerPage) {
+  HeapFile heap(&pool_);
+  uint64_t writes_before = disk_.stats().page_writes;
+  std::string big(1500, 'y');
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(heap.Append(Tuple({Value(big)})).ok());
+  ASSERT_TRUE(heap.Flush().ok());
+  EXPECT_EQ(disk_.stats().page_writes - writes_before, heap.page_count());
+}
+
+TEST_F(HeapFileTest, OversizeTupleRejected) {
+  HeapFile heap(&pool_);
+  std::string huge(kPageSize, 'z');
+  Result<Rid> r = heap.Append(Tuple({Value(huge)}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(HeapFileTest, DestroyFreesPages) {
+  HeapFile heap(&pool_);
+  std::string big(1000, 'x');
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(heap.Append(Tuple({Value(big)})).ok());
+  ASSERT_TRUE(heap.Flush().ok());
+  size_t live = disk_.live_pages();
+  ASSERT_TRUE(heap.Destroy().ok());
+  EXPECT_LT(disk_.live_pages(), live);
+  EXPECT_EQ(heap.tuple_count(), 0u);
+  EXPECT_EQ(heap.page_count(), 0u);
+}
+
+TEST_F(HeapFileTest, AvgTupleBytes) {
+  HeapFile heap(&pool_);
+  ASSERT_TRUE(heap.Append(Tuple({Value(int64_t{1})})).ok());
+  ASSERT_TRUE(heap.Append(Tuple({Value(int64_t{2})})).ok());
+  Tuple t({Value(int64_t{1})});
+  EXPECT_DOUBLE_EQ(heap.avg_tuple_bytes(),
+                   static_cast<double>(t.SerializedSize()));
+}
+
+TEST(SlottedPageTest, InsertUntilFullThenRead) {
+  Page p;
+  p.Zero();
+  std::string payload(100, 'a');
+  int inserted = 0;
+  while (true) {
+    Result<uint32_t> slot = slotted::Insert(&p, payload);
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kNotSupported);
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 70);  // ~8192 / (100+4)
+  EXPECT_EQ(slotted::Count(p), inserted);
+  const char* data;
+  size_t len;
+  ASSERT_TRUE(slotted::Read(p, 0, &data, &len).ok());
+  EXPECT_EQ(len, payload.size());
+  EXPECT_FALSE(slotted::Read(p, inserted, &data, &len).ok());
+}
+
+}  // namespace
+}  // namespace reoptdb

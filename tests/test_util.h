@@ -1,0 +1,90 @@
+// Shared helpers for reoptdb tests.
+
+#ifndef REOPTDB_TESTS_TEST_UTIL_H_
+#define REOPTDB_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "gtest/gtest.h"
+
+namespace reoptdb {
+namespace testing_util {
+
+/// Asserts a Status is OK with a useful message.
+#define REOPTDB_ASSERT_OK(expr)                                   \
+  do {                                                            \
+    ::reoptdb::Status _st = (expr);                               \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+#define REOPTDB_EXPECT_OK(expr)                                   \
+  do {                                                            \
+    ::reoptdb::Status _st = (expr);                               \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+/// Canonical form of a result set: one string per row, sorted (queries
+/// without ORDER BY have no defined row order). Doubles are rounded to
+/// make hash-order-independent aggregates comparable.
+inline std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (i) s += "|";
+      if (v.is_double()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Builds a small two-table database:
+///   emp(emp_id INT key, dept_id INT, salary DOUBLE, name STRING)
+///   dept(dept_id INT key, dept_name STRING, region_id INT)
+/// with `nemp` employees spread over `ndept` departments.
+inline void LoadEmpDept(Database* db, int nemp = 200, int ndept = 10) {
+  Schema emp(std::vector<Column>{{"", "emp_id", ValueType::kInt64, 8},
+                                 {"", "dept_id", ValueType::kInt64, 8},
+                                 {"", "salary", ValueType::kDouble, 8},
+                                 {"", "name", ValueType::kString, 10}});
+  Schema dept(std::vector<Column>{{"", "dept_id", ValueType::kInt64, 8},
+                                  {"", "dept_name", ValueType::kString, 10},
+                                  {"", "region_id", ValueType::kInt64, 8}});
+  ASSERT_TRUE(db->CreateTable("emp", emp).ok());
+  ASSERT_TRUE(db->CreateTable("dept", dept).ok());
+  for (int i = 0; i < nemp; ++i) {
+    ASSERT_TRUE(db->Insert("emp", Tuple({Value(int64_t{i}),
+                                         Value(int64_t{i % ndept}),
+                                         Value(1000.0 + i * 10),
+                                         Value("emp" + std::to_string(i))}))
+                    .ok());
+  }
+  for (int d = 0; d < ndept; ++d) {
+    ASSERT_TRUE(db->Insert("dept", Tuple({Value(int64_t{d}),
+                                          Value("dept" + std::to_string(d)),
+                                          Value(int64_t{d % 3})}))
+                    .ok());
+  }
+  ASSERT_TRUE(db->DeclareKey("emp", "emp_id").ok());
+  ASSERT_TRUE(db->DeclareKey("dept", "dept_id").ok());
+  ASSERT_TRUE(db->Analyze("emp").ok());
+  ASSERT_TRUE(db->Analyze("dept").ok());
+}
+
+}  // namespace testing_util
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,192 @@
+// Tests for Value / Schema / Tuple.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace reoptdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42}), d(3.5), s("hi");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "hi");
+  EXPECT_DOUBLE_EQ(i.AsNumeric(), 42.0);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(int64_t{2})), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+}
+
+TEST(ValueTest, MixedNumericComparesByValue) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.0).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, OperatorSugar) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{2}) <= Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{3}) > Value(int64_t{2}));
+  EXPECT_TRUE(Value("a") != Value("b"));
+  EXPECT_TRUE(Value(1.0) == Value(int64_t{1}));
+}
+
+TEST(ValueTest, HashEqualValuesHashEqually) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  // Integral double hashes like the equivalent int (numeric equi-joins).
+  EXPECT_EQ(Value(7.0).Hash(), Value(int64_t{7}).Hash());
+}
+
+TEST(ValueTest, HashSpreads) {
+  int collisions = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if ((Value(i).Hash() & 0xff) == (Value(i + 1).Hash() & 0xff)) ++collisions;
+  }
+  EXPECT_LT(collisions, 40);  // ~1000/256 expected
+}
+
+class ValueRoundTripTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueRoundTripTest, SerializeDeserialize) {
+  const Value& v = GetParam();
+  std::string buf;
+  v.SerializeTo(&buf);
+  EXPECT_EQ(buf.size(), v.SerializedSize());
+  size_t offset = 0;
+  Result<Value> back = Value::Deserialize(buf.data(), buf.size(), &offset);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(back.value().type(), v.type());
+  EXPECT_TRUE(back.value() == v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ValueRoundTripTest,
+    ::testing::Values(Value(int64_t{0}), Value(int64_t{-1}),
+                      Value(int64_t{1234567890123}), Value(0.0), Value(-2.5),
+                      Value(1e308), Value(""), Value("x"),
+                      Value(std::string(300, 'q'))));
+
+TEST(ValueTest, DeserializeTruncatedFails) {
+  std::string buf;
+  Value(int64_t{99}).SerializeTo(&buf);
+  size_t offset = 0;
+  EXPECT_FALSE(Value::Deserialize(buf.data(), buf.size() - 1, &offset).ok());
+}
+
+TEST(ValueTest, DeserializeBadTagFails) {
+  std::string buf = "\x09garbage";
+  size_t offset = 0;
+  EXPECT_FALSE(Value::Deserialize(buf.data(), buf.size(), &offset).ok());
+}
+
+TEST(SchemaTest, IndexOfBareAndQualified) {
+  Schema s(std::vector<Column>{{"t", "a", ValueType::kInt64, 8},
+                               {"t", "b", ValueType::kString, 10},
+                               {"u", "c", ValueType::kDouble, 8}});
+  EXPECT_EQ(s.IndexOf("a").value(), 0u);
+  EXPECT_EQ(s.IndexOf("t.b").value(), 1u);
+  EXPECT_EQ(s.IndexOf("u.c").value(), 2u);
+  EXPECT_FALSE(s.IndexOf("t.c").ok());
+  EXPECT_FALSE(s.IndexOf("zzz").ok());
+}
+
+TEST(SchemaTest, AmbiguousBareNameFails) {
+  Schema s(std::vector<Column>{{"t", "a", ValueType::kInt64, 8},
+                               {"u", "a", ValueType::kInt64, 8}});
+  Result<size_t> r = s.IndexOf("a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+  EXPECT_TRUE(s.IndexOf("t.a").ok());
+  EXPECT_TRUE(s.IndexOf("u.a").ok());
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema a(std::vector<Column>{{"t", "x", ValueType::kInt64, 8}});
+  Schema b(std::vector<Column>{{"u", "y", ValueType::kInt64, 8}});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.NumColumns(), 2u);
+  EXPECT_EQ(c.column(0).QualifiedName(), "t.x");
+  EXPECT_EQ(c.column(1).QualifiedName(), "u.y");
+}
+
+TEST(SchemaTest, AvgTupleBytes) {
+  Schema s(std::vector<Column>{{"t", "a", ValueType::kInt64, 8},
+                               {"t", "b", ValueType::kString, 12}});
+  EXPECT_DOUBLE_EQ(s.AvgTupleBytes(), 8 + 1 + 12 + 1);
+}
+
+TEST(TupleTest, RoundTrip) {
+  Tuple t({Value(int64_t{1}), Value(2.5), Value("three")});
+  std::string buf;
+  t.SerializeTo(&buf);
+  EXPECT_EQ(buf.size(), t.SerializedSize());
+  size_t offset = 0;
+  Result<Tuple> back = Tuple::Deserialize(buf.data(), buf.size(), &offset);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_TRUE(back.value().at(0) == t.at(0));
+  EXPECT_TRUE(back.value().at(1) == t.at(1));
+  EXPECT_TRUE(back.value().at(2) == t.at(2));
+}
+
+TEST(TupleTest, RoundTripRandomProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> vals;
+    int n = static_cast<int>(rng.NextBelow(8));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          vals.push_back(Value(rng.NextInt(-1000000, 1000000)));
+          break;
+        case 1:
+          vals.push_back(Value(rng.NextDouble(-1e6, 1e6)));
+          break;
+        default: {
+          std::string s(rng.NextBelow(20), 'a');
+          for (char& c : s) c = static_cast<char>('a' + rng.NextBelow(26));
+          vals.push_back(Value(std::move(s)));
+        }
+      }
+    }
+    Tuple t(vals);
+    std::string buf;
+    t.SerializeTo(&buf);
+    size_t offset = 0;
+    Result<Tuple> back = Tuple::Deserialize(buf.data(), buf.size(), &offset);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value().size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+      EXPECT_TRUE(back.value().at(i) == t.at(i));
+  }
+}
+
+TEST(TupleTest, ConcatAndHashOn) {
+  Tuple a({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b({Value(int64_t{2}), Value(int64_t{3})});
+  Tuple c = Tuple::Concat(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.at(3).AsInt(), 3);
+  // Hash over a's column 1 equals hash over b's column 0 (both value 2).
+  EXPECT_EQ(a.HashOn({1}), b.HashOn({0}));
+  EXPECT_TRUE(a.EqualsOn(b, {1}, {0}));
+  EXPECT_FALSE(a.EqualsOn(b, {0}, {0}));
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -1,0 +1,151 @@
+// reoptdb interactive shell.
+//
+// A small REPL over Database::ExecuteSql, handy for poking at the engine
+// and watching Dynamic Re-Optimization act on your own queries.
+//
+//   ./build/tools/reoptdb_shell [--tpcd <scale>] [--mem <pages>]
+//
+// Meta commands:
+//   \mode off|memory|plan|full     re-optimization mode (default full)
+//   \report                        toggle per-query execution reports
+//   \tables                        list catalog tables
+//   \q                             quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/database.h"
+#include "tpcd/dbgen.h"
+
+using namespace reoptdb;
+
+namespace {
+
+void PrintRows(const QueryResult& r) {
+  // Header.
+  for (size_t i = 0; i < r.schema.NumColumns(); ++i)
+    std::printf("%s%s", i ? " | " : "", r.schema.column(i).name.c_str());
+  if (r.schema.NumColumns() > 0) std::printf("\n");
+  size_t shown = 0;
+  for (const Tuple& t : r.rows) {
+    if (++shown > 50) {
+      std::printf("... (%zu rows total)\n", r.rows.size());
+      break;
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      std::printf("%s%s", i ? " | " : "",
+                  v.is_string() ? v.AsString().c_str() : v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu row%s)\n", r.rows.size(), r.rows.size() == 1 ? "" : "s");
+}
+
+void PrintReport(const ExecutionReport& rep) {
+  std::printf("-- %.1f simulated ms, %llu page I/Os, %d collectors, "
+              "%d mem-reallocs, %d plan-switches\n",
+              rep.sim_time_ms, static_cast<unsigned long long>(rep.page_ios),
+              rep.collectors_inserted, rep.memory_reallocations,
+              rep.plans_switched);
+  for (const std::string& e : rep.events) std::printf("--   %s\n", e.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 256;
+  opts.query_mem_pages = 128;
+  double tpcd_scale = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--tpcd") && i + 1 < argc)
+      tpcd_scale = atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc)
+      opts.query_mem_pages = atof(argv[++i]);
+  }
+
+  Database db(opts);
+  if (tpcd_scale > 0) {
+    std::printf("loading TPC-D at scale %.3f...\n", tpcd_scale);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = tpcd_scale;
+    Status st = tpcd::Load(&db, gen);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ReoptOptions reopt;  // full, paper defaults
+  bool show_report = true;
+  std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
+              "\\tables\n");
+
+  std::string line, buffer;
+  while (true) {
+    std::printf(buffer.empty() ? "reoptdb> " : "      -> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream is(line);
+      std::string cmd, arg;
+      is >> cmd >> arg;
+      if (cmd == "\\q") break;
+      if (cmd == "\\report") {
+        show_report = !show_report;
+        std::printf("reports %s\n", show_report ? "on" : "off");
+      } else if (cmd == "\\mode") {
+        if (arg == "off") reopt.mode = ReoptMode::kOff;
+        else if (arg == "memory") reopt.mode = ReoptMode::kMemoryOnly;
+        else if (arg == "plan") reopt.mode = ReoptMode::kPlanOnly;
+        else reopt.mode = ReoptMode::kFull;
+        std::printf("mode = %s\n", ReoptModeName(reopt.mode));
+      } else if (cmd == "\\tables") {
+        for (const char* t :
+             {"region", "nation", "supplier", "customer", "part", "partsupp",
+              "orders", "lineitem"}) {
+          Result<const TableInfo*> info =
+              const_cast<const Catalog*>(db.catalog())->Get(t);
+          if (info.ok())
+            std::printf("  %-10s %10llu rows\n", t,
+                        static_cast<unsigned long long>(
+                            info.value()->heap->tuple_count()));
+        }
+      } else {
+        std::printf("unknown meta command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    buffer += line;
+    // Execute on ';' (or a lone non-empty line without one).
+    if (buffer.find(';') == std::string::npos && !line.empty()) {
+      buffer += " ";
+      continue;
+    }
+    if (buffer.empty()) continue;
+
+    // SELECTs honor the session's \mode; other statements have no
+    // re-optimization dimension.
+    bool is_select =
+        buffer.find_first_not_of(" \t") != std::string::npos &&
+        (std::tolower(buffer[buffer.find_first_not_of(" \t")]) == 's');
+    Result<QueryResult> r = is_select ? db.ExecuteWith(buffer, reopt)
+                                      : db.ExecuteSql(buffer);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else if (!r->message.empty()) {
+      std::printf("%s\n", r->message.c_str());
+    } else {
+      PrintRows(*r);
+      if (show_report) PrintReport(r->report);
+    }
+    buffer.clear();
+  }
+  return 0;
+}
