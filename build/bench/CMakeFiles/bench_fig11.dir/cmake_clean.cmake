@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o"
+  "CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o.d"
+  "bench_fig11"
+  "bench_fig11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_scenario.dir/bench_fig3_scenario.cpp.o"
+  "CMakeFiles/bench_fig3_scenario.dir/bench_fig3_scenario.cpp.o.d"
+  "bench_fig3_scenario"
+  "bench_fig3_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid.dir/bench_hybrid.cpp.o"
+  "CMakeFiles/bench_hybrid.dir/bench_hybrid.cpp.o.d"
+  "bench_hybrid"
+  "bench_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_switch.dir/bench_plan_switch.cpp.o"
+  "CMakeFiles/bench_plan_switch.dir/bench_plan_switch.cpp.o.d"
+  "bench_plan_switch"
+  "bench_plan_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity.dir/bench_sensitivity.cpp.o"
+  "CMakeFiles/bench_sensitivity.dir/bench_sensitivity.cpp.o.d"
+  "bench_sensitivity"
+  "bench_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

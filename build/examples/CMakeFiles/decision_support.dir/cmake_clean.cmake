@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_support.dir/decision_support.cpp.o"
+  "CMakeFiles/decision_support.dir/decision_support.cpp.o.d"
+  "decision_support"
+  "decision_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

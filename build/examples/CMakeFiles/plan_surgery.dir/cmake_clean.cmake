@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_surgery.dir/plan_surgery.cpp.o"
+  "CMakeFiles/plan_surgery.dir/plan_surgery.cpp.o.d"
+  "plan_surgery"
+  "plan_surgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

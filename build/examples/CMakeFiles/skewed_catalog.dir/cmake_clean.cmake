@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_catalog.dir/skewed_catalog.cpp.o"
+  "CMakeFiles/skewed_catalog.dir/skewed_catalog.cpp.o.d"
+  "skewed_catalog"
+  "skewed_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

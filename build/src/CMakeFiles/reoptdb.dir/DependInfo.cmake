@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/reoptdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/column_stats.cc" "src/CMakeFiles/reoptdb.dir/catalog/column_stats.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/catalog/column_stats.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/reoptdb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/reoptdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/reoptdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/common/status.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/reoptdb.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/reoptdb.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/reoptdb.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/reoptdb.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/reoptdb.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/index_nl_join.cc" "src/CMakeFiles/reoptdb.dir/exec/index_nl_join.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/index_nl_join.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/CMakeFiles/reoptdb.dir/exec/index_scan.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/index_scan.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/CMakeFiles/reoptdb.dir/exec/merge_join.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/merge_join.cc.o.d"
+  "/root/repo/src/exec/operator_factory.cc" "src/CMakeFiles/reoptdb.dir/exec/operator_factory.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/operator_factory.cc.o.d"
+  "/root/repo/src/exec/scheduler.cc" "src/CMakeFiles/reoptdb.dir/exec/scheduler.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/scheduler.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/CMakeFiles/reoptdb.dir/exec/seq_scan.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/seq_scan.cc.o.d"
+  "/root/repo/src/exec/sort_op.cc" "src/CMakeFiles/reoptdb.dir/exec/sort_op.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/sort_op.cc.o.d"
+  "/root/repo/src/exec/stats_collector_op.cc" "src/CMakeFiles/reoptdb.dir/exec/stats_collector_op.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/stats_collector_op.cc.o.d"
+  "/root/repo/src/memory/memory_manager.cc" "src/CMakeFiles/reoptdb.dir/memory/memory_manager.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/memory/memory_manager.cc.o.d"
+  "/root/repo/src/optimizer/calibration.cc" "src/CMakeFiles/reoptdb.dir/optimizer/calibration.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/calibration.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/reoptdb.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/reoptdb.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/parametric.cc" "src/CMakeFiles/reoptdb.dir/optimizer/parametric.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/parametric.cc.o.d"
+  "/root/repo/src/optimizer/remainder_sql.cc" "src/CMakeFiles/reoptdb.dir/optimizer/remainder_sql.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/remainder_sql.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/reoptdb.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/parser/binder.cc" "src/CMakeFiles/reoptdb.dir/parser/binder.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/parser/binder.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/reoptdb.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/reoptdb.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/parser/parser.cc.o.d"
+  "/root/repo/src/parser/statement.cc" "src/CMakeFiles/reoptdb.dir/parser/statement.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/parser/statement.cc.o.d"
+  "/root/repo/src/plan/physical_plan.cc" "src/CMakeFiles/reoptdb.dir/plan/physical_plan.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/plan/physical_plan.cc.o.d"
+  "/root/repo/src/plan/query_spec.cc" "src/CMakeFiles/reoptdb.dir/plan/query_spec.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/plan/query_spec.cc.o.d"
+  "/root/repo/src/reopt/controller.cc" "src/CMakeFiles/reoptdb.dir/reopt/controller.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/reopt/controller.cc.o.d"
+  "/root/repo/src/reopt/inaccuracy.cc" "src/CMakeFiles/reoptdb.dir/reopt/inaccuracy.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/reopt/inaccuracy.cc.o.d"
+  "/root/repo/src/reopt/scia.cc" "src/CMakeFiles/reoptdb.dir/reopt/scia.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/reopt/scia.cc.o.d"
+  "/root/repo/src/stats/fm_sketch.cc" "src/CMakeFiles/reoptdb.dir/stats/fm_sketch.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/stats/fm_sketch.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/reoptdb.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/CMakeFiles/reoptdb.dir/stats/zipf.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/stats/zipf.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/reoptdb.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/reoptdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/reoptdb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/reoptdb.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/tpcd/dbgen.cc" "src/CMakeFiles/reoptdb.dir/tpcd/dbgen.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/tpcd/dbgen.cc.o.d"
+  "/root/repo/src/tpcd/queries.cc" "src/CMakeFiles/reoptdb.dir/tpcd/queries.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/tpcd/queries.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/reoptdb.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/reoptdb.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/reoptdb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reoptdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_test.dir/parametric_test.cc.o"
+  "CMakeFiles/parametric_test.dir/parametric_test.cc.o.d"
+  "parametric_test"
+  "parametric_test.pdb"
+  "parametric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

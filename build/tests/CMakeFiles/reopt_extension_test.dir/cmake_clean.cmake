@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reopt_extension_test.dir/reopt_extension_test.cc.o"
+  "CMakeFiles/reopt_extension_test.dir/reopt_extension_test.cc.o.d"
+  "reopt_extension_test"
+  "reopt_extension_test.pdb"
+  "reopt_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reopt_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

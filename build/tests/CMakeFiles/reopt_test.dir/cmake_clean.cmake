@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reopt_test.dir/reopt_test.cc.o"
+  "CMakeFiles/reopt_test.dir/reopt_test.cc.o.d"
+  "reopt_test"
+  "reopt_test.pdb"
+  "reopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

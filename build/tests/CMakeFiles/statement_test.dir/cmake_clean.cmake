@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statement_test.dir/statement_test.cc.o"
+  "CMakeFiles/statement_test.dir/statement_test.cc.o.d"
+  "statement_test"
+  "statement_test.pdb"
+  "statement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reoptdb_shell.dir/reoptdb_shell.cpp.o"
+  "CMakeFiles/reoptdb_shell.dir/reoptdb_shell.cpp.o.d"
+  "reoptdb_shell"
+  "reoptdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reoptdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
