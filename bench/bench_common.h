@@ -72,7 +72,9 @@ inline ReoptOptions Mode(ReoptMode mode) {
 }
 
 /// Runs a query under a mode; aborts on error (benchmarks must not
-/// silently skip experiments).
+/// silently skip experiments). When REOPTDB_BENCH_TRACE is set, emits one
+/// compact trace-summary JSON line per run to stderr (machine-readable
+/// per-run trajectories alongside the markdown tables).
 inline QueryResult MustRun(Database* db, const std::string& sql,
                            const ReoptOptions& opts) {
   Result<QueryResult> r = db->ExecuteWith(sql, opts);
@@ -80,6 +82,10 @@ inline QueryResult MustRun(Database* db, const std::string& sql,
     std::fprintf(stderr, "query failed: %s\nsql: %s\n",
                  r.status().ToString().c_str(), sql.c_str());
     std::abort();
+  }
+  if (std::getenv("REOPTDB_BENCH_TRACE") != nullptr) {
+    std::fprintf(stderr, "TRACE %s\n",
+                 r->report.trace.CompactSummaryJson().c_str());
   }
   return std::move(r).value();
 }

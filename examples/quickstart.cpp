@@ -4,10 +4,17 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// `--trace-json` runs the re-optimized query only, serializes its
+// structured trace to JSON, re-parses and re-serializes it, and exits 0
+// iff the trace is populated and the round-trip is lossless (wired up as
+// the `quickstart_trace_json` ctest).
 
 #include <cstdio>
+#include <cstring>
 
 #include "engine/database.h"
+#include "obs/json.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/queries.h"
 
@@ -30,21 +37,51 @@ int Fail(const Status& s) {
   return 1;
 }
 
+/// --trace-json: emit the trace JSON and self-validate the round-trip.
+int TraceJsonMode(const QueryResult& r) {
+  const std::string json = r.report.trace.ToJson();
+  std::printf("%s\n", json.c_str());
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  if (!parsed.ok()) return Fail(parsed.status());
+  Result<QueryTrace> back = QueryTrace::FromJson(json);
+  if (!back.ok()) return Fail(back.status());
+  if (back->ToJson() != json)
+    return Fail(Status::Internal("trace JSON round-trip not lossless"));
+  if (back->spans.empty())
+    return Fail(Status::Internal("trace has no operator spans"));
+  if (back->config.mode != "full")
+    return Fail(Status::Internal("trace config mode not recorded"));
+  std::fprintf(stderr, "trace JSON ok: %zu spans, %zu eq2 checks, "
+               "%zu budget changes\n",
+               back->spans.size(), back->eq2_checks.size(),
+               back->budget_changes.size());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool trace_json =
+      argc > 1 && std::strcmp(argv[1], "--trace-json") == 0;
   DatabaseOptions opts;
   opts.buffer_pool_pages = 512;
   opts.query_mem_pages = 96;
   Database db(opts);
 
-  std::printf("Loading TPC-D (scale 0.005, uniform)...\n");
+  if (!trace_json) std::printf("Loading TPC-D (scale 0.005, uniform)...\n");
   tpcd::TpcdOptions gen;
   gen.scale_factor = 0.005;
   Status st = tpcd::Load(&db, gen);
   if (!st.ok()) return Fail(st);
 
   const std::string sql = tpcd::Q5Sql();
+  if (trace_json) {
+    ReoptOptions full;
+    Result<QueryResult> reopt = db.ExecuteWith(sql, full);
+    if (!reopt.ok()) return Fail(reopt.status());
+    return TraceJsonMode(*reopt);
+  }
   std::printf("\nQuery (TPC-D Q5):\n  %s\n\n", sql.c_str());
 
   Result<std::string> plan = db.Explain(sql);

@@ -185,6 +185,24 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
     OptimizerOptions opt_opts = opts_.optimizer;
     opt_opts.assumed_mem_pages = opts_.query_mem_pages;
     opt_opts.pool_pages_hint = static_cast<double>(opts_.buffer_pool_pages);
+    if (ex->analyze) {
+      // EXPLAIN ANALYZE: actually execute and render the structured trace
+      // (operator spans, reopt decisions) below the plan(s).
+      const OptimizerCalibration& cal = calibration();
+      DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts,
+                                     opts_.reopt, opts_.query_mem_pages);
+      ExecContext ctx(&pool_, &catalog_, &cost_,
+                      /*seed=*/1234 + ++query_counter_);
+      ASSIGN_OR_RETURN(result.report,
+                       reoptimizer.Execute(std::move(spec), &ctx,
+                                           &result.rows, &result.schema));
+      result.message = result.report.plan_before;
+      if (!result.report.plan_after.empty())
+        result.message += "-- switched to --\n" + result.report.plan_after;
+      result.message += result.report.trace.Summary();
+      result.rows.clear();  // EXPLAIN output is the message, not the rows
+      return result;
+    }
     Optimizer optimizer(&catalog_, &cost_, opt_opts);
     ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
     result.message = opt.plan->ToString();

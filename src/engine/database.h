@@ -91,7 +91,9 @@ class Database {
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Executes any statement: SELECT, CREATE TABLE, CREATE INDEX, INSERT,
-  /// ANALYZE, or EXPLAIN. DDL/DML return an empty row set plus a message.
+  /// ANALYZE, or EXPLAIN [ANALYZE]. DDL/DML return an empty row set plus a
+  /// message; EXPLAIN ANALYZE executes the query and renders the plan with
+  /// the structured trace summary (report.trace carries the typed records).
   Result<QueryResult> ExecuteSql(const std::string& sql);
 
   /// Same, overriding the re-optimization configuration for this query.

@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "plan/physical_plan.h"
 #include "common/rng.h"
+#include "obs/query_trace.h"
 #include "optimizer/cost_model.h"
 #include "storage/buffer_pool.h"
 
@@ -52,9 +53,21 @@ class ExecContext {
   double external_ms() const { return external_ms_; }
 
   /// Appends a human-readable execution event (spills, reopt decisions);
-  /// surfaced in the ExecutionReport.
+  /// surfaced in the ExecutionReport. Decision events are a rendered view
+  /// of the typed records in trace() — assert against those, not these.
   void AddEvent(std::string event) { events_.push_back(std::move(event)); }
   const std::vector<std::string>& events() const { return events_; }
+
+  /// Structured trace of this execution: operator spans plus typed reopt
+  /// decision records. Always present; operators and the controller write
+  /// into it as they run.
+  QueryTrace* trace() { return &trace_; }
+  const QueryTrace& trace() const { return trace_; }
+
+  /// 0 for the initial plan; bumped by the controller on every accepted
+  /// plan switch so span node ids stay unambiguous across generations.
+  int plan_generation() const { return plan_generation_; }
+  void BumpPlanGeneration() { ++plan_generation_; }
 
   /// Hook invoked by a statistics collector the moment it finalizes
   /// (possibly mid-stage). Used by the paper's Section 2.3 extension:
@@ -80,6 +93,8 @@ class ExecContext {
   DiskStats disk_start_;
   double external_ms_ = 0;
   std::vector<std::string> events_;
+  QueryTrace trace_;
+  int plan_generation_ = 0;
   CollectorHook hook_;
 };
 

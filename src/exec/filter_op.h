@@ -14,14 +14,14 @@ class FilterOp : public Operator {
  public:
   FilterOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     RETURN_IF_ERROR(OpenChildren());
     ASSIGN_OR_RETURN(preds_,
                      CompilePreds(node_->filters, child(0)->OutputSchema()));
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     while (true) {
       ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
       if (!more) return false;
@@ -30,7 +30,7 @@ class FilterOp : public Operator {
     }
   }
 
-  Status Close() override { return CloseChildren(); }
+  Status CloseImpl() override { return CloseChildren(); }
 
  private:
   std::vector<CompiledPred> preds_;

@@ -20,7 +20,7 @@ uint64_t KeyHash(const std::string& key, int depth) {
 }
 }  // namespace
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   const Schema& in = child(0)->OutputSchema();
   for (const std::string& g : node_->group_cols) {
@@ -149,7 +149,7 @@ Status HashAggregateOp::SpillAll(int depth) {
   return Status::OK();
 }
 
-Status HashAggregateOp::EnsureBlockingPhase() {
+Status HashAggregateOp::BlockingPhaseImpl() {
   if (built_) return Status::OK();
   built_ = true;
   if (node_->mem_budget_pages > 0)
@@ -289,7 +289,7 @@ Tuple HashAggregateOp::FinalizeGroup(const GroupState& s) const {
   return Tuple(std::move(out));
 }
 
-Result<bool> HashAggregateOp::Next(Tuple* out) {
+Result<bool> HashAggregateOp::NextImpl(Tuple* out) {
   RETURN_IF_ERROR(EnsureBlockingPhase());
   while (true) {
     if (!emitting_) StartEmit();
@@ -319,7 +319,7 @@ Result<bool> HashAggregateOp::Next(Tuple* out) {
   }
 }
 
-Status HashAggregateOp::Close() {
+Status HashAggregateOp::CloseImpl() {
   table_.clear();
   pending_.clear();
   parts_.clear();

@@ -23,10 +23,10 @@ class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Status EnsureBlockingPhase() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status BlockingPhaseImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
   bool spilled() const { return spilled_; }
 

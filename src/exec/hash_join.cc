@@ -16,7 +16,7 @@ uint64_t SaltedHash(uint64_t h, int depth) {
 }
 }  // namespace
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   const Schema& build_schema = child(0)->OutputSchema();
   const Schema& probe_schema = child(1)->OutputSchema();
@@ -70,7 +70,7 @@ Status HashJoinOp::SpillBuild() {
   return Status::OK();
 }
 
-Status HashJoinOp::EnsureBlockingPhase() {
+Status HashJoinOp::BlockingPhaseImpl() {
   if (built_) return Status::OK();
   built_ = true;
   // Refresh the budget: the MemoryManager may have re-allocated memory
@@ -191,7 +191,7 @@ Result<bool> HashJoinOp::LoadNextPartition() {
   return false;
 }
 
-Result<bool> HashJoinOp::Next(Tuple* out) {
+Result<bool> HashJoinOp::NextImpl(Tuple* out) {
   RETURN_IF_ERROR(EnsureBlockingPhase());
 
   if (in_memory_) {
@@ -275,7 +275,7 @@ Result<bool> HashJoinOp::Next(Tuple* out) {
   }
 }
 
-Status HashJoinOp::Close() {
+Status HashJoinOp::CloseImpl() {
   build_rows_.clear();
   table_.clear();
   pending_.clear();

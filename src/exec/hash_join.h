@@ -26,10 +26,10 @@ class HashJoinOp : public Operator {
  public:
   HashJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Status EnsureBlockingPhase() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status BlockingPhaseImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
   /// Number of partitioning passes performed (0 = pure in-memory).
   int passes() const { return passes_; }

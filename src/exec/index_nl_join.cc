@@ -2,7 +2,7 @@
 
 namespace reoptdb {
 
-Status IndexNLJoinOp::Open() {
+Status IndexNLJoinOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
   inner_heap_ = info->heap.get();
@@ -17,7 +17,7 @@ Status IndexNLJoinOp::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexNLJoinOp::Next(Tuple* out) {
+Result<bool> IndexNLJoinOp::NextImpl(Tuple* out) {
   while (true) {
     while (have_outer_ && match_pos_ < matches_.size()) {
       const Rid& rid = matches_[match_pos_++];
@@ -40,6 +40,6 @@ Result<bool> IndexNLJoinOp::Next(Tuple* out) {
   }
 }
 
-Status IndexNLJoinOp::Close() { return CloseChildren(); }
+Status IndexNLJoinOp::CloseImpl() { return CloseChildren(); }
 
 }  // namespace reoptdb

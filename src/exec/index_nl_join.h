@@ -21,9 +21,9 @@ class IndexNLJoinOp : public Operator {
  public:
   IndexNLJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
  private:
   const HeapFile* inner_heap_ = nullptr;

@@ -4,7 +4,7 @@
 
 namespace reoptdb {
 
-Status IndexScanOp::Open() {
+Status IndexScanOp::OpenImpl() {
   ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
   heap_ = info->heap.get();
   const BTree* index = info->FindIndex(node_->index_column);
@@ -19,7 +19,7 @@ Status IndexScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexScanOp::Next(Tuple* out) {
+Result<bool> IndexScanOp::NextImpl(Tuple* out) {
   int64_t key;
   Rid rid;
   while (true) {
@@ -31,7 +31,7 @@ Result<bool> IndexScanOp::Next(Tuple* out) {
   }
 }
 
-Status IndexScanOp::Close() {
+Status IndexScanOp::CloseImpl() {
   it_.reset();
   return Status::OK();
 }

@@ -18,9 +18,9 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
  private:
   const HeapFile* heap_ = nullptr;

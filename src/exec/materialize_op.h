@@ -20,12 +20,12 @@ class MaterializeOp : public Operator {
  public:
   MaterializeOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     RETURN_IF_ERROR(OpenChildren());
     return Status::OK();
   }
 
-  Status EnsureBlockingPhase() override {
+  Status BlockingPhaseImpl() override {
     if (built_) return Status::OK();
     built_ = true;
     temp_ = ctx_->MakeTempHeap();
@@ -41,12 +41,12 @@ class MaterializeOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     RETURN_IF_ERROR(EnsureBlockingPhase());
     return it_->Next(out);
   }
 
-  Status Close() override {
+  Status CloseImpl() override {
     it_.reset();
     temp_.reset();
     return CloseChildren();

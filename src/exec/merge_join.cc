@@ -2,7 +2,7 @@
 
 namespace reoptdb {
 
-Status MergeJoinOp::Open() {
+Status MergeJoinOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   const Schema& ls = child(0)->OutputSchema();
   const Schema& rs = child(1)->OutputSchema();
@@ -64,7 +64,7 @@ Status MergeJoinOp::AdvanceRightGroup() {
   }
 }
 
-Result<bool> MergeJoinOp::Next(Tuple* out) {
+Result<bool> MergeJoinOp::NextImpl(Tuple* out) {
   while (true) {
     // Emit pending pairs for the current match.
     if (matching_ && group_pos_ < right_group_.size()) {
@@ -114,7 +114,7 @@ Result<bool> MergeJoinOp::Next(Tuple* out) {
   }
 }
 
-Status MergeJoinOp::Close() {
+Status MergeJoinOp::CloseImpl() {
   right_group_.clear();
   return CloseChildren();
 }

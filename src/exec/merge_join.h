@@ -23,9 +23,9 @@ class MergeJoinOp : public Operator {
  public:
   MergeJoinOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
  private:
   /// Lexicographic comparison of the key columns. <0, 0, >0.

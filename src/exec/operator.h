@@ -20,6 +20,12 @@ namespace reoptdb {
 /// expose EnsureBlockingPhase(), which the scheduler calls at stage
 /// boundaries; Next() calls it implicitly, so operators also work when
 /// pulled directly.
+///
+/// The public entry points are non-virtual wrappers that record an
+/// OperatorSpan (open/next/close sim-time, rows produced, page I/Os) into
+/// the query's QueryTrace; subclasses implement OpenImpl/NextImpl/
+/// CloseImpl/BlockingPhaseImpl. Span times are inclusive of children — a
+/// parent's Next() covers the child Next() calls it makes.
 class Operator {
  public:
   Operator(ExecContext* ctx, PlanNode* node) : ctx_(ctx), node_(node) {}
@@ -27,17 +33,61 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  virtual Status Open() = 0;
-  virtual Result<bool> Next(Tuple* out) = 0;
-  virtual Status Close() = 0;
+  Status Open() {
+    EnsureSpan();
+    if (span_ != nullptr) span_->open_at_ms = ctx_->SimElapsedMs();
+    return OpenImpl();
+  }
+
+  Result<bool> Next(Tuple* out) {
+    if (span_ == nullptr) return NextImpl(out);
+    const bool timing = ctx_->trace()->operator_timing;
+    double t0 = 0;
+    uint64_t io0 = 0;
+    if (timing) {
+      t0 = ctx_->SimElapsedMs();
+      io0 = ctx_->PageIos();
+    }
+    Result<bool> r = NextImpl(out);
+    ++span_->next_calls;
+    if (r.ok() && r.value()) ++span_->rows;
+    if (timing) {
+      span_->next_ms += ctx_->SimElapsedMs() - t0;
+      span_->page_ios += ctx_->PageIos() - io0;
+    }
+    return r;
+  }
+
+  Status Close() {
+    if (span_ != nullptr) span_->close_at_ms = ctx_->SimElapsedMs();
+    return CloseImpl();
+  }
 
   /// Runs the blocking phase (hash-join build, aggregate absorb, sort run
   /// formation, materialization). Idempotent. No-op for streaming ops.
-  virtual Status EnsureBlockingPhase() { return Status::OK(); }
+  Status EnsureBlockingPhase() {
+    if (span_ == nullptr) return BlockingPhaseImpl();
+    const bool timing = ctx_->trace()->operator_timing;
+    double t0 = 0;
+    uint64_t io0 = 0;
+    if (timing) {
+      t0 = ctx_->SimElapsedMs();
+      io0 = ctx_->PageIos();
+    }
+    Status st = BlockingPhaseImpl();
+    if (timing) {
+      span_->blocking_ms += ctx_->SimElapsedMs() - t0;
+      span_->page_ios += ctx_->PageIos() - io0;
+    }
+    return st;
+  }
 
   const Schema& OutputSchema() const { return node_->output_schema; }
   PlanNode* node() const { return node_; }
   ExecContext* ctx() const { return ctx_; }
+
+  /// This operator's trace span (created on first Open()).
+  const OperatorSpan* span() const { return span_; }
 
   const std::vector<std::unique_ptr<Operator>>& children() const {
     return children_;
@@ -48,6 +98,11 @@ class Operator {
   }
 
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Tuple* out) = 0;
+  virtual Status CloseImpl() = 0;
+  virtual Status BlockingPhaseImpl() { return Status::OK(); }
+
   Status OpenChildren() {
     for (auto& c : children_) RETURN_IF_ERROR(c->Open());
     return Status::OK();
@@ -60,6 +115,22 @@ class Operator {
   ExecContext* ctx_;
   PlanNode* node_;
   std::vector<std::unique_ptr<Operator>> children_;
+
+ private:
+  void EnsureSpan() {
+    if (span_ != nullptr) return;
+    span_ = ctx_->trace()->NewSpan();
+    span_->plan_generation = ctx_->plan_generation();
+    span_->node_id = node_->id;
+    span_->op = OpKindName(node_->kind);
+    if (!node_->table.empty()) {
+      span_->detail = node_->table;
+      if (!node_->alias.empty() && node_->alias != node_->table)
+        span_->detail += " [" + node_->alias + "]";
+    }
+  }
+
+  OperatorSpan* span_ = nullptr;
 };
 
 }  // namespace reoptdb

@@ -13,7 +13,7 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     RETURN_IF_ERROR(OpenChildren());
     const Schema& in = child(0)->OutputSchema();
     for (const std::string& col : node_->project_cols) {
@@ -23,7 +23,7 @@ class ProjectOp : public Operator {
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     Tuple in;
     ASSIGN_OR_RETURN(bool more, child(0)->Next(&in));
     if (!more) return false;
@@ -34,7 +34,7 @@ class ProjectOp : public Operator {
     return true;
   }
 
-  Status Close() override { return CloseChildren(); }
+  Status CloseImpl() override { return CloseChildren(); }
 
  private:
   std::vector<size_t> indexes_;
@@ -45,9 +45,9 @@ class LimitOp : public Operator {
  public:
   LimitOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override { return OpenChildren(); }
+  Status OpenImpl() override { return OpenChildren(); }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     if (node_->limit >= 0 && emitted_ >= node_->limit) return false;
     ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
     if (!more) return false;
@@ -55,7 +55,7 @@ class LimitOp : public Operator {
     return true;
   }
 
-  Status Close() override { return CloseChildren(); }
+  Status CloseImpl() override { return CloseChildren(); }
 
  private:
   int64_t emitted_ = 0;

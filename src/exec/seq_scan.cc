@@ -2,7 +2,7 @@
 
 namespace reoptdb {
 
-Status SeqScanOp::Open() {
+Status SeqScanOp::OpenImpl() {
   ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
   heap_ = info->heap.get();
   it_.emplace(heap_->Scan());
@@ -10,7 +10,7 @@ Status SeqScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Tuple* out) {
+Result<bool> SeqScanOp::NextImpl(Tuple* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool more, it_->Next(out));
     if (!more) return false;
@@ -19,7 +19,7 @@ Result<bool> SeqScanOp::Next(Tuple* out) {
   }
 }
 
-Status SeqScanOp::Close() {
+Status SeqScanOp::CloseImpl() {
   it_.reset();
   return Status::OK();
 }

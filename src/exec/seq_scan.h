@@ -16,9 +16,9 @@ class SeqScanOp : public Operator {
  public:
   SeqScanOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
  private:
   const HeapFile* heap_ = nullptr;

@@ -5,7 +5,7 @@
 
 namespace reoptdb {
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   const Schema& in = child(0)->OutputSchema();
   for (const auto& [name, asc] : node_->sort_keys) {
@@ -40,7 +40,7 @@ Status SortOp::FlushRun() {
   return Status::OK();
 }
 
-Status SortOp::EnsureBlockingPhase() {
+Status SortOp::BlockingPhaseImpl() {
   if (built_) return Status::OK();
   built_ = true;
   if (node_->mem_budget_pages > 0)
@@ -84,7 +84,7 @@ Status SortOp::EnsureBlockingPhase() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Tuple* out) {
+Result<bool> SortOp::NextImpl(Tuple* out) {
   RETURN_IF_ERROR(EnsureBlockingPhase());
   if (!merging_) {
     if (emit_pos_ >= rows_.size()) return false;
@@ -114,7 +114,7 @@ Result<bool> SortOp::Next(Tuple* out) {
   return true;
 }
 
-Status SortOp::Close() {
+Status SortOp::CloseImpl() {
   rows_.clear();
   sources_.clear();
   runs_.clear();

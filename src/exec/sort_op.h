@@ -20,10 +20,10 @@ class SortOp : public Operator {
  public:
   SortOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Status EnsureBlockingPhase() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Status BlockingPhaseImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
   size_t run_count() const { return runs_.size(); }
 

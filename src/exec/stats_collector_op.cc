@@ -4,7 +4,7 @@
 
 namespace reoptdb {
 
-Status StatsCollectorOp::Open() {
+Status StatsCollectorOp::OpenImpl() {
   RETURN_IF_ERROR(OpenChildren());
   const Schema& schema = node_->output_schema;
   minmax_.assign(schema.NumColumns(), MinMax{});
@@ -90,7 +90,7 @@ void StatsCollectorOp::Finalize() {
                       << count_;
 }
 
-Result<bool> StatsCollectorOp::Next(Tuple* out) {
+Result<bool> StatsCollectorOp::NextImpl(Tuple* out) {
   ASSIGN_OR_RETURN(bool more, child(0)->Next(out));
   if (!more) {
     if (!finalized_) Finalize();
@@ -100,6 +100,6 @@ Result<bool> StatsCollectorOp::Next(Tuple* out) {
   return true;
 }
 
-Status StatsCollectorOp::Close() { return CloseChildren(); }
+Status StatsCollectorOp::CloseImpl() { return CloseChildren(); }
 
 }  // namespace reoptdb

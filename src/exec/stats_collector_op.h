@@ -24,9 +24,9 @@ class StatsCollectorOp : public Operator {
  public:
   StatsCollectorOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* out) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Status CloseImpl() override;
 
   /// True once the input is exhausted and observations are published.
   bool finalized() const { return finalized_; }

@@ -53,8 +53,9 @@ void MemoryManager::ComputeDemands(PlanNode* node) const {
   }
 }
 
-bool MemoryManager::Allocate(PlanNode* root,
-                             const std::set<int>& frozen_ids) const {
+bool MemoryManager::Allocate(PlanNode* root, const std::set<int>& frozen_ids,
+                             QueryTrace* trace, double at_ms,
+                             int plan_generation) const {
   std::vector<PlanNode*> order;
   CollectBlockingOrder(root, &order);
   std::vector<PlanNode*> consumers;
@@ -87,6 +88,21 @@ bool MemoryManager::Allocate(PlanNode* root,
       g = std::max(2.0, std::floor(g * scale));
       granted += g;
     }
+    // The 2-page floor can push the sum back over the budget; shave the
+    // largest grants (never below the floor) until it holds again. Only
+    // when the budget cannot even cover 2 pages per consumer does the
+    // floor win over the budget.
+    while (granted > budget) {
+      size_t largest = grant.size();
+      for (size_t i = 0; i < grant.size(); ++i) {
+        if (grant[i] <= 2.0) continue;
+        if (largest == grant.size() || grant[i] > grant[largest]) largest = i;
+      }
+      if (largest == grant.size()) break;  // everyone at the floor
+      double shave = std::min(grant[largest] - 2.0, granted - budget);
+      grant[largest] -= shave;
+      granted -= shave;
+    }
   }
 
   // Pass 2: in execution order, upgrade an operator to its maximum if the
@@ -101,15 +117,34 @@ bool MemoryManager::Allocate(PlanNode* root,
     }
   }
 
-  // Pass 3: leftover goes to the last operator (the paper hands the
-  // remainder to the aggregate at the top).
+  // Pass 3: leftover goes to the last operators (the paper hands the
+  // remainder to the aggregate at the top), capped at each operator's
+  // maximum — pages an operator cannot use spill to earlier consumers
+  // that are still below their max. Whatever no consumer can use stays
+  // unassigned.
   double leftover = budget - granted;
-  if (leftover > 0 && !consumers.empty())
-    grant.back() += leftover;
+  for (size_t i = consumers.size(); i-- > 0 && leftover > 0;) {
+    double room = consumers[i]->max_mem_pages - grant[i];
+    if (room <= 0) continue;
+    double give = std::min(room, leftover);
+    grant[i] += give;
+    leftover -= give;
+  }
 
   bool changed = false;
   for (size_t i = 0; i < consumers.size(); ++i) {
-    if (consumers[i]->mem_budget_pages != grant[i]) changed = true;
+    if (consumers[i]->mem_budget_pages != grant[i]) {
+      changed = true;
+      if (trace != nullptr) {
+        BudgetChange bc;
+        bc.plan_generation = plan_generation;
+        bc.node_id = consumers[i]->id;
+        bc.at_ms = at_ms;
+        bc.before_pages = consumers[i]->mem_budget_pages;
+        bc.after_pages = grant[i];
+        trace->budget_changes.push_back(bc);
+      }
+    }
     consumers[i]->mem_budget_pages = grant[i];
   }
   return changed;

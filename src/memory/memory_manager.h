@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/query_trace.h"
 #include "optimizer/cost_model.h"
 #include "plan/physical_plan.h"
 
@@ -34,7 +35,15 @@ class MemoryManager {
   /// memory among the plan's memory consumers. Operators whose node id is
   /// in `frozen_ids` keep their current budget (already started/finished).
   /// Returns true if any pending operator's budget changed.
-  bool Allocate(PlanNode* root, const std::set<int>& frozen_ids) const;
+  ///
+  /// The aggregate grant never exceeds total_pages(), except when even the
+  /// 2-page-per-consumer floor does not fit the budget.
+  ///
+  /// When `trace` is non-null, every budget change is recorded as a
+  /// BudgetChange{generation, node, at_ms, before, after}.
+  bool Allocate(PlanNode* root, const std::set<int>& frozen_ids,
+                QueryTrace* trace = nullptr, double at_ms = 0,
+                int plan_generation = 0) const;
 
   /// Fills node->min_mem_pages / max_mem_pages from the node's children's
   /// improved estimates.

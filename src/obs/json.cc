@@ -1,0 +1,308 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace reoptdb {
+namespace obs {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Shortest decimal form that parses back to the same double.
+void NumberTo(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; clamp to null (trace values should be finite).
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      NumberTo(num_, out);
+      break;
+    case Kind::kString:
+      EscapeTo(str_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeTo(k, out);
+        out->push_back(':');
+        v.SerializeTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size())
+      return Status::ParseError("json: trailing characters at offset " +
+                                std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    size_t n = std::char_traits<char>::length(w);
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("bad \\u escape");
+          unsigned code = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Traces only escape control characters; other code points were
+          // written verbatim, so a one-byte cast is faithful here.
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end");
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::MakeObject();
+      SkipWs();
+      if (Consume('}')) return obj;
+      while (true) {
+        SkipWs();
+        ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipWs();
+        if (!Consume(':')) return Fail("expected ':'");
+        ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+        obj.Set(key, std::move(v));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume('}')) return obj;
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::MakeArray();
+      SkipWs();
+      if (Consume(']')) return arr;
+      while (true) {
+        ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+        arr.Append(std::move(v));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return arr;
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::MakeString(std::move(s));
+    }
+    if (ConsumeWord("true")) return JsonValue::MakeBool(true);
+    if (ConsumeWord("false")) return JsonValue::MakeBool(false);
+    if (ConsumeWord("null")) return JsonValue();
+    // Number.
+    char* end = nullptr;
+    double d = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return Fail("unexpected character");
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    return JsonValue::MakeNumber(d);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace reoptdb

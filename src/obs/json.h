@@ -1,0 +1,78 @@
+// Minimal JSON document model: enough for trace serialization, parsing and
+// schema smoke checks — not a general-purpose library.
+//
+// Serialization is deterministic (object members keep insertion order,
+// numbers use a fixed shortest-round-trip format), so
+// Serialize(Parse(Serialize(x))) == Serialize(x) and tests can compare
+// canonical strings to prove a lossless round trip.
+
+#ifndef REOPTDB_OBS_JSON_H_
+#define REOPTDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reoptdb {
+namespace obs {
+
+/// \brief One JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  const std::string& AsString() const { return str_; }
+
+  // --- Object access (no-ops / nullptr on non-objects).
+  const JsonValue* Find(const std::string& key) const;
+  /// Appends or replaces a member; returns the stored value.
+  JsonValue& Set(const std::string& key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // --- Array access.
+  JsonValue& Append(JsonValue v);
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Compact, deterministic serialization.
+  std::string Serialize() const;
+
+ private:
+  void SerializeTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OBS_JSON_H_

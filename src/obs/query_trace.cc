@@ -1,0 +1,354 @@
+#include "obs/query_trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace reoptdb {
+
+namespace {
+
+using obs::JsonValue;
+
+std::string Ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+double GetNum(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : 0;
+}
+
+bool GetBool(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+std::string GetStr(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+
+Status ExpectArray(const JsonValue& root, const char* key,
+                   const JsonValue** out) {
+  const JsonValue* v = root.Find(key);
+  if (v == nullptr || !v->is_array())
+    return Status::ParseError(std::string("trace: missing array '") + key +
+                              "'");
+  *out = v;
+  return Status::OK();
+}
+
+JsonValue SpanJson(const OperatorSpan& s) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("gen", JsonValue::MakeNumber(s.plan_generation));
+  o.Set("node", JsonValue::MakeNumber(s.node_id));
+  o.Set("op", JsonValue::MakeString(s.op));
+  o.Set("detail", JsonValue::MakeString(s.detail));
+  o.Set("open_at_ms", JsonValue::MakeNumber(s.open_at_ms));
+  o.Set("close_at_ms", JsonValue::MakeNumber(s.close_at_ms));
+  o.Set("blocking_ms", JsonValue::MakeNumber(s.blocking_ms));
+  o.Set("next_ms", JsonValue::MakeNumber(s.next_ms));
+  o.Set("next_calls", JsonValue::MakeNumber(static_cast<double>(s.next_calls)));
+  o.Set("rows", JsonValue::MakeNumber(static_cast<double>(s.rows)));
+  o.Set("page_ios", JsonValue::MakeNumber(static_cast<double>(s.page_ios)));
+  return o;
+}
+
+OperatorSpan SpanFromJson(const JsonValue& o) {
+  OperatorSpan s;
+  s.plan_generation = static_cast<int>(GetNum(o, "gen"));
+  s.node_id = static_cast<int>(GetNum(o, "node"));
+  s.op = GetStr(o, "op");
+  s.detail = GetStr(o, "detail");
+  s.open_at_ms = GetNum(o, "open_at_ms");
+  s.close_at_ms = GetNum(o, "close_at_ms");
+  s.blocking_ms = GetNum(o, "blocking_ms");
+  s.next_ms = GetNum(o, "next_ms");
+  s.next_calls = static_cast<uint64_t>(GetNum(o, "next_calls"));
+  s.rows = static_cast<uint64_t>(GetNum(o, "rows"));
+  s.page_ios = static_cast<uint64_t>(GetNum(o, "page_ios"));
+  return s;
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+
+  JsonValue cfg = JsonValue::MakeObject();
+  cfg.Set("mode", JsonValue::MakeString(config.mode));
+  cfg.Set("mu", JsonValue::MakeNumber(config.mu));
+  cfg.Set("theta1", JsonValue::MakeNumber(config.theta1));
+  cfg.Set("theta2", JsonValue::MakeNumber(config.theta2));
+  cfg.Set("mid_execution_memory",
+          JsonValue::MakeBool(config.mid_execution_memory));
+  root.Set("config", std::move(cfg));
+
+  JsonValue spans_j = JsonValue::MakeArray();
+  for (const OperatorSpan& s : spans) spans_j.Append(SpanJson(s));
+  root.Set("spans", std::move(spans_j));
+
+  JsonValue eq2_j = JsonValue::MakeArray();
+  for (const Eq2Check& r : eq2_checks) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage_node_id", JsonValue::MakeNumber(r.stage_node_id));
+    o.Set("improved", JsonValue::MakeNumber(r.improved));
+    o.Set("est", JsonValue::MakeNumber(r.est));
+    o.Set("degradation", JsonValue::MakeNumber(r.degradation));
+    o.Set("theta2", JsonValue::MakeNumber(r.theta2));
+    o.Set("fired", JsonValue::MakeBool(r.fired));
+    eq2_j.Append(std::move(o));
+  }
+  root.Set("eq2_checks", std::move(eq2_j));
+
+  JsonValue eq1_j = JsonValue::MakeArray();
+  for (const Eq1Check& r : eq1_checks) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage_node_id", JsonValue::MakeNumber(r.stage_node_id));
+    o.Set("t_opt_est", JsonValue::MakeNumber(r.t_opt_est));
+    o.Set("rem_cur", JsonValue::MakeNumber(r.rem_cur));
+    o.Set("theta1", JsonValue::MakeNumber(r.theta1));
+    o.Set("fired", JsonValue::MakeBool(r.fired));
+    eq1_j.Append(std::move(o));
+  }
+  root.Set("eq1_checks", std::move(eq1_j));
+
+  JsonValue sw_j = JsonValue::MakeArray();
+  for (const SwitchDecision& r : switches) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage_node_id", JsonValue::MakeNumber(r.stage_node_id));
+    o.Set("rem_cur", JsonValue::MakeNumber(r.rem_cur));
+    o.Set("rem_new", JsonValue::MakeNumber(r.rem_new));
+    o.Set("accepted", JsonValue::MakeBool(r.accepted));
+    o.Set("temp_table", JsonValue::MakeString(r.temp_table));
+    o.Set("mat_rows", JsonValue::MakeNumber(static_cast<double>(r.mat_rows)));
+    sw_j.Append(std::move(o));
+  }
+  root.Set("switches", std::move(sw_j));
+
+  JsonValue mr_j = JsonValue::MakeArray();
+  for (const MemoryReallocation& r : memory_reallocations) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("trigger_node_id", JsonValue::MakeNumber(r.trigger_node_id));
+    o.Set("mid_execution", JsonValue::MakeBool(r.mid_execution));
+    o.Set("before_ms", JsonValue::MakeNumber(r.before_ms));
+    o.Set("after_ms", JsonValue::MakeNumber(r.after_ms));
+    o.Set("kept", JsonValue::MakeBool(r.kept));
+    mr_j.Append(std::move(o));
+  }
+  root.Set("memory_reallocations", std::move(mr_j));
+
+  JsonValue bc_j = JsonValue::MakeArray();
+  for (const BudgetChange& r : budget_changes) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("gen", JsonValue::MakeNumber(r.plan_generation));
+    o.Set("node", JsonValue::MakeNumber(r.node_id));
+    o.Set("at_ms", JsonValue::MakeNumber(r.at_ms));
+    o.Set("before_pages", JsonValue::MakeNumber(r.before_pages));
+    o.Set("after_pages", JsonValue::MakeNumber(r.after_pages));
+    bc_j.Append(std::move(o));
+  }
+  root.Set("budget_changes", std::move(bc_j));
+
+  return root.Serialize();
+}
+
+Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
+  ASSIGN_OR_RETURN(JsonValue root, obs::ParseJson(json));
+  if (!root.is_object()) return Status::ParseError("trace: not an object");
+  QueryTrace t;
+
+  const JsonValue* cfg = root.Find("config");
+  if (cfg == nullptr || !cfg->is_object())
+    return Status::ParseError("trace: missing 'config'");
+  t.config.mode = GetStr(*cfg, "mode");
+  t.config.mu = GetNum(*cfg, "mu");
+  t.config.theta1 = GetNum(*cfg, "theta1");
+  t.config.theta2 = GetNum(*cfg, "theta2");
+  t.config.mid_execution_memory = GetBool(*cfg, "mid_execution_memory");
+
+  const JsonValue* arr = nullptr;
+  RETURN_IF_ERROR(ExpectArray(root, "spans", &arr));
+  for (const JsonValue& o : arr->items()) t.spans.push_back(SpanFromJson(o));
+
+  RETURN_IF_ERROR(ExpectArray(root, "eq2_checks", &arr));
+  for (const JsonValue& o : arr->items()) {
+    Eq2Check r;
+    r.stage_node_id = static_cast<int>(GetNum(o, "stage_node_id"));
+    r.improved = GetNum(o, "improved");
+    r.est = GetNum(o, "est");
+    r.degradation = GetNum(o, "degradation");
+    r.theta2 = GetNum(o, "theta2");
+    r.fired = GetBool(o, "fired");
+    t.eq2_checks.push_back(r);
+  }
+
+  RETURN_IF_ERROR(ExpectArray(root, "eq1_checks", &arr));
+  for (const JsonValue& o : arr->items()) {
+    Eq1Check r;
+    r.stage_node_id = static_cast<int>(GetNum(o, "stage_node_id"));
+    r.t_opt_est = GetNum(o, "t_opt_est");
+    r.rem_cur = GetNum(o, "rem_cur");
+    r.theta1 = GetNum(o, "theta1");
+    r.fired = GetBool(o, "fired");
+    t.eq1_checks.push_back(r);
+  }
+
+  RETURN_IF_ERROR(ExpectArray(root, "switches", &arr));
+  for (const JsonValue& o : arr->items()) {
+    SwitchDecision r;
+    r.stage_node_id = static_cast<int>(GetNum(o, "stage_node_id"));
+    r.rem_cur = GetNum(o, "rem_cur");
+    r.rem_new = GetNum(o, "rem_new");
+    r.accepted = GetBool(o, "accepted");
+    r.temp_table = GetStr(o, "temp_table");
+    r.mat_rows = static_cast<uint64_t>(GetNum(o, "mat_rows"));
+    t.switches.push_back(std::move(r));
+  }
+
+  RETURN_IF_ERROR(ExpectArray(root, "memory_reallocations", &arr));
+  for (const JsonValue& o : arr->items()) {
+    MemoryReallocation r;
+    r.trigger_node_id = static_cast<int>(GetNum(o, "trigger_node_id"));
+    r.mid_execution = GetBool(o, "mid_execution");
+    r.before_ms = GetNum(o, "before_ms");
+    r.after_ms = GetNum(o, "after_ms");
+    r.kept = GetBool(o, "kept");
+    t.memory_reallocations.push_back(r);
+  }
+
+  RETURN_IF_ERROR(ExpectArray(root, "budget_changes", &arr));
+  for (const JsonValue& o : arr->items()) {
+    BudgetChange r;
+    r.plan_generation = static_cast<int>(GetNum(o, "gen"));
+    r.node_id = static_cast<int>(GetNum(o, "node"));
+    r.at_ms = GetNum(o, "at_ms");
+    r.before_pages = GetNum(o, "before_pages");
+    r.after_pages = GetNum(o, "after_pages");
+    t.budget_changes.push_back(r);
+  }
+
+  return t;
+}
+
+std::string QueryTrace::Summary() const {
+  std::string out;
+  char buf[256];
+  out += "operators:\n";
+  for (const OperatorSpan& s : spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "  gen%d #%-3d %-14s rows=%-8llu next=%9.3fms "
+                  "blocking=%9.3fms io=%-7llu %s\n",
+                  s.plan_generation, s.node_id, s.op.c_str(),
+                  static_cast<unsigned long long>(s.rows), s.next_ms,
+                  s.blocking_ms, static_cast<unsigned long long>(s.page_ios),
+                  s.detail.c_str());
+    out += buf;
+  }
+  if (!budget_changes.empty()) {
+    out += "memory budget changes:\n";
+    for (const BudgetChange& b : budget_changes) {
+      std::snprintf(buf, sizeof(buf),
+                    "  gen%d #%-3d at %.3fms: %.0f -> %.0f pages\n",
+                    b.plan_generation, b.node_id, b.at_ms, b.before_pages,
+                    b.after_pages);
+      out += buf;
+    }
+  }
+  if (!eq2_checks.empty() || !eq1_checks.empty() || !switches.empty() ||
+      !memory_reallocations.empty()) {
+    out += "decisions:\n";
+    for (const Eq2Check& r : eq2_checks) out += "  " + Render(r) + "\n";
+    for (const Eq1Check& r : eq1_checks) out += "  " + Render(r) + "\n";
+    for (const MemoryReallocation& r : memory_reallocations)
+      out += "  " + Render(r) + "\n";
+    for (const SwitchDecision& r : switches) out += "  " + Render(r) + "\n";
+  }
+  return out;
+}
+
+std::string QueryTrace::CompactSummaryJson() const {
+  using obs::JsonValue;
+  JsonValue root = JsonValue::MakeObject();
+
+  // Aggregate span time by operator kind (inclusive; the dominant kinds
+  // are what a trajectory wants to attribute time to).
+  std::vector<std::pair<std::string, std::pair<double, uint64_t>>> by_op;
+  for (const OperatorSpan& s : spans) {
+    bool found = false;
+    for (auto& [op, agg] : by_op) {
+      if (op == s.op) {
+        agg.first += s.next_ms + s.blocking_ms;
+        agg.second += s.rows;
+        found = true;
+        break;
+      }
+    }
+    if (!found) by_op.push_back({s.op, {s.next_ms + s.blocking_ms, s.rows}});
+  }
+  JsonValue ops = JsonValue::MakeArray();
+  for (const auto& [op, agg] : by_op) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("op", JsonValue::MakeString(op));
+    o.Set("ms", JsonValue::MakeNumber(agg.first));
+    o.Set("rows", JsonValue::MakeNumber(static_cast<double>(agg.second)));
+    ops.Append(std::move(o));
+  }
+  root.Set("ops", std::move(ops));
+
+  int eq2_fired = 0, accepted = 0, kept = 0;
+  for (const Eq2Check& r : eq2_checks) eq2_fired += r.fired ? 1 : 0;
+  for (const SwitchDecision& r : switches) accepted += r.accepted ? 1 : 0;
+  for (const MemoryReallocation& r : memory_reallocations)
+    kept += r.kept ? 1 : 0;
+  root.Set("eq2_checks", JsonValue::MakeNumber(eq2_checks.size()));
+  root.Set("eq2_fired", JsonValue::MakeNumber(eq2_fired));
+  root.Set("eq1_checks", JsonValue::MakeNumber(eq1_checks.size()));
+  root.Set("switches", JsonValue::MakeNumber(switches.size()));
+  root.Set("switches_accepted", JsonValue::MakeNumber(accepted));
+  root.Set("mem_reallocs", JsonValue::MakeNumber(memory_reallocations.size()));
+  root.Set("mem_reallocs_kept", JsonValue::MakeNumber(kept));
+  return root.Serialize();
+}
+
+std::string Render(const Eq2Check& r) {
+  return "eq2 check after stage " + std::to_string(r.stage_node_id) +
+         ": improved=" + Ms(r.improved) + " est=" + Ms(r.est) +
+         " degradation=" + Ms(r.degradation) +
+         (r.fired ? " (fired)" : " (below theta2)");
+}
+
+std::string Render(const Eq1Check& r) {
+  return "eq1 check after stage " + std::to_string(r.stage_node_id) +
+         ": t_opt_est=" + Ms(r.t_opt_est) + "ms rem_cur=" + Ms(r.rem_cur) +
+         "ms" + (r.fired ? " (fired)" : " (optimizer too expensive)");
+}
+
+std::string Render(const SwitchDecision& r) {
+  std::string s = "reopt gate: rem_cur=" + Ms(r.rem_cur) +
+                  "ms rem_new=" + Ms(r.rem_new) + "ms -> ";
+  if (r.accepted) {
+    s += "plan switched: materialized " + std::to_string(r.mat_rows) +
+         " rows into " + r.temp_table;
+  } else {
+    s += "rejected (kept current plan)";
+  }
+  return s;
+}
+
+std::string Render(const MemoryReallocation& r) {
+  if (r.mid_execution) {
+    return "mid-execution memory response after collector " +
+           std::to_string(r.trigger_node_id);
+  }
+  std::string s = "memory re-allocated after collector feedback (stage " +
+                  std::to_string(r.trigger_node_id) +
+                  "): est " + Ms(r.before_ms) + " -> " + Ms(r.after_ms) + "ms";
+  s += r.kept ? " (kept)" : " (rolled back)";
+  return s;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,141 @@
+// Structured query observability (the machine-readable counterpart of the
+// ExecutionReport's legacy `events` strings).
+//
+// The paper's whole premise is visibility into a running plan: collector
+// feedback, the Eq.(1)/Eq.(2) re-optimization gates, memory re-allocation
+// and plan-switch decisions. A QueryTrace records all of it as typed
+// records — per-operator spans plus decision records — that tests and
+// benchmarks can assert against and that serialize losslessly to JSON.
+// The `events` string list remains available as a rendered view.
+
+#ifndef REOPTDB_OBS_QUERY_TRACE_H_
+#define REOPTDB_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reoptdb {
+
+/// One operator's execution span. Times are simulated milliseconds on the
+/// query clock; `next_ms`/`page_ios` are inclusive of children (subtract
+/// child spans to attribute self time). `plan_generation` distinguishes
+/// operators of the initial plan (0) from re-optimized plans (1, 2, ...),
+/// whose node ids may collide with earlier generations.
+struct OperatorSpan {
+  int plan_generation = 0;
+  int node_id = -1;
+  std::string op;      ///< operator kind name ("HashJoin", "SeqScan", ...)
+  std::string detail;  ///< scans: "table [alias]"; empty otherwise
+  double open_at_ms = -1;   ///< sim-time when Open() ran
+  double close_at_ms = -1;  ///< sim-time when Close() ran (-1 = never closed)
+  double blocking_ms = 0;   ///< inclusive sim-time in the blocking phase
+  double next_ms = 0;       ///< inclusive sim-time across all Next() calls
+  uint64_t next_calls = 0;
+  uint64_t rows = 0;      ///< tuples produced
+  uint64_t page_ios = 0;  ///< inclusive page I/Os during Next()/blocking
+};
+
+/// Eq. (2) sub-optimality check: fired when
+/// (improved - est) / est > theta2.
+struct Eq2Check {
+  int stage_node_id = -1;  ///< frontier (stage) node the check ran after
+  double improved = 0;     ///< improved estimated total cost (ms)
+  double est = 0;          ///< original optimizer estimate (ms)
+  double degradation = 0;  ///< (improved - est) / est
+  double theta2 = 0;
+  bool fired = false;
+};
+
+/// Eq. (1) optimizer-cost check: fired when t_opt_est <= theta1 * rem_cur.
+struct Eq1Check {
+  int stage_node_id = -1;
+  double t_opt_est = 0;  ///< estimated cost of re-invoking the optimizer
+  double rem_cur = 0;    ///< improved remaining time of the current plan
+  double theta1 = 0;
+  bool fired = false;
+};
+
+/// Outcome of one considered plan switch (optimizer was re-invoked).
+struct SwitchDecision {
+  int stage_node_id = -1;
+  double rem_cur = 0;  ///< remaining time under the current plan
+  double rem_new = 0;  ///< finish frontier + materialize + new plan + t_opt
+  bool accepted = false;
+  std::string temp_table;  ///< temp table considered / materialized into
+  uint64_t mat_rows = 0;   ///< rows materialized (0 unless accepted)
+};
+
+/// One memory-manager re-invocation triggered by collector feedback.
+struct MemoryReallocation {
+  int trigger_node_id = -1;    ///< stage node or (mid-exec) collector id
+  bool mid_execution = false;  ///< Section 2.3 extension fired mid-stage
+  double before_ms = 0;        ///< improved total cost before re-allocation
+  double after_ms = 0;         ///< improved total cost after re-allocation
+  bool kept = false;           ///< false = rolled back (no clear improvement)
+};
+
+/// One operator's budget change from a memory-manager pass.
+struct BudgetChange {
+  int plan_generation = 0;
+  int node_id = -1;
+  double at_ms = 0;  ///< sim-time of the re-allocation
+  double before_pages = 0;
+  double after_pages = 0;
+};
+
+/// The re-optimization configuration the query ran under.
+struct TraceConfig {
+  std::string mode;  ///< ReoptModeName
+  double mu = 0;
+  double theta1 = 0;
+  double theta2 = 0;
+  bool mid_execution_memory = false;
+};
+
+/// \brief Typed trace of one query execution.
+class QueryTrace {
+ public:
+  TraceConfig config;
+  /// Per-Next sim-time sampling for spans. Row/call counters are always
+  /// maintained; disable this to skip the clock reads on hot paths.
+  bool operator_timing = true;
+
+  std::deque<OperatorSpan> spans;  ///< deque: stable addresses for live ops
+  std::vector<Eq2Check> eq2_checks;
+  std::vector<Eq1Check> eq1_checks;
+  std::vector<SwitchDecision> switches;
+  std::vector<MemoryReallocation> memory_reallocations;
+  std::vector<BudgetChange> budget_changes;
+
+  OperatorSpan* NewSpan() {
+    spans.emplace_back();
+    return &spans.back();
+  }
+
+  /// Lossless, deterministic JSON serialization (see obs/json.h).
+  std::string ToJson() const;
+  static Result<QueryTrace> FromJson(const std::string& json);
+
+  /// Human-readable rendering (the EXPLAIN ANALYZE body): per-operator
+  /// table plus the decision records.
+  std::string Summary() const;
+
+  /// Compact one-line JSON for benchmark trajectories: total per-operator
+  /// attribution and decision counts.
+  std::string CompactSummaryJson() const;
+};
+
+// Rendered-event views: the legacy ExecutionReport `events` strings are
+// produced from the typed records with these.
+std::string Render(const Eq2Check& r);
+std::string Render(const Eq1Check& r);
+std::string Render(const SwitchDecision& r);
+std::string Render(const MemoryReallocation& r);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OBS_QUERY_TRACE_H_

@@ -141,12 +141,15 @@ Result<Statement> ParseStatement(const std::string& sql) {
     return Statement(std::move(select));
   }
   if (first.IsKeyword("EXPLAIN")) {
-    // Re-parse everything after the EXPLAIN keyword as a SELECT.
-    if (tokens.size() < 2)
+    // Re-parse everything after EXPLAIN [ANALYZE] as a SELECT.
+    bool analyze = tokens.size() >= 2 && tokens[1].IsKeyword("ANALYZE");
+    size_t select_tok = analyze ? 2 : 1;
+    if (tokens.size() <= select_tok ||
+        tokens[select_tok].type == TokenType::kEof)
       return Status::ParseError("expected SELECT after EXPLAIN");
-    std::string rest = sql.substr(tokens[1].pos);
+    std::string rest = sql.substr(tokens[select_tok].pos);
     ASSIGN_OR_RETURN(SelectStmtAst select, ParseSelect(rest));
-    return Statement(ExplainAst{std::move(select)});
+    return Statement(ExplainAst{std::move(select), analyze});
   }
 
   Toks t(std::move(tokens));

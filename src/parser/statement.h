@@ -6,7 +6,7 @@
 //              | INSERT INTO name VALUES '(' literal, ... ')' (',' '(' ... ')')*
 //              | ANALYZE name
 //              | DROP TABLE name
-//              | EXPLAIN select
+//              | EXPLAIN [ANALYZE] select
 //
 // Types: INT | DOUBLE | STRING.
 
@@ -49,6 +49,9 @@ struct DropTableAst {
 
 struct ExplainAst {
   SelectStmtAst select;
+  /// EXPLAIN ANALYZE: execute the query and render the structured trace
+  /// (operator spans + reopt decisions) alongside the plan.
+  bool analyze = false;
 };
 
 /// Any parsed statement.

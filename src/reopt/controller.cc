@@ -33,6 +33,41 @@ double PagesOf(double rows, double bytes) {
   return std::max(1.0, std::ceil(rows * (bytes + 4.0) / (kPageSize * 0.95)));
 }
 
+/// Drops every tracked temp table when it goes out of scope, so error
+/// returns anywhere in ExecuteWithPlan cannot leak catalog temp tables.
+/// The success path drains explicitly (DropAll) to surface drop errors.
+class TempTableCleaner {
+ public:
+  explicit TempTableCleaner(Catalog* catalog) : catalog_(catalog) {}
+  ~TempTableCleaner() {
+    for (const std::string& name : names_) (void)catalog_->Drop(name);
+  }
+  TempTableCleaner(const TempTableCleaner&) = delete;
+  TempTableCleaner& operator=(const TempTableCleaner&) = delete;
+
+  void Track(std::string name) { names_.push_back(std::move(name)); }
+
+  /// Drops one table now (a rejected switch's temp).
+  Status DropNow(const std::string& name) {
+    names_.erase(std::remove(names_.begin(), names_.end(), name),
+                 names_.end());
+    return catalog_->Drop(name);
+  }
+
+  Status DropAll() {
+    while (!names_.empty()) {
+      std::string name = std::move(names_.back());
+      names_.pop_back();
+      RETURN_IF_ERROR(catalog_->Drop(name));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Catalog* catalog_;
+  std::vector<std::string> names_;
+};
+
 /// Operator self-cost from a given set of input/output estimates and the
 /// actual memory budget.
 double SelfCost(const PlanNode& n, const CostModel& cost, bool improved) {
@@ -251,6 +286,13 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
   ExecutionReport report;
   Optimizer optimizer(catalog_, cost_, optimizer_opts_);
 
+  QueryTrace* trace = ctx->trace();
+  trace->config.mode = ReoptModeName(opts_.mode);
+  trace->config.mu = opts_.mu;
+  trace->config.theta1 = opts_.theta1;
+  trace->config.theta2 = opts_.theta2;
+  trace->config.mid_execution_memory = opts_.mid_execution_memory;
+
   if (opts_.mode != ReoptMode::kOff) {
     SciaOptions scia;
     scia.mu = opts_.mu;
@@ -263,13 +305,14 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
 
   MemoryManager mm(cost_, query_mem_pages_);
   std::set<int> started;
-  mm.Allocate(plan.get(), started);
+  mm.Allocate(plan.get(), started, trace, ctx->SimElapsedMs(),
+              ctx->plan_generation());
   RecostWithBudgets(plan.get(), *cost_);
   report.plan_before = plan->ToString();
   report.estimated_cost_ms = plan->est.cost_total_ms;
   if (out_schema) *out_schema = plan->output_schema;
 
-  std::vector<std::string> temp_tables;
+  TempTableCleaner temp_tables(catalog_);
   bool finished = false;
 
   // Section 2.3 extension: react to collector completions immediately,
@@ -285,10 +328,19 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       PlanNode* root = *live_plan;
       if (root == nullptr || root->Find(collector->id) != collector) return;
       RefreshImprovedEstimates(root, *cost_);
+      const double before = root->improved.cost_total_ms;
       std::set<int> no_frozen;  // running operators may respond mid-flight
-      if (mm.Allocate(root, no_frozen)) {
-        ctx->AddEvent("mid-execution memory response after collector " +
-                      std::to_string(collector->id));
+      if (mm.Allocate(root, no_frozen, ctx->trace(), ctx->SimElapsedMs(),
+                      ctx->plan_generation())) {
+        RefreshImprovedEstimates(root, *cost_);
+        MemoryReallocation rec;
+        rec.trigger_node_id = collector->id;
+        rec.mid_execution = true;
+        rec.before_ms = before;
+        rec.after_ms = root->improved.cost_total_ms;
+        rec.kept = true;  // mid-execution responses are never rolled back
+        ctx->trace()->memory_reallocations.push_back(rec);
+        ctx->AddEvent(Render(rec));
       }
     });
     // The hook needs the current root even after plan switches.
@@ -330,20 +382,30 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
           if (n->IsMemoryConsumer()) snapshot[n->id] = n->mem_budget_pages;
         });
         double before = plan->improved.cost_total_ms;
-        if (mm.Allocate(plan.get(), started)) {
+        size_t bc_mark = trace->budget_changes.size();
+        if (mm.Allocate(plan.get(), started, trace, ctx->SimElapsedMs(),
+                        ctx->plan_generation())) {
           RefreshImprovedEstimates(plan.get(), *cost_);
+          MemoryReallocation rec;
+          rec.trigger_node_id =
+              stage.stage_node ? stage.stage_node->id : -1;
+          rec.before_ms = before;
+          rec.after_ms = plan->improved.cost_total_ms;
           // Keep the new allocation only with a clear improvement margin —
           // estimate noise should not shuffle budgets back and forth.
-          if (plan->improved.cost_total_ms < before * 0.98) {
+          rec.kept = plan->improved.cost_total_ms < before * 0.98;
+          if (rec.kept) {
             ++report.memory_reallocations;
-            ctx->AddEvent("memory re-allocated after collector feedback");
           } else {
             plan->PostOrder([&](PlanNode* n) {
               auto it = snapshot.find(n->id);
               if (it != snapshot.end()) n->mem_budget_pages = it->second;
             });
             RefreshImprovedEstimates(plan.get(), *cost_);
+            trace->budget_changes.resize(bc_mark);  // rolled back: un-record
           }
+          trace->memory_reallocations.push_back(rec);
+          ctx->AddEvent(Render(rec));
         }
       }
 
@@ -366,22 +428,32 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
 
       // Eq. (2): is the current plan likely sub-optimal?
       const double t_est = std::max(1e-9, plan->est.cost_total_ms);
-      const double degradation =
-          (plan->improved.cost_total_ms - plan->est.cost_total_ms) / t_est;
-      ctx->AddEvent("eq2 check after stage " +
-                    std::to_string(frontier->id) + ": improved=" +
-                    std::to_string(plan->improved.cost_total_ms) + " est=" +
-                    std::to_string(plan->est.cost_total_ms) +
-                    " degradation=" + std::to_string(degradation));
-      if (degradation <= opts_.theta2) continue;
+      Eq2Check eq2;
+      eq2.stage_node_id = frontier->id;
+      eq2.improved = plan->improved.cost_total_ms;
+      eq2.est = plan->est.cost_total_ms;
+      eq2.degradation = (eq2.improved - eq2.est) / t_est;
+      eq2.theta2 = opts_.theta2;
+      eq2.fired = eq2.degradation > opts_.theta2;
+      trace->eq2_checks.push_back(eq2);
+      ctx->AddEvent(Render(eq2));
+      if (!eq2.fired) continue;
 
       // Eq. (1): is re-optimization cheap relative to what remains?
       const int remainder_rels = static_cast<int>(
           spec.relations.size() - frontier->covers.size() + 1);
-      const double t_opt_est =
+      Eq1Check eq1;
+      eq1.stage_node_id = frontier->id;
+      eq1.t_opt_est =
           calibration_ ? calibration_->EstimateOptTimeMs(remainder_rels)
                        : cost_->params().t_opt_per_plan_ms * 256;
-      if (t_opt_est > opts_.theta1 * rem_cur) continue;
+      eq1.rem_cur = rem_cur;
+      eq1.theta1 = opts_.theta1;
+      eq1.fired = eq1.t_opt_est <= opts_.theta1 * rem_cur;
+      trace->eq1_checks.push_back(eq1);
+      ctx->AddEvent(Render(eq1));
+      if (!eq1.fired) continue;
+      const double t_opt_est = eq1.t_opt_est;
 
       // Re-invoke the optimizer on the remainder over a (virtual) temp.
       ++report.reopts_considered;
@@ -390,6 +462,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       ASSIGN_OR_RETURN(TableInfo * temp_info,
                        catalog_->CreateTable(temp_name, temp_schema,
                                              /*is_temp=*/true));
+      temp_tables.Track(temp_name);  // guard drops it on any error return
       RETURN_IF_ERROR(
           catalog_->SetStats(temp_name, BuildTempStats(*frontier, spec,
                                                        *catalog_)));
@@ -400,22 +473,22 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       // relation stats override the (possibly stale) catalog.
       BaseRelOverrides overrides =
           CollectBaseRelOverrides(*plan, spec, *catalog_);
-      Result<OptimizeResult> new_opt = optimizer.Plan(remainder, &overrides);
-      if (!new_opt.ok()) {
-        (void)catalog_->Drop(temp_name);
-        return new_opt.status();
-      }
-      ctx->ChargeExternalMs(new_opt->sim_opt_time_ms);
-      report.reopt_overhead_ms += new_opt->sim_opt_time_ms;
+      ASSIGN_OR_RETURN(OptimizeResult new_opt,
+                       optimizer.Plan(remainder, &overrides));
+      ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
+      report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
 
       // Cost the candidate under the memory it would actually receive;
       // comparing an optimistically costed new plan against the
       // budget-aware improved estimate of the current plan would bias the
-      // gate toward switching.
+      // gate toward switching. Budget changes are recorded against the
+      // candidate's generation and un-recorded if the switch is rejected.
+      size_t cand_bc_mark = trace->budget_changes.size();
       {
         std::set<int> fresh;
-        mm.Allocate(new_opt->plan.get(), fresh);
-        RecostWithBudgets(new_opt->plan.get(), *cost_);
+        mm.Allocate(new_opt.plan.get(), fresh, trace, ctx->SimElapsedMs(),
+                    ctx->plan_generation() + 1);
+        RecostWithBudgets(new_opt.plan.get(), *cost_);
       }
 
       const double finish_frontier =
@@ -423,13 +496,20 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       const double write_cost =
           frontier->improved.pages * cost_->params().t_io_ms;
       const double rem_new = finish_frontier + write_cost +
-                             new_opt->plan->est.cost_total_ms + t_opt_est;
+                             new_opt.plan->est.cost_total_ms + t_opt_est;
 
-      ctx->AddEvent("reopt gate: rem_cur=" + std::to_string(rem_cur) +
-                    "ms rem_new=" + std::to_string(rem_new) + "ms");
-      if (rem_new >= rem_cur) {
+      SwitchDecision decision;
+      decision.stage_node_id = frontier->id;
+      decision.rem_cur = rem_cur;
+      decision.rem_new = rem_new;
+      decision.temp_table = temp_name;
+      decision.accepted = rem_new < rem_cur;
+      if (!decision.accepted) {
         // Reject: keep the current plan; only the optimizer call was paid.
-        RETURN_IF_ERROR(catalog_->Drop(temp_name));
+        trace->budget_changes.resize(cand_bc_mark);
+        trace->switches.push_back(decision);
+        ctx->AddEvent(Render(decision));
+        RETURN_IF_ERROR(temp_tables.DropNow(temp_name));
         continue;
       }
 
@@ -437,9 +517,9 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       // its output to the temp table (Fig. 6).
       ASSIGN_OR_RETURN(uint64_t mat_rows,
                        exec->MaterializeInto(frontier, temp_info->heap.get()));
-      ctx->AddEvent("plan switched: materialized " + std::to_string(mat_rows) +
-                    " rows into " + temp_name);
-      temp_tables.push_back(temp_name);
+      decision.mat_rows = mat_rows;
+      trace->switches.push_back(decision);
+      ctx->AddEvent(Render(decision));
 
       // Refresh the temp's stats with exact counts.
       TableStats exact = temp_info->stats;
@@ -448,7 +528,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
       RETURN_IF_ERROR(catalog_->SetStats(temp_name, std::move(exact)));
 
-      std::unique_ptr<PlanNode> new_plan = std::move(new_opt->plan);
+      std::unique_ptr<PlanNode> new_plan = std::move(new_opt.plan);
       if (opts_.mode == ReoptMode::kFull || opts_.mode == ReoptMode::kPlanOnly) {
         SciaOptions scia;
         scia.mu = opts_.mu;
@@ -460,8 +540,10 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
                                   scia));
         report.collectors_inserted += sres.collectors_inserted;
       }
+      ctx->BumpPlanGeneration();  // new plan: node ids may collide with old
       started.clear();
-      mm.Allocate(new_plan.get(), started);
+      mm.Allocate(new_plan.get(), started, trace, ctx->SimElapsedMs(),
+                  ctx->plan_generation());
       RecostWithBudgets(new_plan.get(), *cost_);
 
       RETURN_IF_ERROR(exec->Close());
@@ -470,6 +552,14 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       ++report.plans_switched;
       report.plan_after = plan->ToString();
       if (out_schema) *out_schema = plan->output_schema;
+      if (opts_.fault_inject_after_switch) {
+        if (live_plan_slot_) {
+          *live_plan_slot_ = nullptr;
+          ctx->SetCollectorHook(nullptr);
+          live_plan_slot_.reset();
+        }
+        return Status::Internal("fault injection: abort after plan switch");
+      }
       switched = true;
       break;
     }
@@ -488,11 +578,12 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
     live_plan_slot_.reset();
   }
 
-  for (const std::string& t : temp_tables) RETURN_IF_ERROR(catalog_->Drop(t));
+  RETURN_IF_ERROR(temp_tables.DropAll());
 
   report.sim_time_ms = ctx->SimElapsedMs();
   report.page_ios = ctx->PageIos();
   report.output_rows = rows ? rows->size() : 0;
+  report.trace = *trace;
   for (const std::string& e : ctx->events()) report.events.push_back(e);
   return report;
 }

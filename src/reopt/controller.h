@@ -25,6 +25,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/exec_context.h"
+#include "obs/query_trace.h"
 #include "optimizer/calibration.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
@@ -60,6 +61,10 @@ struct ReoptOptions {
   bool mid_execution_memory = false;
   int histogram_buckets = 50;
   size_t reservoir_capacity = 1024;
+  /// Fault injection (tests only): fail the query right after the first
+  /// accepted plan switch, exercising the temp-table cleanup on error
+  /// paths.
+  bool fault_inject_after_switch = false;
 };
 
 /// Comparison of one observed intermediate edge against the estimate.
@@ -83,6 +88,10 @@ struct ExecutionReport {
   std::string plan_before;
   std::string plan_after;        ///< empty unless a switch happened
   std::vector<EdgeComparison> edges;
+  /// Structured trace: operator spans plus typed Eq.(1)/Eq.(2)/switch/
+  /// memory-reallocation records. The source of truth for what happened;
+  /// `events` below is a rendered view kept for compatibility.
+  QueryTrace trace;
   std::vector<std::string> events;
 };
 

@@ -156,7 +156,65 @@ TEST(MemoryManagerTest, MinimaScaledWhenBudgetTiny) {
     EXPECT_GE(n->mem_budget_pages, 2);
     total += n->mem_budget_pages;
   }
-  EXPECT_LE(total, 6 + 3 * 2);  // floor of 2 pages each may overshoot a bit
+  // 3 consumers at the 2-page floor fit a 6-page budget exactly; the
+  // manager must not over-commit.
+  EXPECT_LE(total, 6);
+}
+
+TEST(MemoryManagerTest, TinyBudgetNeverOverCommits) {
+  // Sweep budgets through the scaled-minima regime: after the 2-page
+  // floor, the aggregate grant must still respect the budget whenever the
+  // floor itself fits (3 consumers -> 6 pages).
+  CostModel cost;
+  for (double budget : {6.0, 7.0, 9.0, 13.0, 21.0, 34.0, 55.0, 89.0}) {
+    auto plan = Fig3Plan(4000);
+    MemoryManager mm(&cost, budget);
+    mm.Allocate(plan.get(), {});
+    std::vector<PlanNode*> order;
+    CollectBlockingOrder(plan.get(), &order);
+    double total = 0;
+    for (PlanNode* n : order) {
+      EXPECT_GE(n->mem_budget_pages, 2) << "budget=" << budget;
+      total += n->mem_budget_pages;
+    }
+    EXPECT_LE(total, budget) << "budget=" << budget;
+  }
+}
+
+TEST(MemoryManagerTest, LeftoverRespectsOperatorMaxima) {
+  // Leftover distribution is capped at each operator's maximum; pages the
+  // last operator cannot use spill to earlier consumers below their max.
+  CostModel cost;
+  auto plan = Fig3Plan(400);
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  // Enough for HJ1's max + HJ2's min + a bit extra that only HJ2 (not the
+  // tiny aggregate) has room to absorb.
+  double budget = cost.HashJoinMaxMem(400) + cost.HashJoinMinMem(410) + 40;
+  MemoryManager mm(&cost, budget);
+  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  double total = 0;
+  for (PlanNode* n : order) {
+    EXPECT_LE(n->mem_budget_pages, n->max_mem_pages) << OpKindName(n->kind);
+    total += n->mem_budget_pages;
+  }
+  EXPECT_LE(total, budget);
+  // The spill reached HJ2 (it sits above its minimum but below its max).
+  EXPECT_GT(order[1]->mem_budget_pages, order[1]->min_mem_pages);
+}
+
+TEST(MemoryManagerTest, AmpleMemoryDoesNotExceedMaxima) {
+  // With memory to spare, every operator lands exactly on its maximum —
+  // the old policy dumped the entire leftover on the last operator.
+  CostModel cost;
+  MemoryManager mm(&cost, 100000);
+  auto plan = Fig3Plan(400);
+  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  std::vector<PlanNode*> order;
+  CollectBlockingOrder(plan.get(), &order);
+  for (PlanNode* n : order)
+    EXPECT_DOUBLE_EQ(n->mem_budget_pages, n->max_mem_pages)
+        << OpKindName(n->kind);
 }
 
 }  // namespace

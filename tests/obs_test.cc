@@ -1,0 +1,208 @@
+// Tests for the structured observability layer: the minimal JSON model,
+// QueryTrace JSON round-trips (unit-level and for a real TPC-D execution
+// under full Dynamic Re-Optimization), and the rendered-event views.
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/query_trace.h"
+#include "reopt/controller.h"
+#include "engine/database.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using obs::JsonValue;
+using obs::ParseJson;
+
+TEST(JsonTest, SerializeScalars) {
+  EXPECT_EQ(JsonValue().Serialize(), "null");
+  EXPECT_EQ(JsonValue::MakeBool(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue::MakeBool(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue::MakeNumber(0).Serialize(), "0");
+  EXPECT_EQ(JsonValue::MakeNumber(-3).Serialize(), "-3");
+  EXPECT_EQ(JsonValue::MakeNumber(2.5).Serialize(), "2.5");
+  EXPECT_EQ(JsonValue::MakeString("hi").Serialize(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscapes) {
+  JsonValue s = JsonValue::MakeString("a\"b\\c\nd\te");
+  EXPECT_EQ(s.Serialize(), "\"a\\\"b\\\\c\\nd\\te\"");
+  Result<JsonValue> back = ParseJson(s.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->AsString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("z", JsonValue::MakeNumber(1));
+  obj.Set("a", JsonValue::MakeNumber(2));
+  EXPECT_EQ(obj.Serialize(), "{\"z\":1,\"a\":2}");
+  // Replacing a member keeps its slot.
+  obj.Set("z", JsonValue::MakeNumber(9));
+  EXPECT_EQ(obj.Serialize(), "{\"z\":9,\"a\":2}");
+}
+
+TEST(JsonTest, ParseNested) {
+  const std::string text =
+      "{\"a\":[1,2.5,{\"b\":true},null],\"c\":\"x\"} ";
+  Result<JsonValue> v = ParseJson(text);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 4u);
+  EXPECT_DOUBLE_EQ(a->items()[1].AsNumber(), 2.5);
+  EXPECT_TRUE(a->items()[2].Find("b")->AsBool());
+  EXPECT_TRUE(a->items()[3].is_null());
+  EXPECT_EQ(v->Find("c")->AsString(), "x");
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1]]", "nul"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  for (double d : {0.0, 1.0, -1.5, 0.05, 1e-9, 123456789.25, 3.141592653589793,
+                   1e300}) {
+    std::string s = JsonValue::MakeNumber(d).Serialize();
+    Result<JsonValue> back = ParseJson(s);
+    ASSERT_TRUE(back.ok()) << s;
+    EXPECT_EQ(back->AsNumber(), d) << s;
+  }
+}
+
+TEST(QueryTraceTest, EmptyTraceRoundTrips) {
+  QueryTrace trace;
+  trace.config.mode = "off";
+  const std::string json = trace.ToJson();
+  Result<QueryTrace> back = QueryTrace::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson(), json);
+  EXPECT_EQ(back->config.mode, "off");
+}
+
+TEST(QueryTraceTest, PopulatedTraceRoundTripsLosslessly) {
+  QueryTrace trace;
+  trace.config.mode = "full";
+  trace.config.mu = 0.05;
+  trace.config.theta1 = 0.05;
+  trace.config.theta2 = 0.2;
+  trace.config.mid_execution_memory = true;
+
+  OperatorSpan* span = trace.NewSpan();
+  span->plan_generation = 1;
+  span->node_id = 7;
+  span->op = "HashJoin";
+  span->detail = "lineitem [l]";
+  span->open_at_ms = 1.25;
+  span->close_at_ms = 99.5;
+  span->blocking_ms = 40.125;
+  span->next_ms = 58.0625;
+  span->next_calls = 1001;
+  span->rows = 1000;
+  span->page_ios = 321;
+
+  trace.eq2_checks.push_back(Eq2Check{3, 120.5, 80.25, 0.5015, 0.2, true});
+  trace.eq1_checks.push_back(Eq1Check{3, 2.5, 100.0, 0.05, true});
+  trace.switches.push_back(SwitchDecision{3, 100.0, 60.5, true, "__temp1", 42});
+  trace.memory_reallocations.push_back(
+      MemoryReallocation{5, false, 200.0, 150.5, true});
+  trace.budget_changes.push_back(BudgetChange{0, 4, 12.5, 8, 64});
+
+  const std::string json = trace.ToJson();
+  Result<QueryTrace> back = QueryTrace::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Canonical serialization makes string equality a lossless-ness proof.
+  EXPECT_EQ(back->ToJson(), json);
+
+  ASSERT_EQ(back->spans.size(), 1u);
+  EXPECT_EQ(back->spans[0].plan_generation, 1);
+  EXPECT_EQ(back->spans[0].op, "HashJoin");
+  EXPECT_EQ(back->spans[0].next_calls, 1001u);
+  ASSERT_EQ(back->switches.size(), 1u);
+  EXPECT_EQ(back->switches[0].temp_table, "__temp1");
+  EXPECT_EQ(back->switches[0].mat_rows, 42u);
+  ASSERT_EQ(back->eq2_checks.size(), 1u);
+  EXPECT_TRUE(back->eq2_checks[0].fired);
+  ASSERT_EQ(back->budget_changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(back->budget_changes[0].after_pages, 64);
+}
+
+TEST(QueryTraceTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(QueryTrace::FromJson("not json").ok());
+  EXPECT_FALSE(QueryTrace::FromJson("[]").ok());
+  EXPECT_FALSE(QueryTrace::FromJson("{\"spans\":{}}").ok());
+}
+
+TEST(QueryTraceTest, RenderedViewsMatchLegacyPhrasing) {
+  MemoryReallocation mid;
+  mid.trigger_node_id = 9;
+  mid.mid_execution = true;
+  EXPECT_EQ(Render(mid), "mid-execution memory response after collector 9");
+
+  SwitchDecision rejected;
+  rejected.stage_node_id = 2;
+  rejected.rem_cur = 10;
+  rejected.rem_new = 20;
+  EXPECT_NE(Render(rejected).find("rejected"), std::string::npos);
+
+  Eq2Check fired;
+  fired.stage_node_id = 4;
+  fired.fired = true;
+  EXPECT_NE(Render(fired).find("eq2 check after stage 4"), std::string::npos);
+}
+
+TEST(QueryTraceTest, SummaryAndCompactJsonRender) {
+  QueryTrace trace;
+  OperatorSpan* span = trace.NewSpan();
+  span->node_id = 1;
+  span->op = "SeqScan";
+  span->rows = 10;
+  std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("SeqScan"), std::string::npos);
+  Result<JsonValue> compact = ParseJson(trace.CompactSummaryJson());
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+}
+
+TEST(QueryTraceTest, TpcdFullModeTraceRoundTrips) {
+  // The acceptance scenario: a real TPC-D query under ReoptMode::kFull
+  // populates the trace, and the trace survives a JSON round trip.
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  Database db(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: collectors will disagree
+  ASSERT_TRUE(tpcd::Load(&db, gen).ok());
+
+  ReoptOptions full;  // paper defaults
+  Result<QueryResult> r = db.ExecuteWith(tpcd::Q5Sql(), full);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryTrace& trace = r.value().report.trace;
+
+  EXPECT_EQ(trace.config.mode, "full");
+  EXPECT_FALSE(trace.spans.empty());
+  uint64_t scan_rows = 0;
+  for (const OperatorSpan& s : trace.spans)
+    if (s.op == "SeqScan") scan_rows += s.rows;
+  EXPECT_GT(scan_rows, 0u);
+
+  const std::string json = trace.ToJson();
+  Result<QueryTrace> back = QueryTrace::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson(), json);
+  EXPECT_EQ(back->spans.size(), trace.spans.size());
+  EXPECT_EQ(back->eq2_checks.size(), trace.eq2_checks.size());
+  EXPECT_EQ(back->budget_changes.size(), trace.budget_changes.size());
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -187,17 +187,34 @@ TEST_F(MidExecutionTest, ExtensionPreservesResults) {
   }
 }
 
-TEST_F(MidExecutionTest, ExtensionEmitsItsEvent) {
+TEST_F(MidExecutionTest, ExtensionRecordedInTrace) {
   ReoptOptions ext;
   ext.mode = ReoptMode::kFull;
   ext.mid_execution_memory = true;
   Result<QueryResult> r = db_->ExecuteWith(tpcd::Q5Sql(), ext);
   ASSERT_TRUE(r.ok());
-  bool enabled = false;
-  for (const std::string& e : r.value().report.events)
-    if (e.find("mid-execution memory response enabled") != std::string::npos)
-      enabled = true;
-  EXPECT_TRUE(enabled);
+  const QueryTrace& trace = r.value().report.trace;
+
+  // The configuration the query ran under is part of the trace.
+  EXPECT_EQ(trace.config.mode, "full");
+  EXPECT_TRUE(trace.config.mid_execution_memory);
+  EXPECT_DOUBLE_EQ(trace.config.theta2, ext.theta2);
+
+  // Every operator of the executed plan has a span, and the Eq.(2) checks
+  // are internally consistent typed records, not parsed strings.
+  EXPECT_FALSE(trace.spans.empty());
+  ASSERT_FALSE(trace.eq2_checks.empty());
+  for (const Eq2Check& c : trace.eq2_checks) {
+    EXPECT_GE(c.stage_node_id, 0);
+    EXPECT_DOUBLE_EQ(c.theta2, ext.theta2);
+    EXPECT_EQ(c.fired, c.degradation > c.theta2);
+  }
+  // Any mid-execution reallocation names the collector that triggered it.
+  for (const MemoryReallocation& m : trace.memory_reallocations) {
+    if (!m.mid_execution) continue;
+    EXPECT_GE(m.trigger_node_id, 0);
+    EXPECT_TRUE(m.kept);
+  }
 }
 
 TEST_F(MidExecutionTest, ExtensionNeverSlowerThanBaseMemoryMode) {

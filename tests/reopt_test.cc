@@ -8,6 +8,8 @@
 #include "reopt/inaccuracy.h"
 #include "reopt/scia.h"
 #include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
 
 namespace reoptdb {
 namespace {
@@ -356,6 +358,50 @@ TEST_F(ControllerTest, ReportIsPopulated) {
   }
 }
 
+TEST_F(ControllerTest, TraceRecordsGateDecisions) {
+  ReoptOptions full;
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id",
+      full);
+  ASSERT_TRUE(r.ok());
+  const QueryTrace& trace = r.value().report.trace;
+  EXPECT_EQ(trace.config.mode, "full");
+  EXPECT_DOUBLE_EQ(trace.config.theta1, full.theta1);
+  EXPECT_DOUBLE_EQ(trace.config.theta2, full.theta2);
+  ASSERT_FALSE(trace.spans.empty());
+  // Without a plan switch, the first span is the root operator and its row
+  // count is the query's output cardinality.
+  if (r.value().report.plans_switched == 0)
+    EXPECT_EQ(trace.spans.front().rows, r.value().report.output_rows);
+  for (const OperatorSpan& s : trace.spans) {
+    EXPECT_GE(s.node_id, 0);
+    EXPECT_FALSE(s.op.empty());
+    EXPECT_GE(s.close_at_ms, s.open_at_ms);
+  }
+  // Eq.(1) checks only happen after a fired Eq.(2) check.
+  EXPECT_LE(trace.eq1_checks.size(), trace.eq2_checks.size());
+  for (const Eq1Check& c : trace.eq1_checks) {
+    EXPECT_DOUBLE_EQ(c.theta1, full.theta1);
+    EXPECT_EQ(c.fired, c.t_opt_est <= c.theta1 * c.rem_cur);
+  }
+}
+
+TEST_F(ControllerTest, Theta2BlockRecordedStructurally) {
+  ReoptOptions strict;
+  strict.mode = ReoptMode::kFull;
+  strict.theta2 = 1e9;  // never consider the plan sub-optimal
+  Result<QueryResult> r = db_->ExecuteWith(
+      "SELECT e.emp_id FROM emp e, dept d1, dept d2 "
+      "WHERE e.dept_id = d1.dept_id AND d1.region_id = d2.region_id",
+      strict);
+  ASSERT_TRUE(r.ok());
+  const QueryTrace& trace = r.value().report.trace;
+  for (const Eq2Check& c : trace.eq2_checks) EXPECT_FALSE(c.fired);
+  EXPECT_TRUE(trace.eq1_checks.empty());  // gate never reached Eq.(1)
+  EXPECT_TRUE(trace.switches.empty());
+}
+
 TEST_F(ControllerTest, TempTablesCleanedUpAfterSwitch) {
   // Force switches by making the gate maximally permissive.
   ReoptOptions eager;
@@ -371,6 +417,46 @@ TEST_F(ControllerTest, TempTablesCleanedUpAfterSwitch) {
   // No temp tables linger in the catalog.
   EXPECT_FALSE(db_->catalog()->Exists("__temp1"));
   EXPECT_FALSE(db_->catalog()->Exists("__temp2"));
+}
+
+TEST(FaultInjectionTest, FaultAfterSwitchLeavesNoTempTables) {
+  // A stale-catalog TPC-D instance where the eager gate reliably accepts a
+  // plan switch; the controller is then told to fail right after the first
+  // accepted switch, and the scope guard must still drop the temp table
+  // the switch materialized into.
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  Database db(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;
+  REOPTDB_ASSERT_OK(tpcd::Load(&db, gen));
+
+  ReoptOptions eager;
+  eager.mode = ReoptMode::kFull;
+  eager.theta2 = -1.0;  // any degradation (even none) passes Eq. 2
+  eager.theta1 = 1e9;
+
+  // Sanity: this query does switch plans under the eager gate, so the
+  // injected fault actually fires after a materialization.
+  Result<QueryResult> clean = db.ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_GE(clean.value().report.plans_switched, 1);
+  ASSERT_FALSE(clean.value().report.trace.switches.empty());
+
+  eager.fault_inject_after_switch = true;
+  Result<QueryResult> r = db.ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("fault injection"), std::string::npos);
+  for (int i = 1; i <= 8; ++i)
+    EXPECT_FALSE(db.catalog()->Exists("__temp" + std::to_string(i))) << i;
+
+  // The engine stays usable: the same query still runs to completion.
+  eager.fault_inject_after_switch = false;
+  Result<QueryResult> again = db.ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Canon(again.value().rows), Canon(clean.value().rows));
 }
 
 }  // namespace

@@ -53,6 +53,20 @@ TEST(StatementParseTest, AnalyzeAndExplain) {
   auto* ex = std::get_if<ExplainAst>(&e.value());
   ASSERT_NE(ex, nullptr);
   EXPECT_EQ(ex->select.items.size(), 1u);
+  EXPECT_FALSE(ex->analyze);
+}
+
+TEST(StatementParseTest, ExplainAnalyze) {
+  Result<Statement> e =
+      ParseStatement("EXPLAIN ANALYZE SELECT id FROM emp WHERE id > 3");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto* ex = std::get_if<ExplainAst>(&e.value());
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->analyze);
+  EXPECT_EQ(ex->select.items.size(), 1u);
+
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN").ok());
 }
 
 TEST(StatementParseTest, SelectDispatchesToSelectAst) {

@@ -8,6 +8,7 @@
 // Meta commands:
 //   \mode off|memory|plan|full     re-optimization mode (default full)
 //   \report                        toggle per-query execution reports
+//   \trace                         toggle per-query structured trace summary
 //   \tables                        list catalog tables
 //   \q                             quit
 
@@ -82,8 +83,9 @@ int main(int argc, char** argv) {
 
   ReoptOptions reopt;  // full, paper defaults
   bool show_report = true;
+  bool show_trace = false;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
-              "\\tables\n");
+              "\\trace, \\tables\n");
 
   std::string line, buffer;
   while (true) {
@@ -99,6 +101,9 @@ int main(int argc, char** argv) {
       if (cmd == "\\report") {
         show_report = !show_report;
         std::printf("reports %s\n", show_report ? "on" : "off");
+      } else if (cmd == "\\trace") {
+        show_trace = !show_trace;
+        std::printf("trace %s\n", show_trace ? "on" : "off");
       } else if (cmd == "\\mode") {
         if (arg == "off") reopt.mode = ReoptMode::kOff;
         else if (arg == "memory") reopt.mode = ReoptMode::kMemoryOnly;
@@ -144,6 +149,8 @@ int main(int argc, char** argv) {
     } else {
       PrintRows(*r);
       if (show_report) PrintReport(r->report);
+      if (show_trace && is_select)
+        std::printf("%s", r->report.trace.Summary().c_str());
     }
     buffer.clear();
   }
