@@ -234,6 +234,8 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /root/repo/src/optimizer/parametric.h /root/repo/src/reopt/controller.h \
  /root/repo/src/exec/exec_context.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/reopt/scia.h /root/repo/src/reopt/inaccuracy.h \
  /root/repo/src/parser/binder.h /root/repo/src/parser/parser.h \
  /root/repo/src/stats/fm_sketch.h /root/repo/src/stats/reservoir.h \

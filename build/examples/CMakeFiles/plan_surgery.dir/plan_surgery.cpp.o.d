@@ -233,7 +233,9 @@ examples/CMakeFiles/plan_surgery.dir/plan_surgery.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/reopt/scia.h \
- /root/repo/src/reopt/inaccuracy.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/reopt/scia.h /root/repo/src/reopt/inaccuracy.h \
  /root/repo/src/optimizer/remainder_sql.h /root/repo/src/parser/binder.h \
  /root/repo/src/parser/parser.h

@@ -28,9 +28,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/engine/database.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
+ /usr/include/string.h \
+ /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/strings.h /root/repo/src/engine/database.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -77,8 +80,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
@@ -219,7 +220,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/storage/disk_manager.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/types/tuple.h \
  /root/repo/src/types/schema.h /root/repo/src/optimizer/calibration.h \
  /root/repo/src/optimizer/cost_model.h \
@@ -233,5 +233,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/reopt/scia.h /root/repo/src/reopt/inaccuracy.h \
- /root/repo/src/tpcd/dbgen.h /root/repo/src/tpcd/queries.h
+ /root/repo/src/obs/json.h /root/repo/src/tpcd/dbgen.h \
+ /root/repo/src/tpcd/queries.h

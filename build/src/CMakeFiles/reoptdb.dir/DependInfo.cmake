@@ -27,6 +27,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exec/sort_op.cc" "src/CMakeFiles/reoptdb.dir/exec/sort_op.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/sort_op.cc.o.d"
   "/root/repo/src/exec/stats_collector_op.cc" "src/CMakeFiles/reoptdb.dir/exec/stats_collector_op.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/exec/stats_collector_op.cc.o.d"
   "/root/repo/src/memory/memory_manager.cc" "src/CMakeFiles/reoptdb.dir/memory/memory_manager.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/memory/memory_manager.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/CMakeFiles/reoptdb.dir/obs/json.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/obs/json.cc.o.d"
+  "/root/repo/src/obs/query_trace.cc" "src/CMakeFiles/reoptdb.dir/obs/query_trace.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/obs/query_trace.cc.o.d"
   "/root/repo/src/optimizer/calibration.cc" "src/CMakeFiles/reoptdb.dir/optimizer/calibration.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/calibration.cc.o.d"
   "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/reoptdb.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/cost_model.cc.o.d"
   "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/reoptdb.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/reoptdb.dir/optimizer/optimizer.cc.o.d"

@@ -226,4 +226,6 @@ src/CMakeFiles/reoptdb.dir/exec/exec_context.cc.o: \
  /root/repo/src/storage/heap_file.h /root/repo/src/types/tuple.h \
  /root/repo/src/types/schema.h /root/repo/src/plan/physical_plan.h \
  /root/repo/src/parser/ast.h /root/repo/src/plan/query_spec.h \
- /root/repo/src/common/rng.h /root/repo/src/optimizer/cost_model.h
+ /root/repo/src/common/rng.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/optimizer/cost_model.h

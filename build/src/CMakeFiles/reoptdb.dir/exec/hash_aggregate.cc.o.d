@@ -229,7 +229,8 @@ src/CMakeFiles/reoptdb.dir/exec/hash_aggregate.cc.o: \
  /root/repo/src/storage/heap_file.h /root/repo/src/types/tuple.h \
  /root/repo/src/types/schema.h /root/repo/src/plan/physical_plan.h \
  /root/repo/src/parser/ast.h /root/repo/src/plan/query_spec.h \
- /root/repo/src/common/rng.h /root/repo/src/optimizer/cost_model.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/rng.h /root/repo/src/obs/query_trace.h \
+ /root/repo/src/optimizer/cost_model.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

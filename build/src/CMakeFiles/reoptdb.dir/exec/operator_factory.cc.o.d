@@ -228,15 +228,16 @@ src/CMakeFiles/reoptdb.dir/exec/operator_factory.cc.o: \
  /root/repo/src/storage/heap_file.h /root/repo/src/types/tuple.h \
  /root/repo/src/types/schema.h /root/repo/src/plan/physical_plan.h \
  /root/repo/src/parser/ast.h /root/repo/src/plan/query_spec.h \
- /root/repo/src/common/rng.h /root/repo/src/optimizer/cost_model.h \
+ /root/repo/src/common/rng.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/exec/filter_op.h /root/repo/src/exec/expression.h \
- /root/repo/src/exec/hash_aggregate.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/exec/hash_join.h /root/repo/src/exec/index_nl_join.h \
- /root/repo/src/exec/index_scan.h /root/repo/src/exec/materialize_op.h \
- /root/repo/src/exec/merge_join.h /root/repo/src/exec/project_op.h \
- /root/repo/src/exec/seq_scan.h /root/repo/src/exec/sort_op.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/exec/hash_aggregate.h /root/repo/src/exec/hash_join.h \
+ /root/repo/src/exec/index_nl_join.h /root/repo/src/exec/index_scan.h \
+ /root/repo/src/exec/materialize_op.h /root/repo/src/exec/merge_join.h \
+ /root/repo/src/exec/project_op.h /root/repo/src/exec/seq_scan.h \
+ /root/repo/src/exec/sort_op.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/exec/stats_collector_op.h \
  /root/repo/src/stats/fm_sketch.h /root/repo/src/stats/reservoir.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

@@ -232,4 +232,6 @@ src/CMakeFiles/reoptdb.dir/exec/seq_scan.cc.o: \
  /root/repo/src/storage/disk_manager.h /root/repo/src/storage/page.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/optimizer/cost_model.h

@@ -228,6 +228,8 @@ src/CMakeFiles/reoptdb.dir/reopt/controller.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/plan/physical_plan.h /root/repo/src/parser/ast.h \
  /root/repo/src/plan/query_spec.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/calibration.h \
  /root/repo/src/optimizer/optimizer.h \

@@ -309,5 +309,7 @@ tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o: \
  /root/repo/src/optimizer/selectivity.h /root/repo/src/plan/query_spec.h \
  /root/repo/src/parser/ast.h /root/repo/src/plan/physical_plan.h \
  /root/repo/src/optimizer/parametric.h /root/repo/src/reopt/controller.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/reopt/scia.h \
+ /root/repo/src/exec/exec_context.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/reopt/scia.h \
  /root/repo/src/reopt/inaccuracy.h

@@ -312,5 +312,7 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/parser/ast.h /root/repo/src/plan/physical_plan.h \
  /root/repo/src/optimizer/parametric.h /root/repo/src/reopt/controller.h \
  /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/reopt/scia.h /root/repo/src/reopt/inaccuracy.h \
  /root/repo/src/tpcd/dbgen.h /root/repo/src/tpcd/queries.h

@@ -293,10 +293,11 @@ tests/CMakeFiles/memory_test.dir/memory_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/memory/memory_manager.h \
+ /root/repo/src/memory/memory_manager.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/status.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/plan/physical_plan.h \
  /root/repo/src/catalog/column_stats.h /root/repo/src/stats/histogram.h \
- /root/repo/src/types/value.h /root/repo/src/common/status.h \
- /root/repo/src/parser/ast.h /root/repo/src/plan/query_spec.h \
- /root/repo/src/types/schema.h
+ /root/repo/src/types/value.h /root/repo/src/parser/ast.h \
+ /root/repo/src/plan/query_spec.h /root/repo/src/types/schema.h

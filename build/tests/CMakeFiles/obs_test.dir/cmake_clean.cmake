@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_test.dir/obs_test.cc.o"
+  "CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  "obs_test"
+  "obs_test.pdb"
+  "obs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

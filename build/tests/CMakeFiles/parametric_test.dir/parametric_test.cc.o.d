@@ -312,6 +312,8 @@ tests/CMakeFiles/parametric_test.dir/parametric_test.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/engine/database.h /root/repo/src/optimizer/calibration.h \
  /root/repo/src/reopt/controller.h /root/repo/src/exec/exec_context.h \
- /root/repo/src/common/rng.h /root/repo/src/reopt/scia.h \
+ /root/repo/src/common/rng.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/reopt/scia.h \
  /root/repo/src/reopt/inaccuracy.h /root/repo/src/tpcd/dbgen.h \
  /root/repo/src/tpcd/queries.h

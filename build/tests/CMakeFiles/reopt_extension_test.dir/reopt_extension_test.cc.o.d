@@ -293,19 +293,21 @@ tests/CMakeFiles/reopt_extension_test.dir/reopt_extension_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/memory/memory_manager.h \
+ /root/repo/src/memory/memory_manager.h /root/repo/src/obs/query_trace.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/status.h \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/plan/physical_plan.h \
  /root/repo/src/catalog/column_stats.h /root/repo/src/stats/histogram.h \
- /root/repo/src/types/value.h /root/repo/src/common/status.h \
- /root/repo/src/parser/ast.h /root/repo/src/plan/query_spec.h \
- /root/repo/src/types/schema.h /root/repo/src/optimizer/optimizer.h \
- /root/repo/src/catalog/catalog.h /root/repo/src/storage/btree.h \
- /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/disk_manager.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstring /root/repo/src/storage/heap_file.h \
- /root/repo/src/types/tuple.h /root/repo/src/optimizer/selectivity.h \
+ /root/repo/src/types/value.h /root/repo/src/parser/ast.h \
+ /root/repo/src/plan/query_spec.h /root/repo/src/types/schema.h \
+ /root/repo/src/optimizer/optimizer.h /root/repo/src/catalog/catalog.h \
+ /root/repo/src/storage/btree.h /root/repo/src/storage/buffer_pool.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk_manager.h \
+ /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
+ /root/repo/src/storage/heap_file.h /root/repo/src/types/tuple.h \
+ /root/repo/src/optimizer/selectivity.h \
  /root/repo/src/optimizer/remainder_sql.h /root/repo/src/parser/binder.h \
  /root/repo/src/parser/parser.h /root/repo/src/reopt/controller.h \
  /root/repo/src/exec/exec_context.h /root/repo/src/common/rng.h \

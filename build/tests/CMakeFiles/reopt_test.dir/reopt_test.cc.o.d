@@ -305,6 +305,8 @@ tests/CMakeFiles/reopt_test.dir/reopt_test.cc.o: \
  /root/repo/src/plan/query_spec.h /root/repo/src/parser/parser.h \
  /root/repo/src/reopt/controller.h /root/repo/src/exec/exec_context.h \
  /root/repo/src/plan/physical_plan.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/optimizer/calibration.h \
  /root/repo/src/optimizer/optimizer.h \
@@ -313,4 +315,5 @@ tests/CMakeFiles/reopt_test.dir/reopt_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/engine/database.h /root/repo/src/optimizer/parametric.h
+ /root/repo/src/engine/database.h /root/repo/src/optimizer/parametric.h \
+ /root/repo/src/tpcd/dbgen.h /root/repo/src/tpcd/queries.h

@@ -231,6 +231,8 @@ tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o: \
  /root/repo/src/storage/disk_manager.h /root/repo/src/storage/page.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/storage/heap_file.h /root/repo/src/common/rng.h \
+ /root/repo/src/obs/query_trace.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/optimizer/cost_model.h \
  /root/repo/src/exec/stats_collector_op.h \
  /root/repo/src/stats/fm_sketch.h /root/repo/src/stats/reservoir.h \

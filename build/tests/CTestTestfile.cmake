@@ -15,6 +15,7 @@ include("/root/repo/build/tests/binder_test[1]_include.cmake")
 include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
 include("/root/repo/build/tests/exec_test[1]_include.cmake")
 include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/reopt_test[1]_include.cmake")
 include("/root/repo/build/tests/tpcd_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
