@@ -157,9 +157,12 @@ Result<const TableInfo*> Catalog::Get(const std::string& name) const {
 Status Catalog::Drop(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
-  RETURN_IF_ERROR(it->second->heap->Destroy());
+  // The entry leaves the catalog even when page release fails (a persistent
+  // storage fault must not leave a phantom table behind); ~HeapFile retries
+  // the release of whatever pages failed, best-effort.
+  Status st = it->second->heap->Destroy();
   tables_.erase(it);
-  return Status::OK();
+  return st;
 }
 
 }  // namespace reoptdb

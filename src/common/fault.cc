@@ -1,0 +1,184 @@
+#include "common/fault.h"
+
+#include <cstdio>
+
+namespace reoptdb {
+
+namespace {
+
+/// Injected status code for a point, by layer prefix.
+Status InjectedError(const std::string& point, uint64_t call) {
+  std::string msg = "injected fault at " + point + " (call #" +
+                    std::to_string(call) + ")";
+  if (point.rfind("storage.", 0) == 0) return Status::IoError(std::move(msg));
+  if (point.rfind("memory.", 0) == 0)
+    return Status::ResourceExhausted(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+const char* TriggerName(FaultTrigger t) {
+  switch (t) {
+    case FaultTrigger::kNthCall:
+      return "nth";
+    case FaultTrigger::kEveryCall:
+      return "every";
+    case FaultTrigger::kProbability:
+      return "prob";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  static const std::vector<std::string> kPoints = {
+      faults::kStorageRead,     faults::kStorageWrite,
+      faults::kStorageFree,     faults::kMemoryGrant,
+      faults::kReoptOptimize,   faults::kReoptMaterialize,
+      faults::kReoptScia,       faults::kReoptPostSwitch,
+  };
+  return kPoints;
+}
+
+Status FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  bool known = false;
+  for (const std::string& p : KnownPoints()) known = known || p == point;
+  if (!known)
+    return Status::InvalidArgument("unknown fault injection point: " + point);
+  if (spec.trigger == FaultTrigger::kNthCall && spec.nth == 0)
+    return Status::InvalidArgument("nth trigger requires a 1-based call index");
+  if (spec.trigger == FaultTrigger::kProbability &&
+      (spec.probability < 0 || spec.probability > 1))
+    return Status::InvalidArgument("fault probability must be in [0, 1]");
+  ArmedPoint armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed);
+  armed_[point] = std::move(armed);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm(const std::string& point) { armed_.erase(point); }
+
+void FaultInjector::Reset() { armed_.clear(); }
+
+bool FaultInjector::armed(const std::string& point) const {
+  return armed_.count(point) > 0;
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (armed_.empty()) return Status::OK();
+  auto it = armed_.find(point);
+  if (it == armed_.end()) return Status::OK();
+  ArmedPoint& a = it->second;
+  ++a.stats.calls;
+  bool fire = false;
+  switch (a.spec.trigger) {
+    case FaultTrigger::kNthCall:
+      fire = a.stats.calls == a.spec.nth;
+      break;
+    case FaultTrigger::kEveryCall:
+      fire = true;
+      break;
+    case FaultTrigger::kProbability:
+      fire = a.rng.NextDouble() < a.spec.probability;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++a.stats.fires;
+  return InjectedError(it->first, a.stats.calls);
+}
+
+Status FaultInjector::Configure(const std::string& config) {
+  size_t pos = 0;
+  while (pos < config.size()) {
+    size_t end = config.find(',', pos);
+    if (end == std::string::npos) end = config.size();
+    std::string entry = config.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim whitespace.
+    size_t b = entry.find_first_not_of(" \t");
+    size_t e = entry.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    entry = entry.substr(b, e - b + 1);
+
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos)
+      return Status::InvalidArgument("fault spec entry missing '=': " + entry);
+    std::string point = entry.substr(0, eq);
+    std::string trig = entry.substr(eq + 1);
+
+    FaultSpec spec;
+    if (trig == "every") {
+      spec.trigger = FaultTrigger::kEveryCall;
+    } else if (trig.rfind("nth:", 0) == 0) {
+      spec.trigger = FaultTrigger::kNthCall;
+      char* parse_end = nullptr;
+      spec.nth = std::strtoull(trig.c_str() + 4, &parse_end, 10);
+      if (parse_end == trig.c_str() + 4 || *parse_end != '\0')
+        return Status::InvalidArgument("bad nth trigger: " + trig);
+    } else if (trig.rfind("prob:", 0) == 0) {
+      spec.trigger = FaultTrigger::kProbability;
+      std::string rest = trig.substr(5);
+      size_t at = rest.find('@');
+      std::string p_str = at == std::string::npos ? rest : rest.substr(0, at);
+      char* parse_end = nullptr;
+      spec.probability = std::strtod(p_str.c_str(), &parse_end);
+      if (parse_end == p_str.c_str() || *parse_end != '\0')
+        return Status::InvalidArgument("bad probability trigger: " + trig);
+      if (at != std::string::npos) {
+        std::string s_str = rest.substr(at + 1);
+        spec.seed = std::strtoull(s_str.c_str(), &parse_end, 10);
+        if (parse_end == s_str.c_str() || *parse_end != '\0')
+          return Status::InvalidArgument("bad probability seed: " + trig);
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault trigger (want every|nth:<k>|prob:<p>[@seed]): " +
+          trig);
+    }
+    RETURN_IF_ERROR(Arm(point, spec));
+  }
+  return Status::OK();
+}
+
+FaultPointStats FaultInjector::StatsFor(const std::string& point) const {
+  auto it = armed_.find(point);
+  return it == armed_.end() ? FaultPointStats{} : it->second.stats;
+}
+
+std::string FaultInjector::Describe() const {
+  if (armed_.empty()) return "no faults armed\n";
+  std::string out;
+  char buf[192];
+  for (const auto& [point, a] : armed_) {
+    switch (a.spec.trigger) {
+      case FaultTrigger::kNthCall:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-20s nth:%llu       calls=%llu fires=%llu\n",
+                      point.c_str(),
+                      static_cast<unsigned long long>(a.spec.nth),
+                      static_cast<unsigned long long>(a.stats.calls),
+                      static_cast<unsigned long long>(a.stats.fires));
+        break;
+      case FaultTrigger::kEveryCall:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-20s every       calls=%llu fires=%llu\n",
+                      point.c_str(),
+                      static_cast<unsigned long long>(a.stats.calls),
+                      static_cast<unsigned long long>(a.stats.fires));
+        break;
+      case FaultTrigger::kProbability:
+        std::snprintf(buf, sizeof(buf),
+                      "  %-20s prob:%.3f@%llu calls=%llu fires=%llu\n",
+                      point.c_str(), a.spec.probability,
+                      static_cast<unsigned long long>(a.spec.seed),
+                      static_cast<unsigned long long>(a.stats.calls),
+                      static_cast<unsigned long long>(a.stats.fires));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,120 @@
+// Fault-injection registry for fault-tolerance testing.
+//
+// Production re-optimizers must treat a failed re-optimization attempt as
+// advisory: the query keeps running on its current plan. To exercise those
+// recovery paths deterministically, the engine threads a FaultInjector
+// through its layers and asks it, at named injection points, whether an
+// error should be injected. With nothing armed, a check is a single branch.
+//
+// Points are armed programmatically (Arm), from the REOPTDB_FAULTS
+// environment variable at Database construction, or from the shell's
+// \faults meta command. Trigger policies: fire on the nth call, fire on
+// every call, or fire with a seeded probability per call (deterministic
+// across runs).
+//
+// Spec grammar (REOPTDB_FAULTS / \faults / Configure):
+//   spec     := entry (',' entry)*
+//   entry    := point '=' trigger
+//   trigger  := 'every' | 'nth:' count | 'prob:' p ['@' seed]
+// e.g. REOPTDB_FAULTS="reopt.optimize=nth:1,storage.read=prob:0.01@7"
+
+#ifndef REOPTDB_COMMON_FAULT_H_
+#define REOPTDB_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace reoptdb {
+
+/// Canonical injection-point names. Call sites pass these constants so a
+/// typo is a compile error, not a silently dead injection point.
+namespace faults {
+inline constexpr char kStorageRead[] = "storage.read";
+inline constexpr char kStorageWrite[] = "storage.write";
+inline constexpr char kStorageFree[] = "storage.free";
+inline constexpr char kMemoryGrant[] = "memory.grant";
+inline constexpr char kReoptOptimize[] = "reopt.optimize";
+inline constexpr char kReoptMaterialize[] = "reopt.materialize";
+inline constexpr char kReoptScia[] = "reopt.scia";
+inline constexpr char kReoptPostSwitch[] = "reopt.post_switch";
+}  // namespace faults
+
+/// When an armed point fires.
+enum class FaultTrigger : uint8_t {
+  kNthCall,      ///< fire exactly once, on the nth Check() (1-based)
+  kEveryCall,    ///< fire on every Check()
+  kProbability,  ///< fire with probability p per Check() (seeded stream)
+};
+
+/// How an armed injection point behaves.
+struct FaultSpec {
+  FaultTrigger trigger = FaultTrigger::kNthCall;
+  uint64_t nth = 1;         ///< call index for kNthCall (1-based)
+  double probability = 0;   ///< per-call fire probability for kProbability
+  uint64_t seed = 42;       ///< probability stream seed (deterministic)
+};
+
+/// Per-point call/fire counters (kept while armed).
+struct FaultPointStats {
+  uint64_t calls = 0;
+  uint64_t fires = 0;
+};
+
+/// \brief Registry of named fault-injection points.
+///
+/// Single-threaded, like the rest of the engine. One injector typically
+/// lives on the Database and is shared by the storage, memory, and reopt
+/// layers via ExecContext / DiskManager pointers.
+class FaultInjector {
+ public:
+  /// Every point name the engine checks, for validation and \faults list.
+  static const std::vector<std::string>& KnownPoints();
+
+  /// Arms `point` with `spec`, resetting its counters. Rejects unknown
+  /// point names.
+  Status Arm(const std::string& point, const FaultSpec& spec);
+
+  /// Disarms one point (no-op if not armed).
+  void Disarm(const std::string& point);
+
+  /// Disarms everything.
+  void Reset();
+
+  bool armed(const std::string& point) const;
+  bool AnyArmed() const { return !armed_.empty(); }
+
+  /// The hot-path gate: returns OK unless `point` is armed and its trigger
+  /// fires, in which case the injected error is returned — kIoError for
+  /// storage.* points (modeling transient device errors, which callers may
+  /// retry), kResourceExhausted for memory.*, kInternal otherwise.
+  Status Check(const char* point);
+
+  /// Parses and arms a comma-separated spec string (grammar above).
+  /// Earlier entries are applied even if a later entry fails to parse.
+  Status Configure(const std::string& config);
+
+  /// Counters for one point (zeros if not armed).
+  FaultPointStats StatsFor(const std::string& point) const;
+
+  /// Human-readable list of armed points with their policies and counters
+  /// (the shell's \faults output). "no faults armed" when empty.
+  std::string Describe() const;
+
+ private:
+  struct ArmedPoint {
+    FaultSpec spec;
+    FaultPointStats stats;
+    Rng rng{42};
+  };
+  // std::map: deterministic Describe() order.
+  std::map<std::string, ArmedPoint> armed_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_COMMON_FAULT_H_

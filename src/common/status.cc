@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kBindError:
       return "BindError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

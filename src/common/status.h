@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kBindError,
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -70,6 +71,9 @@ class Status {
   }
   static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

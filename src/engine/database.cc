@@ -1,5 +1,8 @@
 #include "engine/database.h"
 
+#include <cstdlib>
+
+#include "common/logging.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
 #include "parser/statement.h"
@@ -10,7 +13,14 @@ Database::Database(DatabaseOptions opts)
     : opts_(opts),
       pool_(&disk_, opts.buffer_pool_pages),
       catalog_(&pool_),
-      cost_(opts.cost_params) {}
+      cost_(opts.cost_params) {
+  if (const char* env = std::getenv("REOPTDB_FAULTS");
+      env != nullptr && env[0] != '\0') {
+    Status st = faults_.Configure(env);
+    if (!st.ok()) REOPTDB_LOG(kWarn) << "REOPTDB_FAULTS: " << st.ToString();
+  }
+  disk_.set_fault_injector(&faults_);
+}
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   return catalog_.CreateTable(name, std::move(schema)).status();
@@ -80,6 +90,7 @@ Result<QueryResult> Database::ExecuteWith(const std::string& sql,
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  opts_.query_mem_pages);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
+  ctx.SetFaultInjector(&faults_);
 
   QueryResult result;
   ASSIGN_OR_RETURN(result.report,
@@ -122,6 +133,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  actual_mem_pages);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
+  ctx.SetFaultInjector(&faults_);
 
   QueryResult result;
   ASSIGN_OR_RETURN(result.report,
@@ -193,6 +205,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
                                      opts_.reopt, opts_.query_mem_pages);
       ExecContext ctx(&pool_, &catalog_, &cost_,
                       /*seed=*/1234 + ++query_counter_);
+      ctx.SetFaultInjector(&faults_);
       ASSIGN_OR_RETURN(result.report,
                        reoptimizer.Execute(std::move(spec), &ctx,
                                            &result.rows, &result.schema));

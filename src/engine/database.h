@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/fault.h"
 #include "optimizer/calibration.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
@@ -126,8 +127,16 @@ class Database {
   const DatabaseOptions& options() const { return opts_; }
   const OptimizerCalibration& calibration();
 
+  /// Fault-injection registry shared by this instance's storage, memory,
+  /// and re-optimization layers. Armed at construction from the
+  /// REOPTDB_FAULTS environment variable (see common/fault.h for the
+  /// grammar), programmatically via Arm()/Configure(), or from the shell's
+  /// \faults meta command.
+  FaultInjector* faults() { return &faults_; }
+
  private:
   DatabaseOptions opts_;
+  FaultInjector faults_;
   DiskManager disk_;
   BufferPool pool_;
   Catalog catalog_;

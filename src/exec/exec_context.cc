@@ -1,5 +1,7 @@
 #include "exec/exec_context.h"
 
+#include <cstdio>
+
 namespace reoptdb {
 
 ExecContext::ExecContext(BufferPool* pool, Catalog* catalog,
@@ -14,7 +16,21 @@ uint64_t ExecContext::PageIos() const {
 }
 
 double ExecContext::SimElapsedMs() const {
-  return cost_->TimeMs(PageIos(), cpu_) + external_ms_;
+  DiskStats d = pool_->disk()->stats() - disk_start_;
+  return cost_->TimeMs(d.page_reads + d.page_writes, cpu_) +
+         d.retry_penalty_ms + external_ms_;
+}
+
+Status ExecContext::CheckCancelled() const {
+  if (cancel_.cancelled()) return Status::Cancelled("query cancelled");
+  if (deadline_ms_ > 0 && SimElapsedMs() > deadline_ms_) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "deadline exceeded (%.3fms > %.3fms simulated)",
+                  SimElapsedMs(), deadline_ms_);
+    return Status::Cancelled(buf);
+  }
+  return Status::OK();
 }
 
 }  // namespace reoptdb

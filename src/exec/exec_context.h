@@ -4,6 +4,7 @@
 #ifndef REOPTDB_EXEC_EXEC_CONTEXT_H_
 #define REOPTDB_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -11,12 +12,30 @@
 
 #include "catalog/catalog.h"
 #include "plan/physical_plan.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "obs/query_trace.h"
 #include "optimizer/cost_model.h"
 #include "storage/buffer_pool.h"
 
 namespace reoptdb {
+
+/// \brief Cooperative cancellation flag for one query.
+///
+/// Cancel() may be called from anywhere (another thread, a signal handler
+/// trampoline, a mid-execution hook); operators and the controller observe
+/// it at stage boundaries and inside Next loops and unwind with
+/// Status::Cancelled, running full temp-table/hook cleanup on the way out.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// \brief State shared by all operators of one query execution.
 ///
@@ -78,6 +97,27 @@ class ExecContext {
   void NotifyCollectorFinalized(PlanNode* node) {
     if (hook_) hook_(node);
   }
+  /// True while a collector hook is installed (tests assert no hook
+  /// dangles after the controller unwinds).
+  bool has_collector_hook() const { return static_cast<bool>(hook_); }
+
+  /// This query's cancellation flag. Cancel() makes the next
+  /// CheckCancelled() — stage boundaries and operator Next loops — return
+  /// Status::Cancelled.
+  CancelToken* cancel_token() { return &cancel_; }
+
+  /// Cooperative deadline on the simulated clock; 0 disables. Exceeding it
+  /// cancels the query at the next CheckCancelled().
+  void SetDeadlineMs(double deadline_ms) { deadline_ms_ = deadline_ms; }
+  double deadline_ms() const { return deadline_ms_; }
+
+  /// OK unless the token was cancelled or the deadline passed.
+  Status CheckCancelled() const;
+
+  /// Fault-injection registry shared with this query (nullptr = none
+  /// armed; reopt/memory-layer injection points check through here).
+  FaultInjector* faults() const { return faults_; }
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
   /// Creates a temp heap file on this query's buffer pool.
   std::unique_ptr<HeapFile> MakeTempHeap() const {
@@ -96,6 +136,9 @@ class ExecContext {
   QueryTrace trace_;
   int plan_generation_ = 0;
   CollectorHook hook_;
+  CancelToken cancel_;
+  double deadline_ms_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace reoptdb

@@ -40,6 +40,9 @@ class Operator {
   }
 
   Result<bool> Next(Tuple* out) {
+    // Cooperative cancellation: deep pipelines unwind from whatever
+    // operator observes the flag first; Close/cleanup run on the way out.
+    RETURN_IF_ERROR(ctx_->CheckCancelled());
     if (span_ == nullptr) return NextImpl(out);
     const bool timing = ctx_->trace()->operator_timing;
     double t0 = 0;
@@ -66,6 +69,7 @@ class Operator {
   /// Runs the blocking phase (hash-join build, aggregate absorb, sort run
   /// formation, materialization). Idempotent. No-op for streaming ops.
   Status EnsureBlockingPhase() {
+    RETURN_IF_ERROR(ctx_->CheckCancelled());
     if (span_ == nullptr) return BlockingPhaseImpl();
     const bool timing = ctx_->trace()->operator_timing;
     double t0 = 0;

@@ -55,6 +55,7 @@ void PipelineExecutor::SweepCollectors(StageResult* result) {
 
 Result<PipelineExecutor::StageResult> PipelineExecutor::RunNextStage(
     std::vector<Tuple>* sink) {
+  RETURN_IF_ERROR(ctx_->CheckCancelled());  // stage boundary
   RETURN_IF_ERROR(Open());
   StageResult result;
   if (delivery_done_)

@@ -53,6 +53,15 @@ void MemoryManager::ComputeDemands(PlanNode* node) const {
   }
 }
 
+Result<bool> MemoryManager::TryAllocate(FaultInjector* faults, PlanNode* root,
+                                        const std::set<int>& frozen_ids,
+                                        QueryTrace* trace, double at_ms,
+                                        int plan_generation) const {
+  if (faults != nullptr)
+    RETURN_IF_ERROR(faults->Check(faults::kMemoryGrant));
+  return Allocate(root, frozen_ids, trace, at_ms, plan_generation);
+}
+
 bool MemoryManager::Allocate(PlanNode* root, const std::set<int>& frozen_ids,
                              QueryTrace* trace, double at_ms,
                              int plan_generation) const {

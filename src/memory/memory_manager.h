@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "common/fault.h"
 #include "obs/query_trace.h"
 #include "optimizer/cost_model.h"
 #include "plan/physical_plan.h"
@@ -44,6 +45,17 @@ class MemoryManager {
   bool Allocate(PlanNode* root, const std::set<int>& frozen_ids,
                 QueryTrace* trace = nullptr, double at_ms = 0,
                 int plan_generation = 0) const;
+
+  /// Fallible grant entry point: consults the fault injector's
+  /// `memory.grant` point before dividing memory. On an injected (or
+  /// future real) grant failure, no budget is touched — existing
+  /// allocations stay exactly as they were, so a failed grant can never
+  /// leave the plan half-re-budgeted — and the error is returned for the
+  /// caller to treat as advisory. `faults` may be nullptr.
+  Result<bool> TryAllocate(FaultInjector* faults, PlanNode* root,
+                           const std::set<int>& frozen_ids,
+                           QueryTrace* trace = nullptr, double at_ms = 0,
+                           int plan_generation = 0) const;
 
   /// Fills node->min_mem_pages / max_mem_pages from the node's children's
   /// improved estimates.

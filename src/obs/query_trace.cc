@@ -153,6 +153,30 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("budget_changes", std::move(bc_j));
 
+  JsonValue rf_j = JsonValue::MakeArray();
+  for (const ReoptFailure& r : reopt_failures) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("point", JsonValue::MakeString(r.point));
+    o.Set("status", JsonValue::MakeString(r.status));
+    o.Set("action", JsonValue::MakeString(r.action));
+    o.Set("attempts", JsonValue::MakeNumber(r.attempts));
+    o.Set("stage_node_id", JsonValue::MakeNumber(r.stage_node_id));
+    o.Set("at_ms", JsonValue::MakeNumber(r.at_ms));
+    rf_j.Append(std::move(o));
+  }
+  root.Set("reopt_failures", std::move(rf_j));
+
+  JsonValue dg_j = JsonValue::MakeArray();
+  for (const DegradationEvent& r : degradations) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("from_mode", JsonValue::MakeString(r.from_mode));
+    o.Set("to_mode", JsonValue::MakeString(r.to_mode));
+    o.Set("failures", JsonValue::MakeNumber(r.failures));
+    o.Set("at_ms", JsonValue::MakeNumber(r.at_ms));
+    dg_j.Append(std::move(o));
+  }
+  root.Set("degradations", std::move(dg_j));
+
   return root.Serialize();
 }
 
@@ -231,6 +255,33 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
     t.budget_changes.push_back(r);
   }
 
+  // Failure/degradation arrays are optional so traces serialized before
+  // the fault-tolerance layer still parse.
+  if (const JsonValue* rf = root.Find("reopt_failures");
+      rf != nullptr && rf->is_array()) {
+    for (const JsonValue& o : rf->items()) {
+      ReoptFailure r;
+      r.point = GetStr(o, "point");
+      r.status = GetStr(o, "status");
+      r.action = GetStr(o, "action");
+      r.attempts = static_cast<int>(GetNum(o, "attempts"));
+      r.stage_node_id = static_cast<int>(GetNum(o, "stage_node_id"));
+      r.at_ms = GetNum(o, "at_ms");
+      t.reopt_failures.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* dg = root.Find("degradations");
+      dg != nullptr && dg->is_array()) {
+    for (const JsonValue& o : dg->items()) {
+      DegradationEvent r;
+      r.from_mode = GetStr(o, "from_mode");
+      r.to_mode = GetStr(o, "to_mode");
+      r.failures = static_cast<int>(GetNum(o, "failures"));
+      r.at_ms = GetNum(o, "at_ms");
+      t.degradations.push_back(std::move(r));
+    }
+  }
+
   return t;
 }
 
@@ -266,6 +317,12 @@ std::string QueryTrace::Summary() const {
     for (const MemoryReallocation& r : memory_reallocations)
       out += "  " + Render(r) + "\n";
     for (const SwitchDecision& r : switches) out += "  " + Render(r) + "\n";
+  }
+  if (!reopt_failures.empty() || !degradations.empty()) {
+    out += "failures:\n";
+    for (const ReoptFailure& r : reopt_failures) out += "  " + Render(r) + "\n";
+    for (const DegradationEvent& r : degradations)
+      out += "  " + Render(r) + "\n";
   }
   return out;
 }
@@ -311,6 +368,8 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("switches_accepted", JsonValue::MakeNumber(accepted));
   root.Set("mem_reallocs", JsonValue::MakeNumber(memory_reallocations.size()));
   root.Set("mem_reallocs_kept", JsonValue::MakeNumber(kept));
+  root.Set("reopt_failures", JsonValue::MakeNumber(reopt_failures.size()));
+  root.Set("degraded", JsonValue::MakeBool(!degradations.empty()));
   return root.Serialize();
 }
 
@@ -337,6 +396,22 @@ std::string Render(const SwitchDecision& r) {
     s += "rejected (kept current plan)";
   }
   return s;
+}
+
+std::string Render(const ReoptFailure& r) {
+  std::string s = "reopt failure at " + r.point;
+  if (r.stage_node_id >= 0)
+    s += " (stage " + std::to_string(r.stage_node_id) + ")";
+  s += ": " + r.status;
+  if (r.attempts > 1)
+    s += " after " + std::to_string(r.attempts) + " attempts";
+  s += " -> " + r.action;
+  return s;
+}
+
+std::string Render(const DegradationEvent& r) {
+  return "re-optimization degraded " + r.from_mode + " -> " + r.to_mode +
+         " after " + std::to_string(r.failures) + " recovered failures";
 }
 
 std::string Render(const MemoryReallocation& r) {

@@ -78,6 +78,35 @@ struct MemoryReallocation {
   bool kept = false;           ///< false = rolled back (no clear improvement)
 };
 
+/// One failure inside the re-optimization side path (or its storage
+/// dependencies). Most are recovered: the candidate switch is rolled back
+/// (or the failed step skipped as advisory) and the query keeps executing
+/// on its current plan. `action` records what the controller did:
+///   "rolled_back" — candidate switch abandoned, current plan continues
+///   "continued"   — advisory step skipped (stats refresh, memory grant),
+///                   execution proceeds otherwise unchanged
+///   "fatal"       — past the point of no return; the query fails with
+///                   `status` after full temp-table/hook cleanup
+struct ReoptFailure {
+  std::string point;   ///< failure site ("reopt.optimize", "memory.grant"...)
+  std::string status;  ///< the non-OK Status, rendered
+  std::string action;  ///< "rolled_back" | "continued" | "fatal"
+  int attempts = 1;    ///< I/O attempts incl. transparent retries at the site
+  int stage_node_id = -1;  ///< frontier node (-1 outside a stage)
+  double at_ms = 0;
+};
+
+/// Controller self-demotion after repeated recovered failures: dynamic
+/// re-optimization switches off for the query remainder (graceful
+/// degradation — the query must never fail because an optional
+/// optimization kept failing).
+struct DegradationEvent {
+  std::string from_mode;  ///< ReoptModeName before demotion
+  std::string to_mode;    ///< always "off" today
+  int failures = 0;       ///< recovered failures that triggered it
+  double at_ms = 0;
+};
+
 /// One operator's budget change from a memory-manager pass.
 struct BudgetChange {
   int plan_generation = 0;
@@ -110,6 +139,8 @@ class QueryTrace {
   std::vector<SwitchDecision> switches;
   std::vector<MemoryReallocation> memory_reallocations;
   std::vector<BudgetChange> budget_changes;
+  std::vector<ReoptFailure> reopt_failures;
+  std::vector<DegradationEvent> degradations;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -135,6 +166,8 @@ std::string Render(const Eq2Check& r);
 std::string Render(const Eq1Check& r);
 std::string Render(const SwitchDecision& r);
 std::string Render(const MemoryReallocation& r);
+std::string Render(const ReoptFailure& r);
+std::string Render(const DegradationEvent& r);
 
 }  // namespace reoptdb
 

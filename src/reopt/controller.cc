@@ -47,25 +47,62 @@ class TempTableCleaner {
 
   void Track(std::string name) { names_.push_back(std::move(name)); }
 
-  /// Drops one table now (a rejected switch's temp).
+  size_t tracked() const { return names_.size(); }
+
+  /// Drops one table now (a rejected or rolled-back switch's temp). The
+  /// name is untracked regardless of the outcome: Catalog::Drop always
+  /// removes the catalog entry, so a retry could only report NotFound —
+  /// any pages a failed Destroy left behind are retried by the HeapFile
+  /// destructor, not by a second Drop.
   Status DropNow(const std::string& name) {
     names_.erase(std::remove(names_.begin(), names_.end(), name),
                  names_.end());
     return catalog_->Drop(name);
   }
 
+  /// Drops every tracked table, continuing past failures (stopping at the
+  /// first would strand the rest until the destructor, which swallows
+  /// errors); the first failure is returned.
   Status DropAll() {
+    Status first;
     while (!names_.empty()) {
       std::string name = std::move(names_.back());
       names_.pop_back();
-      RETURN_IF_ERROR(catalog_->Drop(name));
+      Status st = catalog_->Drop(name);
+      if (!st.ok() && first.ok()) first = std::move(st);
     }
-    return Status::OK();
+    return first;
   }
 
  private:
   Catalog* catalog_;
   std::vector<std::string> names_;
+};
+
+/// Defuses the mid-execution collector hook on every exit path: nulls the
+/// shared live-plan slot (so a late notification is a no-op even if the
+/// closure somehow survives) and uninstalls the hook from the context.
+/// Error returns anywhere in ExecuteWithPlan can therefore never leave a
+/// hook dangling over a dead plan tree.
+class HookGuard {
+ public:
+  HookGuard(ExecContext* ctx, std::shared_ptr<PlanNode*>* slot)
+      : ctx_(ctx), slot_(slot) {}
+  ~HookGuard() { Defuse(); }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+
+  void Defuse() {
+    if (*slot_) {
+      **slot_ = nullptr;
+      ctx_->SetCollectorHook(nullptr);
+      slot_->reset();
+    }
+  }
+
+ private:
+  ExecContext* ctx_;
+  std::shared_ptr<PlanNode*>* slot_;
 };
 
 /// Operator self-cost from a given set of input/output estimates and the
@@ -293,45 +330,117 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
   trace->config.theta2 = opts_.theta2;
   trace->config.mid_execution_memory = opts_.mid_execution_memory;
 
-  if (opts_.mode != ReoptMode::kOff) {
-    SciaOptions scia;
-    scia.mu = opts_.mu;
-    scia.histogram_buckets = opts_.histogram_buckets;
-    scia.reservoir_capacity = opts_.reservoir_capacity;
-    ASSIGN_OR_RETURN(SciaResult sres, InsertStatsCollectors(
-                                          &plan, spec, *catalog_, *cost_, scia));
-    report.collectors_inserted = sres.collectors_inserted;
+  FaultInjector* faults = ctx->faults();
+  if (opts_.deadline_ms > 0) ctx->SetDeadlineMs(opts_.deadline_ms);
+
+  // The query's *live* mode: graceful degradation demotes it to kOff after
+  // repeated recovered failures without touching opts_ (the next query
+  // starts fresh).
+  ReoptMode mode = opts_.mode;
+
+  TempTableCleaner temp_tables(catalog_);
+  HookGuard hook_guard(ctx, &live_plan_slot_);
+
+  int recovered_failures = 0;
+  auto record_failure = [&](const char* point, const Status& st,
+                            const char* action, int stage_node_id,
+                            int attempts) {
+    ReoptFailure f;
+    f.point = point;
+    f.status = st.ToString();
+    f.action = action;
+    f.attempts = attempts;
+    f.stage_node_id = stage_node_id;
+    f.at_ms = ctx->SimElapsedMs();
+    ctx->AddEvent(Render(f));
+    trace->reopt_failures.push_back(std::move(f));
+    ++report.reopt_failures;
+  };
+  auto note_recovered = [&]() {
+    ++recovered_failures;
+    if (mode != ReoptMode::kOff &&
+        recovered_failures >= opts_.max_reopt_failures) {
+      DegradationEvent d;
+      d.from_mode = ReoptModeName(mode);
+      d.to_mode = ReoptModeName(ReoptMode::kOff);
+      d.failures = recovered_failures;
+      d.at_ms = ctx->SimElapsedMs();
+      ctx->AddEvent(Render(d));
+      trace->degradations.push_back(std::move(d));
+      mode = ReoptMode::kOff;
+      report.reopt_degraded = true;
+      // The collector hook (if installed) is defused at the next stage
+      // boundary — a safe point; doing it here could destroy the hook
+      // closure while it is executing.
+    }
+  };
+
+  if (mode != ReoptMode::kOff) {
+    // Collector insertion is advisory: without collectors the query simply
+    // runs conventionally, so a failure here is recovered, not fatal.
+    Status st = faults != nullptr ? faults->Check(faults::kReoptScia)
+                                  : Status::OK();
+    if (st.ok()) {
+      SciaOptions scia;
+      scia.mu = opts_.mu;
+      scia.histogram_buckets = opts_.histogram_buckets;
+      scia.reservoir_capacity = opts_.reservoir_capacity;
+      Result<SciaResult> sres =
+          InsertStatsCollectors(&plan, spec, *catalog_, *cost_, scia);
+      if (sres.ok()) {
+        report.collectors_inserted = sres.value().collectors_inserted;
+      } else {
+        st = sres.status();
+      }
+    }
+    if (!st.ok()) {
+      record_failure(faults::kReoptScia, st, "continued", -1, 1);
+      note_recovered();
+    }
   }
 
   MemoryManager mm(cost_, query_mem_pages_);
   std::set<int> started;
-  mm.Allocate(plan.get(), started, trace, ctx->SimElapsedMs(),
-              ctx->plan_generation());
+  if (Result<bool> grant =
+          mm.TryAllocate(faults, plan.get(), started, trace,
+                         ctx->SimElapsedMs(), ctx->plan_generation());
+      !grant.ok()) {
+    // A failed grant leaves budgets untouched; operators fall back to
+    // conservative defaults, so execution proceeds.
+    record_failure(faults::kMemoryGrant, grant.status(), "continued", -1, 1);
+    note_recovered();
+  }
   RecostWithBudgets(plan.get(), *cost_);
   report.plan_before = plan->ToString();
   report.estimated_cost_ms = plan->est.cost_total_ms;
   if (out_schema) *out_schema = plan->output_schema;
 
-  TempTableCleaner temp_tables(catalog_);
   bool finished = false;
 
   // Section 2.3 extension: react to collector completions immediately,
   // not just at stage boundaries. Operators re-read their budgets while
   // running, so an in-flight build can pick up extra memory.
   if (opts_.mid_execution_memory &&
-      (opts_.mode == ReoptMode::kMemoryOnly ||
-       opts_.mode == ReoptMode::kFull)) {
+      (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull)) {
     live_plan_slot_ = std::make_shared<PlanNode*>(nullptr);
     std::shared_ptr<PlanNode*> live_plan = live_plan_slot_;
-    ctx->SetCollectorHook([this, ctx, live_plan,
-                           &mm](PlanNode* collector) {
+    ctx->SetCollectorHook([&, live_plan](PlanNode* collector) {
+      if (mode == ReoptMode::kOff) return;  // degraded: inert until defused
       PlanNode* root = *live_plan;
       if (root == nullptr || root->Find(collector->id) != collector) return;
       RefreshImprovedEstimates(root, *cost_);
       const double before = root->improved.cost_total_ms;
       std::set<int> no_frozen;  // running operators may respond mid-flight
-      if (mm.Allocate(root, no_frozen, ctx->trace(), ctx->SimElapsedMs(),
-                      ctx->plan_generation())) {
+      Result<bool> changed =
+          mm.TryAllocate(ctx->faults(), root, no_frozen, ctx->trace(),
+                         ctx->SimElapsedMs(), ctx->plan_generation());
+      if (!changed.ok()) {
+        record_failure(faults::kMemoryGrant, changed.status(), "continued",
+                       collector->id, 1);
+        note_recovered();
+        return;
+      }
+      if (changed.value()) {
         RefreshImprovedEstimates(root, *cost_);
         MemoryReallocation rec;
         rec.trigger_node_id = collector->id;
@@ -357,6 +466,8 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
     while (exec->HasMoreStages()) {
       ASSIGN_OR_RETURN(PipelineExecutor::StageResult stage,
                        exec->RunNextStage(rows));
+      // Safe point to retire the hook if the query degraded mid-stage.
+      if (mode == ReoptMode::kOff) hook_guard.Defuse();
       if (stage.stage_node) started.insert(stage.stage_node->id);
       for (PlanNode* c : stage.new_collectors) {
         report.edges.push_back(EdgeComparison{
@@ -366,7 +477,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
         finished = true;
         break;
       }
-      if (opts_.mode == ReoptMode::kOff || stage.new_collectors.empty())
+      if (mode == ReoptMode::kOff || stage.new_collectors.empty())
         continue;
 
       RefreshImprovedEstimates(plan.get(), *cost_);
@@ -375,16 +486,22 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       // The new allocation is kept only if it improves the (improved)
       // estimated total — "overall performance is expected to improve
       // since the new memory allocation is based on improved estimates".
-      if (opts_.mode == ReoptMode::kMemoryOnly ||
-          opts_.mode == ReoptMode::kFull) {
+      if (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull) {
         std::map<int, double> snapshot;
         plan->PostOrder([&](PlanNode* n) {
           if (n->IsMemoryConsumer()) snapshot[n->id] = n->mem_budget_pages;
         });
         double before = plan->improved.cost_total_ms;
         size_t bc_mark = trace->budget_changes.size();
-        if (mm.Allocate(plan.get(), started, trace, ctx->SimElapsedMs(),
-                        ctx->plan_generation())) {
+        Result<bool> realloc =
+            mm.TryAllocate(faults, plan.get(), started, trace,
+                           ctx->SimElapsedMs(), ctx->plan_generation());
+        if (!realloc.ok()) {
+          // Advisory: the current allocation keeps working.
+          record_failure(faults::kMemoryGrant, realloc.status(), "continued",
+                         stage.stage_node ? stage.stage_node->id : -1, 1);
+          note_recovered();
+        } else if (realloc.value()) {
           RefreshImprovedEstimates(plan.get(), *cost_);
           MemoryReallocation rec;
           rec.trigger_node_id =
@@ -410,8 +527,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       }
 
       // Query plan modification.
-      if ((opts_.mode != ReoptMode::kPlanOnly &&
-           opts_.mode != ReoptMode::kFull) ||
+      if ((mode != ReoptMode::kPlanOnly && mode != ReoptMode::kFull) ||
           report.plans_switched >= opts_.max_plan_switches ||
           stage.stage_node == nullptr) {
         continue;
@@ -455,111 +571,181 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
       if (!eq1.fired) continue;
       const double t_opt_est = eq1.t_opt_est;
 
-      // Re-invoke the optimizer on the remainder over a (virtual) temp.
+      // Candidate plan switch — a transaction against the current plan.
+      // Until the frontier is drained into the temp table (the point of no
+      // return), any failure rolls the candidate back: the temp table is
+      // dropped, its budget records un-recorded, and the query continues
+      // on its current plan. Failures after the drain are fatal but still
+      // unwind through the scope guards (no leaked temps, no live hook).
       ++report.reopts_considered;
-      std::string temp_name = catalog_->NextTempName();
-      Schema temp_schema = TempTableSchema(temp_name, frontier->output_schema);
-      ASSIGN_OR_RETURN(TableInfo * temp_info,
-                       catalog_->CreateTable(temp_name, temp_schema,
-                                             /*is_temp=*/true));
-      temp_tables.Track(temp_name);  // guard drops it on any error return
-      RETURN_IF_ERROR(
-          catalog_->SetStats(temp_name, BuildTempStats(*frontier, spec,
-                                                       *catalog_)));
-      ASSIGN_OR_RETURN(QuerySpec remainder,
-                       BuildRemainderSpec(spec, frontier->covers, temp_name));
+      // A successful switch frees the old plan tree (and `frontier` with
+      // it) before the post-switch fault check, so failure records must
+      // not read through the pointer.
+      const int frontier_id = frontier->id;
+      const DiskStats io_before = ctx->pool()->disk()->stats();
+      const size_t cand_bc_mark = trace->budget_changes.size();
+      std::string temp_name;
+      bool accepted = false;
+      bool past_no_return = false;
+      const char* site = faults::kReoptOptimize;
+      Status cand = [&]() -> Status {
+        temp_name = catalog_->NextTempName();
+        Schema temp_schema =
+            TempTableSchema(temp_name, frontier->output_schema);
+        TableInfo* temp_info = nullptr;
+        ASSIGN_OR_RETURN(temp_info,
+                         catalog_->CreateTable(temp_name, temp_schema,
+                                               /*is_temp=*/true));
+        temp_tables.Track(temp_name);  // dropped on rollback or unwind
+        RETURN_IF_ERROR(catalog_->SetStats(
+            temp_name, BuildTempStats(*frontier, spec, *catalog_)));
+        QuerySpec remainder;
+        ASSIGN_OR_RETURN(remainder, BuildRemainderSpec(spec, frontier->covers,
+                                                       temp_name));
 
-      // Re-invoke the optimizer with the new statistics: observed base
-      // relation stats override the (possibly stale) catalog.
-      BaseRelOverrides overrides =
-          CollectBaseRelOverrides(*plan, spec, *catalog_);
-      ASSIGN_OR_RETURN(OptimizeResult new_opt,
-                       optimizer.Plan(remainder, &overrides));
-      ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
-      report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
+        // Re-invoke the optimizer with the new statistics: observed base
+        // relation stats override the (possibly stale) catalog.
+        BaseRelOverrides overrides =
+            CollectBaseRelOverrides(*plan, spec, *catalog_);
+        if (faults != nullptr)
+          RETURN_IF_ERROR(faults->Check(faults::kReoptOptimize));
+        OptimizeResult new_opt;
+        ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
+        ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
+        report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
 
-      // Cost the candidate under the memory it would actually receive;
-      // comparing an optimistically costed new plan against the
-      // budget-aware improved estimate of the current plan would bias the
-      // gate toward switching. Budget changes are recorded against the
-      // candidate's generation and un-recorded if the switch is rejected.
-      size_t cand_bc_mark = trace->budget_changes.size();
-      {
-        std::set<int> fresh;
-        mm.Allocate(new_opt.plan.get(), fresh, trace, ctx->SimElapsedMs(),
-                    ctx->plan_generation() + 1);
-        RecostWithBudgets(new_opt.plan.get(), *cost_);
-      }
+        // Cost the candidate under the memory it would actually receive;
+        // comparing an optimistically costed new plan against the
+        // budget-aware improved estimate of the current plan would bias
+        // the gate toward switching. Budget changes are recorded against
+        // the candidate's generation and un-recorded on reject/rollback.
+        site = faults::kMemoryGrant;
+        {
+          std::set<int> fresh;
+          RETURN_IF_ERROR(mm.TryAllocate(faults, new_opt.plan.get(), fresh,
+                                         trace, ctx->SimElapsedMs(),
+                                         ctx->plan_generation() + 1)
+                              .status());
+          RecostWithBudgets(new_opt.plan.get(), *cost_);
+        }
 
-      const double finish_frontier =
-          std::max(0.0, frontier->improved.cost_total_ms - work_done);
-      const double write_cost =
-          frontier->improved.pages * cost_->params().t_io_ms;
-      const double rem_new = finish_frontier + write_cost +
-                             new_opt.plan->est.cost_total_ms + t_opt_est;
+        const double finish_frontier =
+            std::max(0.0, frontier->improved.cost_total_ms - work_done);
+        const double write_cost =
+            frontier->improved.pages * cost_->params().t_io_ms;
+        const double rem_new = finish_frontier + write_cost +
+                               new_opt.plan->est.cost_total_ms + t_opt_est;
 
-      SwitchDecision decision;
-      decision.stage_node_id = frontier->id;
-      decision.rem_cur = rem_cur;
-      decision.rem_new = rem_new;
-      decision.temp_table = temp_name;
-      decision.accepted = rem_new < rem_cur;
-      if (!decision.accepted) {
-        // Reject: keep the current plan; only the optimizer call was paid.
-        trace->budget_changes.resize(cand_bc_mark);
+        SwitchDecision decision;
+        decision.stage_node_id = frontier->id;
+        decision.rem_cur = rem_cur;
+        decision.rem_new = rem_new;
+        decision.temp_table = temp_name;
+        decision.accepted = rem_new < rem_cur;
+        if (!decision.accepted) {
+          // Reject: keep the current plan; only the optimizer call was
+          // paid.
+          trace->budget_changes.resize(cand_bc_mark);
+          trace->switches.push_back(decision);
+          ctx->AddEvent(Render(decision));
+          site = faults::kStorageFree;
+          RETURN_IF_ERROR(temp_tables.DropNow(temp_name));
+          return Status::OK();
+        }
+
+        // Accept. Collector insertion for the new plan runs before the
+        // point of no return so its failure can still roll back.
+        std::unique_ptr<PlanNode> new_plan = std::move(new_opt.plan);
+        if (mode == ReoptMode::kFull || mode == ReoptMode::kPlanOnly) {
+          site = faults::kReoptScia;
+          if (faults != nullptr)
+            RETURN_IF_ERROR(faults->Check(faults::kReoptScia));
+          SciaOptions scia;
+          scia.mu = opts_.mu;
+          scia.histogram_buckets = opts_.histogram_buckets;
+          scia.reservoir_capacity = opts_.reservoir_capacity;
+          SciaResult sres;
+          ASSIGN_OR_RETURN(sres, InsertStatsCollectors(&new_plan, remainder,
+                                                       *catalog_, *cost_,
+                                                       scia));
+          report.collectors_inserted += sres.collectors_inserted;
+        }
+
+        // Materializing drains the in-flight operator's output into the
+        // temp table (Fig. 6); the drained state cannot be replayed, so
+        // this is the point of no return. The injected fault is checked
+        // *before* the drain — injected materialize failures stay
+        // recoverable; a real failure mid-drain is fatal (but clean).
+        site = faults::kReoptMaterialize;
+        if (faults != nullptr)
+          RETURN_IF_ERROR(faults->Check(faults::kReoptMaterialize));
+        past_no_return = true;
+        uint64_t mat_rows = 0;
+        ASSIGN_OR_RETURN(
+            mat_rows, exec->MaterializeInto(frontier, temp_info->heap.get()));
+        decision.mat_rows = mat_rows;
         trace->switches.push_back(decision);
         ctx->AddEvent(Render(decision));
-        RETURN_IF_ERROR(temp_tables.DropNow(temp_name));
+
+        // Refresh the temp's stats with exact counts.
+        TableStats exact = temp_info->stats;
+        exact.row_count = static_cast<double>(mat_rows);
+        exact.page_count = static_cast<double>(temp_info->heap->page_count());
+        exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
+        RETURN_IF_ERROR(catalog_->SetStats(temp_name, std::move(exact)));
+
+        ctx->BumpPlanGeneration();  // new plan: ids may collide with old
+        started.clear();
+        if (Result<bool> grant =
+                mm.TryAllocate(faults, new_plan.get(), started, trace,
+                               ctx->SimElapsedMs(), ctx->plan_generation());
+            !grant.ok()) {
+          // Advisory even past the point of no return: the adopted plan
+          // runs on default budgets.
+          record_failure(faults::kMemoryGrant, grant.status(), "continued",
+                         frontier_id, 1);
+          note_recovered();
+        }
+        RecostWithBudgets(new_plan.get(), *cost_);
+
+        RETURN_IF_ERROR(exec->Close());
+        spec = std::move(remainder);
+        plan = std::move(new_plan);
+        ++report.plans_switched;
+        report.plan_after = plan->ToString();
+        if (out_schema) *out_schema = plan->output_schema;
+
+        // The old plan is closed and replaced: any failure from here
+        // aborts the query (the scope guards still clean up).
+        site = faults::kReoptPostSwitch;
+        if (faults != nullptr)
+          RETURN_IF_ERROR(faults->Check(faults::kReoptPostSwitch));
+        if (opts_.fault_inject_after_switch)  // deprecated alias (see .h)
+          return Status::Internal("fault injection: abort after plan switch");
+        accepted = true;
+        return Status::OK();
+      }();
+
+      if (!cand.ok()) {
+        const DiskStats io_now = ctx->pool()->disk()->stats();
+        const int attempts =
+            1 + static_cast<int>(io_now.io_retries - io_before.io_retries);
+        if (past_no_return) {
+          // Fatal: record, then unwind — the scope guards drop every temp
+          // table and defuse the hook on the way out.
+          record_failure(site, cand, "fatal", frontier_id, attempts);
+          return cand;
+        }
+        // Roll back the candidate: un-record its budget changes, drop its
+        // temp table, and keep executing the current plan from the same
+        // frontier.
+        trace->budget_changes.resize(cand_bc_mark);
+        if (!temp_name.empty()) (void)temp_tables.DropNow(temp_name);
+        record_failure(site, cand, "rolled_back", frontier_id, attempts);
+        note_recovered();
         continue;
       }
-
-      // Accept: let the in-flight operator run to completion, redirecting
-      // its output to the temp table (Fig. 6).
-      ASSIGN_OR_RETURN(uint64_t mat_rows,
-                       exec->MaterializeInto(frontier, temp_info->heap.get()));
-      decision.mat_rows = mat_rows;
-      trace->switches.push_back(decision);
-      ctx->AddEvent(Render(decision));
-
-      // Refresh the temp's stats with exact counts.
-      TableStats exact = temp_info->stats;
-      exact.row_count = static_cast<double>(mat_rows);
-      exact.page_count = static_cast<double>(temp_info->heap->page_count());
-      exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
-      RETURN_IF_ERROR(catalog_->SetStats(temp_name, std::move(exact)));
-
-      std::unique_ptr<PlanNode> new_plan = std::move(new_opt.plan);
-      if (opts_.mode == ReoptMode::kFull || opts_.mode == ReoptMode::kPlanOnly) {
-        SciaOptions scia;
-        scia.mu = opts_.mu;
-        scia.histogram_buckets = opts_.histogram_buckets;
-        scia.reservoir_capacity = opts_.reservoir_capacity;
-        ASSIGN_OR_RETURN(
-            SciaResult sres,
-            InsertStatsCollectors(&new_plan, remainder, *catalog_, *cost_,
-                                  scia));
-        report.collectors_inserted += sres.collectors_inserted;
-      }
-      ctx->BumpPlanGeneration();  // new plan: node ids may collide with old
-      started.clear();
-      mm.Allocate(new_plan.get(), started, trace, ctx->SimElapsedMs(),
-                  ctx->plan_generation());
-      RecostWithBudgets(new_plan.get(), *cost_);
-
-      RETURN_IF_ERROR(exec->Close());
-      spec = std::move(remainder);
-      plan = std::move(new_plan);
-      ++report.plans_switched;
-      report.plan_after = plan->ToString();
-      if (out_schema) *out_schema = plan->output_schema;
-      if (opts_.fault_inject_after_switch) {
-        if (live_plan_slot_) {
-          *live_plan_slot_ = nullptr;
-          ctx->SetCollectorHook(nullptr);
-          live_plan_slot_.reset();
-        }
-        return Status::Internal("fault injection: abort after plan switch");
-      }
+      if (!accepted) continue;  // gate rejected the candidate plan
       switched = true;
       break;
     }
@@ -570,15 +756,14 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
     }
   }
 
-  if (live_plan_slot_) {
-    // Defuse the hook before the plan tree dies (error paths included:
-    // the shared slot is nulled so a late notification is a no-op).
-    *live_plan_slot_ = nullptr;
-    ctx->SetCollectorHook(nullptr);
-    live_plan_slot_.reset();
-  }
+  hook_guard.Defuse();
 
-  RETURN_IF_ERROR(temp_tables.DropAll());
+  if (Status st = temp_tables.DropAll(); !st.ok()) {
+    // End-of-query temp cleanup is best-effort: the results are already
+    // delivered, so a failed drop is recorded, not returned (failed page
+    // releases are retried by the heap destructors).
+    record_failure(faults::kStorageFree, st, "continued", -1, 1);
+  }
 
   report.sim_time_ms = ctx->SimElapsedMs();
   report.page_ios = ctx->PageIos();

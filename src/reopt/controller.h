@@ -61,9 +61,20 @@ struct ReoptOptions {
   bool mid_execution_memory = false;
   int histogram_buckets = 50;
   size_t reservoir_capacity = 1024;
-  /// Fault injection (tests only): fail the query right after the first
-  /// accepted plan switch, exercising the temp-table cleanup on error
-  /// paths.
+  /// Graceful degradation: after this many *recovered* re-optimization
+  /// failures (rolled-back switches, skipped advisory steps), the
+  /// controller demotes itself to ReoptMode::kOff for the remainder of the
+  /// query and records a DegradationEvent. The query must never fail
+  /// because an optional optimization kept failing.
+  int max_reopt_failures = 2;
+  /// Cooperative deadline on the simulated clock (ms); 0 disables. A query
+  /// exceeding it unwinds with Status::Cancelled at the next stage
+  /// boundary / operator Next, with full temp-table and hook cleanup.
+  double deadline_ms = 0;
+  /// Deprecated alias for arming the `reopt.post_switch` fault-injection
+  /// point on every call (see common/fault.h): fail the query right after
+  /// the first accepted plan switch. Prefer
+  /// FaultInjector::Arm(faults::kReoptPostSwitch, ...).
   bool fault_inject_after_switch = false;
 };
 
@@ -83,6 +94,8 @@ struct ExecutionReport {
   int memory_reallocations = 0;
   int reopts_considered = 0;     ///< optimizer re-invocations mid-query
   int plans_switched = 0;
+  int reopt_failures = 0;        ///< ReoptFailure records (any action)
+  bool reopt_degraded = false;   ///< demoted to off after repeated failures
   double reopt_overhead_ms = 0;  ///< simulated re-optimization cost charged
   double estimated_cost_ms = 0;  ///< the initial plan's estimated total
   std::string plan_before;

@@ -4,6 +4,23 @@
 
 namespace reoptdb {
 
+Status DiskManager::CheckFault(const char* point) {
+  if (faults_ == nullptr) return Status::OK();
+  Status st = faults_->Check(point);
+  // Injected IoError models a transient device error: retry with bounded
+  // exponential backoff (simulated — the delay is charged to the query
+  // clock, not slept). Persistent faults (e.g. an every-call policy)
+  // exhaust the retries and surface to the caller.
+  for (int attempt = 1; !st.ok() && st.code() == StatusCode::kIoError &&
+                        attempt <= kMaxIoRetries;
+       ++attempt) {
+    ++stats_.io_retries;
+    stats_.retry_penalty_ms += kRetryBackoffBaseMs * (1 << (attempt - 1));
+    st = faults_->Check(point);
+  }
+  return st;
+}
+
 PageId DiskManager::AllocatePage() {
   PageId id = next_id_++;
   auto page = std::make_unique<Page>();
@@ -14,6 +31,7 @@ PageId DiskManager::AllocatePage() {
 }
 
 Status DiskManager::FreePage(PageId id) {
+  RETURN_IF_ERROR(CheckFault(faults::kStorageFree));
   auto it = pages_.find(id);
   if (it == pages_.end())
     return Status::IoError("free of unknown page " + std::to_string(id));
@@ -23,6 +41,7 @@ Status DiskManager::FreePage(PageId id) {
 }
 
 Status DiskManager::ReadPage(PageId id, Page* out) {
+  RETURN_IF_ERROR(CheckFault(faults::kStorageRead));
   auto it = pages_.find(id);
   if (it == pages_.end())
     return Status::IoError("read of unknown page " + std::to_string(id));
@@ -32,6 +51,7 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
+  RETURN_IF_ERROR(CheckFault(faults::kStorageWrite));
   auto it = pages_.find(id);
   if (it == pages_.end())
     return Status::IoError("write of unknown page " + std::to_string(id));

@@ -14,6 +14,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -25,11 +26,19 @@ struct DiskStats {
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
   uint64_t pages_freed = 0;
+  /// Transient-IoError retries (injected faults absorbed by backoff).
+  uint64_t io_retries = 0;
+  /// Simulated milliseconds spent in retry backoff; folded into the query
+  /// clock by ExecContext::SimElapsedMs.
+  double retry_penalty_ms = 0;
 
   DiskStats operator-(const DiskStats& o) const {
-    return DiskStats{page_reads - o.page_reads, page_writes - o.page_writes,
+    return DiskStats{page_reads - o.page_reads,
+                     page_writes - o.page_writes,
                      pages_allocated - o.pages_allocated,
-                     pages_freed - o.pages_freed};
+                     pages_freed - o.pages_freed,
+                     io_retries - o.io_retries,
+                     retry_penalty_ms - o.retry_penalty_ms};
   }
 };
 
@@ -60,10 +69,26 @@ class DiskManager {
   /// Number of live (allocated, not freed) pages.
   size_t live_pages() const { return pages_.size(); }
 
+  /// Fault-injection hook (storage.read / storage.write / storage.free).
+  /// Injected kIoError is treated as transient: the operation retries with
+  /// bounded exponential backoff (simulated, charged to retry_penalty_ms)
+  /// before the error is surfaced to the caller. nullptr disables.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Maximum retries after a transient IoError before it is surfaced.
+  static constexpr int kMaxIoRetries = 3;
+  /// First-retry backoff in simulated ms; doubles per attempt.
+  static constexpr double kRetryBackoffBaseMs = 1.0;
+
  private:
+  /// Consults the injector for `point`, absorbing transient faults via the
+  /// retry/backoff policy above. OK when nothing is armed.
+  Status CheckFault(const char* point);
+
   std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
   PageId next_id_ = 0;
   DiskStats stats_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace reoptdb

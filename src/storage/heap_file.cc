@@ -123,16 +123,30 @@ Result<Tuple> HeapFile::Fetch(const Rid& rid) const {
 }
 
 Status HeapFile::Destroy() {
+  // Best-effort: a failed free must not strand the remaining pages (the
+  // destructor and temp-table cleanup retry Destroy, so only pages whose
+  // free actually failed stay tracked).
+  Status first_error;
+  std::vector<PageId> failed;
   for (PageId id : pages_) {
     pool_->Discard(id);
-    RETURN_IF_ERROR(pool_->disk()->FreePage(id));
+    Status st = pool_->disk()->FreePage(id);
+    if (!st.ok()) {
+      failed.push_back(id);
+      if (first_error.ok()) first_error = st;
+    }
   }
-  pages_.clear();
+  pages_ = std::move(failed);
   if (tail_) {
-    RETURN_IF_ERROR(pool_->disk()->FreePage(tail_id_));
-    tail_.reset();
-    tail_id_ = kInvalidPageId;
+    Status st = pool_->disk()->FreePage(tail_id_);
+    if (st.ok()) {
+      tail_.reset();
+      tail_id_ = kInvalidPageId;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
   }
+  if (!first_error.ok()) return first_error;
   tuple_count_ = 0;
   total_tuple_bytes_ = 0;
   return Status::OK();

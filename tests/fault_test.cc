@@ -1,0 +1,381 @@
+// Fault-tolerance tests: the FaultInjector registry itself, a sweep of
+// every injection point × trigger policy against a TPC-D query that
+// reliably attempts plan switches, and cooperative cancellation.
+//
+// The contract under test (the failure model in DESIGN.md): with any
+// point armed, a query either (a) completes with correct results and a
+// recorded recovery (ReoptFailure / degradation / transparent I/O retry),
+// or (b) fails with a clean typed error — and in both cases leaks nothing:
+// no temp tables in the catalog, no live collector hook, no lost disk
+// pages.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "engine/database.h"
+#include "gtest/gtest.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests.
+
+TEST(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_TRUE(fi.Check(faults::kStorageRead).ok());  // unarmed: no-op
+
+  FaultSpec nth2;
+  nth2.trigger = FaultTrigger::kNthCall;
+  nth2.nth = 2;
+  REOPTDB_ASSERT_OK(fi.Arm(faults::kStorageRead, nth2));
+  EXPECT_TRUE(fi.Check(faults::kStorageRead).ok());
+  Status st = fi.Check(faults::kStorageRead);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);  // storage.* injects I/O errors
+  EXPECT_NE(st.ToString().find("injected fault"), std::string::npos);
+  EXPECT_TRUE(fi.Check(faults::kStorageRead).ok());  // nth fires only once
+  EXPECT_EQ(fi.StatsFor(faults::kStorageRead).calls, 3u);
+  EXPECT_EQ(fi.StatsFor(faults::kStorageRead).fires, 1u);
+}
+
+TEST(FaultInjectorTest, EveryCallAndErrorCodeByPrefix) {
+  FaultInjector fi;
+  FaultSpec every;
+  every.trigger = FaultTrigger::kEveryCall;
+  REOPTDB_ASSERT_OK(fi.Arm(faults::kMemoryGrant, every));
+  REOPTDB_ASSERT_OK(fi.Arm(faults::kReoptOptimize, every));
+  EXPECT_EQ(fi.Check(faults::kMemoryGrant).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(fi.Check(faults::kMemoryGrant).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(fi.Check(faults::kReoptOptimize).code(), StatusCode::kInternal);
+}
+
+TEST(FaultInjectorTest, ProbabilityStreamIsDeterministic) {
+  FaultInjector fi;
+  FaultSpec prob;
+  prob.trigger = FaultTrigger::kProbability;
+  prob.probability = 0.5;
+  prob.seed = 9;
+  REOPTDB_ASSERT_OK(fi.Arm(faults::kReoptScia, prob));
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i)
+    first.push_back(!fi.Check(faults::kReoptScia).ok());
+  EXPECT_GT(fi.StatsFor(faults::kReoptScia).fires, 0u);
+  EXPECT_LT(fi.StatsFor(faults::kReoptScia).fires, 64u);
+
+  REOPTDB_ASSERT_OK(fi.Arm(faults::kReoptScia, prob));  // re-arm: fresh stream
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(!fi.Check(faults::kReoptScia).ok(), first[static_cast<size_t>(i)])
+        << "probability stream diverged at call " << i;
+}
+
+TEST(FaultInjectorTest, ConfigureGrammar) {
+  FaultInjector fi;
+  REOPTDB_ASSERT_OK(
+      fi.Configure("reopt.optimize=nth:3,storage.write=every,"
+                   "storage.read=prob:0.25@7"));
+  EXPECT_TRUE(fi.armed(faults::kReoptOptimize));
+  EXPECT_TRUE(fi.armed(faults::kStorageWrite));
+  EXPECT_TRUE(fi.armed(faults::kStorageRead));
+  EXPECT_NE(fi.Describe().find("reopt.optimize"), std::string::npos);
+
+  EXPECT_FALSE(fi.Configure("bogus").ok());
+  EXPECT_FALSE(fi.Configure("no.such.point=every").ok());
+  EXPECT_FALSE(fi.Configure("storage.read=nth:x").ok());
+  EXPECT_FALSE(fi.Configure("storage.read=prob:2.0").ok());
+
+  fi.Reset();
+  EXPECT_FALSE(fi.AnyArmed());
+
+  // Known points cover everything the sweep below arms.
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// The injection-point sweep.
+
+// Eager-gate options under which TPC-D Q5 on a stale catalog reliably
+// accepts a plan switch (the same setup reopt_test's FaultInjectionTest
+// relies on), so the reopt.* points actually get exercised.
+ReoptOptions EagerGate() {
+  ReoptOptions o;
+  o.mode = ReoptMode::kFull;
+  o.theta2 = -1.0;  // any degradation (even none) passes Eq. 2
+  o.theta1 = 1e9;
+  return o;
+}
+
+std::unique_ptr<Database> MakeTpcdDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: estimates are off
+  EXPECT_TRUE(tpcd::Load(db.get(), gen).ok());
+  return db;
+}
+
+void ExpectNoTempTables(Database* db) {
+  for (int i = 1; i <= 16; ++i)
+    EXPECT_FALSE(db->catalog()->Exists("__temp" + std::to_string(i)))
+        << "__temp" << i << " leaked";
+}
+
+struct SweepCase {
+  const char* point;
+  FaultTrigger trigger;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = info.param.point;
+  for (char& c : name)
+    if (c == '.') c = '_';
+  name += info.param.trigger == FaultTrigger::kNthCall ? "_nth1" : "_every";
+  return name;
+}
+
+class FaultSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FaultSweep, RecoversOrFailsCleanly) {
+  const SweepCase& p = GetParam();
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate();
+
+  // Clean reference: proves the query switches plans, so every reopt.*
+  // point is on the executed path.
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_GE(clean.value().report.plans_switched, 1);
+  const std::vector<std::string> reference = Canon(clean.value().rows);
+  const size_t live_before = db->disk()->live_pages();
+  const uint64_t retries_before = db->disk()->stats().io_retries;
+
+  FaultSpec spec;
+  spec.trigger = p.trigger;
+  spec.nth = 1;
+  REOPTDB_ASSERT_OK(db->faults()->Arm(p.point, spec));
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  const FaultPointStats stats = db->faults()->StatsFor(p.point);
+  db->faults()->Reset();
+  const uint64_t retries = db->disk()->stats().io_retries - retries_before;
+
+  // The armed point must actually have been exercised by this query.
+  EXPECT_GE(stats.calls, 1u) << p.point << " was never checked";
+  EXPECT_GE(stats.fires, 1u) << p.point << " never fired";
+
+  if (r.ok()) {
+    // (a) Recovered: identical results, and the recovery left evidence —
+    // a ReoptFailure record, a degradation, or a transparent I/O retry.
+    EXPECT_EQ(Canon(r.value().rows), reference)
+        << p.point << ": recovered run returned different rows";
+    const QueryTrace& trace = r.value().report.trace;
+    EXPECT_TRUE(!trace.reopt_failures.empty() || !trace.degradations.empty() ||
+                retries > 0)
+        << p.point << " fired but left no recovery evidence";
+    EXPECT_EQ(static_cast<size_t>(r.value().report.reopt_failures),
+              trace.reopt_failures.size());
+    EXPECT_EQ(r.value().report.reopt_degraded, !trace.degradations.empty());
+    for (const ReoptFailure& f : trace.reopt_failures) {
+      EXPECT_TRUE(f.action == "rolled_back" || f.action == "continued")
+          << f.action;
+      EXPECT_GE(f.attempts, 1);
+    }
+  } else {
+    // (b) Fatal: a clean typed error carrying the injection message, not a
+    // crash or a mangled result.
+    EXPECT_NE(r.status().ToString().find("injected fault"), std::string::npos)
+        << r.status().ToString();
+  }
+
+  // Either way, nothing leaks.
+  ExpectNoTempTables(db.get());
+  if (std::string(p.point) != faults::kStorageFree) {
+    // (With free faults armed, pages legitimately cannot be released.)
+    EXPECT_EQ(db->disk()->live_pages(), live_before)
+        << p.point << ": disk pages leaked";
+  }
+
+  // The engine stays usable afterwards.
+  Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Canon(again.value().rows), reference);
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> out;
+  for (const char* point :
+       {faults::kStorageRead, faults::kStorageWrite, faults::kStorageFree,
+        faults::kMemoryGrant, faults::kReoptOptimize,
+        faults::kReoptMaterialize, faults::kReoptScia,
+        faults::kReoptPostSwitch}) {
+    out.push_back({point, FaultTrigger::kNthCall});
+    out.push_back({point, FaultTrigger::kEveryCall});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoints, FaultSweep,
+                         ::testing::ValuesIn(SweepCases()), SweepName);
+
+// Single reopt.* faults (nth=1) must never change query results: the
+// acceptance bar for the transactional switch protocol, across the whole
+// TPC-D suite rather than just Q5.
+TEST(FaultSweepSuite, SingleReoptFaultPreservesResultsAcrossQueries) {
+  for (const char* point : {faults::kReoptOptimize, faults::kReoptMaterialize,
+                            faults::kReoptScia, faults::kMemoryGrant}) {
+    std::unique_ptr<Database> db = MakeTpcdDb();
+    const ReoptOptions eager = EagerGate();
+    for (const tpcd::TpcdQuery& q : tpcd::AllQueries()) {
+      Result<QueryResult> clean = db->ExecuteWith(q.sql, eager);
+      ASSERT_TRUE(clean.ok()) << q.name << ": " << clean.status().ToString();
+
+      FaultSpec nth1;
+      nth1.trigger = FaultTrigger::kNthCall;
+      nth1.nth = 1;
+      REOPTDB_ASSERT_OK(db->faults()->Arm(point, nth1));
+      Result<QueryResult> r = db->ExecuteWith(q.sql, eager);
+      db->faults()->Reset();
+      ASSERT_TRUE(r.ok()) << point << "/" << q.name << ": "
+                          << r.status().ToString();
+      EXPECT_EQ(Canon(r.value().rows), Canon(clean.value().rows))
+          << point << "/" << q.name;
+      ExpectNoTempTables(db.get());
+    }
+  }
+}
+
+// Repeated recovered failures demote the controller to kOff for the query
+// remainder — and that is recorded, not silent.
+TEST(GracefulDegradation, RepeatedFailuresDemoteToOff) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  ReoptOptions eager = EagerGate();
+  eager.max_reopt_failures = 1;  // degrade on the first recovered failure
+
+  FaultSpec every;
+  every.trigger = FaultTrigger::kEveryCall;
+  REOPTDB_ASSERT_OK(db->faults()->Arm(faults::kReoptOptimize, every));
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  db->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().report.reopt_degraded);
+  ASSERT_FALSE(r.value().report.trace.degradations.empty());
+  const DegradationEvent& d = r.value().report.trace.degradations.front();
+  EXPECT_EQ(d.from_mode, "full");
+  EXPECT_EQ(d.to_mode, "off");
+  EXPECT_GE(d.failures, 1);
+  EXPECT_EQ(r.value().report.plans_switched, 0);  // never got to switch
+
+  // Degradation is per query: the next query re-optimizes again.
+  Result<QueryResult> next = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.value().report.reopt_degraded);
+  EXPECT_GE(next.value().report.plans_switched, 1);
+}
+
+// Transient I/O errors are absorbed by the disk manager's bounded retry
+// loop: the query succeeds and the retries are visible in DiskStats and
+// charged to the simulated clock.
+TEST(TransientIoRetry, NthReadFaultIsAbsorbed) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(clean.ok());
+
+  FaultSpec nth1;
+  nth1.trigger = FaultTrigger::kNthCall;
+  nth1.nth = 1;
+  REOPTDB_ASSERT_OK(db->faults()->Arm(faults::kStorageRead, nth1));
+  const uint64_t retries_before = db->disk()->stats().io_retries;
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  db->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Canon(r.value().rows), Canon(clean.value().rows));
+  EXPECT_GT(db->disk()->stats().io_retries, retries_before);
+  EXPECT_GT(db->disk()->stats().retry_penalty_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+
+TEST(Cancellation, DeadlineCancelsMidQuery) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  ReoptOptions opts = EagerGate();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), opts);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  const double total_ms = clean.value().report.sim_time_ms;
+  ASSERT_GT(total_ms, 0.0);
+
+  opts.deadline_ms = total_ms / 2;  // expires mid-flight
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  ExpectNoTempTables(db.get());
+
+  // The engine stays usable and still produces the full result.
+  opts.deadline_ms = 0;
+  Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), opts);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Canon(again.value().rows), Canon(clean.value().rows));
+}
+
+TEST(Cancellation, TokenUnwindsWithHookAndTempCleanup) {
+  Database db;
+  LoadEmpDept(&db, 300, 10);
+
+  Result<SelectStmtAst> ast = ParseSelect(
+      "SELECT e.emp_id FROM emp e, dept d WHERE e.dept_id = d.dept_id");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  Result<QuerySpec> spec = Bind(ast.value(), *db.catalog());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  ReoptOptions ropts;
+  ropts.mode = ReoptMode::kFull;
+  ropts.mid_execution_memory = true;  // installs the collector hook
+  OptimizerOptions oopts = db.options().optimizer;
+  oopts.assumed_mem_pages = db.options().query_mem_pages;
+  DynamicReoptimizer reopt(db.catalog(), &db.cost_model(), &db.calibration(),
+                           oopts, ropts, db.options().query_mem_pages);
+
+  ExecContext ctx(db.buffer_pool(), db.catalog(), &db.cost_model());
+  ctx.cancel_token()->Cancel();  // cancelled before the first stage
+  std::vector<Tuple> rows;
+  Schema schema;
+  Result<ExecutionReport> rep =
+      reopt.Execute(spec.value(), &ctx, &rows, &schema);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), StatusCode::kCancelled);
+  // The unwind defused the mid-execution hook and left no temp tables.
+  EXPECT_FALSE(ctx.has_collector_hook());
+  ExpectNoTempTables(&db);
+}
+
+TEST(Cancellation, DeadlineFiresInsideOperatorNextLoop) {
+  // A tiny deadline cancels during the very first stage's work, proving
+  // the check sits inside operator Next/blocking loops, not only at stage
+  // boundaries.
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  ReoptOptions opts;  // defaults; reopt not needed for this property
+  opts.deadline_ms = 1e-6;
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(r.status().ToString().find("deadline"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace reoptdb

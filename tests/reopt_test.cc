@@ -421,9 +421,10 @@ TEST_F(ControllerTest, TempTablesCleanedUpAfterSwitch) {
 
 TEST(FaultInjectionTest, FaultAfterSwitchLeavesNoTempTables) {
   // A stale-catalog TPC-D instance where the eager gate reliably accepts a
-  // plan switch; the controller is then told to fail right after the first
-  // accepted switch, and the scope guard must still drop the temp table
-  // the switch materialized into.
+  // plan switch; the reopt.post_switch injection point then fails the query
+  // right after the first accepted switch (past the point of no return),
+  // and the scope guards must still drop the temp table the switch
+  // materialized into.
   DatabaseOptions opts;
   opts.buffer_pool_pages = 128;
   opts.query_mem_pages = 48;
@@ -445,18 +446,33 @@ TEST(FaultInjectionTest, FaultAfterSwitchLeavesNoTempTables) {
   ASSERT_GE(clean.value().report.plans_switched, 1);
   ASSERT_FALSE(clean.value().report.trace.switches.empty());
 
-  eager.fault_inject_after_switch = true;
+  FaultSpec nth1;
+  nth1.trigger = FaultTrigger::kNthCall;
+  nth1.nth = 1;
+  REOPTDB_ASSERT_OK(db.faults()->Arm(faults::kReoptPostSwitch, nth1));
   Result<QueryResult> r = db.ExecuteWith(tpcd::Q5Sql(), eager);
   ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.status().ToString().find("fault injection"), std::string::npos);
+  EXPECT_NE(r.status().ToString().find(faults::kReoptPostSwitch),
+            std::string::npos);
+  EXPECT_EQ(db.faults()->StatsFor(faults::kReoptPostSwitch).fires, 1u);
+  db.faults()->Reset();
   for (int i = 1; i <= 8; ++i)
     EXPECT_FALSE(db.catalog()->Exists("__temp" + std::to_string(i))) << i;
 
   // The engine stays usable: the same query still runs to completion.
-  eager.fault_inject_after_switch = false;
   Result<QueryResult> again = db.ExecuteWith(tpcd::Q5Sql(), eager);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(Canon(again.value().rows), Canon(clean.value().rows));
+
+  // The deprecated ReoptOptions knob is an alias for the same injection
+  // point and must keep working until callers migrate.
+  eager.fault_inject_after_switch = true;
+  Result<QueryResult> legacy = db.ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_FALSE(legacy.ok());
+  EXPECT_NE(legacy.status().ToString().find("fault injection"),
+            std::string::npos);
+  for (int i = 1; i <= 16; ++i)
+    EXPECT_FALSE(db.catalog()->Exists("__temp" + std::to_string(i))) << i;
 }
 
 }  // namespace

@@ -10,6 +10,9 @@
 //   \report                        toggle per-query execution reports
 //   \trace                         toggle per-query structured trace summary
 //   \tables                        list catalog tables
+//   \faults [spec|list|off]        fault injection: show armed points, arm
+//                                  from a spec (e.g. reopt.optimize=nth:1),
+//                                  list known points, or disarm all
 //   \q                             quit
 
 #include <cstdio>
@@ -85,7 +88,7 @@ int main(int argc, char** argv) {
   bool show_report = true;
   bool show_trace = false;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
-              "\\trace, \\tables\n");
+              "\\trace, \\tables, \\faults\n");
 
   std::string line, buffer;
   while (true) {
@@ -110,6 +113,22 @@ int main(int argc, char** argv) {
         else if (arg == "plan") reopt.mode = ReoptMode::kPlanOnly;
         else reopt.mode = ReoptMode::kFull;
         std::printf("mode = %s\n", ReoptModeName(reopt.mode));
+      } else if (cmd == "\\faults") {
+        if (arg.empty()) {
+          std::printf("%s\n", db.faults()->Describe().c_str());
+        } else if (arg == "off") {
+          db.faults()->Reset();
+          std::printf("all fault points disarmed\n");
+        } else if (arg == "list") {
+          for (const std::string& p : FaultInjector::KnownPoints())
+            std::printf("  %s\n", p.c_str());
+        } else {
+          Status st = db.faults()->Configure(arg);
+          if (!st.ok())
+            std::printf("error: %s\n", st.ToString().c_str());
+          else
+            std::printf("%s\n", db.faults()->Describe().c_str());
+        }
       } else if (cmd == "\\tables") {
         for (const char* t :
              {"region", "nation", "supplier", "customer", "part", "partsupp",

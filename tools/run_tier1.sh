@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + full test suite, then a sanitizer pass
+# (ASan + UBSan) over the fault-injection and re-optimization tests, which
+# exercise the error/rollback paths most likely to hide lifetime bugs.
+#
+#   tools/run_tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+ASAN_BUILD="${2:-build-asan}"
+
+echo "== tier-1: configure + build (${BUILD}) =="
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: ASan+UBSan fault/reopt tests (${ASAN_BUILD}) =="
+cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
+cmake --build "${ASAN_BUILD}" -j --target fault_test reopt_test reopt_extension_test
+# Run the binaries directly: ctest -R filters per-test names, which would
+# silently skip suites whose names don't contain "fault"/"reopt".
+"${ASAN_BUILD}/tests/fault_test"
+"${ASAN_BUILD}/tests/reopt_test"
+"${ASAN_BUILD}/tests/reopt_extension_test"
+
+echo "== tier-1: OK =="
