@@ -54,10 +54,19 @@ class ExecContext {
   const CostModel& cost() const { return *cost_; }
   Rng* rng() { return &rng_; }
 
+  /// Rows per NextBatch() pull; 1 selects the legacy row-at-a-time drain
+  /// loops. Set once by the controller (from ReoptOptions::batch_size)
+  /// before execution starts. Batched and row modes are bit-identical in
+  /// results, ObservedStats, and charged work.
+  size_t batch_size() const { return batch_size_; }
+  void SetBatchSize(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  bool batched() const { return batch_size_ > 1; }
+
   void ChargeTuples(uint64_t n) { cpu_.tuples += n; }
   void ChargeHash(uint64_t n) { cpu_.hash_ops += n; }
   void ChargeCmp(uint64_t n) { cpu_.cmp_ops += n; }
   void ChargeStat(uint64_t n) { cpu_.stat_ops += n; }
+  void ChargeMinMax(uint64_t n) { cpu_.minmax_ops += n; }
 
   /// Adds simulated time not captured by counters (re-optimization cost).
   void ChargeExternalMs(double ms) { external_ms_ += ms; }
@@ -139,6 +148,8 @@ class ExecContext {
   CancelToken cancel_;
   double deadline_ms_ = 0;
   FaultInjector* faults_ = nullptr;
+  size_t batch_size_ = 1024;  // TupleBatch::kDefaultCapacity
+
 };
 
 }  // namespace reoptdb

@@ -4,6 +4,8 @@
 #ifndef REOPTDB_EXEC_FILTER_OP_H_
 #define REOPTDB_EXEC_FILTER_OP_H_
 
+#include <utility>
+
 #include "exec/expression.h"
 #include "exec/operator.h"
 
@@ -30,10 +32,39 @@ class FilterOp : public Operator {
     }
   }
 
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    if (in_batch_ == nullptr)
+      in_batch_ = std::make_unique<TupleBatch>(out->capacity());
+    uint64_t seen = 0;
+    while (!out->full()) {
+      if (in_pos_ >= in_batch_->size()) {
+        if (in_done_) break;
+        ASSIGN_OR_RETURN(bool more, child(0)->NextBatch(in_batch_.get()));
+        in_pos_ = 0;
+        if (!more) {
+          in_done_ = true;
+          break;
+        }
+      }
+      Tuple& t = (*in_batch_)[in_pos_++];
+      ++seen;
+      // Swap, not move: the output slot's old tuple (and its value-vector
+      // storage) lands back in the input batch, where the child's next
+      // refill reuses it — keeping the steady state allocation-free, like
+      // the row path's slot reuse.
+      if (EvalAll(preds_, t)) std::swap(*out->AddSlot(), t);
+    }
+    if (seen > 0) ctx_->ChargeTuples(seen);
+    return !out->empty();
+  }
+
   Status CloseImpl() override { return CloseChildren(); }
 
  private:
   std::vector<CompiledPred> preds_;
+  std::unique_ptr<TupleBatch> in_batch_;  // batched pulls only
+  size_t in_pos_ = 0;
+  bool in_done_ = false;
 };
 
 }  // namespace reoptdb

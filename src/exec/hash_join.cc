@@ -275,6 +275,60 @@ Result<bool> HashJoinOp::NextImpl(Tuple* out) {
   }
 }
 
+Result<bool> HashJoinOp::NextBatchImpl(TupleBatch* out) {
+  RETURN_IF_ERROR(EnsureBlockingPhase());
+
+  if (!in_memory_) {
+    // Grace mode already streams partitions from temp files; batch the
+    // output by looping the row path (identical per-row charges).
+    while (!out->full()) {
+      Tuple* slot = out->AddSlot();
+      ASSIGN_OR_RETURN(bool more, NextImpl(slot));
+      if (!more) {
+        out->PopSlot();
+        break;
+      }
+    }
+    return !out->empty();
+  }
+
+  if (probe_batch_ == nullptr)
+    probe_batch_ = std::make_unique<TupleBatch>(out->capacity());
+  uint64_t probed = 0, emitted = 0;
+  while (!out->full()) {
+    if (cur_probe_ != nullptr && match_pos_ < matches_.size()) {
+      *out->AddSlot() = Tuple::Concat(build_rows_[matches_[match_pos_++]],
+                                      *cur_probe_);
+      ++emitted;
+      continue;
+    }
+    if (probe_pos_ >= probe_batch_->size()) {
+      if (probe_done_) break;
+      ASSIGN_OR_RETURN(bool more, child(1)->NextBatch(probe_batch_.get()));
+      probe_pos_ = 0;
+      if (!more) {
+        probe_done_ = true;
+        cur_probe_ = nullptr;
+        break;
+      }
+    }
+    cur_probe_ = &(*probe_batch_)[probe_pos_++];
+    ++probed;
+    matches_.clear();
+    match_pos_ = 0;
+    auto [lo, hi] = table_.equal_range(ProbeHash(*cur_probe_, current_depth_));
+    for (auto it = lo; it != hi; ++it) {
+      if (build_rows_[it->second].EqualsOn(*cur_probe_, build_keys_,
+                                           probe_keys_)) {
+        matches_.push_back(it->second);
+      }
+    }
+  }
+  if (probed > 0) ctx_->ChargeHash(probed);
+  if (emitted > 0) ctx_->ChargeTuples(emitted);
+  return !out->empty();
+}
+
 Status HashJoinOp::CloseImpl() {
   build_rows_.clear();
   table_.clear();

@@ -29,6 +29,7 @@ class HashJoinOp : public Operator {
   Status OpenImpl() override;
   Status BlockingPhaseImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   Status CloseImpl() override;
 
   /// Number of partitioning passes performed (0 = pure in-memory).
@@ -76,11 +77,19 @@ class HashJoinOp : public Operator {
   std::unique_ptr<HeapFile> current_build_file_, current_probe_file_;
   int current_depth_ = 0;
 
-  // Probe state.
+  // Probe state (row mode).
   Tuple probe_row_;
   std::vector<size_t> matches_;
   size_t match_pos_ = 0;
   bool have_probe_row_ = false;
+
+  // Probe state (batch mode, in-memory joins only). cur_probe_ points into
+  // probe_batch_, whose slot storage is stable until the next refill — and a
+  // refill only happens once the current row's matches are drained.
+  std::unique_ptr<TupleBatch> probe_batch_;
+  size_t probe_pos_ = 0;
+  bool probe_done_ = false;
+  const Tuple* cur_probe_ = nullptr;
 };
 
 }  // namespace reoptdb

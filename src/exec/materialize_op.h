@@ -29,12 +29,23 @@ class MaterializeOp : public Operator {
     if (built_) return Status::OK();
     built_ = true;
     temp_ = ctx_->MakeTempHeap();
-    Tuple row;
-    while (true) {
-      ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
-      if (!more) break;
-      RETURN_IF_ERROR(temp_->Append(row).status());
-      ctx_->ChargeTuples(1);
+    if (ctx_->batched()) {
+      TupleBatch batch(ctx_->batch_size());
+      while (true) {
+        ASSIGN_OR_RETURN(bool more, child(0)->NextBatch(&batch));
+        if (!more) break;
+        for (const Tuple& row : batch)
+          RETURN_IF_ERROR(temp_->Append(row).status());
+        ctx_->ChargeTuples(batch.size());
+      }
+    } else {
+      Tuple row;
+      while (true) {
+        ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
+        if (!more) break;
+        RETURN_IF_ERROR(temp_->Append(row).status());
+        ctx_->ChargeTuples(1);
+      }
     }
     RETURN_IF_ERROR(temp_->Flush());
     it_.emplace(temp_->Scan());
@@ -44,6 +55,19 @@ class MaterializeOp : public Operator {
   Result<bool> NextImpl(Tuple* out) override {
     RETURN_IF_ERROR(EnsureBlockingPhase());
     return it_->Next(out);
+  }
+
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    RETURN_IF_ERROR(EnsureBlockingPhase());
+    while (!out->full()) {
+      Tuple* slot = out->AddSlot();
+      ASSIGN_OR_RETURN(bool more, it_->Next(slot));
+      if (!more) {
+        out->PopSlot();
+        break;
+      }
+    }
+    return !out->empty();
   }
 
   Status CloseImpl() override {

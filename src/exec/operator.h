@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "exec/tuple_batch.h"
 #include "plan/physical_plan.h"
 #include "types/tuple.h"
 
@@ -16,16 +17,28 @@ namespace reoptdb {
 /// \brief Base class of all physical operators.
 ///
 /// Lifecycle: Open() (recursively opens children, performs no blocking
-/// work) -> Next() repeatedly -> Close(). Blocking operators additionally
-/// expose EnsureBlockingPhase(), which the scheduler calls at stage
-/// boundaries; Next() calls it implicitly, so operators also work when
-/// pulled directly.
+/// work) -> Next() / NextBatch() repeatedly -> Close(). Blocking operators
+/// additionally expose EnsureBlockingPhase(), which the scheduler calls at
+/// stage boundaries; Next() calls it implicitly, so operators also work
+/// when pulled directly.
+///
+/// Tuples move either row-at-a-time (Next) or block-at-a-time (NextBatch).
+/// The puller picks the interface and must stick with it for the
+/// operator's lifetime: operators with native batch implementations buffer
+/// input internally, so interleaving the two interfaces on one operator
+/// would skip buffered rows. Both interfaces produce bit-identical row
+/// streams and charge identical work totals to the ExecContext, so the
+/// simulated clock — and every re-optimization decision derived from it —
+/// is independent of the batch size.
 ///
 /// The public entry points are non-virtual wrappers that record an
 /// OperatorSpan (open/next/close sim-time, rows produced, page I/Os) into
 /// the query's QueryTrace; subclasses implement OpenImpl/NextImpl/
-/// CloseImpl/BlockingPhaseImpl. Span times are inclusive of children — a
-/// parent's Next() covers the child Next() calls it makes.
+/// CloseImpl/BlockingPhaseImpl, and optionally NextBatchImpl (the default
+/// adapter loops NextImpl). Span times are inclusive of children — a
+/// parent's Next() covers the child Next() calls it makes. Cancellation
+/// and span bookkeeping run once per call on either interface, which is
+/// what makes batched pulls cheap: one check per batch, not per row.
 class Operator {
  public:
   Operator(ExecContext* ctx, PlanNode* node) : ctx_(ctx), node_(node) {}
@@ -54,6 +67,31 @@ class Operator {
     Result<bool> r = NextImpl(out);
     ++span_->next_calls;
     if (r.ok() && r.value()) ++span_->rows;
+    if (timing) {
+      span_->next_ms += ctx_->SimElapsedMs() - t0;
+      span_->page_ios += ctx_->PageIos() - io0;
+    }
+    return r;
+  }
+
+  /// Fills `out` with up to out->capacity() tuples. Returns true iff any
+  /// rows were produced; false means the stream is exhausted (and `out` is
+  /// empty). A partial batch does not imply end-of-stream — callers loop
+  /// until false. Cancellation/deadline is checked once per batch.
+  Result<bool> NextBatch(TupleBatch* out) {
+    RETURN_IF_ERROR(ctx_->CheckCancelled());
+    out->Clear();
+    if (span_ == nullptr) return NextBatchImpl(out);
+    const bool timing = ctx_->trace()->operator_timing;
+    double t0 = 0;
+    uint64_t io0 = 0;
+    if (timing) {
+      t0 = ctx_->SimElapsedMs();
+      io0 = ctx_->PageIos();
+    }
+    Result<bool> r = NextBatchImpl(out);
+    ++span_->next_calls;
+    if (r.ok()) span_->rows += out->size();
     if (timing) {
       span_->next_ms += ctx_->SimElapsedMs() - t0;
       span_->page_ios += ctx_->PageIos() - io0;
@@ -106,6 +144,23 @@ class Operator {
   virtual Result<bool> NextImpl(Tuple* out) = 0;
   virtual Status CloseImpl() = 0;
   virtual Status BlockingPhaseImpl() { return Status::OK(); }
+
+  /// Default batch adapter: loops NextImpl into reused slots, so every
+  /// operator works under batched pulls unmodified. NextImpl must be
+  /// idempotent at end-of-stream (all operators are: their cursors stay at
+  /// the end). Hot-path operators override this with native column-major /
+  /// buffered implementations.
+  virtual Result<bool> NextBatchImpl(TupleBatch* out) {
+    while (!out->full()) {
+      Tuple* slot = out->AddSlot();
+      ASSIGN_OR_RETURN(bool more, NextImpl(slot));
+      if (!more) {
+        out->PopSlot();
+        break;
+      }
+    }
+    return !out->empty();
+  }
 
   Status OpenChildren() {
     for (auto& c : children_) RETURN_IF_ERROR(c->Open());

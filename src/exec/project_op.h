@@ -34,10 +34,25 @@ class ProjectOp : public Operator {
     return true;
   }
 
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    if (in_batch_ == nullptr)
+      in_batch_ = std::make_unique<TupleBatch>(out->capacity());
+    ASSIGN_OR_RETURN(bool more, child(0)->NextBatch(in_batch_.get()));
+    if (!more) return false;
+    for (Tuple& in : *in_batch_) {
+      std::vector<Value> values;
+      values.reserve(indexes_.size());
+      for (size_t i : indexes_) values.push_back(in.at(i));
+      out->PushBack(Tuple(std::move(values)));
+    }
+    return true;
+  }
+
   Status CloseImpl() override { return CloseChildren(); }
 
  private:
   std::vector<size_t> indexes_;
+  std::unique_ptr<TupleBatch> in_batch_;  // batched pulls only
 };
 
 /// \brief LIMIT n.

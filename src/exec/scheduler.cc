@@ -21,7 +21,7 @@ void PipelineExecutor::CollectStages(PlanNode* node) {
 }
 
 void PipelineExecutor::IndexOps(Operator* op) {
-  op_index_.emplace_back(op->node(), op);
+  op_index_.emplace(op->node(), op);
   if (op->node()->kind == OpKind::kStatsCollector) {
     collectors_.emplace_back(op->node(),
                              static_cast<StatsCollectorOp*>(op));
@@ -30,10 +30,8 @@ void PipelineExecutor::IndexOps(Operator* op) {
 }
 
 Operator* PipelineExecutor::FindOp(const PlanNode* node) const {
-  for (const auto& [n, op] : op_index_) {
-    if (n == node) return op;
-  }
-  return nullptr;
+  auto it = op_index_.find(node);
+  return it == op_index_.end() ? nullptr : it->second;
 }
 
 Status PipelineExecutor::Open() {
@@ -71,12 +69,24 @@ Result<PipelineExecutor::StageResult> PipelineExecutor::RunNextStage(
     return result;
   }
 
-  // Delivery stage: drain the root.
-  Tuple row;
-  while (true) {
-    ASSIGN_OR_RETURN(bool more, root_op_->Next(&row));
-    if (!more) break;
-    if (sink) sink->push_back(std::move(row));
+  // Delivery stage: drain the root. Cancellation/deadline is checked once
+  // per pull — per batch when batched, per row otherwise.
+  if (ctx_->batched()) {
+    TupleBatch batch(ctx_->batch_size());
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, root_op_->NextBatch(&batch));
+      if (!more) break;
+      if (sink) {
+        for (Tuple& row : batch) sink->push_back(std::move(row));
+      }
+    }
+  } else {
+    Tuple row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, root_op_->Next(&row));
+      if (!more) break;
+      if (sink) sink->push_back(std::move(row));
+    }
   }
   delivery_done_ = true;
   result.finished = true;
@@ -96,13 +106,29 @@ Result<uint64_t> PipelineExecutor::MaterializeInto(PlanNode* node,
   RETURN_IF_ERROR(Open());
   Operator* op = FindOp(node);
   if (op == nullptr) return Status::Internal("materialize: operator not found");
-  Tuple row;
   uint64_t rows = 0;
-  while (true) {
-    ASSIGN_OR_RETURN(bool more, op->Next(&row));
-    if (!more) break;
-    RETURN_IF_ERROR(temp->Append(row).status());
-    ++rows;
+  // A plan switch can redirect an arbitrarily large intermediate result;
+  // check cancellation/deadline explicitly on every pull so a query killed
+  // mid-switch stops promptly instead of writing the whole temp table.
+  if (ctx_->batched()) {
+    TupleBatch batch(ctx_->batch_size());
+    while (true) {
+      RETURN_IF_ERROR(ctx_->CheckCancelled());
+      ASSIGN_OR_RETURN(bool more, op->NextBatch(&batch));
+      if (!more) break;
+      for (const Tuple& row : batch)
+        RETURN_IF_ERROR(temp->Append(row).status());
+      rows += batch.size();
+    }
+  } else {
+    Tuple row;
+    while (true) {
+      RETURN_IF_ERROR(ctx_->CheckCancelled());
+      ASSIGN_OR_RETURN(bool more, op->Next(&row));
+      if (!more) break;
+      RETURN_IF_ERROR(temp->Append(row).status());
+      ++rows;
+    }
   }
   RETURN_IF_ERROR(temp->Flush());
   return rows;

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/operator.h"
@@ -82,7 +83,10 @@ class PipelineExecutor {
 
   std::vector<std::pair<PlanNode*, StatsCollectorOp*>> collectors_;
   std::set<int> reported_collectors_;
-  std::vector<std::pair<const PlanNode*, Operator*>> op_index_;
+  /// Node → operator lookup. FindOp runs once per stage and once per
+  /// re-optimization probe; a hash map keeps it O(1) on bushy plans where
+  /// the linear scan it replaced was quadratic across a stage sequence.
+  std::unordered_map<const PlanNode*, Operator*> op_index_;
 };
 
 }  // namespace reoptdb

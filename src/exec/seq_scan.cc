@@ -19,6 +19,24 @@ Result<bool> SeqScanOp::NextImpl(Tuple* out) {
   }
 }
 
+Result<bool> SeqScanOp::NextBatchImpl(TupleBatch* out) {
+  // Deserializes straight into (reused) batch slots; work is charged once
+  // per batch with the same per-row totals as NextImpl.
+  uint64_t scanned = 0;
+  while (!out->full()) {
+    Tuple* slot = out->AddSlot();
+    ASSIGN_OR_RETURN(bool more, it_->Next(slot));
+    if (!more) {
+      out->PopSlot();
+      break;
+    }
+    ++scanned;
+    if (!EvalAll(preds_, *slot)) out->PopSlot();
+  }
+  if (scanned > 0) ctx_->ChargeTuples(scanned);
+  return !out->empty();
+}
+
 Status SeqScanOp::CloseImpl() {
   it_.reset();
   return Status::OK();

@@ -18,6 +18,7 @@ class SeqScanOp : public Operator {
 
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   Status CloseImpl() override;
 
  private:

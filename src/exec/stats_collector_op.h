@@ -26,6 +26,7 @@ class StatsCollectorOp : public Operator {
 
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   Status CloseImpl() override;
 
   /// True once the input is exhausted and observations are published.
@@ -33,6 +34,10 @@ class StatsCollectorOp : public Operator {
 
  private:
   void Observe(const Tuple& t);
+  /// Column-major observation of a whole batch: one ChargeStat for the
+  /// batch, with the same total (min/max + histogram + sketch work) the
+  /// row path charges tuple by tuple.
+  void ObserveBatch(const TupleBatch& batch);
   void Finalize();
 
   struct HistCollector {
@@ -51,7 +56,9 @@ class StatsCollectorOp : public Operator {
   };
 
   uint64_t count_ = 0;
-  double bytes_ = 0;
+  /// Serialized bytes seen. Integer accumulation: a double loses precision
+  /// past 2^53 and drifts avg_tuple_bytes on large drains.
+  uint64_t bytes_ = 0;
   std::vector<MinMax> minmax_;  // per numeric column (always collected)
   std::vector<HistCollector> hists_;
   std::vector<UniqueCollector> uniques_;

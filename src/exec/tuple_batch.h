@@ -1,0 +1,63 @@
+// Fixed-capacity row container for block-at-a-time (vectorized) execution.
+
+#ifndef REOPTDB_EXEC_TUPLE_BATCH_H_
+#define REOPTDB_EXEC_TUPLE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace reoptdb {
+
+/// \brief A batch of up to `capacity` tuples, passed between operators by
+/// NextBatch().
+///
+/// The slot array is allocated once and reused across refills: Clear()
+/// resets the logical size but keeps the Tuple objects (and whatever value
+/// storage they have accumulated) alive, so steady-state refills avoid
+/// per-row allocation. Slot addresses are stable for the lifetime of the
+/// batch — operators may hold a pointer to a slot across calls as long as
+/// the batch is not refilled underneath it.
+class TupleBatch {
+ public:
+  /// Default row capacity (ReoptOptions::batch_size follows this).
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit TupleBatch(size_t capacity = kDefaultCapacity)
+      : rows_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return rows_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == rows_.size(); }
+
+  /// Logically empties the batch; slot storage is retained for reuse.
+  void Clear() { size_ = 0; }
+
+  /// Claims the next slot for in-place filling (e.g. deserialization).
+  /// The slot may hold a stale tuple from a previous refill.
+  Tuple* AddSlot() { return &rows_[size_++]; }
+
+  /// Releases the most recently claimed slot (used when a producer claims
+  /// a slot and then discovers end-of-stream or a filtered-out row).
+  void PopSlot() { --size_; }
+
+  void PushBack(Tuple t) { rows_[size_++] = std::move(t); }
+
+  Tuple& operator[](size_t i) { return rows_[i]; }
+  const Tuple& operator[](size_t i) const { return rows_[i]; }
+
+  Tuple* begin() { return rows_.data(); }
+  Tuple* end() { return rows_.data() + size_; }
+  const Tuple* begin() const { return rows_.data(); }
+  const Tuple* end() const { return rows_.data() + size_; }
+
+ private:
+  std::vector<Tuple> rows_;  // fixed length == capacity
+  size_t size_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_TUPLE_BATCH_H_

@@ -12,7 +12,8 @@ double CostModel::TimeMs(uint64_t page_ios, const CpuWork& cpu) const {
          params_.t_cpu_tuple_ms * static_cast<double>(cpu.tuples) +
          params_.t_hash_ms * static_cast<double>(cpu.hash_ops) +
          params_.t_cmp_ms * static_cast<double>(cpu.cmp_ops) +
-         params_.t_stat_ms * static_cast<double>(cpu.stat_ops);
+         params_.t_stat_ms * static_cast<double>(cpu.stat_ops) +
+         params_.t_minmax_ms * static_cast<double>(cpu.minmax_ops);
 }
 
 double CostModel::SeqScan(double pages, double rows) const {
@@ -116,10 +117,15 @@ double CostModel::Materialize(double pages) const {
   return 2.0 * pages * params_.t_io_ms;
 }
 
-double CostModel::Collector(double rows, int num_stats) const {
-  // Cardinality/size/min-max are treated as free (paper Section 2.5);
-  // histograms and unique-count sketches cost per tuple each.
-  return params_.t_stat_ms * rows * num_stats;
+double CostModel::Collector(double rows, int num_stats,
+                            int minmax_cols) const {
+  // Cardinality/size counters are treated as free (paper Section 2.5);
+  // histograms and unique-count sketches cost t_stat per tuple each.
+  // Per-column min/max maintenance — formerly treated as free, letting
+  // real collector work go unaccounted on wide schemas — is charged at
+  // its own (much cheaper) rate.
+  return rows * (params_.t_stat_ms * num_stats +
+                 params_.t_minmax_ms * minmax_cols);
 }
 
 double CostModel::HashJoinMaxMem(double build_pages) const {

@@ -22,6 +22,10 @@ struct CostParams {
   double t_hash_ms = 0.001;        ///< per hash-table insert or probe
   double t_cmp_ms = 0.0005;        ///< per comparison (sorts)
   double t_stat_ms = 0.0002;       ///< per tuple per collected statistic
+  /// Per tuple per numeric column of min/max maintenance. Much cheaper
+  /// than a histogram/sketch update (two comparisons on an already
+  /// deserialized value), but not free: wide schemas make it add up.
+  double t_minmax_ms = 0.00002;
   double hash_fudge = 1.2;         ///< F: hash-table space overhead factor
   double t_opt_per_plan_ms = 0.02; ///< simulated optimizer cost per plan
                                    ///< enumerated (calibrated; Section 2.4)
@@ -33,10 +37,12 @@ struct CpuWork {
   uint64_t hash_ops = 0;
   uint64_t cmp_ops = 0;
   uint64_t stat_ops = 0;
+  uint64_t minmax_ops = 0;  ///< per-column min/max maintenance steps
 
   CpuWork operator-(const CpuWork& o) const {
     return CpuWork{tuples - o.tuples, hash_ops - o.hash_ops,
-                   cmp_ops - o.cmp_ops, stat_ops - o.stat_ops};
+                   cmp_ops - o.cmp_ops, stat_ops - o.stat_ops,
+                   minmax_ops - o.minmax_ops};
   }
 };
 
@@ -84,7 +90,10 @@ class CostModel {
   double Materialize(double pages) const;
 
   /// Statistics collector: per-tuple cost per statistic collected.
-  double Collector(double rows, int num_stats) const;
+  /// `minmax_cols` is the number of numeric columns whose min/max the
+  /// collector maintains — real work the run-time charges, so the estimate
+  /// must account for it too (0 keeps legacy call sites unchanged).
+  double Collector(double rows, int num_stats, int minmax_cols = 0) const;
 
   // --- Memory demands (pages), following the paper's Fig. 3 narrative:
   //     hash join max = F x build size + overhead, min = sqrt of that.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "common/logging.h"
@@ -25,6 +26,19 @@ const char* ReoptModeName(ReoptMode mode) {
       return "full";
   }
   return "?";
+}
+
+size_t DefaultExecBatchSize() {
+  static const size_t cached = [] {
+    if (const char* env = std::getenv("REOPTDB_BATCH_SIZE")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1)
+        return static_cast<size_t>(v);
+    }
+    return TupleBatch::kDefaultCapacity;
+  }();
+  return cached;
 }
 
 namespace {
@@ -147,7 +161,8 @@ double SelfCost(const PlanNode& n, const CostModel& cost, bool improved) {
     case OpKind::kStatsCollector: {
       int nstats = static_cast<int>(n.collector.histogram_cols.size() +
                                     n.collector.unique_cols.size());
-      return cost.Collector(in(0).cardinality, nstats);
+      return cost.Collector(in(0).cardinality, nstats,
+                            CollectorMinMaxCols(n.output_schema));
     }
     default:
       return n.est.cost_self_ms;
@@ -332,6 +347,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
 
   FaultInjector* faults = ctx->faults();
   if (opts_.deadline_ms > 0) ctx->SetDeadlineMs(opts_.deadline_ms);
+  ctx->SetBatchSize(opts_.batch_size);
 
   // The query's *live* mode: graceful degradation demotes it to kOff after
   // repeated recovered failures without touching opts_ (the next query

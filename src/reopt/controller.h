@@ -46,6 +46,11 @@ enum class ReoptMode : uint8_t {
 
 const char* ReoptModeName(ReoptMode mode);
 
+/// Default execution batch size: TupleBatch::kDefaultCapacity (1024),
+/// overridable via the REOPTDB_BATCH_SIZE environment variable (values < 1
+/// are ignored). Read once and cached.
+size_t DefaultExecBatchSize();
+
 /// Dynamic Re-Optimization knobs (defaults = the paper's experiments).
 struct ReoptOptions {
   ReoptMode mode = ReoptMode::kFull;
@@ -76,6 +81,11 @@ struct ReoptOptions {
   /// the first accepted plan switch. Prefer
   /// FaultInjector::Arm(faults::kReoptPostSwitch, ...).
   bool fault_inject_after_switch = false;
+  /// Rows moved per operator pull (vectorized execution). 1 selects the
+  /// legacy row-at-a-time path. Results, ObservedStats, and re-optimization
+  /// decisions are identical at every setting; only wall-clock overhead
+  /// per tuple changes.
+  size_t batch_size = DefaultExecBatchSize();
 };
 
 /// Comparison of one observed intermediate edge against the estimate.

@@ -15,6 +15,13 @@ void RecomputeCostTotals(PlanNode* root) {
   });
 }
 
+int CollectorMinMaxCols(const Schema& schema) {
+  int n = 0;
+  for (size_t i = 0; i < schema.NumColumns(); ++i)
+    if (schema.column(i).type != ValueType::kString) ++n;
+  return n;
+}
+
 namespace {
 
 bool IsCandidateEdge(const PlanNode& n) {
@@ -109,7 +116,9 @@ void InsertCollectors(
   }
   coll->collector.num_buckets = opts.histogram_buckets;
   coll->collector.reservoir_capacity = opts.reservoir_capacity;
-  coll->est.cost_self_ms = cost.Collector(node->est.cardinality, nstats);
+  coll->est.cost_self_ms =
+      cost.Collector(node->est.cardinality, nstats,
+                     CollectorMinMaxCols(node->output_schema));
   coll->improved = coll->est;
   coll->children.push_back(std::move(*slot));
   *slot = std::move(coll);
@@ -130,6 +139,19 @@ Result<SciaResult> InsertStatsCollectors(std::unique_ptr<PlanNode>* root,
   std::vector<PlanNode*> ancestors;
   EnumerateCandidates(root->get(), &ancestors, analyzer, cost, root_total,
                       &result.candidates);
+
+  // Every candidate edge gets a collector that maintains per-column min/max
+  // regardless of which histogram/unique candidates survive. That baseline
+  // is real charged work; it is costed into each collector node (so
+  // remaining-time estimates are honest) and reported here, but the mu
+  // budget governs only the deletable histogram/unique candidates, matching
+  // the paper's framing of min/max as always-on.
+  (*root)->PostOrder([&](PlanNode* n) {
+    if (IsCandidateEdge(*n))
+      result.minmax_baseline_ms +=
+          cost.Collector(n->est.cardinality, 0,
+                         CollectorMinMaxCols(n->output_schema));
+  });
 
   // Effectiveness order: higher inaccuracy potential first, then larger
   // affected fraction. Delete from the least effective end until the total

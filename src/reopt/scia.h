@@ -48,7 +48,13 @@ struct StatCandidate {
 /// Result of the insertion pass.
 struct SciaResult {
   int collectors_inserted = 0;
+  /// Estimated cost of the kept histogram/unique statistics — the portion
+  /// the mu budget governs.
   double estimated_overhead_ms = 0;
+  /// Estimated cost of the always-on per-column min/max maintenance across
+  /// all collector edges. Not deletable, so outside the mu budget, but
+  /// costed into the collector nodes and charged at run time.
+  double minmax_baseline_ms = 0;
   std::vector<StatCandidate> candidates;
 };
 
@@ -63,6 +69,11 @@ Result<SciaResult> InsertStatsCollectors(std::unique_ptr<PlanNode>* root,
 /// Recomputes est.cost_total_ms bottom-up from est.cost_self_ms (used after
 /// structural plan edits).
 void RecomputeCostTotals(PlanNode* root);
+
+/// Number of columns whose min/max a collector on an edge with this schema
+/// maintains (the non-string columns). Used to cost the always-on min/max
+/// baseline that every inserted collector pays.
+int CollectorMinMaxCols(const Schema& schema);
 
 }  // namespace reoptdb
 

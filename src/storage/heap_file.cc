@@ -178,7 +178,7 @@ Result<bool> HeapFile::Iterator::Next(Tuple* out) {
     RETURN_IF_ERROR(slotted::Read(buf_, slot_, &data, &len));
     ++slot_;
     size_t offset = 0;
-    ASSIGN_OR_RETURN(*out, Tuple::Deserialize(data, len, &offset));
+    RETURN_IF_ERROR(Tuple::DeserializeInto(data, len, &offset, out));
     return true;
   }
 }

@@ -32,6 +32,22 @@ Result<Tuple> Tuple::Deserialize(const char* data, size_t size, size_t* offset) 
   return Tuple(std::move(values));
 }
 
+Status Tuple::DeserializeInto(const char* data, size_t size, size_t* offset,
+                              Tuple* out) {
+  if (*offset + sizeof(uint16_t) > size)
+    return Status::Internal("tuple: truncated field count");
+  uint16_t n;
+  std::memcpy(&n, data + *offset, sizeof(n));
+  *offset += sizeof(n);
+  out->values_.clear();
+  out->values_.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(Value v, Value::Deserialize(data, size, offset));
+    out->values_.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
   std::vector<Value> values = left.values_;
   values.insert(values.end(), right.values_.begin(), right.values_.end());

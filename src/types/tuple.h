@@ -38,6 +38,12 @@ class Tuple {
   /// Parses one tuple from `data + *offset`, advancing `*offset`.
   static Result<Tuple> Deserialize(const char* data, size_t size, size_t* offset);
 
+  /// Same, but parses into `*out`, reusing its value storage. Scan loops
+  /// that recycle the same tuple (or batch slot) avoid a per-row
+  /// allocation this way.
+  static Status DeserializeInto(const char* data, size_t size, size_t* offset,
+                                Tuple* out);
+
   /// Concatenates two tuples (join output).
   static Tuple Concat(const Tuple& left, const Tuple& right);
 

@@ -1,0 +1,309 @@
+// Batched-vs-row execution equivalence.
+//
+// The batched (vectorized) engine must be a pure mechanical transformation
+// of the row engine: identical result rows, identical charged work (and
+// therefore identical simulated time), identical ObservedStats published by
+// collectors, and identical re-optimization decision records — at every
+// batch size, on every tier-1 TPC-D query. A batch size that changed any
+// of these would silently change which plans the controller switches to.
+
+#include <cmath>
+
+#include "exec/scheduler.h"
+#include "gtest/gtest.h"
+#include "memory/memory_manager.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/scia.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+class BatchEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 512;
+    opts.query_mem_pages = 64;
+    db_ = new Database(opts);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = 0.002;
+    Status st = tpcd::Load(db_, gen);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* BatchEquivalenceTest::db_ = nullptr;
+
+void ExpectSameDecisions(const QueryTrace& a, const QueryTrace& b,
+                         const char* label) {
+  ASSERT_EQ(a.eq2_checks.size(), b.eq2_checks.size()) << label;
+  for (size_t i = 0; i < a.eq2_checks.size(); ++i) {
+    EXPECT_EQ(a.eq2_checks[i].stage_node_id, b.eq2_checks[i].stage_node_id)
+        << label;
+    EXPECT_DOUBLE_EQ(a.eq2_checks[i].improved, b.eq2_checks[i].improved)
+        << label;
+    EXPECT_DOUBLE_EQ(a.eq2_checks[i].est, b.eq2_checks[i].est) << label;
+    EXPECT_EQ(a.eq2_checks[i].fired, b.eq2_checks[i].fired) << label;
+  }
+  ASSERT_EQ(a.eq1_checks.size(), b.eq1_checks.size()) << label;
+  for (size_t i = 0; i < a.eq1_checks.size(); ++i) {
+    EXPECT_EQ(a.eq1_checks[i].stage_node_id, b.eq1_checks[i].stage_node_id)
+        << label;
+    EXPECT_DOUBLE_EQ(a.eq1_checks[i].rem_cur, b.eq1_checks[i].rem_cur)
+        << label;
+    EXPECT_EQ(a.eq1_checks[i].fired, b.eq1_checks[i].fired) << label;
+  }
+  ASSERT_EQ(a.switches.size(), b.switches.size()) << label;
+  for (size_t i = 0; i < a.switches.size(); ++i) {
+    EXPECT_EQ(a.switches[i].stage_node_id, b.switches[i].stage_node_id)
+        << label;
+    EXPECT_EQ(a.switches[i].accepted, b.switches[i].accepted) << label;
+    EXPECT_EQ(a.switches[i].mat_rows, b.switches[i].mat_rows) << label;
+    EXPECT_DOUBLE_EQ(a.switches[i].rem_cur, b.switches[i].rem_cur) << label;
+    EXPECT_DOUBLE_EQ(a.switches[i].rem_new, b.switches[i].rem_new) << label;
+  }
+  ASSERT_EQ(a.memory_reallocations.size(), b.memory_reallocations.size())
+      << label;
+  for (size_t i = 0; i < a.memory_reallocations.size(); ++i) {
+    EXPECT_EQ(a.memory_reallocations[i].trigger_node_id,
+              b.memory_reallocations[i].trigger_node_id)
+        << label;
+    EXPECT_EQ(a.memory_reallocations[i].kept, b.memory_reallocations[i].kept)
+        << label;
+  }
+}
+
+class BatchEquivalenceQueryTest
+    : public BatchEquivalenceTest,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(BatchEquivalenceQueryTest, BitIdenticalAcrossBatchSizes) {
+  tpcd::TpcdQuery q = tpcd::AllQueries()[GetParam()];
+
+  ReoptOptions row;
+  row.mode = ReoptMode::kFull;
+  row.batch_size = 1;
+  Result<QueryResult> ref = db_->ExecuteWith(q.sql, row);
+  ASSERT_TRUE(ref.ok()) << q.name << ": " << ref.status().ToString();
+  std::vector<std::string> ref_rows = Canon(ref.value().rows);
+
+  for (size_t batch : {size_t{7}, size_t{1024}}) {
+    ReoptOptions opts;
+    opts.mode = ReoptMode::kFull;
+    opts.batch_size = batch;
+    Result<QueryResult> got = db_->ExecuteWith(q.sql, opts);
+    ASSERT_TRUE(got.ok()) << q.name << ": " << got.status().ToString();
+    std::string label = std::string(q.name) + " batch=" +
+                        std::to_string(batch);
+
+    EXPECT_EQ(ref_rows, Canon(got.value().rows)) << label;
+
+    const ExecutionReport& a = ref.value().report;
+    const ExecutionReport& b = got.value().report;
+    EXPECT_DOUBLE_EQ(a.sim_time_ms, b.sim_time_ms) << label;
+    EXPECT_EQ(a.page_ios, b.page_ios) << label;
+    EXPECT_EQ(a.output_rows, b.output_rows) << label;
+    EXPECT_EQ(a.plans_switched, b.plans_switched) << label;
+    EXPECT_EQ(a.memory_reallocations, b.memory_reallocations) << label;
+    EXPECT_EQ(a.reopts_considered, b.reopts_considered) << label;
+
+    // Observed intermediate edges feed the improved estimates; they must
+    // match exactly or reopt decisions could diverge on other data.
+    ASSERT_EQ(a.edges.size(), b.edges.size()) << label;
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      EXPECT_EQ(a.edges[i].node_id, b.edges[i].node_id) << label;
+      EXPECT_DOUBLE_EQ(a.edges[i].estimated_rows, b.edges[i].estimated_rows)
+          << label;
+      EXPECT_DOUBLE_EQ(a.edges[i].observed_rows, b.edges[i].observed_rows)
+          << label;
+    }
+
+    ExpectSameDecisions(a.trace, b.trace, label.c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeven, BatchEquivalenceQueryTest,
+                         ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               tpcd::AllQueries()[info.param].name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Scheduler-level: the full ObservedStats a collector publishes (min/max,
+// histogram buckets, distinct estimates) must be identical across batch
+// sizes, not just the cardinality the edge comparisons surface.
+
+class BatchStatsTest : public ::testing::Test {
+ protected:
+  BatchStatsTest() { LoadEmpDept(&db_, 500, 10); }
+
+  std::unique_ptr<PlanNode> PlanFor(const std::string& sql) {
+    SelectStmtAst ast = ParseSelect(sql).value();
+    spec_ = Bind(ast, *db_.catalog()).value();
+    Optimizer opt(db_.catalog(), &db_.cost_model());
+    std::unique_ptr<PlanNode> plan = opt.Plan(spec_).value().plan;
+    SciaOptions opts;
+    (void)InsertStatsCollectors(&plan, spec_, *db_.catalog(),
+                                db_.cost_model(), opts);
+    MemoryManager mm(&db_.cost_model(), 128);
+    mm.Allocate(plan.get(), {});
+    return plan;
+  }
+
+  /// Runs the plan to completion at `batch_size`; returns observed stats of
+  /// every collector node in post-order, plus the delivered rows.
+  void Run(PlanNode* plan, size_t batch_size,
+           std::vector<ObservedStats>* observed, std::vector<Tuple>* rows,
+           double* sim_ms) {
+    ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+    ctx.SetBatchSize(batch_size);
+    auto exec = PipelineExecutor::Create(&ctx, plan).value();
+    while (exec->HasMoreStages()) {
+      auto stage = exec->RunNextStage(rows).value();
+      if (stage.finished) break;
+    }
+    *sim_ms = ctx.SimElapsedMs();
+    REOPTDB_ASSERT_OK(exec->Close());
+    plan->PostOrder([&](PlanNode* n) {
+      if (n->kind == OpKind::kStatsCollector) observed->push_back(n->observed);
+    });
+  }
+
+  Database db_;
+  QuerySpec spec_;
+};
+
+void ExpectSameObserved(const ObservedStats& a, const ObservedStats& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.valid, b.valid) << label;
+  EXPECT_DOUBLE_EQ(a.cardinality, b.cardinality) << label;
+  EXPECT_DOUBLE_EQ(a.avg_tuple_bytes, b.avg_tuple_bytes) << label;
+  ASSERT_EQ(a.columns.size(), b.columns.size()) << label;
+  for (const auto& [col, ca] : a.columns) {
+    auto it = b.columns.find(col);
+    ASSERT_NE(it, b.columns.end()) << label << " " << col;
+    const ColumnStats& cb = it->second;
+    EXPECT_EQ(ca.has_bounds, cb.has_bounds) << label << " " << col;
+    EXPECT_DOUBLE_EQ(ca.min, cb.min) << label << " " << col;
+    EXPECT_DOUBLE_EQ(ca.max, cb.max) << label << " " << col;
+    EXPECT_DOUBLE_EQ(ca.distinct, cb.distinct) << label << " " << col;
+    ASSERT_EQ(ca.histogram.buckets().size(), cb.histogram.buckets().size())
+        << label << " " << col;
+    for (size_t i = 0; i < ca.histogram.buckets().size(); ++i) {
+      const HistogramBucket& ba = ca.histogram.buckets()[i];
+      const HistogramBucket& bb = cb.histogram.buckets()[i];
+      EXPECT_DOUBLE_EQ(ba.lo, bb.lo) << label << " " << col;
+      EXPECT_DOUBLE_EQ(ba.hi, bb.hi) << label << " " << col;
+      EXPECT_DOUBLE_EQ(ba.count, bb.count) << label << " " << col;
+      EXPECT_DOUBLE_EQ(ba.distinct, bb.distinct) << label << " " << col;
+    }
+  }
+}
+
+TEST_F(BatchStatsTest, CollectorStatsIdenticalAcrossBatchSizes) {
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id";
+
+  std::vector<ObservedStats> obs_row;
+  std::vector<Tuple> rows_row;
+  double ms_row = 0;
+  {
+    auto plan = PlanFor(sql);
+    Run(plan.get(), 1, &obs_row, &rows_row, &ms_row);
+  }
+  ASSERT_FALSE(obs_row.empty());
+
+  for (size_t batch : {size_t{7}, size_t{1024}}) {
+    std::vector<ObservedStats> obs;
+    std::vector<Tuple> rows;
+    double ms = 0;
+    auto plan = PlanFor(sql);  // fresh plan: observed stats are per-run
+    Run(plan.get(), batch, &obs, &rows, &ms);
+    std::string label = "batch=" + std::to_string(batch);
+
+    EXPECT_EQ(Canon(rows_row), Canon(rows)) << label;
+    EXPECT_DOUBLE_EQ(ms_row, ms) << label;
+    ASSERT_EQ(obs_row.size(), obs.size()) << label;
+    for (size_t i = 0; i < obs.size(); ++i)
+      ExpectSameObserved(obs_row[i], obs[i],
+                         label + " collector#" + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaterializeInto must observe cancellation/deadline on every pull: a plan
+// switch redirecting a large intermediate result respects a deadline that
+// expires before (or during) the redirect.
+
+TEST_F(BatchStatsTest, MaterializeIntoRespectsDeadline) {
+  for (size_t batch : {size_t{1}, size_t{1024}}) {
+    auto plan = PlanFor(
+        "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+    ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+    ctx.SetBatchSize(batch);
+    auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+
+    std::vector<Tuple> rows;
+    auto stage = exec->RunNextStage(&rows).value();
+    ASSERT_NE(stage.stage_node, nullptr);
+
+    // The build stage has charged work, so the clock is already past this.
+    ctx.SetDeadlineMs(ctx.SimElapsedMs() * 0.5);
+    HeapFile temp(db_.buffer_pool());
+    Result<uint64_t> r = exec->MaterializeInto(stage.stage_node, &temp);
+    ASSERT_FALSE(r.ok()) << "batch=" << batch;
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << "batch=" << batch;
+    // Nothing was appended: the check fires before the first pull.
+    EXPECT_EQ(temp.tuple_count(), 0u) << "batch=" << batch;
+    (void)exec->Close();
+  }
+}
+
+TEST_F(BatchStatsTest, MaterializeIntoRespectsCancelToken) {
+  auto plan = PlanFor(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ExecContext ctx(db_.buffer_pool(), db_.catalog(), &db_.cost_model());
+  auto exec = PipelineExecutor::Create(&ctx, plan.get()).value();
+  std::vector<Tuple> rows;
+  auto stage = exec->RunNextStage(&rows).value();
+  ASSERT_NE(stage.stage_node, nullptr);
+
+  ctx.cancel_token()->Cancel();
+  HeapFile temp(db_.buffer_pool());
+  Result<uint64_t> r = exec->MaterializeInto(stage.stage_node, &temp);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  (void)exec->Close();
+}
+
+// The ReoptOptions::deadline_ms end-to-end path still cancels under batched
+// execution (the per-batch check is the only check on large scans).
+TEST_F(BatchEquivalenceTest, DeadlineCancelsBatchedQuery) {
+  ReoptOptions opts;
+  opts.mode = ReoptMode::kFull;
+  opts.batch_size = 1024;
+  opts.deadline_ms = 0.001;  // expires almost immediately
+  Result<QueryResult> r =
+      db_->ExecuteWith(tpcd::AllQueries()[0].sql, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace reoptdb

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   bool show_report = true;
   bool show_trace = false;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
-              "\\trace, \\tables, \\faults\n");
+              "\\trace, \\tables, \\faults, \\batch\n");
 
   std::string line, buffer;
   while (true) {
@@ -128,6 +128,18 @@ int main(int argc, char** argv) {
             std::printf("error: %s\n", st.ToString().c_str());
           else
             std::printf("%s\n", db.faults()->Describe().c_str());
+        }
+      } else if (cmd == "\\batch") {
+        if (arg.empty()) {
+          std::printf("batch_size = %zu\n", reopt.batch_size);
+        } else {
+          long v = std::atol(arg.c_str());
+          if (v < 1) {
+            std::printf("error: batch size must be >= 1 (1 = row-at-a-time)\n");
+          } else {
+            reopt.batch_size = static_cast<size_t>(v);
+            std::printf("batch_size = %zu\n", reopt.batch_size);
+          }
         }
       } else if (cmd == "\\tables") {
         for (const char* t :

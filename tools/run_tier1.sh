@@ -17,12 +17,23 @@ cmake --build "${BUILD}" -j
 echo "== tier-1: full test suite =="
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: ASan+UBSan fault/reopt tests (${ASAN_BUILD}) =="
+echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
-cmake --build "${ASAN_BUILD}" -j --target fault_test reopt_test reopt_extension_test
+cmake --build "${ASAN_BUILD}" -j \
+  --target fault_test reopt_test reopt_extension_test batch_equivalence_test
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
-"${ASAN_BUILD}/tests/fault_test"
+# The fault-injection and batch-equivalence suites run twice: once in the
+# default batched mode and once with REOPTDB_BATCH_SIZE=1 (the legacy
+# row-at-a-time path), so both execution modes get sanitizer coverage.
+for bs in default 1; do
+  if [ "${bs}" = default ]; then unset REOPTDB_BATCH_SIZE
+  else export REOPTDB_BATCH_SIZE="${bs}"; fi
+  echo "-- batch_size=${bs} --"
+  "${ASAN_BUILD}/tests/fault_test"
+  "${ASAN_BUILD}/tests/batch_equivalence_test"
+done
+unset REOPTDB_BATCH_SIZE
 "${ASAN_BUILD}/tests/reopt_test"
 "${ASAN_BUILD}/tests/reopt_extension_test"
 
