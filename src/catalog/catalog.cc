@@ -165,4 +165,21 @@ Status Catalog::Drop(const std::string& name) {
   return st;
 }
 
+Result<std::vector<PageId>> Catalog::Detach(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  // Indexes are volatile structures rebuilt on demand; only heap pages are
+  // treated as durable. Index pages are reclaimed normally.
+  std::vector<PageId> pages = it->second->heap->ReleasePages();
+  tables_.erase(it);
+  return pages;
+}
+
+std::vector<std::string> Catalog::TempTableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, info] : tables_)
+    if (info->is_temp) names.push_back(name);
+  return names;
+}
+
 }  // namespace reoptdb

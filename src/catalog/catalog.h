@@ -97,6 +97,15 @@ class Catalog {
   /// Drops a table, destroying its heap pages. Required for temp tables.
   Status Drop(const std::string& name);
 
+  /// Removes a table's catalog entry WITHOUT freeing its heap pages and
+  /// returns their ids. Models a restart: in-memory bindings vanish while
+  /// durable pages survive; recovery either rebinds the pages (AdoptPages,
+  /// guided by the query journal) or garbage-collects them.
+  Result<std::vector<PageId>> Detach(const std::string& name);
+
+  /// Names of all is_temp tables, in deterministic (map) order.
+  std::vector<std::string> TempTableNames() const;
+
   /// Fresh name for a mid-query temp table ("__temp1", "__temp2", ...).
   std::string NextTempName() {
     return "__temp" + std::to_string(++temp_counter_);

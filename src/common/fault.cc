@@ -36,6 +36,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kStorageFree,     faults::kMemoryGrant,
       faults::kReoptOptimize,   faults::kReoptMaterialize,
       faults::kReoptScia,       faults::kReoptPostSwitch,
+      faults::kJournalAppend,   faults::kRecoveryLoad,
   };
   return kPoints;
 }
@@ -85,6 +86,12 @@ Status FaultInjector::Check(const char* point) {
   }
   if (!fire) return Status::OK();
   ++a.stats.fires;
+  a.fire_log.push_back(a.stats.calls);
+  if (a.spec.action == FaultAction::kCrash) {
+    crash_pending_ = true;
+    return Status::Crashed("injected crash at " + it->first + " (call #" +
+                           std::to_string(a.stats.calls) + ")");
+  }
   return InjectedError(it->first, a.stats.calls);
 }
 
@@ -108,6 +115,10 @@ Status FaultInjector::Configure(const std::string& config) {
     std::string trig = entry.substr(eq + 1);
 
     FaultSpec spec;
+    if (trig.rfind("crash:", 0) == 0) {
+      spec.action = FaultAction::kCrash;
+      trig = trig.substr(6);
+    }
     if (trig == "every") {
       spec.trigger = FaultTrigger::kEveryCall;
     } else if (trig.rfind("nth:", 0) == 0) {
@@ -133,7 +144,8 @@ Status FaultInjector::Configure(const std::string& config) {
       }
     } else {
       return Status::InvalidArgument(
-          "unknown fault trigger (want every|nth:<k>|prob:<p>[@seed]): " +
+          "unknown fault trigger (want [crash:]every|nth:<k>|prob:<p>[@seed])"
+          ": " +
           trig);
     }
     RETURN_IF_ERROR(Arm(point, spec));
@@ -146,31 +158,37 @@ FaultPointStats FaultInjector::StatsFor(const std::string& point) const {
   return it == armed_.end() ? FaultPointStats{} : it->second.stats;
 }
 
+std::vector<uint64_t> FaultInjector::FireLog(const std::string& point) const {
+  auto it = armed_.find(point);
+  return it == armed_.end() ? std::vector<uint64_t>{} : it->second.fire_log;
+}
+
 std::string FaultInjector::Describe() const {
   if (armed_.empty()) return "no faults armed\n";
   std::string out;
   char buf[192];
   for (const auto& [point, a] : armed_) {
+    const char* act = a.spec.action == FaultAction::kCrash ? "crash:" : "";
     switch (a.spec.trigger) {
       case FaultTrigger::kNthCall:
         std::snprintf(buf, sizeof(buf),
-                      "  %-20s nth:%llu       calls=%llu fires=%llu\n",
-                      point.c_str(),
+                      "  %-20s %snth:%llu       calls=%llu fires=%llu\n",
+                      point.c_str(), act,
                       static_cast<unsigned long long>(a.spec.nth),
                       static_cast<unsigned long long>(a.stats.calls),
                       static_cast<unsigned long long>(a.stats.fires));
         break;
       case FaultTrigger::kEveryCall:
         std::snprintf(buf, sizeof(buf),
-                      "  %-20s every       calls=%llu fires=%llu\n",
-                      point.c_str(),
+                      "  %-20s %severy       calls=%llu fires=%llu\n",
+                      point.c_str(), act,
                       static_cast<unsigned long long>(a.stats.calls),
                       static_cast<unsigned long long>(a.stats.fires));
         break;
       case FaultTrigger::kProbability:
         std::snprintf(buf, sizeof(buf),
-                      "  %-20s prob:%.3f@%llu calls=%llu fires=%llu\n",
-                      point.c_str(), a.spec.probability,
+                      "  %-20s %sprob:%.3f@%llu calls=%llu fires=%llu\n",
+                      point.c_str(), act, a.spec.probability,
                       static_cast<unsigned long long>(a.spec.seed),
                       static_cast<unsigned long long>(a.stats.calls),
                       static_cast<unsigned long long>(a.stats.fires));

@@ -12,11 +12,20 @@
 // every call, or fire with a seeded probability per call (deterministic
 // across runs).
 //
-// Spec grammar (REOPTDB_FAULTS / \faults / Configure):
+// Spec grammar (REOPTDB_FAULTS / REOPTDB_CRASH_SCHEDULE / \faults /
+// Configure):
 //   spec     := entry (',' entry)*
-//   entry    := point '=' trigger
+//   entry    := point '=' ['crash:'] trigger
 //   trigger  := 'every' | 'nth:' count | 'prob:' p ['@' seed]
 // e.g. REOPTDB_FAULTS="reopt.optimize=nth:1,storage.read=prob:0.01@7"
+//      REOPTDB_CRASH_SCHEDULE="reopt.materialize=nth:1"
+//
+// The 'crash:' action prefix turns a firing point into a simulated process
+// death: instead of a recoverable layer error, Check() returns kCrashed and
+// latches a crash_pending flag that ExecContext::CheckCancelled() observes,
+// so execution unwinds cooperatively from any depth without running
+// query-level cleanup (temp tables and the query journal survive, exactly
+// as durable state survives a real crash). ClearCrash() is the "restart".
 
 #ifndef REOPTDB_COMMON_FAULT_H_
 #define REOPTDB_COMMON_FAULT_H_
@@ -42,6 +51,8 @@ inline constexpr char kReoptOptimize[] = "reopt.optimize";
 inline constexpr char kReoptMaterialize[] = "reopt.materialize";
 inline constexpr char kReoptScia[] = "reopt.scia";
 inline constexpr char kReoptPostSwitch[] = "reopt.post_switch";
+inline constexpr char kJournalAppend[] = "journal.append";
+inline constexpr char kRecoveryLoad[] = "recovery.load";
 }  // namespace faults
 
 /// When an armed point fires.
@@ -51,9 +62,16 @@ enum class FaultTrigger : uint8_t {
   kProbability,  ///< fire with probability p per Check() (seeded stream)
 };
 
+/// What a firing point injects.
+enum class FaultAction : uint8_t {
+  kError,  ///< recoverable layer error (kIoError / kResourceExhausted / ...)
+  kCrash,  ///< simulated process death: kCrashed + latched crash_pending
+};
+
 /// How an armed injection point behaves.
 struct FaultSpec {
   FaultTrigger trigger = FaultTrigger::kNthCall;
+  FaultAction action = FaultAction::kError;
   uint64_t nth = 1;         ///< call index for kNthCall (1-based)
   double probability = 0;   ///< per-call fire probability for kProbability
   uint64_t seed = 42;       ///< probability stream seed (deterministic)
@@ -101,6 +119,21 @@ class FaultInjector {
   /// Counters for one point (zeros if not armed).
   FaultPointStats StatsFor(const std::string& point) const;
 
+  /// The 1-based call indices at which `point` has fired since it was
+  /// armed (empty if not armed). Lets tests assert that two runs saw the
+  /// same fire *schedule*, not merely the same fire count.
+  std::vector<uint64_t> FireLog(const std::string& point) const;
+
+  /// True after any kCrash-action point has fired and until ClearCrash().
+  /// While set, ExecContext::CheckCancelled() fails with kCrashed so the
+  /// whole query unwinds; query-level cleanup (temp-table drops) is
+  /// suppressed to model state surviving a process death.
+  bool crash_pending() const { return crash_pending_; }
+
+  /// "Restarts the process": clears the pending-crash latch so the next
+  /// query (typically RecoveryManager's resume) can run.
+  void ClearCrash() { crash_pending_ = false; }
+
   /// Human-readable list of armed points with their policies and counters
   /// (the shell's \faults output). "no faults armed" when empty.
   std::string Describe() const;
@@ -109,10 +142,12 @@ class FaultInjector {
   struct ArmedPoint {
     FaultSpec spec;
     FaultPointStats stats;
+    std::vector<uint64_t> fire_log;
     Rng rng{42};
   };
   // std::map: deterministic Describe() order.
   std::map<std::string, ArmedPoint> armed_;
+  bool crash_pending_ = false;
 };
 
 }  // namespace reoptdb

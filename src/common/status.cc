@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "BindError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kCrashed:
+      return "Crashed";
   }
   return "Unknown";
 }

@@ -28,6 +28,10 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kCancelled,
+  /// Simulated process death (fault injection): the query terminates
+  /// immediately; durable state (journal, flushed temp pages) survives and
+  /// the RecoveryManager resumes or re-runs on "restart".
+  kCrashed,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -74,6 +78,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(StatusCode::kCrashed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,11 +3,38 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "engine/recovery.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
 #include "parser/statement.h"
 
 namespace reoptdb {
+
+namespace {
+
+/// Rewrites a REOPTDB_FAULTS-grammar schedule so every trigger carries the
+/// crash: prefix (REOPTDB_CRASH_SCHEDULE is sugar for crash-only runs:
+/// "reopt.materialize=nth:1" means crash there, not error there).
+std::string ForceCrashTriggers(const std::string& schedule) {
+  std::string out;
+  size_t pos = 0;
+  while (pos <= schedule.size()) {
+    size_t end = schedule.find(',', pos);
+    if (end == std::string::npos) end = schedule.size();
+    std::string entry = schedule.substr(pos, end - pos);
+    size_t eq = entry.find('=');
+    if (eq != std::string::npos &&
+        entry.compare(eq + 1, 6, "crash:") != 0)
+      entry.insert(eq + 1, "crash:");
+    if (!out.empty()) out += ',';
+    out += entry;
+    if (end == schedule.size()) break;
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 Database::Database(DatabaseOptions opts)
     : opts_(opts),
@@ -18,6 +45,12 @@ Database::Database(DatabaseOptions opts)
       env != nullptr && env[0] != '\0') {
     Status st = faults_.Configure(env);
     if (!st.ok()) REOPTDB_LOG(kWarn) << "REOPTDB_FAULTS: " << st.ToString();
+  }
+  if (const char* env = std::getenv("REOPTDB_CRASH_SCHEDULE");
+      env != nullptr && env[0] != '\0') {
+    Status st = faults_.Configure(ForceCrashTriggers(env));
+    if (!st.ok())
+      REOPTDB_LOG(kWarn) << "REOPTDB_CRASH_SCHEDULE: " << st.ToString();
   }
   disk_.set_fault_injector(&faults_);
 }
@@ -79,6 +112,12 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
 
 Result<QueryResult> Database::ExecuteWith(const std::string& sql,
                                           const ReoptOptions& reopt) {
+  return ExecuteWithRoot(sql, reopt, /*journal_root=*/"");
+}
+
+Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
+                                              const ReoptOptions& reopt,
+                                              const std::string& journal_root) {
   ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
   ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, catalog_));
 
@@ -89,6 +128,7 @@ Result<QueryResult> Database::ExecuteWith(const std::string& sql,
   const OptimizerCalibration& cal = calibration();
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  opts_.query_mem_pages);
+  reoptimizer.SetJournal(&journal_, journal_root);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
 
@@ -97,6 +137,12 @@ Result<QueryResult> Database::ExecuteWith(const std::string& sql,
                    reoptimizer.Execute(std::move(spec), &ctx, &result.rows,
                                        &result.schema));
   return result;
+}
+
+Result<QueryResult> Database::Recover(const std::string& sql,
+                                      const ReoptOptions& reopt) {
+  RecoveryManager rm(this);
+  return rm.Recover(sql, reopt);
 }
 
 Result<PreparedQuery> Database::Prepare(
@@ -132,6 +178,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
   const OptimizerCalibration& cal = calibration();
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  actual_mem_pages);
+  reoptimizer.SetJournal(&journal_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
 
@@ -203,6 +250,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
       const OptimizerCalibration& cal = calibration();
       DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts,
                                      opts_.reopt, opts_.query_mem_pages);
+      reoptimizer.SetJournal(&journal_);
       ExecContext ctx(&pool_, &catalog_, &cost_,
                       /*seed=*/1234 + ++query_counter_);
       ctx.SetFaultInjector(&faults_);

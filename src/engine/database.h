@@ -25,10 +25,13 @@
 #include "optimizer/optimizer.h"
 #include "optimizer/parametric.h"
 #include "reopt/controller.h"
+#include "reopt/query_journal.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
 namespace reoptdb {
+
+class RecoveryManager;
 
 /// Engine configuration.
 struct DatabaseOptions {
@@ -101,6 +104,18 @@ class Database {
   Result<QueryResult> ExecuteWith(const std::string& sql,
                                   const ReoptOptions& reopt);
 
+  /// Simulated restart after an injected crash (Status kCrashed): clears
+  /// the injector's crash latch, then resumes `sql` from its latest
+  /// journaled re-optimization stage — validating and rebinding the
+  /// journaled temp tables — or re-runs it from scratch when nothing
+  /// usable survives. Results are bit-identical to an uncrashed run; the
+  /// report's trace carries the RecoveryEvent / RecoveryFallback records.
+  Result<QueryResult> Recover(const std::string& sql,
+                              const ReoptOptions& reopt);
+  Result<QueryResult> Recover(const std::string& sql) {
+    return Recover(sql, opts_.reopt);
+  }
+
   /// The optimizer's annotated plan, pretty-printed.
   Result<std::string> Explain(const std::string& sql);
 
@@ -134,7 +149,20 @@ class Database {
   /// \faults meta command.
   FaultInjector* faults() { return &faults_; }
 
+  /// The durable query journal (see reopt/query_journal.h): one per
+  /// instance, written at every committed plan switch, read by Recover().
+  QueryJournal* journal() { return &journal_; }
+
  private:
+  friend class RecoveryManager;
+
+  /// ExecuteWith plus a journal root override: a recovered remainder
+  /// executes under its original query's root so re-crashes chain onto
+  /// the same journal records.
+  Result<QueryResult> ExecuteWithRoot(const std::string& sql,
+                                      const ReoptOptions& reopt,
+                                      const std::string& journal_root);
+
   DatabaseOptions opts_;
   FaultInjector faults_;
   DiskManager disk_;
@@ -142,6 +170,7 @@ class Database {
   Catalog catalog_;
   CostModel cost_;
   OptimizerCalibration calibration_;
+  QueryJournal journal_;
   bool calibrated_ = false;
   uint64_t query_counter_ = 0;
 };

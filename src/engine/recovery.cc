@@ -1,0 +1,236 @@
+#include "engine/recovery.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "obs/query_trace.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/query_journal.h"
+
+namespace reoptdb {
+
+namespace {
+
+/// Frees a page directly (pool frame dropped, disk storage released),
+/// tolerating already-freed ids — used to garbage-collect pages referenced
+/// by rejected journal records that no catalog entry owns anymore.
+void FreeOrphanPage(BufferPool* pool, PageId id) {
+  pool->Discard(id);
+  (void)pool->disk()->FreePage(id);
+}
+
+}  // namespace
+
+Result<QueryResult> RecoveryManager::Recover(const std::string& sql,
+                                             const ReoptOptions& reopt) {
+  FaultInjector* faults = db_->faults();
+  faults->ClearCrash();  // the restart: the "new process" has no crash latch
+
+  Catalog* catalog = db_->catalog();
+  QueryJournal* journal = db_->journal();
+
+  // Canonical root key: bind-then-render, exactly how the original
+  // execution computed the root_sql it journaled under.
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
+  ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, *catalog));
+  const std::string root_sql = spec.ToSql();
+
+  auto attach_event = [](QueryResult* r, RecoveryEvent ev) {
+    r->report.events.push_back(Render(ev));
+    r->report.trace.recoveries.push_back(std::move(ev));
+  };
+
+  // Falls back to a clean from-scratch re-run: garbage-collect every piece
+  // of durable state belonging to this root (catalog temps, journaled
+  // pages, journal records), then execute the original query normally.
+  // `records` may be null when the journal itself could not be loaded; in
+  // that case nothing is trusted and everything temp is collected.
+  auto fallback = [&](const std::string& reason,
+                      const std::vector<JournalStage>* records)
+      -> Result<QueryResult> {
+    std::unordered_set<std::string> protected_names;
+    if (records != nullptr) {
+      for (const JournalStage& s : *records) {
+        if (s.root_sql == root_sql) continue;
+        for (const TempSnapshot& t : s.temps) protected_names.insert(t.name);
+      }
+    }
+    for (const std::string& name : catalog->TempTableNames()) {
+      if (protected_names.count(name)) continue;
+      (void)catalog->Drop(name);
+    }
+    if (records != nullptr) {
+      // Pages journaled under this root whose catalog entry is gone (e.g.
+      // a crash mid-cleanup erased the binding): free them directly.
+      for (const JournalStage& s : *records) {
+        if (s.root_sql != root_sql) continue;
+        for (const TempSnapshot& t : s.temps) {
+          if (catalog->Exists(t.name)) continue;
+          for (PageId id : t.page_ids)
+            FreeOrphanPage(db_->buffer_pool(), id);
+        }
+      }
+      journal->MarkComplete(root_sql);
+    } else {
+      journal->Clear();  // unreadable journal: nothing in it is trusted
+    }
+    Result<QueryResult> res = db_->ExecuteWith(sql, reopt);
+    if (!res.ok()) return res;
+    res->report.events.push_back(Render(RecoveryFallback{reason}));
+    res->report.trace.recovery_fallbacks.push_back(RecoveryFallback{reason});
+    RecoveryEvent ev;
+    ev.resumed = false;
+    attach_event(&res.value(), std::move(ev));
+    return res;
+  };
+
+  // Load the journal BEFORE touching any catalog binding: a crash injected
+  // at recovery.load must leave the surviving temp entries intact so the
+  // next Recover attempt still finds their pages through them.
+  Result<std::vector<JournalStage>> loaded = journal->Load(faults);
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kCrashed)
+      return loaded.status();
+    return fallback("journal load failed: " + loaded.status().ToString(),
+                    nullptr);
+  }
+  const std::vector<JournalStage>& records = loaded.value();
+
+  // Latest journaled stage for this root; records are self-contained, so
+  // one record is all recovery needs.
+  const JournalStage* best = nullptr;
+  for (const JournalStage& s : records) {
+    if (s.root_sql != root_sql) continue;
+    if (best == nullptr || s.stage > best->stage) best = &s;
+  }
+
+  if (best == nullptr) {
+    // Nothing committed before the crash: collect any temps the crashed
+    // run left behind (e.g. it died mid-materialization) and run the
+    // query from scratch. This is not a fallback — there was never a
+    // resume point to lose.
+    std::unordered_set<std::string> protected_names;
+    for (const JournalStage& s : records)
+      for (const TempSnapshot& t : s.temps) protected_names.insert(t.name);
+    for (const std::string& name : catalog->TempTableNames()) {
+      if (protected_names.count(name)) continue;
+      (void)catalog->Drop(name);
+    }
+    Result<QueryResult> res = db_->ExecuteWith(sql, reopt);
+    if (!res.ok()) return res;
+    RecoveryEvent ev;
+    ev.resumed = false;
+    attach_event(&res.value(), std::move(ev));
+    return res;
+  }
+
+  // Rebind and validate every temp table the journaled remainder reads.
+  // The restart loses in-memory bindings, so even a surviving catalog
+  // entry is detached first and rebuilt purely from the journal record —
+  // recovery must work from (pages + journal) alone.
+  uint64_t validated_rows = 0;
+  std::string temp_names;
+  for (const TempSnapshot& snap : best->temps) {
+    if (catalog->Exists(snap.name)) {
+      Result<std::vector<PageId>> det = catalog->Detach(snap.name);
+      if (!det.ok())
+        return fallback("detach of " + snap.name + " failed: " +
+                            det.status().ToString(),
+                        &records);
+    }
+    Result<TableInfo*> ti =
+        catalog->CreateTable(snap.name, snap.schema, /*is_temp=*/true);
+    if (!ti.ok())
+      return fallback("rebind of " + snap.name + " failed: " +
+                          ti.status().ToString(),
+                      &records);
+    if (Status st = ti.value()->heap->AdoptPages(
+            snap.page_ids, snap.tuple_count, snap.total_tuple_bytes,
+            snap.content_checksum);
+        !st.ok())
+      return fallback("page adoption for " + snap.name + " failed: " +
+                          st.ToString(),
+                      &records);
+
+    // Validation pass (charged like any recovery-time scan): the stored
+    // bytes must hash to the journaled content checksum and deserialize to
+    // exactly the journaled row count. Anything else means the pages are
+    // corrupt, truncated, or not the pages the journal meant.
+    Result<uint64_t> cks = ti.value()->heap->ComputeContentChecksum();
+    if (!cks.ok())
+      return fallback("checksum scan of " + snap.name + " failed: " +
+                          cks.status().ToString(),
+                      &records);
+    if (cks.value() != snap.content_checksum)
+      return fallback("content checksum mismatch on " + snap.name, &records);
+    uint64_t rows = 0;
+    HeapFile::Iterator it = ti.value()->heap->Scan();
+    Tuple t;
+    while (true) {
+      Result<bool> more = it.Next(&t);
+      if (!more.ok())
+        return fallback("validation scan of " + snap.name + " failed: " +
+                            more.status().ToString(),
+                        &records);
+      if (!more.value()) break;
+      ++rows;
+    }
+    if (rows != snap.tuple_count)
+      return fallback("row count mismatch on " + snap.name + " (journal " +
+                          std::to_string(snap.tuple_count) + ", disk " +
+                          std::to_string(rows) + ")",
+                      &records);
+    if (Status st = catalog->SetStats(snap.name, snap.stats); !st.ok())
+      return fallback("stats rebind for " + snap.name + " failed: " +
+                          st.ToString(),
+                      &records);
+    validated_rows += rows;
+    if (!temp_names.empty()) temp_names += ",";
+    temp_names += snap.name;
+  }
+
+  // Garbage-collect temps the crashed run left behind that the resume
+  // point does not read (e.g. a later uncommitted switch's temp).
+  {
+    std::unordered_set<std::string> keep;
+    for (const TempSnapshot& t : best->temps) keep.insert(t.name);
+    for (const JournalStage& s : records) {
+      if (s.root_sql == root_sql) continue;
+      for (const TempSnapshot& t : s.temps) keep.insert(t.name);
+    }
+    for (const std::string& name : catalog->TempTableNames()) {
+      if (keep.count(name)) continue;
+      (void)catalog->Drop(name);
+    }
+  }
+
+  // Resume: execute the journaled remainder under the original root so a
+  // further plan switch (or re-crash) chains onto the same journal
+  // records. On a crash, everything stays for the next Recover; on any
+  // other failure the rebound temps are collected here (the execution's
+  // journal guard has already cleared the records).
+  Result<QueryResult> res =
+      db_->ExecuteWithRoot(best->remainder_sql, reopt, root_sql);
+  if (!res.ok()) {
+    if (res.status().code() == StatusCode::kCrashed) return res.status();
+    for (const TempSnapshot& snap : best->temps)
+      (void)catalog->Drop(snap.name);
+    return res.status();
+  }
+  for (const TempSnapshot& snap : best->temps)
+    if (catalog->Exists(snap.name)) (void)catalog->Drop(snap.name);
+
+  RecoveryEvent ev;
+  ev.stage = best->stage;
+  ev.temp_table = temp_names;
+  ev.rows = validated_rows;
+  ev.skipped_work_ms = best->work_done_ms;
+  ev.fingerprint_match =
+      FingerprintPlanText(res->report.plan_before) == best->plan_fingerprint;
+  ev.resumed = true;
+  attach_event(&res.value(), std::move(ev));
+  return res;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,52 @@
+// Restart-resume: crash recovery driven by the query journal.
+//
+// A crashed query (Status kCrashed from fault injection) leaves its durable
+// state behind: flushed temp-table pages on the simulated disk and the
+// journal records written at each committed re-optimization stage. The
+// RecoveryManager models the restart path: it loads the journal, validates
+// every journaled temp table against its stored content checksum and row
+// count, rebinds the survivors in the catalog (Detach + AdoptPages), and
+// executes the journaled remainder query instead of starting over —
+// producing results bit-identical to an uncrashed run while skipping the
+// work the crashed run already paid for.
+//
+// The invariant is correctness over savings: a corrupt journal record, a
+// checksum or row-count mismatch, missing pages — anything that casts doubt
+// on the durable state — triggers a clean from-scratch re-run (with a
+// RecoveryFallback trace record) after garbage-collecting the untrusted
+// state. Recovery may sacrifice saved work; it never returns a wrong
+// answer.
+
+#ifndef REOPTDB_ENGINE_RECOVERY_H_
+#define REOPTDB_ENGINE_RECOVERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "reopt/controller.h"
+
+namespace reoptdb {
+
+/// \brief Drives restart-resume for one Database instance.
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Database* db) : db_(db) {}
+
+  /// Clears the injector's crash latch (the "restart"), then resumes `sql`
+  /// from its latest journaled stage or re-runs it from scratch. The
+  /// returned report's trace carries a RecoveryEvent (resumed or not) and,
+  /// when durable state was rejected, a RecoveryFallback. A crash injected
+  /// *during* recovery (recovery.load, or any point hit by the resumed
+  /// execution) surfaces as kCrashed again; calling Recover once more
+  /// continues from whatever the journal then holds.
+  Result<QueryResult> Recover(const std::string& sql,
+                              const ReoptOptions& reopt);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_ENGINE_RECOVERY_H_

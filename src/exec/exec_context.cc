@@ -22,6 +22,11 @@ double ExecContext::SimElapsedMs() const {
 }
 
 Status ExecContext::CheckCancelled() const {
+  // A pending injected crash terminates the query from any depth, like
+  // cancellation — except callers treat kCrashed as process death and skip
+  // query-level cleanup (temp tables and the journal survive for recovery).
+  if (faults_ && faults_->crash_pending())
+    return Status::Crashed("crash pending: query terminated");
   if (cancel_.cancelled()) return Status::Cancelled("query cancelled");
   if (deadline_ms_ > 0 && SimElapsedMs() > deadline_ms_) {
     char buf[96];

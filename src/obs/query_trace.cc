@@ -177,6 +177,27 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("degradations", std::move(dg_j));
 
+  JsonValue rc_j = JsonValue::MakeArray();
+  for (const RecoveryEvent& r : recoveries) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("temp_table", JsonValue::MakeString(r.temp_table));
+    o.Set("rows", JsonValue::MakeNumber(static_cast<double>(r.rows)));
+    o.Set("skipped_work_ms", JsonValue::MakeNumber(r.skipped_work_ms));
+    o.Set("fingerprint_match", JsonValue::MakeBool(r.fingerprint_match));
+    o.Set("resumed", JsonValue::MakeBool(r.resumed));
+    rc_j.Append(std::move(o));
+  }
+  root.Set("recoveries", std::move(rc_j));
+
+  JsonValue fb_j = JsonValue::MakeArray();
+  for (const RecoveryFallback& r : recovery_fallbacks) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("reason", JsonValue::MakeString(r.reason));
+    fb_j.Append(std::move(o));
+  }
+  root.Set("recovery_fallbacks", std::move(fb_j));
+
   return root.Serialize();
 }
 
@@ -281,6 +302,27 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       t.degradations.push_back(std::move(r));
     }
   }
+  if (const JsonValue* rc = root.Find("recoveries");
+      rc != nullptr && rc->is_array()) {
+    for (const JsonValue& o : rc->items()) {
+      RecoveryEvent r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.temp_table = GetStr(o, "temp_table");
+      r.rows = static_cast<uint64_t>(GetNum(o, "rows"));
+      r.skipped_work_ms = GetNum(o, "skipped_work_ms");
+      r.fingerprint_match = GetBool(o, "fingerprint_match");
+      r.resumed = GetBool(o, "resumed");
+      t.recoveries.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* fb = root.Find("recovery_fallbacks");
+      fb != nullptr && fb->is_array()) {
+    for (const JsonValue& o : fb->items()) {
+      RecoveryFallback r;
+      r.reason = GetStr(o, "reason");
+      t.recovery_fallbacks.push_back(std::move(r));
+    }
+  }
 
   return t;
 }
@@ -322,6 +364,12 @@ std::string QueryTrace::Summary() const {
     out += "failures:\n";
     for (const ReoptFailure& r : reopt_failures) out += "  " + Render(r) + "\n";
     for (const DegradationEvent& r : degradations)
+      out += "  " + Render(r) + "\n";
+  }
+  if (!recoveries.empty() || !recovery_fallbacks.empty()) {
+    out += "recovery:\n";
+    for (const RecoveryEvent& r : recoveries) out += "  " + Render(r) + "\n";
+    for (const RecoveryFallback& r : recovery_fallbacks)
       out += "  " + Render(r) + "\n";
   }
   return out;
@@ -412,6 +460,21 @@ std::string Render(const ReoptFailure& r) {
 std::string Render(const DegradationEvent& r) {
   return "re-optimization degraded " + r.from_mode + " -> " + r.to_mode +
          " after " + std::to_string(r.failures) + " recovered failures";
+}
+
+std::string Render(const RecoveryEvent& r) {
+  if (!r.resumed)
+    return "recovery: no usable journal stage, ran from scratch";
+  std::string s = "resumed from stage " + std::to_string(r.stage) +
+                  ", skipped " + Ms(r.skipped_work_ms) + " ms of work (" +
+                  r.temp_table + ", " + std::to_string(r.rows) + " rows";
+  s += r.fingerprint_match ? ", plan fingerprint match)"
+                           : ", plan re-derived)";
+  return s;
+}
+
+std::string Render(const RecoveryFallback& r) {
+  return "recovery fallback: " + r.reason + " -> clean from-scratch re-run";
 }
 
 std::string Render(const MemoryReallocation& r) {

@@ -87,6 +87,9 @@ struct MemoryReallocation {
 ///                   execution proceeds otherwise unchanged
 ///   "fatal"       — past the point of no return; the query fails with
 ///                   `status` after full temp-table/hook cleanup
+///   "crashed"     — injected crash (simulated process death): the query
+///                   fails with kCrashed and NO cleanup runs; durable
+///                   state is left for the RecoveryManager
 struct ReoptFailure {
   std::string point;   ///< failure site ("reopt.optimize", "memory.grant"...)
   std::string status;  ///< the non-OK Status, rendered
@@ -105,6 +108,27 @@ struct DegradationEvent {
   std::string to_mode;    ///< always "off" today
   int failures = 0;       ///< recovered failures that triggered it
   double at_ms = 0;
+};
+
+/// One restart-resume decision by the RecoveryManager. When `resumed` is
+/// true, a journaled re-optimization stage was validated and rebound and
+/// the remainder query ran instead of the original from scratch (EXPLAIN
+/// ANALYZE: "resumed from stage N, skipped X ms of work").
+struct RecoveryEvent {
+  int stage = 0;               ///< journal stage resumed from (1-based)
+  std::string temp_table;      ///< rebound temp table name
+  uint64_t rows = 0;           ///< validated temp-table row count
+  double skipped_work_ms = 0;  ///< journaled work not re-done
+  bool fingerprint_match = false;  ///< resumed plan == journaled fingerprint
+  bool resumed = false;        ///< false: nothing usable, ran from scratch
+};
+
+/// Recovery declined to trust durable state (corrupt journal record,
+/// checksum/row-count mismatch, missing pages, load fault) and fell back
+/// to a clean from-scratch re-run — saved work is sacrificed, the answer
+/// never is.
+struct RecoveryFallback {
+  std::string reason;
 };
 
 /// One operator's budget change from a memory-manager pass.
@@ -141,6 +165,8 @@ class QueryTrace {
   std::vector<BudgetChange> budget_changes;
   std::vector<ReoptFailure> reopt_failures;
   std::vector<DegradationEvent> degradations;
+  std::vector<RecoveryEvent> recoveries;
+  std::vector<RecoveryFallback> recovery_fallbacks;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -168,6 +194,8 @@ std::string Render(const SwitchDecision& r);
 std::string Render(const MemoryReallocation& r);
 std::string Render(const ReoptFailure& r);
 std::string Render(const DegradationEvent& r);
+std::string Render(const RecoveryEvent& r);
+std::string Render(const RecoveryFallback& r);
 
 }  // namespace reoptdb
 

@@ -50,10 +50,18 @@ double PagesOf(double rows, double bytes) {
 /// Drops every tracked temp table when it goes out of scope, so error
 /// returns anywhere in ExecuteWithPlan cannot leak catalog temp tables.
 /// The success path drains explicitly (DropAll) to surface drop errors.
+///
+/// Exception: a pending injected crash. The simulated process is dead, so
+/// nothing runs on the unwind path — temp pages stay on disk (that is the
+/// durable state recovery needs) and catalog entries stay too; the
+/// RecoveryManager detaches and rebinds or garbage-collects them on
+/// restart, guided by the journal.
 class TempTableCleaner {
  public:
-  explicit TempTableCleaner(Catalog* catalog) : catalog_(catalog) {}
+  TempTableCleaner(Catalog* catalog, FaultInjector* faults)
+      : catalog_(catalog), faults_(faults) {}
   ~TempTableCleaner() {
+    if (faults_ != nullptr && faults_->crash_pending()) return;
     for (const std::string& name : names_) (void)catalog_->Drop(name);
   }
   TempTableCleaner(const TempTableCleaner&) = delete;
@@ -80,6 +88,10 @@ class TempTableCleaner {
   Status DropAll() {
     Status first;
     while (!names_.empty()) {
+      // A crash mid-drop kills the process: stop dropping further tables.
+      if (faults_ != nullptr && faults_->crash_pending())
+        return first.ok() ? Status::Crashed("crash during temp-table cleanup")
+                          : first;
       std::string name = std::move(names_.back());
       names_.pop_back();
       Status st = catalog_->Drop(name);
@@ -90,7 +102,32 @@ class TempTableCleaner {
 
  private:
   Catalog* catalog_;
+  FaultInjector* faults_;
   std::vector<std::string> names_;
+};
+
+/// Clears the query's journal records when execution ends without a crash
+/// (clean completion or an in-process failure: the temp tables are dropped
+/// on those paths, so a journal record would point at freed pages). With a
+/// crash pending nothing runs — the records are exactly what survives for
+/// the RecoveryManager.
+class JournalGuard {
+ public:
+  JournalGuard(QueryJournal* journal, const std::string* root_sql,
+               FaultInjector* faults)
+      : journal_(journal), root_sql_(root_sql), faults_(faults) {}
+  ~JournalGuard() {
+    if (journal_ == nullptr) return;
+    if (faults_ != nullptr && faults_->crash_pending()) return;
+    journal_->MarkComplete(*root_sql_);
+  }
+  JournalGuard(const JournalGuard&) = delete;
+  JournalGuard& operator=(const JournalGuard&) = delete;
+
+ private:
+  QueryJournal* journal_;
+  const std::string* root_sql_;
+  FaultInjector* faults_;
 };
 
 /// Defuses the mid-execution collector hook on every exit path: nulls the
@@ -354,8 +391,16 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
   // starts fresh).
   ReoptMode mode = opts_.mode;
 
-  TempTableCleaner temp_tables(catalog_);
+  // The journal keys records by the *root* query's canonical SQL: a
+  // resumed remainder executes under its original query's root (the
+  // override), so a further switch supersedes the journaled stage instead
+  // of starting a new chain.
+  const std::string root_sql =
+      journal_root_override_.empty() ? spec.ToSql() : journal_root_override_;
+
+  TempTableCleaner temp_tables(catalog_, faults);
   HookGuard hook_guard(ctx, &live_plan_slot_);
+  JournalGuard journal_guard(journal_, &root_sql, faults);
 
   int recovered_failures = 0;
   auto record_failure = [&](const char* point, const Status& st,
@@ -409,6 +454,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
         st = sres.status();
       }
     }
+    if (st.code() == StatusCode::kCrashed) return st;
     if (!st.ok()) {
       record_failure(faults::kReoptScia, st, "continued", -1, 1);
       note_recovered();
@@ -421,6 +467,7 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
           mm.TryAllocate(faults, plan.get(), started, trace,
                          ctx->SimElapsedMs(), ctx->plan_generation());
       !grant.ok()) {
+    if (grant.status().code() == StatusCode::kCrashed) return grant.status();
     // A failed grant leaves budgets untouched; operators fall back to
     // conservative defaults, so execution proceeds.
     record_failure(faults::kMemoryGrant, grant.status(), "continued", -1, 1);
@@ -451,6 +498,10 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
           mm.TryAllocate(ctx->faults(), root, no_frozen, ctx->trace(),
                          ctx->SimElapsedMs(), ctx->plan_generation());
       if (!changed.ok()) {
+        // A crash cannot propagate from inside the hook; the injector's
+        // crash_pending latch fails the query at the operator's next
+        // cancellation check.
+        if (changed.status().code() == StatusCode::kCrashed) return;
         record_failure(faults::kMemoryGrant, changed.status(), "continued",
                        collector->id, 1);
         note_recovered();
@@ -513,6 +564,8 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
             mm.TryAllocate(faults, plan.get(), started, trace,
                            ctx->SimElapsedMs(), ctx->plan_generation());
         if (!realloc.ok()) {
+          if (realloc.status().code() == StatusCode::kCrashed)
+            return realloc.status();
           // Advisory: the current allocation keeps working.
           record_failure(faults::kMemoryGrant, realloc.status(), "continued",
                          stage.stage_node ? stage.stage_node->id : -1, 1);
@@ -716,6 +769,8 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
                 mm.TryAllocate(faults, new_plan.get(), started, trace,
                                ctx->SimElapsedMs(), ctx->plan_generation());
             !grant.ok()) {
+          if (grant.status().code() == StatusCode::kCrashed)
+            return grant.status();
           // Advisory even past the point of no return: the adopted plan
           // runs on default budgets.
           record_failure(faults::kMemoryGrant, grant.status(), "continued",
@@ -723,6 +778,55 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
           note_recovered();
         }
         RecostWithBudgets(new_plan.get(), *cost_);
+
+        // Journal the committed stage: the materialized temps are durable,
+        // budgets are final, and the remainder is known — everything a
+        // restart needs to resume from here instead of starting over. An
+        // injected crash here models dying during the journal fsync (the
+        // previous resume point survives; this stage's work is lost). A
+        // plain write error is advisory: the journal is a recovery aid,
+        // losing it must not perturb the query itself.
+        if (journal_ != nullptr) {
+          site = faults::kJournalAppend;
+          JournalStage jstage;
+          jstage.root_sql = root_sql;
+          jstage.stage = report.plans_switched + 1;
+          jstage.remainder_sql = remainder.ToSql();
+          jstage.plan_fingerprint = FingerprintPlanText(new_plan->ToString());
+          jstage.work_done_ms = ctx->SimElapsedMs();
+          new_plan->PostOrder([&](PlanNode* n) {
+            if (n->IsMemoryConsumer())
+              jstage.budgets.emplace_back(n->id, n->mem_budget_pages);
+          });
+          // Snapshot every temp table the remainder reads (an earlier
+          // switch's temp may still be referenced), flushing first so the
+          // journaled page list covers every row.
+          for (const RelationRef& r : remainder.relations) {
+            Result<TableInfo*> ti = catalog_->Get(r.table);
+            if (!ti.ok() || !ti.value()->is_temp) continue;
+            RETURN_IF_ERROR(ti.value()->heap->Flush());
+            TempSnapshot snap;
+            snap.name = ti.value()->name;
+            snap.schema = ti.value()->schema;
+            for (size_t p = 0; p < ti.value()->heap->flushed_page_count(); ++p)
+              snap.page_ids.push_back(ti.value()->heap->page_id(p));
+            snap.tuple_count = ti.value()->heap->tuple_count();
+            snap.total_tuple_bytes = ti.value()->heap->total_tuple_bytes();
+            snap.content_checksum = ti.value()->heap->content_checksum();
+            snap.stats = ti.value()->stats;
+            jstage.temps.push_back(std::move(snap));
+          }
+          Status jst = journal_->AppendStage(jstage, faults);
+          if (jst.code() == StatusCode::kCrashed) return jst;
+          if (!jst.ok()) {
+            // Recorded but not counted toward degradation: a broken
+            // journal must not switch re-optimization off.
+            record_failure(faults::kJournalAppend, jst, "continued",
+                           frontier_id, 1);
+          } else {
+            ctx->ChargeExternalMs(cost_->params().t_io_ms);  // the "fsync"
+          }
+        }
 
         RETURN_IF_ERROR(exec->Close());
         spec = std::move(remainder);
@@ -746,6 +850,13 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
         const DiskStats io_now = ctx->pool()->disk()->stats();
         const int attempts =
             1 + static_cast<int>(io_now.io_retries - io_before.io_retries);
+        if (cand.code() == StatusCode::kCrashed) {
+          // Simulated process death: never roll back (nothing runs in a
+          // dead process — the scope guards skip cleanup too, leaving the
+          // durable state exactly as the crash found it).
+          record_failure(site, cand, "crashed", frontier_id, attempts);
+          return cand;
+        }
         if (past_no_return) {
           // Fatal: record, then unwind — the scope guards drop every temp
           // table and defuse the hook on the way out.
@@ -775,9 +886,11 @@ Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
   hook_guard.Defuse();
 
   if (Status st = temp_tables.DropAll(); !st.ok()) {
-    // End-of-query temp cleanup is best-effort: the results are already
-    // delivered, so a failed drop is recorded, not returned (failed page
-    // releases are retried by the heap destructors).
+    // A crash during cleanup still kills the query (recovery re-runs it);
+    // any other failed drop is best-effort: the results are already
+    // delivered, so it is recorded, not returned (failed page releases are
+    // retried by the heap destructors).
+    if (st.code() == StatusCode::kCrashed) return st;
     record_failure(faults::kStorageFree, st, "continued", -1, 1);
   }
 

@@ -31,6 +31,7 @@
 #include "optimizer/optimizer.h"
 #include "plan/physical_plan.h"
 #include "plan/query_spec.h"
+#include "reopt/query_journal.h"
 #include "reopt/scia.h"
 
 namespace reoptdb {
@@ -146,6 +147,17 @@ class DynamicReoptimizer {
                                           std::vector<Tuple>* rows,
                                           Schema* out_schema);
 
+  /// Installs the Database's durable query journal. When set, every
+  /// accepted plan switch appends a JournalStage at the point of no return
+  /// and the records are cleared when the query ends without a crash.
+  /// `root_sql_override` identifies the original user query when executing
+  /// a recovered remainder, so resumed stages supersede the journaled one
+  /// instead of starting a new chain. Empty = this query is its own root.
+  void SetJournal(QueryJournal* journal, std::string root_sql_override = "") {
+    journal_ = journal;
+    journal_root_override_ = std::move(root_sql_override);
+  }
+
  private:
   Catalog* catalog_;
   const CostModel* cost_;
@@ -153,6 +165,8 @@ class DynamicReoptimizer {
   OptimizerOptions optimizer_opts_;
   ReoptOptions opts_;
   double query_mem_pages_;
+  QueryJournal* journal_ = nullptr;       ///< not owned; may be null
+  std::string journal_root_override_;
   /// Shared slot holding the live plan root for the mid-execution hook;
   /// shared_ptr so the hook closure stays valid (and harmless, pointing at
   /// null) even if Execute unwinds early on an error.

@@ -1,0 +1,264 @@
+#include "reopt/query_journal.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace reoptdb {
+
+namespace {
+
+using obs::JsonValue;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvHash(const std::string& s) {
+  uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+double GetNum(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : 0;
+}
+
+bool GetBool(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+std::string GetStr(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+
+// Doubles round-trip exactly through JsonValue's shortest-round-trip
+// format, so uint64 values (checksums, page ids) are carried as strings to
+// avoid the 2^53 mantissa limit.
+JsonValue U64(uint64_t v) { return JsonValue::MakeString(std::to_string(v)); }
+
+uint64_t GetU64(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) return 0;
+  return std::strtoull(v->AsString().c_str(), nullptr, 10);
+}
+
+JsonValue StatsJson(const TableStats& s) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("analyzed", JsonValue::MakeBool(s.analyzed));
+  o.Set("row_count", JsonValue::MakeNumber(s.row_count));
+  o.Set("page_count", JsonValue::MakeNumber(s.page_count));
+  o.Set("avg_tuple_bytes", JsonValue::MakeNumber(s.avg_tuple_bytes));
+  o.Set("update_activity", JsonValue::MakeNumber(s.update_activity));
+  JsonValue cols = JsonValue::MakeArray();
+  for (const auto& [name, cs] : s.columns) {
+    JsonValue c = JsonValue::MakeObject();
+    c.Set("name", JsonValue::MakeString(name));
+    c.Set("type", JsonValue::MakeNumber(static_cast<int>(cs.type)));
+    c.Set("has_bounds", JsonValue::MakeBool(cs.has_bounds));
+    c.Set("min", JsonValue::MakeNumber(cs.min));
+    c.Set("max", JsonValue::MakeNumber(cs.max));
+    c.Set("distinct", JsonValue::MakeNumber(cs.distinct));
+    c.Set("avg_width", JsonValue::MakeNumber(cs.avg_width));
+    cols.Append(std::move(c));
+  }
+  o.Set("columns", std::move(cols));
+  return o;
+}
+
+TableStats StatsFromJson(const JsonValue& o) {
+  TableStats s;
+  s.analyzed = GetBool(o, "analyzed");
+  s.row_count = GetNum(o, "row_count");
+  s.page_count = GetNum(o, "page_count");
+  s.avg_tuple_bytes = GetNum(o, "avg_tuple_bytes");
+  s.update_activity = GetNum(o, "update_activity");
+  if (const JsonValue* cols = o.Find("columns");
+      cols != nullptr && cols->is_array()) {
+    for (const JsonValue& c : cols->items()) {
+      ColumnStats cs;
+      cs.type = static_cast<ValueType>(static_cast<int>(GetNum(c, "type")));
+      cs.has_bounds = GetBool(c, "has_bounds");
+      cs.min = GetNum(c, "min");
+      cs.max = GetNum(c, "max");
+      cs.distinct = GetNum(c, "distinct");
+      cs.avg_width = GetNum(c, "avg_width");
+      s.columns[GetStr(c, "name")] = std::move(cs);
+    }
+  }
+  return s;
+}
+
+JsonValue SnapshotJson(const TempSnapshot& t) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("name", JsonValue::MakeString(t.name));
+  JsonValue schema = JsonValue::MakeArray();
+  for (const Column& c : t.schema.columns()) {
+    JsonValue col = JsonValue::MakeObject();
+    col.Set("qualifier", JsonValue::MakeString(c.qualifier));
+    col.Set("name", JsonValue::MakeString(c.name));
+    col.Set("type", JsonValue::MakeNumber(static_cast<int>(c.type)));
+    col.Set("avg_width", JsonValue::MakeNumber(c.avg_width));
+    schema.Append(std::move(col));
+  }
+  o.Set("schema", std::move(schema));
+  JsonValue pages = JsonValue::MakeArray();
+  for (PageId id : t.page_ids)
+    pages.Append(JsonValue::MakeNumber(static_cast<double>(id)));
+  o.Set("page_ids", std::move(pages));
+  o.Set("tuple_count", U64(t.tuple_count));
+  o.Set("total_tuple_bytes", U64(t.total_tuple_bytes));
+  o.Set("content_checksum", U64(t.content_checksum));
+  o.Set("stats", StatsJson(t.stats));
+  return o;
+}
+
+Result<TempSnapshot> SnapshotFromJson(const JsonValue& o) {
+  TempSnapshot t;
+  t.name = GetStr(o, "name");
+  if (t.name.empty())
+    return Status::ParseError("journal: temp snapshot missing name");
+  const JsonValue* schema = o.Find("schema");
+  if (schema == nullptr || !schema->is_array())
+    return Status::ParseError("journal: temp snapshot missing schema");
+  std::vector<Column> cols;
+  for (const JsonValue& c : schema->items()) {
+    Column col;
+    col.qualifier = GetStr(c, "qualifier");
+    col.name = GetStr(c, "name");
+    col.type = static_cast<ValueType>(static_cast<int>(GetNum(c, "type")));
+    col.avg_width = GetNum(c, "avg_width");
+    cols.push_back(std::move(col));
+  }
+  t.schema = Schema(std::move(cols));
+  if (const JsonValue* pages = o.Find("page_ids");
+      pages != nullptr && pages->is_array()) {
+    for (const JsonValue& p : pages->items())
+      t.page_ids.push_back(static_cast<PageId>(p.AsNumber()));
+  }
+  t.tuple_count = GetU64(o, "tuple_count");
+  t.total_tuple_bytes = GetU64(o, "total_tuple_bytes");
+  t.content_checksum = GetU64(o, "content_checksum");
+  if (const JsonValue* stats = o.Find("stats");
+      stats != nullptr && stats->is_object()) {
+    t.stats = StatsFromJson(*stats);
+  }
+  return t;
+}
+
+std::string SerializeStage(const JournalStage& stage) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("root_sql", JsonValue::MakeString(stage.root_sql));
+  root.Set("stage", JsonValue::MakeNumber(stage.stage));
+  root.Set("remainder_sql", JsonValue::MakeString(stage.remainder_sql));
+  root.Set("plan_fingerprint", U64(stage.plan_fingerprint));
+  root.Set("work_done_ms", JsonValue::MakeNumber(stage.work_done_ms));
+  JsonValue budgets = JsonValue::MakeArray();
+  for (const auto& [node, pages] : stage.budgets) {
+    JsonValue b = JsonValue::MakeObject();
+    b.Set("node", JsonValue::MakeNumber(node));
+    b.Set("pages", JsonValue::MakeNumber(pages));
+    budgets.Append(std::move(b));
+  }
+  root.Set("budgets", std::move(budgets));
+  JsonValue temps = JsonValue::MakeArray();
+  for (const TempSnapshot& t : stage.temps) temps.Append(SnapshotJson(t));
+  root.Set("temps", std::move(temps));
+  return root.Serialize();
+}
+
+Result<JournalStage> ParseStage(const std::string& payload) {
+  ASSIGN_OR_RETURN(JsonValue root, obs::ParseJson(payload));
+  if (!root.is_object())
+    return Status::ParseError("journal: record is not an object");
+  JournalStage stage;
+  stage.root_sql = GetStr(root, "root_sql");
+  stage.stage = static_cast<int>(GetNum(root, "stage"));
+  stage.remainder_sql = GetStr(root, "remainder_sql");
+  stage.plan_fingerprint = GetU64(root, "plan_fingerprint");
+  stage.work_done_ms = GetNum(root, "work_done_ms");
+  if (stage.root_sql.empty() || stage.remainder_sql.empty() ||
+      stage.stage <= 0)
+    return Status::ParseError("journal: record missing required fields");
+  if (const JsonValue* budgets = root.Find("budgets");
+      budgets != nullptr && budgets->is_array()) {
+    for (const JsonValue& b : budgets->items())
+      stage.budgets.emplace_back(static_cast<int>(GetNum(b, "node")),
+                                 GetNum(b, "pages"));
+  }
+  const JsonValue* temps = root.Find("temps");
+  if (temps == nullptr || !temps->is_array())
+    return Status::ParseError("journal: record missing temps");
+  for (const JsonValue& t : temps->items()) {
+    ASSIGN_OR_RETURN(TempSnapshot snap, SnapshotFromJson(t));
+    stage.temps.push_back(std::move(snap));
+  }
+  return stage;
+}
+
+}  // namespace
+
+uint64_t FingerprintPlanText(const std::string& plan_text) {
+  return FnvHash(plan_text);
+}
+
+Status QueryJournal::AppendStage(const JournalStage& stage,
+                                 FaultInjector* faults) {
+  // Checked before anything is written: an injected crash or write error
+  // here models dying during the fsync — the previous records (and the
+  // previous stage's resume point) stay intact.
+  if (faults != nullptr)
+    RETURN_IF_ERROR(faults->Check(faults::kJournalAppend));
+  Record rec;
+  rec.payload = SerializeStage(stage);
+  rec.checksum = FnvHash(rec.payload);
+  rec.root_sql = stage.root_sql;
+  records_.push_back(std::move(rec));
+  // Compact: the new self-contained record supersedes earlier stages of
+  // the same root query. Done only after the append succeeded, so a
+  // failure above can never lose the old resume point.
+  const std::string& root = records_.back().root_sql;
+  for (size_t i = records_.size() - 1; i-- > 0;) {
+    if (records_[i].root_sql == root)
+      records_.erase(records_.begin() + static_cast<long>(i));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<JournalStage>> QueryJournal::Load(
+    FaultInjector* faults) const {
+  if (faults != nullptr)
+    RETURN_IF_ERROR(faults->Check(faults::kRecoveryLoad));
+  std::vector<JournalStage> stages;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    if (FnvHash(rec.payload) != rec.checksum)
+      return Status::IoError("journal record " + std::to_string(i) +
+                             " failed checksum verification");
+    ASSIGN_OR_RETURN(JournalStage stage, ParseStage(rec.payload));
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+void QueryJournal::MarkComplete(const std::string& root_sql) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const Record& r) {
+                                  return r.root_sql == root_sql;
+                                }),
+                 records_.end());
+}
+
+void QueryJournal::CorruptRecordForTesting(size_t index) {
+  if (index >= records_.size()) return;
+  std::string& p = records_[index].payload;
+  for (size_t i = 0; i < p.size() && i < 16; ++i) p[i] ^= 0x5a;
+}
+
+}  // namespace reoptdb

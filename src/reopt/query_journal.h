@@ -1,0 +1,110 @@
+// Durable query journal for crash-consistent mid-query recovery.
+//
+// Kabra & DeWitt's plan-modification strategy materializes the in-flight
+// operator's output into a temp table and re-optimizes only the remainder
+// query — which makes every committed re-optimization stage a natural
+// restart point. The journal makes those points durable: at the point of no
+// return the controller appends one self-contained, checksummed record
+// (remainder SQL, plan fingerprint, memory budgets, and a full snapshot of
+// every temp table the remainder reads), "fsync'd" to the simulated disk.
+// After a crash the RecoveryManager loads the journal, validates the temp
+// snapshots against their checksums and row counts, rebinds them in the
+// catalog, and resumes the remainder instead of starting over. A record
+// that fails validation is never trusted: recovery falls back to a clean
+// from-scratch re-run — saved work is sacrificed, the answer never is.
+//
+// The journal lives in host memory like the rest of the simulated durable
+// state (see storage/disk_manager.h): what makes it "durable" is that
+// nothing on the query's crash-unwind path clears it.
+
+#ifndef REOPTDB_REOPT_QUERY_JOURNAL_H_
+#define REOPTDB_REOPT_QUERY_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/fault.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "types/schema.h"
+
+namespace reoptdb {
+
+/// Snapshot of one materialized temp table referenced by a journaled
+/// remainder query: everything recovery needs to rebind and validate it.
+/// Histograms are deliberately not journaled — losing them costs the
+/// resumed optimizer some estimate accuracy, never correctness.
+struct TempSnapshot {
+  std::string name;
+  Schema schema;
+  std::vector<PageId> page_ids;   ///< flushed heap pages, in append order
+  uint64_t tuple_count = 0;
+  uint64_t total_tuple_bytes = 0;
+  uint64_t content_checksum = 0;  ///< HeapFile chained payload FNV
+  TableStats stats;               ///< exact post-materialization stats
+};
+
+/// One committed re-optimization stage (written only at the controller's
+/// point of no return). Records are self-contained: the latest record for
+/// a query is sufficient to resume it, so AppendStage compacts earlier
+/// records for the same root query.
+struct JournalStage {
+  std::string root_sql;       ///< canonical SQL of the original user query
+  int stage = 0;              ///< 1-based switch ordinal within its execution
+  std::string remainder_sql;  ///< the adopted remainder (QuerySpec::ToSql)
+  uint64_t plan_fingerprint = 0;  ///< FNV of the adopted plan's ToString
+  double work_done_ms = 0;    ///< simulated work already paid at commit
+  std::vector<std::pair<int, double>> budgets;  ///< node id -> mem pages
+  std::vector<TempSnapshot> temps;  ///< every temp table the remainder reads
+};
+
+/// FNV-1a fingerprint of a rendered plan (PlanNode::ToString). Recovery
+/// compares the resumed plan's fingerprint against the journaled one for
+/// observability (a mismatch means the remainder was re-derived, which is
+/// legal — overrides from observed base statistics are not journaled).
+uint64_t FingerprintPlanText(const std::string& plan_text);
+
+/// \brief Append-only, checksummed journal of committed re-optimization
+/// stages. One instance lives on the Database and survives query unwind.
+class QueryJournal {
+ public:
+  /// Serializes `stage` and appends it, then compacts older records with
+  /// the same root_sql (the new record supersedes them). The
+  /// `journal.append` fault point is checked first, modeling a crash or
+  /// write error during the journal fsync: on failure nothing is appended
+  /// and prior records remain intact.
+  Status AppendStage(const JournalStage& stage, FaultInjector* faults);
+
+  /// Parses every record, verifying checksums. Any corrupt or unparseable
+  /// record fails the whole load (recovery then falls back to a clean
+  /// re-run). The `recovery.load` fault point is checked first.
+  Result<std::vector<JournalStage>> Load(FaultInjector* faults) const;
+
+  /// Removes every record for `root_sql` — called when the query completes
+  /// (or fails in-process without a crash); there is nothing left to
+  /// recover.
+  void MarkComplete(const std::string& root_sql);
+
+  void Clear() { records_.clear(); }
+  size_t record_count() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Flips bytes of a stored record's payload without updating its
+  /// checksum, modeling on-media journal corruption. Test-only.
+  void CorruptRecordForTesting(size_t index);
+
+ private:
+  struct Record {
+    std::string payload;   ///< serialized JournalStage (JSON)
+    uint64_t checksum = 0; ///< FNV-1a over payload
+    std::string root_sql;  ///< duplicated for compaction / MarkComplete
+  };
+  std::vector<Record> records_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_REOPT_QUERY_JOURNAL_H_

@@ -25,6 +25,13 @@ PageId DiskManager::AllocatePage() {
   PageId id = next_id_++;
   auto page = std::make_unique<Page>();
   page->Zero();
+  // All zeroed pages share one checksum; compute it once.
+  static const uint64_t kZeroChecksum = [] {
+    Page z;
+    z.Zero();
+    return PageChecksum(z);
+  }();
+  checksums_[id] = kZeroChecksum;
   pages_.emplace(id, std::move(page));
   ++stats_.pages_allocated;
   return id;
@@ -36,6 +43,7 @@ Status DiskManager::FreePage(PageId id) {
   if (it == pages_.end())
     return Status::IoError("free of unknown page " + std::to_string(id));
   pages_.erase(it);
+  checksums_.erase(id);
   ++stats_.pages_freed;
   return Status::OK();
 }
@@ -45,6 +53,24 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
   auto it = pages_.find(id);
   if (it == pages_.end())
     return Status::IoError("read of unknown page " + std::to_string(id));
+  // Verify the recorded checksum before handing bytes to the caller. A
+  // mismatch is treated like any transient device error — bounded
+  // retry/backoff — so on-media corruption (persistent by nature here)
+  // exhausts the retries and surfaces as kIoError, never as a wrong answer.
+  auto verify = [&]() -> Status {
+    auto cs = checksums_.find(id);
+    if (cs != checksums_.end() && PageChecksum(*it->second) != cs->second)
+      return Status::IoError("checksum mismatch reading page " +
+                             std::to_string(id));
+    return Status::OK();
+  };
+  Status st = verify();
+  for (int attempt = 1; !st.ok() && attempt <= kMaxIoRetries; ++attempt) {
+    ++stats_.io_retries;
+    stats_.retry_penalty_ms += kRetryBackoffBaseMs * (1 << (attempt - 1));
+    st = verify();
+  }
+  RETURN_IF_ERROR(st);
   *out = *it->second;
   ++stats_.page_reads;
   return Status::OK();
@@ -56,7 +82,16 @@ Status DiskManager::WritePage(PageId id, const Page& page) {
   if (it == pages_.end())
     return Status::IoError("write of unknown page " + std::to_string(id));
   *it->second = page;
+  checksums_[id] = PageChecksum(page);
   ++stats_.page_writes;
+  return Status::OK();
+}
+
+Status DiskManager::CorruptPageForTesting(PageId id) {
+  auto it = pages_.find(id);
+  if (it == pages_.end())
+    return Status::IoError("corrupt of unknown page " + std::to_string(id));
+  for (size_t i = 0; i < 16; ++i) it->second->data[i] ^= 0x5a;
   return Status::OK();
 }
 

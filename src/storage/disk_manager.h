@@ -58,7 +58,9 @@ class DiskManager {
   /// Releases a page's storage. Reading a freed page is an error.
   Status FreePage(PageId id);
 
-  /// Copies the page contents into `*out`, charging one read.
+  /// Copies the page contents into `*out`, charging one read. The page's
+  /// stored checksum is verified first; a mismatch is retried like a
+  /// transient device error and, if persistent, surfaces as kIoError.
   Status ReadPage(PageId id, Page* out);
 
   /// Copies `page` to the simulated disk, charging one write.
@@ -80,12 +82,19 @@ class DiskManager {
   /// First-retry backoff in simulated ms; doubles per attempt.
   static constexpr double kRetryBackoffBaseMs = 1.0;
 
+  /// Flips bytes of the stored page without updating its recorded checksum,
+  /// modeling on-media corruption. The next ReadPage exhausts its retries
+  /// and fails with kIoError. Test-only.
+  Status CorruptPageForTesting(PageId id);
+
  private:
   /// Consults the injector for `point`, absorbing transient faults via the
   /// retry/backoff policy above. OK when nothing is armed.
   Status CheckFault(const char* point);
 
   std::unordered_map<PageId, std::unique_ptr<Page>> pages_;
+  /// Expected checksum per live page, maintained on allocate/write.
+  std::unordered_map<PageId, uint64_t> checksums_;
   PageId next_id_ = 0;
   DiskStats stats_;
   FaultInjector* faults_ = nullptr;

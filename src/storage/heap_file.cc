@@ -62,9 +62,34 @@ Status Read(const Page& p, uint32_t slot, const char** data, size_t* len) {
 
 }  // namespace slotted
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Folds one tuple payload (length, then bytes) into a chained FNV-1a
+/// state. Hashing the length first makes payload boundaries unambiguous.
+uint64_t FoldPayload(uint64_t h, const char* data, size_t len) {
+  uint32_t n = static_cast<uint32_t>(len);
+  for (size_t i = 0; i < sizeof(n); ++i) {
+    h ^= (n >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
 HeapFile::~HeapFile() {
   // Best-effort: release pages so long-lived pools don't leak temp space.
-  (void)Destroy();
+  // Destroy keeps only the pages whose free actually failed, so a second
+  // pass retries exactly those — a free that consumed a transient injected
+  // fault (including a crash fire) must not strand its page.
+  if (!Destroy().ok()) (void)Destroy();
 }
 
 Result<Rid> HeapFile::Append(const Tuple& tuple) {
@@ -90,6 +115,8 @@ Result<Rid> HeapFile::Append(const Tuple& tuple) {
   }
   ++tuple_count_;
   total_tuple_bytes_ += payload.size();
+  content_checksum_ = FoldPayload(content_checksum_, payload.data(),
+                                  payload.size());
   return Rid{static_cast<uint32_t>(pages_.size()), slot.value()};
 }
 
@@ -149,7 +176,60 @@ Status HeapFile::Destroy() {
   if (!first_error.ok()) return first_error;
   tuple_count_ = 0;
   total_tuple_bytes_ = 0;
+  content_checksum_ = kFnvOffset;
   return Status::OK();
+}
+
+Result<uint64_t> HeapFile::ComputeContentChecksum() const {
+  uint64_t h = kFnvOffset;
+  Page buf;
+  for (size_t ordinal = 0; ordinal < pages_.size() + (tail_ ? 1 : 0);
+       ++ordinal) {
+    const Page* p;
+    if (ordinal < pages_.size()) {
+      RETURN_IF_ERROR(pool_->disk()->ReadPage(pages_[ordinal], &buf));
+      p = &buf;
+    } else {
+      p = tail_.get();
+    }
+    uint16_t count = slotted::Count(*p);
+    for (uint32_t slot = 0; slot < count; ++slot) {
+      const char* data;
+      size_t len;
+      RETURN_IF_ERROR(slotted::Read(*p, slot, &data, &len));
+      h = FoldPayload(h, data, len);
+    }
+  }
+  return h;
+}
+
+Status HeapFile::AdoptPages(std::vector<PageId> pages, uint64_t tuple_count,
+                            uint64_t total_tuple_bytes,
+                            uint64_t content_checksum) {
+  if (tuple_count_ != 0 || !pages_.empty() || tail_)
+    return Status::InvalidArgument("AdoptPages requires an empty heap file");
+  pages_ = std::move(pages);
+  tuple_count_ = tuple_count;
+  total_tuple_bytes_ = total_tuple_bytes;
+  content_checksum_ = content_checksum;
+  return Status::OK();
+}
+
+std::vector<PageId> HeapFile::ReleasePages() {
+  std::vector<PageId> released = std::move(pages_);
+  pages_.clear();
+  if (tail_) {
+    // The tail never reached the disk; like any volatile state it dies
+    // with the "process".
+    pool_->Discard(tail_id_);
+    (void)pool_->disk()->FreePage(tail_id_);
+    tail_.reset();
+    tail_id_ = kInvalidPageId;
+  }
+  tuple_count_ = 0;
+  total_tuple_bytes_ = 0;
+  content_checksum_ = kFnvOffset;
+  return released;
 }
 
 Result<bool> HeapFile::Iterator::Next(Tuple* out) {

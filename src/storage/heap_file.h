@@ -62,6 +62,31 @@ class HeapFile {
   PageId page_id(size_t ordinal) const { return pages_[ordinal]; }
   size_t flushed_page_count() const { return pages_.size(); }
 
+  /// Chained FNV-1a over every appended tuple's serialized payload (length
+  /// then bytes), maintained incrementally by Append. The query journal
+  /// records it for materialized temp tables; recovery recomputes it with
+  /// ComputeContentChecksum() before trusting rebound pages.
+  uint64_t content_checksum() const { return content_checksum_; }
+
+  /// Recomputes the content checksum by scanning the raw slot payloads in
+  /// append order (charges the scan's page reads). Matches
+  /// content_checksum() iff the stored bytes are intact and complete.
+  Result<uint64_t> ComputeContentChecksum() const;
+
+  /// Rebinds this (empty) file to already-on-disk pages, e.g. a temp table
+  /// surviving a simulated crash. Counters and the content checksum are
+  /// taken from the journal record; callers validate via
+  /// ComputeContentChecksum() + tuple_count().
+  Status AdoptPages(std::vector<PageId> pages, uint64_t tuple_count,
+                    uint64_t total_tuple_bytes, uint64_t content_checksum);
+
+  /// Detaches the file from its pages WITHOUT freeing them (the inverse of
+  /// AdoptPages): returns the flushed page ids and leaves the file empty,
+  /// so the destructor will not reclaim storage that must survive a crash.
+  /// An unflushed tail page is genuinely lost (it was memory-only) and is
+  /// freed here.
+  std::vector<PageId> ReleasePages();
+
   /// Frees every page of the file. The file is reusable (empty) afterwards.
   Status Destroy();
 
@@ -98,6 +123,7 @@ class HeapFile {
   PageId tail_id_ = kInvalidPageId;
   uint64_t tuple_count_ = 0;
   uint64_t total_tuple_bytes_ = 0;
+  uint64_t content_checksum_ = 1469598103934665603ULL;  // FNV-1a offset
 };
 
 namespace slotted {

@@ -21,6 +21,18 @@ struct Page {
   void Zero() { std::memset(data, 0, kPageSize); }
 };
 
+/// FNV-1a over the full page. The DiskManager records it at allocate/write
+/// time and verifies it on every read, so silent corruption of the
+/// simulated disk surfaces as kIoError instead of a wrong answer.
+inline uint64_t PageChecksum(const Page& p) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    h ^= static_cast<unsigned char>(p.data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// \brief Record identifier: ordinal of the page within its heap file plus
 /// the slot number inside that page.
 struct Rid {

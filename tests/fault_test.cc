@@ -100,8 +100,77 @@ TEST(FaultInjectorTest, ConfigureGrammar) {
   fi.Reset();
   EXPECT_FALSE(fi.AnyArmed());
 
-  // Known points cover everything the sweep below arms.
-  EXPECT_EQ(FaultInjector::KnownPoints().size(), 8u);
+  // Known points cover everything the sweep below arms, plus the crash
+  // recovery points (journal.append, recovery.load).
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 10u);
+
+  // The crash: prefix parses on any trigger and shows up in Describe().
+  FaultInjector crash;
+  REOPTDB_ASSERT_OK(
+      crash.Configure("journal.append=crash:nth:1,recovery.load=crash:every,"
+                      "storage.write=crash:prob:0.5@3"));
+  EXPECT_NE(crash.Describe().find("crash:"), std::string::npos);
+  Status st = crash.Check(faults::kJournalAppend);
+  EXPECT_EQ(st.code(), StatusCode::kCrashed);
+  // A firing crash point latches crash_pending (which CheckCancelled turns
+  // into query-wide termination) until ClearCrash — the "restart".
+  EXPECT_TRUE(crash.crash_pending());
+  crash.ClearCrash();
+  EXPECT_FALSE(crash.crash_pending());
+}
+
+// prob:p@seed schedules are a function of (seed, call index) only: the
+// same seed produces the identical fire schedule no matter where the calls
+// come from — the property chaos runs rely on to reproduce a crash
+// schedule across row-mode and batched-mode executions.
+TEST(FaultInjectorTest, SeededProbabilityFireLogIsReproducible) {
+  auto run = [](uint64_t seed, int calls) {
+    FaultInjector fi;
+    FaultSpec prob;
+    prob.trigger = FaultTrigger::kProbability;
+    prob.probability = 0.3;
+    prob.seed = seed;
+    EXPECT_TRUE(fi.Arm(faults::kStorageRead, prob).ok());
+    for (int i = 0; i < calls; ++i) (void)fi.Check(faults::kStorageRead);
+    return fi.FireLog(faults::kStorageRead);
+  };
+  std::vector<uint64_t> a = run(11, 200);
+  std::vector<uint64_t> b = run(11, 200);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // Prefix property: fewer calls (a shorter query) see a prefix of the
+  // same schedule, not a different one.
+  std::vector<uint64_t> shorter = run(11, 50);
+  ASSERT_LE(shorter.size(), a.size());
+  for (size_t i = 0; i < shorter.size(); ++i) EXPECT_EQ(shorter[i], a[i]);
+  // A different seed gives a different schedule.
+  EXPECT_NE(run(12, 200), a);
+}
+
+// End-to-end determinism of prob:p@seed across execution modes: the same
+// seed must produce the same fire schedule for a row-mode and a batched
+// query, because the injector's stream depends only on its own call count.
+TEST(FaultInjectorTest, ProbSeedScheduleIdenticalAcrossBatchModes) {
+  auto fire_log = [](size_t batch_size) {
+    DatabaseOptions dopts;
+    dopts.buffer_pool_pages = 128;
+    dopts.query_mem_pages = 48;
+    Database db(dopts);
+    tpcd::TpcdOptions gen;
+    gen.scale_factor = 0.003;
+    EXPECT_TRUE(tpcd::Load(&db, gen).ok());
+    // Arm a never-firing probability on the reopt path: calls advance the
+    // stream identically in both modes while the query itself succeeds.
+    EXPECT_TRUE(db.faults()->Configure("storage.read=prob:0.0@77").ok());
+    ReoptOptions opts;
+    opts.batch_size = batch_size;
+    EXPECT_TRUE(db.ExecuteWith(tpcd::Q5Sql(), opts).ok());
+    return db.faults()->StatsFor(faults::kStorageRead).calls;
+  };
+  // Row mode and batched mode issue the same page reads in the same order
+  // (the batched engine is bit-identical), so the injector sees the same
+  // call count — hence any prob:p@seed schedule fires identically.
+  EXPECT_EQ(fire_log(1), fire_log(1024));
 }
 
 // ---------------------------------------------------------------------------
@@ -222,7 +291,7 @@ std::vector<SweepCase> SweepCases() {
        {faults::kStorageRead, faults::kStorageWrite, faults::kStorageFree,
         faults::kMemoryGrant, faults::kReoptOptimize,
         faults::kReoptMaterialize, faults::kReoptScia,
-        faults::kReoptPostSwitch}) {
+        faults::kReoptPostSwitch, faults::kJournalAppend}) {
     out.push_back({point, FaultTrigger::kNthCall});
     out.push_back({point, FaultTrigger::kEveryCall});
   }

@@ -1,0 +1,337 @@
+// Crash-recovery tests: injected crashes (FaultAction::kCrash) at every
+// injection point, followed by restart-resume through Database::Recover.
+//
+// The contract under test (DESIGN.md §10): a crashed-then-recovered query
+// returns results bit-identical to an uncrashed run in both row and
+// batched modes, leaks nothing (no temp tables, no lost disk pages, no
+// stale journal records), and any durable state that fails validation —
+// corrupt journal record, corrupt temp page, row-count mismatch — degrades
+// to a clean from-scratch re-run with a RecoveryFallback trace record.
+// Recovery may sacrifice saved work; it never returns a wrong answer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "engine/database.h"
+#include "gtest/gtest.h"
+#include "reopt/query_journal.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+
+// Eager-gate options under which TPC-D Q5 on a stale catalog reliably
+// accepts a plan switch (same setup as fault_test's sweep), so the
+// journal.append / reopt.* points sit on the executed path.
+ReoptOptions EagerGate(size_t batch_size = 1) {
+  ReoptOptions o;
+  o.mode = ReoptMode::kFull;
+  o.theta2 = -1.0;  // any degradation (even none) passes Eq. 2
+  o.theta1 = 1e9;
+  o.batch_size = batch_size;
+  return o;
+}
+
+std::unique_ptr<Database> MakeTpcdDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: estimates are off
+  EXPECT_TRUE(tpcd::Load(db.get(), gen).ok());
+  return db;
+}
+
+void ExpectNoTempTables(Database* db) {
+  for (int i = 1; i <= 16; ++i)
+    EXPECT_FALSE(db->catalog()->Exists("__temp" + std::to_string(i)))
+        << "__temp" << i << " leaked";
+}
+
+/// Runs Q5 once, crashing at `point` (crash:nth:1); returns the kCrashed
+/// status. EXPECTs that the crash actually fired and latched.
+Status CrashOnce(Database* db, const char* point, const ReoptOptions& opts) {
+  EXPECT_TRUE(
+      db->faults()->Configure(std::string(point) + "=crash:nth:1").ok());
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), opts);
+  EXPECT_FALSE(r.ok()) << point << ": crash did not fire";
+  EXPECT_TRUE(db->faults()->crash_pending()) << point;
+  db->faults()->Reset();  // the armed schedule dies with the "process"
+  return r.ok() ? Status::OK() : r.status();
+}
+
+// ---------------------------------------------------------------------------
+// The crash sweep: every injection point a running query can hit, in both
+// row and batched modes. After the crash, Recover must produce results
+// bit-identical to the uncrashed reference and restore every resource.
+
+struct CrashCase {
+  const char* point;
+  size_t batch_size;
+};
+
+std::string CrashName(const ::testing::TestParamInfo<CrashCase>& info) {
+  std::string name = info.param.point;
+  for (char& c : name)
+    if (c == '.') c = '_';
+  name += info.param.batch_size == 1 ? "_row" : "_batched";
+  return name;
+}
+
+class CrashSweep : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashSweep, RecoverMatchesUncrashedRun) {
+  const CrashCase& p = GetParam();
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate(p.batch_size);
+
+  // Uncrashed oracle: proves the query switches plans (so the reopt.*,
+  // journal.* points are on-path) and pins the expected rows and the
+  // steady-state disk footprint.
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(clean.status());
+  ASSERT_GT(clean->report.plans_switched, 0) << "sweep needs a plan switch";
+  const std::vector<std::string> reference = Canon(clean->rows);
+  EXPECT_TRUE(db->journal()->empty()) << "clean run must retire its records";
+  const size_t baseline_pages = db->disk()->live_pages();
+
+  Status crash = CrashOnce(db.get(), p.point, eager);
+  ASSERT_EQ(crash.code(), StatusCode::kCrashed) << crash.ToString();
+
+  // Restart-resume. Whether this resumes from a journaled stage or re-runs
+  // from scratch depends on where the crash landed relative to the point
+  // of no return; both paths must converge on the oracle's rows.
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  EXPECT_EQ(Canon(rec->rows), reference) << p.point;
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u) << p.point;
+  EXPECT_TRUE(rec->report.trace.recovery_fallbacks.empty())
+      << "intact durable state must not be rejected: "
+      << rec->report.trace.recovery_fallbacks[0].reason;
+
+  // Nothing leaks: temp tables collected, every temp/scratch page freed,
+  // journal retired, crash latch cleared.
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), baseline_pages) << p.point;
+  EXPECT_TRUE(db->journal()->empty()) << p.point;
+  EXPECT_FALSE(db->faults()->crash_pending());
+
+  // The engine is fully usable after recovery.
+  Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(again.status());
+  EXPECT_EQ(Canon(again->rows), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoints, CrashSweep,
+    ::testing::Values(CrashCase{faults::kStorageRead, 1},
+                      CrashCase{faults::kStorageRead, 1024},
+                      CrashCase{faults::kStorageWrite, 1},
+                      CrashCase{faults::kStorageWrite, 1024},
+                      CrashCase{faults::kStorageFree, 1},
+                      CrashCase{faults::kStorageFree, 1024},
+                      CrashCase{faults::kMemoryGrant, 1},
+                      CrashCase{faults::kMemoryGrant, 1024},
+                      CrashCase{faults::kReoptOptimize, 1},
+                      CrashCase{faults::kReoptOptimize, 1024},
+                      CrashCase{faults::kReoptScia, 1},
+                      CrashCase{faults::kReoptScia, 1024},
+                      CrashCase{faults::kReoptMaterialize, 1},
+                      CrashCase{faults::kReoptMaterialize, 1024},
+                      CrashCase{faults::kReoptPostSwitch, 1},
+                      CrashCase{faults::kReoptPostSwitch, 1024},
+                      CrashCase{faults::kJournalAppend, 1},
+                      CrashCase{faults::kJournalAppend, 1024}),
+    CrashName);
+
+// ---------------------------------------------------------------------------
+// Resume semantics: a crash after the journal commit must actually resume
+// (not re-run), skipping the journaled work.
+
+TEST(RecoveryTest, ResumesFromJournaledStage) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(clean.status());
+  ASSERT_GT(clean->report.plans_switched, 0);
+
+  // reopt.post_switch is checked after the journal append, so the stage-1
+  // record is committed before the crash.
+  Status crash = CrashOnce(db.get(), faults::kReoptPostSwitch, eager);
+  ASSERT_EQ(crash.code(), StatusCode::kCrashed);
+  EXPECT_EQ(db->journal()->record_count(), 1u)
+      << "the committed stage must survive the crash";
+
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  EXPECT_EQ(Canon(rec->rows), Canon(clean->rows));
+
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u);
+  const RecoveryEvent& ev = rec->report.trace.recoveries[0];
+  EXPECT_TRUE(ev.resumed);
+  EXPECT_EQ(ev.stage, 1);
+  EXPECT_FALSE(ev.temp_table.empty());
+  EXPECT_GT(ev.rows, 0u);  // the rebound temp was validated row by row
+  EXPECT_GT(ev.skipped_work_ms, 0.0);
+
+  // The resume surfaces in EXPLAIN ANALYZE's event stream.
+  bool announced = false;
+  for (const std::string& e : rec->report.events)
+    announced = announced ||
+                e.find("resumed from stage 1") != std::string::npos;
+  EXPECT_TRUE(announced) << "recovery must announce the resumed stage";
+}
+
+TEST(RecoveryTest, RecoverWithoutPriorCrashRunsFromScratch) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(clean.status());
+
+  // No crash happened; the journal is empty. Recover degenerates to a
+  // normal execution plus a resumed=false event — never an error.
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  EXPECT_EQ(Canon(rec->rows), Canon(clean->rows));
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u);
+  EXPECT_FALSE(rec->report.trace.recoveries[0].resumed);
+  EXPECT_TRUE(rec->report.trace.recovery_fallbacks.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash during recovery itself: the load point re-crashes, a second
+// restart still succeeds from the same journal records. recovery.load only
+// fires inside Recover, so it cannot ride the CrashSweep; both execution
+// modes are covered here instead.
+
+TEST(RecoveryTest, CrashDuringRecoveryLoadThenRecoverAgain) {
+  for (size_t batch_size : {size_t{1}, size_t{1024}}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    std::unique_ptr<Database> db = MakeTpcdDb();
+    const ReoptOptions eager = EagerGate(batch_size);
+    Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+    REOPTDB_ASSERT_OK(clean.status());
+    const size_t baseline_pages = db->disk()->live_pages();
+
+    Status crash = CrashOnce(db.get(), faults::kReoptPostSwitch, eager);
+    ASSERT_EQ(crash.code(), StatusCode::kCrashed);
+
+    // First restart dies reading the journal.
+    REOPTDB_ASSERT_OK(db->faults()->Configure("recovery.load=crash:nth:1"));
+    Result<QueryResult> rec1 = db->Recover(tpcd::Q5Sql(), eager);
+    ASSERT_FALSE(rec1.ok());
+    EXPECT_EQ(rec1.status().code(), StatusCode::kCrashed);
+    db->faults()->Reset();
+
+    // The re-crash must not have consumed the journal or the temp pages: the
+    // second restart resumes normally.
+    EXPECT_EQ(db->journal()->record_count(), 1u);
+    Result<QueryResult> rec2 = db->Recover(tpcd::Q5Sql(), eager);
+    REOPTDB_ASSERT_OK(rec2.status());
+    EXPECT_EQ(Canon(rec2->rows), Canon(clean->rows));
+    ASSERT_EQ(rec2->report.trace.recoveries.size(), 1u);
+    EXPECT_TRUE(rec2->report.trace.recoveries[0].resumed);
+    ExpectNoTempTables(db.get());
+    EXPECT_EQ(db->disk()->live_pages(), baseline_pages);
+    EXPECT_TRUE(db->journal()->empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation failures: untrusted durable state falls back to a clean
+// from-scratch re-run, recorded as a RecoveryFallback — never a wrong
+// answer, never an error.
+
+TEST(RecoveryTest, CorruptJournalRecordFallsBackCleanly) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(clean.status());
+  const size_t baseline_pages = db->disk()->live_pages();
+
+  Status crash = CrashOnce(db.get(), faults::kReoptPostSwitch, eager);
+  ASSERT_EQ(crash.code(), StatusCode::kCrashed);
+  ASSERT_EQ(db->journal()->record_count(), 1u);
+  db->journal()->CorruptRecordForTesting(0);  // on-media bit rot
+
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  EXPECT_EQ(Canon(rec->rows), Canon(clean->rows));
+  ASSERT_EQ(rec->report.trace.recovery_fallbacks.size(), 1u);
+  EXPECT_NE(rec->report.trace.recovery_fallbacks[0].reason.find("journal"),
+            std::string::npos);
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u);
+  EXPECT_FALSE(rec->report.trace.recoveries[0].resumed);
+
+  // The fallback garbage-collected everything the crashed run left.
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), baseline_pages);
+  EXPECT_TRUE(db->journal()->empty());
+}
+
+TEST(RecoveryTest, CorruptTempTablePageFallsBackCleanly) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const ReoptOptions eager = EagerGate();
+  Result<QueryResult> clean = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(clean.status());
+  const size_t baseline_pages = db->disk()->live_pages();
+
+  Status crash = CrashOnce(db.get(), faults::kReoptPostSwitch, eager);
+  ASSERT_EQ(crash.code(), StatusCode::kCrashed);
+
+  // Corrupt one of the journaled temp-table pages on the simulated disk.
+  Result<std::vector<JournalStage>> records = db->journal()->Load(nullptr);
+  REOPTDB_ASSERT_OK(records.status());
+  ASSERT_EQ(records->size(), 1u);
+  ASSERT_FALSE(records.value()[0].temps.empty());
+  const TempSnapshot& snap = records.value()[0].temps[0];
+  ASSERT_FALSE(snap.page_ids.empty());
+  REOPTDB_ASSERT_OK(db->disk()->CorruptPageForTesting(snap.page_ids[0]));
+
+  // Validation (the page-checksummed read, or the content hash over
+  // whatever still deserializes) must reject the snapshot; recovery falls
+  // back and still returns the right rows.
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  EXPECT_EQ(Canon(rec->rows), Canon(clean->rows));
+  ASSERT_EQ(rec->report.trace.recovery_fallbacks.size(), 1u);
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u);
+  EXPECT_FALSE(rec->report.trace.recoveries[0].resumed);
+
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), baseline_pages);
+  EXPECT_TRUE(db->journal()->empty());
+}
+
+// ---------------------------------------------------------------------------
+// REOPTDB_CRASH_SCHEDULE: the env-var schedule arms crash-action triggers
+// (the `crash:` prefix is implied) on a fresh Database.
+
+TEST(RecoveryTest, CrashScheduleEnvVarArmsCrashTriggers) {
+  ::setenv("REOPTDB_CRASH_SCHEDULE", "reopt.post_switch=nth:1", 1);
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  ::unsetenv("REOPTDB_CRASH_SCHEDULE");
+
+  const ReoptOptions eager = EagerGate();
+  Result<QueryResult> r = db->ExecuteWith(tpcd::Q5Sql(), eager);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCrashed);
+  EXPECT_TRUE(db->faults()->crash_pending());
+
+  db->faults()->Reset();
+  Result<QueryResult> rec = db->Recover(tpcd::Q5Sql(), eager);
+  REOPTDB_ASSERT_OK(rec.status());
+  ASSERT_EQ(rec->report.trace.recoveries.size(), 1u);
+  EXPECT_TRUE(rec->report.trace.recoveries[0].resumed);
+}
+
+}  // namespace
+}  // namespace reoptdb

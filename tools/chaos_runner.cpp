@@ -1,0 +1,269 @@
+// Chaos crash harness: seeded randomized crash schedules over the tier-1
+// TPC-D queries, in both row and batched modes, diffing every
+// crashed-then-recovered result against a crash-free oracle.
+//
+// Each trial arms a random subset of the fault-injection points with
+// `crash:nth:K` triggers (K drawn from a seeded stream), runs a query
+// until it crashes (or finishes — a schedule the query never reaches is a
+// valid outcome), then restarts through Database::Recover. With some
+// probability a trial also crashes the recovery itself (recovery.load or a
+// fresh mid-resume schedule), forcing a second restart. The invariant
+// checked on every path: the final rows are bit-identical to the oracle's,
+// no temp tables or disk pages leak, and the journal ends empty.
+//
+//   chaos_runner [--seed N] [--trials N] [--verbose]
+//
+// Exit status 0 only if every trial converged on the oracle's rows.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+struct Tier1Query {
+  const char* name;
+  std::string (*sql)();
+};
+
+const Tier1Query kQueries[] = {
+    {"Q1", tpcd::Q1Sql}, {"Q3", tpcd::Q3Sql}, {"Q5", tpcd::Q5Sql},
+    {"Q6", tpcd::Q6Sql}, {"Q7", tpcd::Q7Sql}, {"Q8", tpcd::Q8Sql},
+    {"Q10", tpcd::Q10Sql},
+};
+
+/// Canonical form of a result set: one rendered string per row, sorted
+/// (queries without ORDER BY have no defined row order); doubles rounded
+/// so hash-order-independent aggregates compare equal.
+std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (i) s += "|";
+      if (v.is_double()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: plan switches actually fire
+  Status st = tpcd::Load(db.get(), gen);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dbgen failed: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  return db;
+}
+
+ReoptOptions EagerGate(size_t batch_size) {
+  ReoptOptions o;
+  o.mode = ReoptMode::kFull;
+  o.theta2 = -1.0;
+  o.theta1 = 1e9;
+  o.batch_size = batch_size;
+  return o;
+}
+
+/// Draws a random crash schedule: 1–3 distinct points, each crash:nth:K.
+std::string RandomSchedule(Rng* rng, bool include_recovery_load) {
+  const std::vector<std::string>& points = FaultInjector::KnownPoints();
+  std::vector<std::string> pool;
+  for (const std::string& p : points) {
+    if (!include_recovery_load && p == faults::kRecoveryLoad) continue;
+    pool.push_back(p);
+  }
+  std::string schedule;
+  const int n = static_cast<int>(rng->NextInt(1, 3));
+  for (int i = 0; i < n; ++i) {
+    const std::string& point =
+        pool[static_cast<size_t>(rng->NextBelow(pool.size()))];
+    if (schedule.find(point) != std::string::npos) continue;  // dup: skip
+    if (!schedule.empty()) schedule += ",";
+    schedule += point + "=crash:nth:" + std::to_string(rng->NextInt(1, 40));
+  }
+  return schedule;
+}
+
+struct Tally {
+  int trials = 0;
+  int crashed = 0;
+  int re_crashed = 0;  // a later restart crashed again
+  int resumed = 0;
+  int fallbacks = 0;
+  int mismatches = 0;
+  int errors = 0;
+};
+
+bool Verbose = false;
+
+/// One trial: crash (maybe), then restart until the query completes;
+/// returns false on a row mismatch, leak, or unexpected error.
+bool RunTrial(const Tier1Query& q, size_t batch_size, uint64_t seed,
+              const std::vector<std::string>& oracle, Tally* tally) {
+  ++tally->trials;
+  Rng rng(seed);
+  std::unique_ptr<Database> db = MakeDb();
+  const ReoptOptions opts = EagerGate(batch_size);
+  const size_t baseline_pages = db->disk()->live_pages();
+
+  Status st = db->faults()->Configure(RandomSchedule(&rng, false));
+  if (!st.ok()) {
+    std::fprintf(stderr, "[%s] bad schedule: %s\n", q.name,
+                 st.ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+
+  Result<QueryResult> res = db->ExecuteWith(q.sql(), opts);
+  bool resumed = false, fell_back = false;
+  if (!res.ok() && res.status().code() != StatusCode::kCrashed) {
+    std::fprintf(stderr, "[%s] non-crash failure under crash schedule: %s\n",
+                 q.name, res.status().ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+  if (!res.ok()) {
+    ++tally->crashed;
+    // Restart loop: each attempt may itself be chaos'd; the last is clean
+    // so the trial always terminates.
+    const int kMaxRestarts = 6;
+    for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+      db->faults()->Reset();  // armed schedules die with the "process"
+      const bool chaos_recovery =
+          attempt < kMaxRestarts - 1 && rng.NextDouble() < 0.3;
+      if (chaos_recovery)
+        (void)db->faults()->Configure(RandomSchedule(&rng, true));
+      res = db->Recover(q.sql(), opts);
+      if (res.ok()) break;
+      if (res.status().code() != StatusCode::kCrashed) {
+        std::fprintf(stderr, "[%s] recovery failed (not a crash): %s\n",
+                     q.name, res.status().ToString().c_str());
+        ++tally->errors;
+        return false;
+      }
+      ++tally->re_crashed;
+    }
+    if (!res.ok()) {
+      std::fprintf(stderr, "[%s] recovery never converged\n", q.name);
+      ++tally->errors;
+      return false;
+    }
+    for (const RecoveryEvent& ev : res->report.trace.recoveries)
+      resumed = resumed || ev.resumed;
+    fell_back = !res->report.trace.recovery_fallbacks.empty();
+    if (resumed) ++tally->resumed;
+    if (fell_back) ++tally->fallbacks;
+  }
+  db->faults()->Reset();
+
+  if (Canon(res->rows) != oracle) {
+    std::fprintf(stderr, "[%s seed=%llu batch=%zu] ROW MISMATCH vs oracle\n",
+                 q.name, static_cast<unsigned long long>(seed), batch_size);
+    ++tally->mismatches;
+    return false;
+  }
+  bool leaked = false;
+  for (int i = 1; i <= 16; ++i)
+    leaked = leaked || db->catalog()->Exists("__temp" + std::to_string(i));
+  if (leaked || db->disk()->live_pages() != baseline_pages ||
+      !db->journal()->empty()) {
+    std::fprintf(stderr,
+                 "[%s seed=%llu batch=%zu] LEAK: temps=%d pages=%zu/%zu "
+                 "journal=%zu\n",
+                 q.name, static_cast<unsigned long long>(seed), batch_size,
+                 leaked ? 1 : 0, db->disk()->live_pages(), baseline_pages,
+                 db->journal()->record_count());
+    ++tally->errors;
+    return false;
+  }
+  if (Verbose)
+    std::printf("[%s seed=%llu batch=%zu] ok%s%s\n", q.name,
+                static_cast<unsigned long long>(seed), batch_size,
+                resumed ? " (resumed)" : "", fell_back ? " (fallback)" : "");
+  return true;
+}
+
+}  // namespace
+}  // namespace reoptdb
+
+int main(int argc, char** argv) {
+  using namespace reoptdb;
+  uint64_t seed = 42;
+  int trials = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+      trials = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_runner [--seed N] [--trials N] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  for (size_t batch_size : {size_t{1}, size_t{1024}}) {
+    for (const Tier1Query& q : kQueries) {
+      // Crash-free oracle, once per (query, mode).
+      std::unique_ptr<Database> oracle_db = MakeDb();
+      Result<QueryResult> oracle =
+          oracle_db->ExecuteWith(q.sql(), EagerGate(batch_size));
+      if (!oracle.ok()) {
+        std::fprintf(stderr, "[%s] oracle failed: %s\n", q.name,
+                     oracle.status().ToString().c_str());
+        return 2;
+      }
+      const std::vector<std::string> reference = Canon(oracle->rows);
+
+      Tally tally;
+      for (int t = 0; t < trials; ++t) {
+        // Per-trial seed mixes the CLI seed, query, mode, and ordinal so
+        // every trial is independent yet exactly reproducible.
+        uint64_t trial_seed = seed * 1000003ULL + batch_size * 997ULL +
+                              static_cast<uint64_t>(&q - kQueries) * 131ULL +
+                              static_cast<uint64_t>(t);
+        ok = RunTrial(q, batch_size, trial_seed, reference, &tally) && ok;
+      }
+      std::printf(
+          "%-4s batch=%-4zu trials=%d crashed=%d re-crashed=%d resumed=%d "
+          "fallbacks=%d mismatches=%d errors=%d\n",
+          q.name, batch_size, tally.trials, tally.crashed, tally.re_crashed,
+          tally.resumed, tally.fallbacks, tally.mismatches, tally.errors);
+    }
+  }
+  std::printf(ok ? "chaos: all trials converged on the oracle\n"
+                 : "chaos: FAILURES above\n");
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,14 @@
 //   \faults [spec|list|off]        fault injection: show armed points, arm
 //                                  from a spec (e.g. reopt.optimize=nth:1),
 //                                  list known points, or disarm all
+//   \crash [spec|off]              arm a crash schedule: like \faults but
+//                                  every trigger gets the crash: action
+//                                  (e.g. \crash reopt.post_switch=nth:1);
+//                                  no arg shows the crash latch + schedule
+//   \recover <sql>                 restart-resume a crashed query: clears
+//                                  the crash latch, validates journaled
+//                                  temp tables, resumes the remainder (or
+//                                  re-runs from scratch)
 //   \q                             quit
 
 #include <cstdio>
@@ -88,7 +96,7 @@ int main(int argc, char** argv) {
   bool show_report = true;
   bool show_trace = false;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
-              "\\trace, \\tables, \\faults, \\batch\n");
+              "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch\n");
 
   std::string line, buffer;
   while (true) {
@@ -128,6 +136,54 @@ int main(int argc, char** argv) {
             std::printf("error: %s\n", st.ToString().c_str());
           else
             std::printf("%s\n", db.faults()->Describe().c_str());
+        }
+      } else if (cmd == "\\crash") {
+        if (arg.empty()) {
+          std::printf("crash latch: %s\n%s",
+                      db.faults()->crash_pending() ? "PENDING (use \\recover)"
+                                                   : "clear",
+                      db.faults()->Describe().c_str());
+        } else if (arg == "off") {
+          db.faults()->Reset();
+          db.faults()->ClearCrash();
+          std::printf("crash schedule disarmed, latch cleared\n");
+        } else {
+          // Same grammar as \faults, with crash: implied on every trigger
+          // (mirrors REOPTDB_CRASH_SCHEDULE).
+          std::string forced;
+          std::istringstream entries(arg);
+          std::string entry;
+          while (std::getline(entries, entry, ',')) {
+            size_t eq = entry.find('=');
+            if (eq != std::string::npos &&
+                entry.compare(eq + 1, 6, "crash:") != 0)
+              entry.insert(eq + 1, "crash:");
+            if (!forced.empty()) forced += ",";
+            forced += entry;
+          }
+          Status st = db.faults()->Configure(forced);
+          if (!st.ok())
+            std::printf("error: %s\n", st.ToString().c_str());
+          else
+            std::printf("%s\n", db.faults()->Describe().c_str());
+        }
+      } else if (cmd == "\\recover") {
+        std::string sql;
+        std::getline(is, sql);
+        sql = arg + sql;
+        if (sql.empty()) {
+          std::printf("usage: \\recover <select ...>\n");
+        } else {
+          db.faults()->Reset();  // armed schedules died with the "process"
+          Result<QueryResult> r = db.Recover(sql, reopt);
+          if (!r.ok()) {
+            std::printf("error: %s\n", r.status().ToString().c_str());
+          } else {
+            PrintRows(*r);
+            if (show_report) PrintReport(r->report);
+            if (show_trace)
+              std::printf("%s", r->report.trace.Summary().c_str());
+          }
         }
       } else if (cmd == "\\batch") {
         if (arg.empty()) {

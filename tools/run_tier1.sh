@@ -20,21 +20,30 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
-  --target fault_test reopt_test reopt_extension_test batch_equivalence_test
+  --target fault_test reopt_test reopt_extension_test \
+           batch_equivalence_test recovery_test chaos_runner
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
-# The fault-injection and batch-equivalence suites run twice: once in the
-# default batched mode and once with REOPTDB_BATCH_SIZE=1 (the legacy
-# row-at-a-time path), so both execution modes get sanitizer coverage.
+# The fault-injection, batch-equivalence, and crash-recovery suites run
+# twice: once in the default batched mode and once with REOPTDB_BATCH_SIZE=1
+# (the legacy row-at-a-time path), so both execution modes get sanitizer
+# coverage.
 for bs in default 1; do
   if [ "${bs}" = default ]; then unset REOPTDB_BATCH_SIZE
   else export REOPTDB_BATCH_SIZE="${bs}"; fi
   echo "-- batch_size=${bs} --"
   "${ASAN_BUILD}/tests/fault_test"
   "${ASAN_BUILD}/tests/batch_equivalence_test"
+  "${ASAN_BUILD}/tests/recovery_test"
 done
 unset REOPTDB_BATCH_SIZE
 "${ASAN_BUILD}/tests/reopt_test"
 "${ASAN_BUILD}/tests/reopt_extension_test"
+
+echo "== tier-1: chaos crash-recovery smoke sweep (ASan+UBSan) =="
+# Seeded randomized crash schedules over the tier-1 queries; chaos_runner
+# internally covers both batch modes (1 and 1024) and exits nonzero on any
+# oracle mismatch, leak, or non-empty journal.
+"${ASAN_BUILD}/tools/chaos_runner" --seed 42 --trials 2
 
 echo "== tier-1: OK =="
