@@ -13,6 +13,10 @@ Status InjectedError(const std::string& point, uint64_t call) {
   if (point.rfind("storage.", 0) == 0) return Status::IoError(std::move(msg));
   if (point.rfind("memory.", 0) == 0)
     return Status::ResourceExhausted(std::move(msg));
+  // exec.* models a scratch-file failure during an operator's spill; like
+  // storage.* it is an I/O error, but it surfaces at the operator (no
+  // transparent DiskManager retry between the spill site and the query).
+  if (point.rfind("exec.", 0) == 0) return Status::IoError(std::move(msg));
   return Status::Internal(std::move(msg));
 }
 
@@ -37,6 +41,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kReoptOptimize,   faults::kReoptMaterialize,
       faults::kReoptScia,       faults::kReoptPostSwitch,
       faults::kJournalAppend,   faults::kRecoveryLoad,
+      faults::kMemoryRevoke,    faults::kExecSpill,
   };
   return kPoints;
 }

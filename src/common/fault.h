@@ -53,6 +53,8 @@ inline constexpr char kReoptScia[] = "reopt.scia";
 inline constexpr char kReoptPostSwitch[] = "reopt.post_switch";
 inline constexpr char kJournalAppend[] = "journal.append";
 inline constexpr char kRecoveryLoad[] = "recovery.load";
+inline constexpr char kMemoryRevoke[] = "memory.revoke";
+inline constexpr char kExecSpill[] = "exec.spill";
 }  // namespace faults
 
 /// When an armed point fires.

@@ -155,6 +155,7 @@ class Database {
 
  private:
   friend class RecoveryManager;
+  friend class WorkloadManager;
 
   /// ExecuteWith plus a journal root override: a recovered remainder
   /// executes under its original query's root so re-crashes chain onto

@@ -1,0 +1,310 @@
+#include "engine/workload_manager.h"
+
+#include <algorithm>
+
+#include "parser/binder.h"
+#include "parser/parser.h"
+
+namespace reoptdb {
+
+struct WorkloadManager::QueryRun {
+  uint64_t id = 0;
+  std::string sql;
+  SubmitOptions sub;  ///< resolved against WorkloadOptions at Submit()
+  ReoptOptions reopt;
+  // Declaration order matters: the session borrows ctx and reoptimizer,
+  // so it must be destroyed first (members destroy in reverse order).
+  std::unique_ptr<ExecContext> ctx;
+  std::unique_ptr<DynamicReoptimizer> reoptimizer;
+  std::unique_ptr<QuerySession> session;
+  std::unique_ptr<SessionGrantHolder> holder;
+  WorkloadQueryResult out;
+};
+
+/// Adapts one QueryRun to the broker's GrantHolder surface and forwards
+/// revocations into the victim's trace.
+class WorkloadManager::SessionGrantHolder : public MemoryBroker::GrantHolder {
+ public:
+  explicit SessionGrantHolder(QueryRun* q) : q_(q) {}
+
+  double PinnedPages() const override {
+    return q_->session != nullptr ? q_->session->PinnedPages() : 0;
+  }
+
+  void OnGrantChanged(double new_grant_pages,
+                      const RevocationEvent* cause) override {
+    // During this query's own registration the session does not exist yet
+    // (the grant lands via the DynamicReoptimizer's construction instead).
+    if (q_->session == nullptr) return;
+    if (cause != nullptr) {
+      q_->ctx->trace()->revocations.push_back(*cause);
+      q_->ctx->AddEvent(Render(*cause));
+    }
+    q_->session->OnGrantChanged(new_grant_pages);
+  }
+
+ private:
+  QueryRun* q_;
+};
+
+WorkloadManager::WorkloadManager(Database* db, WorkloadOptions opts)
+    : db_(db),
+      opts_(opts),
+      broker_(opts.global_mem_pages > 0 ? opts.global_mem_pages
+                                        : db->options().query_mem_pages,
+              db->faults()) {
+  opts_.global_mem_pages = broker_.total_pages();
+  if (opts_.max_active < 1) opts_.max_active = 1;
+}
+
+WorkloadManager::~WorkloadManager() {
+  // Sessions release their grants before the broker goes away; QueryRun
+  // member order handles per-query teardown.
+  for (auto& [id, q] : queries_) {
+    q->session.reset();
+    broker_.Release(id);
+  }
+}
+
+uint64_t WorkloadManager::Submit(std::string sql, SubmitOptions sub) {
+  auto owned = std::make_unique<QueryRun>();
+  QueryRun* q = owned.get();
+  q->id = next_id_++;
+  q->sql = std::move(sql);
+  q->sub = sub;
+  if (q->sub.ask_pages <= 0) {
+    q->sub.ask_pages = opts_.per_query_mem_pages > 0 ? opts_.per_query_mem_pages
+                                                     : broker_.total_pages();
+  }
+  if (q->sub.min_grant_pages <= 0) {
+    q->sub.min_grant_pages = opts_.min_grant_pages;
+  }
+  q->reopt = q->sub.reopt.has_value() ? *q->sub.reopt : opts_.reopt;
+  q->out.query_id = q->id;
+  q->out.sql = q->sql;
+  q->out.submitted_ms = std::max(now_ms_, q->sub.arrival_ms);
+  queries_[q->id] = std::move(owned);
+
+  if (q->sub.arrival_ms > now_ms_) {
+    arrivals_.push_back(q->id);  // queue-entry (and capacity) at arrival
+  } else {
+    EnqueueOne(q);
+  }
+  return q->id;
+}
+
+void WorkloadManager::EnqueueOne(QueryRun* q) {
+  if (q->sub.min_grant_pages > broker_.total_pages()) {
+    // Infeasible by construction: even an empty system cannot satisfy the
+    // admission floor. Reject up front, before the queue ages it out.
+    RecordRejection(q, "ask_exceeds_budget",
+                    Status::ResourceExhausted(
+                        "admission: min grant exceeds the global budget"));
+  } else if (queued_.size() >= opts_.max_queue) {
+    RecordRejection(q, "queue_full",
+                    Status::ResourceExhausted("admission queue full"));
+  } else {
+    queued_.push_back(q->id);
+  }
+}
+
+void WorkloadManager::EnqueueArrivals() {
+  // Arrivals are scanned in submission order; arrival_ms values need not be
+  // monotone across submissions.
+  for (size_t i = 0; i < arrivals_.size();) {
+    QueryRun* q = queries_[arrivals_[i]].get();
+    if (q->sub.arrival_ms <= now_ms_) {
+      arrivals_.erase(arrivals_.begin() + static_cast<long>(i));
+      EnqueueOne(q);
+    } else {
+      ++i;
+    }
+  }
+}
+
+Status WorkloadManager::AdmitOne(QueryRun* q) {
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(q->sql));
+  QuerySpec spec;
+  ASSIGN_OR_RETURN(spec, Bind(ast, db_->catalog_));
+
+  if (q->holder == nullptr) q->holder = std::make_unique<SessionGrantHolder>(q);
+  double granted = 0;
+  ASSIGN_OR_RETURN(granted,
+                   broker_.Register(q->id, q->holder.get(), q->sub.ask_pages,
+                                    q->sub.min_grant_pages, now_ms_));
+
+  OptimizerOptions opt_opts = db_->opts_.optimizer;
+  opt_opts.assumed_mem_pages = granted;
+  opt_opts.pool_pages_hint = static_cast<double>(db_->opts_.buffer_pool_pages);
+  const OptimizerCalibration& cal = db_->calibration();
+  q->reoptimizer = std::make_unique<DynamicReoptimizer>(
+      &db_->catalog_, &db_->cost_, &cal, opt_opts, q->reopt, granted);
+  q->reoptimizer->SetJournal(&db_->journal_);
+  q->ctx = std::make_unique<ExecContext>(&db_->pool_, &db_->catalog_,
+                                         &db_->cost_,
+                                         /*seed=*/1234 + ++db_->query_counter_);
+  q->ctx->SetFaultInjector(&db_->faults_);
+  // Baseline the I/O slice now: other sessions' I/O since pool creation
+  // must not be charged to this query.
+  q->ctx->BeginIoSlice();
+
+  Result<std::unique_ptr<QuerySession>> session = q->reoptimizer->StartSession(
+      std::move(spec), q->ctx.get(), &q->out.result.rows,
+      &q->out.result.schema);
+  if (!session.ok()) {
+    broker_.Release(q->id);
+    q->ctx.reset();
+    q->reoptimizer.reset();
+    return session.status();
+  }
+  q->session = std::move(session).value();
+
+  // The optimizer invocation advances the workload clock; the queue wait
+  // is then charged to the query's own clock so deadline_ms covers time
+  // spent waiting for admission.
+  const double opt_ms = q->ctx->SimElapsedMs();
+  const double wait_ms = std::max(0.0, now_ms_ - q->out.submitted_ms);
+  now_ms_ += opt_ms;
+  q->ctx->ChargeExternalMs(wait_ms);
+  q->out.started_ms = now_ms_;
+  q->out.granted_pages = granted;
+  return Status::OK();
+}
+
+bool WorkloadManager::AdmitPending() {
+  bool admitted_any = false;
+  bool progress = true;
+  while (progress && static_cast<int>(running_.size()) < opts_.max_active &&
+         !queued_.empty()) {
+    progress = false;
+    for (size_t i = 0; i < queued_.size(); ++i) {
+      // Anti-starvation: once the head has been skipped max_head_skips
+      // times, admission turns strictly FIFO until it gets in — a stream
+      // of small queries can then no longer starve a queued large one.
+      if (i > 0 && head_skips_ >= opts_.max_head_skips) break;
+      QueryRun* q = queries_[queued_[i]].get();
+      Status st = AdmitOne(q);
+      if (st.ok()) {
+        if (i == 0) {
+          head_skips_ = 0;
+        } else {
+          ++head_skips_;
+        }
+        queued_.erase(queued_.begin() + static_cast<long>(i));
+        running_.push_back(q->id);
+        admitted_any = true;
+        progress = true;  // queue shifted: restart the scan
+        break;
+      }
+      if (st.code() == StatusCode::kResourceExhausted) continue;  // later
+      // Terminal failure (parse error, bind error, crash, ...).
+      FinishQuery(q, st);
+      queued_.erase(queued_.begin() + static_cast<long>(i));
+      progress = true;
+      break;
+    }
+  }
+  return admitted_any;
+}
+
+void WorkloadManager::CancelExpiredQueued() {
+  for (size_t i = 0; i < queued_.size();) {
+    QueryRun* q = queries_[queued_[i]].get();
+    if (q->reopt.deadline_ms > 0 &&
+        now_ms_ - q->out.submitted_ms > q->reopt.deadline_ms) {
+      RecordRejection(
+          q, "queued_deadline",
+          Status::Cancelled("cancelled in admission queue: waited past "
+                            "deadline_ms"));
+      queued_.erase(queued_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void WorkloadManager::FinishQuery(QueryRun* q, Status status) {
+  q->out.status = std::move(status);
+  q->out.finished_ms = now_ms_;
+  // Session destruction runs the controller's cleanup guards (temp tables,
+  // collector hook, journal) before the grant returns to the pool.
+  q->session.reset();
+  broker_.Release(q->id);
+}
+
+void WorkloadManager::RecordRejection(QueryRun* q, const char* reason,
+                                      Status status) {
+  AdmissionReject rej;
+  rej.query_id = q->id;
+  rej.reason = reason;
+  rej.queued = queued_.size();
+  rej.active = static_cast<int>(running_.size());
+  rej.at_ms = now_ms_;
+  rejections_.push_back(rej);
+  q->out.status = std::move(status);
+  q->out.finished_ms = now_ms_;
+}
+
+Result<std::vector<WorkloadQueryResult>> WorkloadManager::Run() {
+  while (!arrivals_.empty() || !queued_.empty() || !running_.empty()) {
+    EnqueueArrivals();
+    CancelExpiredQueued();
+    AdmitPending();
+    if (running_.empty()) {
+      if (queued_.empty() && !arrivals_.empty()) {
+        // Idle until the next arrival: advance the clock to it.
+        double next = queries_[arrivals_.front()]->sub.arrival_ms;
+        for (uint64_t id : arrivals_) {
+          next = std::min(next, queries_[id]->sub.arrival_ms);
+        }
+        now_ms_ = std::max(now_ms_, next);
+        continue;
+      }
+      if (!queued_.empty()) {
+        // Nothing is running, so the whole budget is free — if the head
+        // still cannot be admitted it never will be. Reject it rather
+        // than spin.
+        QueryRun* q = queries_[queued_.front()].get();
+        RecordRejection(q, "ask_exceeds_budget",
+                        Status::ResourceExhausted(
+                            "admission: ask cannot be satisfied even by an "
+                            "idle system"));
+        queued_.pop_front();
+      }
+      continue;
+    }
+
+    // One cooperative round: each running session executes one scheduler
+    // stage. The I/O slice brackets keep the shared DiskManager's counters
+    // attributed to the session that incurred them.
+    for (size_t i = 0; i < running_.size();) {
+      QueryRun* q = queries_[running_[i]].get();
+      q->ctx->BeginIoSlice();
+      const double t0 = q->ctx->SimElapsedMs();
+      Result<bool> stepped = q->session->Step();
+      q->ctx->EndIoSlice();
+      const double t1 = q->ctx->SimElapsedMs();
+      now_ms_ += std::max(0.0, t1 - t0);
+
+      if (!stepped.ok()) {
+        FinishQuery(q, stepped.status());
+        running_.erase(running_.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (stepped.value()) {
+        q->out.result.report = q->session->TakeReport();
+        FinishQuery(q, Status::OK());
+        running_.erase(running_.begin() + static_cast<long>(i));
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  std::vector<WorkloadQueryResult> out;
+  out.reserve(queries_.size());
+  for (auto& [id, q] : queries_) out.push_back(std::move(q->out));
+  return out;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,167 @@
+// WorkloadManager: overload-robust multi-query execution.
+//
+// Runs N concurrent query sessions multiplexed over one Database — its
+// shared DiskManager, buffer pool, and a global memory budget brokered by
+// the MemoryBroker. Everything is cooperative on the simulated clock: no
+// OS threads; the scheduler's stage boundaries are the yield points, and
+// each QuerySession::Step() runs exactly one stage. Three layers:
+//
+//   1. Admission control — a bounded FIFO queue in front of a global
+//      memory / active-query budget. Overflow and infeasible asks are
+//      rejected with a typed AdmissionReject record; time spent queued
+//      counts against the query's ReoptOptions::deadline_ms.
+//   2. Revocable grants — the broker may shave the un-started portion of
+//      an admitted query's grant (largest-first, mirroring the
+//      MemoryManager's pass-1 shave) to admit the next query; the victim
+//      is notified and re-divides what remains.
+//   3. Spill-under-pressure — operators whose budget shrank mid-flight
+//      degrade to partitioned execution (SpillEvent records) instead of
+//      overrunning the revoked grant; the controller suppresses
+//      revocation-only re-optimization (Eq2Check::revocation_only).
+
+#ifndef REOPTDB_ENGINE_WORKLOAD_MANAGER_H_
+#define REOPTDB_ENGINE_WORKLOAD_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "memory/memory_broker.h"
+
+namespace reoptdb {
+
+/// Workload-level knobs. Defaults of 0 inherit from the Database.
+struct WorkloadOptions {
+  /// Global page budget divided among concurrent queries. 0 = the
+  /// Database's query_mem_pages (i.e. one solo query's worth — any
+  /// concurrency then contends).
+  double global_mem_pages = 0;
+  /// Pages each query asks the broker for. 0 = global_mem_pages, i.e.
+  /// every query asks for everything and concurrency runs on revocation.
+  double per_query_mem_pages = 0;
+  /// Admission floor: a query is not admitted below this grant.
+  double min_grant_pages = 8;
+  /// Maximum concurrently executing queries.
+  int max_active = 4;
+  /// Maximum queued (admitted-pending) queries; overflow is rejected.
+  size_t max_queue = 8;
+  /// Aging/anti-starvation: how many times younger queries may be admitted
+  /// past a stuck queue head before admission turns strictly FIFO (the
+  /// head then drains the budget it needs). 0 = always strict FIFO.
+  int max_head_skips = 4;
+  /// Re-optimization configuration for every workload query (deadline_ms
+  /// covers queued time too).
+  ReoptOptions reopt;
+};
+
+/// Per-submission overrides. Defaults inherit from WorkloadOptions.
+struct SubmitOptions {
+  /// Simulated arrival time: the query enters the admission queue once the
+  /// workload clock reaches this (0 = queued immediately at Submit()).
+  double arrival_ms = 0;
+  /// Broker ask for this query; 0 = WorkloadOptions::per_query_mem_pages.
+  double ask_pages = 0;
+  /// Admission floor for this query; 0 = WorkloadOptions::min_grant_pages.
+  double min_grant_pages = 0;
+  /// Re-optimization options for this query (its deadline_ms covers queued
+  /// time); nullopt = WorkloadOptions::reopt.
+  std::optional<ReoptOptions> reopt;
+};
+
+/// Terminal state of one submitted query.
+struct WorkloadQueryResult {
+  uint64_t query_id = 0;
+  std::string sql;
+  /// OK = completed; kResourceExhausted = rejected by admission control;
+  /// kCancelled = deadline (queued or running); other codes = execution
+  /// error.
+  Status status = Status::OK();
+  /// Valid when status.ok(): rows, schema and the full ExecutionReport
+  /// (its trace carries this query's SpillEvents and RevocationEvents).
+  QueryResult result;
+  double submitted_ms = 0;
+  double started_ms = 0;   ///< admission time; 0 if never admitted
+  double finished_ms = 0;
+  double granted_pages = 0;  ///< broker grant at admission; 0 if rejected
+};
+
+/// \brief Cooperative multi-query scheduler over one Database.
+///
+/// Usage: Submit() any number of statements, then Run() to completion.
+/// Single-threaded and deterministic: sessions are stepped round-robin in
+/// admission order, and all time is simulated.
+class WorkloadManager {
+ public:
+  WorkloadManager(Database* db, WorkloadOptions opts);
+  ~WorkloadManager();
+
+  WorkloadManager(const WorkloadManager&) = delete;
+  WorkloadManager& operator=(const WorkloadManager&) = delete;
+
+  /// Enqueues a SELECT for execution and returns its workload query id.
+  /// A full queue rejects immediately (typed AdmissionReject, reason
+  /// "queue_full"); the rejection surfaces in Run()'s results, not here.
+  /// Future arrival_ms defers the queue-entry (and its capacity check)
+  /// until the workload clock reaches it.
+  uint64_t Submit(std::string sql, SubmitOptions sub = SubmitOptions{});
+
+  /// Runs every submitted query to a terminal state and returns results
+  /// in submission order. Queries admitted mid-run interleave with the
+  /// ones already executing.
+  Result<std::vector<WorkloadQueryResult>> Run();
+
+  /// Simulated workload clock: total simulated ms executed so far across
+  /// all sessions (admissions, steps, and optimizer invocations).
+  double now_ms() const { return now_ms_; }
+
+  /// Admission rejections and cancellations, in order.
+  const std::vector<AdmissionReject>& rejections() const {
+    return rejections_;
+  }
+
+  /// The broker (grant and revocation state).
+  const MemoryBroker& broker() const { return broker_; }
+
+ private:
+  struct QueryRun;
+  class SessionGrantHolder;
+
+  /// Applies the feasibility and queue-capacity checks and either queues q
+  /// or records the typed rejection.
+  void EnqueueOne(QueryRun* q);
+  /// Moves submitted-but-not-yet-arrived queries whose arrival_ms has
+  /// passed into the admission queue (applying the capacity check).
+  void EnqueueArrivals();
+  /// Admits queued queries while budget and slots allow, honoring the
+  /// head-skip bound. Returns true if at least one query was admitted.
+  bool AdmitPending();
+  /// Parses, registers with the broker, and starts q's session. A
+  /// non-kResourceExhausted failure marks q terminally failed.
+  Status AdmitOne(QueryRun* q);
+  /// Cancels queued queries whose deadline elapsed while waiting.
+  void CancelExpiredQueued();
+  void FinishQuery(QueryRun* q, Status status);
+  void RecordRejection(QueryRun* q, const char* reason, Status status);
+
+  Database* db_;
+  WorkloadOptions opts_;
+  MemoryBroker broker_;
+  double now_ms_ = 0;
+  uint64_t next_id_ = 1;
+  int head_skips_ = 0;
+
+  std::map<uint64_t, std::unique_ptr<QueryRun>> queries_;
+  std::deque<uint64_t> arrivals_;  ///< submitted, arrival_ms in the future
+  std::deque<uint64_t> queued_;
+  std::vector<uint64_t> running_;  ///< admission order = step order
+  std::vector<AdmissionReject> rejections_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_ENGINE_WORKLOAD_MANAGER_H_

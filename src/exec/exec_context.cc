@@ -11,12 +11,12 @@ ExecContext::ExecContext(BufferPool* pool, Catalog* catalog,
 }
 
 uint64_t ExecContext::PageIos() const {
-  DiskStats d = pool_->disk()->stats() - disk_start_;
+  DiskStats d = io_acc_ + (pool_->disk()->stats() - disk_start_);
   return d.page_reads + d.page_writes;
 }
 
 double ExecContext::SimElapsedMs() const {
-  DiskStats d = pool_->disk()->stats() - disk_start_;
+  DiskStats d = io_acc_ + (pool_->disk()->stats() - disk_start_);
   return cost_->TimeMs(d.page_reads + d.page_writes, cpu_) +
          d.retry_penalty_ms + external_ms_;
 }

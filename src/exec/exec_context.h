@@ -77,6 +77,20 @@ class ExecContext {
   /// Page I/Os since this context was created.
   uint64_t PageIos() const;
 
+  /// Multi-query interleaving support. Concurrent sessions share one
+  /// DiskManager, so "stats since context creation" would charge every
+  /// session for everyone's I/O. The WorkloadManager brackets each session
+  /// step: BeginIoSlice() re-baselines (discarding other sessions' I/O
+  /// since this session last ran), EndIoSlice() folds the step's own delta
+  /// into a private accumulator. Single-query execution never calls these
+  /// and keeps the original since-creation semantics.
+  void BeginIoSlice() { disk_start_ = pool_->disk()->stats(); }
+  void EndIoSlice() {
+    DiskStats now = pool_->disk()->stats();
+    io_acc_ = io_acc_ + (now - disk_start_);
+    disk_start_ = now;
+  }
+
   const CpuWork& cpu_work() const { return cpu_; }
   double external_ms() const { return external_ms_; }
 
@@ -140,6 +154,8 @@ class ExecContext {
   Rng rng_;
   CpuWork cpu_;
   DiskStats disk_start_;
+  /// I/O folded in by EndIoSlice(); zero outside workload interleaving.
+  DiskStats io_acc_;
   double external_ms_ = 0;
   std::vector<std::string> events_;
   QueryTrace trace_;

@@ -60,6 +60,7 @@ Status HashAggregateOp::OpenImpl() {
   budget_bytes_ =
       std::max(1.0, node_->mem_budget_pages > 0 ? node_->mem_budget_pages : 64) *
       kPageSize;
+  open_budget_bytes_ = budget_bytes_;
   fanout_ = static_cast<size_t>(
       std::clamp(node_->mem_budget_pages - 1, 2.0, 32.0));
   return Status::OK();
@@ -133,9 +134,19 @@ Result<HashAggregateOp::GroupState> HashAggregateOp::TupleToState(
 
 Status HashAggregateOp::SpillAll(int depth) {
   if (parts_.empty()) {
+    if (ctx_->faults() != nullptr)
+      RETURN_IF_ERROR(ctx_->faults()->Check(faults::kExecSpill));
     for (size_t i = 0; i < fanout_; ++i) parts_.push_back(ctx_->MakeTempHeap());
     spilled_ = true;
     spill_depth_ = depth;
+    SpillEvent ev;
+    ev.plan_generation = ctx_->plan_generation();
+    ev.node_id = node_->id;
+    ev.op = "aggregate";
+    ev.reason = budget_bytes_ < open_budget_bytes_ ? "shrink" : "budget";
+    ev.partitions = static_cast<int>(fanout_);
+    ev.at_ms = ctx_->SimElapsedMs();
+    ctx_->trace()->spills.push_back(std::move(ev));
     ctx_->AddEvent("aggregate " + std::to_string(node_->id) +
                    ": groups exceeded budget, spilling to " +
                    std::to_string(fanout_) + " partitions");
@@ -163,10 +174,11 @@ Status HashAggregateOp::BlockingPhaseImpl() {
     ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
     if (!more) break;
     ctx_->ChargeHash(1);
-    // Mid-execution memory response (paper Section 2.3 extension).
+    // Mid-execution memory response (paper Section 2.3 extension): adopt
+    // increases — and decreases from a broker revocation, which make the
+    // next over-budget merge spill instead of overrunning the grant.
     if ((++rows_seen & 0x1ff) == 0 && !spilled_) {
-      double latest = std::max(1.0, node_->mem_budget_pages) * kPageSize;
-      if (latest > budget_bytes_) budget_bytes_ = latest;
+      budget_bytes_ = std::max(1.0, node_->mem_budget_pages) * kPageSize;
     }
     GroupState s;
     for (size_t i : group_idx_) s.group_values.push_back(row.at(i));
@@ -218,6 +230,16 @@ Status HashAggregateOp::AbsorbPartition(PendingPartition part) {
       Merge(key, std::move(s));
       if (mem_bytes_ > budget_bytes_ && part.depth < kMaxSpillDepth) {
         // Re-partition one level deeper: dump the table and stream the rest.
+        if (ctx_->faults() != nullptr)
+          RETURN_IF_ERROR(ctx_->faults()->Check(faults::kExecSpill));
+        SpillEvent ev;
+        ev.plan_generation = ctx_->plan_generation();
+        ev.node_id = node_->id;
+        ev.op = "aggregate";
+        ev.reason = "repartition";
+        ev.partitions = static_cast<int>(fanout_);
+        ev.at_ms = ctx_->SimElapsedMs();
+        ctx_->trace()->spills.push_back(std::move(ev));
         overflow = true;
         for (size_t i = 0; i < fanout_; ++i) subs.push_back(ctx_->MakeTempHeap());
         for (auto& [k, st] : table_) {

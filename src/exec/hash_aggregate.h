@@ -75,6 +75,9 @@ class HashAggregateOp : public Operator {
   std::vector<OutCol> out_cols_;
 
   double budget_bytes_ = 0;
+  /// Budget seen at Open; a smaller current budget means the grant shrank
+  /// mid-flight (broker revocation), which attributes the spill reason.
+  double open_budget_bytes_ = 0;
   size_t fanout_ = 8;
   bool built_ = false;
   bool spilled_ = false;

@@ -31,8 +31,23 @@ Status HashJoinOp::OpenImpl() {
   budget_bytes_ =
       std::max(2.0, node_->mem_budget_pages > 0 ? node_->mem_budget_pages : 64) *
       kPageSize;
+  open_budget_bytes_ = budget_bytes_;
   fanout_ = static_cast<size_t>(
       std::clamp(node_->mem_budget_pages - 1, 2.0, 32.0));
+  return Status::OK();
+}
+
+Status HashJoinOp::RecordSpill(const char* reason, int partitions) {
+  if (ctx_->faults() != nullptr)
+    RETURN_IF_ERROR(ctx_->faults()->Check(faults::kExecSpill));
+  SpillEvent ev;
+  ev.plan_generation = ctx_->plan_generation();
+  ev.node_id = node_->id;
+  ev.op = "hash-join";
+  ev.reason = reason;
+  ev.partitions = partitions;
+  ev.at_ms = ctx_->SimElapsedMs();
+  ctx_->trace()->spills.push_back(std::move(ev));
   return Status::OK();
 }
 
@@ -50,6 +65,9 @@ void HashJoinOp::InsertBuildRow(Tuple row) {
 }
 
 Status HashJoinOp::SpillBuild() {
+  RETURN_IF_ERROR(RecordSpill(
+      budget_bytes_ < open_budget_bytes_ ? "shrink" : "budget",
+      static_cast<int>(fanout_)));
   build_parts_.clear();
   for (size_t i = 0; i < fanout_; ++i)
     build_parts_.push_back(ctx_->MakeTempHeap());
@@ -87,10 +105,11 @@ Status HashJoinOp::BlockingPhaseImpl() {
     if (!more) break;
     ctx_->ChargeHash(1);
     // Mid-execution memory response (paper Section 2.3 extension): pick up
-    // budget increases granted while the build is running.
+    // budget increases granted while the build is running — and budget
+    // *decreases* from a broker revocation, which make the very next
+    // over-budget insert spill instead of overrunning the revoked grant.
     if ((++rows_seen & 0x1ff) == 0 && in_memory_) {
-      double latest = std::max(2.0, node_->mem_budget_pages) * kPageSize;
-      if (latest > budget_bytes_) budget_bytes_ = latest;
+      budget_bytes_ = std::max(2.0, node_->mem_budget_pages) * kPageSize;
     }
     if (in_memory_) {
       InsertBuildRow(std::move(row));
@@ -141,6 +160,7 @@ Result<bool> HashJoinOp::LoadNextPartition() {
 
     if (overflow) {
       // Re-partition this pair one level deeper.
+      RETURN_IF_ERROR(RecordSpill("repartition", static_cast<int>(fanout_)));
       ++passes_;
       ctx_->AddEvent("hash-join " + std::to_string(node_->id) +
                      ": partition overflow at depth " +

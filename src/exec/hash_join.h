@@ -56,8 +56,16 @@ class HashJoinOp : public Operator {
   /// Inserts one build row into the in-memory table.
   void InsertBuildRow(Tuple row);
 
+  /// Records a typed SpillEvent in the query trace (the AddEvent string
+  /// next to each call site is the human-readable rendering kept for
+  /// compatibility) and checks the exec.spill injection point.
+  Status RecordSpill(const char* reason, int partitions);
+
   std::vector<size_t> build_keys_, probe_keys_;
   double budget_bytes_ = 0;
+  /// Budget seen at Open; a smaller budget later means the grant shrank
+  /// mid-flight (broker revocation), which attributes the spill reason.
+  double open_budget_bytes_ = 0;
   size_t fanout_ = 8;
   bool built_ = false;
   int passes_ = 0;

@@ -15,6 +15,7 @@ Status SortOp::OpenImpl() {
   budget_bytes_ =
       std::max(1.0, node_->mem_budget_pages > 0 ? node_->mem_budget_pages : 64) *
       kPageSize;
+  open_budget_bytes_ = budget_bytes_;
   return Status::OK();
 }
 
@@ -27,6 +28,16 @@ bool SortOp::Less(const Tuple& a, const Tuple& b) const {
 }
 
 Status SortOp::FlushRun() {
+  if (ctx_->faults() != nullptr)
+    RETURN_IF_ERROR(ctx_->faults()->Check(faults::kExecSpill));
+  SpillEvent ev;
+  ev.plan_generation = ctx_->plan_generation();
+  ev.node_id = node_->id;
+  ev.op = "sort";
+  ev.reason = budget_bytes_ < open_budget_bytes_ ? "shrink" : "budget";
+  ev.partitions = static_cast<int>(runs_.size()) + 1;  // runs incl. this one
+  ev.at_ms = ctx_->SimElapsedMs();
+  ctx_->trace()->spills.push_back(std::move(ev));
   std::sort(rows_.begin(), rows_.end(),
             [this](const Tuple& a, const Tuple& b) { return Less(a, b); });
   double n = static_cast<double>(rows_.size());
@@ -47,9 +58,18 @@ Status SortOp::BlockingPhaseImpl() {
     budget_bytes_ = std::max(1.0, node_->mem_budget_pages) * kPageSize;
 
   Tuple row;
+  uint64_t rows_seen = 0;
   while (true) {
     ASSIGN_OR_RETURN(bool more, child(0)->Next(&row));
     if (!more) break;
+    // Adopt mid-flight budget *decreases* (broker revocation): the sort
+    // degrades to more, smaller runs instead of overrunning the revoked
+    // grant. Increases are ignored — runs already cut stay cut, and the
+    // merge cost model keys off run count, not peak memory.
+    if ((++rows_seen & 0x1ff) == 0) {
+      double latest = std::max(1.0, node_->mem_budget_pages) * kPageSize;
+      if (latest < budget_bytes_) budget_bytes_ = latest;
+    }
     mem_bytes_ += static_cast<double>(row.SerializedSize()) + 32;
     rows_.push_back(std::move(row));
     if (mem_bytes_ > budget_bytes_) RETURN_IF_ERROR(FlushRun());

@@ -34,6 +34,9 @@ class SortOp : public Operator {
 
   std::vector<std::pair<size_t, bool>> keys_;  // (column index, ascending)
   double budget_bytes_ = 0;
+  /// Budget seen at Open; a smaller current budget means the grant shrank
+  /// mid-flight (broker revocation), which attributes the spill reason.
+  double open_budget_bytes_ = 0;
   bool built_ = false;
 
   std::vector<Tuple> rows_;

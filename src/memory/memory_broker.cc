@@ -1,0 +1,97 @@
+#include "memory/memory_broker.h"
+
+#include <algorithm>
+
+namespace reoptdb {
+
+namespace {
+
+/// Pages the entry could give up right now: its grant minus the larger of
+/// what its operators have pinned and its admission-time floor.
+double Revocable(const MemoryBroker::GrantHolder& holder, double grant,
+                 double min_pages) {
+  return std::max(0.0, grant - std::max(holder.PinnedPages(), min_pages));
+}
+
+}  // namespace
+
+Result<double> MemoryBroker::Register(uint64_t query_id, GrantHolder* holder,
+                                      double ask_pages, double min_pages,
+                                      double at_ms) {
+  ask_pages = std::max(ask_pages, min_pages);
+
+  // Feasibility first: if even revoking everything revocable cannot reach
+  // the floor, reject *before* shaving anyone — an admission that is going
+  // to fail must not leave other queries poorer.
+  double reachable = free_pages_;
+  for (const auto& [id, e] : entries_)
+    reachable += Revocable(*e.holder, e.grant, e.min_pages);
+  if (reachable < min_pages)
+    return Status::ResourceExhausted(
+        "memory broker: ask exceeds revocable budget");
+
+  // Shave the largest revocable grant first until the ask is covered —
+  // the MemoryManager's pass-1 heuristic lifted one level up: big holders
+  // lose least (relatively) and fragmenting many small grants causes more
+  // spills than trimming one large one.
+  while (free_pages_ < ask_pages) {
+    auto victim = entries_.end();
+    double victim_rev = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      double rev = Revocable(*it->second.holder, it->second.grant,
+                             it->second.min_pages);
+      if (rev > victim_rev) {
+        victim_rev = rev;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // nothing left to revoke
+
+    if (faults_ != nullptr) {
+      Status st = faults_->Check(faults::kMemoryRevoke);
+      if (st.code() == StatusCode::kCrashed) return st;
+      if (!st.ok()) {
+        // Injected revocation failure: stop shaving. Victims already
+        // notified stay shrunk (their pages are in the free pool); the
+        // admission below succeeds or fails on what was actually freed.
+        if (free_pages_ >= min_pages) break;
+        return st;
+      }
+    }
+
+    const double take = std::min(victim_rev, ask_pages - free_pages_);
+    victim->second.grant -= take;
+    free_pages_ += take;
+
+    RevocationEvent rev;
+    rev.victim_query_id = victim->first;
+    rev.beneficiary_query_id = query_id;
+    rev.pages = take;
+    rev.victim_grant_after = victim->second.grant;
+    rev.at_ms = at_ms;
+    log_.push_back(rev);
+    victim->second.holder->OnGrantChanged(victim->second.grant, &rev);
+  }
+
+  const double granted = std::min(ask_pages, free_pages_);
+  if (granted < min_pages)
+    return Status::ResourceExhausted(
+        "memory broker: insufficient free pages after revocation");
+  free_pages_ -= granted;
+  entries_[query_id] = Entry{holder, granted, min_pages};
+  return granted;
+}
+
+void MemoryBroker::Release(uint64_t query_id) {
+  auto it = entries_.find(query_id);
+  if (it == entries_.end()) return;
+  free_pages_ += it->second.grant;
+  entries_.erase(it);
+}
+
+double MemoryBroker::grant(uint64_t query_id) const {
+  auto it = entries_.find(query_id);
+  return it == entries_.end() ? 0 : it->second.grant;
+}
+
+}  // namespace reoptdb

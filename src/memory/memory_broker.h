@@ -1,0 +1,97 @@
+// Cross-query memory broker: revocable grants over one shared budget.
+//
+// The MemoryManager divides *one query's* budget among its operators
+// (Paradise's three-pass division). Under concurrent execution the queries
+// themselves compete for memory first; the broker arbitrates that outer
+// layer. Each admitted query holds a grant; the portion its operators have
+// not pinned yet (Section 2.3: "once an operator starts executing, its
+// memory allocation cannot be changed") is revocable. When a new query's
+// ask cannot be met from free pages, the broker shaves the *largest*
+// revocable grants first — the same heuristic as the MemoryManager's
+// pass-1 shave — and notifies each victim so it can re-divide what
+// remains and arm the controller's reopt-thrash hysteresis.
+
+#ifndef REOPTDB_MEMORY_MEMORY_BROKER_H_
+#define REOPTDB_MEMORY_MEMORY_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "obs/query_trace.h"
+
+namespace reoptdb {
+
+/// \brief Arbitrates one shared page budget across concurrent queries.
+///
+/// Single-threaded like everything else in the engine: the WorkloadManager
+/// calls Register/Release between session steps, never concurrently.
+class MemoryBroker {
+ public:
+  /// The broker's view of one admitted query (the WorkloadManager adapts
+  /// QuerySession to this).
+  class GrantHolder {
+   public:
+    virtual ~GrantHolder() = default;
+    /// Pages pinned by already-started operators — the non-revocable floor.
+    virtual double PinnedPages() const = 0;
+    /// The holder's total grant changed. `cause` is non-null when the
+    /// change is a revocation in favor of another query (for the victim's
+    /// trace); null for a plain re-grant.
+    virtual void OnGrantChanged(double new_grant_pages,
+                                const RevocationEvent* cause) = 0;
+  };
+
+  /// `faults` may be null; when set, the memory.revoke point fires once per
+  /// attempted revocation (an injected error aborts the remaining shave —
+  /// pages already freed stay freed, victims already notified stay shrunk).
+  MemoryBroker(double total_pages, FaultInjector* faults = nullptr)
+      : total_pages_(total_pages), free_pages_(total_pages), faults_(faults) {}
+
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
+
+  /// Admits a query: grants min(ask, free-after-revocation) pages, shaving
+  /// other queries' revocable grants largest-first if free pages alone
+  /// cannot cover the ask. Fails with kResourceExhausted — before harming
+  /// any victim — when even full revocation could not reach `min_pages`,
+  /// and with the revocations kept when an injected fault stopped the
+  /// shave short of `min_pages`. `at_ms` stamps the RevocationEvents.
+  Result<double> Register(uint64_t query_id, GrantHolder* holder,
+                          double ask_pages, double min_pages, double at_ms);
+
+  /// Returns the query's entire grant to the free pool. Freed pages are
+  /// not proactively redistributed; queued queries pick them up at their
+  /// own admission (documented policy: no unsolicited re-grants, so a
+  /// query's memory only changes when someone needed it).
+  void Release(uint64_t query_id);
+
+  double total_pages() const { return total_pages_; }
+  double free_pages() const { return free_pages_; }
+  /// Current grant of an admitted query; 0 if unknown.
+  double grant(uint64_t query_id) const;
+  int active() const { return static_cast<int>(entries_.size()); }
+
+  /// Every revocation performed, in order.
+  const std::vector<RevocationEvent>& revocations() const { return log_; }
+
+ private:
+  struct Entry {
+    GrantHolder* holder = nullptr;
+    double grant = 0;
+    double min_pages = 0;
+  };
+
+  double total_pages_;
+  double free_pages_;
+  FaultInjector* faults_;
+  /// Keyed by query id — iteration (victim scans) is deterministic.
+  std::map<uint64_t, Entry> entries_;
+  std::vector<RevocationEvent> log_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_MEMORY_MEMORY_BROKER_H_

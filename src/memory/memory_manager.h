@@ -37,21 +37,19 @@ class MemoryManager {
   /// in `frozen_ids` keep their current budget (already started/finished).
   /// Returns true if any pending operator's budget changed.
   ///
+  /// Fallible grant entry point — the only way to (re-)divide memory.
+  /// Consults the fault injector's `memory.grant` point before dividing.
+  /// On an injected (or future real) grant failure, no budget is touched —
+  /// existing allocations stay exactly as they were, so a failed grant can
+  /// never leave the plan half-re-budgeted — and the error is returned for
+  /// the caller to treat as advisory. `faults` may be nullptr.
+  ///
   /// The aggregate grant never exceeds total_pages(), except when even the
-  /// 2-page-per-consumer floor does not fit the budget.
+  /// 2-page-per-consumer floor does not fit the budget (or frozen
+  /// operators already hold more than a shrunken total).
   ///
   /// When `trace` is non-null, every budget change is recorded as a
   /// BudgetChange{generation, node, at_ms, before, after}.
-  bool Allocate(PlanNode* root, const std::set<int>& frozen_ids,
-                QueryTrace* trace = nullptr, double at_ms = 0,
-                int plan_generation = 0) const;
-
-  /// Fallible grant entry point: consults the fault injector's
-  /// `memory.grant` point before dividing memory. On an injected (or
-  /// future real) grant failure, no budget is touched — existing
-  /// allocations stay exactly as they were, so a failed grant can never
-  /// leave the plan half-re-budgeted — and the error is returned for the
-  /// caller to treat as advisory. `faults` may be nullptr.
   Result<bool> TryAllocate(FaultInjector* faults, PlanNode* root,
                            const std::set<int>& frozen_ids,
                            QueryTrace* trace = nullptr, double at_ms = 0,
@@ -63,7 +61,19 @@ class MemoryManager {
 
   double total_pages() const { return total_pages_; }
 
+  /// Re-targets the division to a new total (a MemoryBroker revocation or
+  /// regrant). Takes effect at the next TryAllocate; budgets already
+  /// handed out are untouched until then.
+  void set_total_pages(double pages) { total_pages_ = pages; }
+
  private:
+  /// Infallible division pass. Private on purpose: every call site must go
+  /// through TryAllocate so memory pressure surfaces as a typed Status,
+  /// never as an unchecked grant.
+  bool Allocate(PlanNode* root, const std::set<int>& frozen_ids,
+                QueryTrace* trace = nullptr, double at_ms = 0,
+                int plan_generation = 0) const;
+
   const CostModel* cost_;
   double total_pages_;
 };

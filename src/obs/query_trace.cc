@@ -100,6 +100,7 @@ std::string QueryTrace::ToJson() const {
     o.Set("degradation", JsonValue::MakeNumber(r.degradation));
     o.Set("theta2", JsonValue::MakeNumber(r.theta2));
     o.Set("fired", JsonValue::MakeBool(r.fired));
+    o.Set("revocation_only", JsonValue::MakeBool(r.revocation_only));
     eq2_j.Append(std::move(o));
   }
   root.Set("eq2_checks", std::move(eq2_j));
@@ -198,6 +199,32 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("recovery_fallbacks", std::move(fb_j));
 
+  JsonValue sp_j = JsonValue::MakeArray();
+  for (const SpillEvent& r : spills) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("gen", JsonValue::MakeNumber(r.plan_generation));
+    o.Set("node", JsonValue::MakeNumber(r.node_id));
+    o.Set("op", JsonValue::MakeString(r.op));
+    o.Set("reason", JsonValue::MakeString(r.reason));
+    o.Set("partitions", JsonValue::MakeNumber(r.partitions));
+    o.Set("at_ms", JsonValue::MakeNumber(r.at_ms));
+    sp_j.Append(std::move(o));
+  }
+  root.Set("spills", std::move(sp_j));
+
+  JsonValue rv_j = JsonValue::MakeArray();
+  for (const RevocationEvent& r : revocations) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("victim", JsonValue::MakeNumber(static_cast<double>(r.victim_query_id)));
+    o.Set("beneficiary",
+          JsonValue::MakeNumber(static_cast<double>(r.beneficiary_query_id)));
+    o.Set("pages", JsonValue::MakeNumber(r.pages));
+    o.Set("victim_grant_after", JsonValue::MakeNumber(r.victim_grant_after));
+    o.Set("at_ms", JsonValue::MakeNumber(r.at_ms));
+    rv_j.Append(std::move(o));
+  }
+  root.Set("revocations", std::move(rv_j));
+
   return root.Serialize();
 }
 
@@ -228,6 +255,7 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
     r.degradation = GetNum(o, "degradation");
     r.theta2 = GetNum(o, "theta2");
     r.fired = GetBool(o, "fired");
+    r.revocation_only = GetBool(o, "revocation_only");
     t.eq2_checks.push_back(r);
   }
 
@@ -323,6 +351,33 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       t.recovery_fallbacks.push_back(std::move(r));
     }
   }
+  // Spill/revocation arrays are optional so traces serialized before the
+  // multi-query overload layer still parse.
+  if (const JsonValue* sp = root.Find("spills");
+      sp != nullptr && sp->is_array()) {
+    for (const JsonValue& o : sp->items()) {
+      SpillEvent r;
+      r.plan_generation = static_cast<int>(GetNum(o, "gen"));
+      r.node_id = static_cast<int>(GetNum(o, "node"));
+      r.op = GetStr(o, "op");
+      r.reason = GetStr(o, "reason");
+      r.partitions = static_cast<int>(GetNum(o, "partitions"));
+      r.at_ms = GetNum(o, "at_ms");
+      t.spills.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* rv = root.Find("revocations");
+      rv != nullptr && rv->is_array()) {
+    for (const JsonValue& o : rv->items()) {
+      RevocationEvent r;
+      r.victim_query_id = static_cast<uint64_t>(GetNum(o, "victim"));
+      r.beneficiary_query_id = static_cast<uint64_t>(GetNum(o, "beneficiary"));
+      r.pages = GetNum(o, "pages");
+      r.victim_grant_after = GetNum(o, "victim_grant_after");
+      r.at_ms = GetNum(o, "at_ms");
+      t.revocations.push_back(r);
+    }
+  }
 
   return t;
 }
@@ -372,6 +427,12 @@ std::string QueryTrace::Summary() const {
     for (const RecoveryFallback& r : recovery_fallbacks)
       out += "  " + Render(r) + "\n";
   }
+  if (!spills.empty() || !revocations.empty()) {
+    out += "memory pressure:\n";
+    for (const SpillEvent& r : spills) out += "  " + Render(r) + "\n";
+    for (const RevocationEvent& r : revocations)
+      out += "  " + Render(r) + "\n";
+  }
   return out;
 }
 
@@ -418,6 +479,8 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("mem_reallocs_kept", JsonValue::MakeNumber(kept));
   root.Set("reopt_failures", JsonValue::MakeNumber(reopt_failures.size()));
   root.Set("degraded", JsonValue::MakeBool(!degradations.empty()));
+  root.Set("spills", JsonValue::MakeNumber(spills.size()));
+  root.Set("revocations", JsonValue::MakeNumber(revocations.size()));
   return root.Serialize();
 }
 
@@ -425,7 +488,9 @@ std::string Render(const Eq2Check& r) {
   return "eq2 check after stage " + std::to_string(r.stage_node_id) +
          ": improved=" + Ms(r.improved) + " est=" + Ms(r.est) +
          " degradation=" + Ms(r.degradation) +
-         (r.fired ? " (fired)" : " (below theta2)");
+         (r.revocation_only
+              ? " (suppressed: revocation-only change)"
+              : (r.fired ? " (fired)" : " (below theta2)"));
 }
 
 std::string Render(const Eq1Check& r) {
@@ -475,6 +540,28 @@ std::string Render(const RecoveryEvent& r) {
 
 std::string Render(const RecoveryFallback& r) {
   return "recovery fallback: " + r.reason + " -> clean from-scratch re-run";
+}
+
+std::string Render(const SpillEvent& r) {
+  std::string s = r.op + " " + std::to_string(r.node_id) + " spilled (" +
+                  r.reason + ")";
+  if (r.partitions > 0)
+    s += " into " + std::to_string(r.partitions) + " partition(s)";
+  s += " at " + Ms(r.at_ms) + "ms";
+  return s;
+}
+
+std::string Render(const AdmissionReject& r) {
+  return "admission reject: query " + std::to_string(r.query_id) + " (" +
+         r.reason + ", queued=" + std::to_string(r.queued) +
+         " active=" + std::to_string(r.active) + ") at " + Ms(r.at_ms) + "ms";
+}
+
+std::string Render(const RevocationEvent& r) {
+  return "revocation: " + Ms(r.pages) + " pages from query " +
+         std::to_string(r.victim_query_id) + " to query " +
+         std::to_string(r.beneficiary_query_id) + " (victim grant now " +
+         Ms(r.victim_grant_after) + ") at " + Ms(r.at_ms) + "ms";
 }
 
 std::string Render(const MemoryReallocation& r) {

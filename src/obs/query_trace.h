@@ -48,6 +48,12 @@ struct Eq2Check {
   double degradation = 0;  ///< (improved - est) / est
   double theta2 = 0;
   bool fired = false;
+  /// Oscillation damping under multi-query overload: the only change since
+  /// the previous gate evaluation was a broker revocation (no new collector
+  /// feedback), so the check was recorded but suppressed (`fired` stays
+  /// false) — re-optimizing on self-inflicted memory churn would feed a
+  /// revoke -> reopt -> revoke loop.
+  bool revocation_only = false;
 };
 
 /// Eq. (1) optimizer-cost check: fired when t_opt_est <= theta1 * rem_cur.
@@ -131,6 +137,45 @@ struct RecoveryFallback {
   std::string reason;
 };
 
+/// One operator spill decision under memory pressure: the in-memory
+/// footprint exceeded the budget (or the budget shrank mid-flight after a
+/// broker revocation) and the operator degraded to partitioned / external
+/// execution instead of erroring. The extra I/O is on the sim clock.
+struct SpillEvent {
+  int plan_generation = 0;
+  int node_id = -1;
+  std::string op;      ///< "hash-join" | "sort" | "aggregate"
+  std::string reason;  ///< "budget" | "shrink" | "repartition"
+  int partitions = 0;  ///< spill partitions / external runs created
+  double at_ms = 0;
+};
+
+/// One admission-control decision that kept a query out of the engine:
+/// the bounded FIFO queue overflowed, the ask could never fit the global
+/// budget, or the queued wait exhausted the query's deadline. Recorded in
+/// the WorkloadManager's trace (the query never ran, so it has no
+/// QueryTrace of its own).
+struct AdmissionReject {
+  uint64_t query_id = 0;
+  std::string reason;  ///< "queue_full" | "ask_exceeds_budget" |
+                       ///< "queued_deadline"
+  size_t queued = 0;   ///< queue length at the decision
+  int active = 0;      ///< active sessions at the decision
+  double at_ms = 0;    ///< workload clock
+};
+
+/// One revocable-grant shave by the memory broker: `pages` were taken from
+/// the victim's unpinned portion (operators not yet started) to satisfy
+/// the beneficiary's request. The victim is notified and re-divides its
+/// shrunken grant; in-flight operators spill if they are now over budget.
+struct RevocationEvent {
+  uint64_t victim_query_id = 0;
+  uint64_t beneficiary_query_id = 0;
+  double pages = 0;               ///< pages shaved from the victim
+  double victim_grant_after = 0;  ///< victim's grant after the shave
+  double at_ms = 0;               ///< workload clock
+};
+
 /// One operator's budget change from a memory-manager pass.
 struct BudgetChange {
   int plan_generation = 0;
@@ -167,6 +212,10 @@ class QueryTrace {
   std::vector<DegradationEvent> degradations;
   std::vector<RecoveryEvent> recoveries;
   std::vector<RecoveryFallback> recovery_fallbacks;
+  std::vector<SpillEvent> spills;
+  /// Revocations this query *suffered* (victim side); the broker keeps the
+  /// workload-wide log.
+  std::vector<RevocationEvent> revocations;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -196,6 +245,9 @@ std::string Render(const ReoptFailure& r);
 std::string Render(const DegradationEvent& r);
 std::string Render(const RecoveryEvent& r);
 std::string Render(const RecoveryFallback& r);
+std::string Render(const SpillEvent& r);
+std::string Render(const AdmissionReject& r);
+std::string Render(const RevocationEvent& r);
 
 }  // namespace reoptdb
 

@@ -358,6 +358,664 @@ TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
   return ts;
 }
 
+/// \brief The moved-out body of the old monolithic ExecuteWithPlan, held
+/// alive between Step() calls.
+///
+/// Everything that used to be a local of the execute loop — the report,
+/// the live mode, the scope guards, the frozen-operator set, the memory
+/// manager — lives here so execution can pause at every stage boundary
+/// (the WorkloadManager's yield points) and resume later. Destroying the
+/// State mid-query runs the same guard cleanup as an error unwind did in
+/// the monolithic version.
+struct QuerySession::State {
+  State(DynamicReoptimizer* o, QuerySpec s, std::unique_ptr<PlanNode> p,
+        ExecContext* c, std::vector<Tuple>* r, Schema* os)
+      : owner(o),
+        spec(std::move(s)),
+        plan(std::move(p)),
+        ctx(c),
+        rows(r),
+        out_schema(os),
+        trace(c->trace()),
+        faults(c->faults()),
+        mode(o->opts_.mode),
+        root_sql(o->journal_root_override_.empty()
+                     ? spec.ToSql()
+                     : o->journal_root_override_),
+        optimizer(o->catalog_, o->cost_, o->optimizer_opts_),
+        mm(o->cost_, o->query_mem_pages_),
+        temp_tables(o->catalog_, c->faults()),
+        hook_guard(c, &o->live_plan_slot_),
+        journal_guard(o->journal_, &root_sql, c->faults()) {}
+
+  DynamicReoptimizer* owner;
+  QuerySpec spec;
+  std::unique_ptr<PlanNode> plan;
+  ExecContext* ctx;
+  std::vector<Tuple>* rows;
+  Schema* out_schema;
+
+  QueryTrace* trace;
+  FaultInjector* faults;
+
+  ExecutionReport report;
+  /// The query's *live* mode: graceful degradation demotes it to kOff
+  /// after repeated recovered failures without touching the options (the
+  /// next query starts fresh).
+  ReoptMode mode;
+  /// The journal keys records by the *root* query's canonical SQL: a
+  /// resumed remainder executes under its original query's root (the
+  /// override), so a further switch supersedes the journaled stage instead
+  /// of starting a new chain.
+  const std::string root_sql;
+  Optimizer optimizer;
+  MemoryManager mm;
+  TempTableCleaner temp_tables;
+  HookGuard hook_guard;
+  JournalGuard journal_guard;
+
+  std::set<int> started;
+  int recovered_failures = 0;
+  bool finished = false;
+  /// Reopt-thrash hysteresis: set when the broker shrank this query's
+  /// grant; the next gate evaluation with no new collector feedback is
+  /// recorded as suppressed instead of firing (see Eq2Check's
+  /// revocation_only).
+  bool revoked_since_gate = false;
+  std::unique_ptr<PipelineExecutor> exec;
+
+  Status Start();
+  Result<bool> Step();
+  Status Finalize();
+
+  void RecordFailure(const char* point, const Status& st, const char* action,
+                     int stage_node_id, int attempts) {
+    ReoptFailure f;
+    f.point = point;
+    f.status = st.ToString();
+    f.action = action;
+    f.attempts = attempts;
+    f.stage_node_id = stage_node_id;
+    f.at_ms = ctx->SimElapsedMs();
+    ctx->AddEvent(Render(f));
+    trace->reopt_failures.push_back(std::move(f));
+    ++report.reopt_failures;
+  }
+
+  void NoteRecovered() {
+    ++recovered_failures;
+    if (mode != ReoptMode::kOff &&
+        recovered_failures >= owner->opts_.max_reopt_failures) {
+      DegradationEvent d;
+      d.from_mode = ReoptModeName(mode);
+      d.to_mode = ReoptModeName(ReoptMode::kOff);
+      d.failures = recovered_failures;
+      d.at_ms = ctx->SimElapsedMs();
+      ctx->AddEvent(Render(d));
+      trace->degradations.push_back(std::move(d));
+      mode = ReoptMode::kOff;
+      report.reopt_degraded = true;
+      // The collector hook (if installed) is defused at the next stage
+      // boundary — a safe point; doing it here could destroy the hook
+      // closure while it is executing.
+    }
+  }
+};
+
+Status QuerySession::State::Start() {
+  const ReoptOptions& opts = owner->opts_;
+  trace->config.mode = ReoptModeName(opts.mode);
+  trace->config.mu = opts.mu;
+  trace->config.theta1 = opts.theta1;
+  trace->config.theta2 = opts.theta2;
+  trace->config.mid_execution_memory = opts.mid_execution_memory;
+
+  if (opts.deadline_ms > 0) ctx->SetDeadlineMs(opts.deadline_ms);
+  ctx->SetBatchSize(opts.batch_size);
+
+  if (mode != ReoptMode::kOff) {
+    // Collector insertion is advisory: without collectors the query simply
+    // runs conventionally, so a failure here is recovered, not fatal.
+    Status st = faults != nullptr ? faults->Check(faults::kReoptScia)
+                                  : Status::OK();
+    if (st.ok()) {
+      SciaOptions scia;
+      scia.mu = opts.mu;
+      scia.histogram_buckets = opts.histogram_buckets;
+      scia.reservoir_capacity = opts.reservoir_capacity;
+      Result<SciaResult> sres = InsertStatsCollectors(
+          &plan, spec, *owner->catalog_, *owner->cost_, scia);
+      if (sres.ok()) {
+        report.collectors_inserted = sres.value().collectors_inserted;
+      } else {
+        st = sres.status();
+      }
+    }
+    if (st.code() == StatusCode::kCrashed) return st;
+    if (!st.ok()) {
+      RecordFailure(faults::kReoptScia, st, "continued", -1, 1);
+      NoteRecovered();
+    }
+  }
+
+  if (Result<bool> grant =
+          mm.TryAllocate(faults, plan.get(), started, trace,
+                         ctx->SimElapsedMs(), ctx->plan_generation());
+      !grant.ok()) {
+    if (grant.status().code() == StatusCode::kCrashed) return grant.status();
+    // A failed grant leaves budgets untouched; operators fall back to
+    // conservative defaults, so execution proceeds.
+    RecordFailure(faults::kMemoryGrant, grant.status(), "continued", -1, 1);
+    NoteRecovered();
+  }
+  RecostWithBudgets(plan.get(), *owner->cost_);
+  report.plan_before = plan->ToString();
+  report.estimated_cost_ms = plan->est.cost_total_ms;
+  if (out_schema) *out_schema = plan->output_schema;
+
+  // Section 2.3 extension: react to collector completions immediately,
+  // not just at stage boundaries. Operators re-read their budgets while
+  // running, so an in-flight build can pick up extra memory.
+  if (opts.mid_execution_memory &&
+      (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull)) {
+    owner->live_plan_slot_ = std::make_shared<PlanNode*>(nullptr);
+    std::shared_ptr<PlanNode*> live_plan = owner->live_plan_slot_;
+    ctx->SetCollectorHook([this, live_plan](PlanNode* collector) {
+      if (mode == ReoptMode::kOff) return;  // degraded: inert until defused
+      PlanNode* root = *live_plan;
+      if (root == nullptr || root->Find(collector->id) != collector) return;
+      RefreshImprovedEstimates(root, *owner->cost_);
+      const double before = root->improved.cost_total_ms;
+      std::set<int> no_frozen;  // running operators may respond mid-flight
+      Result<bool> changed =
+          mm.TryAllocate(ctx->faults(), root, no_frozen, ctx->trace(),
+                         ctx->SimElapsedMs(), ctx->plan_generation());
+      if (!changed.ok()) {
+        // A crash cannot propagate from inside the hook; the injector's
+        // crash_pending latch fails the query at the operator's next
+        // cancellation check.
+        if (changed.status().code() == StatusCode::kCrashed) return;
+        RecordFailure(faults::kMemoryGrant, changed.status(), "continued",
+                      collector->id, 1);
+        NoteRecovered();
+        return;
+      }
+      if (changed.value()) {
+        RefreshImprovedEstimates(root, *owner->cost_);
+        MemoryReallocation rec;
+        rec.trigger_node_id = collector->id;
+        rec.mid_execution = true;
+        rec.before_ms = before;
+        rec.after_ms = root->improved.cost_total_ms;
+        rec.kept = true;  // mid-execution responses are never rolled back
+        ctx->trace()->memory_reallocations.push_back(rec);
+        ctx->AddEvent(Render(rec));
+      }
+    });
+    // The hook needs the current root even after plan switches.
+    ctx->AddEvent("mid-execution memory response enabled");
+  }
+  return Status::OK();
+}
+
+Result<bool> QuerySession::State::Step() {
+  if (finished) return true;
+  if (!exec) {
+    if (owner->live_plan_slot_) *owner->live_plan_slot_ = plan.get();
+    ASSIGN_OR_RETURN(exec, PipelineExecutor::Create(ctx, plan.get()));
+    RETURN_IF_ERROR(exec->Open());
+  }
+  if (!exec->HasMoreStages()) {
+    // Defensive: a plan whose root stage already delivered (should be
+    // unreachable — RunNextStage reports finished on the delivery stage).
+    RETURN_IF_ERROR(exec->Close());
+    RETURN_IF_ERROR(Finalize());
+    return true;
+  }
+
+  ASSIGN_OR_RETURN(PipelineExecutor::StageResult stage,
+                   exec->RunNextStage(rows));
+  // Safe point to retire the hook if the query degraded mid-stage.
+  if (mode == ReoptMode::kOff) hook_guard.Defuse();
+  if (stage.stage_node) started.insert(stage.stage_node->id);
+  for (PlanNode* c : stage.new_collectors) {
+    report.edges.push_back(EdgeComparison{
+        c->id, c->est.cardinality, c->observed.cardinality});
+  }
+  if (stage.finished) {
+    RETURN_IF_ERROR(exec->Close());
+    RETURN_IF_ERROR(Finalize());
+    return true;
+  }
+  if (mode == ReoptMode::kOff || stage.new_collectors.empty()) {
+    // Reopt-thrash hysteresis: when the only change since the last gate
+    // evaluation is a broker revocation (no new collector feedback), the
+    // Eq.(2) gate is suppressed. A revocation inflates the improved
+    // estimate of *any* plan; letting it trigger a switch — and the
+    // regrant trigger a switch back — would oscillate on external memory
+    // pressure rather than on evidence about this plan's quality.
+    if (revoked_since_gate && stage.stage_node != nullptr &&
+        (mode == ReoptMode::kPlanOnly || mode == ReoptMode::kFull)) {
+      RefreshImprovedEstimates(plan.get(), *owner->cost_);
+      Eq2Check eq2;
+      eq2.stage_node_id = stage.stage_node->id;
+      eq2.improved = plan->improved.cost_total_ms;
+      eq2.est = plan->est.cost_total_ms;
+      eq2.degradation =
+          (eq2.improved - eq2.est) / std::max(1e-9, eq2.est);
+      eq2.theta2 = owner->opts_.theta2;
+      eq2.fired = false;
+      eq2.revocation_only = true;
+      trace->eq2_checks.push_back(eq2);
+      ctx->AddEvent(Render(eq2));
+      revoked_since_gate = false;
+    }
+    return false;
+  }
+  // Fresh collector feedback: gate decisions below rest on real evidence,
+  // not just the revocation, so the hysteresis latch clears.
+  revoked_since_gate = false;
+
+  RefreshImprovedEstimates(plan.get(), *owner->cost_);
+
+  // Dynamic memory re-allocation for operators that have not started.
+  // The new allocation is kept only if it improves the (improved)
+  // estimated total — "overall performance is expected to improve
+  // since the new memory allocation is based on improved estimates".
+  if (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull) {
+    std::map<int, double> snapshot;
+    plan->PostOrder([&](PlanNode* n) {
+      if (n->IsMemoryConsumer()) snapshot[n->id] = n->mem_budget_pages;
+    });
+    double before = plan->improved.cost_total_ms;
+    size_t bc_mark = trace->budget_changes.size();
+    Result<bool> realloc =
+        mm.TryAllocate(faults, plan.get(), started, trace,
+                       ctx->SimElapsedMs(), ctx->plan_generation());
+    if (!realloc.ok()) {
+      if (realloc.status().code() == StatusCode::kCrashed)
+        return realloc.status();
+      // Advisory: the current allocation keeps working.
+      RecordFailure(faults::kMemoryGrant, realloc.status(), "continued",
+                    stage.stage_node ? stage.stage_node->id : -1, 1);
+      NoteRecovered();
+    } else if (realloc.value()) {
+      RefreshImprovedEstimates(plan.get(), *owner->cost_);
+      MemoryReallocation rec;
+      rec.trigger_node_id =
+          stage.stage_node ? stage.stage_node->id : -1;
+      rec.before_ms = before;
+      rec.after_ms = plan->improved.cost_total_ms;
+      // Keep the new allocation only with a clear improvement margin —
+      // estimate noise should not shuffle budgets back and forth.
+      rec.kept = plan->improved.cost_total_ms < before * 0.98;
+      if (rec.kept) {
+        ++report.memory_reallocations;
+      } else {
+        plan->PostOrder([&](PlanNode* n) {
+          auto it = snapshot.find(n->id);
+          if (it != snapshot.end()) n->mem_budget_pages = it->second;
+        });
+        RefreshImprovedEstimates(plan.get(), *owner->cost_);
+        trace->budget_changes.resize(bc_mark);  // rolled back: un-record
+      }
+      trace->memory_reallocations.push_back(rec);
+      ctx->AddEvent(Render(rec));
+    }
+  }
+
+  // Query plan modification.
+  if ((mode != ReoptMode::kPlanOnly && mode != ReoptMode::kFull) ||
+      report.plans_switched >= owner->opts_.max_plan_switches ||
+      stage.stage_node == nullptr) {
+    return false;
+  }
+  PlanNode* frontier = stage.stage_node;
+  // Nothing left to re-order when the frontier already covers every
+  // relation.
+  if (frontier->covers.size() >= spec.relations.size()) return false;
+
+  const double work_done =
+      std::max(0.0, ctx->SimElapsedMs() - ctx->external_ms());
+  const double rem_cur = std::max(
+      1e-3, plan->improved.cost_total_ms - work_done);
+
+  // Eq. (2): is the current plan likely sub-optimal?
+  const double t_est = std::max(1e-9, plan->est.cost_total_ms);
+  Eq2Check eq2;
+  eq2.stage_node_id = frontier->id;
+  eq2.improved = plan->improved.cost_total_ms;
+  eq2.est = plan->est.cost_total_ms;
+  eq2.degradation = (eq2.improved - eq2.est) / t_est;
+  eq2.theta2 = owner->opts_.theta2;
+  eq2.fired = eq2.degradation > owner->opts_.theta2;
+  trace->eq2_checks.push_back(eq2);
+  ctx->AddEvent(Render(eq2));
+  if (!eq2.fired) return false;
+
+  // Eq. (1): is re-optimization cheap relative to what remains?
+  const int remainder_rels = static_cast<int>(
+      spec.relations.size() - frontier->covers.size() + 1);
+  Eq1Check eq1;
+  eq1.stage_node_id = frontier->id;
+  eq1.t_opt_est = owner->calibration_
+                      ? owner->calibration_->EstimateOptTimeMs(remainder_rels)
+                      : owner->cost_->params().t_opt_per_plan_ms * 256;
+  eq1.rem_cur = rem_cur;
+  eq1.theta1 = owner->opts_.theta1;
+  eq1.fired = eq1.t_opt_est <= owner->opts_.theta1 * rem_cur;
+  trace->eq1_checks.push_back(eq1);
+  ctx->AddEvent(Render(eq1));
+  if (!eq1.fired) return false;
+  const double t_opt_est = eq1.t_opt_est;
+
+  // Candidate plan switch — a transaction against the current plan.
+  // Until the frontier is drained into the temp table (the point of no
+  // return), any failure rolls the candidate back: the temp table is
+  // dropped, its budget records un-recorded, and the query continues
+  // on its current plan. Failures after the drain are fatal but still
+  // unwind through the scope guards (no leaked temps, no live hook).
+  ++report.reopts_considered;
+  // A successful switch frees the old plan tree (and `frontier` with
+  // it) before the post-switch fault check, so failure records must
+  // not read through the pointer.
+  const int frontier_id = frontier->id;
+  const DiskStats io_before = ctx->pool()->disk()->stats();
+  const size_t cand_bc_mark = trace->budget_changes.size();
+  std::string temp_name;
+  bool accepted = false;
+  bool past_no_return = false;
+  const char* site = faults::kReoptOptimize;
+  Status cand = [&]() -> Status {
+    temp_name = owner->catalog_->NextTempName();
+    Schema temp_schema =
+        TempTableSchema(temp_name, frontier->output_schema);
+    TableInfo* temp_info = nullptr;
+    ASSIGN_OR_RETURN(temp_info,
+                     owner->catalog_->CreateTable(temp_name, temp_schema,
+                                                  /*is_temp=*/true));
+    temp_tables.Track(temp_name);  // dropped on rollback or unwind
+    RETURN_IF_ERROR(owner->catalog_->SetStats(
+        temp_name, BuildTempStats(*frontier, spec, *owner->catalog_)));
+    QuerySpec remainder;
+    ASSIGN_OR_RETURN(remainder, BuildRemainderSpec(spec, frontier->covers,
+                                                   temp_name));
+
+    // Re-invoke the optimizer with the new statistics: observed base
+    // relation stats override the (possibly stale) catalog.
+    BaseRelOverrides overrides =
+        CollectBaseRelOverrides(*plan, spec, *owner->catalog_);
+    if (faults != nullptr)
+      RETURN_IF_ERROR(faults->Check(faults::kReoptOptimize));
+    OptimizeResult new_opt;
+    ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
+    ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
+    report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
+
+    // Cost the candidate under the memory it would actually receive;
+    // comparing an optimistically costed new plan against the
+    // budget-aware improved estimate of the current plan would bias
+    // the gate toward switching. Budget changes are recorded against
+    // the candidate's generation and un-recorded on reject/rollback.
+    site = faults::kMemoryGrant;
+    {
+      std::set<int> fresh;
+      RETURN_IF_ERROR(mm.TryAllocate(faults, new_opt.plan.get(), fresh,
+                                     trace, ctx->SimElapsedMs(),
+                                     ctx->plan_generation() + 1)
+                          .status());
+      RecostWithBudgets(new_opt.plan.get(), *owner->cost_);
+    }
+
+    const double finish_frontier =
+        std::max(0.0, frontier->improved.cost_total_ms - work_done);
+    const double write_cost =
+        frontier->improved.pages * owner->cost_->params().t_io_ms;
+    const double rem_new = finish_frontier + write_cost +
+                           new_opt.plan->est.cost_total_ms + t_opt_est;
+
+    SwitchDecision decision;
+    decision.stage_node_id = frontier->id;
+    decision.rem_cur = rem_cur;
+    decision.rem_new = rem_new;
+    decision.temp_table = temp_name;
+    decision.accepted = rem_new < rem_cur;
+    if (!decision.accepted) {
+      // Reject: keep the current plan; only the optimizer call was
+      // paid.
+      trace->budget_changes.resize(cand_bc_mark);
+      trace->switches.push_back(decision);
+      ctx->AddEvent(Render(decision));
+      site = faults::kStorageFree;
+      RETURN_IF_ERROR(temp_tables.DropNow(temp_name));
+      return Status::OK();
+    }
+
+    // Accept. Collector insertion for the new plan runs before the
+    // point of no return so its failure can still roll back.
+    std::unique_ptr<PlanNode> new_plan = std::move(new_opt.plan);
+    if (mode == ReoptMode::kFull || mode == ReoptMode::kPlanOnly) {
+      site = faults::kReoptScia;
+      if (faults != nullptr)
+        RETURN_IF_ERROR(faults->Check(faults::kReoptScia));
+      SciaOptions scia;
+      scia.mu = owner->opts_.mu;
+      scia.histogram_buckets = owner->opts_.histogram_buckets;
+      scia.reservoir_capacity = owner->opts_.reservoir_capacity;
+      SciaResult sres;
+      ASSIGN_OR_RETURN(sres, InsertStatsCollectors(&new_plan, remainder,
+                                                   *owner->catalog_,
+                                                   *owner->cost_, scia));
+      report.collectors_inserted += sres.collectors_inserted;
+    }
+
+    // Materializing drains the in-flight operator's output into the
+    // temp table (Fig. 6); the drained state cannot be replayed, so
+    // this is the point of no return. The injected fault is checked
+    // *before* the drain — injected materialize failures stay
+    // recoverable; a real failure mid-drain is fatal (but clean).
+    site = faults::kReoptMaterialize;
+    if (faults != nullptr)
+      RETURN_IF_ERROR(faults->Check(faults::kReoptMaterialize));
+    past_no_return = true;
+    uint64_t mat_rows = 0;
+    ASSIGN_OR_RETURN(
+        mat_rows, exec->MaterializeInto(frontier, temp_info->heap.get()));
+    decision.mat_rows = mat_rows;
+    trace->switches.push_back(decision);
+    ctx->AddEvent(Render(decision));
+
+    // Refresh the temp's stats with exact counts.
+    TableStats exact = temp_info->stats;
+    exact.row_count = static_cast<double>(mat_rows);
+    exact.page_count = static_cast<double>(temp_info->heap->page_count());
+    exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
+    RETURN_IF_ERROR(owner->catalog_->SetStats(temp_name, std::move(exact)));
+
+    ctx->BumpPlanGeneration();  // new plan: ids may collide with old
+    started.clear();
+    if (Result<bool> grant =
+            mm.TryAllocate(faults, new_plan.get(), started, trace,
+                           ctx->SimElapsedMs(), ctx->plan_generation());
+        !grant.ok()) {
+      if (grant.status().code() == StatusCode::kCrashed)
+        return grant.status();
+      // Advisory even past the point of no return: the adopted plan
+      // runs on default budgets.
+      RecordFailure(faults::kMemoryGrant, grant.status(), "continued",
+                    frontier_id, 1);
+      NoteRecovered();
+    }
+    RecostWithBudgets(new_plan.get(), *owner->cost_);
+
+    // Journal the committed stage: the materialized temps are durable,
+    // budgets are final, and the remainder is known — everything a
+    // restart needs to resume from here instead of starting over. An
+    // injected crash here models dying during the journal fsync (the
+    // previous resume point survives; this stage's work is lost). A
+    // plain write error is advisory: the journal is a recovery aid,
+    // losing it must not perturb the query itself.
+    if (owner->journal_ != nullptr) {
+      site = faults::kJournalAppend;
+      JournalStage jstage;
+      jstage.root_sql = root_sql;
+      jstage.stage = report.plans_switched + 1;
+      jstage.remainder_sql = remainder.ToSql();
+      jstage.plan_fingerprint = FingerprintPlanText(new_plan->ToString());
+      jstage.work_done_ms = ctx->SimElapsedMs();
+      new_plan->PostOrder([&](PlanNode* n) {
+        if (n->IsMemoryConsumer())
+          jstage.budgets.emplace_back(n->id, n->mem_budget_pages);
+      });
+      // Snapshot every temp table the remainder reads (an earlier
+      // switch's temp may still be referenced), flushing first so the
+      // journaled page list covers every row.
+      for (const RelationRef& r : remainder.relations) {
+        Result<TableInfo*> ti = owner->catalog_->Get(r.table);
+        if (!ti.ok() || !ti.value()->is_temp) continue;
+        RETURN_IF_ERROR(ti.value()->heap->Flush());
+        TempSnapshot snap;
+        snap.name = ti.value()->name;
+        snap.schema = ti.value()->schema;
+        for (size_t p = 0; p < ti.value()->heap->flushed_page_count(); ++p)
+          snap.page_ids.push_back(ti.value()->heap->page_id(p));
+        snap.tuple_count = ti.value()->heap->tuple_count();
+        snap.total_tuple_bytes = ti.value()->heap->total_tuple_bytes();
+        snap.content_checksum = ti.value()->heap->content_checksum();
+        snap.stats = ti.value()->stats;
+        jstage.temps.push_back(std::move(snap));
+      }
+      Status jst = owner->journal_->AppendStage(jstage, faults);
+      if (jst.code() == StatusCode::kCrashed) return jst;
+      if (!jst.ok()) {
+        // Recorded but not counted toward degradation: a broken
+        // journal must not switch re-optimization off.
+        RecordFailure(faults::kJournalAppend, jst, "continued",
+                      frontier_id, 1);
+      } else {
+        ctx->ChargeExternalMs(
+            owner->cost_->params().t_io_ms);  // the "fsync"
+      }
+    }
+
+    RETURN_IF_ERROR(exec->Close());
+    spec = std::move(remainder);
+    plan = std::move(new_plan);
+    ++report.plans_switched;
+    report.plan_after = plan->ToString();
+    if (out_schema) *out_schema = plan->output_schema;
+
+    // The old plan is closed and replaced: any failure from here
+    // aborts the query (the scope guards still clean up).
+    site = faults::kReoptPostSwitch;
+    if (faults != nullptr)
+      RETURN_IF_ERROR(faults->Check(faults::kReoptPostSwitch));
+    if (owner->opts_.fault_inject_after_switch)  // deprecated alias (see .h)
+      return Status::Internal("fault injection: abort after plan switch");
+    accepted = true;
+    return Status::OK();
+  }();
+
+  if (!cand.ok()) {
+    const DiskStats io_now = ctx->pool()->disk()->stats();
+    const int attempts =
+        1 + static_cast<int>(io_now.io_retries - io_before.io_retries);
+    if (cand.code() == StatusCode::kCrashed) {
+      // Simulated process death: never roll back (nothing runs in a
+      // dead process — the scope guards skip cleanup too, leaving the
+      // durable state exactly as the crash found it).
+      RecordFailure(site, cand, "crashed", frontier_id, attempts);
+      return cand;
+    }
+    if (past_no_return) {
+      // Fatal: record, then unwind — the scope guards drop every temp
+      // table and defuse the hook on the way out.
+      RecordFailure(site, cand, "fatal", frontier_id, attempts);
+      return cand;
+    }
+    // Roll back the candidate: un-record its budget changes, drop its
+    // temp table, and keep executing the current plan from the same
+    // frontier.
+    trace->budget_changes.resize(cand_bc_mark);
+    if (!temp_name.empty()) (void)temp_tables.DropNow(temp_name);
+    RecordFailure(site, cand, "rolled_back", frontier_id, attempts);
+    NoteRecovered();
+    return false;
+  }
+  if (!accepted) return false;  // gate rejected the candidate plan
+
+  // Accepted switch: the old executor is already closed; the next Step()
+  // creates a fresh one over the adopted plan (the old outer loop's next
+  // iteration).
+  exec.reset();
+  return false;
+}
+
+Status QuerySession::State::Finalize() {
+  finished = true;
+  exec.reset();
+  hook_guard.Defuse();
+
+  if (Status st = temp_tables.DropAll(); !st.ok()) {
+    // A crash during cleanup still kills the query (recovery re-runs it);
+    // any other failed drop is best-effort: the results are already
+    // delivered, so it is recorded, not returned (failed page releases are
+    // retried by the heap destructors).
+    if (st.code() == StatusCode::kCrashed) return st;
+    RecordFailure(faults::kStorageFree, st, "continued", -1, 1);
+  }
+
+  report.sim_time_ms = ctx->SimElapsedMs();
+  report.page_ios = ctx->PageIos();
+  report.output_rows = rows ? rows->size() : 0;
+  report.trace = *trace;
+  for (const std::string& e : ctx->events()) report.events.push_back(e);
+  return Status::OK();
+}
+
+QuerySession::QuerySession(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+QuerySession::~QuerySession() = default;
+
+Result<bool> QuerySession::Step() { return state_->Step(); }
+
+ExecutionReport QuerySession::TakeReport() {
+  return std::move(state_->report);
+}
+
+ExecContext* QuerySession::ctx() const { return state_->ctx; }
+
+double QuerySession::PinnedPages() const {
+  const State* s = state_.get();
+  if (s->finished || s->plan == nullptr) return 0;
+  double pinned = 0;
+  s->plan->PostOrder([&](PlanNode* n) {
+    if (n->IsMemoryConsumer() && s->started.count(n->id) > 0)
+      pinned += n->mem_budget_pages;
+  });
+  return pinned;
+}
+
+Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSessionWithPlan(
+    QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
+    std::vector<Tuple>* rows, Schema* out_schema) {
+  auto state = std::make_unique<QuerySession::State>(
+      this, std::move(spec), std::move(plan), ctx, rows, out_schema);
+  RETURN_IF_ERROR(state->Start());
+  return std::unique_ptr<QuerySession>(new QuerySession(std::move(state)));
+}
+
+Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSession(
+    QuerySpec spec, ExecContext* ctx, std::vector<Tuple>* rows,
+    Schema* out_schema) {
+  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
+  ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+  ctx->ChargeExternalMs(opt.sim_opt_time_ms);
+  return StartSessionWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
+                              out_schema);
+}
+
 Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
                                                     ExecContext* ctx,
                                                     std::vector<Tuple>* rows,
@@ -372,534 +1030,41 @@ Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
 Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
     QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
     std::vector<Tuple>* rows, Schema* out_schema) {
-  ExecutionReport report;
-  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
-
-  QueryTrace* trace = ctx->trace();
-  trace->config.mode = ReoptModeName(opts_.mode);
-  trace->config.mu = opts_.mu;
-  trace->config.theta1 = opts_.theta1;
-  trace->config.theta2 = opts_.theta2;
-  trace->config.mid_execution_memory = opts_.mid_execution_memory;
-
-  FaultInjector* faults = ctx->faults();
-  if (opts_.deadline_ms > 0) ctx->SetDeadlineMs(opts_.deadline_ms);
-  ctx->SetBatchSize(opts_.batch_size);
-
-  // The query's *live* mode: graceful degradation demotes it to kOff after
-  // repeated recovered failures without touching opts_ (the next query
-  // starts fresh).
-  ReoptMode mode = opts_.mode;
-
-  // The journal keys records by the *root* query's canonical SQL: a
-  // resumed remainder executes under its original query's root (the
-  // override), so a further switch supersedes the journaled stage instead
-  // of starting a new chain.
-  const std::string root_sql =
-      journal_root_override_.empty() ? spec.ToSql() : journal_root_override_;
-
-  TempTableCleaner temp_tables(catalog_, faults);
-  HookGuard hook_guard(ctx, &live_plan_slot_);
-  JournalGuard journal_guard(journal_, &root_sql, faults);
-
-  int recovered_failures = 0;
-  auto record_failure = [&](const char* point, const Status& st,
-                            const char* action, int stage_node_id,
-                            int attempts) {
-    ReoptFailure f;
-    f.point = point;
-    f.status = st.ToString();
-    f.action = action;
-    f.attempts = attempts;
-    f.stage_node_id = stage_node_id;
-    f.at_ms = ctx->SimElapsedMs();
-    ctx->AddEvent(Render(f));
-    trace->reopt_failures.push_back(std::move(f));
-    ++report.reopt_failures;
-  };
-  auto note_recovered = [&]() {
-    ++recovered_failures;
-    if (mode != ReoptMode::kOff &&
-        recovered_failures >= opts_.max_reopt_failures) {
-      DegradationEvent d;
-      d.from_mode = ReoptModeName(mode);
-      d.to_mode = ReoptModeName(ReoptMode::kOff);
-      d.failures = recovered_failures;
-      d.at_ms = ctx->SimElapsedMs();
-      ctx->AddEvent(Render(d));
-      trace->degradations.push_back(std::move(d));
-      mode = ReoptMode::kOff;
-      report.reopt_degraded = true;
-      // The collector hook (if installed) is defused at the next stage
-      // boundary — a safe point; doing it here could destroy the hook
-      // closure while it is executing.
-    }
-  };
-
-  if (mode != ReoptMode::kOff) {
-    // Collector insertion is advisory: without collectors the query simply
-    // runs conventionally, so a failure here is recovered, not fatal.
-    Status st = faults != nullptr ? faults->Check(faults::kReoptScia)
-                                  : Status::OK();
-    if (st.ok()) {
-      SciaOptions scia;
-      scia.mu = opts_.mu;
-      scia.histogram_buckets = opts_.histogram_buckets;
-      scia.reservoir_capacity = opts_.reservoir_capacity;
-      Result<SciaResult> sres =
-          InsertStatsCollectors(&plan, spec, *catalog_, *cost_, scia);
-      if (sres.ok()) {
-        report.collectors_inserted = sres.value().collectors_inserted;
-      } else {
-        st = sres.status();
-      }
-    }
-    if (st.code() == StatusCode::kCrashed) return st;
-    if (!st.ok()) {
-      record_failure(faults::kReoptScia, st, "continued", -1, 1);
-      note_recovered();
-    }
+  std::unique_ptr<QuerySession> session;
+  ASSIGN_OR_RETURN(session,
+                   StartSessionWithPlan(std::move(spec), std::move(plan), ctx,
+                                        rows, out_schema));
+  while (true) {
+    bool done = false;
+    ASSIGN_OR_RETURN(done, session->Step());
+    if (done) break;
   }
+  return session->TakeReport();
+}
 
-  MemoryManager mm(cost_, query_mem_pages_);
-  std::set<int> started;
-  if (Result<bool> grant =
-          mm.TryAllocate(faults, plan.get(), started, trace,
-                         ctx->SimElapsedMs(), ctx->plan_generation());
-      !grant.ok()) {
-    if (grant.status().code() == StatusCode::kCrashed) return grant.status();
-    // A failed grant leaves budgets untouched; operators fall back to
-    // conservative defaults, so execution proceeds.
-    record_failure(faults::kMemoryGrant, grant.status(), "continued", -1, 1);
-    note_recovered();
+void QuerySession::OnGrantChanged(double new_total_pages) {
+  State* s = state_.get();
+  const double old_total = s->mm.total_pages();
+  s->mm.set_total_pages(new_total_pages);
+  if (s->finished || s->plan == nullptr) return;
+  // Re-divide under the new total. Started operators stay frozen
+  // (Section 2.3's invariant); in-flight operators that are now over the
+  // budget they re-read will spill rather than grow.
+  Result<bool> changed =
+      s->mm.TryAllocate(s->faults, s->plan.get(), s->started, s->trace,
+                        s->ctx->SimElapsedMs(), s->ctx->plan_generation());
+  if (!changed.ok()) {
+    // Crash latches in the injector and fails the query at its next
+    // cancellation check; any other failure leaves the old budgets in
+    // place. Not NoteRecovered(): an external revocation must not push
+    // the victim toward reopt degradation.
+    if (changed.status().code() != StatusCode::kCrashed)
+      s->RecordFailure(faults::kMemoryGrant, changed.status(), "continued",
+                       -1, 1);
+  } else if (changed.value()) {
+    RefreshImprovedEstimates(s->plan.get(), *s->owner->cost_);
   }
-  RecostWithBudgets(plan.get(), *cost_);
-  report.plan_before = plan->ToString();
-  report.estimated_cost_ms = plan->est.cost_total_ms;
-  if (out_schema) *out_schema = plan->output_schema;
-
-  bool finished = false;
-
-  // Section 2.3 extension: react to collector completions immediately,
-  // not just at stage boundaries. Operators re-read their budgets while
-  // running, so an in-flight build can pick up extra memory.
-  if (opts_.mid_execution_memory &&
-      (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull)) {
-    live_plan_slot_ = std::make_shared<PlanNode*>(nullptr);
-    std::shared_ptr<PlanNode*> live_plan = live_plan_slot_;
-    ctx->SetCollectorHook([&, live_plan](PlanNode* collector) {
-      if (mode == ReoptMode::kOff) return;  // degraded: inert until defused
-      PlanNode* root = *live_plan;
-      if (root == nullptr || root->Find(collector->id) != collector) return;
-      RefreshImprovedEstimates(root, *cost_);
-      const double before = root->improved.cost_total_ms;
-      std::set<int> no_frozen;  // running operators may respond mid-flight
-      Result<bool> changed =
-          mm.TryAllocate(ctx->faults(), root, no_frozen, ctx->trace(),
-                         ctx->SimElapsedMs(), ctx->plan_generation());
-      if (!changed.ok()) {
-        // A crash cannot propagate from inside the hook; the injector's
-        // crash_pending latch fails the query at the operator's next
-        // cancellation check.
-        if (changed.status().code() == StatusCode::kCrashed) return;
-        record_failure(faults::kMemoryGrant, changed.status(), "continued",
-                       collector->id, 1);
-        note_recovered();
-        return;
-      }
-      if (changed.value()) {
-        RefreshImprovedEstimates(root, *cost_);
-        MemoryReallocation rec;
-        rec.trigger_node_id = collector->id;
-        rec.mid_execution = true;
-        rec.before_ms = before;
-        rec.after_ms = root->improved.cost_total_ms;
-        rec.kept = true;  // mid-execution responses are never rolled back
-        ctx->trace()->memory_reallocations.push_back(rec);
-        ctx->AddEvent(Render(rec));
-      }
-    });
-    // The hook needs the current root even after plan switches.
-    ctx->AddEvent("mid-execution memory response enabled");
-  }
-
-  while (!finished) {
-    if (live_plan_slot_) *live_plan_slot_ = plan.get();
-    ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
-                     PipelineExecutor::Create(ctx, plan.get()));
-    RETURN_IF_ERROR(exec->Open());
-    bool switched = false;
-
-    while (exec->HasMoreStages()) {
-      ASSIGN_OR_RETURN(PipelineExecutor::StageResult stage,
-                       exec->RunNextStage(rows));
-      // Safe point to retire the hook if the query degraded mid-stage.
-      if (mode == ReoptMode::kOff) hook_guard.Defuse();
-      if (stage.stage_node) started.insert(stage.stage_node->id);
-      for (PlanNode* c : stage.new_collectors) {
-        report.edges.push_back(EdgeComparison{
-            c->id, c->est.cardinality, c->observed.cardinality});
-      }
-      if (stage.finished) {
-        finished = true;
-        break;
-      }
-      if (mode == ReoptMode::kOff || stage.new_collectors.empty())
-        continue;
-
-      RefreshImprovedEstimates(plan.get(), *cost_);
-
-      // Dynamic memory re-allocation for operators that have not started.
-      // The new allocation is kept only if it improves the (improved)
-      // estimated total — "overall performance is expected to improve
-      // since the new memory allocation is based on improved estimates".
-      if (mode == ReoptMode::kMemoryOnly || mode == ReoptMode::kFull) {
-        std::map<int, double> snapshot;
-        plan->PostOrder([&](PlanNode* n) {
-          if (n->IsMemoryConsumer()) snapshot[n->id] = n->mem_budget_pages;
-        });
-        double before = plan->improved.cost_total_ms;
-        size_t bc_mark = trace->budget_changes.size();
-        Result<bool> realloc =
-            mm.TryAllocate(faults, plan.get(), started, trace,
-                           ctx->SimElapsedMs(), ctx->plan_generation());
-        if (!realloc.ok()) {
-          if (realloc.status().code() == StatusCode::kCrashed)
-            return realloc.status();
-          // Advisory: the current allocation keeps working.
-          record_failure(faults::kMemoryGrant, realloc.status(), "continued",
-                         stage.stage_node ? stage.stage_node->id : -1, 1);
-          note_recovered();
-        } else if (realloc.value()) {
-          RefreshImprovedEstimates(plan.get(), *cost_);
-          MemoryReallocation rec;
-          rec.trigger_node_id =
-              stage.stage_node ? stage.stage_node->id : -1;
-          rec.before_ms = before;
-          rec.after_ms = plan->improved.cost_total_ms;
-          // Keep the new allocation only with a clear improvement margin —
-          // estimate noise should not shuffle budgets back and forth.
-          rec.kept = plan->improved.cost_total_ms < before * 0.98;
-          if (rec.kept) {
-            ++report.memory_reallocations;
-          } else {
-            plan->PostOrder([&](PlanNode* n) {
-              auto it = snapshot.find(n->id);
-              if (it != snapshot.end()) n->mem_budget_pages = it->second;
-            });
-            RefreshImprovedEstimates(plan.get(), *cost_);
-            trace->budget_changes.resize(bc_mark);  // rolled back: un-record
-          }
-          trace->memory_reallocations.push_back(rec);
-          ctx->AddEvent(Render(rec));
-        }
-      }
-
-      // Query plan modification.
-      if ((mode != ReoptMode::kPlanOnly && mode != ReoptMode::kFull) ||
-          report.plans_switched >= opts_.max_plan_switches ||
-          stage.stage_node == nullptr) {
-        continue;
-      }
-      PlanNode* frontier = stage.stage_node;
-      // Nothing left to re-order when the frontier already covers every
-      // relation.
-      if (frontier->covers.size() >= spec.relations.size()) continue;
-
-      const double work_done =
-          std::max(0.0, ctx->SimElapsedMs() - ctx->external_ms());
-      const double rem_cur = std::max(
-          1e-3, plan->improved.cost_total_ms - work_done);
-
-      // Eq. (2): is the current plan likely sub-optimal?
-      const double t_est = std::max(1e-9, plan->est.cost_total_ms);
-      Eq2Check eq2;
-      eq2.stage_node_id = frontier->id;
-      eq2.improved = plan->improved.cost_total_ms;
-      eq2.est = plan->est.cost_total_ms;
-      eq2.degradation = (eq2.improved - eq2.est) / t_est;
-      eq2.theta2 = opts_.theta2;
-      eq2.fired = eq2.degradation > opts_.theta2;
-      trace->eq2_checks.push_back(eq2);
-      ctx->AddEvent(Render(eq2));
-      if (!eq2.fired) continue;
-
-      // Eq. (1): is re-optimization cheap relative to what remains?
-      const int remainder_rels = static_cast<int>(
-          spec.relations.size() - frontier->covers.size() + 1);
-      Eq1Check eq1;
-      eq1.stage_node_id = frontier->id;
-      eq1.t_opt_est =
-          calibration_ ? calibration_->EstimateOptTimeMs(remainder_rels)
-                       : cost_->params().t_opt_per_plan_ms * 256;
-      eq1.rem_cur = rem_cur;
-      eq1.theta1 = opts_.theta1;
-      eq1.fired = eq1.t_opt_est <= opts_.theta1 * rem_cur;
-      trace->eq1_checks.push_back(eq1);
-      ctx->AddEvent(Render(eq1));
-      if (!eq1.fired) continue;
-      const double t_opt_est = eq1.t_opt_est;
-
-      // Candidate plan switch — a transaction against the current plan.
-      // Until the frontier is drained into the temp table (the point of no
-      // return), any failure rolls the candidate back: the temp table is
-      // dropped, its budget records un-recorded, and the query continues
-      // on its current plan. Failures after the drain are fatal but still
-      // unwind through the scope guards (no leaked temps, no live hook).
-      ++report.reopts_considered;
-      // A successful switch frees the old plan tree (and `frontier` with
-      // it) before the post-switch fault check, so failure records must
-      // not read through the pointer.
-      const int frontier_id = frontier->id;
-      const DiskStats io_before = ctx->pool()->disk()->stats();
-      const size_t cand_bc_mark = trace->budget_changes.size();
-      std::string temp_name;
-      bool accepted = false;
-      bool past_no_return = false;
-      const char* site = faults::kReoptOptimize;
-      Status cand = [&]() -> Status {
-        temp_name = catalog_->NextTempName();
-        Schema temp_schema =
-            TempTableSchema(temp_name, frontier->output_schema);
-        TableInfo* temp_info = nullptr;
-        ASSIGN_OR_RETURN(temp_info,
-                         catalog_->CreateTable(temp_name, temp_schema,
-                                               /*is_temp=*/true));
-        temp_tables.Track(temp_name);  // dropped on rollback or unwind
-        RETURN_IF_ERROR(catalog_->SetStats(
-            temp_name, BuildTempStats(*frontier, spec, *catalog_)));
-        QuerySpec remainder;
-        ASSIGN_OR_RETURN(remainder, BuildRemainderSpec(spec, frontier->covers,
-                                                       temp_name));
-
-        // Re-invoke the optimizer with the new statistics: observed base
-        // relation stats override the (possibly stale) catalog.
-        BaseRelOverrides overrides =
-            CollectBaseRelOverrides(*plan, spec, *catalog_);
-        if (faults != nullptr)
-          RETURN_IF_ERROR(faults->Check(faults::kReoptOptimize));
-        OptimizeResult new_opt;
-        ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
-        ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
-        report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
-
-        // Cost the candidate under the memory it would actually receive;
-        // comparing an optimistically costed new plan against the
-        // budget-aware improved estimate of the current plan would bias
-        // the gate toward switching. Budget changes are recorded against
-        // the candidate's generation and un-recorded on reject/rollback.
-        site = faults::kMemoryGrant;
-        {
-          std::set<int> fresh;
-          RETURN_IF_ERROR(mm.TryAllocate(faults, new_opt.plan.get(), fresh,
-                                         trace, ctx->SimElapsedMs(),
-                                         ctx->plan_generation() + 1)
-                              .status());
-          RecostWithBudgets(new_opt.plan.get(), *cost_);
-        }
-
-        const double finish_frontier =
-            std::max(0.0, frontier->improved.cost_total_ms - work_done);
-        const double write_cost =
-            frontier->improved.pages * cost_->params().t_io_ms;
-        const double rem_new = finish_frontier + write_cost +
-                               new_opt.plan->est.cost_total_ms + t_opt_est;
-
-        SwitchDecision decision;
-        decision.stage_node_id = frontier->id;
-        decision.rem_cur = rem_cur;
-        decision.rem_new = rem_new;
-        decision.temp_table = temp_name;
-        decision.accepted = rem_new < rem_cur;
-        if (!decision.accepted) {
-          // Reject: keep the current plan; only the optimizer call was
-          // paid.
-          trace->budget_changes.resize(cand_bc_mark);
-          trace->switches.push_back(decision);
-          ctx->AddEvent(Render(decision));
-          site = faults::kStorageFree;
-          RETURN_IF_ERROR(temp_tables.DropNow(temp_name));
-          return Status::OK();
-        }
-
-        // Accept. Collector insertion for the new plan runs before the
-        // point of no return so its failure can still roll back.
-        std::unique_ptr<PlanNode> new_plan = std::move(new_opt.plan);
-        if (mode == ReoptMode::kFull || mode == ReoptMode::kPlanOnly) {
-          site = faults::kReoptScia;
-          if (faults != nullptr)
-            RETURN_IF_ERROR(faults->Check(faults::kReoptScia));
-          SciaOptions scia;
-          scia.mu = opts_.mu;
-          scia.histogram_buckets = opts_.histogram_buckets;
-          scia.reservoir_capacity = opts_.reservoir_capacity;
-          SciaResult sres;
-          ASSIGN_OR_RETURN(sres, InsertStatsCollectors(&new_plan, remainder,
-                                                       *catalog_, *cost_,
-                                                       scia));
-          report.collectors_inserted += sres.collectors_inserted;
-        }
-
-        // Materializing drains the in-flight operator's output into the
-        // temp table (Fig. 6); the drained state cannot be replayed, so
-        // this is the point of no return. The injected fault is checked
-        // *before* the drain — injected materialize failures stay
-        // recoverable; a real failure mid-drain is fatal (but clean).
-        site = faults::kReoptMaterialize;
-        if (faults != nullptr)
-          RETURN_IF_ERROR(faults->Check(faults::kReoptMaterialize));
-        past_no_return = true;
-        uint64_t mat_rows = 0;
-        ASSIGN_OR_RETURN(
-            mat_rows, exec->MaterializeInto(frontier, temp_info->heap.get()));
-        decision.mat_rows = mat_rows;
-        trace->switches.push_back(decision);
-        ctx->AddEvent(Render(decision));
-
-        // Refresh the temp's stats with exact counts.
-        TableStats exact = temp_info->stats;
-        exact.row_count = static_cast<double>(mat_rows);
-        exact.page_count = static_cast<double>(temp_info->heap->page_count());
-        exact.avg_tuple_bytes = temp_info->heap->avg_tuple_bytes();
-        RETURN_IF_ERROR(catalog_->SetStats(temp_name, std::move(exact)));
-
-        ctx->BumpPlanGeneration();  // new plan: ids may collide with old
-        started.clear();
-        if (Result<bool> grant =
-                mm.TryAllocate(faults, new_plan.get(), started, trace,
-                               ctx->SimElapsedMs(), ctx->plan_generation());
-            !grant.ok()) {
-          if (grant.status().code() == StatusCode::kCrashed)
-            return grant.status();
-          // Advisory even past the point of no return: the adopted plan
-          // runs on default budgets.
-          record_failure(faults::kMemoryGrant, grant.status(), "continued",
-                         frontier_id, 1);
-          note_recovered();
-        }
-        RecostWithBudgets(new_plan.get(), *cost_);
-
-        // Journal the committed stage: the materialized temps are durable,
-        // budgets are final, and the remainder is known — everything a
-        // restart needs to resume from here instead of starting over. An
-        // injected crash here models dying during the journal fsync (the
-        // previous resume point survives; this stage's work is lost). A
-        // plain write error is advisory: the journal is a recovery aid,
-        // losing it must not perturb the query itself.
-        if (journal_ != nullptr) {
-          site = faults::kJournalAppend;
-          JournalStage jstage;
-          jstage.root_sql = root_sql;
-          jstage.stage = report.plans_switched + 1;
-          jstage.remainder_sql = remainder.ToSql();
-          jstage.plan_fingerprint = FingerprintPlanText(new_plan->ToString());
-          jstage.work_done_ms = ctx->SimElapsedMs();
-          new_plan->PostOrder([&](PlanNode* n) {
-            if (n->IsMemoryConsumer())
-              jstage.budgets.emplace_back(n->id, n->mem_budget_pages);
-          });
-          // Snapshot every temp table the remainder reads (an earlier
-          // switch's temp may still be referenced), flushing first so the
-          // journaled page list covers every row.
-          for (const RelationRef& r : remainder.relations) {
-            Result<TableInfo*> ti = catalog_->Get(r.table);
-            if (!ti.ok() || !ti.value()->is_temp) continue;
-            RETURN_IF_ERROR(ti.value()->heap->Flush());
-            TempSnapshot snap;
-            snap.name = ti.value()->name;
-            snap.schema = ti.value()->schema;
-            for (size_t p = 0; p < ti.value()->heap->flushed_page_count(); ++p)
-              snap.page_ids.push_back(ti.value()->heap->page_id(p));
-            snap.tuple_count = ti.value()->heap->tuple_count();
-            snap.total_tuple_bytes = ti.value()->heap->total_tuple_bytes();
-            snap.content_checksum = ti.value()->heap->content_checksum();
-            snap.stats = ti.value()->stats;
-            jstage.temps.push_back(std::move(snap));
-          }
-          Status jst = journal_->AppendStage(jstage, faults);
-          if (jst.code() == StatusCode::kCrashed) return jst;
-          if (!jst.ok()) {
-            // Recorded but not counted toward degradation: a broken
-            // journal must not switch re-optimization off.
-            record_failure(faults::kJournalAppend, jst, "continued",
-                           frontier_id, 1);
-          } else {
-            ctx->ChargeExternalMs(cost_->params().t_io_ms);  // the "fsync"
-          }
-        }
-
-        RETURN_IF_ERROR(exec->Close());
-        spec = std::move(remainder);
-        plan = std::move(new_plan);
-        ++report.plans_switched;
-        report.plan_after = plan->ToString();
-        if (out_schema) *out_schema = plan->output_schema;
-
-        // The old plan is closed and replaced: any failure from here
-        // aborts the query (the scope guards still clean up).
-        site = faults::kReoptPostSwitch;
-        if (faults != nullptr)
-          RETURN_IF_ERROR(faults->Check(faults::kReoptPostSwitch));
-        if (opts_.fault_inject_after_switch)  // deprecated alias (see .h)
-          return Status::Internal("fault injection: abort after plan switch");
-        accepted = true;
-        return Status::OK();
-      }();
-
-      if (!cand.ok()) {
-        const DiskStats io_now = ctx->pool()->disk()->stats();
-        const int attempts =
-            1 + static_cast<int>(io_now.io_retries - io_before.io_retries);
-        if (cand.code() == StatusCode::kCrashed) {
-          // Simulated process death: never roll back (nothing runs in a
-          // dead process — the scope guards skip cleanup too, leaving the
-          // durable state exactly as the crash found it).
-          record_failure(site, cand, "crashed", frontier_id, attempts);
-          return cand;
-        }
-        if (past_no_return) {
-          // Fatal: record, then unwind — the scope guards drop every temp
-          // table and defuse the hook on the way out.
-          record_failure(site, cand, "fatal", frontier_id, attempts);
-          return cand;
-        }
-        // Roll back the candidate: un-record its budget changes, drop its
-        // temp table, and keep executing the current plan from the same
-        // frontier.
-        trace->budget_changes.resize(cand_bc_mark);
-        if (!temp_name.empty()) (void)temp_tables.DropNow(temp_name);
-        record_failure(site, cand, "rolled_back", frontier_id, attempts);
-        note_recovered();
-        continue;
-      }
-      if (!accepted) continue;  // gate rejected the candidate plan
-      switched = true;
-      break;
-    }
-
-    if (!switched) {
-      RETURN_IF_ERROR(exec->Close());
-      break;
-    }
-  }
-
-  hook_guard.Defuse();
-
-  if (Status st = temp_tables.DropAll(); !st.ok()) {
-    // A crash during cleanup still kills the query (recovery re-runs it);
-    // any other failed drop is best-effort: the results are already
-    // delivered, so it is recorded, not returned (failed page releases are
-    // retried by the heap destructors).
-    if (st.code() == StatusCode::kCrashed) return st;
-    record_failure(faults::kStorageFree, st, "continued", -1, 1);
-  }
-
-  report.sim_time_ms = ctx->SimElapsedMs();
-  report.page_ios = ctx->PageIos();
-  report.output_rows = rows ? rows->size() : 0;
-  report.trace = *trace;
-  for (const std::string& e : ctx->events()) report.events.push_back(e);
-  return report;
+  if (new_total_pages < old_total) s->revoked_since_gate = true;
 }
 
 }  // namespace reoptdb

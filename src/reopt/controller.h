@@ -119,6 +119,8 @@ struct ExecutionReport {
   std::vector<std::string> events;
 };
 
+class QuerySession;
+
 /// \brief Executes queries under Dynamic Re-Optimization.
 class DynamicReoptimizer {
  public:
@@ -147,6 +149,22 @@ class DynamicReoptimizer {
                                           std::vector<Tuple>* rows,
                                           Schema* out_schema);
 
+  /// Incremental session API (multi-query interleaving): optimizes the
+  /// query and returns a session whose Step() runs exactly one scheduler
+  /// stage plus the post-stage re-optimization logic. Execute() is
+  /// StartSession + Step-until-done; the WorkloadManager round-robins
+  /// Step() across sessions, using stage boundaries as yield points.
+  /// The session borrows this reoptimizer and `ctx`; both must outlive it.
+  Result<std::unique_ptr<QuerySession>> StartSession(QuerySpec spec,
+                                                     ExecContext* ctx,
+                                                     std::vector<Tuple>* rows,
+                                                     Schema* out_schema);
+
+  /// StartSession with a caller-supplied initial plan (takes ownership).
+  Result<std::unique_ptr<QuerySession>> StartSessionWithPlan(
+      QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
+      std::vector<Tuple>* rows, Schema* out_schema);
+
   /// Installs the Database's durable query journal. When set, every
   /// accepted plan switch appends a JournalStage at the point of no return
   /// and the records are cleared when the query ends without a crash.
@@ -159,6 +177,8 @@ class DynamicReoptimizer {
   }
 
  private:
+  friend class QuerySession;
+
   Catalog* catalog_;
   const CostModel* cost_;
   const OptimizerCalibration* calibration_;
@@ -171,6 +191,55 @@ class DynamicReoptimizer {
   /// shared_ptr so the hook closure stays valid (and harmless, pointing at
   /// null) even if Execute unwinds early on an error.
   std::shared_ptr<PlanNode*> live_plan_slot_;
+};
+
+/// \brief One query's stepwise execution under Dynamic Re-Optimization.
+///
+/// Produced by DynamicReoptimizer::StartSession. Each Step() runs one
+/// scheduler stage (a blocking phase or the final delivery) followed by
+/// the controller's post-stage logic — collector harvesting, dynamic
+/// memory re-allocation, the Eq.(1)/Eq.(2) gates, and candidate plan
+/// switches. Destroying an unfinished session runs the same cleanup as an
+/// error unwind inside Execute(): temp tables dropped, collector hook
+/// defused, journal records cleared (all crash-aware).
+///
+/// The broker surface (PinnedPages / OnGrantChanged) lets a WorkloadManager
+/// revoke the un-started portion of this query's memory between steps.
+class QuerySession {
+ public:
+  ~QuerySession();
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Runs one stage plus its post-stage re-optimization logic. Returns
+  /// true when the query has delivered all rows (TakeReport() is then
+  /// valid), false when more stages remain. Errors unwind with full
+  /// cleanup, exactly like DynamicReoptimizer::Execute.
+  Result<bool> Step();
+
+  /// The final report; valid once Step() returned true.
+  ExecutionReport TakeReport();
+
+  /// Pages pinned by operators that have already started (Section 2.3:
+  /// "once an operator starts executing, its memory allocation cannot be
+  /// changed") — the non-revocable portion of this query's grant.
+  double PinnedPages() const;
+
+  /// Broker notification: this query's total grant changed (revocation or
+  /// regrant). Re-divides memory among not-yet-started operators under the
+  /// new total; in-flight operators that are now over budget spill at
+  /// their next budget re-read. A shrink arms the reopt-thrash hysteresis:
+  /// the next Eq.(2) evaluation with no new collector feedback is recorded
+  /// as suppressed (revocation_only) instead of firing.
+  void OnGrantChanged(double new_total_pages);
+
+  ExecContext* ctx() const;
+
+ private:
+  friend class DynamicReoptimizer;
+  struct State;
+  explicit QuerySession(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
 };
 
 /// Recomputes est.cost_self/cost_total using the actual memory budgets

@@ -40,6 +40,15 @@ struct DiskStats {
                      io_retries - o.io_retries,
                      retry_penalty_ms - o.retry_penalty_ms};
   }
+
+  DiskStats operator+(const DiskStats& o) const {
+    return DiskStats{page_reads + o.page_reads,
+                     page_writes + o.page_writes,
+                     pages_allocated + o.pages_allocated,
+                     pages_freed + o.pages_freed,
+                     io_retries + o.io_retries,
+                     retry_penalty_ms + o.retry_penalty_ms};
+  }
 };
 
 /// \brief Allocates, reads and writes simulated pages.

@@ -160,7 +160,7 @@ class BatchStatsTest : public ::testing::Test {
     (void)InsertStatsCollectors(&plan, spec_, *db_.catalog(),
                                 db_.cost_model(), opts);
     MemoryManager mm(&db_.cost_model(), 128);
-    mm.Allocate(plan.get(), {});
+    (void)mm.TryAllocate(nullptr, plan.get(), {});
     return plan;
   }
 

@@ -15,6 +15,7 @@
 
 #include "common/fault.h"
 #include "engine/database.h"
+#include "engine/workload_manager.h"
 #include "gtest/gtest.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
@@ -101,8 +102,9 @@ TEST(FaultInjectorTest, ConfigureGrammar) {
   EXPECT_FALSE(fi.AnyArmed());
 
   // Known points cover everything the sweep below arms, plus the crash
-  // recovery points (journal.append, recovery.load).
-  EXPECT_EQ(FaultInjector::KnownPoints().size(), 10u);
+  // recovery points (journal.append, recovery.load) and the workload
+  // pressure points (memory.revoke, exec.spill).
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 12u);
 
   // The crash: prefix parses on any trigger and shows up in Describe().
   FaultInjector crash;
@@ -291,7 +293,8 @@ std::vector<SweepCase> SweepCases() {
        {faults::kStorageRead, faults::kStorageWrite, faults::kStorageFree,
         faults::kMemoryGrant, faults::kReoptOptimize,
         faults::kReoptMaterialize, faults::kReoptScia,
-        faults::kReoptPostSwitch, faults::kJournalAppend}) {
+        faults::kReoptPostSwitch, faults::kJournalAppend,
+        faults::kExecSpill}) {
     out.push_back({point, FaultTrigger::kNthCall});
     out.push_back({point, FaultTrigger::kEveryCall});
   }
@@ -375,6 +378,105 @@ TEST(TransientIoRetry, NthReadFaultIsAbsorbed) {
   EXPECT_EQ(Canon(r.value().rows), Canon(clean.value().rows));
   EXPECT_GT(db->disk()->stats().io_retries, retries_before);
   EXPECT_GT(db->disk()->stats().retry_penalty_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workload-pressure faults: memory.revoke (the broker's grant shave) and
+// exec.spill under concurrency. Contract: faults during revocation or
+// spill-under-pressure never crash the process or leak pages/temp tables;
+// each query still reaches a clean typed terminal state.
+
+TEST(WorkloadFaults, MemoryRevokeFaultIsGraceful) {
+  for (FaultTrigger trigger :
+       {FaultTrigger::kNthCall, FaultTrigger::kEveryCall}) {
+    std::unique_ptr<Database> db = MakeTpcdDb();
+    const size_t live_before = db->disk()->live_pages();
+
+    FaultSpec spec;
+    spec.trigger = trigger;
+    spec.nth = 1;
+    REOPTDB_ASSERT_OK(db->faults()->Arm(faults::kMemoryRevoke, spec));
+
+    // Overload mix: everyone asks for the whole budget, so admissions
+    // revoke — and every shave hits the armed point.
+    WorkloadOptions wo;
+    wo.global_mem_pages = 48;
+    wo.min_grant_pages = 8;
+    wo.max_active = 3;
+    wo.max_queue = 8;
+    wo.reopt.mode = ReoptMode::kFull;
+    WorkloadManager wm(db.get(), wo);
+    for (int i = 0; i < 6; ++i) wm.Submit(tpcd::Q5Sql());
+    Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+    const FaultPointStats stats = db->faults()->StatsFor(faults::kMemoryRevoke);
+    db->faults()->Reset();
+
+    REOPTDB_ASSERT_OK(run.status());
+    EXPECT_GE(stats.calls, 1u) << "no revocation was ever attempted";
+    EXPECT_GE(stats.fires, 1u);
+
+    // Every query reached a typed terminal state; a revoke fault surfaces
+    // as a failed admission (ResourceExhausted) or a query that continued
+    // on its old grant — never a crash or an untyped error.
+    int completed = 0;
+    for (const WorkloadQueryResult& r : run.value()) {
+      if (r.status.ok()) {
+        ++completed;
+      } else {
+        EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+            << r.status.ToString();
+      }
+    }
+    EXPECT_GT(completed, 0);
+
+    // Nothing leaked, even with shaves failing mid-flight.
+    EXPECT_EQ(wm.broker().active(), 0u);
+    ExpectNoTempTables(db.get());
+    EXPECT_EQ(db->disk()->live_pages(), live_before);
+
+    // The engine stays usable afterwards.
+    Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), wo.reopt);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+  }
+}
+
+TEST(WorkloadFaults, ExecSpillFaultUnderConcurrencyIsClean) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const size_t live_before = db->disk()->live_pages();
+
+  FaultSpec every;
+  every.trigger = FaultTrigger::kEveryCall;
+  REOPTDB_ASSERT_OK(db->faults()->Arm(faults::kExecSpill, every));
+
+  WorkloadOptions wo;
+  wo.global_mem_pages = 48;
+  wo.min_grant_pages = 8;
+  wo.max_active = 3;
+  wo.reopt.mode = ReoptMode::kFull;
+  WorkloadManager wm(db.get(), wo);
+  for (int i = 0; i < 3; ++i) wm.Submit(tpcd::Q5Sql());
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  const FaultPointStats stats = db->faults()->StatsFor(faults::kExecSpill);
+  db->faults()->Reset();
+
+  REOPTDB_ASSERT_OK(run.status());
+  EXPECT_GE(stats.fires, 1u) << "the contended mix never tried to spill";
+
+  // A spill fault fails that query with a clean typed error (the spill is
+  // load-bearing: the operator cannot proceed within its budget), while
+  // queries that never needed to spill may still complete.
+  for (const WorkloadQueryResult& r : run.value()) {
+    if (r.status.ok()) continue;
+    EXPECT_NE(r.status.ToString().find("injected fault"), std::string::npos)
+        << r.status.ToString();
+  }
+
+  EXPECT_EQ(wm.broker().active(), 0u);
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), live_before);
+
+  Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), wo.reopt);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
 }
 
 // ---------------------------------------------------------------------------

@@ -86,7 +86,7 @@ TEST(MemoryManagerTest, AmpleMemoryGrantsMaxima) {
   CostModel cost;
   MemoryManager mm(&cost, 100000);
   auto plan = Fig3Plan(400);
-  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  EXPECT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   std::vector<PlanNode*> order;
   CollectBlockingOrder(plan.get(), &order);
   for (PlanNode* n : order)
@@ -102,7 +102,7 @@ TEST(MemoryManagerTest, ScarceMemoryFirstOperatorWins) {
   CollectBlockingOrder(plan.get(), &order);
   double total = cost.HashJoinMaxMem(400) + cost.HashJoinMinMem(410) + 8;
   MemoryManager mm(&cost, total);
-  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  EXPECT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   EXPECT_GE(order[0]->mem_budget_pages, order[0]->max_mem_pages);
   EXPECT_LT(order[1]->mem_budget_pages, order[1]->max_mem_pages);
   EXPECT_GE(order[1]->mem_budget_pages, order[1]->min_mem_pages);
@@ -112,7 +112,7 @@ TEST(MemoryManagerTest, FrozenOperatorsKeepBudget) {
   CostModel cost;
   MemoryManager mm(&cost, 2000);
   auto plan = Fig3Plan(400);
-  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  ASSERT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   std::vector<PlanNode*> order;
   CollectBlockingOrder(plan.get(), &order);
   double hj1_before = order[0]->mem_budget_pages;
@@ -120,7 +120,7 @@ TEST(MemoryManagerTest, FrozenOperatorsKeepBudget) {
   // HJ1 started; Rel1 turned out smaller -> improved estimates shrink.
   order[0]->children[0]->improved.pages = 100;
   std::set<int> frozen = {order[0]->id};
-  mm.Allocate(plan.get(), frozen);
+  (void)mm.TryAllocate(nullptr, plan.get(), frozen);
   EXPECT_DOUBLE_EQ(order[0]->mem_budget_pages, hj1_before);
 }
 
@@ -134,13 +134,13 @@ TEST(MemoryManagerTest, ImprovedEstimatesUnlockOnePass) {
 
   double budget = cost.HashJoinMaxMem(400) + cost.HashJoinMaxMem(210) + 4;
   MemoryManager mm(&cost, budget);
-  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  ASSERT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   EXPECT_LT(order[1]->mem_budget_pages, cost.HashJoinMaxMem(410));
 
   // Observed: HJ1 output only half as large.
   order[1]->children[0]->improved.pages = 205;
   std::set<int> frozen = {order[0]->id};
-  ASSERT_TRUE(mm.Allocate(plan.get(), frozen));
+  ASSERT_TRUE(mm.TryAllocate(nullptr, plan.get(), frozen).value());
   EXPECT_GE(order[1]->mem_budget_pages, cost.HashJoinMaxMem(205));
 }
 
@@ -148,7 +148,7 @@ TEST(MemoryManagerTest, MinimaScaledWhenBudgetTiny) {
   CostModel cost;
   MemoryManager mm(&cost, 6);
   auto plan = Fig3Plan(4000);
-  mm.Allocate(plan.get(), {});
+  (void)mm.TryAllocate(nullptr, plan.get(), {});
   std::vector<PlanNode*> order;
   CollectBlockingOrder(plan.get(), &order);
   double total = 0;
@@ -169,7 +169,7 @@ TEST(MemoryManagerTest, TinyBudgetNeverOverCommits) {
   for (double budget : {6.0, 7.0, 9.0, 13.0, 21.0, 34.0, 55.0, 89.0}) {
     auto plan = Fig3Plan(4000);
     MemoryManager mm(&cost, budget);
-    mm.Allocate(plan.get(), {});
+    (void)mm.TryAllocate(nullptr, plan.get(), {});
     std::vector<PlanNode*> order;
     CollectBlockingOrder(plan.get(), &order);
     double total = 0;
@@ -192,7 +192,7 @@ TEST(MemoryManagerTest, LeftoverRespectsOperatorMaxima) {
   // tiny aggregate) has room to absorb.
   double budget = cost.HashJoinMaxMem(400) + cost.HashJoinMinMem(410) + 40;
   MemoryManager mm(&cost, budget);
-  ASSERT_TRUE(mm.Allocate(plan.get(), {}));
+  ASSERT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   double total = 0;
   for (PlanNode* n : order) {
     EXPECT_LE(n->mem_budget_pages, n->max_mem_pages) << OpKindName(n->kind);
@@ -209,7 +209,7 @@ TEST(MemoryManagerTest, AmpleMemoryDoesNotExceedMaxima) {
   CostModel cost;
   MemoryManager mm(&cost, 100000);
   auto plan = Fig3Plan(400);
-  EXPECT_TRUE(mm.Allocate(plan.get(), {}));
+  EXPECT_TRUE(mm.TryAllocate(nullptr, plan.get(), {}).value());
   std::vector<PlanNode*> order;
   CollectBlockingOrder(plan.get(), &order);
   for (PlanNode* n : order)

@@ -33,7 +33,7 @@ class SchedulerTest : public ::testing::Test {
                                   db_.cost_model(), opts);
     }
     MemoryManager mm(&db_.cost_model(), 128);
-    mm.Allocate(plan.get(), {});
+    (void)mm.TryAllocate(nullptr, plan.get(), {});
     return plan;
   }
 

@@ -1,0 +1,472 @@
+// WorkloadManager tests: overload-robust multi-query execution.
+//
+// The contract under test (DESIGN.md §11): under an overload mix, every
+// submitted query reaches exactly one clean terminal state — completed
+// with rows bit-identical to a solo run, or rejected/cancelled with a
+// typed AdmissionReject record — and the system leaks nothing: no temp
+// tables, no lost disk pages, no dangling broker grants. Contention is
+// resolved by revocable grants (victims spill, reason "shrink") and a
+// bounded-FIFO admission queue with anti-starvation aging.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/workload_manager.h"
+#include "gtest/gtest.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+std::unique_ptr<Database> MakeTpcdDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: reopt has work to do
+  EXPECT_TRUE(tpcd::Load(db.get(), gen).ok());
+  return db;
+}
+
+void ExpectNoTempTables(Database* db) {
+  EXPECT_TRUE(db->catalog()->TempTableNames().empty())
+      << db->catalog()->TempTableNames().size() << " temp tables leaked";
+}
+
+// Every terminal state must be typed: OK, or a rejection/cancellation with
+// a matching AdmissionReject record, or a clean error Status.
+void ExpectTypedTerminalStates(const std::vector<WorkloadQueryResult>& results,
+                               const std::vector<AdmissionReject>& rejections) {
+  std::map<uint64_t, const AdmissionReject*> by_id;
+  for (const AdmissionReject& r : rejections) by_id[r.query_id] = &r;
+  for (const WorkloadQueryResult& r : results) {
+    if (r.status.ok()) continue;
+    ASSERT_TRUE(r.status.code() == StatusCode::kResourceExhausted ||
+                r.status.code() == StatusCode::kCancelled)
+        << "query " << r.query_id
+        << " ended with untyped error: " << r.status.ToString();
+    auto it = by_id.find(r.query_id);
+    ASSERT_NE(it, by_id.end())
+        << "query " << r.query_id << " rejected without a typed record";
+    if (r.status.code() == StatusCode::kCancelled) {
+      EXPECT_EQ(it->second->reason, "queued_deadline");
+    } else {
+      EXPECT_TRUE(it->second->reason == "queue_full" ||
+                  it->second->reason == "ask_exceeds_budget")
+          << it->second->reason;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The flagship acceptance test: a seeded 16-query overload mix over a
+// global budget sized for about four queries.
+
+TEST(WorkloadTest, OverloadMixIsRobustAndBitIdentical) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const std::vector<tpcd::TpcdQuery> suite = tpcd::AllQueries();
+  const size_t live_before = db->disk()->live_pages();
+
+  WorkloadOptions wo;
+  wo.global_mem_pages = 48;  // solo-sized budget shared by the whole mix
+  wo.min_grant_pages = 8;    // => at most ~6 concurrent grants
+  wo.max_active = 4;
+  wo.max_queue = 8;
+  wo.reopt.mode = ReoptMode::kFull;
+
+  WorkloadManager wm(db.get(), wo);
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 16; ++i) sqls.push_back(suite[i % suite.size()].sql);
+  for (const std::string& sql : sqls) wm.Submit(sql);
+
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  REOPTDB_ASSERT_OK(run.status());
+  const std::vector<WorkloadQueryResult>& results = run.value();
+  ASSERT_EQ(results.size(), 16u);
+
+  // 16 submissions into an 8-deep queue: admission control must have
+  // rejected the overflow with typed records.
+  EXPECT_FALSE(wm.rejections().empty());
+  ExpectTypedTerminalStates(results, wm.rejections());
+
+  // Contention over a 48-page budget with everything asking for all of it:
+  // the broker must have revoked at least once.
+  EXPECT_FALSE(wm.broker().revocations().empty());
+
+  // Every completed query is bit-identical to its solo run.
+  int completed = 0;
+  int spills = 0;
+  for (const WorkloadQueryResult& r : results) {
+    if (!r.status.ok()) continue;
+    ++completed;
+    spills += static_cast<int>(r.result.report.trace.spills.size());
+    Result<QueryResult> solo = db->ExecuteWith(r.sql, wo.reopt);
+    REOPTDB_ASSERT_OK(solo.status());
+    EXPECT_EQ(Canon(r.result.rows), Canon(solo.value().rows))
+        << "query " << r.query_id << " (" << r.sql
+        << ") diverged from its solo run";
+  }
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(spills, 0) << "a 48-page budget mix should spill somewhere";
+
+  // Nothing leaked: grants, temp tables, disk pages.
+  EXPECT_EQ(wm.broker().active(), 0u);
+  EXPECT_DOUBLE_EQ(wm.broker().free_pages(), wm.broker().total_pages());
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), live_before);
+
+  // The engine stays usable afterwards.
+  Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), wo.reopt);
+  REOPTDB_ASSERT_OK(again.status());
+}
+
+// ---------------------------------------------------------------------------
+// Revocation mid-flight: a second query arriving while the first is
+// executing shaves the first's grant; the victim's not-yet-run operators
+// spill with reason "shrink" instead of overrunning the revoked pages,
+// and the controller suppresses revocation-only re-optimization.
+
+TEST(WorkloadTest, RevocationTriggersShrinkSpill) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+
+  // Q8's late join builds reliably spill once their budget shrinks
+  // mid-flight, at any mid-query revocation point.
+  std::string sql;
+  for (const tpcd::TpcdQuery& q : tpcd::AllQueries())
+    if (std::string(q.name) == "Q8") sql = q.sql;
+  ASSERT_FALSE(sql.empty());
+
+  ReoptOptions reopt;
+  reopt.mode = ReoptMode::kFull;
+  reopt.theta2 = 1e12;  // never switch: isolates revocation behaviour
+
+  // Solo timing reference for placing the second arrival mid-query.
+  Result<QueryResult> solo = db->ExecuteWith(sql, reopt);
+  REOPTDB_ASSERT_OK(solo.status());
+  const double solo_ms = solo.value().report.sim_time_ms;
+  ASSERT_GT(solo_ms, 0);
+
+  WorkloadOptions wo;
+  wo.global_mem_pages = 48;
+  wo.min_grant_pages = 8;
+  wo.max_active = 2;
+  wo.reopt = reopt;
+
+  WorkloadManager wm(db.get(), wo);
+  const uint64_t victim = wm.Submit(sql);
+  SubmitOptions late;
+  late.arrival_ms = 0.05 * solo_ms;  // victim is mid-flight, operators open
+  const uint64_t beneficiary = wm.Submit(sql, late);
+
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  REOPTDB_ASSERT_OK(run.status());
+  const std::vector<WorkloadQueryResult>& results = run.value();
+  ASSERT_EQ(results.size(), 2u);
+
+  // Both complete, bit-identical to the solo run.
+  for (const WorkloadQueryResult& r : results) {
+    REOPTDB_ASSERT_OK(r.status);
+    EXPECT_EQ(Canon(r.result.rows), Canon(solo.value().rows));
+  }
+
+  // The broker revoked from the victim for the beneficiary, and the
+  // victim's trace carries the typed record.
+  ASSERT_FALSE(wm.broker().revocations().empty());
+  const RevocationEvent& rev = wm.broker().revocations().front();
+  EXPECT_EQ(rev.victim_query_id, victim);
+  EXPECT_EQ(rev.beneficiary_query_id, beneficiary);
+  EXPECT_GT(rev.pages, 0);
+
+  const QueryTrace& victim_trace = results[0].result.report.trace;
+  ASSERT_FALSE(victim_trace.revocations.empty());
+
+  // The revocation-triggered spill: at least one of the victim's spills
+  // must carry reason "shrink" (its budget at spill time was below the
+  // budget it opened with).
+  bool shrink_spill = false;
+  for (const SpillEvent& s : victim_trace.spills)
+    shrink_spill |= s.reason == "shrink";
+  EXPECT_TRUE(shrink_spill)
+      << "victim recorded " << victim_trace.spills.size()
+      << " spills but none with reason \"shrink\"";
+
+  EXPECT_EQ(wm.broker().active(), 0u);
+  ExpectNoTempTables(db.get());
+}
+
+// Oscillation damping: a revocation alone (no new collector feedback
+// since the last gate decision) must not gate a re-optimization. The
+// suppression is observable as a revocation_only Eq2Check that did not
+// fire. The plan's sort stage sits above the aggregate, so its stage
+// boundary delivers no new collectors — the pure-revocation case.
+
+TEST(WorkloadTest, RevocationOnlyGateIsSuppressed) {
+  Database db;
+  LoadEmpDept(&db, 3000, 250);
+  const std::string sql =
+      "SELECT dept_id, SUM(salary) FROM emp GROUP BY dept_id "
+      "ORDER BY dept_id";
+
+  Result<SelectStmtAst> ast = ParseSelect(sql);
+  REOPTDB_ASSERT_OK(ast.status());
+  Result<QuerySpec> spec = Bind(ast.value(), *db.catalog());
+  REOPTDB_ASSERT_OK(spec.status());
+
+  ReoptOptions ropts;
+  ropts.mode = ReoptMode::kFull;
+  OptimizerOptions oopts = db.options().optimizer;
+  oopts.assumed_mem_pages = 32;
+  DynamicReoptimizer reopt(db.catalog(), &db.cost_model(), &db.calibration(),
+                           oopts, ropts, /*query_mem_pages=*/32);
+  ExecContext ctx(db.buffer_pool(), db.catalog(), &db.cost_model());
+  std::vector<Tuple> rows;
+  Schema schema;
+  Result<std::unique_ptr<QuerySession>> session =
+      reopt.StartSession(spec.value(), &ctx, &rows, &schema);
+  REOPTDB_ASSERT_OK(session.status());
+
+  int steps = 0;
+  while (true) {
+    Result<bool> done = session.value()->Step();
+    REOPTDB_ASSERT_OK(done.status());
+    if (done.value()) break;
+    if (++steps == 1) session.value()->OnGrantChanged(6);  // broker shave
+    ASSERT_LT(steps, 100) << "query did not terminate";
+  }
+  ExecutionReport rep = session.value()->TakeReport();
+
+  int suppressed = 0;
+  for (const Eq2Check& c : rep.trace.eq2_checks) {
+    if (!c.revocation_only) continue;
+    ++suppressed;
+    EXPECT_FALSE(c.fired) << "suppressed gate must not fire";
+  }
+  EXPECT_EQ(suppressed, 1)
+      << "the post-shave collector-less stage must record exactly one "
+         "revocation-only suppression";
+  EXPECT_EQ(rep.plans_switched, 0);
+
+  // The shrunken query still answers correctly.
+  Result<QueryResult> reference = db.Execute(sql);
+  REOPTDB_ASSERT_OK(reference.status());
+  EXPECT_EQ(Canon(rows), Canon(reference.value().rows));
+}
+
+// ---------------------------------------------------------------------------
+// Anti-starvation aging: a stream of small queries cannot starve a queued
+// large query once the head-skip bound is hit.
+
+TEST(WorkloadTest, SmallQueryStreamCannotStarveLargeQuery) {
+  const std::vector<tpcd::TpcdQuery> suite = tpcd::AllQueries();
+
+  // Runs the mix: four small queries admitted first, then the large query
+  // (needs nearly the whole budget), then four more smalls behind it.
+  // Returns started_ms keyed by submit index (large = index 4).
+  auto run_mix = [&](int max_head_skips, std::vector<double>* started,
+                     std::vector<Status>* statuses) {
+    std::unique_ptr<Database> db = MakeTpcdDb();
+    WorkloadOptions wo;
+    wo.global_mem_pages = 64;
+    wo.max_active = 4;
+    wo.max_queue = 16;
+    wo.max_head_skips = max_head_skips;
+    wo.reopt.mode = ReoptMode::kFull;
+
+    WorkloadManager wm(db.get(), wo);
+    SubmitOptions small;
+    small.ask_pages = 16;
+    small.min_grant_pages = 16;  // min == ask: small grants are irrevocable
+    SubmitOptions large;
+    large.ask_pages = 60;
+    large.min_grant_pages = 60;  // infeasible while any small holds 16
+    for (int i = 0; i < 4; ++i)
+      wm.Submit(suite[i % suite.size()].sql, small);
+    wm.Submit(tpcd::Q5Sql(), large);
+    for (int i = 4; i < 8; ++i)
+      wm.Submit(suite[i % suite.size()].sql, small);
+
+    Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+    REOPTDB_ASSERT_OK(run.status());
+    started->clear();
+    statuses->clear();
+    for (const WorkloadQueryResult& r : run.value()) {
+      started->push_back(r.started_ms);
+      statuses->push_back(r.status);
+    }
+    ExpectNoTempTables(db.get());
+  };
+
+  // With a bounded head-skip count the large query (submit index 4) must
+  // be admitted before the tail smalls (indices 7, 8): after two skips
+  // admission turns strictly FIFO and the budget drains to the head.
+  std::vector<double> started;
+  std::vector<Status> statuses;
+  run_mix(/*max_head_skips=*/2, &started, &statuses);
+  ASSERT_EQ(started.size(), 9u);
+  for (const Status& s : statuses) REOPTDB_EXPECT_OK(s);
+  EXPECT_LT(started[4], started[7])
+      << "large query started after a younger small one despite aging";
+  EXPECT_LT(started[4], started[8]);
+
+  // Sanity check of the mechanism: with an effectively unbounded skip
+  // count the small stream does starve the large query past the tail.
+  run_mix(/*max_head_skips=*/1000, &started, &statuses);
+  ASSERT_EQ(started.size(), 9u);
+  for (const Status& s : statuses) REOPTDB_EXPECT_OK(s);
+  EXPECT_GT(started[4], started[8])
+      << "unbounded skips should admit every small query first";
+}
+
+// ---------------------------------------------------------------------------
+// Queued-time-vs-deadline: waiting in the admission queue counts against
+// the query's deadline, and cancellation out of the queue is clean.
+
+TEST(WorkloadTest, QueuedWaitCountsAgainstDeadline) {
+  std::unique_ptr<Database> db = MakeTpcdDb();
+  const size_t live_before = db->disk()->live_pages();
+
+  WorkloadOptions wo;
+  wo.global_mem_pages = 48;
+  wo.max_active = 1;  // the hog serializes everything behind it
+  wo.reopt.mode = ReoptMode::kFull;
+
+  WorkloadManager wm(db.get(), wo);
+  const uint64_t hog = wm.Submit(tpcd::Q5Sql());
+  SubmitOptions impatient;
+  impatient.reopt = wo.reopt;
+  impatient.reopt->deadline_ms = 1e-3;  // expires while queued behind hog
+  const uint64_t cancelled = wm.Submit(tpcd::Q5Sql(), impatient);
+
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  REOPTDB_ASSERT_OK(run.status());
+  const std::vector<WorkloadQueryResult>& results = run.value();
+  ASSERT_EQ(results.size(), 2u);
+
+  EXPECT_EQ(results[0].query_id, hog);
+  REOPTDB_EXPECT_OK(results[0].status);
+
+  EXPECT_EQ(results[1].query_id, cancelled);
+  EXPECT_EQ(results[1].status.code(), StatusCode::kCancelled);
+  ASSERT_EQ(wm.rejections().size(), 1u);
+  EXPECT_EQ(wm.rejections()[0].query_id, cancelled);
+  EXPECT_EQ(wm.rejections()[0].reason, "queued_deadline");
+  EXPECT_EQ(results[1].started_ms, 0) << "cancelled query must never start";
+
+  // Full cleanup: the cancelled query held no grant, no pages, no temps.
+  EXPECT_EQ(wm.broker().active(), 0u);
+  ExpectNoTempTables(db.get());
+  EXPECT_EQ(db->disk()->live_pages(), live_before);
+}
+
+// ---------------------------------------------------------------------------
+// Queue overflow: submissions past max_queue are rejected immediately with
+// a typed record, and the admitted ones are unaffected.
+
+TEST(WorkloadTest, QueueOverflowRejectsTyped) {
+  Database db;
+  LoadEmpDept(&db, 200, 10);
+  const std::string sql =
+      "SELECT emp.dept_id, SUM(salary) FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id GROUP BY emp.dept_id";
+  Result<QueryResult> solo = db.Execute(sql);
+  REOPTDB_ASSERT_OK(solo.status());
+
+  WorkloadOptions wo;
+  wo.max_active = 1;
+  wo.max_queue = 2;
+  WorkloadManager wm(&db, wo);
+  for (int i = 0; i < 5; ++i) wm.Submit(sql);
+
+  // Admission happens in Run(): all five hit the queue, capacity two.
+  ASSERT_EQ(wm.rejections().size(), 3u);
+  for (const AdmissionReject& r : wm.rejections())
+    EXPECT_EQ(r.reason, "queue_full");
+
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  REOPTDB_ASSERT_OK(run.status());
+  int ok = 0;
+  for (const WorkloadQueryResult& r : run.value()) {
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      continue;
+    }
+    ++ok;
+    EXPECT_EQ(Canon(r.result.rows), Canon(solo.value().rows));
+  }
+  EXPECT_EQ(ok, 2);
+  ExpectTypedTerminalStates(run.value(), wm.rejections());
+}
+
+// An ask that can never fit — even on an idle system — is rejected with
+// reason "ask_exceeds_budget" instead of wedging the queue.
+
+TEST(WorkloadTest, InfeasibleAskRejectedNotWedged) {
+  Database db;
+  LoadEmpDept(&db, 200, 10);
+  WorkloadOptions wo;
+  wo.global_mem_pages = 32;
+  WorkloadManager wm(&db, wo);
+  SubmitOptions huge;
+  huge.ask_pages = 64;
+  huge.min_grant_pages = 64;
+  const uint64_t id = wm.Submit("SELECT eid FROM emp", huge);
+
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  REOPTDB_ASSERT_OK(run.status());
+  ASSERT_EQ(run.value().size(), 1u);
+  EXPECT_EQ(run.value()[0].status.code(), StatusCode::kResourceExhausted);
+  ASSERT_EQ(wm.rejections().size(), 1u);
+  EXPECT_EQ(wm.rejections()[0].query_id, id);
+  EXPECT_EQ(wm.rejections()[0].reason, "ask_exceeds_budget");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same mix on identically-seeded databases reproduces the
+// same clock, the same rejections, and the same per-query outcomes.
+
+TEST(WorkloadTest, WorkloadIsDeterministic) {
+  auto run_once = [](std::vector<double>* finished, double* now,
+                     size_t* rejections) {
+    std::unique_ptr<Database> db = MakeTpcdDb();
+    WorkloadOptions wo;
+    wo.global_mem_pages = 48;
+    wo.max_active = 3;
+    wo.max_queue = 4;
+    wo.reopt.mode = ReoptMode::kFull;
+    WorkloadManager wm(db.get(), wo);
+    const std::vector<tpcd::TpcdQuery> suite = tpcd::AllQueries();
+    for (int i = 0; i < 6; ++i) wm.Submit(suite[i % suite.size()].sql);
+    Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+    REOPTDB_ASSERT_OK(run.status());
+    finished->clear();
+    for (const WorkloadQueryResult& r : run.value())
+      finished->push_back(r.finished_ms);
+    *now = wm.now_ms();
+    *rejections = wm.rejections().size();
+  };
+
+  std::vector<double> f1, f2;
+  double n1 = 0, n2 = 0;
+  size_t r1 = 0, r2 = 0;
+  run_once(&f1, &n1, &r1);
+  run_once(&f2, &n2, &r2);
+  EXPECT_EQ(f1, f2);
+  EXPECT_DOUBLE_EQ(n1, n2);
+  EXPECT_EQ(r1, r2);
+}
+
+}  // namespace
+}  // namespace reoptdb

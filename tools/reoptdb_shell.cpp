@@ -21,6 +21,14 @@
 //                                  the crash latch, validates journaled
 //                                  temp tables, resumes the remainder (or
 //                                  re-runs from scratch)
+//   \workload [sub]                concurrent execution via the
+//                                  WorkloadManager: `add <sql>` queues a
+//                                  statement, `run` executes everything
+//                                  queued concurrently (admission control,
+//                                  revocable grants, spill-under-pressure),
+//                                  `mem|active|queue N` set the budget
+//                                  knobs, `clear` drops pending, no arg
+//                                  shows the knobs and pending statements
 //   \q                             quit
 
 #include <cstdio>
@@ -29,7 +37,10 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "engine/database.h"
+#include "engine/workload_manager.h"
 #include "tpcd/dbgen.h"
 
 using namespace reoptdb;
@@ -95,8 +106,11 @@ int main(int argc, char** argv) {
   ReoptOptions reopt;  // full, paper defaults
   bool show_report = true;
   bool show_trace = false;
+  WorkloadOptions wlopts;  // \workload knobs; global 0 = query_mem_pages
+  std::vector<std::string> wl_pending;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
-              "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch\n");
+              "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch, "
+              "\\workload\n");
 
   std::string line, buffer;
   while (true) {
@@ -196,6 +210,79 @@ int main(int argc, char** argv) {
             reopt.batch_size = static_cast<size_t>(v);
             std::printf("batch_size = %zu\n", reopt.batch_size);
           }
+        }
+      } else if (cmd == "\\workload") {
+        if (arg.empty()) {
+          std::printf(
+              "workload: global_mem=%g pages (0 = query_mem), "
+              "min_grant=%g, max_active=%d, max_queue=%zu\n",
+              wlopts.global_mem_pages, wlopts.min_grant_pages,
+              wlopts.max_active, wlopts.max_queue);
+          for (size_t i = 0; i < wl_pending.size(); ++i)
+            std::printf("  [%zu] %s\n", i + 1, wl_pending[i].c_str());
+          if (wl_pending.empty())
+            std::printf("  (nothing queued — \\workload add <sql>, "
+                        "then \\workload run)\n");
+        } else if (arg == "mem" || arg == "active" || arg == "queue") {
+          std::string v;
+          is >> v;
+          if (arg == "mem") wlopts.global_mem_pages = std::atof(v.c_str());
+          else if (arg == "active") wlopts.max_active = std::atoi(v.c_str());
+          else wlopts.max_queue = static_cast<size_t>(std::atol(v.c_str()));
+          std::printf("workload: global_mem=%g max_active=%d max_queue=%zu\n",
+                      wlopts.global_mem_pages, wlopts.max_active,
+                      wlopts.max_queue);
+        } else if (arg == "add") {
+          std::string sql;
+          std::getline(is, sql);
+          size_t b = sql.find_first_not_of(" \t");
+          if (b == std::string::npos) {
+            std::printf("usage: \\workload add <select ...>\n");
+          } else {
+            wl_pending.push_back(sql.substr(b));
+            std::printf("queued [%zu]\n", wl_pending.size());
+          }
+        } else if (arg == "clear") {
+          wl_pending.clear();
+          std::printf("workload queue cleared\n");
+        } else if (arg == "run") {
+          if (wl_pending.empty()) {
+            std::printf("nothing queued — \\workload add <sql> first\n");
+          } else {
+            wlopts.reopt = reopt;  // session \mode and \batch apply
+            WorkloadManager wm(&db, wlopts);
+            for (std::string& sql : wl_pending) wm.Submit(sql);
+            Result<std::vector<WorkloadQueryResult>> res = wm.Run();
+            if (!res.ok()) {
+              std::printf("error: %s\n", res.status().ToString().c_str());
+            } else {
+              for (const WorkloadQueryResult& r : *res) {
+                if (r.status.ok()) {
+                  std::printf(
+                      "  q%llu ok: %zu rows, grant=%g pages, wait=%.1fms, "
+                      "ran %.1f..%.1fms, %zu spills, %d plan-switches\n",
+                      static_cast<unsigned long long>(r.query_id),
+                      r.result.rows.size(), r.granted_pages,
+                      r.started_ms - r.submitted_ms, r.started_ms,
+                      r.finished_ms, r.result.report.trace.spills.size(),
+                      r.result.report.plans_switched);
+                } else {
+                  std::printf("  q%llu %s\n",
+                              static_cast<unsigned long long>(r.query_id),
+                              r.status.ToString().c_str());
+                }
+              }
+              std::printf(
+                  "  -- %.1f simulated ms total, %zu revocations, "
+                  "%zu admission rejections\n",
+                  wm.now_ms(), wm.broker().revocations().size(),
+                  wm.rejections().size());
+            }
+            wl_pending.clear();
+          }
+        } else {
+          std::printf("usage: \\workload [add <sql> | run | clear | "
+                      "mem N | active N | queue N]\n");
         }
       } else if (cmd == "\\tables") {
         for (const char* t :

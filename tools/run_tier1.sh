@@ -17,17 +17,24 @@ cmake --build "${BUILD}" -j
 echo "== tier-1: full test suite =="
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
+echo "== tier-1: workload overload harness (release, emits BENCH_pr5.json) =="
+# Seeded concurrent TPC-D mixes at 1x/4x/16x load over a budget sized for
+# ~4 queries; exits nonzero on any solo-run mismatch, untyped failure, or
+# broker/temp-table/page leak. Simulated time, so the JSON is reproducible.
+"${BUILD}/tools/workload_runner" --seed 42 --out BENCH_pr5.json
+
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
   --target fault_test reopt_test reopt_extension_test \
-           batch_equivalence_test recovery_test chaos_runner
+           batch_equivalence_test recovery_test workload_test \
+           chaos_runner workload_runner
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
-# The fault-injection, batch-equivalence, and crash-recovery suites run
-# twice: once in the default batched mode and once with REOPTDB_BATCH_SIZE=1
-# (the legacy row-at-a-time path), so both execution modes get sanitizer
-# coverage.
+# The fault-injection, batch-equivalence, crash-recovery, and workload
+# suites (plus a workload_runner overload smoke) run twice: once in the
+# default batched mode and once with REOPTDB_BATCH_SIZE=1 (the legacy
+# row-at-a-time path), so both execution modes get sanitizer coverage.
 for bs in default 1; do
   if [ "${bs}" = default ]; then unset REOPTDB_BATCH_SIZE
   else export REOPTDB_BATCH_SIZE="${bs}"; fi
@@ -35,6 +42,8 @@ for bs in default 1; do
   "${ASAN_BUILD}/tests/fault_test"
   "${ASAN_BUILD}/tests/batch_equivalence_test"
   "${ASAN_BUILD}/tests/recovery_test"
+  "${ASAN_BUILD}/tests/workload_test"
+  "${ASAN_BUILD}/tools/workload_runner" --seed 42
 done
 unset REOPTDB_BATCH_SIZE
 "${ASAN_BUILD}/tests/reopt_test"

@@ -1,0 +1,335 @@
+// Workload overload harness: seeded concurrent TPC-D mixes at increasing
+// load factors over a budget sized for ~4 queries, checking the
+// overload-robustness contract end to end:
+//
+//   * every completed query's rows are bit-identical to a solo run of the
+//     same statement on an identical database;
+//   * every non-completed query carries a typed admission outcome
+//     (kResourceExhausted rejection or kCancelled deadline) — never a
+//     crash or an untyped error;
+//   * after each wave the broker's budget is whole again and the shared
+//     Database leaks no temp tables or disk pages.
+//
+// With --out it also emits a BENCH json summarizing throughput and tail
+// latency per load factor (simulated time, so the numbers are exactly
+// reproducible for a given seed).
+//
+//   workload_runner [--seed N] [--loads a,b,c] [--out FILE] [--verbose]
+//
+// Exit status 0 only if every wave satisfied the contract.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/workload_manager.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+/// Canonical form of a result set: one rendered string per row, sorted
+/// (queries without ORDER BY have no defined row order); doubles rounded
+/// so hash-order-independent aggregates compare equal.
+std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (i) s += "|";
+      if (v.is_double()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: plan switches actually fire
+  Status st = tpcd::Load(db.get(), gen);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dbgen failed: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  return db;
+}
+
+WorkloadOptions OverloadConfig() {
+  // Budget sized for ~4 concurrent queries (48 pages / min grant 8, four
+  // active slots): load 1 runs solo, load 4 contends via revocation, load
+  // 16 overflows the queue and exercises typed rejection.
+  WorkloadOptions wo;
+  wo.global_mem_pages = 48;
+  wo.min_grant_pages = 8;
+  wo.max_active = 4;
+  wo.max_queue = 8;
+  wo.reopt.mode = ReoptMode::kFull;
+  return wo;
+}
+
+struct LoadStats {
+  int load = 0;
+  int queries = 0;
+  int completed = 0;
+  int rejected = 0;
+  int cancelled = 0;
+  size_t spills = 0;
+  size_t revocations = 0;
+  double sim_ms = 0;        ///< simulated wall clock for the whole wave
+  double throughput = 0;    ///< completed queries per simulated second
+  double p99_ms = 0;        ///< p99 of submitted->finished across completed
+};
+
+bool Verbose = false;
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size()));
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+/// One wave: `load` seeded-shuffled TPC-D queries through a fresh
+/// WorkloadManager on a fresh database. Returns false on any contract
+/// violation (mismatch, untyped failure, leak).
+bool RunWave(int load, uint64_t seed, LoadStats* stats) {
+  stats->load = load;
+  stats->queries = load;
+
+  std::unique_ptr<Database> db = MakeDb();
+  const size_t baseline_pages = db->disk()->live_pages();
+  const WorkloadOptions wo = OverloadConfig();
+
+  // Seeded mix: cycle the tier-1 queries, then shuffle submission order so
+  // different seeds hit the admission queue in different interleavings.
+  const std::vector<tpcd::TpcdQuery> all = tpcd::AllQueries();
+  std::vector<size_t> order;
+  for (int i = 0; i < load; ++i) order.push_back(i % all.size());
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+
+  // Solo oracles on an identical database, one per distinct query used.
+  std::map<size_t, std::vector<std::string>> oracle;
+  {
+    std::unique_ptr<Database> solo = MakeDb();
+    for (size_t qi : order) {
+      if (oracle.count(qi)) continue;
+      Result<QueryResult> r = solo->ExecuteWith(all[qi].sql, wo.reopt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "[load=%d] solo %s failed: %s\n", load,
+                     all[qi].name, r.status().ToString().c_str());
+        return false;
+      }
+      oracle[qi] = Canon(r->rows);
+    }
+  }
+
+  WorkloadManager wm(db.get(), wo);
+  std::vector<size_t> submitted_qi;
+  for (size_t qi : order) {
+    wm.Submit(all[qi].sql);
+    submitted_qi.push_back(qi);
+  }
+  Result<std::vector<WorkloadQueryResult>> run = wm.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "[load=%d] workload run failed: %s\n", load,
+                 run.status().ToString().c_str());
+    return false;
+  }
+
+  bool ok = true;
+  std::vector<double> latencies;
+  for (size_t i = 0; i < run->size(); ++i) {
+    const WorkloadQueryResult& r = (*run)[i];
+    if (r.status.ok()) {
+      ++stats->completed;
+      latencies.push_back(r.finished_ms - r.submitted_ms);
+      stats->spills += r.result.report.trace.spills.size();
+      if (Canon(r.result.rows) != oracle[submitted_qi[i]]) {
+        std::fprintf(stderr,
+                     "[load=%d seed=%llu] ROW MISMATCH: %s (query %llu) "
+                     "differs from its solo run\n",
+                     load, static_cast<unsigned long long>(seed),
+                     all[submitted_qi[i]].name,
+                     static_cast<unsigned long long>(r.query_id));
+        ok = false;
+      }
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
+      ++stats->rejected;
+    } else if (r.status.code() == StatusCode::kCancelled) {
+      ++stats->cancelled;
+    } else {
+      std::fprintf(stderr, "[load=%d seed=%llu] UNTYPED FAILURE: %s: %s\n",
+                   load, static_cast<unsigned long long>(seed),
+                   all[submitted_qi[i]].name,
+                   r.status.ToString().c_str());
+      ok = false;
+    }
+  }
+  stats->revocations = wm.broker().revocations().size();
+  stats->sim_ms = wm.now_ms();
+  stats->throughput =
+      stats->sim_ms > 0 ? stats->completed / (stats->sim_ms / 1000.0) : 0;
+  stats->p99_ms = Percentile(latencies, 0.99);
+
+  // Every typed rejection must be matched by an AdmissionReject record.
+  if (static_cast<size_t>(stats->rejected + stats->cancelled) !=
+      wm.rejections().size()) {
+    std::fprintf(stderr,
+                 "[load=%d] rejection records (%zu) do not match rejected "
+                 "results (%d)\n",
+                 load, wm.rejections().size(),
+                 stats->rejected + stats->cancelled);
+    ok = false;
+  }
+
+  // Post-wave hygiene: whole budget back, no temp tables, no page leaks.
+  if (wm.broker().active() != 0 ||
+      wm.broker().free_pages() != wm.broker().total_pages()) {
+    std::fprintf(stderr, "[load=%d] broker leak: active=%d free=%g/%g\n",
+                 load, wm.broker().active(), wm.broker().free_pages(),
+                 wm.broker().total_pages());
+    ok = false;
+  }
+  if (!db->catalog()->TempTableNames().empty()) {
+    std::fprintf(stderr, "[load=%d] temp tables leaked\n", load);
+    ok = false;
+  }
+  if (db->disk()->live_pages() != baseline_pages) {
+    std::fprintf(stderr, "[load=%d] disk pages leaked: %zu vs %zu\n", load,
+                 db->disk()->live_pages(), baseline_pages);
+    ok = false;
+  }
+
+  if (Verbose || !ok) {
+    std::printf(
+        "load=%-3d completed=%d rejected=%d cancelled=%d spills=%zu "
+        "revocations=%zu sim_ms=%.1f p99_ms=%.1f %s\n",
+        load, stats->completed, stats->rejected, stats->cancelled,
+        stats->spills, stats->revocations, stats->sim_ms, stats->p99_ms,
+        ok ? "ok" : "FAIL");
+  }
+  return ok;
+}
+
+void WriteBench(const char* path, uint64_t seed,
+                const std::vector<LoadStats>& all) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(2);
+  }
+  const char* batch_env = std::getenv("REOPTDB_BATCH_SIZE");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"workload_runner (tools/workload_runner.cpp)\",\n");
+  std::fprintf(
+      f,
+      "  \"description\": \"Seeded concurrent TPC-D mixes through the "
+      "WorkloadManager at 1x/4x/16x load over a 48-page budget sized for "
+      "~4 queries (min grant 8, 4 active slots, queue depth 8). Every "
+      "completed query is diffed bit-identical against a solo run; "
+      "rejected/cancelled queries must carry typed AdmissionReject "
+      "records; each wave must return the broker budget whole with no "
+      "temp-table or disk-page leaks. Time is simulated, so throughput "
+      "and P99 are exactly reproducible per seed.\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"batch_size_env\": \"%s\",\n",
+               batch_env != nullptr ? batch_env : "default");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const LoadStats& s = all[i];
+    std::fprintf(
+        f,
+        "    { \"load\": %d, \"queries\": %d, \"completed\": %d, "
+        "\"rejected\": %d, \"cancelled\": %d, \"spills\": %zu, "
+        "\"revocations\": %zu, \"sim_ms\": %.3f, "
+        "\"throughput_qps_sim\": %.4f, \"p99_ms\": %.3f }%s\n",
+        s.load, s.queries, s.completed, s.rejected, s.cancelled, s.spills,
+        s.revocations, s.sim_ms, s.throughput, s.p99_ms,
+        i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"acceptance\": \"all completed queries bit-identical to "
+               "solo, all failures typed, zero leaks at every load: PASS\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace reoptdb
+
+int main(int argc, char** argv) {
+  using namespace reoptdb;
+  uint64_t seed = 42;
+  std::vector<int> loads = {1, 4, 16};
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--loads") && i + 1 < argc) {
+      loads.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        loads.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: workload_runner [--seed N] [--loads a,b,c] "
+                   "[--out FILE] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  std::vector<LoadStats> all;
+  for (int load : loads) {
+    LoadStats stats;
+    ok = RunWave(load, seed + static_cast<uint64_t>(load), &stats) && ok;
+    all.push_back(stats);
+  }
+  if (out_path != nullptr && ok) WriteBench(out_path, seed, all);
+
+  for (const LoadStats& s : all) {
+    std::printf(
+        "load=%-3d queries=%-3d completed=%-3d rejected=%-2d cancelled=%-2d "
+        "spills=%-3zu revocations=%-3zu throughput=%.2f q/s(sim) "
+        "p99=%.1fms\n",
+        s.load, s.queries, s.completed, s.rejected, s.cancelled, s.spills,
+        s.revocations, s.throughput, s.p99_ms);
+  }
+  std::printf("workload_runner: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
