@@ -14,13 +14,18 @@ constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
 
 double ColumnStats::SelectivityEquals(double v, double row_count) const {
   if (row_count <= 0) return 0;
-  if (has_histogram()) {
+  // A histogram built from zero rows (empty table at ANALYZE time) has
+  // total_count() == 0; dividing by it would poison the estimate with NaN,
+  // which std::clamp does not repair. Fall through to the other paths.
+  if (has_histogram() && histogram.total_count() > 0) {
     return std::clamp(histogram.EstimateEqual(v) / histogram.total_count(), 0.0,
                       1.0);
   }
   if (distinct > 0) {
     if (has_bounds && (v < min || v > max)) return 0;
-    return 1.0 / distinct;
+    // distinct can legitimately land in (0, 1) after scaled sampling;
+    // 1/distinct would then exceed 1.
+    return std::min(1.0, 1.0 / distinct);
   }
   return kDefaultEqSelectivity;
 }
@@ -28,7 +33,7 @@ double ColumnStats::SelectivityEquals(double v, double row_count) const {
 double ColumnStats::SelectivityRange(double lo, bool lo_strict, double hi,
                                      bool hi_strict, double row_count) const {
   if (row_count <= 0) return 0;
-  if (has_histogram()) {
+  if (has_histogram() && histogram.total_count() > 0) {
     return std::clamp(
         histogram.EstimateRange(lo, lo_strict, hi, hi_strict) /
             histogram.total_count(),
@@ -47,7 +52,7 @@ std::string ColumnStats::ToString() const {
   std::ostringstream os;
   os << ValueTypeName(type);
   if (has_bounds) os << " [" << min << ", " << max << "]";
-  if (distinct > 0) os << " d=" << distinct;
+  if (distinct > 0) os << (distinct_is_lower_bound ? " d>=" : " d=") << distinct;
   if (has_histogram()) os << " " << histogram.ToString();
   return os.str();
 }

@@ -20,6 +20,11 @@ struct ColumnStats {
   double min = 0;
   double max = 0;
   double distinct = 0;        // 0 = unknown
+  /// True when `distinct` is a lower bound rather than an exact estimate
+  /// (e.g. an FM sketch harvested mid-query after a shrink-spill saw only
+  /// the partitions probed so far). Consumers must never use a lower-bound
+  /// distinct to *reduce* an existing estimate.
+  bool distinct_is_lower_bound = false;
   Histogram histogram;        // kind kNone when absent
   double avg_width = 8.0;     // bytes
 

@@ -1,0 +1,452 @@
+#include "catalog/feedback_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "catalog/catalog.h"
+#include "obs/json.h"
+
+namespace reoptdb {
+
+namespace {
+
+using obs::JsonValue;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvHash(const std::string& s) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr const char* kManifestHeader = "REOPTFB v1";
+
+double GetNum(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : 0;
+}
+
+bool GetBool(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+std::string GetStr(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+
+JsonValue BaseToJson(const BaseRelFeedback& e) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("kind", JsonValue::MakeString("base"));
+  o.Set("table", JsonValue::MakeString(e.table));
+  o.Set("sig", JsonValue::MakeString(e.predicate_sig));
+  o.Set("rows", JsonValue::MakeNumber(e.observed_rows));
+  o.Set("sel", JsonValue::MakeNumber(e.selectivity));
+  o.Set("bytes", JsonValue::MakeNumber(e.avg_tuple_bytes));
+  o.Set("partial", JsonValue::MakeBool(e.partial));
+  o.Set("rows_at_obs", JsonValue::MakeNumber(e.base_rows_at_obs));
+  o.Set("activity_at_obs", JsonValue::MakeNumber(e.update_activity_at_obs));
+  o.Set("obs", JsonValue::MakeNumber(e.observations));
+  JsonValue cols = JsonValue::MakeArray();
+  for (const auto& [name, cf] : e.columns) {
+    JsonValue c = JsonValue::MakeObject();
+    c.Set("name", JsonValue::MakeString(name));
+    c.Set("has_bounds", JsonValue::MakeBool(cf.has_bounds));
+    c.Set("min", JsonValue::MakeNumber(cf.min));
+    c.Set("max", JsonValue::MakeNumber(cf.max));
+    c.Set("distinct", JsonValue::MakeNumber(cf.distinct));
+    c.Set("lb", JsonValue::MakeBool(cf.distinct_is_lower_bound));
+    cols.Append(std::move(c));
+  }
+  o.Set("cols", std::move(cols));
+  return o;
+}
+
+JsonValue JoinToJson(const JoinFeedback& e) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("kind", JsonValue::MakeString("join"));
+  o.Set("sig", JsonValue::MakeString(e.signature));
+  o.Set("rows", JsonValue::MakeNumber(e.observed_rows));
+  o.Set("partial", JsonValue::MakeBool(e.partial));
+  o.Set("obs", JsonValue::MakeNumber(e.observations));
+  JsonValue tables = JsonValue::MakeArray();
+  for (const JoinTableMark& m : e.tables) {
+    JsonValue t = JsonValue::MakeObject();
+    t.Set("name", JsonValue::MakeString(m.table));
+    t.Set("rows_at_obs", JsonValue::MakeNumber(m.rows_at_obs));
+    t.Set("activity_at_obs", JsonValue::MakeNumber(m.update_activity_at_obs));
+    tables.Append(std::move(t));
+  }
+  o.Set("tables", std::move(tables));
+  return o;
+}
+
+Result<BaseRelFeedback> BaseFromJson(const JsonValue& o) {
+  BaseRelFeedback e;
+  e.table = GetStr(o, "table");
+  e.predicate_sig = GetStr(o, "sig");
+  if (e.table.empty())
+    return Status::ParseError("feedback manifest: base entry without table");
+  e.observed_rows = GetNum(o, "rows");
+  e.selectivity = GetNum(o, "sel");
+  e.avg_tuple_bytes = GetNum(o, "bytes");
+  e.partial = GetBool(o, "partial");
+  e.base_rows_at_obs = GetNum(o, "rows_at_obs");
+  e.update_activity_at_obs = GetNum(o, "activity_at_obs");
+  e.observations = static_cast<int>(GetNum(o, "obs"));
+  if (const JsonValue* cols = o.Find("cols");
+      cols != nullptr && cols->is_array()) {
+    for (const JsonValue& c : cols->items()) {
+      ColumnFeedback cf;
+      cf.has_bounds = GetBool(c, "has_bounds");
+      cf.min = GetNum(c, "min");
+      cf.max = GetNum(c, "max");
+      cf.distinct = GetNum(c, "distinct");
+      cf.distinct_is_lower_bound = GetBool(c, "lb");
+      e.columns[GetStr(c, "name")] = cf;
+    }
+  }
+  return e;
+}
+
+Result<JoinFeedback> JoinFromJson(const JsonValue& o) {
+  JoinFeedback e;
+  e.signature = GetStr(o, "sig");
+  if (e.signature.empty())
+    return Status::ParseError("feedback manifest: join entry without sig");
+  e.observed_rows = GetNum(o, "rows");
+  e.partial = GetBool(o, "partial");
+  e.observations = static_cast<int>(GetNum(o, "obs"));
+  if (const JsonValue* tables = o.Find("tables");
+      tables != nullptr && tables->is_array()) {
+    for (const JsonValue& t : tables->items()) {
+      JoinTableMark m;
+      m.table = GetStr(t, "name");
+      m.rows_at_obs = GetNum(t, "rows_at_obs");
+      m.update_activity_at_obs = GetNum(t, "activity_at_obs");
+      e.tables.push_back(std::move(m));
+    }
+  }
+  return e;
+}
+
+bool Drifted(double rows_at_obs, double current_rows, double activity_at_obs,
+             double current_activity, const FeedbackStoreOptions& opts) {
+  double denom = std::max(1.0, rows_at_obs);
+  if (std::fabs(current_rows - rows_at_obs) / denom > opts.staleness_rows_frac)
+    return true;
+  return std::fabs(current_activity - activity_at_obs) >
+         opts.staleness_activity;
+}
+
+}  // namespace
+
+std::string PredicateSignature(const QuerySpec& spec, int rel_idx) {
+  std::vector<std::string> terms;
+  for (const FilterPred& f : spec.filters) {
+    if (f.rel != rel_idx) continue;
+    // Same rendering as QuerySpec::ToSql (minus the alias qualifier: the
+    // alias is query-local, the signature must match across queries).
+    terms.push_back(f.column + " " + CmpOpName(f.op) + " " +
+                    (f.rhs_is_column ? f.rhs_column : f.literal.ToString()));
+  }
+  std::sort(terms.begin(), terms.end());
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) out += " AND ";
+    out += terms[i];
+  }
+  return out;
+}
+
+std::string JoinSignature(const QuerySpec& spec, const std::set<int>& rels) {
+  if (rels.size() < 2) return "";
+  std::vector<std::string> parts;
+  for (int r : rels) {
+    if (r < 0 || r >= static_cast<int>(spec.relations.size())) return "";
+    parts.push_back(spec.relations[r].table + "[" +
+                    PredicateSignature(spec, r) + "]");
+  }
+  std::sort(parts.begin(), parts.end());
+  std::vector<std::string> preds;
+  for (const JoinPred& j : spec.joins) {
+    if (rels.count(j.left_rel) == 0 || rels.count(j.right_rel) == 0) continue;
+    std::string l = spec.relations[j.left_rel].table + "." + j.left_col;
+    std::string r = spec.relations[j.right_rel].table + "." + j.right_col;
+    if (r < l) std::swap(l, r);
+    preds.push_back(l + "=" + r);
+  }
+  // A subset with no join predicate among its members is a cross product;
+  // its cardinality is derivable from the inputs and not worth keying.
+  if (preds.empty()) return "";
+  std::sort(preds.begin(), preds.end());
+  std::string out = "J{";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ",";
+    out += parts[i];
+  }
+  out += "|";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i) out += "&";
+    out += preds[i];
+  }
+  out += "}";
+  return out;
+}
+
+void CardinalityFeedbackStore::ObserveBaseRel(BaseRelFeedback obs) {
+  ++counters_.observations;
+  const std::string key = BaseKey(obs.table, obs.predicate_sig);
+  auto it = base_.find(key);
+  if (it == base_.end()) {
+    obs.observations = 1;
+    base_[key] = std::move(obs);
+    lru_.push_back("b:" + key);
+    EnforceCapacity();
+    return;
+  }
+  BaseRelFeedback& cur = it->second;
+  if (obs.partial && !cur.partial) {
+    // A prefix count can only *raise* an exact entry, never lower it.
+    if (obs.observed_rows > cur.observed_rows) {
+      cur.observed_rows = obs.observed_rows;
+      cur.selectivity = std::max(cur.selectivity, obs.selectivity);
+    }
+    for (const auto& [name, cf] : obs.columns) {
+      if (cf.distinct <= 0) continue;
+      ColumnFeedback& dst = cur.columns[name];
+      if (cf.distinct > dst.distinct) {
+        dst.distinct = cf.distinct;
+        // Raised by a lower bound: the entry's distinct is now itself one,
+        // unless the exact estimate already exceeded it.
+        dst.distinct_is_lower_bound = true;
+      }
+    }
+    ++cur.observations;
+    return;
+  }
+  if (!obs.partial && cur.partial) {
+    // Exact supersedes partial outright.
+    obs.observations = cur.observations + 1;
+    cur = std::move(obs);
+    return;
+  }
+  if (obs.partial && cur.partial) {
+    // Two lower bounds: keep the larger.
+    cur.observed_rows = std::max(cur.observed_rows, obs.observed_rows);
+    cur.selectivity = std::max(cur.selectivity, obs.selectivity);
+    for (const auto& [name, cf] : obs.columns) {
+      ColumnFeedback& dst = cur.columns[name];
+      if (cf.distinct > dst.distinct) {
+        dst.distinct = cf.distinct;
+        dst.distinct_is_lower_bound = true;
+      }
+    }
+    cur.base_rows_at_obs = obs.base_rows_at_obs;
+    cur.update_activity_at_obs = obs.update_activity_at_obs;
+    ++cur.observations;
+    return;
+  }
+  // Both exact: EWMA-blend numerics, adopt the newest column stats and
+  // staleness anchors.
+  const double a = opts_.blend_alpha;
+  cur.observed_rows = a * obs.observed_rows + (1 - a) * cur.observed_rows;
+  cur.selectivity = a * obs.selectivity + (1 - a) * cur.selectivity;
+  cur.avg_tuple_bytes =
+      a * obs.avg_tuple_bytes + (1 - a) * cur.avg_tuple_bytes;
+  cur.columns = std::move(obs.columns);
+  cur.base_rows_at_obs = obs.base_rows_at_obs;
+  cur.update_activity_at_obs = obs.update_activity_at_obs;
+  ++cur.observations;
+}
+
+void CardinalityFeedbackStore::ObserveJoin(JoinFeedback obs) {
+  ++counters_.observations;
+  auto it = joins_.find(obs.signature);
+  if (it == joins_.end()) {
+    obs.observations = 1;
+    std::string key = obs.signature;
+    joins_[key] = std::move(obs);
+    lru_.push_back("j:" + key);
+    EnforceCapacity();
+    return;
+  }
+  JoinFeedback& cur = it->second;
+  if (obs.partial && !cur.partial) {
+    if (obs.observed_rows > cur.observed_rows)
+      cur.observed_rows = obs.observed_rows;
+    ++cur.observations;
+    return;
+  }
+  if (!obs.partial && cur.partial) {
+    obs.observations = cur.observations + 1;
+    cur = std::move(obs);
+    return;
+  }
+  if (obs.partial && cur.partial) {
+    cur.observed_rows = std::max(cur.observed_rows, obs.observed_rows);
+    ++cur.observations;
+    return;
+  }
+  const double a = opts_.blend_alpha;
+  cur.observed_rows = a * obs.observed_rows + (1 - a) * cur.observed_rows;
+  cur.tables = std::move(obs.tables);
+  ++cur.observations;
+}
+
+const BaseRelFeedback* CardinalityFeedbackStore::LookupBaseRel(
+    const std::string& table, const std::string& predicate_sig,
+    double current_rows, double current_activity) const {
+  auto it = base_.find(BaseKey(table, predicate_sig));
+  if (it == base_.end()) {
+    ++counters_.base_misses;
+    return nullptr;
+  }
+  if (Drifted(it->second.base_rows_at_obs, current_rows,
+              it->second.update_activity_at_obs, current_activity, opts_)) {
+    base_.erase(it);
+    ++counters_.stale_evictions;
+    ++counters_.base_misses;
+    return nullptr;
+  }
+  ++counters_.base_hits;
+  return &it->second;
+}
+
+const JoinFeedback* CardinalityFeedbackStore::LookupJoin(
+    const std::string& signature, const Catalog& catalog) const {
+  auto it = joins_.find(signature);
+  if (it == joins_.end()) {
+    ++counters_.join_misses;
+    return nullptr;
+  }
+  for (const JoinTableMark& m : it->second.tables) {
+    Result<const TableInfo*> info = catalog.Get(m.table);
+    bool stale =
+        !info.ok() ||
+        Drifted(m.rows_at_obs,
+                static_cast<double>(info.value()->heap->tuple_count()),
+                m.update_activity_at_obs, info.value()->stats.update_activity,
+                opts_);
+    if (stale) {
+      joins_.erase(it);
+      ++counters_.stale_evictions;
+      ++counters_.join_misses;
+      return nullptr;
+    }
+  }
+  ++counters_.join_hits;
+  return &it->second;
+}
+
+void CardinalityFeedbackStore::InvalidateTable(const std::string& table) {
+  for (auto it = base_.begin(); it != base_.end();) {
+    it = it->second.table == table ? base_.erase(it) : std::next(it);
+  }
+  for (auto it = joins_.begin(); it != joins_.end();) {
+    bool hit = false;
+    for (const JoinTableMark& m : it->second.tables) hit |= m.table == table;
+    it = hit ? joins_.erase(it) : std::next(it);
+  }
+}
+
+void CardinalityFeedbackStore::Clear() {
+  base_.clear();
+  joins_.clear();
+  lru_.clear();
+  counters_ = FeedbackStoreCounters{};
+}
+
+void CardinalityFeedbackStore::EnforceCapacity() {
+  while (base_.size() + joins_.size() > opts_.max_entries && !lru_.empty()) {
+    std::string key = std::move(lru_.front());
+    lru_.erase(lru_.begin());
+    if (key.rfind("b:", 0) == 0) base_.erase(key.substr(2));
+    else if (key.rfind("j:", 0) == 0) joins_.erase(key.substr(2));
+  }
+}
+
+std::string CardinalityFeedbackStore::ExportManifest() const {
+  std::ostringstream os;
+  os << kManifestHeader << "\n";
+  auto emit = [&](const JsonValue& payload) {
+    std::string text = payload.Serialize();
+    os << FnvHash(text) << " " << text << "\n";
+  };
+  for (const auto& [key, e] : base_) emit(BaseToJson(e));
+  for (const auto& [key, e] : joins_) emit(JoinToJson(e));
+  return os.str();
+}
+
+Status CardinalityFeedbackStore::ImportManifest(const std::string& manifest) {
+  std::istringstream is(manifest);
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestHeader)
+    return Status::ParseError("feedback manifest: bad header");
+  std::map<std::string, BaseRelFeedback> base;
+  std::map<std::string, JoinFeedback> joins;
+  std::vector<std::string> lru;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    uint64_t checksum = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != ' ')
+      return Status::ParseError("feedback manifest: malformed record");
+    std::string payload(end + 1);
+    if (FnvHash(payload) != checksum)
+      return Status::ParseError("feedback manifest: checksum mismatch");
+    ASSIGN_OR_RETURN(JsonValue o, obs::ParseJson(payload));
+    if (!o.is_object())
+      return Status::ParseError("feedback manifest: record not an object");
+    std::string kind = GetStr(o, "kind");
+    if (kind == "base") {
+      ASSIGN_OR_RETURN(BaseRelFeedback e, BaseFromJson(o));
+      std::string key = BaseKey(e.table, e.predicate_sig);
+      lru.push_back("b:" + key);
+      base[std::move(key)] = std::move(e);
+    } else if (kind == "join") {
+      ASSIGN_OR_RETURN(JoinFeedback e, JoinFromJson(o));
+      lru.push_back("j:" + e.signature);
+      joins[e.signature] = std::move(e);
+    } else {
+      return Status::ParseError("feedback manifest: unknown record kind '" +
+                                kind + "'");
+    }
+  }
+  base_ = std::move(base);
+  joins_ = std::move(joins);
+  lru_ = std::move(lru);
+  return Status::OK();
+}
+
+std::string CardinalityFeedbackStore::Describe() const {
+  std::ostringstream os;
+  os << "feedback store: " << base_.size() << " base entries, "
+     << joins_.size() << " join entries\n"
+     << "  observations=" << counters_.observations
+     << " base_hits=" << counters_.base_hits
+     << " base_misses=" << counters_.base_misses
+     << " join_hits=" << counters_.join_hits
+     << " join_misses=" << counters_.join_misses
+     << " stale_evictions=" << counters_.stale_evictions << "\n";
+  for (const auto& [key, e] : base_) {
+    os << "  base " << e.table << " [" << e.predicate_sig << "] rows"
+       << (e.partial ? ">=" : "=") << e.observed_rows
+       << " sel=" << e.selectivity << " obs=" << e.observations << "\n";
+  }
+  for (const auto& [key, e] : joins_) {
+    os << "  join " << e.signature << " rows" << (e.partial ? ">=" : "=")
+       << e.observed_rows << " obs=" << e.observations << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace reoptdb

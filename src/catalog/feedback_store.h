@@ -1,0 +1,192 @@
+// Cardinality feedback store: runtime observations that outlive the query.
+//
+// Kabra & DeWitt's collectors discover estimation errors mid-query, but the
+// corrected statistics die with the execution — every repeat of the same
+// query shape rediscovers the same error and pays the same re-optimization
+// tax. Following Perron et al. ("How I Learned to Stop Worrying and Love
+// Re-optimization", PAPERS.md), this store persists each collector's
+// observed cardinalities, selectivities, bounds and distinct counts, keyed
+// on a canonical (table, predicate-signature) or join-signature fingerprint
+// computed from the bound plan, so the *next* optimization of a matching
+// query starts from corrected statistics. Keys are at sub-plan granularity
+// (per base relation and per join subset) so future incremental
+// re-optimization (Liu/Ives/Loo, PAPERS.md) can consume them directly.
+//
+// Staleness/decay policy: every entry anchors the base table's row count
+// and update activity at observation time; a lookup whose current values
+// drifted beyond the configured fractions evicts the entry instead of
+// serving it, so churned tables cannot fossilize old feedback. Repeat
+// observations blend by EWMA rather than overwrite, damping oscillation.
+//
+// Partial observations (a collector closed before exhausting its input)
+// are tagged and only ever *raise* an estimate — a prefix count is a lower
+// bound, and feedback must never make an estimate worse than no feedback.
+//
+// Persistence mirrors the durable query journal (reopt/query_journal.h):
+// ExportManifest renders one checksummed record per entry; ImportManifest
+// verifies every checksum and rejects the whole manifest on any corruption
+// (stale feedback is an accuracy aid, a corrupt record is never trusted).
+
+#ifndef REOPTDB_CATALOG_FEEDBACK_STORE_H_
+#define REOPTDB_CATALOG_FEEDBACK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+class Catalog;
+
+/// Canonical signature of relation `rel_idx`'s pushed-down filter
+/// predicates: sorted "col op literal" / "col op col" terms, rendered
+/// exactly as QuerySpec::ToSql renders them so the same bound predicate
+/// always produces the same signature. Empty string = unfiltered scan.
+std::string PredicateSignature(const QuerySpec& spec, int rel_idx);
+
+/// Canonical signature of the join result over the relation subset `rels`:
+/// sorted "table[predicate-sig]" participants plus the sorted join
+/// predicates among them (by table name, not alias, so the same join shape
+/// matches across queries that alias differently).
+std::string JoinSignature(const QuerySpec& spec, const std::set<int>& rels);
+
+/// Observed per-column statistics riding along with a base-rel observation.
+/// Keyed by bare column name (the alias is query-local).
+struct ColumnFeedback {
+  bool has_bounds = false;
+  double min = 0;
+  double max = 0;
+  double distinct = 0;  ///< 0 = not observed
+  bool distinct_is_lower_bound = false;
+};
+
+/// One base relation's observed post-filter statistics.
+struct BaseRelFeedback {
+  std::string table;
+  std::string predicate_sig;
+  double observed_rows = 0;
+  /// observed_rows / base table rows at observation time. Applied to the
+  /// *current* row count on lookup, so feedback tracks table growth.
+  double selectivity = 0;
+  double avg_tuple_bytes = 0;
+  bool partial = false;  ///< lower bound only (collector closed early)
+  std::map<std::string, ColumnFeedback> columns;
+  // --- staleness anchors + decay state.
+  double base_rows_at_obs = 0;
+  double update_activity_at_obs = 0;
+  int observations = 0;
+};
+
+/// Anchors one participating table's state at join-observation time.
+struct JoinTableMark {
+  std::string table;
+  double rows_at_obs = 0;
+  double update_activity_at_obs = 0;
+};
+
+/// One join subset's observed output cardinality.
+struct JoinFeedback {
+  std::string signature;
+  double observed_rows = 0;
+  bool partial = false;
+  std::vector<JoinTableMark> tables;
+  int observations = 0;
+};
+
+struct FeedbackStoreOptions {
+  /// EWMA weight of the newest observation when blending with an existing
+  /// entry (1.0 = always overwrite).
+  double blend_alpha = 0.6;
+  /// Evict on lookup when the base table's row count drifted by more than
+  /// this fraction since observation.
+  double staleness_rows_frac = 0.2;
+  /// Evict on lookup when update activity drifted by more than this.
+  double staleness_activity = 0.05;
+  /// Hard cap on entries (base + join); inserting past it drops the
+  /// least-recently observed entry.
+  size_t max_entries = 4096;
+};
+
+/// Running counters (monotone; Clear() resets them with the entries).
+struct FeedbackStoreCounters {
+  uint64_t base_hits = 0;
+  uint64_t base_misses = 0;
+  uint64_t join_hits = 0;
+  uint64_t join_misses = 0;
+  uint64_t stale_evictions = 0;
+  uint64_t observations = 0;
+};
+
+/// \brief Persistent (per-Database) store of runtime cardinality feedback.
+class CardinalityFeedbackStore {
+ public:
+  explicit CardinalityFeedbackStore(FeedbackStoreOptions opts = {})
+      : opts_(opts) {}
+
+  /// Records / EWMA-blends one base-rel observation. Partial observations
+  /// only ever raise an existing entry, never lower it; an exact
+  /// observation replaces a partial one outright.
+  void ObserveBaseRel(BaseRelFeedback obs);
+
+  /// Records / EWMA-blends one join observation (same partial rules).
+  void ObserveJoin(JoinFeedback obs);
+
+  /// Entry for (table, predicate_sig), or nullptr. Checks the staleness
+  /// anchors against the caller-supplied current table state and evicts
+  /// (returning nullptr) when drifted.
+  const BaseRelFeedback* LookupBaseRel(const std::string& table,
+                                       const std::string& predicate_sig,
+                                       double current_rows,
+                                       double current_activity) const;
+
+  /// Entry for the join signature, or nullptr. Staleness is checked per
+  /// participating table against the live catalog.
+  const JoinFeedback* LookupJoin(const std::string& signature,
+                                 const Catalog& catalog) const;
+
+  /// Drops every entry touching `table` (DDL invalidation).
+  void InvalidateTable(const std::string& table);
+
+  void Clear();
+  size_t base_entry_count() const { return base_.size(); }
+  size_t join_entry_count() const { return joins_.size(); }
+  bool empty() const { return base_.empty() && joins_.empty(); }
+  const FeedbackStoreCounters& counters() const { return counters_; }
+
+  /// Renders the whole store as a manifest: a header line followed by one
+  /// "<fnv1a-checksum> <json-payload>" line per entry.
+  std::string ExportManifest() const;
+
+  /// Replaces the store's entries with the manifest's. All-or-nothing: any
+  /// checksum/parse failure rejects the whole manifest and leaves the
+  /// store unchanged.
+  Status ImportManifest(const std::string& manifest);
+
+  /// Human-readable dump for the shell's \feedback command.
+  std::string Describe() const;
+
+ private:
+  static std::string BaseKey(const std::string& table,
+                             const std::string& predicate_sig) {
+    return table + "|" + predicate_sig;
+  }
+  void EnforceCapacity();
+
+  FeedbackStoreOptions opts_;
+  /// Mutable: lookups are logically const but evict stale entries and
+  /// count hits/misses.
+  mutable std::map<std::string, BaseRelFeedback> base_;
+  mutable std::map<std::string, JoinFeedback> joins_;
+  /// Insertion order for capacity eviction (oldest observation first).
+  mutable std::vector<std::string> lru_;
+  mutable FeedbackStoreCounters counters_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_CATALOG_FEEDBACK_STORE_H_

@@ -40,7 +40,11 @@ Database::Database(DatabaseOptions opts)
     : opts_(opts),
       pool_(&disk_, opts.buffer_pool_pages),
       catalog_(&pool_),
-      cost_(opts.cost_params) {
+      cost_(opts.cost_params),
+      feedback_store_(opts.feedback),
+      plan_cache_(opts.plan_cache),
+      feedback_enabled_(opts.enable_feedback),
+      plan_cache_enabled_(opts.enable_plan_cache) {
   if (const char* env = std::getenv("REOPTDB_FAULTS");
       env != nullptr && env[0] != '\0') {
     Status st = faults_.Configure(env);
@@ -120,6 +124,7 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
                                               const std::string& journal_root) {
   ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
   ASSIGN_OR_RETURN(QuerySpec spec, Bind(ast, catalog_));
+  const std::string canonical_sql = spec.ToSql();
 
   OptimizerOptions opt_opts = opts_.optimizer;
   opt_opts.assumed_mem_pages = opts_.query_mem_pages;
@@ -129,13 +134,60 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  opts_.query_mem_pages);
   reoptimizer.SetJournal(&journal_, journal_root);
+  if (feedback_enabled_) reoptimizer.SetFeedback(&feedback_store_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
 
+  // Plan-correction cache: a repeat of a query whose plan was corrected
+  // mid-run starts directly on the corrected plan, skipping optimization.
+  std::unique_ptr<PlanNode> cached;
+  if (plan_cache_enabled_) {
+    std::string reason;
+    double saved_opt_ms = 0;
+    uint64_t entry_hits = 0;
+    cached = plan_cache_.Lookup(canonical_sql, opts_.query_mem_pages, catalog_,
+                                &reason, &saved_opt_ms, &entry_hits);
+    if (cached != nullptr) {
+      PlanCacheHit hit;
+      hit.sql = canonical_sql;
+      hit.saved_opt_ms = saved_opt_ms;
+      hit.entry_hits = entry_hits;
+      ctx.AddEvent(Render(hit));
+      ctx.trace()->plan_cache_hits.push_back(std::move(hit));
+    }
+  }
+
+  QuerySpec spec_for_install;
+  if (plan_cache_enabled_) spec_for_install = spec;
+
   QueryResult result;
-  ASSIGN_OR_RETURN(result.report,
-                   reoptimizer.Execute(std::move(spec), &ctx, &result.rows,
-                                       &result.schema));
+  if (cached != nullptr) {
+    ASSIGN_OR_RETURN(result.report,
+                     reoptimizer.ExecuteWithPlan(std::move(spec),
+                                                 std::move(cached), &ctx,
+                                                 &result.rows,
+                                                 &result.schema));
+  } else {
+    ASSIGN_OR_RETURN(result.report,
+                     reoptimizer.Execute(std::move(spec), &ctx, &result.rows,
+                                         &result.schema));
+  }
+
+  if (plan_cache_enabled_ && result.report.plans_switched > 0) {
+    // The controller paid to learn the static plan was wrong; bank the
+    // lesson. The committed post-switch plan reads query-local temp tables,
+    // so the cacheable correction comes from re-planning the *original*
+    // spec with the freshly harvested feedback. Happens after delivery and
+    // is not charged to the query's simulated time.
+    Optimizer corrective(&catalog_, &cost_, opt_opts,
+                         feedback_enabled_ ? &feedback_store_ : nullptr);
+    Result<OptimizeResult> corrected = corrective.Plan(spec_for_install);
+    if (corrected.ok()) {
+      plan_cache_.Install(canonical_sql, *corrected.value().plan,
+                          corrected.value().sim_opt_time_ms,
+                          opts_.query_mem_pages, catalog_);
+    }
+  }
   return result;
 }
 
@@ -231,6 +283,10 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
   }
   if (auto* dt = std::get_if<DropTableAst>(&stmt)) {
     RETURN_IF_ERROR(catalog_.Drop(dt->table));
+    // Feedback and corrected plans for a dropped table are garbage even if
+    // a same-named table reappears later.
+    feedback_store_.InvalidateTable(dt->table);
+    plan_cache_.InvalidateTable(dt->table);
     result.message = "dropped table " + dt->table;
     return result;
   }
@@ -251,6 +307,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
       DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts,
                                      opts_.reopt, opts_.query_mem_pages);
       reoptimizer.SetJournal(&journal_);
+      if (feedback_enabled_) reoptimizer.SetFeedback(&feedback_store_);
       ExecContext ctx(&pool_, &catalog_, &cost_,
                       /*seed=*/1234 + ++query_counter_);
       ctx.SetFaultInjector(&faults_);

@@ -19,11 +19,13 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/feedback_store.h"
 #include "common/fault.h"
 #include "optimizer/calibration.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/parametric.h"
+#include "optimizer/plan_cache.h"
 #include "reopt/controller.h"
 #include "reopt/query_journal.h"
 #include "storage/buffer_pool.h"
@@ -46,6 +48,17 @@ struct DatabaseOptions {
   /// Calibrate optimizer time on star joins up to this relation count at
   /// first use (paper Section 2.4); 0 disables calibration.
   int calibrate_max_relations = 9;
+  /// Cardinality feedback loop (catalog/feedback_store.h): observed
+  /// collector statistics outlive the query and correct future estimates.
+  /// Opt-in: with it off, repeated identical queries make bit-identical
+  /// re-optimization decisions, which the equivalence tests assert.
+  bool enable_feedback = false;
+  FeedbackStoreOptions feedback;
+  /// Plan-correction cache (optimizer/plan_cache.h): repeats of a query
+  /// whose plan was corrected mid-run start on the corrected plan and skip
+  /// optimization. Opt-in for the same determinism reason.
+  bool enable_plan_cache = false;
+  PlanCacheOptions plan_cache;
 };
 
 /// A compiled query with one plan per anticipated memory budget — the
@@ -153,6 +166,19 @@ class Database {
   /// instance, written at every committed plan switch, read by Recover().
   QueryJournal* journal() { return &journal_; }
 
+  /// The cardinality feedback store (always constructed; consulted and
+  /// harvested only while feedback_enabled()). Exposed for persistence
+  /// (Export/ImportManifest), the shell's \feedback command, and tests.
+  CardinalityFeedbackStore* feedback_store() { return &feedback_store_; }
+  bool feedback_enabled() const { return feedback_enabled_; }
+  void set_feedback_enabled(bool on) { feedback_enabled_ = on; }
+
+  /// The plan-correction cache (consulted and installed-into only while
+  /// plan_cache_enabled()).
+  PlanCorrectionCache* plan_cache() { return &plan_cache_; }
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
+  void set_plan_cache_enabled(bool on) { plan_cache_enabled_ = on; }
+
  private:
   friend class RecoveryManager;
   friend class WorkloadManager;
@@ -172,6 +198,10 @@ class Database {
   CostModel cost_;
   OptimizerCalibration calibration_;
   QueryJournal journal_;
+  CardinalityFeedbackStore feedback_store_;
+  PlanCorrectionCache plan_cache_;
+  bool feedback_enabled_ = false;
+  bool plan_cache_enabled_ = false;
   bool calibrated_ = false;
   uint64_t query_counter_ = 0;
 };

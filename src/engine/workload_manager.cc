@@ -140,6 +140,8 @@ Status WorkloadManager::AdmitOne(QueryRun* q) {
   q->reoptimizer = std::make_unique<DynamicReoptimizer>(
       &db_->catalog_, &db_->cost_, &cal, opt_opts, q->reopt, granted);
   q->reoptimizer->SetJournal(&db_->journal_);
+  if (db_->feedback_enabled_)
+    q->reoptimizer->SetFeedback(&db_->feedback_store_);
   q->ctx = std::make_unique<ExecContext>(&db_->pool_, &db_->catalog_,
                                          &db_->cost_,
                                          /*seed=*/1234 + ++db_->query_counter_);

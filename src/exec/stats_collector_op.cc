@@ -157,6 +157,32 @@ Result<bool> StatsCollectorOp::NextBatchImpl(TupleBatch* out) {
   return true;
 }
 
-Status StatsCollectorOp::CloseImpl() { return CloseChildren(); }
+Status StatsCollectorOp::CloseImpl() {
+  // Closing before the input is exhausted (plan switch, early limit): the
+  // tuples seen so far are still a valid *lower bound* on the edge's
+  // cardinality and distinct counts. Publish them tagged partial so the
+  // feedback store can raise estimates without ever treating a prefix as
+  // exact. Min/max and histograms are omitted: a prefix is scan-order
+  // biased and would fabricate tight bounds. The dispatcher is not
+  // notified and finalized_ stays false — partial stats never trigger the
+  // controller's improved-estimate refresh.
+  if (!finalized_ && count_ > 0 && !node_->observed.valid) {
+    ObservedStats obs;
+    obs.valid = true;
+    obs.partial = true;
+    obs.cardinality = static_cast<double>(count_);
+    obs.avg_tuple_bytes = bytes_ / static_cast<double>(count_);
+    for (UniqueCollector& u : uniques_) {
+      ColumnStats& cs = obs.columns[u.qualified];
+      cs.type = node_->output_schema.column(u.col).type;
+      cs.avg_width = node_->output_schema.column(u.col).avg_width;
+      cs.distinct = std::min(u.sketch.Estimate(), static_cast<double>(count_));
+      cs.distinct_is_lower_bound = true;
+    }
+    node_->observed = obs;
+    if (!node_->children.empty()) node_->children[0]->observed = obs;
+  }
+  return CloseChildren();
+}
 
 }  // namespace reoptdb

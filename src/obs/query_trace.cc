@@ -225,6 +225,29 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("revocations", std::move(rv_j));
 
+  JsonValue fa_j = JsonValue::MakeArray();
+  for (const FeedbackApplied& r : feedback_applied) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("scope", JsonValue::MakeString(r.scope));
+    o.Set("table", JsonValue::MakeString(r.table));
+    o.Set("signature", JsonValue::MakeString(r.signature));
+    o.Set("est_rows", JsonValue::MakeNumber(r.est_rows));
+    o.Set("fb_rows", JsonValue::MakeNumber(r.fb_rows));
+    o.Set("partial", JsonValue::MakeBool(r.partial));
+    fa_j.Append(std::move(o));
+  }
+  root.Set("feedback_applied", std::move(fa_j));
+
+  JsonValue pc_j = JsonValue::MakeArray();
+  for (const PlanCacheHit& r : plan_cache_hits) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("sql", JsonValue::MakeString(r.sql));
+    o.Set("saved_opt_ms", JsonValue::MakeNumber(r.saved_opt_ms));
+    o.Set("entry_hits", JsonValue::MakeNumber(r.entry_hits));
+    pc_j.Append(std::move(o));
+  }
+  root.Set("plan_cache_hits", std::move(pc_j));
+
   return root.Serialize();
 }
 
@@ -378,6 +401,31 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       t.revocations.push_back(r);
     }
   }
+  // Feedback/plan-cache arrays are optional so traces serialized before the
+  // cardinality-feedback layer still parse.
+  if (const JsonValue* fa = root.Find("feedback_applied");
+      fa != nullptr && fa->is_array()) {
+    for (const JsonValue& o : fa->items()) {
+      FeedbackApplied r;
+      r.scope = GetStr(o, "scope");
+      r.table = GetStr(o, "table");
+      r.signature = GetStr(o, "signature");
+      r.est_rows = GetNum(o, "est_rows");
+      r.fb_rows = GetNum(o, "fb_rows");
+      r.partial = GetBool(o, "partial");
+      t.feedback_applied.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* pc = root.Find("plan_cache_hits");
+      pc != nullptr && pc->is_array()) {
+    for (const JsonValue& o : pc->items()) {
+      PlanCacheHit r;
+      r.sql = GetStr(o, "sql");
+      r.saved_opt_ms = GetNum(o, "saved_opt_ms");
+      r.entry_hits = static_cast<int>(GetNum(o, "entry_hits"));
+      t.plan_cache_hits.push_back(std::move(r));
+    }
+  }
 
   return t;
 }
@@ -433,6 +481,12 @@ std::string QueryTrace::Summary() const {
     for (const RevocationEvent& r : revocations)
       out += "  " + Render(r) + "\n";
   }
+  if (!feedback_applied.empty() || !plan_cache_hits.empty()) {
+    out += "feedback:\n";
+    for (const PlanCacheHit& r : plan_cache_hits) out += "  " + Render(r) + "\n";
+    for (const FeedbackApplied& r : feedback_applied)
+      out += "  " + Render(r) + "\n";
+  }
   return out;
 }
 
@@ -481,6 +535,8 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("degraded", JsonValue::MakeBool(!degradations.empty()));
   root.Set("spills", JsonValue::MakeNumber(spills.size()));
   root.Set("revocations", JsonValue::MakeNumber(revocations.size()));
+  root.Set("feedback_applied", JsonValue::MakeNumber(feedback_applied.size()));
+  root.Set("plan_cache_hits", JsonValue::MakeNumber(plan_cache_hits.size()));
   return root.Serialize();
 }
 
@@ -562,6 +618,21 @@ std::string Render(const RevocationEvent& r) {
          std::to_string(r.victim_query_id) + " to query " +
          std::to_string(r.beneficiary_query_id) + " (victim grant now " +
          Ms(r.victim_grant_after) + ") at " + Ms(r.at_ms) + "ms";
+}
+
+std::string Render(const FeedbackApplied& r) {
+  std::string s = "feedback applied (" + r.scope + "): ";
+  if (!r.table.empty()) s += r.table + " ";
+  s += "[" + r.signature + "] est=" + Ms(r.est_rows) + " rows -> " +
+       Ms(r.fb_rows) + " rows";
+  if (r.partial) s += " (lower bound)";
+  return s;
+}
+
+std::string Render(const PlanCacheHit& r) {
+  return "plan cache hit (" + std::to_string(r.entry_hits) +
+         " total): started on corrected plan, saved " + Ms(r.saved_opt_ms) +
+         "ms optimization";
 }
 
 std::string Render(const MemoryReallocation& r) {

@@ -176,6 +176,27 @@ struct RevocationEvent {
   double at_ms = 0;               ///< workload clock
 };
 
+/// One estimate corrected from the cardinality feedback store during
+/// optimization: the optimizer consulted persisted runtime observations
+/// before synthetic statistics (scope "base" = filtered base relation,
+/// "join" = join subset).
+struct FeedbackApplied {
+  std::string scope;      ///< "base" | "join"
+  std::string table;      ///< base scope: table name; join scope: empty
+  std::string signature;  ///< predicate / join signature matched
+  double est_rows = 0;    ///< synthetic estimate before feedback
+  double fb_rows = 0;     ///< estimate after applying feedback
+  bool partial = false;   ///< feedback was a lower bound (raise-only)
+};
+
+/// One plan-correction-cache hit: a repeat query started directly on the
+/// corrected plan a previous execution switched to, skipping optimization.
+struct PlanCacheHit {
+  std::string sql;          ///< canonical SQL key
+  double saved_opt_ms = 0;  ///< optimizer time not charged to this query
+  int entry_hits = 0;       ///< cumulative hits on the entry (this one incl.)
+};
+
 /// One operator's budget change from a memory-manager pass.
 struct BudgetChange {
   int plan_generation = 0;
@@ -216,6 +237,8 @@ class QueryTrace {
   /// Revocations this query *suffered* (victim side); the broker keeps the
   /// workload-wide log.
   std::vector<RevocationEvent> revocations;
+  std::vector<FeedbackApplied> feedback_applied;
+  std::vector<PlanCacheHit> plan_cache_hits;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -248,6 +271,8 @@ std::string Render(const RecoveryFallback& r);
 std::string Render(const SpillEvent& r);
 std::string Render(const AdmissionReject& r);
 std::string Render(const RevocationEvent& r);
+std::string Render(const FeedbackApplied& r);
+std::string Render(const PlanCacheHit& r);
 
 }  // namespace reoptdb
 

@@ -28,13 +28,17 @@ struct Planner {
   uint64_t enumerated = 0;
   std::map<uint32_t, DpEntry> dp;
 
+  std::vector<FeedbackApplied> feedback_applied;
+
   Planner(const Catalog* c, const CostModel* cm, const OptimizerOptions* o,
-          const QuerySpec* s, const BaseRelOverrides* overrides)
+          const QuerySpec* s, const BaseRelOverrides* overrides,
+          const CardinalityFeedbackStore* feedback)
       : catalog(c),
         cost(cm),
         opts(o),
         spec(s),
-        est(c, s, overrides, o->histogram_join_estimation) {}
+        est(c, s, overrides, o->histogram_join_estimation, feedback,
+            &feedback_applied) {}
 
   double MissProb(double table_pages) const {
     return std::clamp(table_pages / std::max(1.0, opts->pool_pages_hint), 0.02,
@@ -518,7 +522,7 @@ Result<OptimizeResult> Optimizer::Plan(
   if (spec.relations.size() > 20)
     return Status::NotSupported("too many relations (max 20)");
 
-  Planner planner(catalog_, cost_, &opts_, &spec, overrides);
+  Planner planner(catalog_, cost_, &opts_, &spec, overrides, feedback_);
   for (int r = 0; r < static_cast<int>(spec.relations.size()); ++r)
     RETURN_IF_ERROR(planner.PlanBaseRel(r));
   RETURN_IF_ERROR(planner.PlanJoins());
@@ -530,6 +534,7 @@ Result<OptimizeResult> Optimizer::Plan(
   result.plans_enumerated = planner.enumerated;
   result.sim_opt_time_ms =
       static_cast<double>(planner.enumerated) * cost_->params().t_opt_per_plan_ms;
+  result.feedback_applied = std::move(planner.feedback_applied);
   return result;
 }
 

@@ -56,14 +56,21 @@ struct OptimizeResult {
   /// the number of operators, not data sizes (Section 2.4).
   uint64_t plans_enumerated = 0;
   double sim_opt_time_ms = 0;
+  /// Estimates corrected from the cardinality feedback store (empty when
+  /// the optimizer runs without one).
+  std::vector<FeedbackApplied> feedback_applied;
 };
 
 /// \brief The conventional query optimizer wrapped by Dynamic Re-Optimization.
 class Optimizer {
  public:
+  /// `feedback`, when non-null, is consulted by the Estimator before
+  /// synthetic statistics (see catalog/feedback_store.h); corrections are
+  /// reported in OptimizeResult::feedback_applied.
   Optimizer(const Catalog* catalog, const CostModel* cost,
-            OptimizerOptions opts = OptimizerOptions{})
-      : catalog_(catalog), cost_(cost), opts_(opts) {}
+            OptimizerOptions opts = OptimizerOptions{},
+            const CardinalityFeedbackStore* feedback = nullptr)
+      : catalog_(catalog), cost_(cost), opts_(opts), feedback_(feedback) {}
 
   /// Plans a bound query. Supports up to 20 relations. `overrides`
   /// optionally replaces catalog-derived base-relation estimates with
@@ -76,6 +83,7 @@ class Optimizer {
   const Catalog* catalog_;
   const CostModel* cost_;
   OptimizerOptions opts_;
+  const CardinalityFeedbackStore* feedback_;
 };
 
 /// Assigns post-order ids to every node in the plan.

@@ -1,0 +1,188 @@
+#include "optimizer/plan_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace reoptdb {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  // Field separator so {"ab","c"} and {"a","bc"} differ.
+  h ^= 0x1f;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Base (non-temp) tables referenced by scans in the plan, deduplicated.
+std::set<std::string> ReferencedTables(const PlanNode& plan) {
+  std::set<std::string> tables;
+  plan.PostOrder([&](const PlanNode* n) {
+    if (!n->table.empty()) tables.insert(n->table);
+  });
+  return tables;
+}
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const TableInfo& info) {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, info.name);
+  for (const Column& c : info.schema.columns()) {
+    h = FnvMix(h, c.QualifiedName());
+    h = FnvMix(h, std::to_string(static_cast<int>(c.type)));
+    h = FnvMix(h, std::to_string(c.avg_width));
+  }
+  for (const std::string& k : info.key_columns) h = FnvMix(h, "key:" + k);
+  for (const auto& [col, tree] : info.indexes) {
+    (void)tree;
+    h = FnvMix(h, "idx:" + col);
+  }
+  return h;
+}
+
+void PlanCorrectionCache::Install(const std::string& sql, const PlanNode& plan,
+                                  double opt_time_ms, double query_mem_pages,
+                                  const Catalog& catalog) {
+  Entry entry;
+  entry.plan = plan.Clone();
+  entry.opt_time_ms = opt_time_ms;
+  entry.query_mem_pages = query_mem_pages;
+  for (const std::string& t : ReferencedTables(plan)) {
+    Result<const TableInfo*> info = catalog.Get(t);
+    // A plan over a temp table must not be cached: the temp table is gone
+    // when the query finishes. The controller caches corrected plans for
+    // the *original* spec, so this only fires on misuse.
+    if (!info.ok() || info.value()->is_temp) return;
+    PlanCacheTableMark mark;
+    mark.table = t;
+    mark.schema_fingerprint = SchemaFingerprint(*info.value());
+    mark.row_count = static_cast<double>(info.value()->heap->tuple_count());
+    mark.update_activity = info.value()->stats.update_activity;
+    entry.marks.push_back(std::move(mark));
+  }
+  auto it = entries_.find(sql);
+  if (it != entries_.end()) {
+    lru_.remove(sql);
+  }
+  entries_[sql] = std::move(entry);
+  lru_.push_back(sql);
+  ++counters_.installs;
+  EnforceCapacity();
+}
+
+std::unique_ptr<PlanNode> PlanCorrectionCache::Lookup(
+    const std::string& sql, double query_mem_pages, const Catalog& catalog,
+    std::string* reason, double* saved_opt_ms, uint64_t* entry_hits) {
+  auto it = entries_.find(sql);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    if (reason != nullptr) *reason = "miss";
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  for (const PlanCacheTableMark& mark : entry.marks) {
+    Result<const TableInfo*> info = catalog.Get(mark.table);
+    const bool schema_ok =
+        info.ok() && !info.value()->is_temp &&
+        SchemaFingerprint(*info.value()) == mark.schema_fingerprint;
+    if (!schema_ok) {
+      ++counters_.schema_evictions;
+      lru_.remove(sql);
+      entries_.erase(it);
+      if (reason != nullptr) *reason = "schema_changed";
+      return nullptr;
+    }
+    const double rows = static_cast<double>(info.value()->heap->tuple_count());
+    const double drift =
+        std::abs(rows - mark.row_count) / std::max(1.0, mark.row_count);
+    const double activity =
+        std::abs(info.value()->stats.update_activity - mark.update_activity);
+    if (drift > opts_.staleness_rows_frac ||
+        activity > opts_.staleness_activity) {
+      ++counters_.stale_evictions;
+      lru_.remove(sql);
+      entries_.erase(it);
+      if (reason != nullptr) *reason = "stats_stale";
+      return nullptr;
+    }
+  }
+  if (query_mem_pages < entry.query_mem_pages) {
+    // Plan was corrected under a larger budget; keep the entry and let the
+    // optimizer size operators for the current (transiently smaller) one.
+    ++counters_.memory_rejects;
+    if (reason != nullptr) *reason = "insufficient_memory";
+    return nullptr;
+  }
+  ++counters_.hits;
+  ++entry.hits;
+  lru_.remove(sql);
+  lru_.push_back(sql);
+  if (reason != nullptr) *reason = "hit";
+  if (saved_opt_ms != nullptr) *saved_opt_ms = entry.opt_time_ms;
+  if (entry_hits != nullptr) *entry_hits = entry.hits;
+  std::unique_ptr<PlanNode> clone = entry.plan->Clone();
+  clone->PostOrder([](PlanNode* n) {
+    n->improved = n->est;
+    n->mem_budget_pages = 0;
+  });
+  return clone;
+}
+
+void PlanCorrectionCache::InvalidateTable(const std::string& table) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool references =
+        std::any_of(it->second.marks.begin(), it->second.marks.end(),
+                    [&](const PlanCacheTableMark& m) { return m.table == table; });
+    if (references) {
+      lru_.remove(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCorrectionCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void PlanCorrectionCache::EnforceCapacity() {
+  while (entries_.size() > opts_.max_entries && !lru_.empty()) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
+  }
+}
+
+std::string PlanCorrectionCache::Describe() const {
+  std::ostringstream os;
+  os << "plan-correction cache: " << entries_.size() << " entr"
+     << (entries_.size() == 1 ? "y" : "ies") << " (hits=" << counters_.hits
+     << " misses=" << counters_.misses
+     << " installs=" << counters_.installs
+     << " schema_evict=" << counters_.schema_evictions
+     << " stale_evict=" << counters_.stale_evictions
+     << " mem_reject=" << counters_.memory_rejects << ")\n";
+  for (const auto& [sql, entry] : entries_) {
+    os << "  [" << entry.hits << " hit" << (entry.hits == 1 ? "" : "s")
+       << ", saves " << entry.opt_time_ms << "ms opt, mem "
+       << entry.query_mem_pages << "pg] " << sql << "\n";
+    for (const PlanCacheTableMark& m : entry.marks) {
+      os << "      " << m.table << ": rows=" << m.row_count
+         << " activity=" << m.update_activity << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace reoptdb

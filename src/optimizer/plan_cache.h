@@ -1,0 +1,127 @@
+// Plan-correction cache.
+//
+// When the Dynamic Re-Optimization controller commits a plan switch it has
+// paid (optimization time, materialization I/O) to learn that the static
+// plan for this query text was wrong. The PlanCorrectionCache banks that
+// lesson: the corrected plan — re-planned from the *original* query spec
+// with feedback-corrected statistics, not the temp-table remainder the
+// switch actually ran — is stored under the canonical SQL text. A repeat of
+// the same query then starts directly on the corrected plan, skipping
+// optimization entirely (a cache hit is reported as a PlanCacheHit trace
+// record).
+//
+// Entries are validated on lookup, never trusted blindly:
+//   - schema_changed: any referenced table's schema/keys/indexes changed
+//     (fingerprint mismatch) — the plan may be unexecutable; entry evicted.
+//   - stats_stale: a referenced table's row count drifted or update
+//     activity advanced past the staleness thresholds — the corrected plan
+//     is no longer known-good; entry evicted so the next run re-learns.
+//   - insufficient_memory: the cached plan was corrected under a larger
+//     query memory budget than the current one; falling back to fresh
+//     optimization (which sizes operators for the current budget) is safer.
+//     The entry is KEPT — memory pressure is transient, schema drift is not.
+
+#ifndef REOPTDB_OPTIMIZER_PLAN_CACHE_H_
+#define REOPTDB_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/physical_plan.h"
+
+namespace reoptdb {
+
+/// Validation snapshot of one table referenced by a cached plan.
+struct PlanCacheTableMark {
+  std::string table;
+  uint64_t schema_fingerprint = 0;
+  double row_count = 0;
+  double update_activity = 0;
+};
+
+struct PlanCacheOptions {
+  /// Relative row-count drift that invalidates an entry.
+  double staleness_rows_frac = 0.2;
+  /// Absolute update-activity advance that invalidates an entry.
+  double staleness_activity = 0.05;
+  size_t max_entries = 64;
+};
+
+struct PlanCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          ///< no entry for the SQL text
+  uint64_t schema_evictions = 0;
+  uint64_t stale_evictions = 0;
+  uint64_t memory_rejects = 0;  ///< entry kept, lookup declined
+  uint64_t installs = 0;
+};
+
+/// FNV-1a over a table's structural identity: column names/types/widths,
+/// key columns, and indexed columns. Statistics are deliberately excluded —
+/// they are covered by the row-count/activity marks.
+uint64_t SchemaFingerprint(const TableInfo& info);
+
+/// \brief Cache of corrected plans keyed on canonical SQL text.
+class PlanCorrectionCache {
+ public:
+  explicit PlanCorrectionCache(PlanCacheOptions opts = PlanCacheOptions{})
+      : opts_(opts) {}
+
+  /// Stores (or replaces) the corrected plan for `sql`. `plan` is cloned;
+  /// `opt_time_ms` is the simulated optimization time a future hit saves;
+  /// `query_mem_pages` is the budget the plan was corrected under. Tables
+  /// referenced by the plan are snapshotted from `catalog` for validation.
+  void Install(const std::string& sql, const PlanNode& plan,
+               double opt_time_ms, double query_mem_pages,
+               const Catalog& catalog);
+
+  /// Returns a fresh executable clone (observations reset, improved
+  /// re-seeded from estimates, memory budgets cleared) when a valid entry
+  /// exists, else nullptr with `reason` set to one of "miss",
+  /// "schema_changed", "stats_stale", "insufficient_memory". On a hit
+  /// `saved_opt_ms` receives the banked optimization time and `entry_hits`
+  /// the entry's cumulative hit count (this hit included).
+  std::unique_ptr<PlanNode> Lookup(const std::string& sql,
+                                   double query_mem_pages,
+                                   const Catalog& catalog,
+                                   std::string* reason,
+                                   double* saved_opt_ms,
+                                   uint64_t* entry_hits);
+
+  /// Drops every entry referencing `table` (DDL, bulk load).
+  void InvalidateTable(const std::string& table);
+
+  void Clear();
+
+  size_t entry_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const PlanCacheCounters& counters() const { return counters_; }
+
+  /// Human-readable dump for the shell's \plancache command.
+  std::string Describe() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<PlanNode> plan;
+    double opt_time_ms = 0;
+    double query_mem_pages = 0;
+    std::vector<PlanCacheTableMark> marks;
+    uint64_t hits = 0;
+  };
+
+  void EnforceCapacity();
+
+  PlanCacheOptions opts_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = coldest
+  PlanCacheCounters counters_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_PLAN_CACHE_H_

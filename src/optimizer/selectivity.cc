@@ -78,6 +78,7 @@ Result<DerivedRel> Estimator::RawRel(int rel_idx) const {
   const RelationRef& ref = spec_->relations[rel_idx];
   ASSIGN_OR_RETURN(const TableInfo* info, catalog_->Get(ref.table));
   DerivedRel rel;
+  rel.rels = {rel_idx};
   const TableStats& ts = info->stats;
   rel.rows = ts.analyzed ? ts.row_count
                          : static_cast<double>(info->heap->tuple_count());
@@ -182,7 +183,13 @@ Result<double> Estimator::FilterSelectivity(int rel_idx) const {
 Result<DerivedRel> Estimator::BaseRel(int rel_idx) const {
   if (overrides_ != nullptr) {
     auto it = overrides_->find(spec_->relations[rel_idx].alias);
-    if (it != overrides_->end()) return it->second;
+    if (it != overrides_->end()) {
+      // Run-time overrides are *this* query's live observations — fresher
+      // than any persisted feedback, so feedback is not consulted.
+      DerivedRel rel = it->second;
+      rel.rels = {rel_idx};
+      return rel;
+    }
   }
   ASSIGN_OR_RETURN(DerivedRel rel, RawRel(rel_idx));
   ASSIGN_OR_RETURN(double sel, FilterSelectivity(rel_idx));
@@ -227,7 +234,91 @@ Result<DerivedRel> Estimator::BaseRel(int rel_idx) const {
     if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, new_rows);
   }
   rel.rows = new_rows;
+  ApplyBaseFeedback(rel_idx, &rel);
   return rel;
+}
+
+void Estimator::LogFeedback(FeedbackApplied rec) const {
+  if (feedback_log_ == nullptr) return;
+  const std::string key = rec.scope + "|" + rec.table + "|" + rec.signature;
+  if (!logged_.insert(key).second) return;
+  feedback_log_->push_back(std::move(rec));
+}
+
+void Estimator::ApplyBaseFeedback(int rel_idx, DerivedRel* rel) const {
+  if (feedback_ == nullptr) return;
+  const RelationRef& ref = spec_->relations[rel_idx];
+  Result<const TableInfo*> info = catalog_->Get(ref.table);
+  if (!info.ok() || info.value()->is_temp) return;  // temps are query-local
+  const double current_rows =
+      static_cast<double>(info.value()->heap->tuple_count());
+  const std::string sig = PredicateSignature(*spec_, rel_idx);
+  const BaseRelFeedback* fb = feedback_->LookupBaseRel(
+      ref.table, sig, current_rows, info.value()->stats.update_activity);
+  if (fb == nullptr) return;
+
+  const double est_rows = rel->rows;
+  double fb_rows;
+  if (fb->partial) {
+    // A lower bound can only raise the estimate.
+    fb_rows = std::max(est_rows, fb->observed_rows);
+  } else {
+    // Re-apply the observed selectivity to the current row count so
+    // feedback tracks growth within the staleness window.
+    fb_rows = std::clamp(fb->selectivity, 0.0, 1.0) * current_rows;
+  }
+  rel->rows = std::max(1.0, fb_rows);
+  if (!fb->partial && fb->avg_tuple_bytes > 0)
+    rel->avg_tuple_bytes = fb->avg_tuple_bytes;
+  for (const auto& [name, cf] : fb->columns) {
+    auto it = rel->cols.find(ref.alias + "." + name);
+    if (it == rel->cols.end()) continue;
+    ColumnStats& cs = it->second;
+    if (cf.has_bounds) {
+      cs.has_bounds = true;
+      cs.min = cf.min;
+      cs.max = cf.max;
+    }
+    if (cf.distinct > 0) {
+      if (cf.distinct_is_lower_bound) {
+        // Lower bounds never shrink an existing distinct estimate.
+        if (cf.distinct > cs.distinct) {
+          cs.distinct = cf.distinct;
+          cs.distinct_is_lower_bound = true;
+        }
+      } else {
+        cs.distinct = cf.distinct;
+        cs.distinct_is_lower_bound = false;
+      }
+    }
+  }
+  for (auto& [name, cs] : rel->cols) {
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, rel->rows);
+  }
+  LogFeedback(FeedbackApplied{"base", ref.table, sig, est_rows, rel->rows,
+                              fb->partial});
+}
+
+void Estimator::ApplyJoinFeedback(DerivedRel* out) const {
+  if (feedback_ == nullptr || out->rels.size() < 2) return;
+  // Temp relations (a remainder query's materialized frontier) are
+  // query-local: their signatures must not key persistent feedback.
+  for (int r : out->rels) {
+    Result<const TableInfo*> info = catalog_->Get(spec_->relations[r].table);
+    if (!info.ok() || info.value()->is_temp) return;
+  }
+  const std::string sig = JoinSignature(*spec_, out->rels);
+  if (sig.empty()) return;
+  const JoinFeedback* fb = feedback_->LookupJoin(sig, *catalog_);
+  if (fb == nullptr) return;
+  const double est_rows = out->rows;
+  out->rows = fb->partial ? std::max(est_rows, fb->observed_rows)
+                          : std::max(1.0, fb->observed_rows);
+  for (auto& [name, cs] : out->cols) {
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, out->rows);
+  }
+  LogFeedback(
+      FeedbackApplied{"join", "", sig, est_rows, out->rows, fb->partial});
 }
 
 DerivedRel Estimator::Join(const DerivedRel& left, const DerivedRel& right,
@@ -263,11 +354,14 @@ DerivedRel Estimator::Join(const DerivedRel& left, const DerivedRel& right,
   if (preds.empty()) sel = 1.0;  // cross product
   out.rows = std::max(1.0, left.rows * right.rows * sel);
   out.avg_tuple_bytes = left.avg_tuple_bytes + right.avg_tuple_bytes;
+  out.rels = left.rels;
+  out.rels.insert(right.rels.begin(), right.rels.end());
   out.cols = left.cols;
   for (const auto& [name, cs] : right.cols) out.cols[name] = cs;
   for (auto& [name, cs] : out.cols) {
     if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, out.rows);
   }
+  ApplyJoinFeedback(&out);
   return out;
 }
 

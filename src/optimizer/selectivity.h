@@ -11,10 +11,13 @@
 #define REOPTDB_OPTIMIZER_SELECTIVITY_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/feedback_store.h"
+#include "obs/query_trace.h"
 #include "plan/query_spec.h"
 
 namespace reoptdb {
@@ -23,6 +26,9 @@ namespace reoptdb {
 struct DerivedRel {
   double rows = 0;
   double avg_tuple_bytes = 0;
+  /// QuerySpec relation ordinals this derivation covers (single element for
+  /// base relations, the union for joins) — keys feedback-store lookups.
+  std::set<int> rels;
   /// Qualified column name ("alias.col") -> propagated stats.
   std::map<std::string, ColumnStats> cols;
 
@@ -47,13 +53,22 @@ class Estimator {
   /// post-1998 technique that sees partial/disjoint key domains. Default
   /// off: the paper-era baseline is the System-R 1/max(V) formula, and the
   /// reproduction depends on its blind spots (see DESIGN.md §7).
+  /// `feedback`, when set, is consulted before synthetic statistics: a
+  /// non-stale entry for the same (table, predicate-signature) or join
+  /// signature replaces the derived cardinality (partial entries only ever
+  /// raise it). Applications are appended to `feedback_log` when provided
+  /// (deduplicated per signature — join enumeration revisits subsets).
   Estimator(const Catalog* catalog, const QuerySpec* spec,
             const BaseRelOverrides* overrides = nullptr,
-            bool histogram_joins = false)
+            bool histogram_joins = false,
+            const CardinalityFeedbackStore* feedback = nullptr,
+            std::vector<FeedbackApplied>* feedback_log = nullptr)
       : catalog_(catalog),
         spec_(spec),
         overrides_(overrides),
-        histogram_joins_(histogram_joins) {}
+        histogram_joins_(histogram_joins),
+        feedback_(feedback),
+        feedback_log_(feedback_log) {}
 
   /// Stats for relation `rel_idx` after applying its pushed-down filters.
   /// Run-time overrides, when present, replace the catalog-derived result.
@@ -78,10 +93,20 @@ class Estimator {
                            const std::vector<std::string>& qualified_cols);
 
  private:
+  /// Applies a feedback-store correction to a freshly derived base rel.
+  void ApplyBaseFeedback(int rel_idx, DerivedRel* rel) const;
+  /// Applies a feedback-store correction to a join result.
+  void ApplyJoinFeedback(DerivedRel* out) const;
+  void LogFeedback(FeedbackApplied rec) const;
+
   const Catalog* catalog_;
   const QuerySpec* spec_;
   const BaseRelOverrides* overrides_;
   bool histogram_joins_;
+  const CardinalityFeedbackStore* feedback_;
+  std::vector<FeedbackApplied>* feedback_log_;
+  /// Signatures already logged (join enumeration revisits subsets).
+  mutable std::set<std::string> logged_;
 };
 
 }  // namespace reoptdb

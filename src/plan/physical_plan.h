@@ -68,6 +68,12 @@ struct PlanEstimates {
 /// Run-time observations for one plan edge, produced by a collector.
 struct ObservedStats {
   bool valid = false;
+  /// True when the collector closed before exhausting its input (e.g. the
+  /// query switched plans or an operator shrink-spilled mid-probe): counts
+  /// are lower bounds over the tuples seen so far, not exact observations.
+  /// Controller estimate refreshes ignore partial observations; the
+  /// feedback store only uses them to *raise* estimates, never lower them.
+  bool partial = false;
   double cardinality = 0;
   double avg_tuple_bytes = 0;
   /// Per-attribute statistics (qualified column name -> stats). Histograms

@@ -221,15 +221,19 @@ void RecostWithBudgets(PlanNode* root, const CostModel& cost) {
 void RefreshImprovedEstimates(PlanNode* root, const CostModel& cost) {
   root->PostOrder([&](PlanNode* n) {
     PlanEstimates imp = n->est;
+    // Partial observations (collector closed before exhausting its input)
+    // are lower bounds, not exact counts: treating them as exact would
+    // *shrink* improved estimates toward the prefix seen so far. They are
+    // consumed only by the feedback store.
     if (n->children.empty()) {
       // Base scans: collectors sit above them and also write into the scan
       // node's `observed`.
-      if (n->observed.valid) {
+      if (n->observed.valid && !n->observed.partial) {
         imp.cardinality = n->observed.cardinality;
         if (n->observed.avg_tuple_bytes > 0)
           imp.avg_tuple_bytes = n->observed.avg_tuple_bytes;
       }
-    } else if (n->observed.valid) {
+    } else if (n->observed.valid && !n->observed.partial) {
       imp.cardinality = n->observed.cardinality;
       if (n->observed.avg_tuple_bytes > 0)
         imp.avg_tuple_bytes = n->observed.avg_tuple_bytes;
@@ -247,7 +251,8 @@ void RefreshImprovedEstimates(PlanNode* root, const CostModel& cost) {
     if (n->kind == OpKind::kHashAggregate && !n->children.empty()) {
       const PlanNode& child = *n->children[0];
       double groups = n->est.num_groups;
-      if (child.observed.valid && !n->group_cols.empty()) {
+      if (child.observed.valid && !child.observed.partial &&
+          !n->group_cols.empty()) {
         double product = 1;
         bool all = true;
         for (const std::string& g : n->group_cols) {
@@ -280,7 +285,7 @@ BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
   BaseRelOverrides overrides;
   root.PostOrder([&](const PlanNode* n) {
     if (n->kind != OpKind::kSeqScan && n->kind != OpKind::kIndexScan) return;
-    if (!n->observed.valid) return;
+    if (!n->observed.valid || n->observed.partial) return;
     DerivedRel rel;
     rel.rows = std::max(1.0, n->observed.cardinality);
     rel.avg_tuple_bytes = n->observed.avg_tuple_bytes > 0
@@ -335,7 +340,7 @@ TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
     // the frontier's output distribution).
     const ColumnStats* found = nullptr;
     frontier.PostOrder([&](const PlanNode* n) {
-      if (!n->observed.valid) return;
+      if (!n->observed.valid || n->observed.partial) return;
       auto it = n->observed.columns.find(qualified);
       if (it != n->observed.columns.end()) found = &it->second;
     });
@@ -356,6 +361,81 @@ TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
     ts.columns[TempColumnName(col.qualifier, col.name)] = std::move(cs);
   }
   return ts;
+}
+
+void HarvestFeedback(const PlanNode& plan, const QuerySpec& spec,
+                     const Catalog& catalog, CardinalityFeedbackStore* store) {
+  if (store == nullptr) return;
+  plan.PostOrder([&](const PlanNode* n) {
+    if (!n->observed.valid) return;
+    const bool is_scan =
+        n->kind == OpKind::kSeqScan || n->kind == OpKind::kIndexScan;
+    const bool is_join = n->kind == OpKind::kHashJoin ||
+                         n->kind == OpKind::kMergeJoin ||
+                         n->kind == OpKind::kIndexNLJoin;
+    // Collector nodes are skipped: the child carries the same observation,
+    // and harvesting both would double-count it.
+    if (is_scan) {
+      Result<const TableInfo*> info = catalog.Get(n->table);
+      if (!info.ok() || info.value()->is_temp) return;
+      int rel_idx = -1;
+      for (size_t i = 0; i < spec.relations.size(); ++i) {
+        if (spec.relations[i].alias == n->alias) {
+          rel_idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (rel_idx < 0) return;
+      const double base_rows =
+          static_cast<double>(info.value()->heap->tuple_count());
+      BaseRelFeedback fb;
+      fb.table = n->table;
+      fb.predicate_sig = PredicateSignature(spec, rel_idx);
+      fb.observed_rows = n->observed.cardinality;
+      fb.selectivity =
+          std::min(1.0, n->observed.cardinality / std::max(1.0, base_rows));
+      fb.avg_tuple_bytes = n->observed.avg_tuple_bytes;
+      fb.partial = n->observed.partial;
+      fb.base_rows_at_obs = base_rows;
+      fb.update_activity_at_obs = info.value()->stats.update_activity;
+      const std::string prefix = n->alias + ".";
+      for (const auto& [qualified, cs] : n->observed.columns) {
+        // Stored under the bare column name — the alias is query-local.
+        std::string bare = qualified;
+        if (bare.rfind(prefix, 0) == 0) bare = bare.substr(prefix.size());
+        ColumnFeedback cf;
+        cf.has_bounds = cs.has_bounds && !n->observed.partial;
+        cf.min = cs.min;
+        cf.max = cs.max;
+        cf.distinct = cs.distinct;
+        cf.distinct_is_lower_bound =
+            cs.distinct_is_lower_bound || n->observed.partial;
+        fb.columns[bare] = cf;
+      }
+      store->ObserveBaseRel(std::move(fb));
+    } else if (is_join) {
+      // Every covered relation must be a live base table: a remainder plan
+      // joining a temp table has a query-local shape that no future
+      // optimization can match.
+      JoinFeedback fb;
+      for (int rel : n->covers) {
+        if (rel < 0 || rel >= static_cast<int>(spec.relations.size())) return;
+        Result<const TableInfo*> info = catalog.Get(spec.relations[rel].table);
+        if (!info.ok() || info.value()->is_temp) return;
+        JoinTableMark mark;
+        mark.table = spec.relations[rel].table;
+        mark.rows_at_obs =
+            static_cast<double>(info.value()->heap->tuple_count());
+        mark.update_activity_at_obs = info.value()->stats.update_activity;
+        fb.tables.push_back(std::move(mark));
+      }
+      fb.signature = JoinSignature(spec, n->covers);
+      if (fb.signature.empty()) return;
+      fb.observed_rows = n->observed.cardinality;
+      fb.partial = n->observed.partial;
+      store->ObserveJoin(std::move(fb));
+    }
+  });
 }
 
 /// \brief The moved-out body of the old monolithic ExecuteWithPlan, held
@@ -382,7 +462,7 @@ struct QuerySession::State {
         root_sql(o->journal_root_override_.empty()
                      ? spec.ToSql()
                      : o->journal_root_override_),
-        optimizer(o->catalog_, o->cost_, o->optimizer_opts_),
+        optimizer(o->catalog_, o->cost_, o->optimizer_opts_, o->feedback_),
         mm(o->cost_, o->query_mem_pages_),
         temp_tables(o->catalog_, c->faults()),
         hook_guard(c, &o->live_plan_slot_),
@@ -749,6 +829,10 @@ Result<bool> QuerySession::State::Step() {
       RETURN_IF_ERROR(faults->Check(faults::kReoptOptimize));
     OptimizeResult new_opt;
     ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
+    for (FeedbackApplied& fa : new_opt.feedback_applied) {
+      ctx->AddEvent(Render(fa));
+      trace->feedback_applied.push_back(std::move(fa));
+    }
     ctx->ChargeExternalMs(new_opt.sim_opt_time_ms);
     report.reopt_overhead_ms += new_opt.sim_opt_time_ms;
 
@@ -899,6 +983,10 @@ Result<bool> QuerySession::State::Step() {
     }
 
     RETURN_IF_ERROR(exec->Close());
+    // Close published partial observations from still-open collectors; bank
+    // everything the abandoned plan learned before adopting the new one
+    // (whose temp-table scans are not harvestable).
+    HarvestFeedback(*plan, spec, *owner->catalog_, owner->feedback_);
     spec = std::move(remainder);
     plan = std::move(new_plan);
     ++report.plans_switched;
@@ -953,6 +1041,8 @@ Result<bool> QuerySession::State::Step() {
 
 Status QuerySession::State::Finalize() {
   finished = true;
+  if (plan != nullptr)
+    HarvestFeedback(*plan, spec, *owner->catalog_, owner->feedback_);
   exec.reset();
   hook_guard.Defuse();
 
@@ -1009,8 +1099,12 @@ Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSessionWithPlan(
 Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSession(
     QuerySpec spec, ExecContext* ctx, std::vector<Tuple>* rows,
     Schema* out_schema) {
-  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
+  Optimizer optimizer(catalog_, cost_, optimizer_opts_, feedback_);
   ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+  for (FeedbackApplied& fa : opt.feedback_applied) {
+    ctx->AddEvent(Render(fa));
+    ctx->trace()->feedback_applied.push_back(std::move(fa));
+  }
   ctx->ChargeExternalMs(opt.sim_opt_time_ms);
   return StartSessionWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
                               out_schema);
@@ -1020,8 +1114,12 @@ Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
                                                     ExecContext* ctx,
                                                     std::vector<Tuple>* rows,
                                                     Schema* out_schema) {
-  Optimizer optimizer(catalog_, cost_, optimizer_opts_);
+  Optimizer optimizer(catalog_, cost_, optimizer_opts_, feedback_);
   ASSIGN_OR_RETURN(OptimizeResult opt, optimizer.Plan(spec));
+  for (FeedbackApplied& fa : opt.feedback_applied) {
+    ctx->AddEvent(Render(fa));
+    ctx->trace()->feedback_applied.push_back(std::move(fa));
+  }
   ctx->ChargeExternalMs(opt.sim_opt_time_ms);
   return ExecuteWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
                          out_schema);

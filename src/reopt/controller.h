@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/feedback_store.h"
 #include "exec/exec_context.h"
 #include "obs/query_trace.h"
 #include "optimizer/calibration.h"
@@ -176,6 +177,14 @@ class DynamicReoptimizer {
     journal_root_override_ = std::move(root_sql_override);
   }
 
+  /// Installs the Database's cardinality feedback store. When set, the
+  /// optimizer (initial and mid-query re-invocations) consults it before
+  /// synthetic statistics, and observed collector statistics are harvested
+  /// into it when a plan switch commits and when the query finishes.
+  void SetFeedback(CardinalityFeedbackStore* feedback) {
+    feedback_ = feedback;
+  }
+
  private:
   friend class QuerySession;
 
@@ -187,6 +196,7 @@ class DynamicReoptimizer {
   double query_mem_pages_;
   QueryJournal* journal_ = nullptr;       ///< not owned; may be null
   std::string journal_root_override_;
+  CardinalityFeedbackStore* feedback_ = nullptr;  ///< not owned; may be null
   /// Shared slot holding the live plan root for the mid-execution hook;
   /// shared_ptr so the hook closure stays valid (and harmless, pointing at
   /// null) even if Execute unwinds early on an error.
@@ -266,6 +276,15 @@ BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
 /// catalog statistics otherwise.
 TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
                           const Catalog& catalog);
+
+/// Harvests every valid observation in `plan` into the feedback store:
+/// base-table scans become (table, predicate-signature) entries with the
+/// observed post-filter selectivity; joins become join-signature entries.
+/// Temp tables are skipped (their signatures are query-local), as are
+/// collector nodes (the child carries the same observation). Partial
+/// observations are recorded as lower bounds. No-op when `store` is null.
+void HarvestFeedback(const PlanNode& plan, const QuerySpec& spec,
+                     const Catalog& catalog, CardinalityFeedbackStore* store);
 
 }  // namespace reoptdb
 

@@ -65,6 +65,7 @@ JsonValue StatsJson(const TableStats& s) {
     c.Set("min", JsonValue::MakeNumber(cs.min));
     c.Set("max", JsonValue::MakeNumber(cs.max));
     c.Set("distinct", JsonValue::MakeNumber(cs.distinct));
+    c.Set("distinct_lb", JsonValue::MakeBool(cs.distinct_is_lower_bound));
     c.Set("avg_width", JsonValue::MakeNumber(cs.avg_width));
     cols.Append(std::move(c));
   }
@@ -88,6 +89,7 @@ TableStats StatsFromJson(const JsonValue& o) {
       cs.min = GetNum(c, "min");
       cs.max = GetNum(c, "max");
       cs.distinct = GetNum(c, "distinct");
+      cs.distinct_is_lower_bound = GetBool(c, "distinct_lb");
       cs.avg_width = GetNum(c, "avg_width");
       s.columns[GetStr(c, "name")] = std::move(cs);
     }

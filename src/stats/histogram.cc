@@ -150,6 +150,11 @@ double Histogram::EstimateLess(double v, bool inclusive) const {
     double width = b.hi - b.lo;
     double frac = width <= 0 ? 1.0 : (v - b.lo) / width;
     if (inclusive && b.distinct > 0) frac += 1.0 / b.distinct;
+    // Strict `<` with v exactly on the upper bucket edge: interpolation
+    // yields frac == 1, silently including the rows *at* the edge. Back out
+    // one distinct value's share so `col < hi` excludes hi and the
+    // complementary `col >= hi` keeps the edge value instead of dropping it.
+    if (!inclusive && v == b.hi && b.distinct > 0) frac -= 1.0 / b.distinct;
     frac = std::clamp(frac, 0.0, 1.0);
     acc += b.count * frac;
     break;

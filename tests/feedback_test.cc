@@ -1,0 +1,632 @@
+// Tests for the cardinality feedback loop and the plan-correction cache:
+// signature canonicalization, store merge/staleness semantics, manifest
+// persistence, estimator integration, cache validation, and end-to-end
+// behaviour on a stale-catalog TPC-D instance where the eager gate
+// reliably commits a plan switch.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/feedback_store.h"
+#include "gtest/gtest.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "optimizer/selectivity.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+using testing_util::Canon;
+using testing_util::LoadEmpDept;
+
+QuerySpec MustBind(Database* db, const std::string& sql) {
+  Result<SelectStmtAst> ast = ParseSelect(sql);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  Result<QuerySpec> spec = Bind(ast.value(), *db->catalog());
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+// --- Signatures -----------------------------------------------------------
+
+TEST(SignatureTest, PredicateOrderAndAliasIrrelevant) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec a = MustBind(
+      &db, "SELECT emp_id FROM emp WHERE dept_id = 3 AND emp_id > 10");
+  QuerySpec b = MustBind(
+      &db, "SELECT emp_id FROM emp e WHERE e.emp_id > 10 AND e.dept_id = 3");
+  EXPECT_EQ(PredicateSignature(a, 0), PredicateSignature(b, 0));
+  EXPECT_FALSE(PredicateSignature(a, 0).empty());
+
+  QuerySpec unfiltered = MustBind(&db, "SELECT emp_id FROM emp");
+  EXPECT_EQ(PredicateSignature(unfiltered, 0), "");
+}
+
+TEST(SignatureTest, JoinSignatureCanonicalAcrossAliases) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec a = MustBind(&db,
+                         "SELECT e.emp_id FROM emp e, dept d "
+                         "WHERE e.dept_id = d.dept_id AND d.region_id = 1");
+  QuerySpec b = MustBind(&db,
+                         "SELECT x.emp_id FROM dept y, emp x "
+                         "WHERE y.region_id = 1 AND x.dept_id = y.dept_id");
+  // `b` lists dept first, so emp is ordinal 1 there — same join subset.
+  EXPECT_EQ(JoinSignature(a, {0, 1}), JoinSignature(b, {0, 1}));
+  EXPECT_NE(JoinSignature(a, {0, 1}), "");
+  // Single relation and invalid ordinals are not join-keyable.
+  EXPECT_EQ(JoinSignature(a, {0}), "");
+  EXPECT_EQ(JoinSignature(a, {0, 7}), "");
+}
+
+TEST(SignatureTest, CrossProductNotKeyed) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db, "SELECT e.emp_id FROM emp e, dept d");
+  EXPECT_EQ(JoinSignature(spec, {0, 1}), "");
+}
+
+// --- Store merge / staleness semantics ------------------------------------
+
+BaseRelFeedback MakeBase(double rows, bool partial = false,
+                         double rows_at_obs = 200) {
+  BaseRelFeedback fb;
+  fb.table = "emp";
+  fb.predicate_sig = "dept_id = 3";
+  fb.observed_rows = rows;
+  fb.selectivity = rows / rows_at_obs;
+  fb.partial = partial;
+  fb.base_rows_at_obs = rows_at_obs;
+  fb.update_activity_at_obs = 0;
+  return fb;
+}
+
+TEST(FeedbackStoreTest, PartialOnlyRaisesExactEntry) {
+  CardinalityFeedbackStore store;
+  store.ObserveBaseRel(MakeBase(100));
+  // A smaller prefix count must not lower the exact observation.
+  store.ObserveBaseRel(MakeBase(50, /*partial=*/true));
+  const BaseRelFeedback* e = store.LookupBaseRel("emp", "dept_id = 3", 200, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->observed_rows, 100);
+  EXPECT_FALSE(e->partial);
+  // A larger prefix count raises it.
+  store.ObserveBaseRel(MakeBase(150, /*partial=*/true));
+  e = store.LookupBaseRel("emp", "dept_id = 3", 200, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->observed_rows, 150);
+}
+
+TEST(FeedbackStoreTest, ExactSupersedesPartial) {
+  CardinalityFeedbackStore store;
+  store.ObserveBaseRel(MakeBase(500, /*partial=*/true));
+  store.ObserveBaseRel(MakeBase(80));
+  const BaseRelFeedback* e = store.LookupBaseRel("emp", "dept_id = 3", 200, 0);
+  ASSERT_NE(e, nullptr);
+  // The exact count wins even though it is smaller: a lower bound carries
+  // no information about the true total.
+  EXPECT_DOUBLE_EQ(e->observed_rows, 80);
+  EXPECT_FALSE(e->partial);
+}
+
+TEST(FeedbackStoreTest, ExactObservationsBlendByEwma) {
+  FeedbackStoreOptions opts;
+  opts.blend_alpha = 0.6;
+  CardinalityFeedbackStore store(opts);
+  store.ObserveBaseRel(MakeBase(100));
+  store.ObserveBaseRel(MakeBase(200));
+  const BaseRelFeedback* e = store.LookupBaseRel("emp", "dept_id = 3", 200, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_NEAR(e->observed_rows, 0.6 * 200 + 0.4 * 100, 1e-9);
+}
+
+TEST(FeedbackStoreTest, DriftedLookupEvicts) {
+  CardinalityFeedbackStore store;
+  store.ObserveBaseRel(MakeBase(100));  // anchored at 200 base rows
+  // 30% row drift exceeds the 20% default threshold.
+  EXPECT_EQ(store.LookupBaseRel("emp", "dept_id = 3", 260, 0), nullptr);
+  EXPECT_EQ(store.base_entry_count(), 0u);
+  EXPECT_EQ(store.counters().stale_evictions, 1u);
+  // Activity drift alone also evicts.
+  store.ObserveBaseRel(MakeBase(100));
+  EXPECT_EQ(store.LookupBaseRel("emp", "dept_id = 3", 200, 0.5), nullptr);
+  EXPECT_EQ(store.base_entry_count(), 0u);
+}
+
+TEST(FeedbackStoreTest, CapacityEvictsOldestEntry) {
+  FeedbackStoreOptions opts;
+  opts.max_entries = 2;
+  CardinalityFeedbackStore store(opts);
+  BaseRelFeedback a = MakeBase(10);
+  a.predicate_sig = "a";
+  BaseRelFeedback b = MakeBase(20);
+  b.predicate_sig = "b";
+  BaseRelFeedback c = MakeBase(30);
+  c.predicate_sig = "c";
+  store.ObserveBaseRel(a);
+  store.ObserveBaseRel(b);
+  store.ObserveBaseRel(c);
+  EXPECT_EQ(store.base_entry_count(), 2u);
+  EXPECT_EQ(store.LookupBaseRel("emp", "a", 200, 0), nullptr);
+  EXPECT_NE(store.LookupBaseRel("emp", "c", 200, 0), nullptr);
+}
+
+TEST(FeedbackStoreTest, InvalidateTableDropsBaseAndJoinEntries) {
+  CardinalityFeedbackStore store;
+  store.ObserveBaseRel(MakeBase(100));
+  JoinFeedback j;
+  j.signature = "J{dept[],emp[]|dept.dept_id=emp.dept_id}";
+  j.observed_rows = 42;
+  j.tables.push_back({"emp", 200, 0});
+  j.tables.push_back({"dept", 10, 0});
+  store.ObserveJoin(j);
+  JoinFeedback other;
+  other.signature = "J{a[],b[]|a.x=b.x}";
+  other.observed_rows = 7;
+  other.tables.push_back({"a", 5, 0});
+  other.tables.push_back({"b", 5, 0});
+  store.ObserveJoin(other);
+
+  store.InvalidateTable("emp");
+  EXPECT_EQ(store.base_entry_count(), 0u);
+  EXPECT_EQ(store.join_entry_count(), 1u);
+}
+
+// --- Manifest persistence -------------------------------------------------
+
+TEST(FeedbackStoreTest, ManifestRoundTripsAllFields) {
+  CardinalityFeedbackStore store;
+  BaseRelFeedback fb = MakeBase(123);
+  fb.avg_tuple_bytes = 34.5;
+  ColumnFeedback cf;
+  cf.has_bounds = true;
+  cf.min = -3;
+  cf.max = 99;
+  cf.distinct = 17;
+  cf.distinct_is_lower_bound = true;
+  fb.columns["dept_id"] = cf;
+  store.ObserveBaseRel(fb);
+  JoinFeedback j;
+  j.signature = "J{dept[],emp[]|dept.dept_id=emp.dept_id}";
+  j.observed_rows = 42;
+  j.partial = true;
+  j.tables.push_back({"emp", 200, 0.1});
+  store.ObserveJoin(j);
+
+  CardinalityFeedbackStore loaded;
+  REOPTDB_ASSERT_OK(loaded.ImportManifest(store.ExportManifest()));
+  EXPECT_EQ(loaded.base_entry_count(), 1u);
+  EXPECT_EQ(loaded.join_entry_count(), 1u);
+  const BaseRelFeedback* e =
+      loaded.LookupBaseRel("emp", "dept_id = 3", 200, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->observed_rows, 123);
+  EXPECT_DOUBLE_EQ(e->avg_tuple_bytes, 34.5);
+  ASSERT_EQ(e->columns.count("dept_id"), 1u);
+  const ColumnFeedback& lc = e->columns.at("dept_id");
+  EXPECT_TRUE(lc.has_bounds);
+  EXPECT_DOUBLE_EQ(lc.min, -3);
+  EXPECT_DOUBLE_EQ(lc.max, 99);
+  EXPECT_DOUBLE_EQ(lc.distinct, 17);
+  EXPECT_TRUE(lc.distinct_is_lower_bound);
+  // Re-export is byte-identical (deterministic ordering).
+  EXPECT_EQ(store.ExportManifest(), loaded.ExportManifest());
+}
+
+TEST(FeedbackStoreTest, CorruptManifestRejectedWholesale) {
+  CardinalityFeedbackStore store;
+  store.ObserveBaseRel(MakeBase(123));
+  const std::string manifest = store.ExportManifest();
+
+  CardinalityFeedbackStore target;
+  target.ObserveBaseRel(MakeBase(999, false, 100));
+
+  // Payload corruption: checksum mismatch.
+  std::string corrupt = manifest;
+  size_t pos = corrupt.find("{");
+  ASSERT_NE(pos, std::string::npos);
+  corrupt[pos + 1] = '~';
+  EXPECT_FALSE(target.ImportManifest(corrupt).ok());
+  // Bad header.
+  EXPECT_FALSE(target.ImportManifest("NOPE v9\n" + manifest).ok());
+  // Malformed record line.
+  EXPECT_FALSE(target.ImportManifest("REOPTFB v1\nnot-a-checksum {}\n").ok());
+  // All-or-nothing: the target still holds its original entry.
+  EXPECT_EQ(target.base_entry_count(), 1u);
+  const BaseRelFeedback* e = target.LookupBaseRel("emp", "dept_id = 3", 100, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->observed_rows, 999);
+}
+
+// --- Estimator integration ------------------------------------------------
+
+TEST(EstimatorFeedbackTest, ExactFeedbackReplacesEstimate) {
+  Database db;
+  LoadEmpDept(&db);  // 200 emp rows
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp WHERE dept_id = 3");
+
+  Estimator plain(db.catalog(), &spec);
+  Result<DerivedRel> before = plain.BaseRel(0);
+  ASSERT_TRUE(before.ok());
+
+  CardinalityFeedbackStore store;
+  BaseRelFeedback fb;
+  fb.table = "emp";
+  fb.predicate_sig = PredicateSignature(spec, 0);
+  fb.observed_rows = 150;
+  fb.selectivity = 150.0 / 200.0;
+  fb.base_rows_at_obs = 200;
+  store.ObserveBaseRel(fb);
+
+  std::vector<FeedbackApplied> log;
+  Estimator est(db.catalog(), &spec, nullptr, false, &store, &log);
+  Result<DerivedRel> after = est.BaseRel(0);
+  ASSERT_TRUE(after.ok());
+  // Exact feedback: the observed selectivity re-applied to current rows.
+  EXPECT_NEAR(after.value().rows, 150.0, 1e-6);
+  EXPECT_NE(after.value().rows, before.value().rows);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].scope, "base");
+  EXPECT_EQ(log[0].table, "emp");
+  EXPECT_FALSE(log[0].partial);
+  // Dedup: re-deriving the same rel logs nothing new.
+  ASSERT_TRUE(est.BaseRel(0).ok());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EstimatorFeedbackTest, PartialFeedbackOnlyRaises) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp WHERE dept_id = 3");
+
+  Estimator plain(db.catalog(), &spec);
+  Result<DerivedRel> base = plain.BaseRel(0);
+  ASSERT_TRUE(base.ok());
+  const double base_est = base.value().rows;
+
+  // A partial observation BELOW the estimate must not lower it.
+  CardinalityFeedbackStore low;
+  BaseRelFeedback fb;
+  fb.table = "emp";
+  fb.predicate_sig = PredicateSignature(spec, 0);
+  fb.observed_rows = 1;
+  fb.selectivity = 1.0 / 200.0;
+  fb.partial = true;
+  fb.base_rows_at_obs = 200;
+  low.ObserveBaseRel(fb);
+  Estimator est_low(db.catalog(), &spec, nullptr, false, &low);
+  Result<DerivedRel> low_rel = est_low.BaseRel(0);
+  ASSERT_TRUE(low_rel.ok());
+  EXPECT_DOUBLE_EQ(low_rel.value().rows, base_est);
+
+  // A partial observation ABOVE the estimate raises it to the bound.
+  CardinalityFeedbackStore high;
+  fb.observed_rows = 180;
+  fb.selectivity = 180.0 / 200.0;
+  high.ObserveBaseRel(fb);
+  Estimator est_high(db.catalog(), &spec, nullptr, false, &high);
+  Result<DerivedRel> high_rel = est_high.BaseRel(0);
+  ASSERT_TRUE(high_rel.ok());
+  EXPECT_NEAR(high_rel.value().rows, 180.0, 1e-6);
+}
+
+TEST(EstimatorFeedbackTest, RuntimeOverridesBeatFeedback) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp e WHERE dept_id = 3");
+
+  CardinalityFeedbackStore store;
+  BaseRelFeedback fb;
+  fb.table = "emp";
+  fb.predicate_sig = PredicateSignature(spec, 0);
+  fb.observed_rows = 150;
+  fb.selectivity = 0.75;
+  fb.base_rows_at_obs = 200;
+  store.ObserveBaseRel(fb);
+
+  BaseRelOverrides overrides;
+  DerivedRel live;
+  live.rows = 42;
+  live.avg_tuple_bytes = 16;
+  overrides["e"] = live;
+
+  std::vector<FeedbackApplied> log;
+  Estimator est(db.catalog(), &spec, &overrides, false, &store, &log);
+  Result<DerivedRel> rel = est.BaseRel(0);
+  ASSERT_TRUE(rel.ok());
+  // The mid-query observation is fresher than any stored feedback.
+  EXPECT_DOUBLE_EQ(rel.value().rows, 42);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(EstimatorFeedbackTest, JoinFeedbackAppliedThroughOptimizer) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db,
+                            "SELECT e.emp_id FROM emp e, dept d "
+                            "WHERE e.dept_id = d.dept_id");
+  Result<TableInfo*> emp = db.catalog()->Get("emp");
+  Result<TableInfo*> dept = db.catalog()->Get("dept");
+  ASSERT_TRUE(emp.ok() && dept.ok());
+
+  CardinalityFeedbackStore store;
+  JoinFeedback j;
+  j.signature = JoinSignature(spec, {0, 1});
+  ASSERT_NE(j.signature, "");
+  j.observed_rows = 777;
+  j.tables.push_back(
+      {"emp", static_cast<double>(emp.value()->heap->tuple_count()), 0});
+  j.tables.push_back(
+      {"dept", static_cast<double>(dept.value()->heap->tuple_count()), 0});
+  store.ObserveJoin(j);
+
+  Optimizer opt(db.catalog(), &db.cost_model(), OptimizerOptions{}, &store);
+  Result<OptimizeResult> planned = opt.Plan(spec);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  bool join_applied = false;
+  for (const FeedbackApplied& fa : planned.value().feedback_applied) {
+    if (fa.scope == "join") {
+      join_applied = true;
+      EXPECT_DOUBLE_EQ(fa.fb_rows, 777);
+    }
+  }
+  EXPECT_TRUE(join_applied);
+}
+
+// --- Plan-correction cache ------------------------------------------------
+
+std::unique_ptr<PlanNode> PlanFor(Database* db, const QuerySpec& spec) {
+  Optimizer opt(db->catalog(), &db->cost_model());
+  Result<OptimizeResult> r = opt.Plan(spec);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r.value().plan);
+}
+
+TEST(PlanCacheTest, HitReturnsResetClone) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db,
+                            "SELECT e.emp_id FROM emp e, dept d "
+                            "WHERE e.dept_id = d.dept_id");
+  std::unique_ptr<PlanNode> plan = PlanFor(&db, spec);
+  ASSERT_NE(plan, nullptr);
+  // Simulate a finished run's leftovers on the installed plan.
+  plan->observed.valid = true;
+  plan->mem_budget_pages = 99;
+  plan->improved.cardinality = plan->est.cardinality + 1000;
+
+  PlanCorrectionCache cache;
+  cache.Install(spec.ToSql(), *plan, 12.5, 256, *db.catalog());
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.counters().installs, 1u);
+
+  std::string reason;
+  double saved = 0;
+  uint64_t hits = 0;
+  std::unique_ptr<PlanNode> got =
+      cache.Lookup(spec.ToSql(), 256, *db.catalog(), &reason, &saved, &hits);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(reason, "hit");
+  EXPECT_DOUBLE_EQ(saved, 12.5);
+  EXPECT_EQ(hits, 1u);
+  got->PostOrder([](PlanNode* n) {
+    EXPECT_FALSE(n->observed.valid);
+    EXPECT_DOUBLE_EQ(n->mem_budget_pages, 0);
+    EXPECT_DOUBLE_EQ(n->improved.cardinality, n->est.cardinality);
+  });
+
+  EXPECT_EQ(cache.Lookup("SELECT nothing", 256, *db.catalog(), &reason,
+                         nullptr, nullptr),
+            nullptr);
+  EXPECT_EQ(reason, "miss");
+}
+
+TEST(PlanCacheTest, SchemaChangeEvicts) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp WHERE dept_id = 3");
+  PlanCorrectionCache cache;
+  cache.Install(spec.ToSql(), *PlanFor(&db, spec), 1, 256, *db.catalog());
+  ASSERT_EQ(cache.entry_count(), 1u);
+
+  REOPTDB_ASSERT_OK(db.CreateIndex("emp", "dept_id"));
+  std::string reason;
+  EXPECT_EQ(cache.Lookup(spec.ToSql(), 256, *db.catalog(), &reason, nullptr,
+                         nullptr),
+            nullptr);
+  EXPECT_EQ(reason, "schema_changed");
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.counters().schema_evictions, 1u);
+}
+
+TEST(PlanCacheTest, RowDriftEvicts) {
+  Database db;
+  LoadEmpDept(&db);  // 200 emp rows
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp WHERE dept_id = 3");
+  PlanCorrectionCache cache;
+  cache.Install(spec.ToSql(), *PlanFor(&db, spec), 1, 256, *db.catalog());
+
+  std::vector<Tuple> extra;
+  for (int i = 0; i < 100; ++i) {  // 50% growth > 20% threshold
+    extra.push_back(Tuple({Value(int64_t{1000 + i}), Value(int64_t{3}),
+                           Value(1.0), Value("x")}));
+  }
+  REOPTDB_ASSERT_OK(db.BulkLoad("emp", extra));
+  std::string reason;
+  EXPECT_EQ(cache.Lookup(spec.ToSql(), 256, *db.catalog(), &reason, nullptr,
+                         nullptr),
+            nullptr);
+  EXPECT_EQ(reason, "stats_stale");
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.counters().stale_evictions, 1u);
+}
+
+TEST(PlanCacheTest, MemoryShortfallRejectsButKeepsEntry) {
+  Database db;
+  LoadEmpDept(&db);
+  QuerySpec spec = MustBind(&db, "SELECT emp_id FROM emp WHERE dept_id = 3");
+  PlanCorrectionCache cache;
+  cache.Install(spec.ToSql(), *PlanFor(&db, spec), 1, 256, *db.catalog());
+
+  std::string reason;
+  EXPECT_EQ(cache.Lookup(spec.ToSql(), 128, *db.catalog(), &reason, nullptr,
+                         nullptr),
+            nullptr);
+  EXPECT_EQ(reason, "insufficient_memory");
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.counters().memory_rejects, 1u);
+  // Memory pressure is transient: the full budget hits again.
+  EXPECT_NE(cache.Lookup(spec.ToSql(), 256, *db.catalog(), &reason, nullptr,
+                         nullptr),
+            nullptr);
+  EXPECT_EQ(reason, "hit");
+}
+
+// --- End-to-end: stale TPC-D, eager gate ----------------------------------
+
+DatabaseOptions SmallFeedbackOptions() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  opts.enable_feedback = true;
+  return opts;
+}
+
+void LoadStaleTpcd(Database* db) {
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = 0.003;
+  gen.update_fraction = 1.0;  // stale catalog: estimates genuinely wrong
+  REOPTDB_ASSERT_OK(tpcd::Load(db, gen));
+}
+
+ReoptOptions EagerGate() {
+  ReoptOptions eager;
+  eager.mode = ReoptMode::kFull;
+  eager.theta2 = -1.0;  // any degradation (even none) passes Eq. (2)
+  eager.theta1 = 1e9;
+  return eager;
+}
+
+TEST(FeedbackIntegrationTest, SwitchHarvestsAndSecondRunApplies) {
+  Database db(SmallFeedbackOptions());
+  LoadStaleTpcd(&db);
+
+  Result<QueryResult> r1 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_GE(r1.value().report.plans_switched, 1);
+  EXPECT_FALSE(db.feedback_store()->empty());
+  EXPECT_GT(db.feedback_store()->counters().observations, 0u);
+
+  Result<QueryResult> r2 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  // The repeat's initial optimization consulted the harvested feedback.
+  EXPECT_FALSE(r2.value().report.trace.feedback_applied.empty());
+  // Feedback must never change results.
+  EXPECT_EQ(Canon(r1.value().rows), Canon(r2.value().rows));
+
+  DatabaseOptions control_opts = SmallFeedbackOptions();
+  control_opts.enable_feedback = false;
+  Database control(control_opts);
+  LoadStaleTpcd(&control);
+  Result<QueryResult> rc = control.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(rc.ok()) << rc.status().ToString();
+  EXPECT_EQ(Canon(r1.value().rows), Canon(rc.value().rows));
+  EXPECT_TRUE(rc.value().report.trace.feedback_applied.empty());
+  EXPECT_TRUE(control.feedback_store()->empty());
+}
+
+TEST(FeedbackIntegrationTest, ManifestSurvivesRestart) {
+  Database db(SmallFeedbackOptions());
+  LoadStaleTpcd(&db);
+  Result<QueryResult> r1 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_FALSE(db.feedback_store()->empty());
+  const std::string manifest = db.feedback_store()->ExportManifest();
+
+  // "Restart": a fresh instance over identically loaded data imports the
+  // manifest and immediately benefits.
+  Database db2(SmallFeedbackOptions());
+  LoadStaleTpcd(&db2);
+  REOPTDB_ASSERT_OK(db2.feedback_store()->ImportManifest(manifest));
+  EXPECT_EQ(db2.feedback_store()->base_entry_count(),
+            db.feedback_store()->base_entry_count());
+  EXPECT_EQ(db2.feedback_store()->join_entry_count(),
+            db.feedback_store()->join_entry_count());
+  Result<QueryResult> r2 = db2.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2.value().report.trace.feedback_applied.empty());
+  EXPECT_EQ(Canon(r1.value().rows), Canon(r2.value().rows));
+}
+
+TEST(PlanCacheIntegrationTest, RepeatStartsOnCorrectedPlan) {
+  DatabaseOptions opts = SmallFeedbackOptions();
+  opts.enable_plan_cache = true;
+  Database db(opts);
+  LoadStaleTpcd(&db);
+
+  Result<QueryResult> r1 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_GE(r1.value().report.plans_switched, 1);
+  EXPECT_TRUE(r1.value().report.trace.plan_cache_hits.empty());
+  ASSERT_EQ(db.plan_cache()->entry_count(), 1u);
+
+  Result<QueryResult> r2 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r2.value().report.trace.plan_cache_hits.size(), 1u);
+  EXPECT_GT(r2.value().report.trace.plan_cache_hits[0].saved_opt_ms, 0);
+  EXPECT_EQ(db.plan_cache()->counters().hits, 1u);
+  EXPECT_EQ(Canon(r1.value().rows), Canon(r2.value().rows));
+}
+
+TEST(PlanCacheIntegrationTest, DropTableInvalidatesBothStores) {
+  DatabaseOptions opts = SmallFeedbackOptions();
+  opts.enable_plan_cache = true;
+  Database db(opts);
+  LoadStaleTpcd(&db);
+  Result<QueryResult> r1 = db.ExecuteWith(tpcd::Q5Sql(), EagerGate());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_GE(r1.value().report.plans_switched, 1);
+  ASSERT_FALSE(db.feedback_store()->empty());
+  ASSERT_EQ(db.plan_cache()->entry_count(), 1u);
+
+  Result<QueryResult> drop = db.ExecuteSql("DROP TABLE lineitem");
+  ASSERT_TRUE(drop.ok()) << drop.status().ToString();
+  // Q5's cached plan reads lineitem, so the cache drains; no surviving
+  // feedback entry may reference the dropped table.
+  EXPECT_EQ(db.plan_cache()->entry_count(), 0u);
+  EXPECT_EQ(db.feedback_store()->Describe().find("lineitem"),
+            std::string::npos);
+}
+
+TEST(FeedbackDeterminismTest, RowAndBatchModesIdentical) {
+  std::vector<std::vector<std::string>> per_mode;
+  for (int mode = 0; mode < 2; ++mode) {  // 0 = default batch, 1 = row-at-a-time
+    DatabaseOptions opts = SmallFeedbackOptions();
+    opts.enable_plan_cache = true;
+    Database db(opts);
+    LoadStaleTpcd(&db);
+    ReoptOptions eager = EagerGate();
+    if (mode == 1) eager.batch_size = 1;
+    std::vector<std::string> canon;
+    for (int wave = 0; wave < 3; ++wave) {
+      Result<QueryResult> r = db.ExecuteWith(tpcd::Q5Sql(), eager);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      for (std::string& s : Canon(r.value().rows)) canon.push_back(std::move(s));
+    }
+    per_mode.push_back(std::move(canon));
+  }
+  ASSERT_EQ(per_mode.size(), 2u);
+  // Feedback + plan cache change *when* plans improve, never *what* the
+  // query returns — across waves and across batch modes.
+  EXPECT_EQ(per_mode[0], per_mode[1]);
+}
+
+}  // namespace
+}  // namespace reoptdb

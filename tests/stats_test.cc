@@ -1,10 +1,12 @@
 // Tests for histograms, reservoir sampling, FM sketch, Zipf.
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "catalog/column_stats.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "stats/fm_sketch.h"
@@ -263,6 +265,94 @@ TEST(ZipfTest, ScrambleDecouplesRankFromValue) {
   }
   EXPECT_NE(best, 0u);
   EXPECT_LT(best, 1000u);
+}
+
+// --- Regression: bucket-edge boundary handling ----------------------------
+
+TEST(HistogramTest, StrictLessExcludesValueAtBucketUpperEdge) {
+  // One bucket [0, 9], 100 rows, 10 distinct values. `< 9` must exclude
+  // the ~count/distinct rows sitting exactly at the edge; before the fix
+  // the partial-bucket fraction silently reached 1.0 there.
+  std::vector<double> values;
+  for (int v = 0; v < 10; ++v)
+    for (int i = 0; i < 10; ++i) values.push_back(v);
+  Histogram h = Histogram::Build(HistogramKind::kEquiWidth, values, 1,
+                                 values.size());
+  ASSERT_EQ(h.buckets().size(), 1u);
+  const double edge = h.buckets()[0].hi;
+  double strict = h.EstimateLess(edge, /*inclusive=*/false);
+  double incl = h.EstimateLess(edge, /*inclusive=*/true);
+  EXPECT_NEAR(incl, 100, 1);       // <= max covers everything
+  EXPECT_NEAR(strict, 90, 5);      // < max backs out one value's share
+  EXPECT_LT(strict, incl);
+  // The excluded mass is exactly the equality estimate at the edge.
+  EXPECT_NEAR(incl - strict, h.EstimateEqual(edge), 5);
+}
+
+TEST(HistogramKindTest2, StrictLessAtInteriorBucketEdgeStaysConsistent) {
+  // Multi-bucket: at every bucket's upper edge, `< v` + `== v` ~ `<= v`.
+  std::vector<double> values;
+  for (int v = 0; v < 100; ++v)
+    for (int i = 0; i < 20; ++i) values.push_back(v);
+  for (HistogramKind kind :
+       {HistogramKind::kEquiWidth, HistogramKind::kEquiDepth,
+        HistogramKind::kMaxDiff}) {
+    Histogram h = Histogram::Build(kind, values, 10, values.size());
+    for (const HistogramBucket& b : h.buckets()) {
+      double strict = h.EstimateLess(b.hi, false);
+      double incl = h.EstimateLess(b.hi, true);
+      EXPECT_LE(strict, incl);
+      EXPECT_NEAR(strict + h.EstimateEqual(b.hi), incl, h.total_count() * 0.02)
+          << HistogramKindName(kind) << " bucket hi=" << b.hi;
+    }
+    // Range [v, v] == equality at a bucket edge (strict bounds off).
+    double edge = h.buckets().front().hi;
+    EXPECT_NEAR(h.EstimateRange(edge, false, edge, false),
+                h.EstimateEqual(edge), h.total_count() * 0.02);
+  }
+}
+
+// --- Regression: equality-selectivity guards ------------------------------
+
+TEST(ColumnStatsTest, FractionalDistinctClampsToOne) {
+  // Scaled sampling can leave distinct in (0, 1); 1/distinct would exceed 1.
+  ColumnStats cs;
+  cs.distinct = 0.25;
+  EXPECT_LE(cs.SelectivityEquals(5, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(cs.SelectivityEquals(5, 1000), 1.0);
+}
+
+TEST(ColumnStatsTest, EmptyHistogramDoesNotPoisonEstimate) {
+  // A histogram built from zero rows has total_count() == 0; the estimate
+  // must fall through instead of dividing by it (NaN survives std::clamp).
+  ColumnStats cs;
+  cs.histogram = Histogram::Build(HistogramKind::kMaxDiff, {0.0}, 1, 0);
+  ASSERT_TRUE(cs.has_histogram());
+  ASSERT_EQ(cs.histogram.total_count(), 0);
+  cs.distinct = 10;
+  double eq = cs.SelectivityEquals(5, 100);
+  EXPECT_FALSE(std::isnan(eq));
+  EXPECT_DOUBLE_EQ(eq, 0.1);  // 1/distinct fallback
+  double range = cs.SelectivityRange(0, false, 5, false, 100);
+  EXPECT_FALSE(std::isnan(range));
+  EXPECT_GE(range, 0);
+  EXPECT_LE(range, 1);
+}
+
+TEST(ColumnStatsTest, ZeroRowTableHasZeroSelectivity) {
+  ColumnStats cs;
+  cs.distinct = 10;
+  EXPECT_DOUBLE_EQ(cs.SelectivityEquals(5, 0), 0);
+  EXPECT_DOUBLE_EQ(cs.SelectivityRange(0, false, 5, false, 0), 0);
+}
+
+TEST(ColumnStatsTest, LowerBoundDistinctRenderedDistinctly) {
+  ColumnStats cs;
+  cs.distinct = 32;
+  cs.distinct_is_lower_bound = true;
+  EXPECT_NE(cs.ToString().find("d>=32"), std::string::npos);
+  cs.distinct_is_lower_bound = false;
+  EXPECT_NE(cs.ToString().find("d=32"), std::string::npos);
 }
 
 }  // namespace

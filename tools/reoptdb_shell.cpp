@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> wl_pending;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
               "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch, "
-              "\\workload\n");
+              "\\workload, \\feedback, \\plancache\n");
 
   std::string line, buffer;
   while (true) {
@@ -210,6 +210,33 @@ int main(int argc, char** argv) {
             reopt.batch_size = static_cast<size_t>(v);
             std::printf("batch_size = %zu\n", reopt.batch_size);
           }
+        }
+      } else if (cmd == "\\feedback") {
+        if (arg.empty() || arg == "show") {
+          std::printf("feedback %s\n%s", db.feedback_enabled() ? "on" : "off",
+                      db.feedback_store()->Describe().c_str());
+        } else if (arg == "on" || arg == "off") {
+          db.set_feedback_enabled(arg == "on");
+          std::printf("feedback %s\n", arg.c_str());
+        } else if (arg == "clear") {
+          db.feedback_store()->Clear();
+          std::printf("feedback store cleared\n");
+        } else {
+          std::printf("usage: \\feedback [show|on|off|clear]\n");
+        }
+      } else if (cmd == "\\plancache") {
+        if (arg.empty() || arg == "show") {
+          std::printf("plan cache %s\n%s",
+                      db.plan_cache_enabled() ? "on" : "off",
+                      db.plan_cache()->Describe().c_str());
+        } else if (arg == "on" || arg == "off") {
+          db.set_plan_cache_enabled(arg == "on");
+          std::printf("plan cache %s\n", arg.c_str());
+        } else if (arg == "clear") {
+          db.plan_cache()->Clear();
+          std::printf("plan cache cleared\n");
+        } else {
+          std::printf("usage: \\plancache [show|on|off|clear]\n");
         }
       } else if (cmd == "\\workload") {
         if (arg.empty()) {

@@ -23,12 +23,19 @@ echo "== tier-1: workload overload harness (release, emits BENCH_pr5.json) =="
 # broker/temp-table/page leak. Simulated time, so the JSON is reproducible.
 "${BUILD}/tools/workload_runner" --seed 42 --out BENCH_pr5.json
 
+echo "== tier-1: repeated-workload feedback harness (release, emits BENCH_pr6.json) =="
+# The same seeded TPC-D mix for 3 waves against one feedback+plan-cache
+# database over a stale catalog; exits nonzero unless every wave's rows are
+# bit-identical to a no-feedback control and the wave-2+ re-opt count and
+# sim time are strictly below wave 1 (monotone non-increasing after that).
+"${BUILD}/tools/repeat_runner" --seed 42 --out BENCH_pr6.json
+
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
   --target fault_test reopt_test reopt_extension_test \
-           batch_equivalence_test recovery_test workload_test \
-           chaos_runner workload_runner
+           batch_equivalence_test recovery_test workload_test feedback_test \
+           chaos_runner workload_runner repeat_runner
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
 # The fault-injection, batch-equivalence, crash-recovery, and workload
@@ -43,7 +50,9 @@ for bs in default 1; do
   "${ASAN_BUILD}/tests/batch_equivalence_test"
   "${ASAN_BUILD}/tests/recovery_test"
   "${ASAN_BUILD}/tests/workload_test"
+  "${ASAN_BUILD}/tests/feedback_test"
   "${ASAN_BUILD}/tools/workload_runner" --seed 42
+  "${ASAN_BUILD}/tools/repeat_runner" --seed 42
 done
 unset REOPTDB_BATCH_SIZE
 "${ASAN_BUILD}/tests/reopt_test"
