@@ -182,4 +182,10 @@ std::vector<std::string> Catalog::TempTableNames() const {
   return names;
 }
 
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
 }  // namespace reoptdb

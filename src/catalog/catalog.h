@@ -106,6 +106,9 @@ class Catalog {
   /// Names of all is_temp tables, in deterministic (map) order.
   std::vector<std::string> TempTableNames() const;
 
+  /// Names of every table (base and temp), in deterministic (map) order.
+  std::vector<std::string> TableNames() const;
+
   /// Fresh name for a mid-query temp table ("__temp1", "__temp2", ...).
   std::string NextTempName() {
     return "__temp" + std::to_string(++temp_counter_);

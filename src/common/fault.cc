@@ -17,6 +17,10 @@ Status InjectedError(const std::string& point, uint64_t call) {
   // storage.* it is an I/O error, but it surfaces at the operator (no
   // transparent DiskManager retry between the spill site and the query).
   if (point.rfind("exec.", 0) == 0) return Status::IoError(std::move(msg));
+  // wal.* models the log device: append buffers can hit a full/broken
+  // device, fsync can fail. Both are I/O errors the transaction layer maps
+  // to an abort (never a partial commit).
+  if (point.rfind("wal.", 0) == 0) return Status::IoError(std::move(msg));
   return Status::Internal(std::move(msg));
 }
 
@@ -42,6 +46,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kReoptScia,       faults::kReoptPostSwitch,
       faults::kJournalAppend,   faults::kRecoveryLoad,
       faults::kMemoryRevoke,    faults::kExecSpill,
+      faults::kWalAppend,       faults::kWalFsync,
+      faults::kLockAcquire,     faults::kTxnCommit,
   };
   return kPoints;
 }

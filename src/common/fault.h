@@ -55,6 +55,10 @@ inline constexpr char kJournalAppend[] = "journal.append";
 inline constexpr char kRecoveryLoad[] = "recovery.load";
 inline constexpr char kMemoryRevoke[] = "memory.revoke";
 inline constexpr char kExecSpill[] = "exec.spill";
+inline constexpr char kWalAppend[] = "wal.append";
+inline constexpr char kWalFsync[] = "wal.fsync";
+inline constexpr char kLockAcquire[] = "lock.acquire";
+inline constexpr char kTxnCommit[] = "txn.commit";
 }  // namespace faults
 
 /// When an armed point fires.

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "BindError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kLockWait:
+      return "LockWait";
     case StatusCode::kCrashed:
       return "Crashed";
   }

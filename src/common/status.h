@@ -28,6 +28,11 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kCancelled,
+  /// A lock request conflicts with a lock held by another live transaction.
+  /// Retryable: the wait is registered with the LockManager; re-issuing the
+  /// statement re-attempts the acquisition (and accrues lock-wait time
+  /// against the timeout).
+  kLockWait,
   /// Simulated process death (fault injection): the query terminates
   /// immediately; durable state (journal, flushed temp pages) survives and
   /// the RecoveryManager resumes or re-runs on "restart".
@@ -81,6 +86,9 @@ class Status {
   }
   static Status Crashed(std::string msg) {
     return Status(StatusCode::kCrashed, std::move(msg));
+  }
+  static Status LockWait(std::string msg) {
+    return Status(StatusCode::kLockWait, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -36,10 +36,25 @@ std::string ForceCrashTriggers(const std::string& schedule) {
 
 }  // namespace
 
+// Writers only touch heaps at commit — appending past the captured tuple
+// bound or deleting at a later epoch — so a snapshot frozen here makes the
+// query's reads independent of how concurrent DML interleaves.
+void Database::CaptureScanSnapshots(ExecContext* ctx) const {
+  for (const std::string& name : catalog_.TableNames()) {
+    Result<const TableInfo*> info = catalog_.Get(name);
+    if (!info.ok() || info.value()->is_temp) continue;
+    ctx->SetSnapshot(name,
+                     ExecContext::TableSnapshot{
+                         info.value()->heap->tuple_count(),
+                         txn_.commit_epoch()});
+  }
+}
+
 Database::Database(DatabaseOptions opts)
     : opts_(opts),
       pool_(&disk_, opts.buffer_pool_pages),
       catalog_(&pool_),
+      txn_(&catalog_, &pool_, &faults_),
       cost_(opts.cost_params),
       feedback_store_(opts.feedback),
       plan_cache_(opts.plan_cache),
@@ -60,19 +75,23 @@ Database::Database(DatabaseOptions opts)
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  return catalog_.CreateTable(name, std::move(schema)).status();
+  RETURN_IF_ERROR(catalog_.CreateTable(name, std::move(schema)).status());
+  txn_.MarkStorageDirty();
+  return Status::OK();
 }
 
 Status Database::Insert(const std::string& table, Tuple row) {
   ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(table));
   if (row.size() != info->schema.NumColumns())
     return Status::InvalidArgument("row arity mismatch for " + table);
+  txn_.MarkStorageDirty();
   return info->heap->Append(row).status();
 }
 
 Status Database::BulkLoad(const std::string& table,
                           const std::vector<Tuple>& rows) {
   ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(table));
+  txn_.MarkStorageDirty();
   for (const Tuple& row : rows) {
     if (row.size() != info->schema.NumColumns())
       return Status::InvalidArgument("row arity mismatch for " + table);
@@ -137,6 +156,7 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
   if (feedback_enabled_) reoptimizer.SetFeedback(&feedback_store_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
+  CaptureScanSnapshots(&ctx);
 
   // Plan-correction cache: a repeat of a query whose plan was corrected
   // mid-run starts directly on the corrected plan, skipping optimization.
@@ -233,6 +253,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
   reoptimizer.SetJournal(&journal_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
+  CaptureScanSnapshots(&ctx);
 
   QueryResult result;
   ASSIGN_OR_RETURN(result.report,
@@ -243,11 +264,105 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
 }
 
 Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
+  uint64_t session = 0;
+  Result<QueryResult> result = ExecuteSqlInTxn(sql, &session);
+  // A bare BEGIN through this entry point has no session handle to live
+  // in; discard the transaction instead of leaking it (it would block
+  // checkpoints forever).
+  if (session != 0) (void)txn_.Abort(session, "no session");
+  return result;
+}
+
+Result<uint64_t> Database::ExecuteDml(uint64_t txn_id, const Statement& stmt) {
+  // One simulated lock-wait quantum. Deterministic: waits accrue on the
+  // transaction's clock in fixed steps until the lock frees or the
+  // deadline kills the wait.
+  constexpr double kWaitQuantumMs = 5.0;
+  const double deadline = opts_.reopt.deadline_ms;
+  while (true) {
+    Result<DmlResult> r = Status::InvalidArgument("not a DML statement");
+    if (auto* ins = std::get_if<InsertAst>(&stmt)) {
+      r = txn_.ExecuteInsert(txn_id, *ins);
+    } else if (auto* up = std::get_if<UpdateAst>(&stmt)) {
+      r = txn_.ExecuteUpdate(txn_id, *up);
+    } else if (auto* del = std::get_if<DeleteAst>(&stmt)) {
+      r = txn_.ExecuteDelete(txn_id, *del);
+    }
+    if (r.ok()) return r.value().rows;
+    if (r.status().code() != StatusCode::kLockWait) return r.status();
+    double waited = txn_.ChargeLockWait(txn_id, kWaitQuantumMs);
+    if (deadline <= 0) return r.status();  // caller interleaves and retries
+    if (waited >= deadline) {
+      (void)txn_.Abort(txn_id, "timeout");
+      return Status::Cancelled(
+          "lock wait timeout: txn " + std::to_string(txn_id) +
+          " aborted after " + std::to_string(waited) + "ms");
+    }
+  }
+}
+
+Status Database::RecoverStorage() {
+  faults_.ClearCrash();
+  return txn_.Recover();
+}
+
+Result<QueryResult> Database::ExecuteSqlInTxn(const std::string& sql,
+                                              uint64_t* session_txn) {
   ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   QueryResult result;
 
   if (std::holds_alternative<SelectStmtAst>(stmt)) {
     return Execute(sql);
+  }
+  if (std::holds_alternative<BeginTxnAst>(stmt)) {
+    if (*session_txn != 0)
+      return Status::InvalidArgument("transaction already in progress");
+    ASSIGN_OR_RETURN(*session_txn, txn_.Begin());
+    result.message = "began transaction " + std::to_string(*session_txn);
+    return result;
+  }
+  if (std::holds_alternative<CommitTxnAst>(stmt)) {
+    if (*session_txn == 0)
+      return Status::InvalidArgument("no transaction in progress");
+    const uint64_t id = *session_txn;
+    *session_txn = 0;
+    RETURN_IF_ERROR(txn_.Commit(id));
+    result.message = "committed transaction " + std::to_string(id);
+    return result;
+  }
+  if (std::holds_alternative<RollbackTxnAst>(stmt)) {
+    if (*session_txn == 0)
+      return Status::InvalidArgument("no transaction in progress");
+    const uint64_t id = *session_txn;
+    *session_txn = 0;
+    RETURN_IF_ERROR(txn_.Abort(id));
+    result.message = "rolled back transaction " + std::to_string(id);
+    return result;
+  }
+  if (IsDmlStatement(stmt)) {
+    const bool autocommit = *session_txn == 0;
+    uint64_t txn = *session_txn;
+    if (autocommit) {
+      Result<uint64_t> begun = txn_.Begin();
+      if (!begun.ok()) return begun.status();
+      txn = begun.value();
+    }
+    Result<uint64_t> rows = ExecuteDml(txn, stmt);
+    if (!rows.ok()) {
+      if (autocommit && txn_.IsActive(txn))
+        (void)txn_.Abort(txn, rows.status().message());
+      // A deadlock victim / timeout abort may have killed a session
+      // transaction inside ExecuteDml; don't leave the handle dangling.
+      if (!autocommit && !txn_.IsActive(txn)) *session_txn = 0;
+      return rows.status();
+    }
+    if (autocommit) RETURN_IF_ERROR(txn_.Commit(txn));
+    const char* verb = std::holds_alternative<InsertAst>(stmt)   ? "inserted"
+                       : std::holds_alternative<UpdateAst>(stmt) ? "updated"
+                                                                 : "deleted";
+    result.message =
+        std::string(verb) + " " + std::to_string(rows.value()) + " row(s)";
+    return result;
   }
   if (auto* ct = std::get_if<CreateTableAst>(&stmt)) {
     RETURN_IF_ERROR(CreateTable(ct->table, Schema(ct->columns)));
@@ -261,32 +376,14 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
     result.message = "created index on " + ci->table + "." + ci->column;
     return result;
   }
-  if (auto* ins = std::get_if<InsertAst>(&stmt)) {
-    ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(ins->table));
-    for (const std::vector<Value>& row : ins->rows) {
-      if (row.size() != info->schema.NumColumns())
-        return Status::InvalidArgument("INSERT arity mismatch for " +
-                                       ins->table);
-      for (size_t i = 0; i < row.size(); ++i) {
-        bool want_str = info->schema.column(i).type == ValueType::kString;
-        if (want_str != row[i].is_string())
-          return Status::InvalidArgument(
-              "INSERT type mismatch in column " +
-              info->schema.column(i).name);
-      }
-      RETURN_IF_ERROR(info->heap->Append(Tuple(row)).status());
-    }
-    RETURN_IF_ERROR(info->heap->Flush());
-    result.message =
-        "inserted " + std::to_string(ins->rows.size()) + " row(s)";
-    return result;
-  }
   if (auto* dt = std::get_if<DropTableAst>(&stmt)) {
     RETURN_IF_ERROR(catalog_.Drop(dt->table));
     // Feedback and corrected plans for a dropped table are garbage even if
-    // a same-named table reappears later.
+    // a same-named table reappears later. Same for its restore point.
     feedback_store_.InvalidateTable(dt->table);
     plan_cache_.InvalidateTable(dt->table);
+    txn_.OnTableDropped(dt->table);
+    txn_.MarkStorageDirty();
     result.message = "dropped table " + dt->table;
     return result;
   }
@@ -311,6 +408,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql) {
       ExecContext ctx(&pool_, &catalog_, &cost_,
                       /*seed=*/1234 + ++query_counter_);
       ctx.SetFaultInjector(&faults_);
+      CaptureScanSnapshots(&ctx);
       ASSIGN_OR_RETURN(result.report,
                        reoptimizer.Execute(std::move(spec), &ctx,
                                            &result.rows, &result.schema));

@@ -30,6 +30,7 @@
 #include "reopt/query_journal.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "txn/txn_manager.h"
 
 namespace reoptdb {
 
@@ -107,11 +108,49 @@ class Database {
   /// Parses, binds, optimizes and executes with the configured ReoptOptions.
   Result<QueryResult> Execute(const std::string& sql);
 
-  /// Executes any statement: SELECT, CREATE TABLE, CREATE INDEX, INSERT,
-  /// ANALYZE, or EXPLAIN [ANALYZE]. DDL/DML return an empty row set plus a
-  /// message; EXPLAIN ANALYZE executes the query and renders the plan with
-  /// the structured trace summary (report.trace carries the typed records).
+  /// Executes any statement: SELECT, CREATE TABLE, CREATE INDEX,
+  /// INSERT/UPDATE/DELETE, BEGIN/COMMIT/ROLLBACK, ANALYZE, or EXPLAIN
+  /// [ANALYZE]. DDL/DML return an empty row set plus a message; EXPLAIN
+  /// ANALYZE executes the query and renders the plan with the structured
+  /// trace summary (report.trace carries the typed records). DML outside an
+  /// explicit transaction autocommits; inside one (see BeginTxn, or a
+  /// session opened with the BEGIN statement via ExecuteSqlInTxn) changes
+  /// stay invisible until COMMIT.
   Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// ExecuteSql with an ambient transaction (0 = none). DML statements run
+  /// under `*session_txn` when it is non-zero; BEGIN/COMMIT/ROLLBACK update
+  /// it. This is the shell's and chaos driver's session protocol.
+  Result<QueryResult> ExecuteSqlInTxn(const std::string& sql,
+                                      uint64_t* session_txn);
+
+  // --- Transactions (crash-atomic DML; see txn/txn_manager.h).
+
+  /// Starts an explicit transaction.
+  Result<uint64_t> BeginTxn() { return txn_.Begin(); }
+  /// Commits; `client_tag` (optional) makes the commit idempotently
+  /// re-checkable across crashes via TransactionManager::HasCommitted.
+  Status CommitTxn(uint64_t txn_id, const std::string& client_tag = "") {
+    return txn_.Commit(txn_id, client_tag);
+  }
+  Status AbortTxn(uint64_t txn_id) { return txn_.Abort(txn_id); }
+
+  /// Runs one parsed DML statement under `txn_id`. Retries lock waits
+  /// internally, charging simulated wait time against
+  /// options().reopt.deadline_ms (0 = wait forever); on timeout the
+  /// transaction aborts and kCancelled comes back.
+  Result<uint64_t> ExecuteDml(uint64_t txn_id, const Statement& stmt);
+
+  /// Captures a storage restore point for every base table and truncates
+  /// the WAL. Requires no active transactions.
+  Status Checkpoint() { return txn_.Checkpoint(); }
+
+  /// Restores checkpointed tables and replays committed WAL transactions
+  /// after a simulated crash (clears the injector's crash latch first).
+  /// Committed writes survive; uncommitted ones vanish.
+  Status RecoverStorage();
+
+  TransactionManager* txn_manager() { return &txn_; }
 
   /// Same, overriding the re-optimization configuration for this query.
   Result<QueryResult> ExecuteWith(const std::string& sql,
@@ -190,11 +229,17 @@ class Database {
                                       const ReoptOptions& reopt,
                                       const std::string& journal_root);
 
+  /// Freezes each base table's (row count, commit epoch) in `ctx` so the
+  /// query's scans read the state as of its start, regardless of
+  /// concurrent transactional DML.
+  void CaptureScanSnapshots(ExecContext* ctx) const;
+
   DatabaseOptions opts_;
   FaultInjector faults_;
   DiskManager disk_;
   BufferPool pool_;
   Catalog catalog_;
+  TransactionManager txn_;
   CostModel cost_;
   OptimizerCalibration calibration_;
   QueryJournal journal_;

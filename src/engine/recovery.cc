@@ -27,6 +27,12 @@ Result<QueryResult> RecoveryManager::Recover(const std::string& sql,
   FaultInjector* faults = db_->faults();
   faults->ClearCrash();  // the restart: the "new process" has no crash latch
 
+  // Storage-level redo comes first: restore checkpointed base tables and
+  // replay committed WAL transactions so the resumed query reads
+  // crash-consistent base data (committed DML present, uncommitted DML
+  // gone). A no-op when no transactional DML ever ran.
+  RETURN_IF_ERROR(db_->txn_manager()->Recover());
+
   Catalog* catalog = db_->catalog();
   QueryJournal* journal = db_->journal();
 

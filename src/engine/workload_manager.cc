@@ -12,6 +12,14 @@ struct WorkloadManager::QueryRun {
   std::string sql;
   SubmitOptions sub;  ///< resolved against WorkloadOptions at Submit()
   ReoptOptions reopt;
+  /// DML runs (INSERT/UPDATE/DELETE) execute as autocommit transactions
+  /// against the lock manager and WAL instead of a query session. They
+  /// occupy a running slot but never register with the memory broker.
+  bool is_dml = false;
+  Statement stmt;      ///< the parsed DML statement, re-issued on lock waits
+  uint64_t txn_id = 0;
+  uint64_t dml_rows = 0;
+  bool dml_ready = false;  ///< statement done; commits with this round's group
   // Declaration order matters: the session borrows ctx and reoptimizer,
   // so it must be destroyed first (members destroy in reverse order).
   std::unique_ptr<ExecContext> ctx;
@@ -123,7 +131,21 @@ void WorkloadManager::EnqueueArrivals() {
 }
 
 Status WorkloadManager::AdmitOne(QueryRun* q) {
-  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(q->sql));
+  ASSIGN_OR_RETURN(Statement stmt, ParseStatement(q->sql));
+  if (IsDmlStatement(stmt)) {
+    // A writer session: no plan, no broker grant — just a transaction.
+    // Lock waits yield the slot each round; the statement re-issues until
+    // its locks grant or the deadline kills it.
+    q->stmt = std::move(stmt);
+    q->is_dml = true;
+    ASSIGN_OR_RETURN(q->txn_id, db_->txn_.Begin());
+    q->out.started_ms = now_ms_;
+    return Status::OK();
+  }
+  if (!std::holds_alternative<SelectStmtAst>(stmt))
+    return Status::InvalidArgument(
+        "workload statements must be SELECT or DML: " + q->sql);
+  SelectStmtAst ast = std::get<SelectStmtAst>(std::move(stmt));
   QuerySpec spec;
   ASSIGN_OR_RETURN(spec, Bind(ast, db_->catalog_));
 
@@ -146,6 +168,9 @@ Status WorkloadManager::AdmitOne(QueryRun* q) {
                                          &db_->cost_,
                                          /*seed=*/1234 + ++db_->query_counter_);
   q->ctx->SetFaultInjector(&db_->faults_);
+  // Readers are snapshot-bounded at admission: concurrent writer sessions
+  // commit past the bound, so this query's rows match its solo run.
+  db_->CaptureScanSnapshots(q->ctx.get());
   // Baseline the I/O slice now: other sessions' I/O since pool creation
   // must not be charged to this query.
   q->ctx->BeginIoSlice();
@@ -226,12 +251,47 @@ void WorkloadManager::CancelExpiredQueued() {
 }
 
 void WorkloadManager::FinishQuery(QueryRun* q, Status status) {
+  // A writer whose transaction is still alive (error before commit) rolls
+  // back; a committed or already-aborted one is left alone.
+  if (q->is_dml && q->txn_id != 0 && db_->txn_.IsActive(q->txn_id))
+    (void)db_->txn_.Abort(q->txn_id, status.ok() ? "rollback"
+                                                 : status.message());
   q->out.status = std::move(status);
   q->out.finished_ms = now_ms_;
   // Session destruction runs the controller's cleanup guards (temp tables,
   // collector hook, journal) before the grant returns to the pool.
   q->session.reset();
   broker_.Release(q->id);
+}
+
+Result<bool> WorkloadManager::StepDml(QueryRun* q) {
+  // One simulated lock-wait quantum per blocked round; mirrors
+  // Database::ExecuteDml but yields the slot between attempts so the lock
+  // holder can actually run (and release).
+  constexpr double kWaitQuantumMs = 5.0;
+  TransactionManager* tm = db_->txn_manager();
+  Result<DmlResult> r = Status::Internal("not a DML statement");
+  if (auto* ins = std::get_if<InsertAst>(&q->stmt)) {
+    r = tm->ExecuteInsert(q->txn_id, *ins);
+  } else if (auto* up = std::get_if<UpdateAst>(&q->stmt)) {
+    r = tm->ExecuteUpdate(q->txn_id, *up);
+  } else if (auto* del = std::get_if<DeleteAst>(&q->stmt)) {
+    r = tm->ExecuteDelete(q->txn_id, *del);
+  }
+  if (r.ok()) {
+    q->dml_rows = r.value().rows;
+    return true;
+  }
+  if (r.status().code() != StatusCode::kLockWait) return r.status();
+  const double waited = tm->ChargeLockWait(q->txn_id, kWaitQuantumMs);
+  now_ms_ += kWaitQuantumMs;
+  if (q->reopt.deadline_ms > 0 && waited >= q->reopt.deadline_ms) {
+    (void)tm->Abort(q->txn_id, "timeout");
+    return Status::Cancelled("lock wait timeout: txn " +
+                             std::to_string(q->txn_id) + " aborted after " +
+                             std::to_string(waited) + "ms");
+  }
+  return false;  // blocked; re-issue next round
 }
 
 void WorkloadManager::RecordRejection(QueryRun* q, const char* reason,
@@ -279,8 +339,27 @@ Result<std::vector<WorkloadQueryResult>> WorkloadManager::Run() {
     // One cooperative round: each running session executes one scheduler
     // stage. The I/O slice brackets keep the shared DiskManager's counters
     // attributed to the session that incurred them.
+    std::vector<uint64_t> commit_ready;
     for (size_t i = 0; i < running_.size();) {
       QueryRun* q = queries_[running_[i]].get();
+      if (q->is_dml) {
+        if (q->dml_ready) {
+          ++i;  // already waiting on this round's group commit
+          continue;
+        }
+        Result<bool> done = StepDml(q);
+        if (!done.ok()) {
+          FinishQuery(q, done.status());
+          running_.erase(running_.begin() + static_cast<long>(i));
+          continue;
+        }
+        if (done.value()) {
+          q->dml_ready = true;
+          commit_ready.push_back(q->id);
+        }
+        ++i;
+        continue;
+      }
       q->ctx->BeginIoSlice();
       const double t0 = q->ctx->SimElapsedMs();
       Result<bool> stepped = q->session->Step();
@@ -300,6 +379,32 @@ Result<std::vector<WorkloadQueryResult>> WorkloadManager::Run() {
         continue;
       }
       ++i;
+    }
+
+    // Group commit: every writer that finished its statement this round
+    // becomes durable with one WAL fsync.
+    if (!commit_ready.empty()) {
+      std::vector<std::pair<uint64_t, std::string>> group;
+      for (uint64_t id : commit_ready) {
+        QueryRun* q = queries_[id].get();
+        group.emplace_back(q->txn_id, "workload:" + std::to_string(q->id));
+      }
+      Status st = db_->txn_.CommitGroup(group);
+      for (uint64_t id : commit_ready) {
+        QueryRun* q = queries_[id].get();
+        if (st.ok()) {
+          const char* verb = std::holds_alternative<InsertAst>(q->stmt)
+                                 ? "inserted"
+                             : std::holds_alternative<UpdateAst>(q->stmt)
+                                 ? "updated"
+                                 : "deleted";
+          q->out.result.message = std::string(verb) + " " +
+                                  std::to_string(q->dml_rows) + " row(s)";
+        }
+        FinishQuery(q, st);
+        running_.erase(std::find(running_.begin(), running_.end(), id));
+      }
+      if (st.code() == StatusCode::kCrashed) return st;
     }
   }
 

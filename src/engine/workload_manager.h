@@ -103,7 +103,11 @@ class WorkloadManager {
   WorkloadManager(const WorkloadManager&) = delete;
   WorkloadManager& operator=(const WorkloadManager&) = delete;
 
-  /// Enqueues a SELECT for execution and returns its workload query id.
+  /// Enqueues a SELECT or DML statement for execution and returns its
+  /// workload query id. DML runs as an autocommit transaction under the
+  /// lock manager: lock waits yield to other sessions each round and
+  /// count against deadline_ms; statements finishing in the same round
+  /// commit together (group commit, one WAL fsync).
   /// A full queue rejects immediately (typed AdmissionReject, reason
   /// "queue_full"); the rejection surfaces in Run()'s results, not here.
   /// Future arrival_ms defers the queue-entry (and its capacity check)
@@ -143,6 +147,9 @@ class WorkloadManager {
   /// Parses, registers with the broker, and starts q's session. A
   /// non-kResourceExhausted failure marks q terminally failed.
   Status AdmitOne(QueryRun* q);
+  /// One round of a DML run: attempts the statement once. True = ready to
+  /// commit; false = blocked on a lock (wait charged); error = terminal.
+  Result<bool> StepDml(QueryRun* q);
   /// Cancels queued queries whose deadline elapsed while waiting.
   void CancelExpiredQueued();
   void FinishQuery(QueryRun* q, Status status);

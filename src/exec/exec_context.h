@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -147,6 +148,25 @@ class ExecContext {
     return std::make_unique<HeapFile>(pool_);
   }
 
+  /// Snapshot bound for one table's scans: the query sees rows with append
+  /// ordinal below `tuple_limit` that were not deleted at or before
+  /// `epoch`. Captured per base table when the query starts so concurrent
+  /// transactional DML (which only touches heaps at commit) stays invisible
+  /// — the query reads the same rows no matter how writers interleave.
+  struct TableSnapshot {
+    uint64_t tuple_limit = HeapFile::kLatest;
+    uint64_t epoch = HeapFile::kLatest;
+  };
+  void SetSnapshot(const std::string& table, TableSnapshot snap) {
+    snapshots_[table] = snap;
+  }
+  /// nullptr when no bound was captured (temp tables, legacy callers):
+  /// scans then see the latest state.
+  const TableSnapshot* FindSnapshot(const std::string& table) const {
+    auto it = snapshots_.find(table);
+    return it == snapshots_.end() ? nullptr : &it->second;
+  }
+
  private:
   BufferPool* pool_;
   Catalog* catalog_;
@@ -165,6 +185,7 @@ class ExecContext {
   double deadline_ms_ = 0;
   FaultInjector* faults_ = nullptr;
   size_t batch_size_ = 1024;  // TupleBatch::kDefaultCapacity
+  std::map<std::string, TableSnapshot> snapshots_;
 
 };
 

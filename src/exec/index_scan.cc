@@ -15,6 +15,11 @@ Status IndexScanOp::OpenImpl() {
   int64_t hi = node_->range_hi.value_or(std::numeric_limits<int64_t>::max());
   ASSIGN_OR_RETURN(BTree::Iterator it, index->SeekRange(lo, hi));
   it_.emplace(std::move(it));
+  if (const ExecContext::TableSnapshot* snap =
+          ctx_->FindSnapshot(node_->table)) {
+    snap_limit_ = snap->tuple_limit;
+    snap_epoch_ = snap->epoch;
+  }
   ASSIGN_OR_RETURN(preds_, CompilePreds(node_->filters, node_->output_schema));
   return Status::OK();
 }
@@ -25,6 +30,15 @@ Result<bool> IndexScanOp::NextImpl(Tuple* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool more, it_->Next(&key, &rid));
     if (!more) return false;
+    // Snapshot visibility: rows appended after the query started are past
+    // the ordinal bound; rows deleted since are filtered by epoch. Ordinals
+    // are unknown only for adopted (recovered temp) heaps, which are never
+    // snapshot-bounded.
+    if (snap_limit_ != HeapFile::kLatest) {
+      std::optional<uint64_t> ord = heap_->RidOrdinal(rid);
+      if (ord.has_value() && *ord >= snap_limit_) continue;
+    }
+    if (heap_->IsDeletedAsOf(rid, snap_epoch_)) continue;
     ASSIGN_OR_RETURN(*out, heap_->Fetch(rid));
     ctx_->ChargeTuples(1);
     if (EvalAll(preds_, *out)) return true;

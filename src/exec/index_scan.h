@@ -26,6 +26,9 @@ class IndexScanOp : public Operator {
   const HeapFile* heap_ = nullptr;
   std::optional<BTree::Iterator> it_;
   std::vector<CompiledPred> preds_;
+  /// Snapshot bound (see ExecContext::TableSnapshot); kLatest = unbounded.
+  uint64_t snap_limit_ = HeapFile::kLatest;
+  uint64_t snap_epoch_ = HeapFile::kLatest;
 };
 
 }  // namespace reoptdb

@@ -5,7 +5,12 @@ namespace reoptdb {
 Status SeqScanOp::OpenImpl() {
   ASSIGN_OR_RETURN(const TableInfo* info, ctx_->catalog()->Get(node_->table));
   heap_ = info->heap.get();
-  it_.emplace(heap_->Scan());
+  if (const ExecContext::TableSnapshot* snap =
+          ctx_->FindSnapshot(node_->table)) {
+    it_.emplace(heap_->ScanSnapshot(snap->tuple_limit, snap->epoch));
+  } else {
+    it_.emplace(heap_->Scan());
+  }
   ASSIGN_OR_RETURN(preds_, CompilePreds(node_->filters, node_->output_schema));
   return Status::OK();
 }

@@ -101,6 +101,7 @@ std::string QueryTrace::ToJson() const {
     o.Set("theta2", JsonValue::MakeNumber(r.theta2));
     o.Set("fired", JsonValue::MakeBool(r.fired));
     o.Set("revocation_only", JsonValue::MakeBool(r.revocation_only));
+    o.Set("stats_churn", JsonValue::MakeBool(r.stats_churn));
     eq2_j.Append(std::move(o));
   }
   root.Set("eq2_checks", std::move(eq2_j));
@@ -279,6 +280,7 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
     r.theta2 = GetNum(o, "theta2");
     r.fired = GetBool(o, "fired");
     r.revocation_only = GetBool(o, "revocation_only");
+    r.stats_churn = GetBool(o, "stats_churn");
     t.eq2_checks.push_back(r);
   }
 
@@ -544,6 +546,7 @@ std::string Render(const Eq2Check& r) {
   return "eq2 check after stage " + std::to_string(r.stage_node_id) +
          ": improved=" + Ms(r.improved) + " est=" + Ms(r.est) +
          " degradation=" + Ms(r.degradation) +
+         (r.stats_churn ? " [stats churn]" : "") +
          (r.revocation_only
               ? " (suppressed: revocation-only change)"
               : (r.fired ? " (fired)" : " (below theta2)"));
@@ -633,6 +636,44 @@ std::string Render(const PlanCacheHit& r) {
   return "plan cache hit (" + std::to_string(r.entry_hits) +
          " total): started on corrected plan, saved " + Ms(r.saved_opt_ms) +
          "ms optimization";
+}
+
+std::string Render(const TxnBeginRecord& r) {
+  return "txn " + std::to_string(r.txn_id) + " begin";
+}
+
+std::string Render(const TxnCommitRecord& r) {
+  std::string s = "txn " + std::to_string(r.txn_id) + " commit: epoch " +
+                  std::to_string(r.epoch) + ", " +
+                  std::to_string(r.rows_changed) + " row(s), " +
+                  std::to_string(r.wal_records) + " wal record(s)";
+  if (!r.client_tag.empty()) s += " [tag " + r.client_tag + "]";
+  return s;
+}
+
+std::string Render(const TxnAbortRecord& r) {
+  return "txn " + std::to_string(r.txn_id) + " abort (" + r.reason + ")";
+}
+
+std::string Render(const LockWaitRecord& r) {
+  return "txn " + std::to_string(r.txn_id) + " waits for " + r.mode +
+         " on " + r.resource + " held by txn " +
+         std::to_string(r.holder_txn_id);
+}
+
+std::string Render(const DeadlockVictimRecord& r) {
+  return "deadlock: cycle of " + std::to_string(r.cycle_length) +
+         " at " + r.resource + " (requester txn " +
+         std::to_string(r.requester_txn_id) + ") -> victim txn " +
+         std::to_string(r.victim_txn_id) + " aborted";
+}
+
+std::string Render(const WalReplayRecord& r) {
+  return "wal replay: " + std::to_string(r.committed_txns) +
+         " committed txn(s), " + std::to_string(r.records_applied) +
+         " record(s) applied, " + std::to_string(r.records_skipped) +
+         " skipped, " + std::to_string(r.tables_restored) +
+         " checkpoint(s) restored";
 }
 
 std::string Render(const MemoryReallocation& r) {

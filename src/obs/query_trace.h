@@ -54,6 +54,11 @@ struct Eq2Check {
   /// false) — re-optimizing on self-inflicted memory churn would feed a
   /// revoke -> reopt -> revoke loop.
   bool revocation_only = false;
+  /// Concurrent-DML churn contributed: improved estimates of unstarted
+  /// scans over churned base tables were rescaled by the observed growth
+  /// factor before the gate was evaluated, so the check can fire on stats
+  /// staleness alone even when collector feedback matched the estimates.
+  bool stats_churn = false;
 };
 
 /// Eq. (1) optimizer-cost check: fired when t_opt_est <= theta1 * rem_cur.
@@ -206,6 +211,58 @@ struct BudgetChange {
   double after_pages = 0;
 };
 
+// --- Transaction-layer records (kept in the TransactionManager's TxnLog,
+// not in a per-query trace: transactions span queries and survive them).
+
+/// A transaction entered the system.
+struct TxnBeginRecord {
+  uint64_t txn_id = 0;
+};
+
+/// A transaction committed: its WAL records were fsynced and its write set
+/// applied to the heaps/indexes at `epoch`.
+struct TxnCommitRecord {
+  uint64_t txn_id = 0;
+  uint64_t epoch = 0;        ///< commit epoch (drives delete visibility)
+  uint64_t wal_records = 0;  ///< redo records this txn logged (incl. commit)
+  uint64_t rows_changed = 0; ///< inserts + deletes applied
+  std::string client_tag;    ///< caller-supplied idempotency tag ("" = none)
+};
+
+/// A transaction aborted (explicit rollback, error, deadlock victim, or
+/// lock-wait timeout); its buffered writes were discarded unapplied.
+struct TxnAbortRecord {
+  uint64_t txn_id = 0;
+  std::string reason;  ///< "rollback" | "deadlock" | "timeout" | status text
+};
+
+/// A lock request conflicted and the requester started (or continued)
+/// waiting. One record per distinct (txn, resource) wait episode.
+struct LockWaitRecord {
+  uint64_t txn_id = 0;
+  uint64_t holder_txn_id = 0;  ///< one conflicting holder (lowest id)
+  std::string resource;        ///< "table:t" or "row:t:<ridkey>"
+  std::string mode;            ///< requested mode ("S"/"X"/"IS"/"IX")
+};
+
+/// The wait-for graph closed a cycle; the youngest transaction in it was
+/// aborted to break the deadlock.
+struct DeadlockVictimRecord {
+  uint64_t victim_txn_id = 0;
+  uint64_t requester_txn_id = 0;  ///< whose acquire detected the cycle
+  std::string resource;           ///< resource the requester was after
+  int cycle_length = 0;           ///< transactions in the cycle
+};
+
+/// One WAL redo pass by recovery: checkpoints restored, then committed
+/// transactions re-applied in commit order.
+struct WalReplayRecord {
+  uint64_t committed_txns = 0;   ///< transactions redone
+  uint64_t records_applied = 0;  ///< insert/delete records re-applied
+  uint64_t records_skipped = 0;  ///< uncommitted / already-present entries
+  uint64_t tables_restored = 0;  ///< heap checkpoints rolled back first
+};
+
 /// The re-optimization configuration the query ran under.
 struct TraceConfig {
   std::string mode;  ///< ReoptModeName
@@ -273,6 +330,12 @@ std::string Render(const AdmissionReject& r);
 std::string Render(const RevocationEvent& r);
 std::string Render(const FeedbackApplied& r);
 std::string Render(const PlanCacheHit& r);
+std::string Render(const TxnBeginRecord& r);
+std::string Render(const TxnCommitRecord& r);
+std::string Render(const TxnAbortRecord& r);
+std::string Render(const LockWaitRecord& r);
+std::string Render(const DeadlockVictimRecord& r);
+std::string Render(const WalReplayRecord& r);
 
 }  // namespace reoptdb
 

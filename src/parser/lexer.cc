@@ -13,7 +13,9 @@ const std::set<std::string>& Keywords() {
       "ASC",    "DESC",  "LIMIT", "AS",    "SUM",   "AVG",   "COUNT",
       "MIN",    "MAX",   "BETWEEN", "NOT", "OR",    "INSERT", "INTO",
       "VALUES", "CREATE", "TABLE", "INDEX", "ON",   "EXPLAIN", "ANALYZE",
-      "INT",    "DOUBLE", "STRING", "PRIMARY", "KEY", "DROP"};
+      "INT",    "DOUBLE", "STRING", "PRIMARY", "KEY", "DROP",
+      "UPDATE", "SET",    "DELETE", "BEGIN", "COMMIT", "ROLLBACK",
+      "TRANSACTION"};
   return kw;
 }
 

@@ -128,7 +128,104 @@ Result<Statement> ParseInsert(Toks* t) {
   return Statement(std::move(ast));
 }
 
+Result<Value> ParseLiteral(Toks* t) {
+  const Token& tok = t->Peek();
+  Value v;
+  switch (tok.type) {
+    case TokenType::kInteger:
+      v = Value(tok.int_value);
+      break;
+    case TokenType::kFloat:
+      v = Value(tok.float_value);
+      break;
+    case TokenType::kString:
+      v = Value(tok.text);
+      break;
+    default:
+      return Status::ParseError("expected literal at offset " +
+                                std::to_string(tok.pos));
+  }
+  t->Advance();
+  return v;
+}
+
+Result<CmpOp> ParseCmpOp(Toks* t) {
+  switch (t->Peek().type) {
+    case TokenType::kEq:
+      t->Advance();
+      return CmpOp::kEq;
+    case TokenType::kNe:
+      t->Advance();
+      return CmpOp::kNe;
+    case TokenType::kLt:
+      t->Advance();
+      return CmpOp::kLt;
+    case TokenType::kLe:
+      t->Advance();
+      return CmpOp::kLe;
+    case TokenType::kGt:
+      t->Advance();
+      return CmpOp::kGt;
+    case TokenType::kGe:
+      t->Advance();
+      return CmpOp::kGe;
+    default:
+      return Status::ParseError("expected comparison operator at offset " +
+                                std::to_string(t->Peek().pos));
+  }
+}
+
+/// Optional `WHERE col cmp literal (AND ...)*`. DML predicates are
+/// deliberately simpler than SELECT's (no BETWEEN, no column-column): a
+/// write's row selection must be cheap to re-evaluate under lock retries.
+Result<std::vector<PredicateAst>> ParseDmlWhere(Toks* t) {
+  std::vector<PredicateAst> preds;
+  if (!t->MatchKeyword("WHERE")) return preds;
+  do {
+    PredicateAst p;
+    ColumnRefAst col;
+    ASSIGN_OR_RETURN(col.name, t->ExpectIdentifier("column name"));
+    p.lhs = std::move(col);
+    ASSIGN_OR_RETURN(p.op, ParseCmpOp(t));
+    ASSIGN_OR_RETURN(Value lit, ParseLiteral(t));
+    p.rhs = std::move(lit);
+    preds.push_back(std::move(p));
+  } while (t->MatchKeyword("AND"));
+  return preds;
+}
+
+Result<Statement> ParseUpdate(Toks* t) {
+  UpdateAst ast;
+  ASSIGN_OR_RETURN(ast.table, t->ExpectIdentifier("table name"));
+  RETURN_IF_ERROR(t->ExpectKeyword("SET"));
+  do {
+    std::string col;
+    ASSIGN_OR_RETURN(col, t->ExpectIdentifier("column name"));
+    RETURN_IF_ERROR(t->Expect(TokenType::kEq, "'='"));
+    ASSIGN_OR_RETURN(Value lit, ParseLiteral(t));
+    ast.sets.emplace_back(std::move(col), std::move(lit));
+  } while (t->Match(TokenType::kComma));
+  ASSIGN_OR_RETURN(ast.where, ParseDmlWhere(t));
+  if (!t->AtEnd()) return Status::ParseError("trailing tokens");
+  return Statement(std::move(ast));
+}
+
+Result<Statement> ParseDelete(Toks* t) {
+  DeleteAst ast;
+  RETURN_IF_ERROR(t->ExpectKeyword("FROM"));
+  ASSIGN_OR_RETURN(ast.table, t->ExpectIdentifier("table name"));
+  ASSIGN_OR_RETURN(ast.where, ParseDmlWhere(t));
+  if (!t->AtEnd()) return Status::ParseError("trailing tokens");
+  return Statement(std::move(ast));
+}
+
 }  // namespace
+
+bool IsDmlStatement(const Statement& stmt) {
+  return std::holds_alternative<InsertAst>(stmt) ||
+         std::holds_alternative<UpdateAst>(stmt) ||
+         std::holds_alternative<DeleteAst>(stmt);
+}
 
 Result<Statement> ParseStatement(const std::string& sql) {
   ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
@@ -155,6 +252,21 @@ Result<Statement> ParseStatement(const std::string& sql) {
   Toks t(std::move(tokens));
   if (t.MatchKeyword("CREATE")) return ParseCreate(&t);
   if (t.MatchKeyword("INSERT")) return ParseInsert(&t);
+  if (t.MatchKeyword("UPDATE")) return ParseUpdate(&t);
+  if (t.MatchKeyword("DELETE")) return ParseDelete(&t);
+  if (t.MatchKeyword("BEGIN")) {
+    t.MatchKeyword("TRANSACTION");
+    if (!t.AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(BeginTxnAst{});
+  }
+  if (t.MatchKeyword("COMMIT")) {
+    if (!t.AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(CommitTxnAst{});
+  }
+  if (t.MatchKeyword("ROLLBACK")) {
+    if (!t.AtEnd()) return Status::ParseError("trailing tokens");
+    return Statement(RollbackTxnAst{});
+  }
   if (t.MatchKeyword("DROP")) {
     RETURN_IF_ERROR(t.ExpectKeyword("TABLE"));
     DropTableAst ast;

@@ -4,9 +4,13 @@
 //              | CREATE TABLE name '(' col type [PRIMARY KEY] (',' ...)* ')'
 //              | CREATE INDEX ON name '(' column ')'
 //              | INSERT INTO name VALUES '(' literal, ... ')' (',' '(' ... ')')*
+//              | UPDATE name SET col '=' literal (',' ...)* [where]
+//              | DELETE FROM name [where]
+//              | BEGIN [TRANSACTION] | COMMIT | ROLLBACK
 //              | ANALYZE name
 //              | DROP TABLE name
 //              | EXPLAIN [ANALYZE] select
+//   where     := WHERE col cmp literal (AND ...)*
 //
 // Types: INT | DOUBLE | STRING.
 
@@ -39,6 +43,25 @@ struct InsertAst {
   std::vector<std::vector<Value>> rows;
 };
 
+struct UpdateAst {
+  std::string table;
+  /// SET assignments, column name -> new literal value, in statement order.
+  std::vector<std::pair<std::string, Value>> sets;
+  /// Conjunctive WHERE clause (empty = all rows). Only `col cmp literal`
+  /// conjuncts — DML predicates never join.
+  std::vector<PredicateAst> where;
+};
+
+struct DeleteAst {
+  std::string table;
+  std::vector<PredicateAst> where;
+};
+
+/// BEGIN [TRANSACTION] / COMMIT / ROLLBACK (shell transaction control).
+struct BeginTxnAst {};
+struct CommitTxnAst {};
+struct RollbackTxnAst {};
+
 struct AnalyzeAst {
   std::string table;
 };
@@ -57,7 +80,12 @@ struct ExplainAst {
 /// Any parsed statement.
 using Statement = std::variant<SelectStmtAst, CreateTableAst, CreateIndexAst,
                                InsertAst, AnalyzeAst, ExplainAst,
-                               DropTableAst>;
+                               DropTableAst, UpdateAst, DeleteAst,
+                               BeginTxnAst, CommitTxnAst, RollbackTxnAst>;
+
+/// True for INSERT / UPDATE / DELETE (the statements that go through the
+/// transactional write path).
+bool IsDmlStatement(const Statement& stmt);
 
 /// Parses one statement of any kind.
 Result<Statement> ParseStatement(const std::string& sql);

@@ -497,6 +497,9 @@ struct QuerySession::State {
   std::set<int> started;
   int recovered_failures = 0;
   bool finished = false;
+  /// Per-base-table (live rows, update_activity) at query start, feeding
+  /// the stats-churn Eq.(2) term. Empty when the churn gate is disabled.
+  std::map<std::string, std::pair<double, double>> churn_baseline;
   /// Reopt-thrash hysteresis: set when the broker shrank this query's
   /// grant; the next gate evaluation with no new collector feedback is
   /// recorded as suppressed instead of firing (see Eq2Check's
@@ -507,6 +510,25 @@ struct QuerySession::State {
   Status Start();
   Result<bool> Step();
   Status Finalize();
+
+  /// Largest per-table churn fraction since Start(): rows appended or
+  /// deleted relative to the baseline, or update activity accrued by
+  /// committed DML. 0 when the baseline is empty (gate disabled).
+  double ChurnSinceStart() const {
+    double churn = 0;
+    for (const auto& [table, base] : churn_baseline) {
+      Result<TableInfo*> info = owner->catalog_->Get(table);
+      if (!info.ok()) continue;
+      const double rows_now =
+          static_cast<double>(info.value()->heap->live_tuple_count());
+      const double rows_delta =
+          std::abs(rows_now - base.first) / std::max(1.0, base.first);
+      const double activity_delta =
+          info.value()->stats.update_activity - base.second;
+      churn = std::max(churn, std::max(rows_delta, activity_delta));
+    }
+    return churn;
+  }
 
   void RecordFailure(const char* point, const Status& st, const char* action,
                      int stage_node_id, int attempts) {
@@ -552,6 +574,16 @@ Status QuerySession::State::Start() {
 
   if (opts.deadline_ms > 0) ctx->SetDeadlineMs(opts.deadline_ms);
   ctx->SetBatchSize(opts.batch_size);
+
+  if (opts.stats_churn_theta > 0) {
+    for (const RelationRef& rel : spec.relations) {
+      Result<TableInfo*> info = owner->catalog_->Get(rel.table);
+      if (!info.ok() || info.value()->is_temp) continue;
+      churn_baseline[rel.table] = {
+          static_cast<double>(info.value()->heap->live_tuple_count()),
+          info.value()->stats.update_activity};
+    }
+  }
 
   if (mode != ReoptMode::kOff) {
     // Collector insertion is advisory: without collectors the query simply
@@ -667,7 +699,15 @@ Result<bool> QuerySession::State::Step() {
     RETURN_IF_ERROR(Finalize());
     return true;
   }
-  if (mode == ReoptMode::kOff || stage.new_collectors.empty()) {
+  // Stats churn: committed concurrent DML since this query started is
+  // fresh evidence against the optimizer's inputs even when no collector
+  // finalized this stage, so it can open the gate path on its own.
+  const double churn_theta = owner->opts_.stats_churn_theta;
+  const double churn = churn_theta > 0 ? ChurnSinceStart() : 0.0;
+  const bool churn_fired = churn_theta > 0 && churn > churn_theta;
+
+  if (mode == ReoptMode::kOff ||
+      (stage.new_collectors.empty() && !churn_fired)) {
     // Reopt-thrash hysteresis: when the only change since the last gate
     // evaluation is a broker revocation (no new collector feedback), the
     // Eq.(2) gate is suppressed. A revocation inflates the improved
@@ -767,6 +807,13 @@ Result<bool> QuerySession::State::Step() {
   eq2.improved = plan->improved.cost_total_ms;
   eq2.est = plan->est.cost_total_ms;
   eq2.degradation = (eq2.improved - eq2.est) / t_est;
+  if (churn_fired && churn > eq2.degradation) {
+    // The churn fraction joins the sub-optimality indicator: estimates
+    // built on inputs that concurrent DML has since changed by `churn`
+    // are at least that unreliable, whatever the collectors say.
+    eq2.degradation = churn;
+    eq2.stats_churn = true;
+  }
   eq2.theta2 = owner->opts_.theta2;
   eq2.fired = eq2.degradation > owner->opts_.theta2;
   trace->eq2_checks.push_back(eq2);

@@ -78,6 +78,17 @@ struct ReoptOptions {
   /// exceeding it unwinds with Status::Cancelled at the next stage
   /// boundary / operator Next, with full temp-table and hook cleanup.
   double deadline_ms = 0;
+  /// Stats-churn gate: when > 0, concurrent transactional DML against the
+  /// query's base tables (rows appended/deleted, or update activity
+  /// accrued, since this query started) contributes a churn fraction to
+  /// the Eq.(2) sub-optimality indicator — the optimizer's inputs are
+  /// provably stale, a new reason to distrust the plan. The gate can then
+  /// fire even at a stage boundary with no fresh collector feedback; the
+  /// Eq2Check record carries stats_churn = true. The query's *answer* is
+  /// unaffected either way (scans are snapshot-bounded at query start).
+  /// 0 disables (default), keeping decision traces bit-identical for
+  /// DML-free workloads.
+  double stats_churn_theta = 0;
   /// Deprecated alias for arming the `reopt.post_switch` fault-injection
   /// point on every call (see common/fault.h): fail the query right after
   /// the first accepted plan switch. Prefer

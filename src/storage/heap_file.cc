@@ -123,9 +123,81 @@ Result<Rid> HeapFile::Append(const Tuple& tuple) {
 Status HeapFile::Flush() {
   if (!tail_) return Status::OK();
   RETURN_IF_ERROR(pool_->disk()->WritePage(tail_id_, *tail_));
+  // Ordinal bookkeeping is maintained only while it has stayed consistent
+  // (adopted files start without it and never regain it).
+  if (page_first_ordinal_.size() == pages_.size())
+    page_first_ordinal_.push_back(flushed_tuple_count_);
   pages_.push_back(tail_id_);
+  flushed_tuple_count_ = tuple_count_;
   tail_.reset();
   tail_id_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status HeapFile::MarkDeleted(const Rid& rid, uint64_t epoch) {
+  const size_t flushed = pages_.size();
+  if (rid.page_ordinal > flushed ||
+      (rid.page_ordinal == flushed && !tail_))
+    return Status::Internal("MarkDeleted: rid page out of range");
+  uint64_t key = RidKey(rid);
+  if (deleted_.count(key))
+    return Status::Internal("MarkDeleted: rid already deleted");
+  deleted_[key] = epoch;
+  return Status::OK();
+}
+
+std::optional<uint64_t> HeapFile::RidOrdinal(const Rid& rid) const {
+  if (rid.page_ordinal < pages_.size()) {
+    if (page_first_ordinal_.size() != pages_.size()) return std::nullopt;
+    return page_first_ordinal_[rid.page_ordinal] + rid.slot;
+  }
+  if (rid.page_ordinal == pages_.size() && tail_)
+    return flushed_tuple_count_ + rid.slot;
+  return std::nullopt;
+}
+
+Result<HeapFile::Checkpoint> HeapFile::CaptureCheckpoint() const {
+  if (tail_)
+    return Status::Internal(
+        "CaptureCheckpoint requires a flushed file (tail pages are "
+        "volatile)");
+  Checkpoint cp;
+  cp.page_count = pages_.size();
+  cp.tuple_count = tuple_count_;
+  cp.total_tuple_bytes = total_tuple_bytes_;
+  cp.content_checksum = content_checksum_;
+  cp.deleted = deleted_;
+  return cp;
+}
+
+Status HeapFile::RestoreCheckpoint(const Checkpoint& cp) {
+  if (cp.page_count > pages_.size())
+    return Status::Internal(
+        "RestoreCheckpoint: checkpoint covers more pages than the file "
+        "holds");
+  // Free the volatile tail first, then the flushed suffix from the end.
+  // Each page is popped only after its free succeeds, so an injected
+  // failure (or crash) mid-restore leaves a consistent state that a retry
+  // simply resumes.
+  if (tail_) {
+    pool_->Discard(tail_id_);
+    RETURN_IF_ERROR(pool_->disk()->FreePage(tail_id_));
+    tail_.reset();
+    tail_id_ = kInvalidPageId;
+  }
+  while (pages_.size() > cp.page_count) {
+    PageId id = pages_.back();
+    pool_->Discard(id);
+    RETURN_IF_ERROR(pool_->disk()->FreePage(id));
+    pages_.pop_back();
+    if (page_first_ordinal_.size() > pages_.size())
+      page_first_ordinal_.pop_back();
+  }
+  tuple_count_ = cp.tuple_count;
+  flushed_tuple_count_ = cp.tuple_count;
+  total_tuple_bytes_ = cp.total_tuple_bytes;
+  content_checksum_ = cp.content_checksum;
+  deleted_ = cp.deleted;
   return Status::OK();
 }
 
@@ -173,10 +245,13 @@ Status HeapFile::Destroy() {
       first_error = st;
     }
   }
+  page_first_ordinal_.clear();
   if (!first_error.ok()) return first_error;
   tuple_count_ = 0;
+  flushed_tuple_count_ = 0;
   total_tuple_bytes_ = 0;
   content_checksum_ = kFnvOffset;
+  deleted_.clear();
   return Status::OK();
 }
 
@@ -210,14 +285,19 @@ Status HeapFile::AdoptPages(std::vector<PageId> pages, uint64_t tuple_count,
     return Status::InvalidArgument("AdoptPages requires an empty heap file");
   pages_ = std::move(pages);
   tuple_count_ = tuple_count;
+  flushed_tuple_count_ = tuple_count;
   total_tuple_bytes_ = total_tuple_bytes;
   content_checksum_ = content_checksum;
+  // Per-page ordinals are unknown for adopted pages; RidOrdinal reports
+  // nullopt and callers treat rows as unconditionally in range.
+  page_first_ordinal_.clear();
   return Status::OK();
 }
 
 std::vector<PageId> HeapFile::ReleasePages() {
   std::vector<PageId> released = std::move(pages_);
   pages_.clear();
+  page_first_ordinal_.clear();
   if (tail_) {
     // The tail never reached the disk; like any volatile state it dies
     // with the "process".
@@ -227,13 +307,19 @@ std::vector<PageId> HeapFile::ReleasePages() {
     tail_id_ = kInvalidPageId;
   }
   tuple_count_ = 0;
+  flushed_tuple_count_ = 0;
   total_tuple_bytes_ = 0;
   content_checksum_ = kFnvOffset;
+  deleted_.clear();
   return released;
 }
 
 Result<bool> HeapFile::Iterator::Next(Tuple* out) {
   while (true) {
+    // The append ordinal bound ends the scan outright: rows are appended
+    // in ordinal order, so everything past the bound postdates the
+    // snapshot.
+    if (ordinal_ >= limit_) return false;
     const size_t flushed = file_->pages_.size();
     const size_t total = flushed + (file_->tail_ ? 1 : 0);
     if (page_ordinal_ >= total) return false;
@@ -253,10 +339,17 @@ Result<bool> HeapFile::Iterator::Next(Tuple* out) {
       ++page_ordinal_;
       continue;
     }
+    Rid rid{static_cast<uint32_t>(page_ordinal_), slot_};
+    ++slot_;
+    if (file_->IsDeletedAsOf(rid, epoch_)) {
+      ++ordinal_;
+      continue;
+    }
     const char* data;
     size_t len;
-    RETURN_IF_ERROR(slotted::Read(buf_, slot_, &data, &len));
-    ++slot_;
+    RETURN_IF_ERROR(slotted::Read(buf_, slot_ - 1, &data, &len));
+    ++ordinal_;
+    last_rid_ = rid;
     size_t offset = 0;
     RETURN_IF_ERROR(Tuple::DeserializeInto(data, len, &offset, out));
     return true;

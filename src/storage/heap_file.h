@@ -15,7 +15,9 @@
 #define REOPTDB_STORAGE_HEAP_FILE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -27,11 +29,30 @@ namespace reoptdb {
 
 /// \brief Slotted-page heap file.
 ///
-/// Supports append, point fetch by Rid, and sequential scan. Individual
-/// tuple deletion is intentionally absent (tables are bulk-loaded; temp
-/// files are destroyed wholesale).
+/// Supports append, point fetch by Rid, sequential scan, and logical
+/// deletion. Deletes never rewrite pages: a deleted rid is recorded with
+/// the commit epoch at which it disappeared, and scans skip rids whose
+/// delete epoch is visible to them. The append-only page invariant is what
+/// makes checkpoint/redo recovery (Capture/RestoreCheckpoint) a pure
+/// truncate-and-replay.
 class HeapFile {
  public:
+  /// Epoch bound meaning "see the latest committed state": every recorded
+  /// delete is visible, every appended row is in range.
+  static constexpr uint64_t kLatest = ~0ULL;
+
+  /// Truncate-and-redo restore point (see TransactionManager): the flushed
+  /// page prefix plus the counters and delete map at capture time. Flushed
+  /// pages are immutable (appends only ever touch the tail), so restoring
+  /// is freeing the suffix and resetting counters.
+  struct Checkpoint {
+    size_t page_count = 0;
+    uint64_t tuple_count = 0;
+    uint64_t total_tuple_bytes = 0;
+    uint64_t content_checksum = 0;
+    /// rid key ((page_ordinal << 32) | slot) -> delete epoch.
+    std::map<uint64_t, uint64_t> deleted;
+  };
   explicit HeapFile(BufferPool* pool) : pool_(pool) {}
   HeapFile(const HeapFile&) = delete;
   HeapFile& operator=(const HeapFile&) = delete;
@@ -44,8 +65,47 @@ class HeapFile {
   /// counts (and subsequent scan costs) are exact.
   Status Flush();
 
-  /// Reads the tuple at `rid` (buffer-pool cached).
+  /// Reads the tuple at `rid` (buffer-pool cached). Deleted rids still
+  /// fetch (the payload bytes are never rewritten); visibility is the
+  /// caller's job via IsDeletedAsOf.
   Result<Tuple> Fetch(const Rid& rid) const;
+
+  // --- Logical deletion (transactional DML).
+
+  /// Marks `rid` deleted as of commit `epoch`. The payload stays on its
+  /// page; scans bounded at an epoch >= `epoch` skip it.
+  Status MarkDeleted(const Rid& rid, uint64_t epoch);
+
+  /// True if `rid` was deleted at an epoch visible to `as_of_epoch`.
+  bool IsDeletedAsOf(const Rid& rid, uint64_t as_of_epoch) const {
+    auto it = deleted_.find(RidKey(rid));
+    return it != deleted_.end() && it->second <= as_of_epoch;
+  }
+
+  uint64_t deleted_count() const { return deleted_.size(); }
+  /// Rows appended minus rows deleted (latest-epoch view).
+  uint64_t live_tuple_count() const { return tuple_count_ - deleted_.size(); }
+
+  /// Position of `rid` in append order (for snapshot bounds on index
+  /// probes). nullopt when ordinals are unknown — adopted pages skip the
+  /// bookkeeping — in which case callers must treat the row as in range.
+  std::optional<uint64_t> RidOrdinal(const Rid& rid) const;
+
+  static uint64_t RidKey(const Rid& rid) {
+    return (static_cast<uint64_t>(rid.page_ordinal) << 32) | rid.slot;
+  }
+
+  // --- Checkpoint / restore (redo recovery).
+
+  /// Captures a restore point. The tail must have been flushed first
+  /// (Flush()), so the checkpoint covers only immutable on-disk pages.
+  Result<Checkpoint> CaptureCheckpoint() const;
+
+  /// Truncates the file back to `cp`: frees every page past the checkpoint
+  /// prefix (and any tail), then resets counters and the delete map to the
+  /// captured values. Idempotent and resumable — a failed free leaves a
+  /// consistent shorter-suffix state, and a second call retries the rest.
+  Status RestoreCheckpoint(const Checkpoint& cp);
 
   uint64_t tuple_count() const { return tuple_count_; }
   size_t page_count() const { return pages_.size() + (tail_ ? 1 : 0); }
@@ -91,39 +151,66 @@ class HeapFile {
   Status Destroy();
 
   /// \brief Sequential scan cursor (direct disk reads).
+  ///
+  /// Bounded form: yields only rows whose append ordinal is below
+  /// `limit_ordinal` and that were not deleted at or before `as_of_epoch` —
+  /// i.e. the table exactly as a snapshot at (limit, epoch) saw it.
+  /// The default Scan() sees the latest committed state.
   class Iterator {
    public:
-    explicit Iterator(const HeapFile* file) : file_(file) {}
+    explicit Iterator(const HeapFile* file,
+                      uint64_t limit_ordinal = HeapFile::kLatest,
+                      uint64_t as_of_epoch = HeapFile::kLatest)
+        : file_(file), limit_(limit_ordinal), epoch_(as_of_epoch) {}
 
-    /// Fetches the next tuple; returns false at end-of-file.
+    /// Fetches the next visible tuple; returns false at end-of-file (or at
+    /// the snapshot bound).
     Result<bool> Next(Tuple* out);
+
+    /// Rid of the tuple most recently returned by Next().
+    const Rid& last_rid() const { return last_rid_; }
 
     void Reset() {
       page_ordinal_ = 0;
       slot_ = 0;
+      ordinal_ = 0;
       loaded_ = false;
     }
 
    private:
     const HeapFile* file_;
+    uint64_t limit_;
+    uint64_t epoch_;
     size_t page_ordinal_ = 0;
     uint32_t slot_ = 0;
+    uint64_t ordinal_ = 0;  // append ordinal of the next slot to visit
     bool loaded_ = false;
+    Rid last_rid_;
     Page buf_;
   };
 
   Iterator Scan() const { return Iterator(this); }
+  Iterator ScanSnapshot(uint64_t limit_ordinal, uint64_t as_of_epoch) const {
+    return Iterator(this, limit_ordinal, as_of_epoch);
+  }
 
  private:
   friend class Iterator;
 
   BufferPool* pool_;
   std::vector<PageId> pages_;      // flushed pages
+  /// First append ordinal of each flushed page (parallel to pages_); empty
+  /// for adopted files, where ordinals are unknown.
+  std::vector<uint64_t> page_first_ordinal_;
   std::unique_ptr<Page> tail_;     // page being filled (not yet on disk)
   PageId tail_id_ = kInvalidPageId;
   uint64_t tuple_count_ = 0;
+  /// Tuples living on flushed pages (tuple_count_ minus the tail's rows).
+  uint64_t flushed_tuple_count_ = 0;
   uint64_t total_tuple_bytes_ = 0;
   uint64_t content_checksum_ = 1469598103934665603ULL;  // FNV-1a offset
+  /// rid key -> commit epoch at which the row was deleted.
+  std::map<uint64_t, uint64_t> deleted_;
 };
 
 namespace slotted {

@@ -1,0 +1,208 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace reoptdb {
+
+namespace {
+
+/// Least mode covering both (the mode a holder needs after an upgrade
+/// request). {S, IX} have no exact join in the 4-mode lattice (that would
+/// be SIX), so the combination escalates to X.
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  if (a == LockMode::kIS) return b;
+  if (b == LockMode::kIS) return a;
+  return LockMode::kX;  // {S, IX}
+}
+
+bool Covers(LockMode held, LockMode want) {
+  return Supremum(held, want) == held;
+}
+
+}  // namespace
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode a, LockMode b) {
+  static const bool kMatrix[4][4] = {
+      //              IS     IX     S      X
+      /* IS */ {true, true, true, false},
+      /* IX */ {true, true, false, false},
+      /* S  */ {true, false, true, false},
+      /* X  */ {false, false, false, false},
+  };
+  return kMatrix[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool LockManager::GrantableFor(uint64_t txn_id, const std::string& resource,
+                               LockMode mode) const {
+  auto it = table_.find(resource);
+  if (it == table_.end()) return true;
+  for (const auto& [holder, held] : it->second) {
+    if (holder == txn_id) continue;
+    if (!LockCompatible(mode, held)) return false;
+  }
+  return true;
+}
+
+bool LockManager::FindCycle(uint64_t from, const std::string& resource,
+                            LockMode mode,
+                            std::vector<uint64_t>* cycle) const {
+  // DFS over wait-for edges: a waiter points at every holder its requested
+  // mode conflicts with. The graph is tiny (one wait per transaction), so
+  // recursion depth is bounded by the active-transaction count.
+  std::vector<uint64_t> path{from};
+  std::set<uint64_t> visited{from};
+  std::function<bool(uint64_t, const std::string&, LockMode)> dfs =
+      [&](uint64_t t, const std::string& res, LockMode m) -> bool {
+    auto it = table_.find(res);
+    if (it == table_.end()) return false;
+    for (const auto& [holder, held] : it->second) {
+      if (holder == t || LockCompatible(m, held)) continue;
+      if (holder == from) {
+        *cycle = path;
+        return true;
+      }
+      if (visited.count(holder)) continue;
+      auto w = waiting_.find(holder);
+      if (w == waiting_.end()) continue;  // not waiting: no outgoing edge
+      visited.insert(holder);
+      path.push_back(holder);
+      if (dfs(holder, w->second.resource, w->second.mode)) return true;
+      path.pop_back();
+    }
+    return false;
+  };
+  return dfs(from, resource, mode);
+}
+
+Result<LockOutcome> LockManager::Acquire(uint64_t txn_id,
+                                         const std::string& resource,
+                                         LockMode mode) {
+  if (faults_ != nullptr)
+    RETURN_IF_ERROR(faults_->Check(faults::kLockAcquire));
+
+  LockMode target = mode;
+  {
+    auto it = table_.find(resource);
+    if (it != table_.end()) {
+      auto h = it->second.find(txn_id);
+      if (h != it->second.end()) {
+        if (Covers(h->second, mode)) return LockOutcome::kGranted;
+        target = Supremum(h->second, mode);  // upgrade request
+      }
+    }
+  }
+
+  if (GrantableFor(txn_id, resource, target)) {
+    table_[resource][txn_id] = target;
+    waiting_.erase(txn_id);
+    return LockOutcome::kGranted;
+  }
+
+  // Remember one conflicting holder for the LockWait record.
+  last_conflict_holder_ = 0;
+  for (const auto& [holder, held] : table_[resource]) {
+    if (holder != txn_id && !LockCompatible(target, held)) {
+      last_conflict_holder_ = holder;
+      break;
+    }
+  }
+
+  // Deadlock resolution: abort the youngest cycle member until either the
+  // grant succeeds or no cycle remains. The victim-abort callback releases
+  // the victim's locks, which may invalidate table_ iterators — every pass
+  // re-reads the lock table.
+  for (;;) {
+    std::vector<uint64_t> cycle;
+    if (!FindCycle(txn_id, resource, target, &cycle)) break;
+    ++deadlocks_;
+    uint64_t victim = *std::max_element(cycle.begin(), cycle.end());
+    last_victim_ = victim;
+    last_cycle_length_ = static_cast<int>(cycle.size());
+    if (victim == txn_id) {
+      waiting_.erase(txn_id);
+      return LockOutcome::kDeadlockVictim;
+    }
+    if (!abort_victim_)
+      return Status::Internal("deadlock detected but no victim-abort "
+                              "callback is installed");
+    RETURN_IF_ERROR(abort_victim_(victim, resource));
+    if (GrantableFor(txn_id, resource, target)) {
+      table_[resource][txn_id] = target;
+      waiting_.erase(txn_id);
+      return LockOutcome::kGranted;
+    }
+  }
+
+  auto w = waiting_.find(txn_id);
+  if (w == waiting_.end() || w->second.resource != resource) ++waits_;
+  waiting_[txn_id] = WaitEntry{resource, target};
+  return LockOutcome::kWait;
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.erase(txn_id);
+    it = it->second.empty() ? table_.erase(it) : std::next(it);
+  }
+  waiting_.erase(txn_id);
+}
+
+void LockManager::Reset() {
+  table_.clear();
+  waiting_.clear();
+}
+
+bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
+                        LockMode* mode) const {
+  auto it = table_.find(resource);
+  if (it == table_.end()) return false;
+  auto h = it->second.find(txn_id);
+  if (h == it->second.end()) return false;
+  if (mode != nullptr) *mode = h->second;
+  return true;
+}
+
+std::vector<std::string> LockManager::HeldBy(uint64_t txn_id) const {
+  std::vector<std::string> out;
+  for (const auto& [resource, holders] : table_) {
+    auto h = holders.find(txn_id);
+    if (h != holders.end())
+      out.push_back(resource + "(" + LockModeName(h->second) + ")");
+  }
+  return out;  // table_ is sorted, so the output is too
+}
+
+std::string LockManager::Describe() const {
+  if (table_.empty() && waiting_.empty()) return "no locks held";
+  std::string out;
+  for (const auto& [resource, holders] : table_) {
+    out += resource + ":";
+    for (const auto& [holder, held] : holders)
+      out += " txn" + std::to_string(holder) + "(" + LockModeName(held) + ")";
+    out += "\n";
+  }
+  for (const auto& [txn, wait] : waiting_) {
+    out += "waiting: txn" + std::to_string(txn) + " -> " + wait.resource +
+           "(" + LockModeName(wait.mode) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace reoptdb

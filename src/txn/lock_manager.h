@@ -1,0 +1,151 @@
+// Strict two-phase locking for transactional DML.
+//
+// Writers follow strict 2PL over a two-level hierarchy: an intention lock
+// on the table (IX for writes, IS reserved for locking readers), then X
+// locks on the individual rows a statement touches. Readers do NOT appear
+// here: SELECTs run against an epoch-bounded snapshot (see
+// ExecContext::ScanSnapshot), so the isolation split is serializable
+// writers / snapshot readers — the same degree most MVCC engines ship.
+//
+// The engine is single-threaded and cooperatively stepped, so a conflicting
+// request can never block inside a call: Acquire() returns kWait, the
+// caller charges a simulated wait quantum against its timeout and re-issues
+// the statement later (granted locks are kept — that is the 2PL growing
+// phase). Deadlocks therefore cannot resolve by preemption timing; a
+// wait-for-graph cycle check runs at every conflicting acquire and aborts
+// the youngest transaction in the cycle.
+
+#ifndef REOPTDB_TXN_LOCK_MANAGER_H_
+#define REOPTDB_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+
+namespace reoptdb {
+
+/// Lock modes. IS/IX are table-level intents declaring row-level S/X locks
+/// below; S/X at table level cover the whole table.
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+const char* LockModeName(LockMode m);
+
+/// Standard compatibility matrix (Gray et al.):
+///          IS    IX    S     X
+///   IS     yes   yes   yes   no
+///   IX     yes   yes   no    no
+///   S      yes   no    yes   no
+///   X      no    no    no    no
+bool LockCompatible(LockMode a, LockMode b);
+
+/// Outcome of a conflicting-capable acquire.
+enum class LockOutcome : uint8_t {
+  kGranted,         ///< lock held (fresh grant or already-held upgrade)
+  kWait,            ///< conflict; requester registered as waiting
+  kDeadlockVictim,  ///< requester is the youngest in a wait-for cycle and
+                    ///< must abort itself
+};
+
+/// \brief Table/row lock table with wait-for-graph deadlock detection.
+///
+/// Resources are opaque strings ("table:part", "row:part:<ridkey>") built
+/// by TableResource/RowResource; the manager itself is hierarchy-agnostic —
+/// callers acquire the table intent before row locks.
+class LockManager {
+ public:
+  /// Called to abort a deadlock victim other than the requester. Must
+  /// discard the victim's write set and call ReleaseAll(victim).
+  using AbortVictim = std::function<Status(uint64_t txn_id,
+                                           const std::string& resource)>;
+
+  explicit LockManager(FaultInjector* faults = nullptr) : faults_(faults) {}
+
+  void set_abort_victim(AbortVictim cb) { abort_victim_ = std::move(cb); }
+
+  static std::string TableResource(const std::string& table) {
+    return "table:" + table;
+  }
+  static std::string RowResource(const std::string& table, uint64_t rid_key) {
+    return "row:" + table + ":" + std::to_string(rid_key);
+  }
+
+  /// Requests `mode` on `resource` for `txn_id`. Re-entrant: holding an
+  /// equal or stronger mode returns kGranted immediately; a weaker held
+  /// mode is upgraded when compatible with the other holders.
+  ///
+  /// On conflict the requester is recorded as waiting and the wait-for
+  /// graph is checked: a cycle aborts its youngest member — the requester
+  /// itself (kDeadlockVictim; caller must abort) or another transaction
+  /// (aborted via the AbortVictim callback, then the grant is retried).
+  /// Non-cycle conflicts return kWait; the caller retries later.
+  ///
+  /// Checks the lock.acquire fault point on every call.
+  Result<LockOutcome> Acquire(uint64_t txn_id, const std::string& resource,
+                              LockMode mode);
+
+  /// Releases everything `txn_id` holds and forgets any wait it had
+  /// registered (commit, abort, or crash-restart cleanup).
+  void ReleaseAll(uint64_t txn_id);
+
+  /// Drops all state (recovery restart: lock tables are volatile).
+  void Reset();
+
+  /// Strongest mode `txn_id` holds on `resource`, or none.
+  bool Holds(uint64_t txn_id, const std::string& resource,
+             LockMode* mode = nullptr) const;
+
+  /// Resources held by `txn_id` as "resource(MODE)" strings, sorted.
+  std::vector<std::string> HeldBy(uint64_t txn_id) const;
+
+  size_t held_resource_count() const { return table_.size(); }
+  uint64_t deadlocks_detected() const { return deadlocks_; }
+  uint64_t waits_registered() const { return waits_; }
+
+  /// Details of the last conflict Acquire() saw (for LockWait records):
+  /// one conflicting holder (lowest txn id).
+  uint64_t last_conflict_holder() const { return last_conflict_holder_; }
+  /// Victim and cycle length of the last deadlock resolution.
+  uint64_t last_victim() const { return last_victim_; }
+  int last_cycle_length() const { return last_cycle_length_; }
+
+  /// Human-readable lock table (the shell's \txn view).
+  std::string Describe() const;
+
+ private:
+  struct WaitEntry {
+    std::string resource;
+    LockMode mode;
+  };
+
+  /// True when `txn_id` may take `mode` given the other current holders.
+  bool GrantableFor(uint64_t txn_id, const std::string& resource,
+                    LockMode mode) const;
+
+  /// Finds a wait-for cycle through `from` assuming it waits on
+  /// `resource`/`mode`; fills `cycle` with the member txn ids.
+  bool FindCycle(uint64_t from, const std::string& resource, LockMode mode,
+                 std::vector<uint64_t>* cycle) const;
+
+  // resource -> (txn -> strongest held mode). std::map for deterministic
+  // iteration (Describe, victim tie-breaks).
+  std::map<std::string, std::map<uint64_t, LockMode>> table_;
+  // txn -> the single resource it is currently waiting on (a transaction
+  // executes one statement at a time, so at most one wait each).
+  std::map<uint64_t, WaitEntry> waiting_;
+  AbortVictim abort_victim_;
+  FaultInjector* faults_;
+  uint64_t deadlocks_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t last_conflict_holder_ = 0;
+  uint64_t last_victim_ = 0;
+  int last_cycle_length_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TXN_LOCK_MANAGER_H_

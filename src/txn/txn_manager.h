@@ -1,0 +1,239 @@
+// Transaction manager: crash-atomic DML over the WAL and lock manager.
+//
+// Protocol (redo-only, no-steal, deferred apply):
+//  - A statement never touches a heap page. It locks what it will change
+//    (table IX, then row X for updates/deletes), then records the change in
+//    the transaction's private write set. Reads-your-own-writes come from
+//    consulting that write set during the statement's scan.
+//  - Commit serializes the write set into WAL redo records plus a commit
+//    record, fsyncs them (the durability point), then applies the write set
+//    to the heaps and indexes and seals each touched table's tail page.
+//    CommitGroup amortizes one fsync over several transactions' records —
+//    classic group commit.
+//  - Abort (explicit, deadlock victim, timeout, or crash) just discards the
+//    write set and releases locks: nothing was applied, so there is nothing
+//    to undo.
+//
+// Recovery truncates every table back to its checkpoint (flushed pages are
+// immutable, so this is freeing a page suffix) and re-applies committed
+// transactions from the WAL in commit order. Because appends replay in the
+// original order, rids — and therefore B+-tree shapes — come out
+// bit-identical to a crash-free run; index entries that survived a partial
+// apply are detected by Lookup and skipped rather than duplicated.
+//
+// Durability boundary (documented in DESIGN.md §13): transactional commits
+// are durable from their fsync; non-transactional maintenance writes
+// (BulkLoad, catalog Insert) become durable at the next checkpoint, which
+// Begin() takes lazily whenever such writes happened and no transaction is
+// active.
+
+#ifndef REOPTDB_TXN_TXN_MANAGER_H_
+#define REOPTDB_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/fault.h"
+#include "common/status.h"
+#include "obs/query_trace.h"
+#include "parser/statement.h"
+#include "txn/lock_manager.h"
+#include "txn/wal.h"
+
+namespace reoptdb {
+
+/// Typed log of transaction-layer events (the txn counterpart of
+/// QueryTrace; transactions outlive queries, so it lives here).
+struct TxnLog {
+  std::vector<TxnBeginRecord> begins;
+  std::vector<TxnCommitRecord> commits;
+  std::vector<TxnAbortRecord> aborts;
+  std::vector<LockWaitRecord> lock_waits;
+  std::vector<DeadlockVictimRecord> deadlocks;
+  std::vector<WalReplayRecord> replays;
+};
+
+/// Rows affected by one DML statement.
+struct DmlResult {
+  uint64_t rows = 0;
+};
+
+/// \brief Transactions, checkpoints, and WAL redo recovery.
+class TransactionManager {
+ public:
+  TransactionManager(Catalog* catalog, BufferPool* pool,
+                     FaultInjector* faults);
+
+  LockManager* lock_manager() { return &locks_; }
+  WriteAheadLog* wal() { return &wal_; }
+  TxnLog& log() { return log_; }
+
+  // --- Transaction lifecycle.
+
+  /// Starts a transaction. If non-transactional writes are pending and no
+  /// transaction is active, a checkpoint is taken first so those writes
+  /// become part of the recovery baseline.
+  Result<uint64_t> Begin();
+
+  /// Commits one transaction (group of one).
+  Status Commit(uint64_t txn_id, const std::string& client_tag = "");
+
+  /// Group commit: logs every transaction's write set (commit records
+  /// last-per-transaction), makes them all durable with ONE fsync, then
+  /// applies each in order. On a pre-durability failure the whole group
+  /// aborts and the buffered records are discarded — no transaction in the
+  /// group is half-committed.
+  Status CommitGroup(
+      const std::vector<std::pair<uint64_t, std::string>>& txns);
+
+  /// Aborts a transaction: discards its write set and releases its locks.
+  Status Abort(uint64_t txn_id, const std::string& reason = "rollback");
+
+  bool IsActive(uint64_t txn_id) const { return active_.count(txn_id) > 0; }
+  size_t active_count() const { return active_.size(); }
+
+  // --- DML statements (run under an active transaction).
+  //
+  // All three return kLockWait when a needed lock is held by another live
+  // transaction: the statement had no effect (beyond locks already in the
+  // growing phase) and can be re-issued verbatim; the caller charges the
+  // wait against its timeout via ChargeLockWait. A deadlock where this
+  // transaction is the victim aborts it and returns kCancelled.
+
+  Result<DmlResult> ExecuteInsert(uint64_t txn_id, const InsertAst& ast);
+  Result<DmlResult> ExecuteUpdate(uint64_t txn_id, const UpdateAst& ast);
+  Result<DmlResult> ExecuteDelete(uint64_t txn_id, const DeleteAst& ast);
+
+  /// Accrues simulated lock-wait time; returns the transaction's total.
+  double ChargeLockWait(uint64_t txn_id, double ms);
+
+  // --- Checkpoint / recovery.
+
+  /// Captures a restore point for every base table and truncates the WAL.
+  /// Requires no active transactions.
+  Status Checkpoint();
+
+  /// Restores every checkpointed table and redoes committed WAL
+  /// transactions in commit order. Idempotent: safe to re-run after a
+  /// crash mid-recovery. Clears volatile lock/transaction state.
+  Status Recover();
+
+  /// Idempotency check for re-submitting clients: true once a commit with
+  /// `client_tag` has been fsynced. Host-memory durable — never cleared on
+  /// a simulated crash, and independent of WAL truncation.
+  bool HasCommitted(const std::string& client_tag) const {
+    return committed_tags_.count(client_tag) > 0;
+  }
+
+  /// Current commit epoch (drives snapshot visibility of deletes).
+  uint64_t commit_epoch() const { return commit_epoch_; }
+
+  /// Non-transactional write happened (BulkLoad, catalog Insert, DDL):
+  /// the recovery baseline is stale until the next checkpoint.
+  void MarkStorageDirty() { storage_dirty_ = true; }
+
+  /// A table vanished; its restore point (if any) must go with it.
+  void OnTableDropped(const std::string& table) {
+    checkpoints_.erase(table);
+  }
+
+  uint64_t commits_completed() const { return commits_; }
+  uint64_t aborts_completed() const { return aborts_; }
+
+  /// Active transactions, held locks, and the WAL tail (\txn).
+  std::string Describe() const;
+
+ private:
+  struct WriteOp {
+    enum class Kind : uint8_t { kInsert, kDelete };
+    Kind kind = Kind::kInsert;
+    std::string table;
+    Tuple tuple;           ///< kInsert payload
+    uint64_t rid_key = 0;  ///< kDelete target
+  };
+
+  struct Transaction {
+    uint64_t id = 0;
+    std::vector<WriteOp> ops;
+    /// Per-table rid keys this transaction has deleted (scan overlay).
+    std::map<std::string, std::set<uint64_t>> deleted;
+    double lock_wait_ms = 0;
+  };
+
+  struct TableCheckpoint {
+    HeapFile::Checkpoint heap;
+    TableStats stats;
+    /// Commit records with lsn >= this postdate the capture and must be
+    /// replayed; older commits are already inside the checkpoint.
+    uint64_t min_commit_lsn = 0;
+  };
+
+  /// Simple compiled DML predicate (col index, op, literal).
+  struct DmlPred {
+    size_t col = 0;
+    CmpOp op = CmpOp::kEq;
+    Value literal;
+    bool Eval(const Tuple& t) const;
+  };
+
+  Result<Transaction*> GetActive(uint64_t txn_id);
+
+  /// Resolves and type-checks a DML WHERE clause against `schema`.
+  Result<std::vector<DmlPred>> CompileWhere(
+      const std::vector<PredicateAst>& where, const Schema& schema,
+      const std::string& table);
+
+  /// Ensures `table` has a restore point (taken lazily at its first
+  /// transactional write, so recovery can truncate partial applies).
+  Status EnsureTableCheckpoint(const std::string& table);
+
+  /// Acquire with typed-record bookkeeping. kDeadlockVictim aborts the
+  /// transaction before returning.
+  Result<LockOutcome> TryLock(Transaction* t, const std::string& resource,
+                              LockMode mode);
+
+  /// Collects matched heap rows (latest committed state minus this
+  /// transaction's own deletes) and matched pending-insert ops.
+  Status MatchRows(Transaction* t, const TableInfo& info,
+                   const std::vector<DmlPred>& preds,
+                   std::vector<std::pair<Rid, Tuple>>* heap_matches,
+                   std::vector<size_t>* pending_matches);
+
+  /// Applies a committed write set at `epoch`. `replay` switches on the
+  /// already-present index-entry skip used after a crash.
+  Status ApplyWriteSet(uint64_t txn_id, const std::vector<WriteOp>& ops,
+                       uint64_t epoch, bool replay, uint64_t* applied,
+                       uint64_t* skipped);
+
+  Status AbortInternal(uint64_t txn_id, const std::string& reason);
+
+  Catalog* catalog_;
+  BufferPool* pool_;
+  FaultInjector* faults_;
+  LockManager locks_;
+  WriteAheadLog wal_;
+  TxnLog log_;
+
+  std::map<uint64_t, Transaction> active_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t commit_epoch_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  bool storage_dirty_ = false;
+  /// Requester behind the in-flight Acquire (for deadlock records).
+  uint64_t current_requester_ = 0;
+
+  std::map<std::string, TableCheckpoint> checkpoints_;
+  /// Client tags of fsynced commits. Host-memory durable: survives crashes
+  /// and WAL truncation (a tag must outlive the log that proved it).
+  std::set<std::string> committed_tags_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TXN_TXN_MANAGER_H_

@@ -1,0 +1,108 @@
+// Write-ahead log: append-only redo records on simulated disk pages.
+//
+// This grows PR 4's checksummed QueryJournal idea into a true WAL. Redo
+// records (insert / delete / commit) are buffered in memory as statements
+// execute and reach the disk only at Fsync(), which a committing
+// transaction calls after appending its commit record. One fsync covers
+// every record buffered at that moment — records of other, still-active
+// transactions ride along (group commit), so their own later fsyncs write
+// less. A record is durable iff an fsync has flushed it; a simulated crash
+// discards the buffered tail (DiscardUnflushed), exactly like losing the
+// OS page cache.
+//
+// Redo-only + no-steal: nothing is ever written back to a heap before
+// commit, so recovery needs no undo — it restores the last checkpoint and
+// re-applies committed transactions in commit order (see
+// TransactionManager::Recover).
+//
+// Every record carries a FNV-1a checksum verified on read; a mismatch
+// surfaces as kIoError, the same contract as torn-page detection in the
+// DiskManager.
+
+#ifndef REOPTDB_TXN_WAL_H_
+#define REOPTDB_TXN_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace reoptdb {
+
+/// \brief Append-only redo log over slotted disk pages.
+class WriteAheadLog {
+ public:
+  struct Record {
+    enum class Kind : uint8_t {
+      kInsert = 1,  ///< payload = serialized Tuple
+      kDelete = 2,  ///< payload = u64 rid key ((page_ordinal<<32)|slot)
+      kCommit = 3,  ///< payload = u64 commit epoch; client_tag set
+    };
+    uint64_t lsn = 0;
+    uint64_t txn_id = 0;
+    Kind kind = Kind::kInsert;
+    std::string table;       ///< target table (empty on kCommit)
+    std::string payload;
+    std::string client_tag;  ///< idempotency tag (kCommit only)
+  };
+
+  WriteAheadLog(BufferPool* pool, FaultInjector* faults)
+      : pool_(pool), faults_(faults) {}
+
+  /// Buffers a record (volatile until Fsync), assigning its LSN.
+  /// Checks the wal.append fault point.
+  Result<uint64_t> Append(Record rec);
+
+  /// Writes every buffered record to fresh log pages through the
+  /// DiskManager. Records are packed in append order, so the most recent
+  /// commit record lands on the last page written: if the write sequence
+  /// fails partway, the commit record is the first thing missing and the
+  /// transaction correctly counts as unacknowledged. `committing_txn_id`
+  /// only feeds the group-commit statistics. Checks wal.fsync.
+  Status Fsync(uint64_t committing_txn_id);
+
+  /// Crash semantics: the buffered (never-fsynced) tail is lost.
+  void DiscardUnflushed() { buffered_.clear(); }
+
+  /// Reads and verifies every flushed record, in LSN order. Charges one
+  /// page read per log page (recovery replay time is real simulated time).
+  Result<std::vector<Record>> ReadAll() const;
+
+  /// Frees all log pages (checkpoint truncation). Resumable: pages are
+  /// freed from the end and popped as they go, so a failed free (or crash)
+  /// leaves a shorter log that a retry finishes truncating.
+  Status Truncate();
+
+  size_t flushed_page_count() const { return pages_.size(); }
+  size_t buffered_record_count() const { return buffered_.size(); }
+  uint64_t flushed_record_count() const { return flushed_records_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t fsync_count() const { return fsyncs_; }
+  /// Records flushed by some other transaction's fsync (group commit).
+  uint64_t piggybacked_records() const { return piggybacked_; }
+
+  /// One-line state plus the buffered tail (the shell's \txn WAL view).
+  std::string Describe() const;
+
+  /// u64 payload helpers (delete rid keys, commit epochs).
+  static std::string EncodeU64(uint64_t v);
+  static Result<uint64_t> DecodeU64(const std::string& payload);
+
+ private:
+  BufferPool* pool_;
+  FaultInjector* faults_;
+  std::vector<PageId> pages_;     ///< flushed log pages, oldest first
+  std::vector<Record> buffered_;  ///< appended but not yet fsynced
+  uint64_t next_lsn_ = 1;
+  uint64_t flushed_records_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t piggybacked_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_TXN_WAL_H_

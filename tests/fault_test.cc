@@ -102,9 +102,10 @@ TEST(FaultInjectorTest, ConfigureGrammar) {
   EXPECT_FALSE(fi.AnyArmed());
 
   // Known points cover everything the sweep below arms, plus the crash
-  // recovery points (journal.append, recovery.load) and the workload
-  // pressure points (memory.revoke, exec.spill).
-  EXPECT_EQ(FaultInjector::KnownPoints().size(), 12u);
+  // recovery points (journal.append, recovery.load), the workload
+  // pressure points (memory.revoke, exec.spill), and the transaction
+  // layer (wal.append, wal.fsync, lock.acquire, txn.commit).
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 16u);
 
   // The crash: prefix parses on any trigger and shows up in Describe().
   FaultInjector crash;
@@ -477,6 +478,91 @@ TEST(WorkloadFaults, ExecSpillFaultUnderConcurrencyIsClean) {
 
   Result<QueryResult> again = db->ExecuteWith(tpcd::Q5Sql(), wo.reopt);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction-layer faults: wal.append, wal.fsync, lock.acquire,
+// txn.commit. Contract: an error action fails the statement with a clean
+// typed error and the transaction aborts atomically — no write becomes
+// visible, no transaction stays active, no disk page leaks. A crash action
+// latches crash_pending; after RecoverStorage the table state is exactly
+// the pre-statement state and the engine stays usable.
+
+constexpr const char* kTxnPoints[] = {faults::kWalAppend, faults::kWalFsync,
+                                      faults::kLockAcquire,
+                                      faults::kTxnCommit};
+
+TEST(TxnFaults, ErrorActionsAbortStatementAtomically) {
+  for (const char* point : kTxnPoints) {
+    for (FaultTrigger trigger :
+         {FaultTrigger::kNthCall, FaultTrigger::kEveryCall}) {
+      Database db;
+      LoadEmpDept(&db, 20, 4);
+      const size_t live_before = db.disk()->live_pages();
+
+      FaultSpec spec;
+      spec.trigger = trigger;
+      spec.nth = 1;
+      REOPTDB_ASSERT_OK(db.faults()->Arm(point, spec));
+      Result<QueryResult> r =
+          db.ExecuteSql("UPDATE emp SET salary = 0.0 WHERE dept_id = 1");
+      const FaultPointStats stats = db.faults()->StatsFor(point);
+      db.faults()->Reset();
+
+      ASSERT_FALSE(r.ok()) << point;
+      EXPECT_NE(r.status().code(), StatusCode::kCrashed) << point;
+      EXPECT_NE(r.status().ToString().find("injected fault"),
+                std::string::npos)
+          << point << ": " << r.status().ToString();
+      EXPECT_GE(stats.fires, 1u) << point << " never fired";
+
+      // Atomic: nothing visible, nothing active, nothing leaked.
+      Result<QueryResult> check = db.Execute(
+          "SELECT COUNT(*) AS c FROM emp WHERE salary < 1.0");
+      REOPTDB_ASSERT_OK(check.status());
+      EXPECT_EQ(check.value().rows[0].at(0).AsInt(), 0) << point;
+      EXPECT_EQ(db.txn_manager()->active_count(), 0u) << point;
+      EXPECT_EQ(db.disk()->live_pages(), live_before) << point;
+
+      // Unarmed, the same statement succeeds.
+      REOPTDB_ASSERT_OK(
+          db.ExecuteSql("UPDATE emp SET salary = 0.0 WHERE dept_id = 1")
+              .status());
+    }
+  }
+}
+
+TEST(TxnFaults, CrashActionsRecoverToPreStatementState) {
+  for (const char* point : kTxnPoints) {
+    Database db;
+    LoadEmpDept(&db, 20, 4);
+    // A committed pre-crash write that recovery must preserve.
+    REOPTDB_ASSERT_OK(
+        db.ExecuteSql("INSERT INTO emp VALUES (800, 1, 80.0, 'pre')")
+            .status());
+    const std::vector<std::string> baseline =
+        Canon(db.Execute("SELECT emp_id, salary FROM emp").value().rows);
+
+    REOPTDB_ASSERT_OK(
+        db.faults()->Configure(std::string(point) + "=crash:nth:1"));
+    Result<QueryResult> r =
+        db.ExecuteSql("DELETE FROM emp WHERE dept_id = 1");
+    ASSERT_FALSE(r.ok()) << point;
+    EXPECT_EQ(r.status().code(), StatusCode::kCrashed) << point;
+    EXPECT_TRUE(db.faults()->crash_pending()) << point;
+
+    REOPTDB_ASSERT_OK(db.RecoverStorage());
+    EXPECT_FALSE(db.faults()->crash_pending()) << point;
+    EXPECT_EQ(Canon(db.Execute("SELECT emp_id, salary FROM emp").value().rows),
+              baseline)
+        << point << ": recovery did not restore the pre-statement state";
+    EXPECT_EQ(db.txn_manager()->active_count(), 0u) << point;
+
+    // Usable: the same statement lands once no fault is armed.
+    db.faults()->Reset();
+    REOPTDB_ASSERT_OK(
+        db.ExecuteSql("DELETE FROM emp WHERE dept_id = 1").status());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -90,7 +90,11 @@ INSTANTIATE_TEST_SUITE_P(
                       "INSERT INTO emp VALUES 1, 2",
                       "INSERT INTO emp VALUES (SELECT)",
                       "ANALYZE", "DROP t", "DROP INDEX i",
-                      "CREATE TABLE t (a INT) garbage"));
+                      "CREATE TABLE t (a INT) garbage",
+                      "UPDATE emp", "UPDATE emp SET", "UPDATE emp SET a",
+                      "UPDATE emp SET a = 1 WHERE", "DELETE emp",
+                      "DELETE FROM emp WHERE a =", "BEGIN garbage",
+                      "COMMIT extra", "ROLLBACK now"));
 
 TEST(StatementParseTest, DropTable) {
   Result<Statement> r = ParseStatement("DROP TABLE emp");
@@ -98,6 +102,69 @@ TEST(StatementParseTest, DropTable) {
   auto* dt = std::get_if<DropTableAst>(&r.value());
   ASSERT_NE(dt, nullptr);
   EXPECT_EQ(dt->table, "emp");
+}
+
+TEST(StatementParseTest, UpdateSetListAndWhere) {
+  Result<Statement> r = ParseStatement(
+      "UPDATE emp SET salary = 10.5, name = 'ann' "
+      "WHERE id >= 3 AND dept <> 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* up = std::get_if<UpdateAst>(&r.value());
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->table, "emp");
+  ASSERT_EQ(up->sets.size(), 2u);
+  EXPECT_EQ(up->sets[0].first, "salary");
+  EXPECT_DOUBLE_EQ(up->sets[0].second.AsDouble(), 10.5);
+  EXPECT_EQ(up->sets[1].second.AsString(), "ann");
+  ASSERT_EQ(up->where.size(), 2u);
+  EXPECT_EQ(up->where[0].op, CmpOp::kGe);
+  EXPECT_EQ(up->where[1].op, CmpOp::kNe);
+  EXPECT_TRUE(IsDmlStatement(r.value()));
+}
+
+TEST(StatementParseTest, UpdateWithoutWhereHitsAllRows) {
+  Result<Statement> r = ParseStatement("UPDATE emp SET salary = 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* up = std::get_if<UpdateAst>(&r.value());
+  ASSERT_NE(up, nullptr);
+  EXPECT_TRUE(up->where.empty());
+}
+
+TEST(StatementParseTest, DeleteWithAndWithoutWhere) {
+  Result<Statement> all = ParseStatement("DELETE FROM emp");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  auto* d1 = std::get_if<DeleteAst>(&all.value());
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->table, "emp");
+  EXPECT_TRUE(d1->where.empty());
+  EXPECT_TRUE(IsDmlStatement(all.value()));
+
+  Result<Statement> some =
+      ParseStatement("DELETE FROM emp WHERE id = 7 AND salary < 100.0");
+  ASSERT_TRUE(some.ok()) << some.status().ToString();
+  auto* d2 = std::get_if<DeleteAst>(&some.value());
+  ASSERT_NE(d2, nullptr);
+  ASSERT_EQ(d2->where.size(), 2u);
+  EXPECT_EQ(d2->where[1].op, CmpOp::kLt);
+}
+
+TEST(StatementParseTest, TransactionControlStatements) {
+  Result<Statement> b = ParseStatement("BEGIN");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(std::get_if<BeginTxnAst>(&b.value()), nullptr);
+  EXPECT_FALSE(IsDmlStatement(b.value()));
+
+  Result<Statement> bt = ParseStatement("BEGIN TRANSACTION");
+  ASSERT_TRUE(bt.ok());
+  EXPECT_NE(std::get_if<BeginTxnAst>(&bt.value()), nullptr);
+
+  Result<Statement> c = ParseStatement("COMMIT");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(std::get_if<CommitTxnAst>(&c.value()), nullptr);
+
+  Result<Statement> rb = ParseStatement("ROLLBACK");
+  ASSERT_TRUE(rb.ok());
+  EXPECT_NE(std::get_if<RollbackTxnAst>(&rb.value()), nullptr);
 }
 
 class ExecuteSqlTest : public ::testing::Test {

@@ -1,0 +1,537 @@
+// DML chaos harness: seeded crash schedules over serial transaction
+// scripts, diffing every crashed-then-recovered database against a
+// crash-free serial oracle.
+//
+// Each schedule generates a deterministic script of multi-statement
+// transactions (INSERT / UPDATE / DELETE over two tables), picks a crash
+// class — mid-statement (lock.acquire, storage.read), mid-commit
+// (wal.append, wal.fsync, txn.commit, storage.write) or mid-replay (a
+// mid-commit crash whose recovery is itself crashed with storage.write) —
+// and arms one point with `crash:nth:K`, K drawn from the seed. The run
+// then executes the script until it crashes (or finishes clean — a
+// schedule the script never reaches is a valid outcome), restarts through
+// Database::RecoverStorage, and re-submits every transaction whose client
+// tag TransactionManager::HasCommitted does not know, in original order.
+//
+// The invariant checked on every path: committed transactions survive
+// (zero lost writes), uncommitted ones vanish (zero dirty reads), the
+// final table contents are bit-identical to the oracle's, no transaction
+// stays active, and a final checkpoint leaves the WAL empty with no
+// leaked disk pages.
+//
+//   dml_chaos_runner [--seed N] [--schedules N] [--json PATH] [--verbose]
+//
+// After the sweep the harness benchmarks commit throughput and
+// recovery-replay time at 1x (serial sessions) and 4x (WorkloadManager
+// group commit) concurrent writers, emitting BENCH_pr7.json-style output
+// when --json is given. Exit status 0 only if every schedule converged.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/workload_manager.h"
+#include "parser/statement.h"
+
+namespace reoptdb {
+namespace {
+
+bool Verbose = false;
+
+/// Canonical form of a result set: one rendered string per row, sorted;
+/// doubles rounded so replayed state compares equal bit-for-bit.
+std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (i) s += "|";
+      if (v.is_double()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 128;
+  opts.query_mem_pages = 48;
+  auto db = std::make_unique<Database>(opts);
+  Schema acct(std::vector<Column>{{"", "id", ValueType::kInt64, 8},
+                                  {"", "grp", ValueType::kInt64, 8},
+                                  {"", "bal", ValueType::kDouble, 8}});
+  Schema ledger(std::vector<Column>{{"", "seq", ValueType::kInt64, 8},
+                                    {"", "note", ValueType::kString, 12}});
+  if (!db->CreateTable("acct", acct).ok() ||
+      !db->CreateTable("ledger", ledger).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    std::exit(2);
+  }
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 200; ++i)
+    rows.push_back(Tuple({Value(int64_t{i}), Value(int64_t{i % 8}),
+                          Value(100.0 + i)}));
+  if (!db->BulkLoad("acct", rows).ok() ||
+      !db->DeclareKey("acct", "id").ok() || !db->Analyze("acct").ok() ||
+      !db->Analyze("ledger").ok()) {
+    std::fprintf(stderr, "load failed\n");
+    std::exit(2);
+  }
+  return db;
+}
+
+/// One transaction of the script: 1-3 DML statements plus its durable
+/// client tag ("txn-<i>"), re-checkable across crashes via HasCommitted.
+struct ScriptTxn {
+  std::string tag;
+  std::vector<std::string> statements;
+};
+
+/// Deterministic serial script: every statement's effect depends only on
+/// the seed, never on interleaving, so the crash-free oracle is exact.
+std::vector<ScriptTxn> MakeScript(uint64_t seed, int txns) {
+  Rng rng(seed);
+  std::vector<ScriptTxn> script;
+  int64_t next_id = 1000;  // fresh keys: inserts never collide with base rows
+  int64_t next_seq = 0;
+  for (int i = 0; i < txns; ++i) {
+    ScriptTxn t;
+    t.tag = "txn-" + std::to_string(i);
+    const int stmts = static_cast<int>(rng.NextInt(1, 3));
+    for (int s = 0; s < stmts; ++s) {
+      switch (rng.NextBelow(4)) {
+        case 0: {  // multi-row insert
+          std::string sql = "INSERT INTO acct VALUES ";
+          const int n = static_cast<int>(rng.NextInt(1, 4));
+          for (int r = 0; r < n; ++r) {
+            if (r) sql += ", ";
+            sql += "(" + std::to_string(next_id++) + ", " +
+                   std::to_string(rng.NextBelow(8)) + ", " +
+                   std::to_string(50 + static_cast<int>(rng.NextBelow(900))) +
+                   ".5)";
+          }
+          t.statements.push_back(sql);
+          break;
+        }
+        case 1:  // group-targeted update (literal SET: the full grammar)
+          t.statements.push_back(
+              "UPDATE acct SET bal = " +
+              std::to_string(1 + static_cast<int>(rng.NextBelow(900))) +
+              ".25 WHERE grp = " + std::to_string(rng.NextBelow(8)));
+          break;
+        case 2:  // point delete (may hit zero rows; still deterministic)
+          t.statements.push_back(
+              "DELETE FROM acct WHERE id = " +
+              std::to_string(rng.NextBelow(200 + static_cast<uint64_t>(i))));
+          break;
+        default:  // audit append on the second table
+          t.statements.push_back("INSERT INTO ledger VALUES (" +
+                                 std::to_string(next_seq++) + ", '" + t.tag +
+                                 "')");
+          break;
+      }
+    }
+    script.push_back(std::move(t));
+  }
+  return script;
+}
+
+enum class CrashClass { kMidStatement, kMidCommit, kMidReplay };
+
+const char* ClassName(CrashClass c) {
+  switch (c) {
+    case CrashClass::kMidStatement: return "mid-statement";
+    case CrashClass::kMidCommit: return "mid-commit";
+    default: return "mid-replay";
+  }
+}
+
+/// Arms one crash point for the class; nth drawn from the trial stream.
+std::string ArmSchedule(CrashClass c, Rng* rng) {
+  static const char* kMidStmt[] = {faults::kLockAcquire, faults::kStorageRead};
+  static const char* kMidCommit[] = {faults::kWalAppend, faults::kWalFsync,
+                                     faults::kTxnCommit, faults::kStorageWrite};
+  const char* point;
+  uint64_t max_nth;
+  if (c == CrashClass::kMidStatement) {
+    point = kMidStmt[rng->NextBelow(2)];
+    max_nth = 60;  // statement-path points fire often; spread across txns
+  } else {
+    // kMidReplay also crashes the *run* at a commit point first; the
+    // replay crash itself is armed separately before RecoverStorage.
+    point = kMidCommit[rng->NextBelow(4)];
+    max_nth = 24;
+  }
+  return std::string(point) + "=crash:nth:" +
+         std::to_string(rng->NextInt(1, max_nth));
+}
+
+struct Snapshot {
+  std::vector<std::string> acct;
+  std::vector<std::string> ledger;
+};
+
+/// Reads both tables through the SQL layer (committed state only).
+Result<Snapshot> ReadState(Database* db) {
+  Snapshot s;
+  ASSIGN_OR_RETURN(QueryResult acct,
+                   db->ExecuteSql("SELECT id, grp, bal FROM acct"));
+  ASSIGN_OR_RETURN(QueryResult ledger,
+                   db->ExecuteSql("SELECT seq, note FROM ledger"));
+  s.acct = Canon(acct.rows);
+  s.ledger = Canon(ledger.rows);
+  return s;
+}
+
+/// Runs one scripted transaction to commit. kCrashed propagates; lock
+/// waits cannot happen in a serial session but are retried defensively.
+Status RunScriptTxn(Database* db, const ScriptTxn& t) {
+  ASSIGN_OR_RETURN(uint64_t txn, db->BeginTxn());
+  for (const std::string& sql : t.statements) {
+    ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+    for (int attempt = 0;; ++attempt) {
+      Result<uint64_t> r = db->ExecuteDml(txn, stmt);
+      if (r.ok()) break;
+      if (r.status().code() == StatusCode::kLockWait && attempt < 8) continue;
+      (void)db->AbortTxn(txn);
+      return r.status();
+    }
+  }
+  return db->CommitTxn(txn, t.tag);
+}
+
+struct Tally {
+  int trials = 0;
+  int crashed = 0;
+  int replay_crashes = 0;
+  int clean = 0;
+  int resubmitted = 0;  // transactions re-run because HasCommitted was false
+  int errors = 0;
+};
+
+/// One schedule: crash (maybe), restart, re-submit, diff vs oracle.
+bool RunTrial(uint64_t seed, CrashClass cls, Tally* tally) {
+  ++tally->trials;
+  Rng rng(seed);
+  const std::vector<ScriptTxn> script = MakeScript(seed * 31 + 7, 10);
+
+  // Crash-free serial oracle for this script.
+  std::unique_ptr<Database> oracle_db = MakeDb();
+  for (const ScriptTxn& t : script) {
+    Status st = RunScriptTxn(oracle_db.get(), t);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[seed=%llu] oracle failed: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   st.ToString().c_str());
+      ++tally->errors;
+      return false;
+    }
+  }
+  Result<Snapshot> oracle = ReadState(oracle_db.get());
+  if (!oracle.ok()) {
+    ++tally->errors;
+    return false;
+  }
+  if (!oracle_db->Checkpoint().ok()) {
+    ++tally->errors;
+    return false;
+  }
+  const size_t oracle_pages = oracle_db->disk()->live_pages();
+
+  // Chaos run.
+  std::unique_ptr<Database> db = MakeDb();
+  Status st = db->faults()->Configure(ArmSchedule(cls, &rng));
+  if (!st.ok()) {
+    std::fprintf(stderr, "[seed=%llu] bad schedule: %s\n",
+                 static_cast<unsigned long long>(seed), st.ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+
+  bool saw_crash = false;
+  const int kMaxIncarnations = 6;
+  for (int incarnation = 0; incarnation < kMaxIncarnations; ++incarnation) {
+    Status run = Status::OK();
+    for (const ScriptTxn& t : script) {
+      if (db->txn_manager()->HasCommitted(t.tag)) continue;
+      if (incarnation > 0) ++tally->resubmitted;
+      run = RunScriptTxn(db.get(), t);
+      if (!run.ok()) break;
+    }
+    if (run.ok()) break;
+    if (run.code() != StatusCode::kCrashed) {
+      std::fprintf(stderr, "[seed=%llu %s] non-crash failure: %s\n",
+                   static_cast<unsigned long long>(seed), ClassName(cls),
+                   run.ToString().c_str());
+      ++tally->errors;
+      return false;
+    }
+    saw_crash = true;
+    ++tally->crashed;
+    // Restart: armed schedules die with the "process". Mid-replay trials
+    // (and occasionally others) crash the first recovery attempt too.
+    db->faults()->Reset();
+    const bool chaos_replay =
+        incarnation == 0 &&
+        (cls == CrashClass::kMidReplay || rng.NextDouble() < 0.2);
+    if (chaos_replay) {
+      (void)db->faults()->Configure(
+          std::string(faults::kStorageWrite) + "=crash:nth:" +
+          std::to_string(rng.NextInt(1, 12)));
+    }
+    Status rec = db->RecoverStorage();
+    if (!rec.ok() && rec.code() == StatusCode::kCrashed) {
+      ++tally->replay_crashes;
+      db->faults()->Reset();
+      rec = db->RecoverStorage();
+    }
+    if (!rec.ok()) {
+      std::fprintf(stderr, "[seed=%llu %s] recovery failed: %s\n",
+                   static_cast<unsigned long long>(seed), ClassName(cls),
+                   rec.ToString().c_str());
+      ++tally->errors;
+      return false;
+    }
+  }
+  db->faults()->Reset();
+  if (!saw_crash) ++tally->clean;
+
+  // Invariants: every transaction durable exactly once, none active,
+  // state bit-identical to the serial oracle.
+  for (const ScriptTxn& t : script) {
+    if (!db->txn_manager()->HasCommitted(t.tag)) {
+      std::fprintf(stderr, "[seed=%llu %s] LOST COMMIT %s\n",
+                   static_cast<unsigned long long>(seed), ClassName(cls),
+                   t.tag.c_str());
+      ++tally->errors;
+      return false;
+    }
+  }
+  if (db->txn_manager()->active_count() != 0) {
+    std::fprintf(stderr, "[seed=%llu %s] dangling transactions\n",
+                 static_cast<unsigned long long>(seed), ClassName(cls));
+    ++tally->errors;
+    return false;
+  }
+  Result<Snapshot> got = ReadState(db.get());
+  if (!got.ok()) {
+    ++tally->errors;
+    return false;
+  }
+  if (got->acct != oracle->acct || got->ledger != oracle->ledger) {
+    std::fprintf(stderr,
+                 "[seed=%llu %s] STATE MISMATCH vs oracle "
+                 "(acct %zu/%zu rows, ledger %zu/%zu rows)\n",
+                 static_cast<unsigned long long>(seed), ClassName(cls),
+                 got->acct.size(), oracle->acct.size(), got->ledger.size(),
+                 oracle->ledger.size());
+    ++tally->errors;
+    return false;
+  }
+  // A final checkpoint must drain the WAL and converge on the oracle's
+  // footprint: anything above it is a leaked page.
+  if (!db->Checkpoint().ok() ||
+      db->txn_manager()->wal()->flushed_record_count() != 0) {
+    std::fprintf(stderr, "[seed=%llu %s] WAL not drained by checkpoint\n",
+                 static_cast<unsigned long long>(seed), ClassName(cls));
+    ++tally->errors;
+    return false;
+  }
+  if (db->disk()->live_pages() > oracle_pages) {
+    std::fprintf(stderr, "[seed=%llu %s] PAGE LEAK: %zu live vs oracle %zu\n",
+                 static_cast<unsigned long long>(seed), ClassName(cls),
+                 db->disk()->live_pages(), oracle_pages);
+    ++tally->errors;
+    return false;
+  }
+  if (Verbose)
+    std::printf("[seed=%llu %s] ok%s\n",
+                static_cast<unsigned long long>(seed), ClassName(cls),
+                saw_crash ? " (crashed+recovered)" : " (clean)");
+  return true;
+}
+
+struct BenchRow {
+  int writers = 0;
+  uint64_t commits = 0;
+  double commit_throughput_per_s = 0;
+  uint64_t wal_records = 0;
+  double recovery_replay_ms = 0;
+  uint64_t fsyncs = 0;
+};
+
+double WallMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Commit throughput + recovery-replay time at `writers` concurrent
+/// sessions. 1x runs serial autocommit sessions; 4x interleaves the same
+/// statements through the WorkloadManager (group commit, shared fsyncs).
+Result<BenchRow> RunBench(int writers, int statements) {
+  std::unique_ptr<Database> db = MakeDb();
+  std::vector<std::string> stmts;
+  for (int i = 0; i < statements; ++i) {
+    switch (i % 3) {
+      case 0:
+        stmts.push_back("INSERT INTO acct VALUES (" +
+                        std::to_string(5000 + i) + ", " +
+                        std::to_string(i % 8) + ", 7.5)");
+        break;
+      case 1:
+        stmts.push_back("UPDATE acct SET bal = " + std::to_string(i) +
+                        ".0 WHERE grp = " + std::to_string(i % 8));
+        break;
+      default:
+        stmts.push_back("DELETE FROM acct WHERE id = " + std::to_string(i));
+        break;
+    }
+  }
+
+  const uint64_t commits_before = db->txn_manager()->commits_completed();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (writers <= 1) {
+    for (const std::string& sql : stmts) {
+      ASSIGN_OR_RETURN(QueryResult r, db->ExecuteSql(sql));
+      (void)r;
+    }
+  } else {
+    WorkloadOptions wopts;
+    wopts.max_active = writers;
+    wopts.max_queue = stmts.size() + 1;
+    WorkloadManager wm(db.get(), wopts);
+    for (const std::string& sql : stmts) wm.Submit(sql);
+    ASSIGN_OR_RETURN(std::vector<WorkloadQueryResult> results, wm.Run());
+    for (const WorkloadQueryResult& r : results)
+      if (!r.status.ok()) return r.status;
+  }
+  const double run_ms = WallMs(t0);
+
+  BenchRow row;
+  row.writers = writers;
+  row.commits = db->txn_manager()->commits_completed() - commits_before;
+  row.commit_throughput_per_s =
+      run_ms > 0 ? row.commits / (run_ms / 1000.0) : 0;
+  row.wal_records = db->txn_manager()->wal()->flushed_record_count();
+  row.fsyncs = db->txn_manager()->wal()->fsync_count();
+
+  // Simulated crash with a full WAL: replay every committed transaction.
+  const auto t1 = std::chrono::steady_clock::now();
+  RETURN_IF_ERROR(db->RecoverStorage());
+  row.recovery_replay_ms = WallMs(t1);
+  return row;
+}
+
+}  // namespace
+}  // namespace reoptdb
+
+int main(int argc, char** argv) {
+  using namespace reoptdb;
+  uint64_t seed = 42;
+  int schedules = 120;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--schedules") && i + 1 < argc) {
+      schedules = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dml_chaos_runner [--seed N] [--schedules N] "
+                   "[--json PATH] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  Tally tally;
+  bool ok = true;
+  for (int t = 0; t < schedules; ++t) {
+    // Round-robin over the classes so every sweep covers all three.
+    const CrashClass cls = static_cast<CrashClass>(t % 3);
+    const uint64_t trial_seed = seed * 1000003ULL + static_cast<uint64_t>(t);
+    ok = RunTrial(trial_seed, cls, &tally) && ok;
+  }
+  std::printf(
+      "dml-chaos schedules=%d crashed=%d replay-crashes=%d clean=%d "
+      "resubmitted=%d errors=%d\n",
+      tally.trials, tally.crashed, tally.replay_crashes, tally.clean,
+      tally.resubmitted, tally.errors);
+
+  std::vector<BenchRow> bench;
+  for (int writers : {1, 4}) {
+    Result<BenchRow> row = RunBench(writers, 240);
+    if (!row.ok()) {
+      std::fprintf(stderr, "bench (%dx writers) failed: %s\n", writers,
+                   row.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    bench.push_back(*row);
+    std::printf(
+        "bench writers=%d commits=%llu throughput=%.0f/s wal_records=%llu "
+        "fsyncs=%llu replay=%.2fms\n",
+        row->writers, static_cast<unsigned long long>(row->commits),
+        row->commit_throughput_per_s,
+        static_cast<unsigned long long>(row->wal_records),
+        static_cast<unsigned long long>(row->fsyncs),
+        row->recovery_replay_ms);
+  }
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"schedules\": %d,\n  \"crashed\": %d,\n"
+                 "  \"replay_crashes\": %d,\n  \"clean\": %d,\n"
+                 "  \"resubmitted_txns\": %d,\n  \"errors\": %d,\n"
+                 "  \"writers\": [",
+                 tally.trials, tally.crashed, tally.replay_crashes,
+                 tally.clean, tally.resubmitted, tally.errors);
+    for (size_t i = 0; i < bench.size(); ++i) {
+      const BenchRow& b = bench[i];
+      std::fprintf(f,
+                   "%s\n    {\"writers\": %d, \"commits\": %llu, "
+                   "\"commit_throughput_per_s\": %.1f, \"wal_records\": %llu, "
+                   "\"group_commit_fsyncs\": %llu, "
+                   "\"recovery_replay_ms\": %.3f}",
+                   i ? "," : "", b.writers,
+                   static_cast<unsigned long long>(b.commits),
+                   b.commit_throughput_per_s,
+                   static_cast<unsigned long long>(b.wal_records),
+                   static_cast<unsigned long long>(b.fsyncs),
+                   b.recovery_replay_ms);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::printf(ok ? "dml-chaos: all schedules converged on the oracle\n"
+                 : "dml-chaos: FAILURES above\n");
+  return ok ? 0 : 1;
+}

@@ -21,6 +21,13 @@
 //                                  the crash latch, validates journaled
 //                                  temp tables, resumes the remainder (or
 //                                  re-runs from scratch)
+//   \txn                           transaction layer: active transactions,
+//                                  held locks, the WAL tail, and commit /
+//                                  abort / deadlock / replay counts.
+//                                  BEGIN / COMMIT / ROLLBACK are plain SQL
+//                                  (the shell keeps one session transaction)
+//   \checkpoint                    capture a storage restore point for every
+//                                  base table and truncate the WAL
 //   \workload [sub]                concurrent execution via the
 //                                  WorkloadManager: `add <sql>` queues a
 //                                  statement, `run` executes everything
@@ -108,9 +115,10 @@ int main(int argc, char** argv) {
   bool show_trace = false;
   WorkloadOptions wlopts;  // \workload knobs; global 0 = query_mem_pages
   std::vector<std::string> wl_pending;
+  uint64_t session_txn = 0;  // the shell's ambient transaction (BEGIN..COMMIT)
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
               "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch, "
-              "\\workload, \\feedback, \\plancache\n");
+              "\\workload, \\feedback, \\plancache, \\txn, \\checkpoint\n");
 
   std::string line, buffer;
   while (true) {
@@ -311,6 +319,17 @@ int main(int argc, char** argv) {
           std::printf("usage: \\workload [add <sql> | run | clear | "
                       "mem N | active N | queue N]\n");
         }
+      } else if (cmd == "\\txn") {
+        std::printf("%s", db.txn_manager()->Describe().c_str());
+        if (session_txn != 0)
+          std::printf("shell session transaction: %llu\n",
+                      static_cast<unsigned long long>(session_txn));
+      } else if (cmd == "\\checkpoint") {
+        Status st = db.Checkpoint();
+        if (!st.ok())
+          std::printf("error: %s\n", st.ToString().c_str());
+        else
+          std::printf("checkpoint taken, WAL truncated\n");
       } else if (cmd == "\\tables") {
         for (const char* t :
              {"region", "nation", "supplier", "customer", "part", "partsupp",
@@ -341,8 +360,9 @@ int main(int argc, char** argv) {
     bool is_select =
         buffer.find_first_not_of(" \t") != std::string::npos &&
         (std::tolower(buffer[buffer.find_first_not_of(" \t")]) == 's');
-    Result<QueryResult> r = is_select ? db.ExecuteWith(buffer, reopt)
-                                      : db.ExecuteSql(buffer);
+    Result<QueryResult> r = is_select
+                                ? db.ExecuteWith(buffer, reopt)
+                                : db.ExecuteSqlInTxn(buffer, &session_txn);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
     } else if (!r->message.empty()) {

@@ -30,12 +30,21 @@ echo "== tier-1: repeated-workload feedback harness (release, emits BENCH_pr6.js
 # sim time are strictly below wave 1 (monotone non-increasing after that).
 "${BUILD}/tools/repeat_runner" --seed 42 --out BENCH_pr6.json
 
+echo "== tier-1: DML mid-transaction chaos sweep (release, emits BENCH_pr7.json) =="
+# >=100 seeded crash schedules (mid-statement, mid-commit, mid-replay) over
+# serial transaction scripts, each diffed against a crash-free serial
+# oracle; exits nonzero on any lost commit, visible uncommitted write,
+# state mismatch, dangling transaction, undrained WAL, or page leak. Also
+# benchmarks commit throughput and recovery-replay time at 1x/4x writers.
+"${BUILD}/tools/dml_chaos_runner" --seed 42 --schedules 120 --json BENCH_pr7.json
+
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
   --target fault_test reopt_test reopt_extension_test \
            batch_equivalence_test recovery_test workload_test feedback_test \
-           chaos_runner workload_runner repeat_runner
+           txn_test chaos_runner dml_chaos_runner workload_runner \
+           repeat_runner
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
 # The fault-injection, batch-equivalence, crash-recovery, and workload
@@ -51,6 +60,7 @@ for bs in default 1; do
   "${ASAN_BUILD}/tests/recovery_test"
   "${ASAN_BUILD}/tests/workload_test"
   "${ASAN_BUILD}/tests/feedback_test"
+  "${ASAN_BUILD}/tests/txn_test"
   "${ASAN_BUILD}/tools/workload_runner" --seed 42
   "${ASAN_BUILD}/tools/repeat_runner" --seed 42
 done
@@ -63,5 +73,16 @@ echo "== tier-1: chaos crash-recovery smoke sweep (ASan+UBSan) =="
 # internally covers both batch modes (1 and 1024) and exits nonzero on any
 # oracle mismatch, leak, or non-empty journal.
 "${ASAN_BUILD}/tools/chaos_runner" --seed 42 --trials 2
+
+echo "== tier-1: DML chaos smoke sweep (ASan+UBSan, both batch modes) =="
+# A reduced mid-transaction crash sweep under the sanitizers, in batched
+# and row-at-a-time mode: the WAL/lock/recovery paths get lifetime checks.
+for bs in default 1; do
+  if [ "${bs}" = default ]; then unset REOPTDB_BATCH_SIZE
+  else export REOPTDB_BATCH_SIZE="${bs}"; fi
+  echo "-- batch_size=${bs} --"
+  "${ASAN_BUILD}/tools/dml_chaos_runner" --seed 42 --schedules 12
+done
+unset REOPTDB_BATCH_SIZE
 
 echo "== tier-1: OK =="
