@@ -204,6 +204,7 @@ std::string JoinSignature(const QuerySpec& spec, const std::set<int>& rels) {
 
 void CardinalityFeedbackStore::ObserveBaseRel(BaseRelFeedback obs) {
   ++counters_.observations;
+  ++generation_;
   const std::string key = BaseKey(obs.table, obs.predicate_sig);
   auto it = base_.find(key);
   if (it == base_.end()) {
@@ -270,6 +271,7 @@ void CardinalityFeedbackStore::ObserveBaseRel(BaseRelFeedback obs) {
 
 void CardinalityFeedbackStore::ObserveJoin(JoinFeedback obs) {
   ++counters_.observations;
+  ++generation_;
   auto it = joins_.find(obs.signature);
   if (it == joins_.end()) {
     obs.observations = 1;
@@ -315,6 +317,7 @@ const BaseRelFeedback* CardinalityFeedbackStore::LookupBaseRel(
     base_.erase(it);
     ++counters_.stale_evictions;
     ++counters_.base_misses;
+    ++generation_;
     return nullptr;
   }
   ++counters_.base_hits;
@@ -340,6 +343,7 @@ const JoinFeedback* CardinalityFeedbackStore::LookupJoin(
       joins_.erase(it);
       ++counters_.stale_evictions;
       ++counters_.join_misses;
+      ++generation_;
       return nullptr;
     }
   }
@@ -349,12 +353,22 @@ const JoinFeedback* CardinalityFeedbackStore::LookupJoin(
 
 void CardinalityFeedbackStore::InvalidateTable(const std::string& table) {
   for (auto it = base_.begin(); it != base_.end();) {
-    it = it->second.table == table ? base_.erase(it) : std::next(it);
+    if (it->second.table == table) {
+      it = base_.erase(it);
+      ++generation_;
+    } else {
+      ++it;
+    }
   }
   for (auto it = joins_.begin(); it != joins_.end();) {
     bool hit = false;
     for (const JoinTableMark& m : it->second.tables) hit |= m.table == table;
-    it = hit ? joins_.erase(it) : std::next(it);
+    if (hit) {
+      it = joins_.erase(it);
+      ++generation_;
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -363,6 +377,7 @@ void CardinalityFeedbackStore::Clear() {
   joins_.clear();
   lru_.clear();
   counters_ = FeedbackStoreCounters{};
+  ++generation_;
 }
 
 void CardinalityFeedbackStore::EnforceCapacity() {
@@ -424,6 +439,7 @@ Status CardinalityFeedbackStore::ImportManifest(const std::string& manifest) {
   base_ = std::move(base);
   joins_ = std::move(joins);
   lru_ = std::move(lru);
+  ++generation_;
   return Status::OK();
 }
 

@@ -158,6 +158,13 @@ class CardinalityFeedbackStore {
   bool empty() const { return base_.empty() && joins_.empty(); }
   const FeedbackStoreCounters& counters() const { return counters_; }
 
+  /// Monotone content-change counter: bumped on every observation,
+  /// invalidation, clear, import, and lookup-time stale eviction. A
+  /// retained PlanMemo snapshots it at build time; any drift means join
+  /// estimates derived through this store can no longer be trusted as
+  /// unchanged, and incremental repair falls back to a from-scratch plan.
+  uint64_t generation() const { return generation_; }
+
   /// Renders the whole store as a manifest: a header line followed by one
   /// "<fnv1a-checksum> <json-payload>" line per entry.
   std::string ExportManifest() const;
@@ -185,6 +192,8 @@ class CardinalityFeedbackStore {
   /// Insertion order for capacity eviction (oldest observation first).
   mutable std::vector<std::string> lru_;
   mutable FeedbackStoreCounters counters_;
+  /// See generation(). Mutable: stale evictions happen inside const lookups.
+  mutable uint64_t generation_ = 0;
 };
 
 }  // namespace reoptdb

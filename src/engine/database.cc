@@ -161,12 +161,14 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
   // Plan-correction cache: a repeat of a query whose plan was corrected
   // mid-run starts directly on the corrected plan, skipping optimization.
   std::unique_ptr<PlanNode> cached;
+  std::unique_ptr<PlanMemo> cached_memo;
   if (plan_cache_enabled_) {
     std::string reason;
     double saved_opt_ms = 0;
     uint64_t entry_hits = 0;
     cached = plan_cache_.Lookup(canonical_sql, opts_.query_mem_pages, catalog_,
-                                &reason, &saved_opt_ms, &entry_hits);
+                                &reason, &saved_opt_ms, &entry_hits,
+                                &cached_memo);
     if (cached != nullptr) {
       PlanCacheHit hit;
       hit.sql = canonical_sql;
@@ -186,7 +188,8 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
                      reoptimizer.ExecuteWithPlan(std::move(spec),
                                                  std::move(cached), &ctx,
                                                  &result.rows,
-                                                 &result.schema));
+                                                 &result.schema,
+                                                 std::move(cached_memo)));
   } else {
     ASSIGN_OR_RETURN(result.report,
                      reoptimizer.Execute(std::move(spec), &ctx, &result.rows,
@@ -205,7 +208,8 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
     if (corrected.ok()) {
       plan_cache_.Install(canonical_sql, *corrected.value().plan,
                           corrected.value().sim_opt_time_ms,
-                          opts_.query_mem_pages, catalog_);
+                          opts_.query_mem_pages, catalog_,
+                          corrected.value().memo.get());
     }
   }
   return result;

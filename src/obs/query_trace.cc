@@ -249,6 +249,26 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("plan_cache_hits", std::move(pc_j));
 
+  JsonValue mrep_j = JsonValue::MakeArray();
+  for (const MemoRepair& r : memo_repairs) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage_node_id", JsonValue::MakeNumber(r.stage_node_id));
+    o.Set("entries_total",
+          JsonValue::MakeNumber(static_cast<double>(r.entries_total)));
+    o.Set("entries_invalidated",
+          JsonValue::MakeNumber(static_cast<double>(r.entries_invalidated)));
+    o.Set("entries_reused",
+          JsonValue::MakeNumber(static_cast<double>(r.entries_reused)));
+    o.Set("offers_repaired",
+          JsonValue::MakeNumber(static_cast<double>(r.offers_repaired)));
+    o.Set("leaves_changed", JsonValue::MakeNumber(r.leaves_changed));
+    o.Set("fell_back", JsonValue::MakeBool(r.fell_back));
+    o.Set("incremental_ms", JsonValue::MakeNumber(r.incremental_ms));
+    o.Set("scratch_est_ms", JsonValue::MakeNumber(r.scratch_est_ms));
+    mrep_j.Append(std::move(o));
+  }
+  root.Set("memo_repairs", std::move(mrep_j));
+
   return root.Serialize();
 }
 
@@ -428,6 +448,25 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       t.plan_cache_hits.push_back(std::move(r));
     }
   }
+  // Memo-repair array is optional so traces serialized before the
+  // incremental re-optimizer still parse.
+  if (const JsonValue* mrep = root.Find("memo_repairs");
+      mrep != nullptr && mrep->is_array()) {
+    for (const JsonValue& o : mrep->items()) {
+      MemoRepair r;
+      r.stage_node_id = static_cast<int>(GetNum(o, "stage_node_id"));
+      r.entries_total = static_cast<uint64_t>(GetNum(o, "entries_total"));
+      r.entries_invalidated =
+          static_cast<uint64_t>(GetNum(o, "entries_invalidated"));
+      r.entries_reused = static_cast<uint64_t>(GetNum(o, "entries_reused"));
+      r.offers_repaired = static_cast<uint64_t>(GetNum(o, "offers_repaired"));
+      r.leaves_changed = static_cast<int>(GetNum(o, "leaves_changed"));
+      r.fell_back = GetBool(o, "fell_back");
+      r.incremental_ms = GetNum(o, "incremental_ms");
+      r.scratch_est_ms = GetNum(o, "scratch_est_ms");
+      t.memo_repairs.push_back(r);
+    }
+  }
 
   return t;
 }
@@ -489,6 +528,10 @@ std::string QueryTrace::Summary() const {
     for (const FeedbackApplied& r : feedback_applied)
       out += "  " + Render(r) + "\n";
   }
+  if (!memo_repairs.empty()) {
+    out += "memo repairs:\n";
+    for (const MemoRepair& r : memo_repairs) out += "  " + Render(r) + "\n";
+  }
   return out;
 }
 
@@ -539,6 +582,7 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("revocations", JsonValue::MakeNumber(revocations.size()));
   root.Set("feedback_applied", JsonValue::MakeNumber(feedback_applied.size()));
   root.Set("plan_cache_hits", JsonValue::MakeNumber(plan_cache_hits.size()));
+  root.Set("memo_repairs", JsonValue::MakeNumber(memo_repairs.size()));
   return root.Serialize();
 }
 
@@ -636,6 +680,22 @@ std::string Render(const PlanCacheHit& r) {
   return "plan cache hit (" + std::to_string(r.entry_hits) +
          " total): started on corrected plan, saved " + Ms(r.saved_opt_ms) +
          "ms optimization";
+}
+
+std::string Render(const MemoRepair& r) {
+  if (r.fell_back) {
+    return "memo repair (stage " + std::to_string(r.stage_node_id) +
+           "): fell back to from-scratch re-plan, " + Ms(r.incremental_ms) +
+           "ms charged";
+  }
+  return "memo repair (stage " + std::to_string(r.stage_node_id) + "): " +
+         std::to_string(r.entries_reused) + "/" +
+         std::to_string(r.entries_total) + " entries reused, " +
+         std::to_string(r.entries_invalidated) + " invalidated (" +
+         std::to_string(r.leaves_changed) + " leaf/leaves changed), " +
+         std::to_string(r.offers_repaired) + " offers repaired: " +
+         Ms(r.incremental_ms) + "ms vs " + Ms(r.scratch_est_ms) +
+         "ms from-scratch";
 }
 
 std::string Render(const TxnBeginRecord& r) {

@@ -202,6 +202,24 @@ struct PlanCacheHit {
   int entry_hits = 0;       ///< cumulative hits on the entry (this one incl.)
 };
 
+/// One incremental memo repair at a re-optimization point: instead of
+/// re-deriving every relation subset from scratch, the retained DP memo was
+/// invalidated along its changed leaves and repaired bottom-up. When
+/// `fell_back` is true no memo was available (or its feedback-store
+/// generation drifted) and the optimizer re-planned from scratch; the
+/// entry/offer counters then describe that scratch run.
+struct MemoRepair {
+  int stage_node_id = -1;
+  uint64_t entries_total = 0;        ///< retained memo entries handed in
+  uint64_t entries_invalidated = 0;  ///< dropped: touched a changed leaf
+  uint64_t entries_reused = 0;       ///< moved in verbatim (clean subsets)
+  uint64_t offers_repaired = 0;      ///< DP candidates (re-)costed
+  int leaves_changed = 0;            ///< dirty leaves (temp table included)
+  bool fell_back = false;            ///< from-scratch re-plan ran instead
+  double incremental_ms = 0;         ///< sim optimizer time actually charged
+  double scratch_est_ms = 0;         ///< calibrated from-scratch estimate
+};
+
 /// One operator's budget change from a memory-manager pass.
 struct BudgetChange {
   int plan_generation = 0;
@@ -296,6 +314,7 @@ class QueryTrace {
   std::vector<RevocationEvent> revocations;
   std::vector<FeedbackApplied> feedback_applied;
   std::vector<PlanCacheHit> plan_cache_hits;
+  std::vector<MemoRepair> memo_repairs;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -330,6 +349,7 @@ std::string Render(const AdmissionReject& r);
 std::string Render(const RevocationEvent& r);
 std::string Render(const FeedbackApplied& r);
 std::string Render(const PlanCacheHit& r);
+std::string Render(const MemoRepair& r);
 std::string Render(const TxnBeginRecord& r);
 std::string Render(const TxnCommitRecord& r);
 std::string Render(const TxnAbortRecord& r);

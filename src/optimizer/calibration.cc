@@ -78,4 +78,14 @@ double OptimizerCalibration::EstimateOptTimeMs(int num_relations) const {
   return per_plan_ms_ * n * std::pow(2.0, n);
 }
 
+double OptimizerCalibration::EstimateIncrementalOptTimeMs(
+    int num_relations, int changed_leaves) const {
+  if (num_relations < 1) return 0;
+  if (changed_leaves >= num_relations) return EstimateOptTimeMs(num_relations);
+  const double full = EstimateOptTimeMs(num_relations);
+  const double clean = EstimateOptTimeMs(num_relations - changed_leaves);
+  const double floor_ms = per_plan_ms_ * static_cast<double>(num_relations);
+  return std::max(floor_ms, full - clean);
+}
+
 }  // namespace reoptdb

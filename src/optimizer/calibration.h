@@ -33,6 +33,16 @@ class OptimizerCalibration {
   /// with `num_relations` relations; extrapolates beyond the table.
   double EstimateOptTimeMs(int num_relations) const;
 
+  /// Estimate of the (simulated) time for an *incremental* re-plan via
+  /// Optimizer::RepairPlan when `changed_leaves` of the `num_relations`
+  /// leaves are dirty: the marginal DP effort beyond the clean
+  /// (num_relations - changed_leaves)-relation core, i.e.
+  /// EstimateOptTimeMs(n) - EstimateOptTimeMs(n - changed), floored at one
+  /// per-plan unit per relation (leaves are always re-derived). Degenerates
+  /// to the full estimate when every leaf changed.
+  double EstimateIncrementalOptTimeMs(int num_relations,
+                                      int changed_leaves) const;
+
   bool calibrated() const { return !time_by_rels_.empty(); }
 
  private:

@@ -3,22 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
+#include <utility>
 
 #include "common/logging.h"
+#include "optimizer/plan_cache.h"  // SchemaFingerprint
 #include "storage/page.h"
 
 namespace reoptdb {
 
 namespace {
 
-/// One DP table entry: the cheapest plan found for a relation subset.
-struct DpEntry {
-  std::unique_ptr<PlanNode> plan;
-  DerivedRel stats;
-  double cost = 0;
-};
-
-/// Mutable planning state for one Plan() call.
+/// Mutable planning state for one Plan() / RepairPlan() call.
 struct Planner {
   const Catalog* catalog;
   const CostModel* cost;
@@ -26,7 +22,52 @@ struct Planner {
   const QuerySpec* spec;
   Estimator est;
   uint64_t enumerated = 0;
-  std::map<uint32_t, DpEntry> dp;
+  std::map<uint32_t, MemoEntry> dp;
+  /// Pre-filter base-rel stats per relation, retained into the result memo.
+  std::map<int, DerivedRel> leaf_raw;
+  /// Repair mode: masks whose entries were moved in verbatim from a
+  /// retained memo; PlanJoins skips them entirely.
+  std::set<uint32_t> preserved;
+  /// Repair mode: candidates that cannot beat the incumbent are costed but
+  /// their plan nodes are never materialized. The keep decision depends
+  /// only on cost, so the surviving entries are identical to eager mode;
+  /// skipping the node assembly and subtree clones of losing candidates is
+  /// where most of the incremental-repair wall-clock win comes from.
+  bool lazy = false;
+
+  /// Deferred-build state for lazy join enumeration. While `probing`,
+  /// OfferCandidate only records the cheapest candidate seen for the mask
+  /// (first-wins on ties, same as the dp insert rule); PlanJoins then
+  /// re-runs the winning split once with `building_winner` set so exactly
+  /// one candidate per mask is materialized. Eager enumeration keeps ~2.3
+  /// builds per mask (every running-minimum improvement); this brings the
+  /// repair path to exactly 1.
+  struct PendingWin {
+    bool valid = false;
+    double cost = 0;
+    uint32_t left_mask = 0;
+    int r = -1;
+    int kind = -1;  ///< candidate ordinal within TryJoin
+    int aux = 0;    ///< index-NL: position in the split's pred vector
+  };
+  PendingWin pending;
+  bool probing = false;          ///< lazy PlanJoins: cost-only sweep
+  bool building_winner = false;  ///< lazy Materialize: single rebuild pass
+  uint32_t cur_left = 0;         ///< split TryJoin is currently costing
+  int cur_r = -1;
+
+  /// Lazy mode: how to rebuild a decision-only entry's plan node. Repaired
+  /// masks carry {cost, stats} immediately (upper subsets need both for
+  /// costing and estimation) but the node itself — assembly plus subtree
+  /// clones, the expensive part — is materialized only along the final
+  /// plan's spine (see Materialize).
+  struct RebuildInfo {
+    uint32_t left_mask = 0;
+    int r = -1;
+    int kind = -1;
+    int aux = 0;
+  };
+  std::map<uint32_t, RebuildInfo> deferred;
 
   std::vector<FeedbackApplied> feedback_applied;
 
@@ -45,22 +86,72 @@ struct Planner {
                       1.0);
   }
 
-  /// Considers `cand` for subset `mask`, keeping it if cheapest.
-  void Offer(uint32_t mask, std::unique_ptr<PlanNode> plan, DerivedRel stats,
-             double total_cost) {
-    ++enumerated;
+  bool WouldKeep(uint32_t mask, double total_cost) const {
     auto it = dp.find(mask);
-    if (it != dp.end() && it->second.cost <= total_cost) return;
-    DpEntry e;
-    e.plan = std::move(plan);
-    e.stats = std::move(stats);
+    return it == dp.end() || it->second.cost > total_cost;
+  }
+
+  /// Considers a candidate for `mask` at `total_cost`, keeping it if
+  /// cheapest (first-wins on ties, as always). `build` materializes the
+  /// {plan node, output stats} pair; it runs unconditionally in eager mode
+  /// (the historical enumeration, byte by byte), and in lazy mode only for
+  /// the one recorded winner per mask (deferred-build, see PendingWin).
+  /// `kind`/`aux` identify the candidate within its TryJoin call so the
+  /// rebuild pass can find it again.
+  template <typename BuildFn>
+  void OfferCandidate(uint32_t mask, double total_cost, BuildFn&& build,
+                      int kind = -1, int aux = 0) {
+    if (building_winner) {
+      // Rebuild pass: materialize the recorded winner, skip everything else.
+      // Costs recompute bit-identically (same inputs, same operations).
+      if (kind != pending.kind || aux != pending.aux) return;
+      std::pair<std::unique_ptr<PlanNode>, DerivedRel> cand = build();
+      MemoEntry e;
+      e.plan = std::move(cand.first);
+      e.stats = std::move(cand.second);
+      e.cost = total_cost;
+      dp[mask] = std::move(e);
+      return;
+    }
+    ++enumerated;
+    if (probing) {
+      // Strict < keeps the FIRST candidate achieving the minimum — the same
+      // survivor the eager insert rule ("keep existing on ties") produces.
+      if (!pending.valid || total_cost < pending.cost) {
+        pending.valid = true;
+        pending.cost = total_cost;
+        pending.left_mask = cur_left;
+        pending.r = cur_r;
+        pending.kind = kind;
+        pending.aux = aux;
+      }
+      return;
+    }
+    if (lazy && !WouldKeep(mask, total_cost)) return;
+    std::pair<std::unique_ptr<PlanNode>, DerivedRel> cand = build();
+    if (!WouldKeep(mask, total_cost)) return;
+    MemoEntry e;
+    e.plan = std::move(cand.first);
+    e.stats = std::move(cand.second);
     e.cost = total_cost;
     dp[mask] = std::move(e);
+  }
+
+  /// Join predicates connecting the left subset with relation r.
+  std::vector<const JoinPred*> SplitPreds(uint32_t left_mask, int r) const {
+    std::vector<const JoinPred*> preds;
+    for (const JoinPred& j : spec->joins) {
+      bool lr = (left_mask >> j.left_rel & 1) && j.right_rel == r;
+      bool rl = (left_mask >> j.right_rel & 1) && j.left_rel == r;
+      if (lr || rl) preds.push_back(&j);
+    }
+    return preds;
   }
 
   Status PlanBaseRel(int r);
   Status PlanJoins();
   Status TryJoin(uint32_t left_mask, int r);
+  Status Materialize(uint32_t mask);
   Result<std::unique_ptr<PlanNode>> Finish();
 };
 
@@ -105,21 +196,25 @@ Status Planner::PlanBaseRel(int r) {
   ASSIGN_OR_RETURN(DerivedRel raw, est.RawRel(r));
   ASSIGN_OR_RETURN(DerivedRel filtered, est.BaseRel(r));
   const uint32_t mask = 1u << r;
+  leaf_raw[r] = raw;
 
   // Sequential scan with pushed-down filters.
   {
-    auto n = std::make_unique<PlanNode>();
-    n->kind = OpKind::kSeqScan;
-    n->table = ref.table;
-    n->alias = ref.alias;
-    n->filters = RelFilters(*spec, r);
-    n->output_schema = ScanSchema(*info, ref.alias);
-    n->covers = {r};
     double c = cost->SeqScan(static_cast<double>(info->heap->page_count()),
                              raw.rows);
-    FillOutputEstimates(n.get(), filtered, c, 0);
-    n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
-    Offer(mask, std::move(n), filtered, c);
+    OfferCandidate(mask, c, [&] {
+      auto n = std::make_unique<PlanNode>();
+      n->kind = OpKind::kSeqScan;
+      n->table = ref.table;
+      n->alias = ref.alias;
+      n->filters = RelFilters(*spec, r);
+      n->output_schema = ScanSchema(*info, ref.alias);
+      n->covers = {r};
+      FillOutputEstimates(n.get(), filtered, c, 0);
+      n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
+      n->improved = n->est;
+      return std::make_pair(std::move(n), filtered);
+    });
   }
 
   // Index scans: one candidate per index whose column carries a literal
@@ -131,27 +226,40 @@ Status Planner::PlanBaseRel(int r) {
       for (const FilterPred& f : spec->filters) {
         if (f.rel != r || f.column != col || f.rhs_is_column) continue;
         if (f.literal.is_string()) continue;
-        int64_t v = static_cast<int64_t>(f.literal.AsNumeric());
+        // The index stores integers, so a fractional literal is rounded
+        // toward the side that keeps the bound tight AND correct: ceil for
+        // lower bounds, floor for upper bounds (truncation would widen
+        // `a > 1.5` to `a >= 1`). Strict comparisons on an exactly
+        // integral literal still take the +-1 step.
+        const double d = f.literal.AsNumeric();
+        const int64_t fl = static_cast<int64_t>(std::floor(d));
+        const int64_t ce = static_cast<int64_t>(std::ceil(d));
         switch (f.op) {
           case CmpOp::kEq:
-            lo = lo ? std::max(*lo, v) : v;
+            // Fractional equality matches no integer: ce > fl then, and
+            // the empty range [ce, fl] estimates (near) zero matches.
+            lo = lo ? std::max(*lo, ce) : ce;
+            hi = hi ? std::min(*hi, fl) : fl;
+            has_pred = true;
+            break;
+          case CmpOp::kLt: {
+            const int64_t v = (d == static_cast<double>(fl)) ? fl - 1 : fl;
             hi = hi ? std::min(*hi, v) : v;
             has_pred = true;
             break;
-          case CmpOp::kLt:
-            hi = hi ? std::min(*hi, v - 1) : v - 1;
-            has_pred = true;
-            break;
+          }
           case CmpOp::kLe:
-            hi = hi ? std::min(*hi, v) : v;
+            hi = hi ? std::min(*hi, fl) : fl;
             has_pred = true;
             break;
-          case CmpOp::kGt:
-            lo = lo ? std::max(*lo, v + 1) : v + 1;
-            has_pred = true;
-            break;
-          case CmpOp::kGe:
+          case CmpOp::kGt: {
+            const int64_t v = (d == static_cast<double>(ce)) ? ce + 1 : ce;
             lo = lo ? std::max(*lo, v) : v;
+            has_pred = true;
+            break;
+          }
+          case CmpOp::kGe:
+            lo = lo ? std::max(*lo, ce) : ce;
             has_pred = true;
             break;
           default:
@@ -176,132 +284,159 @@ Status Planner::PlanBaseRel(int r) {
           std::max(1.0, matches / 400.0);  // ~400 index entries per leaf
       double miss =
           MissProb(static_cast<double>(info->heap->page_count()));
-
-      auto n = std::make_unique<PlanNode>();
-      n->kind = OpKind::kIndexScan;
-      n->table = ref.table;
-      n->alias = ref.alias;
-      n->index_column = col;
-      n->range_lo = lo;
-      n->range_hi = hi;
-      n->filters = RelFilters(*spec, r);  // residuals re-checked after fetch
-      n->output_schema = ScanSchema(*info, ref.alias);
-      n->covers = {r};
       double c = cost->IndexScan(index->height(), matches, leaf_pages, miss);
-      FillOutputEstimates(n.get(), filtered, c, 0);
-      n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
-      Offer(mask, std::move(n), filtered, c);
+
+      OfferCandidate(mask, c, [&] {
+        auto n = std::make_unique<PlanNode>();
+        n->kind = OpKind::kIndexScan;
+        n->table = ref.table;
+        n->alias = ref.alias;
+        n->index_column = col;
+        n->range_lo = lo;
+        n->range_hi = hi;
+        n->filters = RelFilters(*spec, r);  // residuals re-checked after fetch
+        n->output_schema = ScanSchema(*info, ref.alias);
+        n->covers = {r};
+        FillOutputEstimates(n.get(), filtered, c, 0);
+        n->est.selectivity = raw.rows > 0 ? filtered.rows / raw.rows : 1.0;
+        n->improved = n->est;
+        return std::make_pair(std::move(n), filtered);
+      });
     }
   }
   return Status::OK();
 }
 
 Status Planner::TryJoin(uint32_t left_mask, int r) {
+  cur_left = left_mask;
+  cur_r = r;
   auto left_it = dp.find(left_mask);
   auto right_it = dp.find(1u << r);
   if (left_it == dp.end() || right_it == dp.end()) return Status::OK();
-  DpEntry& left = left_it->second;
-  DpEntry& right = right_it->second;
+  MemoEntry& left = left_it->second;
+  MemoEntry& right = right_it->second;
 
-  // Join predicates connecting the left subset with r.
-  std::vector<const JoinPred*> preds;
-  for (const JoinPred& j : spec->joins) {
-    bool lr = (left_mask >> j.left_rel & 1) && j.right_rel == r;
-    bool rl = (left_mask >> j.right_rel & 1) && j.left_rel == r;
-    if (lr || rl) preds.push_back(&j);
-  }
+  std::vector<const JoinPred*> preds = SplitPreds(left_mask, r);
 
   const uint32_t mask = left_mask | (1u << r);
-  DerivedRel joined = est.Join(left.stats, right.stats, preds);
-
-  auto make_hash_join = [&](DpEntry& build, DpEntry& probe,
-                            bool build_is_left_subset) {
-    auto n = std::make_unique<PlanNode>();
-    n->kind = OpKind::kHashJoin;
-    for (const JoinPred* p : preds) {
-      std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
-      std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
-      // Keys on the build (child 0) side go to left_keys.
-      bool left_pred_on_build = build_is_left_subset
-                                    ? (left_mask >> p->left_rel & 1) != 0
-                                    : p->left_rel == r;
-      if (left_pred_on_build) {
-        n->left_keys.push_back(lq);
-        n->right_keys.push_back(rq);
-      } else {
-        n->left_keys.push_back(rq);
-        n->right_keys.push_back(lq);
-      }
+  // Shallow estimate first: every candidate below is costed from
+  // `joined.rows` alone, and the column-stats merge — the dominant per-split
+  // cost on wide intermediates — is deferred until a builder actually runs
+  // (at most once per TryJoin). Feedback side effects happen here, exactly
+  // once, same as the old up-front est.Join.
+  double pre_rows = 0;
+  DerivedRel joined = est.JoinShallow(left.stats, right.stats, preds,
+                                      &pre_rows);
+  bool joined_filled = false;
+  auto full_joined = [&]() -> const DerivedRel& {
+    if (!joined_filled) {
+      Estimator::FillJoinCols(&joined, left.stats, right.stats, pre_rows);
+      joined_filled = true;
     }
-    n->output_schema = Schema::Concat(build.plan->output_schema,
-                                      probe.plan->output_schema);
-    n->covers = build.plan->covers;
-    n->covers.insert(probe.plan->covers.begin(), probe.plan->covers.end());
+    return joined;
+  };
+
+  auto offer_hash_join = [&](MemoEntry& build, MemoEntry& probe,
+                             bool build_is_left_subset) {
     int passes = 0;
     double c = cost->HashJoin(build.stats.rows, build.stats.Pages(),
                               probe.stats.rows, probe.stats.Pages(),
                               opts->assumed_mem_pages, joined.rows, &passes);
-    // Join output column order follows the schema concat; DerivedRel is a
-    // map so no reorder is needed.
-    DerivedRel out = joined;
-    out.avg_tuple_bytes =
-        build.stats.avg_tuple_bytes + probe.stats.avg_tuple_bytes;
     double children = build.cost + probe.cost;
-    n->children.push_back(build.plan->Clone());
-    n->children.push_back(probe.plan->Clone());
-    FillOutputEstimates(n.get(), out, c, children);
-    Offer(mask, std::move(n), out, children + c);
+    OfferCandidate(
+        mask, children + c,
+        [&] {
+      auto n = std::make_unique<PlanNode>();
+      n->kind = OpKind::kHashJoin;
+      for (const JoinPred* p : preds) {
+        std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
+        std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
+        // Keys on the build (child 0) side go to left_keys.
+        bool left_pred_on_build = build_is_left_subset
+                                      ? (left_mask >> p->left_rel & 1) != 0
+                                      : p->left_rel == r;
+        if (left_pred_on_build) {
+          n->left_keys.push_back(lq);
+          n->right_keys.push_back(rq);
+        } else {
+          n->left_keys.push_back(rq);
+          n->right_keys.push_back(lq);
+        }
+      }
+      n->output_schema = Schema::Concat(build.plan->output_schema,
+                                        probe.plan->output_schema);
+      n->covers = build.plan->covers;
+      n->covers.insert(probe.plan->covers.begin(), probe.plan->covers.end());
+      // Join output column order follows the schema concat; DerivedRel is a
+      // map so no reorder is needed.
+      DerivedRel out = full_joined();
+      out.avg_tuple_bytes =
+          build.stats.avg_tuple_bytes + probe.stats.avg_tuple_bytes;
+      n->children.push_back(build.plan->Clone());
+      n->children.push_back(probe.plan->Clone());
+      FillOutputEstimates(n.get(), out, c, children);
+      return std::make_pair(std::move(n), std::move(out));
+        },
+        /*kind=*/build_is_left_subset ? 0 : 1);
   };
 
   // Sort-merge join: explicit sorts on the join keys become blocking
   // stages of their own (more re-optimization points); competitive when
   // both inputs fit sort memory or are badly skewed for hashing.
-  auto make_merge_join = [&]() {
-    auto wrap_sort = [&](DpEntry& e,
-                         const std::vector<std::string>& keys) {
-      auto sort = std::make_unique<PlanNode>();
-      sort->kind = OpKind::kSort;
-      for (const std::string& k : keys) sort->sort_keys.emplace_back(k, true);
-      sort->output_schema = e.plan->output_schema;
-      sort->covers = e.plan->covers;
-      double c = cost->Sort(e.stats.rows, e.stats.Pages(),
-                            opts->assumed_mem_pages);
-      sort->children.push_back(e.plan->Clone());
-      FillOutputEstimates(sort.get(), e.stats, c, e.cost);
-      return sort;
-    };
-    auto n = std::make_unique<PlanNode>();
-    n->kind = OpKind::kMergeJoin;
-    for (const JoinPred* p : preds) {
-      std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
-      std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
-      bool pred_left_in_subset = (left_mask >> p->left_rel & 1) != 0;
-      n->left_keys.push_back(pred_left_in_subset ? lq : rq);
-      n->right_keys.push_back(pred_left_in_subset ? rq : lq);
-    }
-    std::unique_ptr<PlanNode> lsort = wrap_sort(left, n->left_keys);
-    std::unique_ptr<PlanNode> rsort = wrap_sort(right, n->right_keys);
-    n->output_schema = Schema::Concat(lsort->output_schema,
-                                      rsort->output_schema);
-    n->covers = left.plan->covers;
-    n->covers.insert(right.plan->covers.begin(), right.plan->covers.end());
-    double children = lsort->est.cost_total_ms + rsort->est.cost_total_ms;
+  auto offer_merge_join = [&]() {
+    double lsort_c =
+        cost->Sort(left.stats.rows, left.stats.Pages(), opts->assumed_mem_pages);
+    double rsort_c = cost->Sort(right.stats.rows, right.stats.Pages(),
+                                opts->assumed_mem_pages);
+    double children = (left.cost + lsort_c) + (right.cost + rsort_c);
     double c = cost->MergeJoin(left.stats.rows, right.stats.rows, joined.rows);
-    n->children.push_back(std::move(lsort));
-    n->children.push_back(std::move(rsort));
-    DerivedRel out = joined;
-    FillOutputEstimates(n.get(), out, c, children);
-    Offer(mask, std::move(n), out, children + c);
+    OfferCandidate(
+        mask, children + c,
+        [&] {
+      auto wrap_sort = [&](MemoEntry& e, const std::vector<std::string>& keys,
+                           double sort_c) {
+        auto sort = std::make_unique<PlanNode>();
+        sort->kind = OpKind::kSort;
+        for (const std::string& k : keys)
+          sort->sort_keys.emplace_back(k, true);
+        sort->output_schema = e.plan->output_schema;
+        sort->covers = e.plan->covers;
+        sort->children.push_back(e.plan->Clone());
+        FillOutputEstimates(sort.get(), e.stats, sort_c, e.cost);
+        return sort;
+      };
+      auto n = std::make_unique<PlanNode>();
+      n->kind = OpKind::kMergeJoin;
+      for (const JoinPred* p : preds) {
+        std::string lq = spec->Qualified(ColumnId{p->left_rel, p->left_col});
+        std::string rq = spec->Qualified(ColumnId{p->right_rel, p->right_col});
+        bool pred_left_in_subset = (left_mask >> p->left_rel & 1) != 0;
+        n->left_keys.push_back(pred_left_in_subset ? lq : rq);
+        n->right_keys.push_back(pred_left_in_subset ? rq : lq);
+      }
+      std::unique_ptr<PlanNode> lsort = wrap_sort(left, n->left_keys, lsort_c);
+      std::unique_ptr<PlanNode> rsort = wrap_sort(right, n->right_keys, rsort_c);
+      n->output_schema = Schema::Concat(lsort->output_schema,
+                                        rsort->output_schema);
+      n->covers = left.plan->covers;
+      n->covers.insert(right.plan->covers.begin(), right.plan->covers.end());
+      n->children.push_back(std::move(lsort));
+      n->children.push_back(std::move(rsort));
+      DerivedRel out = full_joined();
+      FillOutputEstimates(n.get(), out, c, children);
+      return std::make_pair(std::move(n), std::move(out));
+        },
+        /*kind=*/2);
   };
 
   if (!preds.empty()) {
-    make_hash_join(left, right, /*build_is_left_subset=*/true);
+    offer_hash_join(left, right, /*build_is_left_subset=*/true);
     if (!opts->build_on_left_subtree || __builtin_popcount(left_mask) == 1)
-      make_hash_join(right, left, /*build_is_left_subset=*/false);
-    if (opts->enable_sort_merge_join) make_merge_join();
+      offer_hash_join(right, left, /*build_is_left_subset=*/false);
+    if (opts->enable_sort_merge_join) offer_merge_join();
   } else {
     // Cross product: only via (cheap) hash join with no keys.
-    make_hash_join(right, left, false);
+    offer_hash_join(right, left, false);
   }
 
   // Indexed nested-loops join: outer = left subset, inner = base relation r
@@ -311,7 +446,8 @@ Status Planner::TryJoin(uint32_t left_mask, int r) {
     Result<const TableInfo*> info_r = catalog->Get(ref.table);
     if (!info_r.ok()) return info_r.status();
     const TableInfo* info = info_r.value();
-    for (const JoinPred* p : preds) {
+    for (int pi = 0; pi < static_cast<int>(preds.size()); ++pi) {
+      const JoinPred* p = preds[pi];
       const std::string& inner_col = p->left_rel == r ? p->left_col : p->right_col;
       const std::string& outer_q =
           p->left_rel == r ? spec->Qualified(ColumnId{p->right_rel, p->right_col})
@@ -325,36 +461,66 @@ Status Planner::TryJoin(uint32_t left_mask, int r) {
       double d_inner = (ics && ics->distinct > 0) ? ics->distinct : raw_r.rows;
       double matches = left.stats.rows * raw_r.rows / std::max(1.0, d_inner);
       double miss = MissProb(static_cast<double>(info->heap->page_count()));
-
-      auto n = std::make_unique<PlanNode>();
-      n->kind = OpKind::kIndexNLJoin;
-      n->table = ref.table;
-      n->alias = ref.alias;
-      n->index_column = inner_col;
-      n->left_keys.push_back(outer_q);           // outer key column
-      n->right_keys.push_back(ref.alias + "." + inner_col);
-      n->filters = RelFilters(*spec, r);  // inner residual filters
-      // Remaining join predicates become residual filters too.
-      for (const JoinPred* q : preds) {
-        if (q == p) continue;
-        ScalarPred sp;
-        sp.column = spec->Qualified(ColumnId{q->left_rel, q->left_col});
-        sp.op = CmpOp::kEq;
-        sp.rhs_is_column = true;
-        sp.rhs_column = spec->Qualified(ColumnId{q->right_rel, q->right_col});
-        n->filters.push_back(std::move(sp));
-      }
-      n->output_schema = Schema::Concat(left.plan->output_schema,
-                                        ScanSchema(*info, ref.alias));
-      n->covers = left.plan->covers;
-      n->covers.insert(r);
       double c = cost->IndexNLJoin(left.stats.rows, index->height(), matches,
                                    miss);
-      n->children.push_back(left.plan->Clone());
-      FillOutputEstimates(n.get(), joined, c, left.cost);
-      Offer(mask, std::move(n), joined, left.cost + c);
+
+      OfferCandidate(
+          mask, left.cost + c,
+          [&] {
+        auto n = std::make_unique<PlanNode>();
+        n->kind = OpKind::kIndexNLJoin;
+        n->table = ref.table;
+        n->alias = ref.alias;
+        n->index_column = inner_col;
+        n->left_keys.push_back(outer_q);           // outer key column
+        n->right_keys.push_back(ref.alias + "." + inner_col);
+        n->filters = RelFilters(*spec, r);  // inner residual filters
+        // Remaining join predicates become residual filters too.
+        for (const JoinPred* q : preds) {
+          if (q == p) continue;
+          ScalarPred sp;
+          sp.column = spec->Qualified(ColumnId{q->left_rel, q->left_col});
+          sp.op = CmpOp::kEq;
+          sp.rhs_is_column = true;
+          sp.rhs_column = spec->Qualified(ColumnId{q->right_rel, q->right_col});
+          n->filters.push_back(std::move(sp));
+        }
+        n->output_schema = Schema::Concat(left.plan->output_schema,
+                                          ScanSchema(*info, ref.alias));
+        n->covers = left.plan->covers;
+        n->covers.insert(r);
+        n->children.push_back(left.plan->Clone());
+        DerivedRel out = full_joined();
+        FillOutputEstimates(n.get(), out, c, left.cost);
+        return std::make_pair(std::move(n), std::move(out));
+          },
+          /*kind=*/3, /*aux=*/pi);
     }
   }
+  return Status::OK();
+}
+
+Status Planner::Materialize(uint32_t mask) {
+  auto it = dp.find(mask);
+  if (it == dp.end())
+    return Status::Internal("optimizer: missing memo entry to materialize");
+  if (it->second.plan != nullptr) return Status::OK();
+  auto di = deferred.find(mask);
+  if (di == deferred.end())
+    return Status::Internal("optimizer: decision-only entry lost its rebuild");
+  const RebuildInfo ri = di->second;
+  // Children first: the left subset may itself be decision-only. The right
+  // side is a leaf, and leaves are always materialized by PlanBaseRel.
+  RETURN_IF_ERROR(Materialize(ri.left_mask));
+  pending.valid = true;
+  pending.kind = ri.kind;
+  pending.aux = ri.aux;
+  building_winner = true;
+  Status built = TryJoin(ri.left_mask, ri.r);
+  building_winner = false;
+  RETURN_IF_ERROR(built);
+  if (it->second.plan == nullptr)
+    return Status::Internal("optimizer: recorded winner failed to rebuild");
   return Status::OK();
 }
 
@@ -365,6 +531,13 @@ Status Planner::PlanJoins() {
   for (int size = 2; size <= n; ++size) {
     for (uint32_t mask = 1; mask <= full; ++mask) {
       if (__builtin_popcount(mask) != size) continue;
+      // Repair mode: this subset's entry was reused verbatim from the
+      // retained memo (every leaf under it proven unchanged).
+      if (preserved.count(mask) != 0) continue;
+      if (lazy) {
+        pending = PendingWin{};
+        probing = true;
+      }
       for (int r = 0; r < n; ++r) {
         if (!(mask >> r & 1)) continue;
         uint32_t left_mask = mask & ~(1u << r);
@@ -380,13 +553,36 @@ Status Planner::PlanJoins() {
         }
         if (connected) RETURN_IF_ERROR(TryJoin(left_mask, r));
       }
-      if (dp.find(mask) == dp.end()) {
+      // An eager offer always creates the entry, a probed offer always sets
+      // `pending`, so these fallback conditions are equivalent.
+      const bool no_candidate =
+          lazy ? !pending.valid : dp.find(mask) == dp.end();
+      if (no_candidate) {
         // No connected split: fall back to cross products.
         for (int r = 0; r < n; ++r) {
           if (!(mask >> r & 1)) continue;
           uint32_t left_mask = mask & ~(1u << r);
           if (left_mask == 0) continue;
           RETURN_IF_ERROR(TryJoin(left_mask, r));
+        }
+      }
+      if (lazy) {
+        probing = false;
+        if (pending.valid) {
+          // Record the winning decision with its cost and full output stats
+          // (upper subsets cost against rows/pages and estimate through the
+          // column stats) but no plan node: only subsets the final plan
+          // actually uses pay node assembly and subtree clones, in
+          // Materialize. est.Join recomputes the probe's estimate
+          // bit-identically (same inputs, same operations).
+          MemoEntry e;
+          e.cost = pending.cost;
+          e.stats =
+              est.Join(dp[pending.left_mask].stats, dp[1u << pending.r].stats,
+                       SplitPreds(pending.left_mask, pending.r));
+          dp[mask] = std::move(e);
+          deferred[mask] = RebuildInfo{pending.left_mask, pending.r,
+                                       pending.kind, pending.aux};
         }
       }
     }
@@ -398,6 +594,8 @@ Result<std::unique_ptr<PlanNode>> Planner::Finish() {
   const uint32_t full = (1u << spec->relations.size()) - 1;
   auto it = dp.find(full);
   if (it == dp.end()) return Status::Internal("optimizer: no complete plan");
+  // Lazy repair defers node assembly; build the winning spine now.
+  RETURN_IF_ERROR(Materialize(full));
   std::unique_ptr<PlanNode> plan = it->second.plan->Clone();
   DerivedRel stats = it->second.stats;
   double total = it->second.cost;
@@ -508,6 +706,81 @@ Result<std::unique_ptr<PlanNode>> Planner::Finish() {
   return plan;
 }
 
+/// Entry guards shared by Plan and RepairPlan. The 31-relation wall is a
+/// correctness bound, not a practical one: the DP keys subsets by a 32-bit
+/// mask and `1u << r` for r >= 32 silently aliases subsets, so it is
+/// checked first and hard-errors even if the practical limit below is ever
+/// raised.
+Status CheckPlannable(const QuerySpec& spec) {
+  if (spec.relations.empty())
+    return Status::InvalidArgument("query has no relations");
+  if (spec.relations.size() > 31)
+    return Status::InvalidArgument(
+        "too many relations (max 31: join-subset bitmask is 32-bit)");
+  if (spec.relations.size() > 20)
+    return Status::NotSupported("too many relations (max 20)");
+  return Status::OK();
+}
+
+std::vector<MemoRelSnapshot> SnapshotRelations(const QuerySpec& spec,
+                                               const Catalog& catalog) {
+  std::vector<MemoRelSnapshot> out(spec.relations.size());
+  for (size_t i = 0; i < spec.relations.size(); ++i) {
+    Result<const TableInfo*> info = catalog.Get(spec.relations[i].table);
+    if (!info.ok()) continue;  // planning would already have failed
+    MemoRelSnapshot& s = out[i];
+    s.table = spec.relations[i].table;
+    s.schema_fingerprint = SchemaFingerprint(*info.value());
+    s.heap_tuple_count =
+        static_cast<double>(info.value()->heap->tuple_count());
+    s.heap_page_count =
+        static_cast<double>(info.value()->heap->page_count());
+    s.stats_row_count = info.value()->stats.row_count;
+    s.stats_page_count = info.value()->stats.page_count;
+    s.update_activity = info.value()->stats.update_activity;
+  }
+  return out;
+}
+
+bool SnapshotMatches(const MemoRelSnapshot& s, const RelationRef& ref,
+                     const Catalog& catalog) {
+  if (s.table != ref.table) return false;
+  Result<const TableInfo*> info = catalog.Get(ref.table);
+  if (!info.ok()) return false;
+  return s.schema_fingerprint == SchemaFingerprint(*info.value()) &&
+         s.heap_tuple_count ==
+             static_cast<double>(info.value()->heap->tuple_count()) &&
+         s.heap_page_count ==
+             static_cast<double>(info.value()->heap->page_count()) &&
+         s.stats_row_count == info.value()->stats.row_count &&
+         s.stats_page_count == info.value()->stats.page_count &&
+         s.update_activity == info.value()->stats.update_activity;
+}
+
+/// Shared tail of Plan/RepairPlan: final plan assembly plus memo handover.
+Result<OptimizeResult> FinishResult(Planner* planner, const QuerySpec& spec,
+                                    const Catalog* catalog,
+                                    const CostModel* cost,
+                                    const CardinalityFeedbackStore* feedback) {
+  ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner->Finish());
+  AssignPlanIds(plan.get());
+
+  OptimizeResult result;
+  result.plan = std::move(plan);
+  result.plans_enumerated = planner->enumerated;
+  result.sim_opt_time_ms = static_cast<double>(planner->enumerated) *
+                           cost->params().t_opt_per_plan_ms;
+  result.feedback_applied = std::move(planner->feedback_applied);
+
+  auto memo = std::make_unique<PlanMemo>();
+  memo->entries = std::move(planner->dp);
+  memo->leaf_raw = std::move(planner->leaf_raw);
+  memo->rel_snapshots = SnapshotRelations(spec, *catalog);
+  memo->feedback_generation = feedback ? feedback->generation() : 0;
+  result.memo = std::move(memo);
+  return result;
+}
+
 }  // namespace
 
 void AssignPlanIds(PlanNode* root) {
@@ -517,24 +790,114 @@ void AssignPlanIds(PlanNode* root) {
 
 Result<OptimizeResult> Optimizer::Plan(
     const QuerySpec& spec, const BaseRelOverrides* overrides) const {
-  if (spec.relations.empty())
-    return Status::InvalidArgument("query has no relations");
-  if (spec.relations.size() > 20)
-    return Status::NotSupported("too many relations (max 20)");
+  RETURN_IF_ERROR(CheckPlannable(spec));
 
   Planner planner(catalog_, cost_, &opts_, &spec, overrides, feedback_);
   for (int r = 0; r < static_cast<int>(spec.relations.size()); ++r)
     RETURN_IF_ERROR(planner.PlanBaseRel(r));
   RETURN_IF_ERROR(planner.PlanJoins());
-  ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Finish());
-  AssignPlanIds(plan.get());
+  return FinishResult(&planner, spec, catalog_, cost_, feedback_);
+}
 
-  OptimizeResult result;
-  result.plan = std::move(plan);
-  result.plans_enumerated = planner.enumerated;
-  result.sim_opt_time_ms =
-      static_cast<double>(planner.enumerated) * cost_->params().t_opt_per_plan_ms;
-  result.feedback_applied = std::move(planner.feedback_applied);
+Result<OptimizeResult> Optimizer::RepairPlan(const QuerySpec& spec,
+                                             const BaseRelOverrides* overrides,
+                                             std::unique_ptr<PlanMemo> retained,
+                                             MemoRepair* repair) const {
+  RETURN_IF_ERROR(CheckPlannable(spec));
+
+  const uint64_t current_gen = feedback_ ? feedback_->generation() : 0;
+  if (retained == nullptr || retained->feedback_generation != current_gen) {
+    // No memo, or the feedback store changed under it: join estimates
+    // flowing through the store can no longer be proven unchanged, so the
+    // retained entries are untrustworthy wholesale.
+    if (repair != nullptr) {
+      repair->fell_back = true;
+      repair->leaves_changed = static_cast<int>(spec.relations.size());
+    }
+    ASSIGN_OR_RETURN(OptimizeResult scratch, Plan(spec, overrides));
+    if (repair != nullptr) {
+      repair->offers_repaired = scratch.plans_enumerated;
+      repair->incremental_ms = scratch.sim_opt_time_ms;
+    }
+    return scratch;
+  }
+
+  Planner planner(catalog_, cost_, &opts_, &spec, overrides, feedback_);
+  planner.lazy = true;
+  const int n = static_cast<int>(spec.relations.size());
+
+  // Leaves are always re-derived: O(n) and cheap, and the fresh derivation
+  // is the ground truth the retained entries are validated against.
+  for (int r = 0; r < n; ++r) RETURN_IF_ERROR(planner.PlanBaseRel(r));
+
+  // A leaf is dirty when any input of its derivation drifted: the catalog
+  // snapshot (schema/index DDL, heap growth, stats churn, feedback-anchor
+  // state), the pre-filter stats, or the derived leaf entry itself (cost,
+  // full column stats, chosen access path) — the latter is what collector
+  // overrides and new feedback show up in.
+  uint32_t dirty = 0;
+  int leaves_changed = 0;
+  for (int r = 0; r < n; ++r) {
+    const uint32_t mask = 1u << r;
+    bool clean =
+        static_cast<size_t>(r) < retained->rel_snapshots.size() &&
+        SnapshotMatches(retained->rel_snapshots[static_cast<size_t>(r)],
+                        spec.relations[static_cast<size_t>(r)], *catalog_);
+    if (clean) {
+      auto fresh_it = planner.dp.find(mask);
+      auto old_it = retained->entries.find(mask);
+      auto fresh_raw = planner.leaf_raw.find(r);
+      auto old_raw = retained->leaf_raw.find(r);
+      clean = fresh_it != planner.dp.end() &&
+              old_it != retained->entries.end() &&
+              old_it->second.plan != nullptr &&
+              fresh_raw != planner.leaf_raw.end() &&
+              old_raw != retained->leaf_raw.end() &&
+              fresh_it->second.cost == old_it->second.cost &&
+              StatsEqual(fresh_it->second.stats, old_it->second.stats) &&
+              StatsEqual(fresh_raw->second, old_raw->second) &&
+              fresh_it->second.plan->ToString() ==
+                  old_it->second.plan->ToString();
+    }
+    if (!clean) {
+      dirty |= mask;
+      ++leaves_changed;
+    }
+  }
+
+  // Delta-propagation: every join entry whose subset avoids all dirty
+  // leaves is proven identical to what a from-scratch enumeration would
+  // re-derive (its inputs are unchanged and the DP is deterministic), so
+  // it is MOVED in verbatim — no clone, no re-costing. PlanJoins then
+  // repairs bottom-up, re-enumerating only subsets containing a dirty leaf
+  // (lazily; see OfferCandidate).
+  uint64_t total = 0, reused = 0, invalidated = 0;
+  for (auto& [mask, entry] : retained->entries) {
+    if (__builtin_popcount(mask) < 2) continue;  // leaves: re-derived above
+    ++total;
+    // A decision-only entry (repaired last round but never on the final
+    // plan's spine, so its node was never materialized) has nothing to
+    // reuse verbatim; re-enumerate it.
+    if ((mask & dirty) != 0 || mask > (1u << n) - 1 || entry.plan == nullptr) {
+      ++invalidated;
+      continue;
+    }
+    planner.preserved.insert(mask);
+    planner.dp[mask] = std::move(entry);
+    ++reused;
+  }
+
+  RETURN_IF_ERROR(planner.PlanJoins());
+  ASSIGN_OR_RETURN(OptimizeResult result,
+                   FinishResult(&planner, spec, catalog_, cost_, feedback_));
+  if (repair != nullptr) {
+    repair->entries_total = total;
+    repair->entries_invalidated = invalidated;
+    repair->entries_reused = reused;
+    repair->offers_repaired = result.plans_enumerated;
+    repair->leaves_changed = leaves_changed;
+    repair->incremental_ms = result.sim_opt_time_ms;
+  }
   return result;
 }
 

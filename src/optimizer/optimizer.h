@@ -11,6 +11,7 @@
 
 #include "catalog/catalog.h"
 #include "optimizer/cost_model.h"
+#include "optimizer/plan_memo.h"
 #include "optimizer/selectivity.h"
 #include "plan/physical_plan.h"
 #include "plan/query_spec.h"
@@ -53,12 +54,17 @@ struct OptimizeResult {
   /// Number of (partial) plans costed — the DP enumeration effort. The
   /// simulated optimization time is this count times t_opt_per_plan_ms,
   /// mirroring the paper's observation that optimization cost depends on
-  /// the number of operators, not data sizes (Section 2.4).
+  /// the number of operators, not data sizes (Section 2.4). For RepairPlan
+  /// this counts only the candidates actually (re-)offered — reused memo
+  /// entries are free, which is the whole point.
   uint64_t plans_enumerated = 0;
   double sim_opt_time_ms = 0;
   /// Estimates corrected from the cardinality feedback store (empty when
   /// the optimizer runs without one).
   std::vector<FeedbackApplied> feedback_applied;
+  /// The DP memo this run built (always populated), ready to be retained by
+  /// the query and handed back to RepairPlan at a re-optimization point.
+  std::unique_ptr<PlanMemo> memo;
 };
 
 /// \brief The conventional query optimizer wrapped by Dynamic Re-Optimization.
@@ -78,6 +84,23 @@ class Optimizer {
   Result<OptimizeResult> Plan(
       const QuerySpec& spec,
       const BaseRelOverrides* overrides = nullptr) const;
+
+  /// Incrementally re-plans `spec` by repairing `retained` (a memo from a
+  /// previous Plan/RepairPlan of the *same* spec, possibly translated
+  /// through TranslateMemoForRemainder) instead of re-deriving every
+  /// subset. Leaves are always re-derived and deep-compared against the
+  /// memo; join entries whose leaves all match are moved in verbatim, and
+  /// only subsets containing a changed leaf are re-enumerated (lazily:
+  /// losing candidates are costed but their plan nodes never built). The
+  /// chosen plan and its cost are bit-identical to a from-scratch Plan()
+  /// with the same inputs. Falls back to Plan() — reported via
+  /// `repair->fell_back` — when the memo is null or the feedback store
+  /// changed since it was built. `repair`, when non-null, receives the
+  /// invalidation/reuse accounting.
+  Result<OptimizeResult> RepairPlan(const QuerySpec& spec,
+                                    const BaseRelOverrides* overrides,
+                                    std::unique_ptr<PlanMemo> retained,
+                                    MemoRepair* repair = nullptr) const;
 
  private:
   const Catalog* catalog_;

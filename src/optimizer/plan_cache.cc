@@ -52,9 +52,11 @@ uint64_t SchemaFingerprint(const TableInfo& info) {
 
 void PlanCorrectionCache::Install(const std::string& sql, const PlanNode& plan,
                                   double opt_time_ms, double query_mem_pages,
-                                  const Catalog& catalog) {
+                                  const Catalog& catalog,
+                                  const PlanMemo* memo) {
   Entry entry;
   entry.plan = plan.Clone();
+  if (memo != nullptr) entry.memo = memo->Clone();
   entry.opt_time_ms = opt_time_ms;
   entry.query_mem_pages = query_mem_pages;
   for (const std::string& t : ReferencedTables(plan)) {
@@ -82,7 +84,8 @@ void PlanCorrectionCache::Install(const std::string& sql, const PlanNode& plan,
 
 std::unique_ptr<PlanNode> PlanCorrectionCache::Lookup(
     const std::string& sql, double query_mem_pages, const Catalog& catalog,
-    std::string* reason, double* saved_opt_ms, uint64_t* entry_hits) {
+    std::string* reason, double* saved_opt_ms, uint64_t* entry_hits,
+    std::unique_ptr<PlanMemo>* memo_out) {
   auto it = entries_.find(sql);
   if (it == entries_.end()) {
     ++counters_.misses;
@@ -130,6 +133,8 @@ std::unique_ptr<PlanNode> PlanCorrectionCache::Lookup(
   if (reason != nullptr) *reason = "hit";
   if (saved_opt_ms != nullptr) *saved_opt_ms = entry.opt_time_ms;
   if (entry_hits != nullptr) *entry_hits = entry.hits;
+  if (memo_out != nullptr)
+    *memo_out = entry.memo != nullptr ? entry.memo->Clone() : nullptr;
   std::unique_ptr<PlanNode> clone = entry.plan->Clone();
   clone->PostOrder([](PlanNode* n) {
     n->improved = n->est;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "optimizer/plan_memo.h"
 #include "plan/physical_plan.h"
 
 namespace reoptdb {
@@ -76,22 +77,29 @@ class PlanCorrectionCache {
   /// `opt_time_ms` is the simulated optimization time a future hit saves;
   /// `query_mem_pages` is the budget the plan was corrected under. Tables
   /// referenced by the plan are snapshotted from `catalog` for validation.
+  /// `memo`, when non-null, is the corrected plan's DP memo (cloned); a
+  /// future hit hands a copy to the session so mid-query re-optimization
+  /// can repair incrementally despite having skipped the optimizer.
   void Install(const std::string& sql, const PlanNode& plan,
                double opt_time_ms, double query_mem_pages,
-               const Catalog& catalog);
+               const Catalog& catalog, const PlanMemo* memo = nullptr);
 
   /// Returns a fresh executable clone (observations reset, improved
   /// re-seeded from estimates, memory budgets cleared) when a valid entry
   /// exists, else nullptr with `reason` set to one of "miss",
   /// "schema_changed", "stats_stale", "insufficient_memory". On a hit
   /// `saved_opt_ms` receives the banked optimization time and `entry_hits`
-  /// the entry's cumulative hit count (this hit included).
+  /// the entry's cumulative hit count (this hit included). `memo_out`,
+  /// when non-null, receives a clone of the entry's DP memo (or nullptr if
+  /// the entry was installed without one).
   std::unique_ptr<PlanNode> Lookup(const std::string& sql,
                                    double query_mem_pages,
                                    const Catalog& catalog,
                                    std::string* reason,
                                    double* saved_opt_ms,
-                                   uint64_t* entry_hits);
+                                   uint64_t* entry_hits,
+                                   std::unique_ptr<PlanMemo>* memo_out =
+                                       nullptr);
 
   /// Drops every entry referencing `table` (DDL, bulk load).
   void InvalidateTable(const std::string& table);
@@ -108,6 +116,9 @@ class PlanCorrectionCache {
  private:
   struct Entry {
     std::unique_ptr<PlanNode> plan;
+    /// DP memo of the corrected plan's optimization (may be null for
+    /// entries installed without one).
+    std::unique_ptr<PlanMemo> memo;
     double opt_time_ms = 0;
     double query_mem_pages = 0;
     std::vector<PlanCacheTableMark> marks;

@@ -1,0 +1,130 @@
+#include "optimizer/plan_memo.h"
+
+#include <utility>
+
+namespace reoptdb {
+
+MemoEntry MemoEntry::Clone() const {
+  MemoEntry copy;
+  copy.plan = plan ? plan->Clone() : nullptr;
+  copy.stats = stats;
+  copy.cost = cost;
+  return copy;
+}
+
+std::unique_ptr<PlanMemo> PlanMemo::Clone() const {
+  auto copy = std::make_unique<PlanMemo>();
+  for (const auto& [mask, entry] : entries) {
+    copy->entries.emplace(mask, entry.Clone());
+  }
+  copy->leaf_raw = leaf_raw;
+  copy->rel_snapshots = rel_snapshots;
+  copy->feedback_generation = feedback_generation;
+  return copy;
+}
+
+namespace {
+
+bool HistogramsEqual(const Histogram& a, const Histogram& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.total_count() != b.total_count()) return false;
+  if (a.min() != b.min() || a.max() != b.max()) return false;
+  const auto& ba = a.buckets();
+  const auto& bb = b.buckets();
+  if (ba.size() != bb.size()) return false;
+  for (size_t i = 0; i < ba.size(); ++i) {
+    if (ba[i].lo != bb[i].lo || ba[i].hi != bb[i].hi ||
+        ba[i].count != bb[i].count || ba[i].distinct != bb[i].distinct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ColumnStatsEqual(const ColumnStats& a, const ColumnStats& b) {
+  return a.type == b.type && a.has_bounds == b.has_bounds && a.min == b.min &&
+         a.max == b.max && a.distinct == b.distinct &&
+         a.distinct_is_lower_bound == b.distinct_is_lower_bound &&
+         a.avg_width == b.avg_width && HistogramsEqual(a.histogram, b.histogram);
+}
+
+bool StatsEqual(const DerivedRel& a, const DerivedRel& b) {
+  if (a.rows != b.rows || a.avg_tuple_bytes != b.avg_tuple_bytes) return false;
+  if (a.rels != b.rels) return false;
+  if (a.cols.size() != b.cols.size()) return false;
+  auto it_a = a.cols.begin();
+  auto it_b = b.cols.begin();
+  for (; it_a != a.cols.end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first) return false;
+    if (!ColumnStatsEqual(it_a->second, it_b->second)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PlanMemo> TranslateMemoForRemainder(
+    PlanMemo memo, const QuerySpec& original, const std::set<int>& covered) {
+  auto out = std::make_unique<PlanMemo>();
+  out->feedback_generation = memo.feedback_generation;
+
+  // Ordinal remap matching BuildRemainderSpec: the temp table is relation 0;
+  // uncovered relations keep their relative order starting at 1.
+  const int n = static_cast<int>(original.relations.size());
+  std::vector<int> remap(n, -1);
+  int next = 1;
+  for (int r = 0; r < n; ++r) {
+    if (covered.count(r) == 0) remap[r] = next++;
+  }
+  uint32_t covered_bits = 0;
+  for (int r : covered) {
+    if (r >= 0 && r < n) covered_bits |= 1u << r;
+  }
+
+  // Relation 0 (the temp leaf) intentionally has no snapshot and no leaf
+  // stats: RepairPlan treats it as dirty, which is exactly right — it is a
+  // brand-new exact-cardinality leaf the retained memo has never seen.
+  out->rel_snapshots.resize(static_cast<size_t>(next));
+  for (int r = 0; r < n; ++r) {
+    if (remap[r] < 0) continue;
+    if (static_cast<size_t>(r) < memo.rel_snapshots.size()) {
+      out->rel_snapshots[static_cast<size_t>(remap[r])] =
+          memo.rel_snapshots[static_cast<size_t>(r)];
+    }
+  }
+
+  auto remap_rels = [&](const std::set<int>& rels) {
+    std::set<int> mapped;
+    for (int r : rels) {
+      if (r >= 0 && r < n && remap[r] >= 0) mapped.insert(remap[r]);
+    }
+    return mapped;
+  };
+
+  for (auto& [r, raw] : memo.leaf_raw) {
+    if (r < 0 || r >= n || remap[r] < 0) continue;
+    DerivedRel mapped = std::move(raw);
+    mapped.rels = remap_rels(mapped.rels);
+    out->leaf_raw.emplace(remap[r], std::move(mapped));
+  }
+
+  for (auto& [mask, entry] : memo.entries) {
+    if ((mask & covered_bits) != 0) continue;  // subsumed by the temp table
+    if (mask >= (1u << n)) continue;           // defensive: foreign ordinal
+    uint32_t new_mask = 0;
+    for (int r = 0; r < n; ++r) {
+      if ((mask & (1u << r)) != 0) new_mask |= 1u << remap[r];
+    }
+    MemoEntry moved = std::move(entry);
+    moved.stats.rels = remap_rels(moved.stats.rels);
+    if (moved.plan) {
+      moved.plan->PostOrder([&](PlanNode* node) {
+        node->covers = remap_rels(node->covers);
+      });
+    }
+    out->entries.emplace(new_mask, std::move(moved));
+  }
+  return out;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,106 @@
+// Retained dynamic-programming memo for incremental re-optimization.
+//
+// The System-R DP table the Planner builds (subset mask -> cheapest plan,
+// stats, cost) used to die with the Plan() call; re-optimizing the mid-query
+// remainder then re-derived every subset from scratch, and Eq.(1) priced
+// that full cost against the switch. Following Liu/Ives/Loo ("Enabling
+// Incremental Query Re-Optimization", PAPERS.md), the memo is lifted out
+// into a PlanMemo owned by the query: the initial optimization populates
+// it, and Optimizer::RepairPlan later invalidates only the entries whose
+// leaf inputs changed and repairs them bottom-up, reusing every clean
+// subplan verbatim.
+//
+// Validity is established from the inputs, not hoped for:
+//   - per-relation catalog snapshots (schema fingerprint, heap/live tuple
+//     counts, update activity, page count) catch stats churn, DML, and
+//     index DDL that would alter leaf or join-level derivations;
+//   - fresh leaf re-derivation is deep-compared (cost, full DerivedRel
+//     including per-column stats and histograms, rendered plan) against the
+//     retained leaf, so collector overrides and feedback corrections mark
+//     exactly the affected leaves dirty;
+//   - the cardinality feedback store's generation is snapshotted; any
+//     mutation since the memo was built falls back to a from-scratch
+//     re-plan (concurrent queries may have deposited join feedback the
+//     retained join entries never saw).
+// Under these guards a clean subset's optimal plan depends only on inputs
+// proven unchanged, so reused entries are bit-identical to what a
+// from-scratch enumeration would re-derive.
+
+#ifndef REOPTDB_OPTIMIZER_PLAN_MEMO_H_
+#define REOPTDB_OPTIMIZER_PLAN_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "optimizer/selectivity.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+
+namespace reoptdb {
+
+/// One DP table entry: the cheapest plan found for a relation subset.
+struct MemoEntry {
+  std::unique_ptr<PlanNode> plan;
+  DerivedRel stats;
+  double cost = 0;
+
+  MemoEntry Clone() const;
+};
+
+/// Catalog state of one referenced relation at memo-build time. Any drift
+/// marks the relation's leaf dirty: tuple counts and activity feed
+/// feedback-staleness checks, page counts feed scan/probe costs, and the
+/// schema fingerprint covers column and index DDL (a retained index-NL
+/// subplan must never outlive its index).
+struct MemoRelSnapshot {
+  std::string table;
+  uint64_t schema_fingerprint = 0;  ///< SchemaFingerprint (plan_cache.h)
+  double heap_tuple_count = 0;      ///< live heap tuples (feedback anchors)
+  double heap_page_count = 0;       ///< live heap pages (scan/probe costs)
+  double stats_row_count = 0;       ///< catalog (ANALYZE/SetStats) row count
+  double stats_page_count = 0;
+  double update_activity = 0;
+};
+
+/// \brief The retained DP memo of one optimization run.
+struct PlanMemo {
+  /// Subset mask -> cheapest entry, exactly as the DP enumeration left it
+  /// (leaves included; the Finish() wrappers are not subset-keyed and are
+  /// always rebuilt).
+  std::map<uint32_t, MemoEntry> entries;
+  /// Pre-filter base-relation stats per relation ordinal at build time;
+  /// compared on repair so catalog-stats changes that cancel out in the
+  /// filtered leaf (or feed join-level derivations directly, like the
+  /// index-NL inner estimate) still invalidate correctly.
+  std::map<int, DerivedRel> leaf_raw;
+  /// Indexed by relation ordinal.
+  std::vector<MemoRelSnapshot> rel_snapshots;
+  /// CardinalityFeedbackStore::generation() at build (0 = no store).
+  uint64_t feedback_generation = 0;
+
+  std::unique_ptr<PlanMemo> Clone() const;
+};
+
+/// Exact (bitwise) equality of derived statistics — the comparison behind
+/// leaf dirty-detection. Per-column stats participate fully (distinct
+/// counts drive join estimates; bounds and histograms drive ranges).
+bool ColumnStatsEqual(const ColumnStats& a, const ColumnStats& b);
+bool StatsEqual(const DerivedRel& a, const DerivedRel& b);
+
+/// Translates a memo retained from `original`'s optimization into the
+/// ordinal space of BuildRemainderSpec(original, covered, temp): entries
+/// touching a covered relation are dropped (their work now lives in the
+/// temp table), surviving masks/covers/rels are renumbered to the
+/// remainder's ordinals, and relation 0 (the temp leaf) is left vacant so
+/// it enters the repair as a new, always-dirty leaf. Consumes the memo —
+/// surviving entries are moved, not cloned.
+std::unique_ptr<PlanMemo> TranslateMemoForRemainder(
+    PlanMemo memo, const QuerySpec& original, const std::set<int>& covered);
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_OPTIMIZER_PLAN_MEMO_H_

@@ -323,11 +323,42 @@ void Estimator::ApplyJoinFeedback(DerivedRel* out) const {
 
 DerivedRel Estimator::Join(const DerivedRel& left, const DerivedRel& right,
                            const std::vector<const JoinPred*>& preds) const {
+  double prefeedback_rows = 0;
+  DerivedRel out = JoinShallow(left, right, preds, &prefeedback_rows);
+  FillJoinCols(&out, left, right, prefeedback_rows);
+  return out;
+}
+
+const std::pair<std::string, std::string>& Estimator::PredNames(
+    const JoinPred* p) const {
+  const JoinPred* base = spec_->joins.data();
+  const size_t idx = static_cast<size_t>(p - base);
+  if (idx < spec_->joins.size() && base + idx == p) {
+    if (pred_names_.size() != spec_->joins.size()) {
+      pred_names_.clear();
+      pred_names_.reserve(spec_->joins.size());
+      for (const JoinPred& j : spec_->joins)
+        pred_names_.emplace_back(
+            spec_->relations[j.left_rel].alias + "." + j.left_col,
+            spec_->relations[j.right_rel].alias + "." + j.right_col);
+    }
+    return pred_names_[idx];
+  }
+  // Caller-synthesized predicate (tests): build on the spot.
+  pred_names_scratch_ = {
+      spec_->relations[p->left_rel].alias + "." + p->left_col,
+      spec_->relations[p->right_rel].alias + "." + p->right_col};
+  return pred_names_scratch_;
+}
+
+DerivedRel Estimator::JoinShallow(const DerivedRel& left,
+                                  const DerivedRel& right,
+                                  const std::vector<const JoinPred*>& preds,
+                                  double* prefeedback_rows) const {
   DerivedRel out;
   double sel = 1.0;
   for (const JoinPred* p : preds) {
-    std::string lq = spec_->relations[p->left_rel].alias + "." + p->left_col;
-    std::string rq = spec_->relations[p->right_rel].alias + "." + p->right_col;
+    const auto& [lq, rq] = PredNames(p);
     const ColumnStats* lcs = left.Find(lq);
     if (lcs == nullptr) lcs = right.Find(lq);
     const ColumnStats* rcs = right.Find(rq);
@@ -356,13 +387,25 @@ DerivedRel Estimator::Join(const DerivedRel& left, const DerivedRel& right,
   out.avg_tuple_bytes = left.avg_tuple_bytes + right.avg_tuple_bytes;
   out.rels = left.rels;
   out.rels.insert(right.rels.begin(), right.rels.end());
-  out.cols = left.cols;
-  for (const auto& [name, cs] : right.cols) out.cols[name] = cs;
-  for (auto& [name, cs] : out.cols) {
-    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, out.rows);
-  }
+  if (prefeedback_rows != nullptr) *prefeedback_rows = out.rows;
+  // Feedback correction runs here, once: FillJoinCols is pure, so a caller
+  // may complete any number of shallow results without double-counting
+  // feedback hits or duplicating log entries.
   ApplyJoinFeedback(&out);
   return out;
+}
+
+void Estimator::FillJoinCols(DerivedRel* out, const DerivedRel& left,
+                             const DerivedRel& right, double prefeedback_rows) {
+  out->cols = left.cols;
+  for (const auto& [name, cs] : right.cols) out->cols[name] = cs;
+  // Join clamps distinct counts to the pre-feedback row estimate, then
+  // ApplyJoinFeedback re-clamps to the (possibly lower) corrected one:
+  // the net effect is min of both, reproduced here.
+  const double cap = std::min(prefeedback_rows, out->rows);
+  for (auto& [name, cs] : out->cols) {
+    if (cs.distinct > 0) cs.distinct = std::min(cs.distinct, cap);
+  }
 }
 
 double Estimator::GroupCount(const DerivedRel& input,

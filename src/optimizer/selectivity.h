@@ -85,8 +85,29 @@ class Estimator {
                                    double rows);
 
   /// Join of two derived relations over the given equi-join predicates.
+  /// Equivalent to JoinShallow followed by FillJoinCols.
   DerivedRel Join(const DerivedRel& left, const DerivedRel& right,
                   const std::vector<const JoinPred*>& preds) const;
+
+  /// Join cardinality/size estimate WITHOUT the per-column stats merge:
+  /// `rows` (feedback-corrected, exactly as Join computes it),
+  /// `avg_tuple_bytes` and `rels` are filled; `cols` is left empty.
+  /// Feedback lookup and logging happen here (once), so a later
+  /// FillJoinCols completes the result with no further side effects. The
+  /// incremental re-planner costs every candidate from the shallow
+  /// estimate and only pays for the column merge on candidates it keeps.
+  /// `prefeedback_rows`, when non-null, receives the row estimate before
+  /// the feedback correction (FillJoinCols needs it to reproduce Join's
+  /// distinct-count clamp ordering exactly).
+  DerivedRel JoinShallow(const DerivedRel& left, const DerivedRel& right,
+                         const std::vector<const JoinPred*>& preds,
+                         double* prefeedback_rows = nullptr) const;
+
+  /// Completes a JoinShallow result: merges the input column stats and
+  /// clamps distinct counts exactly as Join does (to the minimum of the
+  /// pre- and post-feedback row estimates). Pure; no feedback access.
+  static void FillJoinCols(DerivedRel* out, const DerivedRel& left,
+                           const DerivedRel& right, double prefeedback_rows);
 
   /// Estimated number of groups for GROUP BY over `group_cols`.
   static double GroupCount(const DerivedRel& input,
@@ -99,6 +120,11 @@ class Estimator {
   void ApplyJoinFeedback(DerivedRel* out) const;
   void LogFeedback(FeedbackApplied rec) const;
 
+  /// Qualified "alias.col" names for a join predicate, cached per spec
+  /// predicate — join enumeration calls JoinShallow O(2^n) times and the
+  /// string concatenations dominated its profile.
+  const std::pair<std::string, std::string>& PredNames(const JoinPred* p) const;
+
   const Catalog* catalog_;
   const QuerySpec* spec_;
   const BaseRelOverrides* overrides_;
@@ -107,6 +133,10 @@ class Estimator {
   std::vector<FeedbackApplied>* feedback_log_;
   /// Signatures already logged (join enumeration revisits subsets).
   mutable std::set<std::string> logged_;
+  /// Lazily built cache indexed like spec_->joins (see PredNames).
+  mutable std::vector<std::pair<std::string, std::string>> pred_names_;
+  /// Fallback slot for predicates not backed by spec_->joins.
+  mutable std::pair<std::string, std::string> pred_names_scratch_;
 };
 
 }  // namespace reoptdb

@@ -479,6 +479,13 @@ struct QuerySession::State {
   FaultInjector* faults;
 
   ExecutionReport report;
+  /// The DP memo retained from the optimization that produced `plan` (null
+  /// when the caller supplied a plan without one). A re-optimization point
+  /// consumes it — translated into the remainder's ordinal space and
+  /// repaired incrementally by Optimizer::RepairPlan; an accepted switch
+  /// retains the repaired memo, a rejected one leaves the session without
+  /// a memo (later gates re-plan from scratch, the pre-memo behaviour).
+  std::unique_ptr<PlanMemo> memo;
   /// The query's *live* mode: graceful degradation demotes it to kOff
   /// after repeated recovered failures without touching the options (the
   /// next query starts fresh).
@@ -820,14 +827,37 @@ Result<bool> QuerySession::State::Step() {
   ctx->AddEvent(Render(eq2));
   if (!eq2.fired) return false;
 
-  // Eq. (1): is re-optimization cheap relative to what remains?
+  // Eq. (1): is re-optimization cheap relative to what remains? With a
+  // retained memo the prospective re-plan is an incremental repair, so it
+  // is priced at the marginal cost of the changed leaves — the temp-table
+  // leaf (always new) plus every uncovered relation whose scan has exact
+  // run-time observations (those become overrides that dirty the leaf) —
+  // instead of the full from-scratch estimate. Cheaper re-planning lowers
+  // the gate: switches the old pricing rejected can now be considered.
   const int remainder_rels = static_cast<int>(
       spec.relations.size() - frontier->covers.size() + 1);
+  int changed_leaves = remainder_rels;
+  if (memo != nullptr) {
+    int observed_uncovered = 0;
+    plan->PostOrder([&](PlanNode* n) {
+      if (n->kind != OpKind::kSeqScan && n->kind != OpKind::kIndexScan) return;
+      if (!n->observed.valid || n->observed.partial) return;
+      if (n->covers.size() == 1 &&
+          frontier->covers.count(*n->covers.begin()) == 0) {
+        ++observed_uncovered;
+      }
+    });
+    changed_leaves = std::min(remainder_rels, 1 + observed_uncovered);
+  }
   Eq1Check eq1;
   eq1.stage_node_id = frontier->id;
-  eq1.t_opt_est = owner->calibration_
-                      ? owner->calibration_->EstimateOptTimeMs(remainder_rels)
-                      : owner->cost_->params().t_opt_per_plan_ms * 256;
+  eq1.t_opt_est =
+      owner->calibration_
+          ? (memo != nullptr
+                 ? owner->calibration_->EstimateIncrementalOptTimeMs(
+                       remainder_rels, changed_leaves)
+                 : owner->calibration_->EstimateOptTimeMs(remainder_rels))
+          : owner->cost_->params().t_opt_per_plan_ms * 256;
   eq1.rem_cur = rem_cur;
   eq1.theta1 = owner->opts_.theta1;
   eq1.fired = eq1.t_opt_est <= owner->opts_.theta1 * rem_cur;
@@ -875,7 +905,29 @@ Result<bool> QuerySession::State::Step() {
     if (faults != nullptr)
       RETURN_IF_ERROR(faults->Check(faults::kReoptOptimize));
     OptimizeResult new_opt;
-    ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
+    if (memo != nullptr) {
+      // Incremental repair: translate the retained memo into the
+      // remainder's ordinal space (consuming it — a rejected candidate
+      // leaves the session without a memo, falling back to the pre-memo
+      // from-scratch behaviour at later gates) and repair only the
+      // subsets touched by changed leaves.
+      MemoRepair mr;
+      mr.stage_node_id = frontier_id;
+      mr.scratch_est_ms =
+          owner->calibration_
+              ? owner->calibration_->EstimateOptTimeMs(remainder_rels)
+              : 0;
+      std::unique_ptr<PlanMemo> translated = TranslateMemoForRemainder(
+          std::move(*memo), spec, frontier->covers);
+      memo.reset();
+      ASSIGN_OR_RETURN(new_opt,
+                       optimizer.RepairPlan(remainder, &overrides,
+                                            std::move(translated), &mr));
+      ctx->AddEvent(Render(mr));
+      trace->memo_repairs.push_back(std::move(mr));
+    } else {
+      ASSIGN_OR_RETURN(new_opt, optimizer.Plan(remainder, &overrides));
+    }
     for (FeedbackApplied& fa : new_opt.feedback_applied) {
       ctx->AddEvent(Render(fa));
       trace->feedback_applied.push_back(std::move(fa));
@@ -1036,6 +1088,11 @@ Result<bool> QuerySession::State::Step() {
     HarvestFeedback(*plan, spec, *owner->catalog_, owner->feedback_);
     spec = std::move(remainder);
     plan = std::move(new_plan);
+    // Retain the repaired memo for the adopted plan's own re-optimization
+    // points. (If the harvest above deposited new feedback, the next
+    // repair will detect the generation bump and fall back — correct, the
+    // retained join entries never saw that feedback.)
+    memo = std::move(new_opt.memo);
     ++report.plans_switched;
     report.plan_after = plan->ToString();
     if (out_schema) *out_schema = plan->output_schema;
@@ -1136,9 +1193,11 @@ double QuerySession::PinnedPages() const {
 
 Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSessionWithPlan(
     QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
-    std::vector<Tuple>* rows, Schema* out_schema) {
+    std::vector<Tuple>* rows, Schema* out_schema,
+    std::unique_ptr<PlanMemo> memo) {
   auto state = std::make_unique<QuerySession::State>(
       this, std::move(spec), std::move(plan), ctx, rows, out_schema);
+  state->memo = std::move(memo);
   RETURN_IF_ERROR(state->Start());
   return std::unique_ptr<QuerySession>(new QuerySession(std::move(state)));
 }
@@ -1154,7 +1213,7 @@ Result<std::unique_ptr<QuerySession>> DynamicReoptimizer::StartSession(
   }
   ctx->ChargeExternalMs(opt.sim_opt_time_ms);
   return StartSessionWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
-                              out_schema);
+                              out_schema, std::move(opt.memo));
 }
 
 Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
@@ -1169,16 +1228,17 @@ Result<ExecutionReport> DynamicReoptimizer::Execute(QuerySpec spec,
   }
   ctx->ChargeExternalMs(opt.sim_opt_time_ms);
   return ExecuteWithPlan(std::move(spec), std::move(opt.plan), ctx, rows,
-                         out_schema);
+                         out_schema, std::move(opt.memo));
 }
 
 Result<ExecutionReport> DynamicReoptimizer::ExecuteWithPlan(
     QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
-    std::vector<Tuple>* rows, Schema* out_schema) {
+    std::vector<Tuple>* rows, Schema* out_schema,
+    std::unique_ptr<PlanMemo> memo) {
   std::unique_ptr<QuerySession> session;
   ASSIGN_OR_RETURN(session,
                    StartSessionWithPlan(std::move(spec), std::move(plan), ctx,
-                                        rows, out_schema));
+                                        rows, out_schema, std::move(memo)));
   while (true) {
     bool done = false;
     ASSIGN_OR_RETURN(done, session->Step());

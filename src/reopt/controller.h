@@ -154,12 +154,17 @@ class DynamicReoptimizer {
 
   /// Executes with a caller-supplied initial plan (e.g. one branch of a
   /// parametric plan set — the paper's Section 4 hybrid). Takes ownership;
-  /// the plan's annotations are mutated during execution.
+  /// the plan's annotations are mutated during execution. `memo`, when
+  /// supplied (e.g. from the plan-correction cache), seeds the session's
+  /// retained DP memo so a mid-query re-optimization can repair
+  /// incrementally instead of re-planning from scratch.
   Result<ExecutionReport> ExecuteWithPlan(QuerySpec spec,
                                           std::unique_ptr<PlanNode> plan,
                                           ExecContext* ctx,
                                           std::vector<Tuple>* rows,
-                                          Schema* out_schema);
+                                          Schema* out_schema,
+                                          std::unique_ptr<PlanMemo> memo =
+                                              nullptr);
 
   /// Incremental session API (multi-query interleaving): optimizes the
   /// query and returns a session whose Step() runs exactly one scheduler
@@ -173,9 +178,11 @@ class DynamicReoptimizer {
                                                      Schema* out_schema);
 
   /// StartSession with a caller-supplied initial plan (takes ownership).
+  /// `memo` optionally seeds the retained DP memo (see ExecuteWithPlan).
   Result<std::unique_ptr<QuerySession>> StartSessionWithPlan(
       QuerySpec spec, std::unique_ptr<PlanNode> plan, ExecContext* ctx,
-      std::vector<Tuple>* rows, Schema* out_schema);
+      std::vector<Tuple>* rows, Schema* out_schema,
+      std::unique_ptr<PlanMemo> memo = nullptr);
 
   /// Installs the Database's durable query journal. When set, every
   /// accepted plan switch appends a JournalStage at the point of no return

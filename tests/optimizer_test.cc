@@ -269,5 +269,251 @@ TEST_F(OptimizerTest, TempSchemaNaming) {
   EXPECT_EQ(TempColumnName("n1", "n_name"), "n1__n_name");
 }
 
+// `1u << r` for r >= 32 silently aliases subset masks, so relation counts
+// past 31 must hard-error (InvalidArgument, checked before the practical
+// 20-relation NotSupported wall) rather than enumerate garbage.
+TEST_F(OptimizerTest, RelationCountGuards) {
+  Optimizer opt(db_.catalog(), &db_.cost_model());
+  auto spec_with = [](int n) {
+    QuerySpec spec;
+    for (int i = 0; i < n; ++i) {
+      std::string alias = "e" + std::to_string(i);
+      spec.relations.push_back({std::move(alias), "emp"});
+    }
+    return spec;
+  };
+  Result<OptimizeResult> none = opt.Plan(spec_with(0));
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+  Result<OptimizeResult> wide = opt.Plan(spec_with(32));
+  EXPECT_EQ(wide.status().code(), StatusCode::kInvalidArgument)
+      << wide.status().ToString();
+  Result<OptimizeResult> repair32 =
+      opt.RepairPlan(spec_with(32), nullptr, nullptr);
+  EXPECT_EQ(repair32.status().code(), StatusCode::kInvalidArgument);
+  // 21..31 is the practical (raisable) limit, a different failure class.
+  Result<OptimizeResult> many = opt.Plan(spec_with(21));
+  EXPECT_EQ(many.status().code(), StatusCode::kNotSupported);
+}
+
+// Index range bounds from fractional literals must round toward the side
+// that keeps the integer range tight AND correct: ceil for lower bounds,
+// floor for upper bounds. Truncation turned `emp_id > 1994.5` into
+// bound 1994 — admitting 1995 twice over (>= vs >) was wrong.
+TEST_F(OptimizerTest, FractionalRangeLiteralRounding) {
+  ASSERT_TRUE(db_.CreateIndex("emp", "emp_id").ok());
+  auto index_bounds = [&](const std::string& sql)
+      -> std::pair<std::optional<int64_t>, std::optional<int64_t>> {
+    Result<OptimizeResult> r = Plan(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    if (!r.ok()) return {std::nullopt, std::nullopt};
+    std::pair<std::optional<int64_t>, std::optional<int64_t>> bounds;
+    bool found = false;
+    r.value().plan->PostOrder([&](const PlanNode* n) {
+      if (n->kind != OpKind::kIndexScan) return;
+      found = true;
+      bounds = {n->range_lo, n->range_hi};
+    });
+    EXPECT_TRUE(found) << sql << ": no index scan chosen";
+    return bounds;
+  };
+
+  auto gt = index_bounds("SELECT emp_id FROM emp WHERE emp_id > 1994.5");
+  ASSERT_TRUE(gt.first.has_value());
+  EXPECT_EQ(*gt.first, 1995);
+  auto ge = index_bounds("SELECT emp_id FROM emp WHERE emp_id >= 1994.5");
+  ASSERT_TRUE(ge.first.has_value());
+  EXPECT_EQ(*ge.first, 1995);
+  auto lt = index_bounds("SELECT emp_id FROM emp WHERE emp_id < 3.5");
+  ASSERT_TRUE(lt.second.has_value());
+  EXPECT_EQ(*lt.second, 3);
+  auto le = index_bounds("SELECT emp_id FROM emp WHERE emp_id <= 3.5");
+  ASSERT_TRUE(le.second.has_value());
+  EXPECT_EQ(*le.second, 3);
+  // Strict comparisons on an exactly integral literal still step past it.
+  auto gtint = index_bounds("SELECT emp_id FROM emp WHERE emp_id > 1994.0");
+  ASSERT_TRUE(gtint.first.has_value());
+  EXPECT_EQ(*gtint.first, 1995);
+}
+
+// A fractional equality matches no integer key: the bounds come out
+// inverted (lo > hi), the estimate is ~zero, and the executor's bounded
+// index iterator returns no rows rather than misbehaving.
+TEST_F(OptimizerTest, FractionalEqualityYieldsEmptyRange) {
+  ASSERT_TRUE(db_.CreateIndex("emp", "emp_id").ok());
+  Result<OptimizeResult> r = Plan("SELECT emp_id FROM emp WHERE emp_id = 7.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PlanNode* scan = nullptr;
+  r.value().plan->PostOrder([&](const PlanNode* n) {
+    if (n->kind == OpKind::kIndexScan) scan = n;
+  });
+  ASSERT_NE(scan, nullptr);
+  ASSERT_TRUE(scan->range_lo.has_value());
+  ASSERT_TRUE(scan->range_hi.has_value());
+  EXPECT_EQ(*scan->range_lo, 8);
+  EXPECT_EQ(*scan->range_hi, 7);
+  Result<QueryResult> rows =
+      db_.Execute("SELECT emp_id FROM emp WHERE emp_id = 7.5");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(rows.value().rows.empty());
+}
+
+// --- Incremental repair: RepairPlan must be bit-identical to Plan. -------
+
+TEST_F(OptimizerTest, RepairPlanIdenticalAfterStatsChurn) {
+  // Three relations so a clean subset ({e1,e2}) survives the churn: its
+  // memo entry must be reused, making the repair enumerate strictly less.
+  Result<QuerySpec> spec = BindSql(
+      "SELECT e1.emp_id FROM emp e1, emp e2, dept "
+      "WHERE e1.dept_id = dept.dept_id AND e2.dept_id = dept.dept_id "
+      "AND e1.salary > 100");
+  ASSERT_TRUE(spec.ok());
+  Optimizer opt(db_.catalog(), &db_.cost_model());
+  Result<OptimizeResult> initial = opt.Plan(spec.value());
+  ASSERT_TRUE(initial.ok());
+
+  // dept's statistics drift (growth + distinct shift); emp stays put.
+  Result<TableInfo*> dept = db_.catalog()->Get("dept");
+  ASSERT_TRUE(dept.ok());
+  TableStats ts = dept.value()->stats;
+  ts.row_count *= 4;
+  ts.page_count *= 4;
+  for (auto& [col, cs] : ts.columns) cs.distinct *= 2;
+  ASSERT_TRUE(db_.catalog()->SetStats("dept", std::move(ts)).ok());
+
+  Result<OptimizeResult> scratch = opt.Plan(spec.value());
+  ASSERT_TRUE(scratch.ok());
+  MemoRepair mr;
+  Result<OptimizeResult> repaired = opt.RepairPlan(
+      spec.value(), nullptr, std::move(initial.value().memo), &mr);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+
+  EXPECT_FALSE(mr.fell_back);
+  EXPECT_EQ(mr.leaves_changed, 1);
+  EXPECT_EQ(repaired.value().plan->ToString(), scratch.value().plan->ToString());
+  EXPECT_EQ(repaired.value().plan->est.cost_total_ms,
+            scratch.value().plan->est.cost_total_ms);
+  // The repair offered strictly fewer candidates than the scratch re-plan.
+  EXPECT_LT(repaired.value().plans_enumerated,
+            scratch.value().plans_enumerated);
+}
+
+TEST_F(OptimizerTest, RepairPlanIdenticalUnderOverridesAndCleanStats) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND salary > 100");
+  ASSERT_TRUE(spec.ok());
+  Optimizer opt(db_.catalog(), &db_.cost_model());
+  Result<OptimizeResult> initial = opt.Plan(spec.value());
+  ASSERT_TRUE(initial.ok());
+
+  // No catalog churn at all: run-time overrides alone (the mid-query
+  // feedback path) must dirty exactly the overridden leaf.
+  BaseRelOverrides overrides;
+  Result<DerivedRel> emp_obs = Estimator(db_.catalog(), &spec.value()).BaseRel(0);
+  ASSERT_TRUE(emp_obs.ok());
+  DerivedRel obs = emp_obs.value();
+  obs.rows *= 9;  // observed much larger than estimated
+  overrides["emp"] = obs;
+
+  Result<OptimizeResult> scratch = opt.Plan(spec.value(), &overrides);
+  ASSERT_TRUE(scratch.ok());
+  MemoRepair mr;
+  Result<OptimizeResult> repaired = opt.RepairPlan(
+      spec.value(), &overrides, std::move(initial.value().memo), &mr);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(mr.fell_back);
+  EXPECT_EQ(mr.leaves_changed, 1);
+  EXPECT_EQ(repaired.value().plan->ToString(), scratch.value().plan->ToString());
+
+  // And with nothing changed at all, every join entry is reused.
+  Result<OptimizeResult> again = opt.Plan(spec.value());
+  ASSERT_TRUE(again.ok());
+  MemoRepair clean;
+  Result<OptimizeResult> noop =
+      opt.RepairPlan(spec.value(), nullptr, std::move(again.value().memo),
+                     &clean);
+  ASSERT_TRUE(noop.ok());
+  EXPECT_FALSE(clean.fell_back);
+  EXPECT_EQ(clean.leaves_changed, 0);
+  EXPECT_EQ(clean.entries_invalidated, 0u);
+  EXPECT_EQ(clean.entries_reused, clean.entries_total);
+  Result<OptimizeResult> scratch2 = opt.Plan(spec.value());
+  ASSERT_TRUE(scratch2.ok());
+  EXPECT_EQ(noop.value().plan->ToString(), scratch2.value().plan->ToString());
+}
+
+TEST_F(OptimizerTest, RepairPlanIdenticalAfterIndexDdl) {
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept "
+      "WHERE emp.dept_id = dept.dept_id AND emp_id < 50");
+  ASSERT_TRUE(spec.ok());
+  Optimizer opt(db_.catalog(), &db_.cost_model());
+  Result<OptimizeResult> initial = opt.Plan(spec.value());
+  ASSERT_TRUE(initial.ok());
+
+  // Index DDL after the memo was built: the emp leaf's snapshot (schema
+  // fingerprint covers indexes) must go dirty, and the repaired plan must
+  // pick up the new index scan exactly like a scratch re-plan does.
+  ASSERT_TRUE(db_.CreateIndex("emp", "emp_id").ok());
+
+  Result<OptimizeResult> scratch = opt.Plan(spec.value());
+  ASSERT_TRUE(scratch.ok());
+  MemoRepair mr;
+  Result<OptimizeResult> repaired = opt.RepairPlan(
+      spec.value(), nullptr, std::move(initial.value().memo), &mr);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(mr.fell_back);
+  EXPECT_EQ(mr.leaves_changed, 1);
+  EXPECT_EQ(repaired.value().plan->ToString(), scratch.value().plan->ToString());
+}
+
+TEST_F(OptimizerTest, RepairPlanFallsBackWhenFeedbackStoreMoves) {
+  CardinalityFeedbackStore store;
+  Result<QuerySpec> spec = BindSql(
+      "SELECT emp_id FROM emp, dept WHERE emp.dept_id = dept.dept_id");
+  ASSERT_TRUE(spec.ok());
+  Optimizer opt(db_.catalog(), &db_.cost_model(), OptimizerOptions{}, &store);
+  Result<OptimizeResult> initial = opt.Plan(spec.value());
+  ASSERT_TRUE(initial.ok());
+
+  // A concurrent query deposits join feedback: the retained join entries
+  // never saw it, so the memo is untrustworthy wholesale.
+  JoinFeedback fb;
+  fb.signature = JoinSignature(spec.value(), {0, 1});
+  fb.observed_rows = 123456;
+  store.ObserveJoin(std::move(fb));
+
+  MemoRepair mr;
+  Result<OptimizeResult> repaired = opt.RepairPlan(
+      spec.value(), nullptr, std::move(initial.value().memo), &mr);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(mr.fell_back);
+  // The fallback IS a scratch plan, so it matches one trivially — but it
+  // must also have applied the new feedback.
+  Result<OptimizeResult> scratch = opt.Plan(spec.value());
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(repaired.value().plan->ToString(), scratch.value().plan->ToString());
+}
+
+TEST(CalibrationTest, IncrementalEstimateBelowScratch) {
+  // Uncalibrated instance: the exponential fallback model still must price
+  // an incremental re-plan below a from-scratch one whenever any leaf is
+  // clean — this is what makes the Eq.(1) gate cheaper to pass after PR8.
+  OptimizerCalibration cal;
+  for (int changed = 1; changed < 8; ++changed) {
+    const double inc = cal.EstimateIncrementalOptTimeMs(8, changed);
+    EXPECT_LT(inc, cal.EstimateOptTimeMs(8)) << changed;
+    EXPECT_GT(inc, 0.0);
+  }
+  // Everything changed: exactly the scratch estimate.
+  EXPECT_EQ(cal.EstimateIncrementalOptTimeMs(8, 8), cal.EstimateOptTimeMs(8));
+  EXPECT_EQ(cal.EstimateIncrementalOptTimeMs(8, 12), cal.EstimateOptTimeMs(8));
+  // More changed leaves never estimate cheaper.
+  for (int changed = 2; changed <= 8; ++changed) {
+    EXPECT_GE(cal.EstimateIncrementalOptTimeMs(8, changed),
+              cal.EstimateIncrementalOptTimeMs(8, changed - 1));
+  }
+}
+
 }  // namespace
 }  // namespace reoptdb

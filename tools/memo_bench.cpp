@@ -1,0 +1,289 @@
+// Incremental re-optimization benchmark (PR 8).
+//
+// Measures Optimizer::RepairPlan against a from-scratch Optimizer::Plan on
+// 8-10 table star and chain joins after perturbing the statistics of one or
+// two tables — the situation a mid-query re-optimization point is in: most
+// of the DP search space is untouched, only the subsets containing a
+// changed leaf need repair. Every repaired plan is asserted bit-identical
+// (rendered plan text and root cost) to the from-scratch re-plan; the
+// benchmark then reports wall-clock speedups and fails unless the geometric
+// mean is at least 5x. Emits BENCH_pr8.json.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_memo.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace reoptdb {
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Shape {
+  const char* name;
+  int tables = 0;
+  bool star = false;  // false = chain
+  int perturbed = 1;  // tables whose stats change before the re-plan
+};
+
+struct BenchRow {
+  std::string name;
+  int tables = 0;
+  int perturbed = 0;
+  double scratch_ms = 0;       // mean from-scratch Plan() wall ms
+  double repair_ms = 0;        // mean RepairPlan() wall ms
+  double speedup = 0;
+  uint64_t scratch_offers = 0;
+  uint64_t repair_offers = 0;
+  uint64_t entries_reused = 0;
+  uint64_t entries_invalidated = 0;
+  bool identical = false;
+};
+
+Status MakeTable(Catalog* catalog, const std::string& name, int cols,
+                 double rows, double distinct_frac) {
+  Schema schema;
+  for (int c = 0; c < cols; ++c)
+    schema.AddColumn(
+        Column{"", "c" + std::to_string(c), ValueType::kInt64, 8});
+  RETURN_IF_ERROR(catalog->CreateTable(name, schema).status());
+  TableStats ts;
+  ts.analyzed = true;
+  ts.row_count = rows;
+  ts.avg_tuple_bytes = cols * 8.0;
+  ts.page_count = std::max(1.0, rows * ts.avg_tuple_bytes / 4096.0);
+  for (int c = 0; c < cols; ++c) {
+    ColumnStats cs;
+    cs.type = ValueType::kInt64;
+    cs.has_bounds = true;
+    cs.min = 0;
+    cs.max = rows;
+    cs.distinct = std::max(1.0, rows * distinct_frac);
+    ts.columns["c" + std::to_string(c)] = cs;
+  }
+  return catalog->SetStats(name, std::move(ts));
+}
+
+QuerySpec MakeSpec(const Shape& shape) {
+  QuerySpec spec;
+  for (int t = 0; t < shape.tables; ++t) {
+    std::string name = "t" + std::to_string(t);
+    spec.relations.push_back(RelationRef{name, name});
+  }
+  for (int t = 1; t < shape.tables; ++t) {
+    JoinPred j;
+    j.left_rel = shape.star ? 0 : t - 1;
+    j.left_col = shape.star ? "c" + std::to_string(t) : "c1";
+    j.right_rel = t;
+    j.right_col = "c0";
+    spec.joins.push_back(j);
+  }
+  FilterPred f;  // a selective filter so leaves differ from raw tables
+  f.rel = shape.tables - 1;
+  f.column = "c2";
+  f.op = CmpOp::kLt;
+  f.literal = Value(int64_t{5000});
+  spec.filters.push_back(f);
+  OutputItem item;
+  item.col = ColumnId{0, "c0", ValueType::kInt64};
+  item.name = "c0";
+  spec.items.push_back(item);
+  return spec;
+}
+
+/// Perturbs table t<idx>'s statistics (growth + distinct-count shift),
+/// exactly what ANALYZE after DML or harvested feedback would change.
+Status Perturb(Catalog* catalog, int idx, double factor) {
+  std::string name = "t" + std::to_string(idx);
+  Result<TableInfo*> info = catalog->Get(name);
+  RETURN_IF_ERROR(info.status());
+  TableStats ts = info.value()->stats;
+  ts.row_count *= factor;
+  ts.page_count *= factor;
+  for (auto& [col, cs] : ts.columns) {
+    cs.max *= factor;
+    cs.distinct = std::max(1.0, cs.distinct * factor);
+  }
+  return catalog->SetStats(name, std::move(ts));
+}
+
+Result<BenchRow> RunShape(const Shape& shape, int iters) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Catalog catalog(&pool);
+  for (int t = 0; t < shape.tables; ++t) {
+    // Varied sizes so plan choice is non-trivial.
+    double rows = 10000.0 * (1 + (t * 7) % 5);
+    RETURN_IF_ERROR(MakeTable(&catalog, "t" + std::to_string(t), 4, rows,
+                              t % 2 ? 0.1 : 0.01));
+  }
+
+  CostModel cost{CostParams{}};
+  Optimizer optimizer(&catalog, &cost);
+  QuerySpec spec = MakeSpec(shape);
+
+  // Initial optimization: the memo a running query would retain.
+  ASSIGN_OR_RETURN(OptimizeResult initial, optimizer.Plan(spec));
+
+  // Mid-query statistics change on the last `perturbed` tables (peripheral
+  // relations; the hub of a star dirties everything and is re-planned from
+  // scratch anyway).
+  for (int p = 0; p < shape.perturbed; ++p)
+    RETURN_IF_ERROR(Perturb(&catalog, shape.tables - 1 - p, 2.25));
+
+  BenchRow row;
+  row.name = shape.name;
+  row.tables = shape.tables;
+  row.perturbed = shape.perturbed;
+  row.identical = true;
+
+  // Warm-up + identity check (untimed).
+  ASSIGN_OR_RETURN(OptimizeResult scratch0, optimizer.Plan(spec));
+  {
+    MemoRepair mr;
+    ASSIGN_OR_RETURN(
+        OptimizeResult repaired,
+        optimizer.RepairPlan(spec, nullptr, initial.memo->Clone(), &mr));
+    if (mr.fell_back) {
+      std::fprintf(stderr, "%s: repair unexpectedly fell back\n", shape.name);
+      row.identical = false;
+    }
+    if (repaired.plan->ToString() != scratch0.plan->ToString() ||
+        repaired.plan->est.cost_total_ms != scratch0.plan->est.cost_total_ms) {
+      std::fprintf(stderr, "%s: repair/scratch plans DIFFER\nrepair:\n%s\n"
+                   "scratch:\n%s\n",
+                   shape.name, repaired.plan->ToString().c_str(),
+                   scratch0.plan->ToString().c_str());
+      row.identical = false;
+    }
+    row.scratch_offers = scratch0.plans_enumerated;
+    row.repair_offers = repaired.plans_enumerated;
+    row.entries_reused = mr.entries_reused;
+    row.entries_invalidated = mr.entries_invalidated;
+  }
+
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSIGN_OR_RETURN(OptimizeResult scratch, optimizer.Plan(spec));
+    row.scratch_ms += WallMs(t0);
+
+    std::unique_ptr<PlanMemo> memo = initial.memo->Clone();  // untimed
+    const auto t1 = std::chrono::steady_clock::now();
+    ASSIGN_OR_RETURN(OptimizeResult repaired,
+                     optimizer.RepairPlan(spec, nullptr, std::move(memo)));
+    row.repair_ms += WallMs(t1);
+    if (repaired.plan->ToString() != scratch.plan->ToString())
+      row.identical = false;
+  }
+  row.scratch_ms /= iters;
+  row.repair_ms /= iters;
+  row.speedup = row.scratch_ms / std::max(1e-9, row.repair_ms);
+  return row;
+}
+
+}  // namespace
+}  // namespace reoptdb
+
+int main(int argc, char** argv) {
+  using namespace reoptdb;
+  int iters = 30;
+  double min_geomean = 5.0;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--iters") && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc) {
+      min_geomean = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: memo_bench [--iters N] [--min-speedup X] "
+                   "[--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const Shape shapes[] = {
+      {"star8_1changed", 8, true, 1},   {"chain8_1changed", 8, false, 1},
+      {"star9_1changed", 9, true, 1},   {"chain9_1changed", 9, false, 1},
+      {"star10_1changed", 10, true, 1}, {"chain10_1changed", 10, false, 1},
+      {"star10_2changed", 10, true, 2}, {"chain10_2changed", 10, false, 2},
+  };
+
+  std::vector<BenchRow> rows;
+  bool ok = true;
+  for (const Shape& s : shapes) {
+    Result<BenchRow> row = RunShape(s, iters);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s: %s\n", s.name,
+                   row.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    ok = ok && row->identical;
+    std::printf(
+        "%-17s scratch=%8.3fms (%6llu offers)  repair=%8.3fms (%6llu "
+        "offers, %llu reused/%llu invalidated)  speedup=%5.2fx  %s\n",
+        row->name.c_str(), row->scratch_ms,
+        static_cast<unsigned long long>(row->scratch_offers), row->repair_ms,
+        static_cast<unsigned long long>(row->repair_offers),
+        static_cast<unsigned long long>(row->entries_reused),
+        static_cast<unsigned long long>(row->entries_invalidated),
+        row->speedup, row->identical ? "identical" : "MISMATCH");
+    rows.push_back(std::move(*row));
+  }
+
+  double log_sum = 0;
+  for (const BenchRow& r : rows) log_sum += std::log(std::max(1e-9, r.speedup));
+  const double geomean =
+      rows.empty() ? 0 : std::exp(log_sum / static_cast<double>(rows.size()));
+  std::printf("geomean speedup: %.2fx (floor %.1fx)\n", geomean, min_geomean);
+  if (geomean < min_geomean) ok = false;
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"iters\": %d,\n  \"geomean_speedup\": %.3f,\n"
+                 "  \"shapes\": [",
+                 iters, geomean);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const BenchRow& r = rows[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"name\": \"%s\", \"tables\": %d, \"perturbed\": %d, "
+          "\"scratch_ms\": %.4f, \"repair_ms\": %.4f, \"speedup\": %.3f, "
+          "\"scratch_offers\": %llu, \"repair_offers\": %llu, "
+          "\"entries_reused\": %llu, \"entries_invalidated\": %llu, "
+          "\"identical\": %s}",
+          i ? "," : "", r.name.c_str(), r.tables, r.perturbed, r.scratch_ms,
+          r.repair_ms, r.speedup,
+          static_cast<unsigned long long>(r.scratch_offers),
+          static_cast<unsigned long long>(r.repair_offers),
+          static_cast<unsigned long long>(r.entries_reused),
+          static_cast<unsigned long long>(r.entries_invalidated),
+          r.identical ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::printf(ok ? "memo-bench: PASS\n" : "memo-bench: FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -38,13 +38,20 @@ echo "== tier-1: DML mid-transaction chaos sweep (release, emits BENCH_pr7.json)
 # benchmarks commit throughput and recovery-replay time at 1x/4x writers.
 "${BUILD}/tools/dml_chaos_runner" --seed 42 --schedules 120 --json BENCH_pr7.json
 
+echo "== tier-1: incremental re-optimization bench (release, emits BENCH_pr8.json) =="
+# 8-10 table star/chain joins with 1-2 perturbed tables: RepairPlan on the
+# retained memo vs a from-scratch Plan. Exits nonzero unless every repaired
+# plan is bit-identical (rendered plan + root cost) to the scratch re-plan
+# and the geometric-mean speedup clears 5x.
+"${BUILD}/tools/memo_bench" --iters 20 --json BENCH_pr8.json
+
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
   --target fault_test reopt_test reopt_extension_test \
            batch_equivalence_test recovery_test workload_test feedback_test \
            txn_test chaos_runner dml_chaos_runner workload_runner \
-           repeat_runner
+           repeat_runner memo_bench
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
 # The fault-injection, batch-equivalence, crash-recovery, and workload
@@ -63,6 +70,10 @@ for bs in default 1; do
   "${ASAN_BUILD}/tests/txn_test"
   "${ASAN_BUILD}/tools/workload_runner" --seed 42
   "${ASAN_BUILD}/tools/repeat_runner" --seed 42
+  # Identity assertions only under sanitizers — no speedup floor (ASan's
+  # instrumentation skews the wall-clock ratio, the lifetime coverage of the
+  # lazy repair path is what matters here).
+  "${ASAN_BUILD}/tools/memo_bench" --iters 2 --min-speedup 0
 done
 unset REOPTDB_BATCH_SIZE
 "${ASAN_BUILD}/tests/reopt_test"
