@@ -142,6 +142,13 @@ Status Catalog::BumpUpdateActivity(const std::string& table, double fraction) {
   return Status::OK();
 }
 
+Status Catalog::SetPartitioning(const std::string& table,
+                                TablePartitioning p) {
+  ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  info->partitioning = std::move(p);
+  return Status::OK();
+}
+
 Result<TableInfo*> Catalog::Get(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);

@@ -32,6 +32,20 @@ struct TableStats {
   }
 };
 
+/// \brief How a table's rows are distributed across simulated shard nodes
+/// (DESIGN.md §15). Recorded on the coordinator's catalog entry; the node
+/// catalogs hold the per-node partition tables. kNone (the default) means
+/// the table lives whole on the coordinator — single-node execution never
+/// consults this.
+struct TablePartitioning {
+  enum class Kind : uint8_t { kNone, kHash, kRange };
+  Kind kind = Kind::kNone;
+  std::string column;  ///< bare partitioning column name
+  int num_shards = 0;
+
+  bool partitioned() const { return kind != Kind::kNone; }
+};
+
 /// \brief A table: schema, heap storage, indexes, statistics.
 struct TableInfo {
   std::string name;
@@ -41,6 +55,7 @@ struct TableInfo {
   std::set<std::string> key_columns;  // columns that are unique keys
   TableStats stats;
   bool is_temp = false;
+  TablePartitioning partitioning;
 
   const BTree* FindIndex(const std::string& column) const {
     auto it = indexes.find(column);
@@ -87,6 +102,11 @@ class Catalog {
 
   /// Records update activity (fraction of rows changed since ANALYZE).
   Status BumpUpdateActivity(const std::string& table, double fraction);
+
+  /// Records how `table` is distributed across shard nodes (set by the
+  /// ShardCluster when it partitions the table; metadata only — the rows
+  /// stay in this catalog's heap, which remains the single-node oracle).
+  Status SetPartitioning(const std::string& table, TablePartitioning p);
 
   Result<TableInfo*> Get(const std::string& name);
   Result<const TableInfo*> Get(const std::string& name) const;

@@ -21,6 +21,11 @@ Status InjectedError(const std::string& point, uint64_t call) {
   // device, fsync can fail. Both are I/O errors the transaction layer maps
   // to an abort (never a partial commit).
   if (point.rfind("wal.", 0) == 0) return Status::IoError(std::move(msg));
+  // net.* models a transient link error on an exchange channel; like
+  // storage.* it is retryable, and the ExchangeChannel absorbs it with the
+  // same bounded retry/backoff policy the DiskManager uses. node.crash is
+  // not a link error: the shard controller maps it to a node loss.
+  if (point.rfind("net.", 0) == 0) return Status::IoError(std::move(msg));
   return Status::Internal(std::move(msg));
 }
 
@@ -48,6 +53,8 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kMemoryRevoke,    faults::kExecSpill,
       faults::kWalAppend,       faults::kWalFsync,
       faults::kLockAcquire,     faults::kTxnCommit,
+      faults::kNetSend,         faults::kNetRecv,
+      faults::kNodeCrash,
   };
   return kPoints;
 }

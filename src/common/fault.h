@@ -59,6 +59,13 @@ inline constexpr char kWalAppend[] = "wal.append";
 inline constexpr char kWalFsync[] = "wal.fsync";
 inline constexpr char kLockAcquire[] = "lock.acquire";
 inline constexpr char kTxnCommit[] = "txn.commit";
+/// Sharded execution (src/shard): a tuple-batch send or receive on an
+/// exchange channel, and the death of a simulated node. net.* errors are
+/// transient (kIoError) and absorbed by the channel's retry/backoff, which
+/// mirrors the DiskManager policy; exhausted retries escalate to node loss.
+inline constexpr char kNetSend[] = "net.send";
+inline constexpr char kNetRecv[] = "net.recv";
+inline constexpr char kNodeCrash[] = "node.crash";
 }  // namespace faults
 
 /// When an armed point fires.

@@ -1,0 +1,133 @@
+#include "exec/exchange_op.h"
+
+#include <algorithm>
+
+namespace reoptdb {
+
+void ExchangeChannel::AddEndpoint(int id, ExecContext* ctx,
+                                  NetChannelStats* stats) {
+  Endpoint& ep = endpoints_[id];
+  ep.ctx = ctx;
+  ep.stats = stats;
+}
+
+uint64_t ExchangeChannel::BufferBytes(const std::vector<Tuple>& rows) {
+  uint64_t bytes = 0;
+  for (const Tuple& t : rows) bytes += t.SerializedSize();
+  return bytes;
+}
+
+Status ExchangeChannel::CheckWithRetry(const char* point, Endpoint* ep) {
+  if (faults_ == nullptr) return Status::OK();
+  Status st = faults_->Check(point);
+  double backoff_ms = kRetryBackoffBaseMs;
+  int attempts = 0;
+  // A crash is not a link error: it must propagate so the driver's crash
+  // semantics (GC + journal resume on the next Execute) engage.
+  while (!st.ok() && st.code() != StatusCode::kCrashed &&
+         attempts < kMaxNetRetries) {
+    ++attempts;
+    if (ep->stats != nullptr) {
+      ++ep->stats->retries;
+      ep->stats->retry_penalty_ms += backoff_ms;
+    }
+    if (ep->ctx != nullptr) ep->ctx->ChargeExternalMs(backoff_ms);
+    backoff_ms *= 2.0;
+    st = faults_->Check(point);
+  }
+  return st;
+}
+
+Status ExchangeChannel::Send(int from, int to, std::vector<Tuple> rows) {
+  if (rows.empty()) return Status::OK();
+  auto fit = endpoints_.find(from);
+  auto tit = endpoints_.find(to);
+  if (fit == endpoints_.end() || tit == endpoints_.end())
+    return Status::Internal("exchange: unknown endpoint");
+  Endpoint& sender = fit->second;
+  RETURN_IF_ERROR(CheckWithRetry(faults::kNetSend, &sender));
+  const uint64_t bytes = BufferBytes(rows);
+  const uint64_t msgs = Messages(rows.size());
+  if (sender.stats != nullptr) {
+    sender.stats->msgs_sent += msgs;
+    sender.stats->bytes_sent += bytes;
+  }
+  if (sender.ctx != nullptr)
+    sender.ctx->ChargeExternalMs(cost_->NetTransfer(
+        static_cast<double>(bytes), static_cast<double>(msgs)));
+  tit->second.inbox[from].push_back(std::move(rows));
+  return Status::OK();
+}
+
+Status ExchangeChannel::Receive(int to, std::vector<Tuple>* out) {
+  auto tit = endpoints_.find(to);
+  if (tit == endpoints_.end())
+    return Status::Internal("exchange: unknown endpoint");
+  Endpoint& recv = tit->second;
+  for (auto& [from, fifo] : recv.inbox) {
+    (void)from;
+    for (std::vector<Tuple>& buf : fifo) {
+      if (buf.empty()) continue;
+      RETURN_IF_ERROR(CheckWithRetry(faults::kNetRecv, &recv));
+      const uint64_t bytes = BufferBytes(buf);
+      const uint64_t msgs = Messages(buf.size());
+      if (recv.stats != nullptr) {
+        recv.stats->msgs_recv += msgs;
+        recv.stats->bytes_recv += bytes;
+      }
+      if (recv.ctx != nullptr)
+        recv.ctx->ChargeExternalMs(cost_->NetTransfer(
+            static_cast<double>(bytes), static_cast<double>(msgs)));
+      out->insert(out->end(), std::make_move_iterator(buf.begin()),
+                  std::make_move_iterator(buf.end()));
+      buf.clear();
+    }
+    fifo.clear();
+  }
+  recv.inbox.clear();
+  return Status::OK();
+}
+
+uint64_t ExchangeChannel::PendingRows(int to) const {
+  auto tit = endpoints_.find(to);
+  if (tit == endpoints_.end()) return 0;
+  uint64_t n = 0;
+  for (const auto& [from, fifo] : tit->second.inbox) {
+    (void)from;
+    for (const auto& buf : fifo) n += buf.size();
+  }
+  return n;
+}
+
+Status ExchangeSourceOp::OpenImpl() {
+  rows_ = ctx_->FindExchangeSource(node_->table);
+  if (rows_ == nullptr)
+    return Status::Internal("exchange source not bound: " + node_->table);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> ExchangeSourceOp::NextImpl(Tuple* out) {
+  if (pos_ >= rows_->size()) return false;
+  *out = (*rows_)[pos_++];
+  ctx_->ChargeTuples(1);
+  return true;
+}
+
+Result<bool> ExchangeSourceOp::NextBatchImpl(TupleBatch* out) {
+  uint64_t produced = 0;
+  while (!out->full() && pos_ < rows_->size()) {
+    *out->AddSlot() = (*rows_)[pos_++];
+    ++produced;
+  }
+  if (produced > 0) ctx_->ChargeTuples(produced);
+  return !out->empty();
+}
+
+Status ExchangeSourceOp::CloseImpl() {
+  rows_ = nullptr;
+  pos_ = 0;
+  return Status::OK();
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,125 @@
+// Exchange machinery for sharded execution (DESIGN.md §15).
+//
+// Data moves between simulated nodes as buffered tuple batches over an
+// ExchangeChannel: every transfer is charged through the cost model's
+// network term (per byte + per message) to both endpoints' simulated
+// clocks, and every send/receive passes the net.send / net.recv fault
+// points with the same bounded retry/backoff policy the DiskManager applies
+// to transient device errors. A fragment plan consumes delivered buffers
+// through ExchangeSourceOp, a leaf operator whose kExchange plan node names
+// a buffer bound on the fragment's ExecContext.
+//
+// The channel itself is deliberately dumb: broadcast / hash-repartition /
+// gather are routing decisions made by the shard executor (src/shard),
+// which calls Send once per (source, destination) buffer and Receive once
+// per destination. Keeping policy out of the channel is what lets the
+// executor re-route mid-query (distribution switches, straggler
+// re-weighting, node loss) without new exchange code.
+
+#ifndef REOPTDB_EXEC_EXCHANGE_OP_H_
+#define REOPTDB_EXEC_EXCHANGE_OP_H_
+
+#include <map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "optimizer/cost_model.h"
+
+namespace reoptdb {
+
+/// Cumulative per-endpoint network counters (one per node, kept by the
+/// ShardCluster across queries).
+struct NetChannelStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_recv = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_recv = 0;
+  /// Transient net.send/net.recv errors absorbed by retry.
+  uint64_t retries = 0;
+  /// Simulated milliseconds spent in retry backoff.
+  double retry_penalty_ms = 0;
+};
+
+/// \brief Per-query send/recv queues between simulated nodes.
+///
+/// Endpoints register an ExecContext (whose simulated clock is charged) and
+/// a NetChannelStats (cumulative counters). Send enqueues a buffer into the
+/// destination's inbox; Receive drains an inbox in deterministic
+/// (sender id, FIFO) order. A transfer that still fails after the bounded
+/// retries returns the error to the caller, which escalates it to a node
+/// loss — the exchange layer never silently drops data.
+class ExchangeChannel {
+ public:
+  /// Retry policy for transient net errors, mirroring the DiskManager's
+  /// policy for transient I/O errors (storage/disk_manager.h).
+  static constexpr int kMaxNetRetries = 3;
+  static constexpr double kRetryBackoffBaseMs = 1.0;
+  /// Tuples per simulated message (drives the per-message cost term).
+  static constexpr uint64_t kTuplesPerMessage = 256;
+
+  ExchangeChannel(const CostModel* cost, FaultInjector* faults)
+      : cost_(cost), faults_(faults) {}
+
+  /// Registers endpoint `id`. `ctx` and `stats` must outlive the channel.
+  void AddEndpoint(int id, ExecContext* ctx, NetChannelStats* stats);
+
+  /// Enqueues `rows` into `to`'s inbox, charging the sender for the
+  /// transfer. Empty buffers are free (no message). On a transient
+  /// net.send fault the send is retried with doubling backoff (charged to
+  /// the sender); exhausted retries return the error with nothing
+  /// enqueued.
+  Status Send(int from, int to, std::vector<Tuple> rows);
+
+  /// Drains `to`'s inbox (sender id order, FIFO within a sender) into
+  /// `*out`, charging the receiver. net.recv faults follow the same
+  /// retry/backoff policy as sends.
+  Status Receive(int to, std::vector<Tuple>* out);
+
+  /// Rows currently queued for `to` (all senders).
+  uint64_t PendingRows(int to) const;
+
+ private:
+  struct Endpoint {
+    ExecContext* ctx = nullptr;
+    NetChannelStats* stats = nullptr;
+    /// sender id -> FIFO of buffers.
+    std::map<int, std::vector<std::vector<Tuple>>> inbox;
+  };
+
+  /// Checks `point` with retry/backoff, charging `ep`'s clock and
+  /// counters for absorbed retries.
+  Status CheckWithRetry(const char* point, Endpoint* ep);
+
+  static uint64_t BufferBytes(const std::vector<Tuple>& rows);
+  static uint64_t Messages(uint64_t rows) {
+    return rows == 0 ? 0 : (rows + kTuplesPerMessage - 1) / kTuplesPerMessage;
+  }
+
+  const CostModel* cost_;
+  FaultInjector* faults_;
+  std::map<int, Endpoint> endpoints_;
+};
+
+/// \brief Leaf operator streaming a delivered exchange buffer.
+///
+/// The plan node's `table` field names a buffer bound on the ExecContext
+/// (BindExchangeSource) by the shard executor before the fragment runs.
+/// Transfer costs were already charged by the ExchangeChannel at delivery
+/// time; this operator only charges the usual per-tuple CPU pass-through.
+class ExchangeSourceOp : public Operator {
+ public:
+  ExchangeSourceOp(ExecContext* ctx, PlanNode* node) : Operator(ctx, node) {}
+
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
+  Status CloseImpl() override;
+
+ private:
+  const std::vector<Tuple>* rows_ = nullptr;
+  size_t pos_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_EXEC_EXCHANGE_OP_H_

@@ -167,6 +167,20 @@ class ExecContext {
     return it == snapshots_.end() ? nullptr : &it->second;
   }
 
+  /// Exchange-buffer registry (sharded execution): a kExchange leaf's
+  /// `table` field names a buffer of already-delivered tuples bound here by
+  /// the shard driver before the fragment runs. The buffer must outlive the
+  /// fragment's execution; the binding is per-context (per node).
+  void BindExchangeSource(const std::string& key,
+                          const std::vector<Tuple>* rows) {
+    exchange_sources_[key] = rows;
+  }
+  const std::vector<Tuple>* FindExchangeSource(const std::string& key) const {
+    auto it = exchange_sources_.find(key);
+    return it == exchange_sources_.end() ? nullptr : it->second;
+  }
+  void ClearExchangeSources() { exchange_sources_.clear(); }
+
  private:
   BufferPool* pool_;
   Catalog* catalog_;
@@ -186,6 +200,7 @@ class ExecContext {
   FaultInjector* faults_ = nullptr;
   size_t batch_size_ = 1024;  // TupleBatch::kDefaultCapacity
   std::map<std::string, TableSnapshot> snapshots_;
+  std::map<std::string, const std::vector<Tuple>*> exchange_sources_;
 
 };
 

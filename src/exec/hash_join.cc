@@ -235,6 +235,11 @@ Result<bool> HashJoinOp::NextImpl(Tuple* out) {
           matches_.push_back(it->second);
         }
       }
+      // Emit matches in build insertion order. unordered_multimap's
+      // equal-range order is implementation-defined; pinning it makes the
+      // emission order platform-independent and lets the sharded executor
+      // reproduce it exactly from (probe, build) ordinals.
+      std::sort(matches_.begin(), matches_.end());
     }
   }
 
@@ -292,6 +297,7 @@ Result<bool> HashJoinOp::NextImpl(Tuple* out) {
         matches_.push_back(it->second);
       }
     }
+    std::sort(matches_.begin(), matches_.end());
   }
 }
 
@@ -343,6 +349,7 @@ Result<bool> HashJoinOp::NextBatchImpl(TupleBatch* out) {
         matches_.push_back(it->second);
       }
     }
+    std::sort(matches_.begin(), matches_.end());
   }
   if (probed > 0) ctx_->ChargeHash(probed);
   if (emitted > 0) ctx_->ChargeTuples(emitted);

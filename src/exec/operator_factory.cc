@@ -1,5 +1,6 @@
 #include "exec/operator_factory.h"
 
+#include "exec/exchange_op.h"
 #include "exec/filter_op.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
@@ -53,6 +54,9 @@ Result<std::unique_ptr<Operator>> BuildOperatorTree(ExecContext* ctx,
       break;
     case OpKind::kLimit:
       op = std::make_unique<LimitOp>(ctx, node);
+      break;
+    case OpKind::kExchange:
+      op = std::make_unique<ExchangeSourceOp>(ctx, node);
       break;
   }
   for (auto& child : node->children) {

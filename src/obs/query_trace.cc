@@ -269,6 +269,57 @@ std::string QueryTrace::ToJson() const {
   }
   root.Set("memo_repairs", std::move(mrep_j));
 
+  JsonValue sk_j = JsonValue::MakeArray();
+  for (const ShardSkewRecord& r : shard_skews) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("node_rows", JsonValue::MakeNumber(static_cast<double>(r.node_rows)));
+    o.Set("est_share", JsonValue::MakeNumber(r.est_share));
+    o.Set("skew_factor", JsonValue::MakeNumber(r.skew_factor));
+    sk_j.Append(std::move(o));
+  }
+  root.Set("shard_skews", std::move(sk_j));
+
+  JsonValue st_j = JsonValue::MakeArray();
+  for (const StragglerRecord& r : stragglers) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("node_ms", JsonValue::MakeNumber(r.node_ms));
+    o.Set("percentile_ms", JsonValue::MakeNumber(r.percentile_ms));
+    o.Set("new_weight", JsonValue::MakeNumber(r.new_weight));
+    st_j.Append(std::move(o));
+  }
+  root.Set("stragglers", std::move(st_j));
+
+  JsonValue nl_j = JsonValue::MakeArray();
+  for (const NodeLostRecord& r : node_losses) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("reason", JsonValue::MakeString(r.reason));
+    o.Set("survivors", JsonValue::MakeNumber(r.survivors));
+    o.Set("rehomed_rows",
+          JsonValue::MakeNumber(static_cast<double>(r.rehomed_rows)));
+    o.Set("journal_resume", JsonValue::MakeBool(r.journal_resume));
+    nl_j.Append(std::move(o));
+  }
+  root.Set("node_losses", std::move(nl_j));
+
+  JsonValue ds_j = JsonValue::MakeArray();
+  for (const DistributionSwitchRecord& r : distribution_switches) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("from", JsonValue::MakeString(r.from));
+    o.Set("to", JsonValue::MakeString(r.to));
+    o.Set("reason", JsonValue::MakeString(r.reason));
+    o.Set("est_ms", JsonValue::MakeNumber(r.est_ms));
+    o.Set("new_ms", JsonValue::MakeNumber(r.new_ms));
+    ds_j.Append(std::move(o));
+  }
+  root.Set("distribution_switches", std::move(ds_j));
+
   return root.Serialize();
 }
 
@@ -467,6 +518,58 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       t.memo_repairs.push_back(r);
     }
   }
+  // Shard arrays are optional so traces serialized before the sharded
+  // execution layer still parse.
+  if (const JsonValue* sk = root.Find("shard_skews");
+      sk != nullptr && sk->is_array()) {
+    for (const JsonValue& o : sk->items()) {
+      ShardSkewRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.node_rows = static_cast<uint64_t>(GetNum(o, "node_rows"));
+      r.est_share = GetNum(o, "est_share");
+      r.skew_factor = GetNum(o, "skew_factor");
+      t.shard_skews.push_back(r);
+    }
+  }
+  if (const JsonValue* st = root.Find("stragglers");
+      st != nullptr && st->is_array()) {
+    for (const JsonValue& o : st->items()) {
+      StragglerRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.node_ms = GetNum(o, "node_ms");
+      r.percentile_ms = GetNum(o, "percentile_ms");
+      r.new_weight = GetNum(o, "new_weight");
+      t.stragglers.push_back(r);
+    }
+  }
+  if (const JsonValue* nl = root.Find("node_losses");
+      nl != nullptr && nl->is_array()) {
+    for (const JsonValue& o : nl->items()) {
+      NodeLostRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.reason = GetStr(o, "reason");
+      r.survivors = static_cast<int>(GetNum(o, "survivors"));
+      r.rehomed_rows = static_cast<uint64_t>(GetNum(o, "rehomed_rows"));
+      r.journal_resume = GetBool(o, "journal_resume");
+      t.node_losses.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* ds = root.Find("distribution_switches");
+      ds != nullptr && ds->is_array()) {
+    for (const JsonValue& o : ds->items()) {
+      DistributionSwitchRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.from = GetStr(o, "from");
+      r.to = GetStr(o, "to");
+      r.reason = GetStr(o, "reason");
+      r.est_ms = GetNum(o, "est_ms");
+      r.new_ms = GetNum(o, "new_ms");
+      t.distribution_switches.push_back(std::move(r));
+    }
+  }
 
   return t;
 }
@@ -532,6 +635,15 @@ std::string QueryTrace::Summary() const {
     out += "memo repairs:\n";
     for (const MemoRepair& r : memo_repairs) out += "  " + Render(r) + "\n";
   }
+  if (!shard_skews.empty() || !stragglers.empty() || !node_losses.empty() ||
+      !distribution_switches.empty()) {
+    out += "sharding:\n";
+    for (const ShardSkewRecord& r : shard_skews) out += "  " + Render(r) + "\n";
+    for (const StragglerRecord& r : stragglers) out += "  " + Render(r) + "\n";
+    for (const NodeLostRecord& r : node_losses) out += "  " + Render(r) + "\n";
+    for (const DistributionSwitchRecord& r : distribution_switches)
+      out += "  " + Render(r) + "\n";
+  }
   return out;
 }
 
@@ -583,6 +695,11 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("feedback_applied", JsonValue::MakeNumber(feedback_applied.size()));
   root.Set("plan_cache_hits", JsonValue::MakeNumber(plan_cache_hits.size()));
   root.Set("memo_repairs", JsonValue::MakeNumber(memo_repairs.size()));
+  root.Set("shard_skews", JsonValue::MakeNumber(shard_skews.size()));
+  root.Set("stragglers", JsonValue::MakeNumber(stragglers.size()));
+  root.Set("node_losses", JsonValue::MakeNumber(node_losses.size()));
+  root.Set("distribution_switches",
+           JsonValue::MakeNumber(distribution_switches.size()));
   return root.Serialize();
 }
 
@@ -696,6 +813,35 @@ std::string Render(const MemoRepair& r) {
          std::to_string(r.offers_repaired) + " offers repaired: " +
          Ms(r.incremental_ms) + "ms vs " + Ms(r.scratch_est_ms) +
          "ms from-scratch";
+}
+
+std::string Render(const ShardSkewRecord& r) {
+  return "shard skew (stage " + std::to_string(r.stage) + "): node " +
+         std::to_string(r.node) + " received " +
+         std::to_string(r.node_rows) + " rows vs estimated share " +
+         Ms(r.est_share) + " (threshold " + Ms(r.skew_factor) + "x)";
+}
+
+std::string Render(const StragglerRecord& r) {
+  return "straggler (stage " + std::to_string(r.stage) + "): node " +
+         std::to_string(r.node) + " took " + Ms(r.node_ms) +
+         "ms vs peer percentile " + Ms(r.percentile_ms) +
+         "ms -> weight " + Ms(r.new_weight);
+}
+
+std::string Render(const NodeLostRecord& r) {
+  std::string s = "node " + std::to_string(r.node) + " lost (stage " +
+                  std::to_string(r.stage) + ", " + r.reason + "): " +
+                  std::to_string(r.survivors) + " survivor(s), " +
+                  std::to_string(r.rehomed_rows) + " row(s) re-homed";
+  if (r.journal_resume) s += ", prior stages validated from journal";
+  return s;
+}
+
+std::string Render(const DistributionSwitchRecord& r) {
+  return "distribution switch (stage " + std::to_string(r.stage) + "): " +
+         r.from + " -> " + r.to + " (" + r.reason + ", " + Ms(r.est_ms) +
+         "ms -> " + Ms(r.new_ms) + "ms projected)";
 }
 
 std::string Render(const TxnBeginRecord& r) {

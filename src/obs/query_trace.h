@@ -281,6 +281,57 @@ struct WalReplayRecord {
   uint64_t tables_restored = 0;  ///< heap checkpoints rolled back first
 };
 
+// --- Sharded-execution records (DESIGN.md §15). Written by the shard
+// executor into the coordinator query's trace.
+
+/// A join stage's exchange delivered a build side far heavier on one node
+/// than the optimizer's estimate implied: max per-node receive exceeded
+/// skew_factor x the even share (and the 2x-mean sanity floor). Raised
+/// whether or not re-optimization is enabled; the DistributionSwitch record
+/// says what, if anything, was done about it.
+struct ShardSkewRecord {
+  int stage = 0;           ///< 1-based join-stage ordinal
+  int node = -1;           ///< hottest node
+  uint64_t node_rows = 0;  ///< rows that node received
+  double est_share = 0;    ///< estimated even per-node share
+  double skew_factor = 0;  ///< configured trigger threshold
+};
+
+/// One node's charged sim-time for a stage exceeded the configured ratio
+/// over the peer percentile: later slot tables down-weight it.
+struct StragglerRecord {
+  int stage = 0;
+  int node = -1;
+  double node_ms = 0;       ///< straggler's charged time this stage
+  double percentile_ms = 0; ///< peer percentile it was compared against
+  double new_weight = 0;    ///< repartition weight applied going forward
+};
+
+/// A simulated node died (node.crash fault, or a net link that stayed down
+/// past the retry budget). The stage re-ran on the survivors after the dead
+/// node's base partitions were re-homed; completed stages were revalidated
+/// from the query journal.
+struct NodeLostRecord {
+  int stage = 0;
+  int node = -1;
+  std::string reason;        ///< "node.crash" | "net.send" | "net.recv"
+  int survivors = 0;         ///< alive nodes after the loss
+  uint64_t rehomed_rows = 0; ///< base-partition rows moved to survivors
+  bool journal_resume = false;  ///< prior stages validated from the journal
+};
+
+/// The executor changed a join's distribution strategy — at planning time
+/// from observed build size ("build-estimate") or mid-stage after a skew
+/// trigger ("skew").
+struct DistributionSwitchRecord {
+  int stage = 0;
+  std::string from;    ///< "broadcast" | "repartition"
+  std::string to;
+  std::string reason;  ///< "build-estimate" | "skew"
+  double est_ms = 0;   ///< projected makespan of the rejected strategy
+  double new_ms = 0;   ///< projected makespan of the chosen strategy
+};
+
 /// The re-optimization configuration the query ran under.
 struct TraceConfig {
   std::string mode;  ///< ReoptModeName
@@ -315,6 +366,11 @@ class QueryTrace {
   std::vector<FeedbackApplied> feedback_applied;
   std::vector<PlanCacheHit> plan_cache_hits;
   std::vector<MemoRepair> memo_repairs;
+  // Sharded execution (empty for single-node queries).
+  std::vector<ShardSkewRecord> shard_skews;
+  std::vector<StragglerRecord> stragglers;
+  std::vector<NodeLostRecord> node_losses;
+  std::vector<DistributionSwitchRecord> distribution_switches;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -350,6 +406,10 @@ std::string Render(const RevocationEvent& r);
 std::string Render(const FeedbackApplied& r);
 std::string Render(const PlanCacheHit& r);
 std::string Render(const MemoRepair& r);
+std::string Render(const ShardSkewRecord& r);
+std::string Render(const StragglerRecord& r);
+std::string Render(const NodeLostRecord& r);
+std::string Render(const DistributionSwitchRecord& r);
 std::string Render(const TxnBeginRecord& r);
 std::string Render(const TxnCommitRecord& r);
 std::string Render(const TxnAbortRecord& r);

@@ -117,6 +117,10 @@ double CostModel::Materialize(double pages) const {
   return 2.0 * pages * params_.t_io_ms;
 }
 
+double CostModel::NetTransfer(double bytes, double msgs) const {
+  return bytes * params_.t_net_byte_ms + msgs * params_.t_net_msg_ms;
+}
+
 double CostModel::Collector(double rows, int num_stats,
                             int minmax_cols) const {
   // Cardinality/size counters are treated as free (paper Section 2.5);

@@ -29,6 +29,14 @@ struct CostParams {
   double hash_fudge = 1.2;         ///< F: hash-table space overhead factor
   double t_opt_per_plan_ms = 0.02; ///< simulated optimizer cost per plan
                                    ///< enumerated (calibrated; Section 2.4)
+  /// Network cost term for sharded execution (src/shard): exchange
+  /// operators charge per byte moved plus a fixed per-message overhead.
+  /// Defaults model a late-90s cluster interconnect: ~50 MB/s effective
+  /// throughput and a visible per-message setup cost, so shipping a big
+  /// build side is comparable to re-reading it from disk — which is what
+  /// makes the broadcast-vs-repartition decision non-trivial.
+  double t_net_byte_ms = 0.00002;  ///< per byte on an exchange channel
+  double t_net_msg_ms = 0.05;      ///< per message (batch of tuples)
 };
 
 /// Counters of CPU-side work performed during execution.
@@ -88,6 +96,11 @@ class CostModel {
 
   /// Write out + read back of an intermediate result.
   double Materialize(double pages) const;
+
+  /// One-way transfer of `bytes` in `msgs` messages over an exchange
+  /// channel (sharded execution). Charged symmetrically: the sender and
+  /// the receiver each pay this once per transfer.
+  double NetTransfer(double bytes, double msgs) const;
 
   /// Statistics collector: per-tuple cost per statistic collected.
   /// `minmax_cols` is the number of numeric columns whose min/max the

@@ -30,6 +30,8 @@ const char* OpKindName(OpKind k) {
       return "StatsCollector";
     case OpKind::kLimit:
       return "Limit";
+    case OpKind::kExchange:
+      return "Exchange";
   }
   return "?";
 }
@@ -77,6 +79,9 @@ std::string PlanNode::ToString(int indent) const {
       os << ")";
       break;
     }
+    case OpKind::kExchange:
+      os << " " << table;
+      break;
     case OpKind::kStatsCollector: {
       os << " [hist:";
       for (const auto& c : collector.histogram_cols) os << " " << c;

@@ -37,6 +37,8 @@ enum class OpKind : uint8_t {
   kMaterialize,    // writes child output to a temp heap, then streams it
   kStatsCollector, // streaming pass-through gathering statistics
   kLimit,
+  kExchange,       // leaf streaming a bound exchange buffer (sharded exec);
+                   // `table` names the ExecContext exchange binding
 };
 
 const char* OpKindName(OpKind k);

@@ -17,6 +17,11 @@ std::string QuerySpec::ToSql() const {
       os << " AS " << it.name;
     } else {
       os << Qualified(it.col);
+      // Preserve the output name when it differs from the bare column —
+      // remainder specs rename covered columns ("e__salary") but ORDER BY
+      // renders by output name ("salary").
+      if (!it.name.empty() && it.name != it.col.column)
+        os << " AS " << it.name;
     }
   }
   os << " FROM ";

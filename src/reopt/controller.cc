@@ -438,6 +438,40 @@ void HarvestFeedback(const PlanNode& plan, const QuerySpec& spec,
   });
 }
 
+ObservedStats MergeObservedStats(
+    const std::vector<const ObservedStats*>& parts) {
+  ObservedStats merged;
+  double total_bytes = 0;
+  for (const ObservedStats* p : parts) {
+    if (p == nullptr || !p->valid) continue;
+    merged.valid = true;
+    merged.partial = merged.partial || p->partial;
+    merged.cardinality += p->cardinality;
+    total_bytes += p->cardinality * p->avg_tuple_bytes;
+    for (const auto& [col, cs] : p->columns) {
+      if (!cs.has_bounds) continue;
+      auto [it, inserted] = merged.columns.try_emplace(col);
+      ColumnStats& m = it->second;
+      if (inserted) {
+        m.type = cs.type;
+        m.avg_width = cs.avg_width;
+        m.has_bounds = true;
+        m.min = cs.min;
+        m.max = cs.max;
+      } else {
+        m.min = std::min(m.min, cs.min);
+        m.max = std::max(m.max, cs.max);
+      }
+      // Histograms and distinct sketches stay dropped (default-initialized):
+      // per-partition sketches overlap in domain, so any cheap union would
+      // overstate distinct counts and skew bucket boundaries.
+    }
+  }
+  if (merged.valid && merged.cardinality > 0)
+    merged.avg_tuple_bytes = total_bytes / merged.cardinality;
+  return merged;
+}
+
 /// \brief The moved-out body of the old monolithic ExecuteWithPlan, held
 /// alive between Step() calls.
 ///

@@ -295,7 +295,7 @@ BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
 TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
                           const Catalog& catalog);
 
-/// Harvests every valid observation in `plan` into the feedback store:
+///// Harvests every valid observation in `plan` into the feedback store:
 /// base-table scans become (table, predicate-signature) entries with the
 /// observed post-filter selectivity; joins become join-signature entries.
 /// Temp tables are skipped (their signatures are query-local), as are
@@ -303,6 +303,17 @@ TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
 /// observations are recorded as lower bounds. No-op when `store` is null.
 void HarvestFeedback(const PlanNode& plan, const QuerySpec& spec,
                      const Catalog& catalog, CardinalityFeedbackStore* store);
+
+/// Merges per-node collector observations of the SAME plan edge (sharded
+/// execution) into one cluster-wide observation: counts and byte totals
+/// sum, per-column min/max union, and the node-local histograms / distinct
+/// sketches are dropped (they describe partitions, not the relation — a
+/// union would double-count overlapping sketch domains). The result is
+/// what gets written into the coordinator plan before HarvestFeedback runs,
+/// so the feedback store sees each logical edge exactly once regardless of
+/// node count. `partial` is sticky: any partial input makes the merge a
+/// lower bound. Invalid inputs are skipped; all-invalid yields invalid.
+ObservedStats MergeObservedStats(const std::vector<const ObservedStats*>& parts);
 
 }  // namespace reoptdb
 

@@ -1,0 +1,253 @@
+#include "shard/shard_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reoptdb {
+
+namespace {
+
+/// Route one row under `p` across `num_nodes` nodes. `col_idx` is the
+/// partitioning column's position; for range partitioning `lo`/`hi` bound
+/// the column's domain (equal-width bins).
+int RouteRow(const Tuple& row, const TablePartitioning& p, size_t col_idx,
+             int num_nodes, double lo, double hi) {
+  if (p.kind == TablePartitioning::Kind::kHash) {
+    return static_cast<int>(row.at(col_idx).Hash() %
+                            static_cast<uint64_t>(num_nodes));
+  }
+  // Range: equal-width bins over [lo, hi].
+  const double v = row.at(col_idx).AsNumeric();
+  if (hi <= lo) return 0;
+  const double width = (hi - lo) / static_cast<double>(num_nodes);
+  int bin = static_cast<int>(std::floor((v - lo) / width));
+  return std::clamp(bin, 0, num_nodes - 1);
+}
+
+}  // namespace
+
+constexpr char ShardCluster::kOrdQualifier[];
+
+ShardCluster::ShardCluster(ShardOptions opts) : opts_(std::move(opts)) {
+  // The coordinator plans every distributed query, so its optimizer is
+  // pinned to the hash-only left-deep profile the executor can distribute:
+  // every join is a hash join whose probe side is a base-relation scan.
+  DatabaseOptions db_opts = opts_.coordinator;
+  db_opts.optimizer.enable_index_nl_join = false;
+  db_opts.optimizer.enable_index_scan = false;
+  db_opts.optimizer.enable_sort_merge_join = false;
+  db_opts.optimizer.build_on_left_subtree = true;
+  db_ = std::make_unique<Database>(db_opts);
+
+  const int n = std::max(opts_.num_nodes, 1);
+  nodes_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_unique<ShardNode>();
+    node->id = i;
+    node->slowdown = i < static_cast<int>(opts_.node_slowdown.size())
+                         ? std::max(opts_.node_slowdown[static_cast<size_t>(i)],
+                                    0.0)
+                         : 1.0;
+    if (node->slowdown == 0) node->slowdown = 1.0;
+    node->disk = std::make_unique<DiskManager>();
+    node->disk->set_fault_injector(db_->faults());
+    node->pool =
+        std::make_unique<BufferPool>(node->disk.get(), opts_.node_pool_pages);
+    node->catalog = std::make_unique<Catalog>(node->pool.get());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::vector<int> ShardCluster::AliveNodes() const {
+  std::vector<int> out;
+  for (const auto& n : nodes_)
+    if (n->alive) out.push_back(n->id);
+  return out;
+}
+
+Status ShardCluster::Shard(const std::string& table, TablePartitioning p) {
+  ASSIGN_OR_RETURN(TableInfo * info, db_->catalog()->Get(table));
+  if (!p.partitioned())
+    return Status::InvalidArgument("partitioning kind required: " + table);
+  ASSIGN_OR_RETURN(size_t col_idx, info->schema.IndexOf(p.column));
+  if (p.kind == TablePartitioning::Kind::kRange &&
+      info->schema.column(col_idx).type == ValueType::kString)
+    return Status::NotSupported("range partitioning requires a numeric column");
+  p.num_shards = num_nodes();
+
+  // Range bounds from the data itself (one pass; exact, not estimated).
+  double lo = 0, hi = 0;
+  if (p.kind == TablePartitioning::Kind::kRange) {
+    bool seen = false;
+    HeapFile::Iterator it = info->heap->Scan();
+    Tuple t;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, it.Next(&t));
+      if (!more) break;
+      const double v = t.at(col_idx).AsNumeric();
+      if (!seen) {
+        lo = hi = v;
+        seen = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+
+  // (Re-)create the per-node partition tables: coordinator schema plus the
+  // trailing global-ordinal column.
+  Schema part_schema = info->schema;
+  part_schema.AddColumn(
+      Column{kOrdQualifier, OrdColumnName(table), ValueType::kInt64, 8.0});
+  std::vector<TableInfo*> part_tables(nodes_.size(), nullptr);
+  for (auto& node : nodes_) {
+    if (!node->alive) continue;
+    if (node->catalog->Exists(table))
+      RETURN_IF_ERROR(node->catalog->Drop(table));
+    ASSIGN_OR_RETURN(TableInfo * pt,
+                     node->catalog->CreateTable(table, part_schema));
+    part_tables[static_cast<size_t>(node->id)] = pt;
+  }
+
+  // Route every coordinator row, carrying its append ordinal. Dead nodes'
+  // slices go straight to survivors (same rule RehomeDeadNode applies).
+  std::vector<int>& route = routes_[table];
+  route.clear();
+  const std::vector<int> alive = AliveNodes();
+  if (alive.empty()) return Status::Internal("no alive nodes");
+  HeapFile::Iterator it = info->heap->Scan();
+  Tuple t;
+  uint64_t ord = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    int target = RouteRow(t, p, col_idx, num_nodes(), lo, hi);
+    if (!nodes_[static_cast<size_t>(target)]->alive)
+      target = alive[ord % alive.size()];
+    route.push_back(target);
+    Tuple part_row = t;
+    part_row.Append(Value(static_cast<int64_t>(ord)));
+    RETURN_IF_ERROR(
+        part_tables[static_cast<size_t>(target)]->heap->Append(part_row)
+            .status());
+    ++ord;
+  }
+  for (auto& node : nodes_) {
+    TableInfo* pt = part_tables[static_cast<size_t>(node->id)];
+    if (pt == nullptr) continue;
+    RETURN_IF_ERROR(pt->heap->Flush());
+    TableStats st = info->stats;  // column stats approximate the slice
+    st.analyzed = true;
+    st.row_count = static_cast<double>(pt->heap->tuple_count());
+    st.page_count = static_cast<double>(pt->heap->page_count());
+    st.avg_tuple_bytes = pt->heap->avg_tuple_bytes();
+    RETURN_IF_ERROR(node->catalog->SetStats(table, std::move(st)));
+  }
+  return db_->catalog()->SetPartitioning(table, std::move(p));
+}
+
+Status ShardCluster::MarkDead(int id) {
+  if (id < 0 || id >= num_nodes())
+    return Status::InvalidArgument("no such node");
+  nodes_[static_cast<size_t>(id)]->alive = false;
+  return Status::OK();
+}
+
+Result<ShardCluster::RehomeResult> ShardCluster::RehomeDeadNode(int dead) {
+  if (dead < 0 || dead >= num_nodes())
+    return Status::InvalidArgument("no such node");
+  if (nodes_[static_cast<size_t>(dead)]->alive)
+    return Status::InvalidArgument("node is alive");
+  const std::vector<int> alive = AliveNodes();
+  if (alive.empty()) return Status::Internal("no survivors");
+
+  RehomeResult res;
+  const double t_io = db_->cost_model().params().t_io_ms;
+  const DiskStats coord_before = db_->disk()->stats();
+  std::vector<DiskStats> node_before;
+  node_before.reserve(nodes_.size());
+  for (const auto& n : nodes_) node_before.push_back(n->disk->stats());
+
+  for (auto& [table, route] : routes_) {
+    ASSIGN_OR_RETURN(TableInfo * info, db_->catalog()->Get(table));
+    // Survivors' partition tables must exist (they do unless the table was
+    // sharded after this node died, in which case Shard already skipped it).
+    bool any = false;
+    for (int owner : route)
+      if (owner == dead) {
+        any = true;
+        break;
+      }
+    if (!any) continue;
+    std::vector<TableInfo*> part(nodes_.size(), nullptr);
+    for (int id : alive) {
+      ASSIGN_OR_RETURN(TableInfo * pt,
+                       nodes_[static_cast<size_t>(id)]->catalog->Get(table));
+      part[static_cast<size_t>(id)] = pt;
+    }
+    // Re-read the durable coordinator copy, pick out the dead node's slice.
+    HeapFile::Iterator it = info->heap->Scan();
+    Tuple t;
+    uint64_t ord = 0;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, it.Next(&t));
+      if (!more) break;
+      if (ord < route.size() && route[ord] == dead) {
+        const int target = alive[ord % alive.size()];
+        route[ord] = target;
+        Tuple part_row = t;
+        part_row.Append(Value(static_cast<int64_t>(ord)));
+        RETURN_IF_ERROR(
+            part[static_cast<size_t>(target)]->heap->Append(part_row)
+                .status());
+        ++res.rehomed_rows;
+      }
+      ++ord;
+    }
+    for (int id : alive) {
+      TableInfo* pt = part[static_cast<size_t>(id)];
+      RETURN_IF_ERROR(pt->heap->Flush());
+      TableStats st = pt->stats;
+      st.row_count = static_cast<double>(pt->heap->tuple_count());
+      st.page_count = static_cast<double>(pt->heap->page_count());
+      st.avg_tuple_bytes = pt->heap->avg_tuple_bytes();
+      RETURN_IF_ERROR(
+          nodes_[static_cast<size_t>(id)]->catalog->SetStats(table,
+                                                             std::move(st)));
+    }
+  }
+
+  // Simulated cost: the coordinator's re-read plus the slowest survivor's
+  // appends (they write in parallel).
+  const DiskStats coord_delta = db_->disk()->stats() - coord_before;
+  res.sim_ms = static_cast<double>(coord_delta.page_reads) * t_io +
+               coord_delta.retry_penalty_ms;
+  double worst_node = 0;
+  for (const auto& n : nodes_) {
+    if (!n->alive) continue;
+    const DiskStats d = n->disk->stats() - node_before[static_cast<size_t>(n->id)];
+    const double ms =
+        (static_cast<double>(d.page_reads + d.page_writes) * t_io +
+         d.retry_penalty_ms) *
+        n->slowdown;
+    worst_node = std::max(worst_node, ms);
+  }
+  res.sim_ms += worst_node;
+  return res;
+}
+
+int ShardCluster::RouteOf(const std::string& table, uint64_t ord) const {
+  auto it = routes_.find(table);
+  if (it == routes_.end() || ord >= it->second.size()) return -1;
+  return it->second[ord];
+}
+
+size_t ShardCluster::LivePagesAliveNodes() const {
+  size_t total = db_->disk()->live_pages();
+  for (const auto& n : nodes_)
+    if (n->alive) total += n->disk->live_pages();
+  return total;
+}
+
+}  // namespace reoptdb

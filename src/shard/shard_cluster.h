@@ -1,0 +1,147 @@
+// Simulated shared-nothing cluster (DESIGN.md §15).
+//
+// The cluster wraps one coordinator Database — which keeps the full copy of
+// every base table and stays the bit-identical single-node oracle — plus N
+// simulated worker nodes, each with its own DiskManager (private simulated
+// I/O clock), BufferPool, and Catalog of partition tables. Shard() splits a
+// loaded coordinator table across the nodes by hash or range, appending a
+// per-row global ordinal column that the sharded executor later uses to
+// reassemble single-node tuple order exactly.
+//
+// The coordinator's heap is treated as the durable, replicated copy of the
+// data (think: a distributed file system); a node's partition is a cache of
+// its slice. Losing a node therefore never loses rows — RehomeDeadNode
+// re-reads the dead node's slice from the coordinator heap and re-appends
+// it to the survivors, charging the simulated I/O honestly.
+
+#ifndef REOPTDB_SHARD_SHARD_CLUSTER_H_
+#define REOPTDB_SHARD_SHARD_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/exchange_op.h"
+#include "shard/skew_detector.h"
+
+namespace reoptdb {
+
+/// Cluster configuration.
+struct ShardOptions {
+  int num_nodes = 4;
+  /// Per-node buffer pool (pages).
+  size_t node_pool_pages = 512;
+  /// Memory budget (pages) a node grants each fragment's hash join.
+  double node_mem_pages = 128;
+  /// Skew / straggler thresholds (see shard/skew_detector.h).
+  SkewThresholds skew;
+  /// Mid-query defenses on (distribution switches, straggler re-weighting).
+  /// Off = the control arm: triggers are still *recorded*, never acted on.
+  bool reopt_enabled = true;
+  /// Per-node simulated slowdown multiplier (empty = all 1.0). A value of
+  /// 3.0 makes that node's charged time 3x — the straggler scenario.
+  std::vector<double> node_slowdown;
+  /// Base options for the coordinator Database. The optimizer profile is
+  /// overridden to hash-only left-deep plans (the shapes the sharded
+  /// executor distributes); everything else is honored.
+  DatabaseOptions coordinator;
+};
+
+/// One simulated worker node.
+struct ShardNode {
+  int id = 0;
+  bool alive = true;
+  /// Routing weight for hash repartitioning (lowered for stragglers).
+  double weight = 1.0;
+  double slowdown = 1.0;
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<Catalog> catalog;
+  /// Cumulative exchange counters (across queries).
+  NetChannelStats net;
+};
+
+/// \brief Coordinator + N simulated worker nodes.
+class ShardCluster {
+ public:
+  explicit ShardCluster(ShardOptions opts = ShardOptions{});
+
+  Database* db() { return db_.get(); }
+  const ShardOptions& options() const { return opts_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  ShardNode* node(int id) { return nodes_[static_cast<size_t>(id)].get(); }
+  const ShardNode* node(int id) const {
+    return nodes_[static_cast<size_t>(id)].get();
+  }
+  std::vector<int> AliveNodes() const;
+  /// The coordinator's injector, shared by every node's disk and the
+  /// exchange channels — one schedule drives the whole cluster.
+  FaultInjector* faults() { return db_->faults(); }
+
+  /// Qualifier/name of the ordinal column appended to partition tables.
+  static constexpr char kOrdQualifier[] = "__shard";
+  static std::string OrdColumnName(const std::string& table) {
+    return "__ord_" + table;
+  }
+
+  /// Partitions a loaded coordinator table across all nodes: creates the
+  /// per-node partition tables (same name, schema + trailing ordinal
+  /// column), routes every coordinator row by `p`, and records the
+  /// partitioning in the coordinator catalog. Re-sharding an already
+  /// sharded table replaces its partitions.
+  Status Shard(const std::string& table, TablePartitioning p);
+  Status ShardByHash(const std::string& table, const std::string& column) {
+    TablePartitioning p;
+    p.kind = TablePartitioning::Kind::kHash;
+    p.column = column;
+    p.num_shards = num_nodes();
+    return Shard(table, std::move(p));
+  }
+
+  // --- Node failure.
+
+  /// Marks a node dead. Its partitions stay on its (lost) disk; call
+  /// RehomeDeadNode to rebuild them on the survivors.
+  Status MarkDead(int id);
+
+  struct RehomeResult {
+    uint64_t rehomed_rows = 0;
+    /// Simulated cost: coordinator re-read + the survivors' appends
+    /// (max over nodes, since they write in parallel).
+    double sim_ms = 0;
+  };
+
+  /// Re-appends every row the dead node held (re-read from the coordinator
+  /// heap, the durable copy) onto the surviving nodes' partition tables,
+  /// round-robin by ordinal. Updates the routing directory so subsequent
+  /// queries and stage re-runs see the new layout.
+  Result<RehomeResult> RehomeDeadNode(int dead);
+
+  /// Node currently holding append ordinal `ord` of `table` (-1 unknown).
+  int RouteOf(const std::string& table, uint64_t ord) const;
+
+  // --- Makespan accounting (simulated wall-clock across the cluster).
+
+  void AddClusterMs(double ms) { cluster_ms_ += ms; }
+  double cluster_ms() const { return cluster_ms_; }
+
+  /// Pages still allocated across every *alive* disk plus the coordinator
+  /// (leak check; a dead node's disk is lost hardware and not counted).
+  size_t LivePagesAliveNodes() const;
+
+ private:
+  friend class ShardedExecutor;
+
+  ShardOptions opts_;
+  std::unique_ptr<Database> db_;
+  std::vector<std::unique_ptr<ShardNode>> nodes_;
+  /// Partition directory: table -> owning node id per append ordinal.
+  std::map<std::string, std::vector<int>> routes_;
+  double cluster_ms_ = 0;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_SHARD_SHARD_CLUSTER_H_

@@ -1,0 +1,1041 @@
+#include "shard/sharded_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/scheduler.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/remainder_sql.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "reopt/controller.h"
+#include "reopt/query_journal.h"
+
+namespace reoptdb {
+
+namespace {
+
+constexpr int kCoordEndpoint = -1;
+/// ExecContext exchange-binding keys for a fragment's two inputs.
+constexpr char kBuildKey[] = "__exchange_build";
+constexpr char kProbeKey[] = "__exchange_probe";
+
+const char* StrategyName(bool broadcast) {
+  return broadcast ? "broadcast" : "repartition";
+}
+
+double MsgsFor(double rows) {
+  return std::ceil(rows / static_cast<double>(ExchangeChannel::kTuplesPerMessage));
+}
+
+uint64_t SumBytes(const std::vector<Tuple>& rows) {
+  uint64_t b = 0;
+  for (const Tuple& t : rows) b += t.SerializedSize();
+  return b;
+}
+
+Result<std::vector<size_t>> KeyIdxs(const Schema& s,
+                                    const std::vector<std::string>& keys) {
+  std::vector<size_t> out;
+  out.reserve(keys.size());
+  for (const std::string& k : keys) {
+    ASSIGN_OR_RETURN(size_t idx, s.IndexOf(k));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+/// Projected per-stage costs of the two distribution strategies, from the
+/// cost model's network term plus a hash-work proxy for per-node join
+/// effort. `build_from_coord` = the build input scatters from the
+/// coordinator temp (stage > 0) rather than node-to-node (stage 0).
+struct StrategyCosts {
+  double broadcast_ms = 0;
+  double repartition_ms = 0;
+};
+
+StrategyCosts EstimateStrategies(const CostModel& cm, double build_rows,
+                                 double build_bytes, double probe_rows,
+                                 double probe_bytes, int n,
+                                 bool build_from_coord) {
+  StrategyCosts c;
+  const double nd = std::max(1, n);
+  const double bmsgs = MsgsFor(build_rows), pmsgs = MsgsFor(probe_rows);
+  const double cross = (nd - 1) / nd;  // fraction of rows changing nodes
+  if (build_from_coord) {
+    c.broadcast_ms = cm.NetTransfer(build_bytes * nd, bmsgs * nd);
+    c.repartition_ms = cm.NetTransfer(build_bytes, bmsgs) +
+                       cm.NetTransfer(probe_bytes * cross, pmsgs * cross);
+  } else {
+    c.broadcast_ms = cm.NetTransfer(build_bytes * (nd - 1), bmsgs * (nd - 1));
+    c.repartition_ms = cm.NetTransfer((build_bytes + probe_bytes) * cross,
+                                      (bmsgs + pmsgs) * cross);
+  }
+  const double th = cm.params().t_hash_ms;
+  c.broadcast_ms += th * (build_rows + probe_rows / nd);
+  c.repartition_ms += th * (build_rows + probe_rows) / nd;
+  return c;
+}
+
+/// One distributed execution in flight. Everything that must survive
+/// across stage attempts (plan, temps, makespan, trace) lives here.
+struct Run {
+  Run(ShardCluster* c, const ShardQueryOptions& qo)
+      : cluster(c),
+        db(c->db()),
+        q(qo),
+        detector(c->options().skew),
+        coord_ctx(c->db()->buffer_pool(), c->db()->catalog(),
+                  &c->db()->cost_model()) {
+    coord_ctx.SetFaultInjector(db->faults());
+    coord_ctx.SetBatchSize(q.batch_size);
+  }
+
+  ShardCluster* cluster;
+  Database* db;
+  ShardQueryOptions q;
+  SkewDetector detector;
+  ExecContext coord_ctx;
+  NetChannelStats coord_net;
+
+  QuerySpec spec;
+  std::string root_sql;
+  std::unique_ptr<PlanNode> plan;
+  std::vector<PlanNode*> joins;  ///< bottom-up
+  std::vector<PlanNode*> scans;  ///< scans[0] = deepest build; [j+1] = probe j
+  std::map<std::string, int> alias_rel;
+
+  ShardExecResult out;
+  std::set<int> covered;
+  std::string prev_temp;
+  Schema prev_temp_schema;
+  std::vector<std::string> live_temps;
+  std::map<std::string, ObservedStats> scan_observed;  ///< alias -> merged
+
+  /// Failure attribution for the attempt loop: >=0 = node to kill,
+  /// -2 = coordinator-side error (abort the query).
+  int victim = -2;
+  std::string fail_reason;
+  /// Alias-qualified schema of the temp MaterializeStage just wrote.
+  Schema pending_logical_;
+
+  // ---------------------------------------------------------------------
+
+  Status NodeFail(int node_id, const char* reason, const Status& st) {
+    if (st.code() == StatusCode::kCrashed) return st;  // whole process died
+    victim = node_id;
+    fail_reason = reason;
+    return Status::Internal(std::string(reason) + ": " + st.message());
+  }
+
+  /// node.crash injection point, attributed to `node_id`.
+  Status CheckNodeCrash(int node_id) {
+    Status st = db->faults()->Check(faults::kNodeCrash);
+    if (st.ok()) return st;
+    return NodeFail(node_id, "node.crash", st);
+  }
+
+  /// Fragment scan schema: the node partition table re-qualified with the
+  /// query alias (positional layout is identical).
+  Result<Schema> PartitionSchemaFor(int node_id, const std::string& table,
+                                    const std::string& alias) {
+    ASSIGN_OR_RETURN(const TableInfo* info,
+                     cluster->node(node_id)->catalog->Get(table));
+    Schema s;
+    for (const Column& col : info->schema.columns()) {
+      if (col.qualifier == ShardCluster::kOrdQualifier) {
+        s.AddColumn(Column{ShardCluster::kOrdQualifier, "__ord_" + alias,
+                           ValueType::kInt64, 8.0});
+      } else {
+        s.AddColumn(Column{alias, col.name, col.type, col.avg_width});
+      }
+    }
+    return s;
+  }
+
+  /// Runs one node's local scan (with a statistics collector) of the
+  /// partition of `coord_scan`'s table, returning the filtered rows.
+  Result<std::vector<Tuple>> RunLocalScan(int node_id, ExecContext* ctx,
+                                          const PlanNode* coord_scan,
+                                          ObservedStats* observed) {
+    auto scan = std::make_unique<PlanNode>();
+    scan->kind = OpKind::kSeqScan;
+    scan->table = coord_scan->table;
+    scan->alias = coord_scan->alias;
+    scan->filters = coord_scan->filters;
+    scan->est = coord_scan->est;
+    scan->improved = coord_scan->est;
+    ASSIGN_OR_RETURN(scan->output_schema,
+                     PartitionSchemaFor(node_id, coord_scan->table,
+                                        coord_scan->alias));
+    auto coll = std::make_unique<PlanNode>();
+    coll->kind = OpKind::kStatsCollector;
+    coll->output_schema = scan->output_schema;
+    coll->est = coord_scan->est;
+    coll->improved = coord_scan->est;
+    coll->children.push_back(std::move(scan));
+
+    std::vector<Tuple> rows;
+    ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
+                     PipelineExecutor::Create(ctx, coll.get()));
+    RETURN_IF_ERROR(exec->Open());
+    while (exec->HasMoreStages()) {
+      ASSIGN_OR_RETURN(PipelineExecutor::StageResult sr,
+                       exec->RunNextStage(&rows));
+      (void)sr;
+    }
+    RETURN_IF_ERROR(exec->Close());
+    if (observed != nullptr) *observed = coll->children[0]->observed;
+    return rows;
+  }
+
+  /// Per-partition scan observations, merged into one per-table truth
+  /// before anything downstream (estimate refresh, feedback harvest) sees
+  /// them — N node-local counts must not read as N observations.
+  void MergeScanObservations(const PlanNode* coord_scan,
+                             const std::vector<const ObservedStats*>& parts) {
+    ObservedStats merged = MergeObservedStats(parts);
+    if (!merged.valid) return;
+    // Strip the shard-internal ordinal column: its 9 serialized bytes per
+    // row and its min/max are partitioning artifacts, not table facts.
+    for (auto it = merged.columns.begin(); it != merged.columns.end();) {
+      if (it->first.rfind(std::string(ShardCluster::kOrdQualifier) + ".", 0) ==
+          0) {
+        it = merged.columns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (merged.avg_tuple_bytes > 9.0) merged.avg_tuple_bytes -= 9.0;
+    scan_observed[coord_scan->alias] = std::move(merged);
+  }
+
+  Result<std::vector<Tuple>> ReadTempRows(const std::string& temp) {
+    ASSIGN_OR_RETURN(const TableInfo* info, db->catalog()->Get(temp));
+    std::vector<Tuple> rows;
+    rows.reserve(info->heap->tuple_count());
+    HeapFile::Iterator it = info->heap->Scan();
+    Tuple t;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, it.Next(&t));
+      if (!more) break;
+      rows.push_back(t);
+    }
+    return rows;
+  }
+
+  void Record(ShardSkewRecord r) {
+    coord_ctx.trace()->shard_skews.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(StragglerRecord r) {
+    coord_ctx.trace()->stragglers.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(NodeLostRecord r) {
+    coord_ctx.trace()->node_losses.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(DistributionSwitchRecord r) {
+    coord_ctx.trace()->distribution_switches.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+    ++out.distribution_switches;
+  }
+
+  // --- One stage attempt. ------------------------------------------------
+
+  struct Attempt {
+    std::vector<std::unique_ptr<ExecContext>> ctxs;  ///< indexed by node id
+  };
+
+  Result<std::string> TryStage(size_t js) {
+    victim = -2;
+    const double coord_baseline = coord_ctx.SimElapsedMs();
+    Attempt a;
+    Result<std::string> r = DoStage(js, &a);
+    // Honest makespan: failed attempts' charges stay on the clock too.
+    double stage_ms = 0;
+    for (int id : cluster->AliveNodes()) {
+      ExecContext* ctx = a.ctxs.size() > static_cast<size_t>(id)
+                             ? a.ctxs[static_cast<size_t>(id)].get()
+                             : nullptr;
+      if (ctx == nullptr) continue;
+      stage_ms = std::max(
+          stage_ms, ctx->SimElapsedMs() * cluster->node(id)->slowdown);
+    }
+    stage_ms += coord_ctx.SimElapsedMs() - coord_baseline;
+    cluster->AddClusterMs(stage_ms);
+    out.cluster_ms += stage_ms;
+    return r;
+  }
+
+  Result<std::string> DoStage(size_t js, Attempt* a) {
+    const std::vector<int> alive = cluster->AliveNodes();
+    if (alive.empty()) return Status::Internal("no alive nodes");
+    const int n = static_cast<int>(alive.size());
+    const bool scan_only = joins.empty();
+    PlanNode* join = scan_only ? nullptr : joins[js];
+    PlanNode* probe_scan = scan_only ? scans[0] : scans[js + 1];
+    const int stage_no = static_cast<int>(js) + 1;
+
+    // Fresh per-attempt contexts and channel: a re-run after a node loss
+    // starts from durable inputs with clean queues.
+    a->ctxs.resize(static_cast<size_t>(cluster->num_nodes()));
+    ExchangeChannel channel(&db->cost_model(), db->faults());
+    for (int id : alive) {
+      ShardNode* node = cluster->node(id);
+      auto ctx = std::make_unique<ExecContext>(
+          node->pool.get(), node->catalog.get(), &db->cost_model());
+      ctx->SetFaultInjector(db->faults());
+      ctx->SetBatchSize(q.batch_size);
+      channel.AddEndpoint(id, ctx.get(), &node->net);
+      a->ctxs[static_cast<size_t>(id)] = std::move(ctx);
+    }
+    channel.AddEndpoint(kCoordEndpoint, &coord_ctx, &coord_net);
+
+    for (int id : alive) RETURN_IF_ERROR(CheckNodeCrash(id));
+
+    // --- Local scans (build side first for stage 0, then probe).
+    std::vector<std::vector<Tuple>> build_src(
+        static_cast<size_t>(cluster->num_nodes()));
+    std::vector<Tuple> coord_build_src;  // stage > 0: previous temp
+    std::vector<const ObservedStats*> build_parts;
+    std::vector<ObservedStats> build_obs(static_cast<size_t>(n));
+    Schema build_schema;
+    if (!scan_only) {
+      if (js == 0) {
+        ASSIGN_OR_RETURN(build_schema,
+                         PartitionSchemaFor(alive[0], scans[0]->table,
+                                            scans[0]->alias));
+        for (int i = 0; i < n; ++i) {
+          const int id = alive[static_cast<size_t>(i)];
+          Result<std::vector<Tuple>> rows =
+              RunLocalScan(id, a->ctxs[static_cast<size_t>(id)].get(),
+                           scans[0], &build_obs[static_cast<size_t>(i)]);
+          if (!rows.ok())
+            return NodeFail(id, "build-scan", rows.status());
+          build_src[static_cast<size_t>(id)] = std::move(rows).value();
+          build_parts.push_back(&build_obs[static_cast<size_t>(i)]);
+        }
+      } else {
+        build_schema = prev_temp_schema;
+        ASSIGN_OR_RETURN(coord_build_src, ReadTempRows(prev_temp));
+      }
+    }
+
+    std::vector<std::vector<Tuple>> probe_local(
+        static_cast<size_t>(cluster->num_nodes()));
+    std::vector<const ObservedStats*> probe_parts;
+    std::vector<ObservedStats> probe_obs(static_cast<size_t>(n));
+    ASSIGN_OR_RETURN(Schema probe_schema,
+                     PartitionSchemaFor(alive[0], probe_scan->table,
+                                        probe_scan->alias));
+    for (int i = 0; i < n; ++i) {
+      const int id = alive[static_cast<size_t>(i)];
+      Result<std::vector<Tuple>> rows =
+          RunLocalScan(id, a->ctxs[static_cast<size_t>(id)].get(), probe_scan,
+                       &probe_obs[static_cast<size_t>(i)]);
+      if (!rows.ok()) return NodeFail(id, "probe-scan", rows.status());
+      probe_local[static_cast<size_t>(id)] = std::move(rows).value();
+      probe_parts.push_back(&probe_obs[static_cast<size_t>(i)]);
+    }
+
+    // --- Scan-only queries: gather the single relation and materialize.
+    if (scan_only) {
+      for (int id : alive) {
+        Status st = channel.Send(id, kCoordEndpoint,
+                                 std::move(probe_local[static_cast<size_t>(id)]));
+        if (!st.ok()) return NodeFail(id, "net.send", st);
+      }
+      std::vector<Tuple> all;
+      Status st = channel.Receive(kCoordEndpoint, &all);
+      if (!st.ok()) return NodeFail(alive.front(), "net.recv", st);
+      const size_t ord_idx = probe_schema.NumColumns() - 1;
+      std::sort(all.begin(), all.end(), [&](const Tuple& x, const Tuple& y) {
+        return x.at(ord_idx).AsInt() < y.at(ord_idx).AsInt();
+      });
+      ASSIGN_OR_RETURN(std::string temp,
+                       MaterializeStage(js, all, probe_schema, Schema(),
+                                        probe_schema.NumColumns()));
+      MergeScanObservations(probe_scan, probe_parts);
+      return temp;
+    }
+
+    // --- Distribution choice.
+    const double est_build_rows =
+        js == 0 ? scans[0]->est.cardinality
+                : static_cast<double>(coord_build_src.size());
+    double obs_build_rows = 0, obs_build_bytes = 0;
+    if (js == 0) {
+      for (int id : alive) {
+        obs_build_rows +=
+            static_cast<double>(build_src[static_cast<size_t>(id)].size());
+        obs_build_bytes += static_cast<double>(
+            SumBytes(build_src[static_cast<size_t>(id)]));
+      }
+    } else {
+      obs_build_rows = static_cast<double>(coord_build_src.size());
+      obs_build_bytes = static_cast<double>(SumBytes(coord_build_src));
+    }
+    const double probe_est_rows = probe_scan->est.cardinality;
+    const double probe_est_bytes =
+        probe_est_rows * std::max(probe_scan->est.avg_tuple_bytes, 1.0);
+    const bool from_coord = js > 0;
+
+    // Planned choice, from the optimizer's estimates...
+    StrategyCosts planned = EstimateStrategies(
+        db->cost_model(), est_build_rows,
+        est_build_rows * std::max(js == 0 ? scans[0]->est.avg_tuple_bytes : 1.0,
+                                  1.0),
+        probe_est_rows, probe_est_bytes, n, from_coord);
+    bool broadcast = planned.broadcast_ms < planned.repartition_ms;
+    // ...re-evaluated against the observed build before any data moves.
+    StrategyCosts observed = EstimateStrategies(
+        db->cost_model(), obs_build_rows, obs_build_bytes, probe_est_rows,
+        probe_est_bytes, n, from_coord);
+    if (q.force == ShardQueryOptions::Force::kBroadcast) {
+      broadcast = true;
+    } else if (q.force == ShardQueryOptions::Force::kRepartition) {
+      broadcast = false;
+    } else if (cluster->options().reopt_enabled) {
+      const bool better_broadcast =
+          observed.broadcast_ms < observed.repartition_ms;
+      if (better_broadcast != broadcast) {
+        Record(DistributionSwitchRecord{
+            stage_no, StrategyName(broadcast), StrategyName(better_broadcast),
+            "build-estimate",
+            broadcast ? observed.broadcast_ms : observed.repartition_ms,
+            better_broadcast ? observed.broadcast_ms
+                             : observed.repartition_ms});
+        broadcast = better_broadcast;
+      }
+    }
+
+    // --- Build exchange.
+    ASSIGN_OR_RETURN(std::vector<size_t> build_keys,
+                     KeyIdxs(build_schema, join->left_keys));
+    ASSIGN_OR_RETURN(std::vector<size_t> probe_keys,
+                     KeyIdxs(probe_schema, join->right_keys));
+    std::vector<double> weights;
+    weights.reserve(static_cast<size_t>(n));
+    for (int id : alive) weights.push_back(cluster->node(id)->weight);
+    const std::vector<int> slots = SkewDetector::BuildSlotTable(alive, weights);
+
+    std::vector<std::vector<Tuple>> build_buf(
+        static_cast<size_t>(cluster->num_nodes()));
+    RETURN_IF_ERROR(ExchangeBuild(js, broadcast, alive, slots, build_keys,
+                                  build_src, coord_build_src, &channel,
+                                  &build_buf));
+
+    // --- Skew check on what actually landed, before probe data moves.
+    // Only a repartitioned build can be skewed; broadcast replicates the
+    // whole build to every node by design.
+    if (q.force == ShardQueryOptions::Force::kAuto && !broadcast) {
+      std::vector<uint64_t> recv;
+      recv.reserve(static_cast<size_t>(n));
+      for (int id : alive)
+        recv.push_back(build_buf[static_cast<size_t>(id)].size());
+      std::optional<SkewDetector::BuildSkew> skew =
+          detector.CheckBuildSkew(alive, recv, est_build_rows);
+      if (skew.has_value()) {
+        Record(ShardSkewRecord{stage_no, skew->node, skew->node_rows,
+                               skew->est_share,
+                               detector.thresholds().skew_factor});
+        if (cluster->options().reopt_enabled) {
+          // Join-key skew concentrates the probe side on the same node;
+          // project both makespans and switch if broadcast wins. The
+          // repartition transfer already paid stays on the clock.
+          const double th = db->cost_model().params().t_hash_ms;
+          const double max_build = static_cast<double>(skew->node_rows);
+          double max_probe_local = 0;
+          for (int id : alive)
+            max_probe_local = std::max(
+                max_probe_local,
+                static_cast<double>(probe_local[static_cast<size_t>(id)].size()));
+          const double probe_total = [&] {
+            double t = 0;
+            for (int id : alive)
+              t += static_cast<double>(
+                  probe_local[static_cast<size_t>(id)].size());
+            return t;
+          }();
+          const double skew_frac =
+              max_build / std::max(obs_build_rows, 1.0);
+          const double repart_ms =
+              th * (max_build + probe_total * skew_frac);
+          const double extra_net = db->cost_model().NetTransfer(
+              obs_build_bytes * (from_coord ? n : n - 1),
+              MsgsFor(obs_build_rows) * (from_coord ? n : n - 1));
+          const double bcast_ms =
+              extra_net + th * (obs_build_rows + max_probe_local);
+          if (bcast_ms < repart_ms) {
+            Record(DistributionSwitchRecord{stage_no, "repartition",
+                                            "broadcast", "skew", repart_ms,
+                                            bcast_ms});
+            broadcast = true;
+            for (auto& b : build_buf) b.clear();
+            RETURN_IF_ERROR(ExchangeBuild(js, /*broadcast=*/true, alive,
+                                          slots, build_keys, build_src,
+                                          coord_build_src, &channel,
+                                          &build_buf));
+          }
+        }
+      }
+    }
+
+    // --- Probe exchange.
+    std::vector<std::vector<Tuple>> probe_buf(
+        static_cast<size_t>(cluster->num_nodes()));
+    if (broadcast) {
+      for (int id : alive)
+        probe_buf[static_cast<size_t>(id)] =
+            std::move(probe_local[static_cast<size_t>(id)]);
+    } else {
+      for (int id : alive) {
+        std::vector<std::vector<Tuple>> buckets(
+            static_cast<size_t>(cluster->num_nodes()));
+        for (Tuple& t : probe_local[static_cast<size_t>(id)]) {
+          const int target =
+              slots[t.HashOn(probe_keys) % slots.size()];
+          buckets[static_cast<size_t>(target)].push_back(std::move(t));
+        }
+        for (int r : alive) {
+          if (r == id) {
+            auto& own = buckets[static_cast<size_t>(r)];
+            auto& buf = probe_buf[static_cast<size_t>(r)];
+            buf.insert(buf.end(), std::make_move_iterator(own.begin()),
+                       std::make_move_iterator(own.end()));
+          } else {
+            Status st = channel.Send(
+                id, r, std::move(buckets[static_cast<size_t>(r)]));
+            if (!st.ok()) return NodeFail(id, "net.send", st);
+          }
+        }
+      }
+      for (int id : alive) {
+        Status st =
+            channel.Receive(id, &probe_buf[static_cast<size_t>(id)]);
+        if (!st.ok()) return NodeFail(id, "net.recv", st);
+      }
+    }
+
+    // --- Join fragments.
+    const Schema frag_schema = Schema::Concat(build_schema, probe_schema);
+    std::vector<std::vector<Tuple>> frag_out(
+        static_cast<size_t>(cluster->num_nodes()));
+    for (int id : alive) {
+      RETURN_IF_ERROR(CheckNodeCrash(id));
+      ExecContext* ctx = a->ctxs[static_cast<size_t>(id)].get();
+      auto bx = std::make_unique<PlanNode>();
+      bx->kind = OpKind::kExchange;
+      bx->table = kBuildKey;
+      bx->output_schema = build_schema;
+      auto px = std::make_unique<PlanNode>();
+      px->kind = OpKind::kExchange;
+      px->table = kProbeKey;
+      px->output_schema = probe_schema;
+      auto jn = std::make_unique<PlanNode>();
+      jn->kind = OpKind::kHashJoin;
+      jn->left_keys = join->left_keys;
+      jn->right_keys = join->right_keys;
+      jn->output_schema = frag_schema;
+      jn->est = join->est;
+      jn->improved = join->est;
+      jn->mem_budget_pages = cluster->options().node_mem_pages;
+      jn->children.push_back(std::move(bx));
+      jn->children.push_back(std::move(px));
+
+      ctx->BindExchangeSource(kBuildKey, &build_buf[static_cast<size_t>(id)]);
+      ctx->BindExchangeSource(kProbeKey, &probe_buf[static_cast<size_t>(id)]);
+      Status st = [&]() -> Status {
+        ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
+                         PipelineExecutor::Create(ctx, jn.get()));
+        RETURN_IF_ERROR(exec->Open());
+        while (exec->HasMoreStages()) {
+          ASSIGN_OR_RETURN(PipelineExecutor::StageResult sr,
+                           exec->RunNextStage(
+                               &frag_out[static_cast<size_t>(id)]));
+          (void)sr;
+        }
+        return exec->Close();
+      }();
+      ctx->ClearExchangeSources();
+      if (!st.ok()) return NodeFail(id, "fragment", st);
+    }
+
+    // --- Straggler detection on this stage's charged times.
+    if (n >= 2) {
+      std::vector<double> node_ms;
+      node_ms.reserve(static_cast<size_t>(n));
+      for (int id : alive)
+        node_ms.push_back(a->ctxs[static_cast<size_t>(id)]->SimElapsedMs() *
+                          cluster->node(id)->slowdown);
+      for (const SkewDetector::Straggler& s :
+           detector.CheckStragglers(alive, node_ms)) {
+        Record(StragglerRecord{stage_no, s.node, s.node_ms, s.percentile_ms,
+                               s.new_weight});
+        if (cluster->options().reopt_enabled)
+          cluster->node(s.node)->weight = s.new_weight;
+      }
+    }
+
+    // --- Gather, reorder by ordinals, materialize.
+    for (int id : alive) {
+      Status st = channel.Send(id, kCoordEndpoint,
+                               std::move(frag_out[static_cast<size_t>(id)]));
+      if (!st.ok()) return NodeFail(id, "net.send", st);
+    }
+    std::vector<Tuple> all;
+    Status st = channel.Receive(kCoordEndpoint, &all);
+    if (!st.ok()) return NodeFail(alive.front(), "net.recv", st);
+
+    const size_t bl = build_schema.NumColumns();
+    const size_t ord_b = bl - 1;
+    const size_t ord_p = frag_schema.NumColumns() - 1;
+    std::sort(all.begin(), all.end(), [&](const Tuple& x, const Tuple& y) {
+      const int64_t xp = x.at(ord_p).AsInt(), yp = y.at(ord_p).AsInt();
+      if (xp != yp) return xp < yp;
+      return x.at(ord_b).AsInt() < y.at(ord_b).AsInt();
+    });
+    ASSIGN_OR_RETURN(std::string temp,
+                     MaterializeStage(js, all, build_schema, probe_schema, bl));
+
+    if (js == 0) MergeScanObservations(scans[0], build_parts);
+    MergeScanObservations(probe_scan, probe_parts);
+    return temp;
+  }
+
+  /// Routes the build input to the nodes under the given strategy.
+  /// Sources are taken by const ref (copied into the channel) so a skew
+  /// switch can re-exchange them without re-scanning.
+  Status ExchangeBuild(size_t js, bool broadcast,
+                       const std::vector<int>& alive,
+                       const std::vector<int>& slots,
+                       const std::vector<size_t>& build_keys,
+                       const std::vector<std::vector<Tuple>>& build_src,
+                       const std::vector<Tuple>& coord_build_src,
+                       ExchangeChannel* channel,
+                       std::vector<std::vector<Tuple>>* build_buf) {
+    if (js == 0) {
+      for (int s : alive) {
+        const auto& rows = build_src[static_cast<size_t>(s)];
+        if (broadcast) {
+          for (int r : alive) {
+            if (r == s) {
+              auto& buf = (*build_buf)[static_cast<size_t>(r)];
+              buf.insert(buf.end(), rows.begin(), rows.end());
+            } else {
+              Status st = channel->Send(s, r, rows);
+              if (!st.ok()) return NodeFail(s, "net.send", st);
+            }
+          }
+        } else {
+          std::vector<std::vector<Tuple>> buckets(
+              static_cast<size_t>(cluster->num_nodes()));
+          for (const Tuple& t : rows) {
+            const int target = slots[t.HashOn(build_keys) % slots.size()];
+            buckets[static_cast<size_t>(target)].push_back(t);
+          }
+          for (int r : alive) {
+            if (r == s) {
+              auto& own = buckets[static_cast<size_t>(r)];
+              auto& buf = (*build_buf)[static_cast<size_t>(r)];
+              buf.insert(buf.end(), std::make_move_iterator(own.begin()),
+                         std::make_move_iterator(own.end()));
+            } else {
+              Status st = channel->Send(
+                  s, r, std::move(buckets[static_cast<size_t>(r)]));
+              if (!st.ok()) return NodeFail(s, "net.send", st);
+            }
+          }
+        }
+      }
+    } else {
+      if (broadcast) {
+        for (int r : alive) {
+          Status st = channel->Send(kCoordEndpoint, r, coord_build_src);
+          if (!st.ok()) return NodeFail(r, "net.send", st);
+        }
+      } else {
+        std::vector<std::vector<Tuple>> buckets(
+            static_cast<size_t>(cluster->num_nodes()));
+        for (const Tuple& t : coord_build_src) {
+          const int target = slots[t.HashOn(build_keys) % slots.size()];
+          buckets[static_cast<size_t>(target)].push_back(t);
+        }
+        for (int r : alive) {
+          Status st = channel->Send(kCoordEndpoint, r,
+                                    std::move(buckets[static_cast<size_t>(r)]));
+          if (!st.ok()) return NodeFail(r, "net.send", st);
+        }
+      }
+    }
+    for (int r : alive) {
+      Status st = channel->Receive(r, &(*build_buf)[static_cast<size_t>(r)]);
+      if (!st.ok()) return NodeFail(r, "net.recv", st);
+    }
+    return Status::OK();
+  }
+
+  /// Writes the gathered, ordinal-sorted stage output to a coordinator
+  /// temp (dropping the input ordinal columns, appending a fresh one) and
+  /// journals the stage. Scan-only stages pass the single input as
+  /// `build_schema` with an empty `probe_schema`. The in-memory "logical"
+  /// schema keeps the original alias qualifiers (so later stages resolve
+  /// join keys like "d.region_id"); the catalog table gets the remainder
+  /// machinery's "alias__col" naming so BuildRemainderSpec's SQL binds.
+  Result<std::string> MaterializeStage(size_t js,
+                                       const std::vector<Tuple>& sorted,
+                                       const Schema& build_schema,
+                                       const Schema& probe_schema,
+                                       size_t build_len) {
+    const bool scan_only = probe_schema.NumColumns() == 0;
+    Schema out_schema;
+    if (scan_only) {
+      for (size_t i = 0; i + 1 < build_schema.NumColumns(); ++i)
+        out_schema.AddColumn(build_schema.column(i));
+    } else {
+      for (size_t i = 0; i + 1 < build_len; ++i)
+        out_schema.AddColumn(build_schema.column(i));
+      for (size_t i = 0; i + 1 < probe_schema.NumColumns(); ++i)
+        out_schema.AddColumn(probe_schema.column(i));
+    }
+    out_schema.AddColumn(Column{ShardCluster::kOrdQualifier,
+                                "__ord_s" + std::to_string(js),
+                                ValueType::kInt64, 8.0});
+    pending_logical_ = out_schema;
+
+    const std::string temp = db->catalog()->NextTempName();
+    ASSIGN_OR_RETURN(TableInfo * ti,
+                     db->catalog()->CreateTable(
+                         temp, TempTableSchema(temp, out_schema),
+                         /*is_temp=*/true));
+    live_temps.push_back(temp);
+    const size_t total = scan_only ? build_schema.NumColumns()
+                                   : build_schema.NumColumns() +
+                                         probe_schema.NumColumns();
+    int64_t next_ord = 0;
+    for (const Tuple& src : sorted) {
+      Tuple row;
+      for (size_t i = 0; i < total; ++i) {
+        if (i + 1 == build_len && !scan_only) continue;  // build ordinal
+        if (i + 1 == total) continue;                    // probe ordinal
+        row.Append(src.at(i));
+      }
+      row.Append(Value(next_ord++));
+      RETURN_IF_ERROR(ti->heap->Append(row).status());
+    }
+    RETURN_IF_ERROR(ti->heap->Flush());
+    TableStats ts;
+    ts.analyzed = true;
+    ts.row_count = static_cast<double>(ti->heap->tuple_count());
+    ts.page_count = static_cast<double>(ti->heap->page_count());
+    ts.avg_tuple_bytes = ti->heap->avg_tuple_bytes();
+    RETURN_IF_ERROR(db->catalog()->SetStats(temp, std::move(ts)));
+
+    // Journal the completed stage: remainder SQL over the new temp plus a
+    // full snapshot, so recovery (and a node-loss re-run) can trust it.
+    std::set<int> covered_next = covered;
+    covered_next.insert(alias_rel[scans[0]->alias]);
+    for (size_t k = 0; k <= js && k + 1 < scans.size(); ++k)
+      covered_next.insert(alias_rel[scans[k + 1]->alias]);
+    ASSIGN_OR_RETURN(QuerySpec remainder,
+                     BuildRemainderSpec(spec, covered_next, temp));
+    JournalStage jstage;
+    jstage.root_sql = root_sql;
+    jstage.stage = static_cast<int>(js) + 1;
+    jstage.remainder_sql = remainder.ToSql();
+    jstage.plan_fingerprint = FingerprintPlanText(plan->ToString());
+    jstage.work_done_ms = cluster->cluster_ms();
+    TempSnapshot snap;
+    snap.name = ti->name;
+    snap.schema = ti->schema;
+    for (size_t p = 0; p < ti->heap->flushed_page_count(); ++p)
+      snap.page_ids.push_back(ti->heap->page_id(p));
+    snap.tuple_count = ti->heap->tuple_count();
+    snap.total_tuple_bytes = ti->heap->total_tuple_bytes();
+    snap.content_checksum = ti->heap->content_checksum();
+    snap.stats = ti->stats;
+    jstage.temps.push_back(std::move(snap));
+    Status jst = db->journal()->AppendStage(jstage, db->faults());
+    if (jst.code() == StatusCode::kCrashed) return jst;
+    if (jst.ok()) {
+      coord_ctx.ChargeExternalMs(db->cost_model().params().t_io_ms);
+    } else {
+      coord_ctx.AddEvent("journal append failed (continued): " +
+                         jst.message());
+    }
+    return temp;
+  }
+
+  /// Validates the latest journaled stage for this query: every snapshot's
+  /// temp must still be bound with matching row count and content
+  /// checksum. True = the re-run may trust completed stages.
+  bool ValidateJournal() {
+    Result<std::vector<JournalStage>> stages =
+        db->journal()->Load(db->faults());
+    if (!stages.ok()) return false;
+    const JournalStage* best = nullptr;
+    for (const JournalStage& s : stages.value())
+      if (s.root_sql == root_sql && (best == nullptr || s.stage > best->stage))
+        best = &s;
+    if (best == nullptr) return false;
+    for (const TempSnapshot& snap : best->temps) {
+      Result<TableInfo*> info = db->catalog()->Get(snap.name);
+      if (!info.ok()) return false;
+      if (info.value()->heap->tuple_count() != snap.tuple_count) return false;
+      Result<uint64_t> sum = info.value()->heap->ComputeContentChecksum();
+      if (!sum.ok() || sum.value() != snap.content_checksum) return false;
+    }
+    return true;
+  }
+
+  void DropTemp(const std::string& name) {
+    db->catalog()->Drop(name);  // best effort
+    live_temps.erase(std::remove(live_temps.begin(), live_temps.end(), name),
+                     live_temps.end());
+  }
+
+  void Cleanup(bool crashed) {
+    if (crashed) return;  // durable state survives a simulated crash
+    std::vector<std::string> temps = live_temps;
+    for (const std::string& t : temps) DropTemp(t);
+    db->journal()->MarkComplete(root_sql);
+  }
+
+  /// Folds the shard-layer trace and events into the final report.
+  void FinishReport() {
+    QueryTrace& t = out.result.report.trace;
+    const QueryTrace& mine = *coord_ctx.trace();
+    t.shard_skews.insert(t.shard_skews.end(), mine.shard_skews.begin(),
+                         mine.shard_skews.end());
+    t.stragglers.insert(t.stragglers.end(), mine.stragglers.begin(),
+                        mine.stragglers.end());
+    t.node_losses.insert(t.node_losses.end(), mine.node_losses.begin(),
+                         mine.node_losses.end());
+    t.distribution_switches.insert(t.distribution_switches.end(),
+                                   mine.distribution_switches.begin(),
+                                   mine.distribution_switches.end());
+    out.result.report.events.insert(out.result.report.events.end(),
+                                    coord_ctx.events().begin(),
+                                    coord_ctx.events().end());
+    out.nodes_lost = static_cast<int>(mine.node_losses.size());
+  }
+};
+
+}  // namespace
+
+Result<QueryResult> ShardedExecutor::ExecuteSingleNode(const std::string& sql,
+                                                       size_t batch_size) {
+  ReoptOptions off = cluster_->db()->options().reopt;
+  off.mode = ReoptMode::kOff;
+  off.batch_size = batch_size == 0 ? 1 : batch_size;
+  return cluster_->db()->ExecuteWith(sql, off);
+}
+
+Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
+                                                 const ShardQueryOptions& q) {
+  Run run(cluster_, q);
+  Database* db = cluster_->db();
+
+  ASSIGN_OR_RETURN(SelectStmtAst ast, ParseSelect(sql));
+  ASSIGN_OR_RETURN(run.spec, Bind(ast, *db->catalog()));
+  run.root_sql = run.spec.ToSql();
+  for (size_t i = 0; i < run.spec.relations.size(); ++i)
+    run.alias_rel[run.spec.relations[i].alias] = static_cast<int>(i);
+
+  // Every base relation must be partitioned, else the query runs whole on
+  // the coordinator (which holds full copies).
+  bool distributable = !cluster_->AliveNodes().empty();
+  for (const RelationRef& rel : run.spec.relations) {
+    Result<TableInfo*> info = db->catalog()->Get(rel.table);
+    if (!info.ok() || !info.value()->partitioning.partitioned()) {
+      distributable = false;
+      break;
+    }
+  }
+
+  if (distributable) {
+    OptimizerOptions oopts = db->options().optimizer;
+    oopts.assumed_mem_pages = db->options().query_mem_pages;
+    oopts.pool_pages_hint =
+        static_cast<double>(db->options().buffer_pool_pages);
+    Optimizer optimizer(db->catalog(), &db->cost_model(), oopts,
+                        db->feedback_enabled() ? db->feedback_store()
+                                               : nullptr);
+    ASSIGN_OR_RETURN(OptimizeResult optres, optimizer.Plan(run.spec));
+    run.plan = std::move(optres.plan);
+
+    // Frontier detection: descend the single-child upper chain to the join
+    // subtree, which must be left-deep hash joins over seq scans (the
+    // profile the coordinator optimizer is pinned to). Anything else falls
+    // back to coordinator execution.
+    PlanNode* cur = run.plan.get();
+    while (cur->kind != OpKind::kHashJoin && cur->kind != OpKind::kSeqScan) {
+      if (cur->children.size() != 1) break;
+      cur = cur->children[0].get();
+    }
+    if (cur->kind == OpKind::kSeqScan && run.spec.relations.size() == 1) {
+      run.scans.push_back(cur);
+    } else if (cur->kind == OpKind::kHashJoin) {
+      PlanNode* j = cur;
+      while (j->kind == OpKind::kHashJoin) {
+        run.joins.push_back(j);
+        j = j->children[0].get();
+      }
+      std::reverse(run.joins.begin(), run.joins.end());
+      distributable = j->kind == OpKind::kSeqScan;
+      if (distributable) {
+        run.scans.push_back(j);
+        for (PlanNode* jn : run.joins) {
+          if (jn->children[1]->kind != OpKind::kSeqScan) {
+            distributable = false;
+            break;
+          }
+          run.scans.push_back(jn->children[1].get());
+        }
+      }
+      if (!distributable) {
+        run.joins.clear();
+        run.scans.clear();
+      }
+    } else {
+      distributable = false;
+    }
+  }
+
+  if (!distributable) {
+    ASSIGN_OR_RETURN(run.out.result, ExecuteSingleNode(sql, q.batch_size));
+    run.out.coordinator_fallback = true;
+    run.out.cluster_ms = run.out.result.report.sim_time_ms;
+    cluster_->AddClusterMs(run.out.cluster_ms);
+    return std::move(run.out);
+  }
+
+  const size_t total_stages = run.joins.empty() ? 1 : run.joins.size();
+  for (size_t js = 0; js < total_stages; ++js) {
+    int guard = 0;
+    std::string new_temp;
+    while (true) {
+      Result<std::string> r = run.TryStage(js);
+      if (r.ok()) {
+        new_temp = std::move(r).value();
+        break;
+      }
+      const Status st = r.status();
+      if (st.code() == StatusCode::kCrashed) {
+        run.Cleanup(/*crashed=*/true);
+        return st;
+      }
+      if (run.victim < 0) {
+        run.Cleanup(false);
+        return st;
+      }
+      // Node loss: kill it, re-home its partitions from the coordinator's
+      // durable copy, validate completed stages from the journal, and
+      // re-run the stage on the survivors.
+      const int victim = run.victim;
+      RETURN_IF_ERROR(cluster_->MarkDead(victim));
+      uint64_t rehomed = 0;
+      if (!cluster_->AliveNodes().empty()) {
+        // Survivors exist: rebuild the dead node's partitions on them.
+        Result<ShardCluster::RehomeResult> rehome =
+            cluster_->RehomeDeadNode(victim);
+        if (!rehome.ok()) {
+          run.Cleanup(false);
+          return rehome.status();
+        }
+        cluster_->AddClusterMs(rehome->sim_ms);
+        run.out.cluster_ms += rehome->sim_ms;
+        rehomed = rehome->rehomed_rows;
+      }
+      const bool jresume = !run.prev_temp.empty() && run.ValidateJournal();
+      run.Record(NodeLostRecord{static_cast<int>(js) + 1, victim,
+                                run.fail_reason,
+                                static_cast<int>(cluster_->AliveNodes().size()),
+                                rehomed, jresume});
+      if (cluster_->AliveNodes().empty()) {
+        // No survivors: the coordinator finishes the query alone, from the
+        // last journaled temp when one exists.
+        run.out.coordinator_fallback = true;
+        ReoptOptions off = db->options().reopt;
+        off.mode = ReoptMode::kOff;
+        off.batch_size = q.batch_size == 0 ? 1 : q.batch_size;
+        Result<QueryResult> qr = Status::Internal("unreachable");
+        if (run.prev_temp.empty()) {
+          qr = db->ExecuteWith(sql, off);
+        } else {
+          ASSIGN_OR_RETURN(
+              QuerySpec remainder,
+              BuildRemainderSpec(run.spec, run.covered, run.prev_temp));
+          qr = db->ExecuteWith(remainder.ToSql(), off);
+        }
+        if (!qr.ok()) {
+          run.Cleanup(qr.status().code() == StatusCode::kCrashed);
+          return qr.status();
+        }
+        run.out.result = std::move(qr).value();
+        run.out.cluster_ms += run.out.result.report.sim_time_ms;
+        cluster_->AddClusterMs(run.out.result.report.sim_time_ms);
+        run.FinishReport();
+        run.Cleanup(false);
+        return std::move(run.out);
+      }
+      if (++guard > cluster_->num_nodes() + 2) {
+        run.Cleanup(false);
+        return st;
+      }
+    }
+    // Stage committed: the previous temp was consumed and is droppable.
+    if (!run.prev_temp.empty()) run.DropTemp(run.prev_temp);
+    run.prev_temp = new_temp;
+    run.prev_temp_schema = run.pending_logical_;
+    run.covered.insert(run.alias_rel[run.scans[0]->alias]);
+    for (size_t k = 0; k <= js && k + 1 < run.scans.size(); ++k)
+      run.covered.insert(run.alias_rel[run.scans[k + 1]->alias]);
+    ++run.out.stages_run;
+  }
+
+  // Remainder (aggregation / sort / projection) on the coordinator, over
+  // the final temp — which holds the join output in exact single-node
+  // emission order, so float aggregation reproduces the oracle bit for
+  // bit.
+  {
+    ReoptOptions off = db->options().reopt;
+    off.mode = ReoptMode::kOff;
+    off.batch_size = q.batch_size == 0 ? 1 : q.batch_size;
+    ASSIGN_OR_RETURN(QuerySpec remainder,
+                     BuildRemainderSpec(run.spec, run.covered, run.prev_temp));
+    Result<QueryResult> qr = db->ExecuteWith(remainder.ToSql(), off);
+    if (!qr.ok()) {
+      run.Cleanup(qr.status().code() == StatusCode::kCrashed);
+      return qr.status();
+    }
+    run.out.result = std::move(qr).value();
+    run.out.cluster_ms += run.out.result.report.sim_time_ms;
+    cluster_->AddClusterMs(run.out.result.report.sim_time_ms);
+  }
+
+  // Cardinality feedback: merged per-partition observations, written into
+  // the coordinator plan's scan nodes, harvested once (satellite fix: no
+  // per-node double counting).
+  run.plan->PostOrder([&](PlanNode* n) {
+    if (n->kind != OpKind::kSeqScan) return;
+    auto it = run.scan_observed.find(n->alias);
+    if (it != run.scan_observed.end()) n->observed = it->second;
+  });
+  if (db->feedback_enabled())
+    HarvestFeedback(*run.plan, run.spec, *db->catalog(), db->feedback_store());
+
+  run.FinishReport();
+  run.Cleanup(false);
+  return std::move(run.out);
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,82 @@
+// Distributed query execution over a ShardCluster (DESIGN.md §15).
+//
+// The coordinator plans the query with its hash-only left-deep profile,
+// then the executor runs the join tree bottom-up as distributed stages:
+// each stage exchanges one join's build input across the alive nodes
+// (broadcast or hash-repartition, chosen from the cost model's network
+// term), runs the join fragment on every node against its local probe
+// partition, and gathers the results back to the coordinator — sorted by
+// the rows' carried ordinals, so the stage's materialized temp holds the
+// tuples in exactly the order a single-node execution would have emitted
+// them. The final aggregation/sort runs on the coordinator over the last
+// temp via PR 4's remainder-SQL machinery, which makes the distributed
+// answer bit-identical to the single-node oracle, float for float.
+//
+// Mid-query defenses, all driven by per-stage observations:
+//  - distribution switches (broadcast <-> repartition) when the observed
+//    build size contradicts the estimate, or when a repartitioned build
+//    lands skewed on one node;
+//  - straggler re-weighting: a node far behind its peers gets a smaller
+//    share of subsequent repartition slot tables;
+//  - node-failure recovery: a node.crash fault or a net link down past the
+//    retry budget kills the node; its base partitions are re-homed from
+//    the coordinator's durable copy, completed stages are re-validated
+//    from the query journal, and the stage re-runs on the survivors. With
+//    no survivors the remainder falls back to the coordinator.
+
+#ifndef REOPTDB_SHARD_SHARDED_EXECUTOR_H_
+#define REOPTDB_SHARD_SHARDED_EXECUTOR_H_
+
+#include <string>
+
+#include "shard/shard_cluster.h"
+
+namespace reoptdb {
+
+/// Per-query knobs.
+struct ShardQueryOptions {
+  /// Rows per operator pull inside node fragments and the remainder
+  /// (1 = row-at-a-time). Results are bit-identical at every setting.
+  size_t batch_size = 1;
+  /// Pin the distribution strategy for every stage (tests/ablations).
+  enum class Force : uint8_t { kAuto, kBroadcast, kRepartition };
+  Force force = Force::kAuto;
+};
+
+/// Outcome of one distributed execution.
+struct ShardExecResult {
+  QueryResult result;
+  /// Simulated cluster makespan charged for this query: per-stage max over
+  /// the alive nodes, plus coordinator work (gather, temps, remainder).
+  double cluster_ms = 0;
+  int stages_run = 0;
+  int distribution_switches = 0;
+  int nodes_lost = 0;
+  /// The query (or its remainder) ran entirely on the coordinator — plan
+  /// shape outside the distributable profile, an unpartitioned relation,
+  /// or no surviving nodes.
+  bool coordinator_fallback = false;
+};
+
+/// \brief Stage-at-a-time distributed executor.
+class ShardedExecutor {
+ public:
+  explicit ShardedExecutor(ShardCluster* cluster) : cluster_(cluster) {}
+
+  /// Executes `sql` across the cluster. Bit-identical (Canon) to
+  /// ExecuteSingleNode on the same data at any node count.
+  Result<ShardExecResult> Execute(const std::string& sql,
+                                  const ShardQueryOptions& q = {});
+
+  /// The single-node oracle: the same query on the coordinator alone
+  /// (which holds the full copy of every base table), re-optimization off.
+  Result<QueryResult> ExecuteSingleNode(const std::string& sql,
+                                        size_t batch_size = 1);
+
+ private:
+  ShardCluster* cluster_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_SHARD_SHARDED_EXECUTOR_H_

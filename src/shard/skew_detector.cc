@@ -1,0 +1,116 @@
+#include "shard/skew_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reoptdb {
+
+std::optional<SkewDetector::BuildSkew> SkewDetector::CheckBuildSkew(
+    const std::vector<int>& node_ids, const std::vector<uint64_t>& recv_rows,
+    double est_total_rows) const {
+  if (node_ids.empty() || node_ids.size() != recv_rows.size())
+    return std::nullopt;
+  size_t worst = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < recv_rows.size(); ++i) {
+    total += recv_rows[i];
+    if (recv_rows[i] > recv_rows[worst]) worst = i;
+  }
+  const double share = std::max(
+      est_total_rows / static_cast<double>(node_ids.size()), 1.0);
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(node_ids.size());
+  const uint64_t rows = recv_rows[worst];
+  if (static_cast<double>(rows) < t_.skew_factor * share) return std::nullopt;
+  if (rows < t_.min_skew_rows) return std::nullopt;
+  if (static_cast<double>(rows) < 2.0 * mean) return std::nullopt;
+  BuildSkew s;
+  s.node = node_ids[worst];
+  s.node_rows = rows;
+  s.est_share = share;
+  return s;
+}
+
+std::vector<SkewDetector::Straggler> SkewDetector::CheckStragglers(
+    const std::vector<int>& node_ids, const std::vector<double>& node_ms) const {
+  std::vector<Straggler> out;
+  if (node_ids.size() < 2 || node_ids.size() != node_ms.size()) return out;
+  for (size_t i = 0; i < node_ids.size(); ++i) {
+    std::vector<double> peers;
+    peers.reserve(node_ms.size() - 1);
+    for (size_t j = 0; j < node_ms.size(); ++j)
+      if (j != i) peers.push_back(node_ms[j]);
+    const double baseline = Percentile(std::move(peers),
+                                       t_.straggler_percentile);
+    if (baseline <= 0) continue;
+    if (node_ms[i] <= t_.straggler_ratio * baseline) continue;
+    Straggler s;
+    s.node = node_ids[i];
+    s.node_ms = node_ms[i];
+    s.percentile_ms = baseline;
+    s.new_weight = std::clamp(baseline / node_ms[i], 0.1, 1.0);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<int> SkewDetector::BuildSlotTable(
+    const std::vector<int>& node_ids, const std::vector<double>& weights) {
+  std::vector<int> table;
+  if (node_ids.empty() || node_ids.size() != weights.size()) return table;
+  const size_t n = node_ids.size();
+  const size_t slots = static_cast<size_t>(kSlotsPerNode) * n;
+  double total_w = 0;
+  for (double w : weights) total_w += std::max(w, 0.0);
+  if (total_w <= 0) total_w = static_cast<double>(n);
+
+  // Largest-remainder apportionment: exact floors first, then the leftover
+  // slots to the largest fractional remainders (ties by node order, which
+  // is node-id order by construction).
+  std::vector<size_t> counts(n, 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  size_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = std::max(weights[i], 0.0) > 0
+                         ? std::max(weights[i], 0.0)
+                         : 1.0 / static_cast<double>(n);
+    const double exact = static_cast<double>(slots) * w / total_w;
+    counts[i] = static_cast<size_t>(std::floor(exact));
+    if (counts[i] == 0) counts[i] = 1;  // never starve a live node
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t r = 0;
+  while (assigned < slots) {
+    counts[remainders[r % n].second]++;
+    ++assigned;
+    ++r;
+  }
+  while (assigned > slots) {  // the +1 floors may overshoot on tiny weights
+    const size_t victim = remainders[(n - 1) - (r % n)].second;
+    if (counts[victim] > 1) {
+      counts[victim]--;
+      --assigned;
+    }
+    ++r;
+  }
+  table.reserve(slots);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t k = 0; k < counts[i]; ++k) table.push_back(node_ids[i]);
+  return table;
+}
+
+double SkewDetector::Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace reoptdb

@@ -1,0 +1,96 @@
+// Skew and straggler detection for sharded execution (DESIGN.md §15).
+//
+// Pure decision logic, separated from the executor so tests can drive it
+// with synthetic observations. The detector answers three questions at a
+// stage boundary:
+//   - Did the repartitioned build side land on one node far in excess of
+//     its estimated uniform share? (partition skew)
+//   - Did one node's charged simulated time exceed a configurable multiple
+//     of its peers' percentile? (straggler)
+//   - How should routing weights translate into a deterministic slot table
+//     for subsequent hash-repartitioning?
+
+#ifndef REOPTDB_SHARD_SKEW_DETECTOR_H_
+#define REOPTDB_SHARD_SKEW_DETECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace reoptdb {
+
+/// Detection thresholds (defaults follow ISSUE/DESIGN §15: a build
+/// partition 10x its estimated share is skewed, a node 2x slower than the
+/// median of its peers is a straggler).
+struct SkewThresholds {
+  /// A node's received build rows must be at least this multiple of the
+  /// estimated uniform share to count as skew.
+  double skew_factor = 10.0;
+  /// ...and at least this many rows in absolute terms (tiny inputs are
+  /// never "skewed" — redistribution overhead would dwarf any win).
+  uint64_t min_skew_rows = 64;
+  /// A node is a straggler when its charged time exceeds this multiple of
+  /// the peer percentile below.
+  double straggler_ratio = 2.0;
+  /// Percentile of the *other* alive nodes' charged times used as the
+  /// straggler baseline (0.5 = median).
+  double straggler_percentile = 0.5;
+};
+
+/// \brief Stage-boundary skew / straggler decisions.
+class SkewDetector {
+ public:
+  explicit SkewDetector(SkewThresholds t) : t_(t) {}
+
+  const SkewThresholds& thresholds() const { return t_; }
+
+  /// One node's build partition far exceeds its estimated share.
+  struct BuildSkew {
+    int node = -1;           ///< offending node id
+    uint64_t node_rows = 0;  ///< rows that landed on it
+    double est_share = 0;    ///< estimated uniform per-node share (rows)
+  };
+
+  /// Checks per-node received build rows against the estimated total.
+  /// `node_ids[i]` received `recv_rows[i]`. Fires when the largest
+  /// partition is >= skew_factor x the uniform share of `est_total_rows`,
+  /// >= min_skew_rows, and >= 2x the mean of what actually arrived (so a
+  /// uniformly underestimated build does not read as skew).
+  std::optional<BuildSkew> CheckBuildSkew(
+      const std::vector<int>& node_ids,
+      const std::vector<uint64_t>& recv_rows, double est_total_rows) const;
+
+  /// One node ran far behind its peers.
+  struct Straggler {
+    int node = -1;
+    double node_ms = 0;        ///< its charged simulated time
+    double percentile_ms = 0;  ///< the peer baseline it was compared to
+    double new_weight = 0;     ///< suggested routing weight (<= 1)
+  };
+
+  /// Flags every node whose charged time exceeds straggler_ratio x the
+  /// straggler_percentile of the other nodes. The suggested weight is
+  /// percentile/node_ms clamped to [0.1, 1], so future repartitioning
+  /// sends a slow node proportionally less data.
+  std::vector<Straggler> CheckStragglers(
+      const std::vector<int>& node_ids,
+      const std::vector<double>& node_ms) const;
+
+  /// Deterministic weighted routing table: kSlotsPerNode x n slots
+  /// assigned to nodes proportionally to `weights` by largest remainder
+  /// (ties broken by node id). Routing a row = table[hash % size]. Every
+  /// node with positive weight gets at least one slot.
+  static constexpr int kSlotsPerNode = 128;
+  static std::vector<int> BuildSlotTable(const std::vector<int>& node_ids,
+                                         const std::vector<double>& weights);
+
+  /// Linear-interpolated percentile of `v` (p in [0,1]); 0 when empty.
+  static double Percentile(std::vector<double> v, double p);
+
+ private:
+  SkewThresholds t_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_SHARD_SKEW_DETECTOR_H_

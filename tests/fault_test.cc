@@ -16,9 +16,11 @@
 #include "common/fault.h"
 #include "engine/database.h"
 #include "engine/workload_manager.h"
+#include "exec/exchange_op.h"
 #include "gtest/gtest.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "shard/sharded_executor.h"
 #include "test_util.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/queries.h"
@@ -103,9 +105,10 @@ TEST(FaultInjectorTest, ConfigureGrammar) {
 
   // Known points cover everything the sweep below arms, plus the crash
   // recovery points (journal.append, recovery.load), the workload
-  // pressure points (memory.revoke, exec.spill), and the transaction
-  // layer (wal.append, wal.fsync, lock.acquire, txn.commit).
-  EXPECT_EQ(FaultInjector::KnownPoints().size(), 16u);
+  // pressure points (memory.revoke, exec.spill), the transaction layer
+  // (wal.append, wal.fsync, lock.acquire, txn.commit), and the cluster
+  // points (net.send, net.recv, node.crash).
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 19u);
 
   // The crash: prefix parses on any trigger and shows up in Describe().
   FaultInjector crash;
@@ -379,6 +382,168 @@ TEST(TransientIoRetry, NthReadFaultIsAbsorbed) {
   EXPECT_EQ(Canon(r.value().rows), Canon(clean.value().rows));
   EXPECT_GT(db->disk()->stats().io_retries, retries_before);
   EXPECT_GT(db->disk()->stats().retry_penalty_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster fault points: net.send / net.recv on the exchange channel and
+// node.crash on the sharded executor. Contract: transient net errors are
+// absorbed by the same bounded retry/backoff policy the DiskManager applies
+// to device errors; errors past the retry budget (and node.crash fires)
+// escalate to a node loss that the executor survives with identical
+// results; crash: actions terminate the whole simulated process.
+
+TEST(NetFaults, TransientSendFaultAbsorbedWithBackoff) {
+  Database db;
+  ExecContext ctx_a(db.buffer_pool(), db.catalog(), &db.cost_model());
+  ExecContext ctx_b(db.buffer_pool(), db.catalog(), &db.cost_model());
+  NetChannelStats sa, sb;
+  ExchangeChannel ch(&db.cost_model(), db.faults());
+  ch.AddEndpoint(0, &ctx_a, &sa);
+  ch.AddEndpoint(1, &ctx_b, &sb);
+
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back(Tuple({Value(int64_t{i})}));
+
+  REOPTDB_ASSERT_OK(db.faults()->Configure("net.send=nth:1"));
+  REOPTDB_ASSERT_OK(ch.Send(0, 1, rows));
+  // One absorbed retry, charged at the base backoff — the DiskManager's
+  // policy (bounded attempts, doubling backoff) applied to the network.
+  EXPECT_EQ(sa.retries, 1u);
+  EXPECT_EQ(sa.retry_penalty_ms, ExchangeChannel::kRetryBackoffBaseMs);
+  EXPECT_GT(ctx_a.SimElapsedMs(), 0.0);
+  EXPECT_EQ(ch.PendingRows(1), 5u);
+
+  std::vector<Tuple> out;
+  REOPTDB_ASSERT_OK(ch.Receive(1, &out));
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(sb.msgs_recv, 1u);
+  db.faults()->Reset();
+}
+
+TEST(NetFaults, ExhaustedRetriesFailCleanlyWithDoublingBackoff) {
+  Database db;
+  ExecContext ctx_a(db.buffer_pool(), db.catalog(), &db.cost_model());
+  ExecContext ctx_b(db.buffer_pool(), db.catalog(), &db.cost_model());
+  NetChannelStats sa, sb;
+  ExchangeChannel ch(&db.cost_model(), db.faults());
+  ch.AddEndpoint(0, &ctx_a, &sa);
+  ch.AddEndpoint(1, &ctx_b, &sb);
+
+  REOPTDB_ASSERT_OK(db.faults()->Configure("net.send=every"));
+  Status st = ch.Send(0, 1, {Tuple({Value(int64_t{1})})});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // All kMaxNetRetries absorbed attempts were charged (1 + 2 + 4 ms), the
+  // final failure was not; nothing was enqueued.
+  EXPECT_EQ(sa.retries,
+            static_cast<uint64_t>(ExchangeChannel::kMaxNetRetries));
+  EXPECT_EQ(sa.retry_penalty_ms, 1.0 + 2.0 + 4.0);
+  EXPECT_EQ(ch.PendingRows(1), 0u);
+  db.faults()->Reset();
+
+  // net.recv mirrors the same policy on the receive side.
+  REOPTDB_ASSERT_OK(ch.Send(0, 1, {Tuple({Value(int64_t{2})})}));
+  REOPTDB_ASSERT_OK(db.faults()->Configure("net.recv=nth:1"));
+  std::vector<Tuple> out;
+  REOPTDB_ASSERT_OK(ch.Receive(1, &out));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(sb.retries, 1u);
+  EXPECT_EQ(sb.retry_penalty_ms, ExchangeChannel::kRetryBackoffBaseMs);
+  db.faults()->Reset();
+}
+
+TEST(NetFaults, CrashActionBypassesRetryAndLatches) {
+  Database db;
+  ExecContext ctx_a(db.buffer_pool(), db.catalog(), &db.cost_model());
+  ExecContext ctx_b(db.buffer_pool(), db.catalog(), &db.cost_model());
+  NetChannelStats sa, sb;
+  ExchangeChannel ch(&db.cost_model(), db.faults());
+  ch.AddEndpoint(0, &ctx_a, &sa);
+  ch.AddEndpoint(1, &ctx_b, &sb);
+
+  REOPTDB_ASSERT_OK(db.faults()->Configure("net.send=crash:nth:1"));
+  Status st = ch.Send(0, 1, {Tuple({Value(int64_t{1})})});
+  EXPECT_EQ(st.code(), StatusCode::kCrashed);
+  EXPECT_TRUE(db.faults()->crash_pending());
+  EXPECT_EQ(sa.retries, 0u);  // a crash is not retried
+  db.faults()->ClearCrash();
+  db.faults()->Reset();
+}
+
+TEST(NetFaults, NodeCrashPointErrorCodes) {
+  FaultInjector fi;
+  REOPTDB_ASSERT_OK(fi.Configure("node.crash=nth:1"));
+  EXPECT_EQ(fi.Check(faults::kNodeCrash).code(), StatusCode::kInternal);
+  REOPTDB_ASSERT_OK(fi.Configure("node.crash=crash:nth:1"));
+  EXPECT_EQ(fi.Check(faults::kNodeCrash).code(), StatusCode::kCrashed);
+  EXPECT_TRUE(fi.crash_pending());
+}
+
+// The cluster-level sweep: each cluster point armed as a transient error,
+// a persistent error, and a crash, against a distributed join. Transient
+// errors are absorbed; persistent ones cost nodes (up to coordinator
+// fallback) but never answers; crashes kill the simulated process.
+TEST(ShardFaultSweep, ErrorActionsNeverChangeAnswers) {
+  const std::string sql =
+      "SELECT e.emp_id, e.salary, d.dept_name FROM emp e, dept d "
+      "WHERE e.dept_id = d.dept_id AND e.salary > 1100.0";
+  for (const char* arm :
+       {"net.send=nth:1", "net.recv=nth:1", "node.crash=nth:1",
+        "net.send=every", "net.recv=every", "node.crash=every"}) {
+    ShardOptions so;
+    so.num_nodes = 3;
+    ShardCluster cluster(so);
+    testing_util::LoadEmpDept(cluster.db(), 60, 6);
+    REOPTDB_ASSERT_OK(cluster.ShardByHash("emp", "emp_id"));
+    REOPTDB_ASSERT_OK(cluster.ShardByHash("dept", "dept_id"));
+    ShardedExecutor exec(&cluster);
+
+    Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+    REOPTDB_ASSERT_OK(cluster.faults()->Configure(arm));
+    Result<ShardExecResult> r = exec.Execute(sql);
+    cluster.faults()->Reset();
+    ASSERT_TRUE(r.ok()) << arm << ": " << r.status().ToString();
+    EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows))
+        << arm << ": distributed answer diverged from the oracle";
+    const bool every = std::string(arm).find("=every") != std::string::npos;
+    if (every) {
+      // Persistent failures must have cost nodes; with every node dead the
+      // coordinator finished the query alone.
+      EXPECT_TRUE(r.value().nodes_lost > 0 || r.value().coordinator_fallback)
+          << arm;
+    }
+  }
+}
+
+TEST(ShardFaultSweep, CrashActionsKillTheProcess) {
+  const std::string sql =
+      "SELECT e.emp_id, d.dept_name FROM emp e, dept d "
+      "WHERE e.dept_id = d.dept_id";
+  for (const char* arm : {"net.send=crash:nth:2", "net.recv=crash:nth:1",
+                          "node.crash=crash:nth:1"}) {
+    ShardOptions so;
+    so.num_nodes = 2;
+    ShardCluster cluster(so);
+    testing_util::LoadEmpDept(cluster.db(), 40, 4);
+    REOPTDB_ASSERT_OK(cluster.ShardByHash("emp", "emp_id"));
+    REOPTDB_ASSERT_OK(cluster.ShardByHash("dept", "dept_id"));
+    ShardedExecutor exec(&cluster);
+
+    REOPTDB_ASSERT_OK(cluster.faults()->Configure(arm));
+    Result<ShardExecResult> r = exec.Execute(sql);
+    ASSERT_FALSE(r.ok()) << arm;
+    EXPECT_EQ(r.status().code(), StatusCode::kCrashed) << arm;
+    EXPECT_TRUE(cluster.faults()->crash_pending()) << arm;
+    cluster.faults()->ClearCrash();
+    cluster.faults()->Reset();
+
+    // The "restarted" cluster still answers (the coordinator's durable
+    // copy is intact).
+    Result<QueryResult> again = exec.ExecuteSingleNode(sql);
+    ASSERT_TRUE(again.ok()) << arm << ": " << again.status().ToString();
+  }
 }
 
 // ---------------------------------------------------------------------------

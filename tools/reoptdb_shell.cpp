@@ -36,11 +36,22 @@
 //                                  `mem|active|queue N` set the budget
 //                                  knobs, `clear` drops pending, no arg
 //                                  shows the knobs and pending statements
+//   \shard [sub]                   sharded execution (needs --tpcd): `on
+//                                  [N]` builds an N-node cluster with the
+//                                  TPC-D tables hash-partitioned by key
+//                                  and routes every SELECT through the
+//                                  distributed executor, `off` drops it,
+//                                  `kill <id>` fails a node and re-homes
+//                                  its partitions onto the survivors,
+//                                  `faults <spec|off>` arms the cluster's
+//                                  injector (net.send / net.recv /
+//                                  node.crash), no arg shows node status
 //   \q                             quit
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -48,6 +59,7 @@
 
 #include "engine/database.h"
 #include "engine/workload_manager.h"
+#include "shard/sharded_executor.h"
 #include "tpcd/dbgen.h"
 
 using namespace reoptdb;
@@ -116,9 +128,12 @@ int main(int argc, char** argv) {
   WorkloadOptions wlopts;  // \workload knobs; global 0 = query_mem_pages
   std::vector<std::string> wl_pending;
   uint64_t session_txn = 0;  // the shell's ambient transaction (BEGIN..COMMIT)
+  std::unique_ptr<ShardCluster> shard;  // \shard cluster (own coordinator db)
+  std::unique_ptr<ShardedExecutor> shard_exec;
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
               "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch, "
-              "\\workload, \\feedback, \\plancache, \\txn, \\checkpoint\n");
+              "\\workload, \\shard, \\feedback, \\plancache, \\txn, "
+              "\\checkpoint\n");
 
   std::string line, buffer;
   while (true) {
@@ -319,6 +334,106 @@ int main(int argc, char** argv) {
           std::printf("usage: \\workload [add <sql> | run | clear | "
                       "mem N | active N | queue N]\n");
         }
+      } else if (cmd == "\\shard") {
+        if (arg.empty()) {
+          if (!shard) {
+            std::printf("sharding off — \\shard on [N] (needs --tpcd)\n");
+          } else {
+            std::printf("sharded execution on: %d nodes, reopt %s\n",
+                        shard->num_nodes(),
+                        shard->options().reopt_enabled ? "enabled"
+                                                       : "disabled");
+            for (int i = 0; i < shard->num_nodes(); ++i) {
+              const ShardNode* n = shard->node(i);
+              std::printf(
+                  "  node %d: %s, weight %.2f, net %llu msgs / %llu bytes "
+                  "sent, %llu retries\n",
+                  n->id, n->alive ? "alive" : "DEAD", n->weight,
+                  static_cast<unsigned long long>(n->net.msgs_sent),
+                  static_cast<unsigned long long>(n->net.bytes_sent),
+                  static_cast<unsigned long long>(n->net.retries));
+            }
+            std::printf("  cluster makespan charged so far: %.1f ms\n",
+                        shard->cluster_ms());
+          }
+        } else if (arg == "on") {
+          if (tpcd_scale <= 0) {
+            std::printf("error: \\shard needs the TPC-D tables — restart "
+                        "with --tpcd <scale>\n");
+          } else {
+            std::string v;
+            is >> v;
+            ShardOptions so;
+            so.num_nodes = v.empty() ? 4 : std::max(std::atoi(v.c_str()), 1);
+            shard = std::make_unique<ShardCluster>(so);
+            tpcd::TpcdOptions gen;
+            gen.scale_factor = tpcd_scale;
+            Status st = tpcd::Load(shard->db(), gen);
+            static const std::pair<const char*, const char*> kKeys[] = {
+                {"region", "r_regionkey"},   {"nation", "n_nationkey"},
+                {"supplier", "s_suppkey"},   {"customer", "c_custkey"},
+                {"part", "p_partkey"},       {"partsupp", "ps_partkey"},
+                {"orders", "o_orderkey"},    {"lineitem", "l_orderkey"}};
+            for (const auto& [table, col] : kKeys)
+              if (st.ok()) st = shard->ShardByHash(table, col);
+            if (!st.ok()) {
+              std::printf("error: %s\n", st.ToString().c_str());
+              shard.reset();
+            } else {
+              shard_exec = std::make_unique<ShardedExecutor>(shard.get());
+              std::printf("cluster up: %d nodes, TPC-D hash-partitioned by "
+                          "primary key; SELECTs now run distributed\n",
+                          shard->num_nodes());
+            }
+          }
+        } else if (arg == "off") {
+          shard_exec.reset();
+          shard.reset();
+          std::printf("sharding off; SELECTs back on the session database\n");
+        } else if (arg == "kill") {
+          std::string v;
+          is >> v;
+          if (!shard || v.empty()) {
+            std::printf("usage: \\shard kill <node-id> (cluster must be on)\n");
+          } else {
+            const int id = std::atoi(v.c_str());
+            Status st = shard->MarkDead(id);
+            if (st.ok()) {
+              Result<ShardCluster::RehomeResult> r = shard->RehomeDeadNode(id);
+              if (!r.ok()) {
+                std::printf("error: %s\n", r.status().ToString().c_str());
+              } else {
+                shard->AddClusterMs(r->sim_ms);
+                std::printf("node %d down: %llu rows re-homed onto %zu "
+                            "survivors (%.1f ms charged)\n",
+                            id, static_cast<unsigned long long>(r->rehomed_rows),
+                            shard->AliveNodes().size(), r->sim_ms);
+              }
+            } else {
+              std::printf("error: %s\n", st.ToString().c_str());
+            }
+          }
+        } else if (arg == "faults") {
+          std::string spec;
+          is >> spec;
+          if (!shard) {
+            std::printf("cluster is off\n");
+          } else if (spec.empty()) {
+            std::printf("%s\n", shard->faults()->Describe().c_str());
+          } else if (spec == "off") {
+            shard->faults()->Reset();
+            std::printf("cluster fault points disarmed\n");
+          } else {
+            Status st = shard->faults()->Configure(spec);
+            if (!st.ok())
+              std::printf("error: %s\n", st.ToString().c_str());
+            else
+              std::printf("%s\n", shard->faults()->Describe().c_str());
+          }
+        } else {
+          std::printf("usage: \\shard [on [N] | off | kill <id> | "
+                      "faults <spec|off>]\n");
+        }
       } else if (cmd == "\\txn") {
         std::printf("%s", db.txn_manager()->Describe().c_str());
         if (session_txn != 0)
@@ -356,13 +471,29 @@ int main(int argc, char** argv) {
     if (buffer.empty()) continue;
 
     // SELECTs honor the session's \mode; other statements have no
-    // re-optimization dimension.
+    // re-optimization dimension. With \shard on, SELECTs run distributed
+    // on the cluster (its coordinator holds the same TPC-D data).
     bool is_select =
         buffer.find_first_not_of(" \t") != std::string::npos &&
         (std::tolower(buffer[buffer.find_first_not_of(" \t")]) == 's');
-    Result<QueryResult> r = is_select
-                                ? db.ExecuteWith(buffer, reopt)
-                                : db.ExecuteSqlInTxn(buffer, &session_txn);
+    Result<QueryResult> r = [&]() -> Result<QueryResult> {
+      if (is_select && shard_exec) {
+        ShardQueryOptions sq;
+        sq.batch_size = reopt.batch_size;
+        ASSIGN_OR_RETURN(ShardExecResult sr, shard_exec->Execute(buffer, sq));
+        std::printf("-- distributed: %d stage%s, %d switch%s, %d node%s "
+                    "lost%s, %.1f ms cluster makespan\n",
+                    sr.stages_run, sr.stages_run == 1 ? "" : "s",
+                    sr.distribution_switches,
+                    sr.distribution_switches == 1 ? "" : "es",
+                    sr.nodes_lost, sr.nodes_lost == 1 ? "" : "s",
+                    sr.coordinator_fallback ? " (coordinator fallback)" : "",
+                    sr.cluster_ms);
+        return std::move(sr.result);
+      }
+      return is_select ? db.ExecuteWith(buffer, reopt)
+                       : db.ExecuteSqlInTxn(buffer, &session_txn);
+    }();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
     } else if (!r->message.empty()) {

@@ -45,13 +45,21 @@ echo "== tier-1: incremental re-optimization bench (release, emits BENCH_pr8.jso
 # and the geometric-mean speedup clears 5x.
 "${BUILD}/tools/memo_bench" --iters 20 --json BENCH_pr8.json
 
+echo "== tier-1: sharded-execution chaos harness (release, emits BENCH_pr9.json) =="
+# TPC-D at 2/4/8 nodes (row + batched fragments) bit-identical to the
+# single-node oracle; seeded node-crash / net-failure schedules that must
+# be absorbed or survived via re-homing + journal validation; the zipf
+# skew bench where the mid-query distribution switch must beat the
+# no-reopt control. Exits nonzero on any mismatch, leak, or unpaid defense.
+"${BUILD}/tools/shard_chaos_runner" --seed 42 --json BENCH_pr9.json
+
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null
 cmake --build "${ASAN_BUILD}" -j \
   --target fault_test reopt_test reopt_extension_test \
            batch_equivalence_test recovery_test workload_test feedback_test \
-           txn_test chaos_runner dml_chaos_runner workload_runner \
-           repeat_runner memo_bench
+           txn_test shard_test chaos_runner dml_chaos_runner workload_runner \
+           repeat_runner memo_bench shard_chaos_runner
 # Run the binaries directly: ctest -R filters per-test names, which would
 # silently skip suites whose names don't contain "fault"/"reopt".
 # The fault-injection, batch-equivalence, crash-recovery, and workload
@@ -68,6 +76,7 @@ for bs in default 1; do
   "${ASAN_BUILD}/tests/workload_test"
   "${ASAN_BUILD}/tests/feedback_test"
   "${ASAN_BUILD}/tests/txn_test"
+  "${ASAN_BUILD}/tests/shard_test"
   "${ASAN_BUILD}/tools/workload_runner" --seed 42
   "${ASAN_BUILD}/tools/repeat_runner" --seed 42
   # Identity assertions only under sanitizers — no speedup floor (ASan's
@@ -95,5 +104,12 @@ for bs in default 1; do
   "${ASAN_BUILD}/tools/dml_chaos_runner" --seed 42 --schedules 12
 done
 unset REOPTDB_BATCH_SIZE
+
+echo "== tier-1: sharded-execution chaos smoke sweep (ASan+UBSan) =="
+# A reduced node-crash / skew sweep under the sanitizers; the runner
+# internally covers row-at-a-time and batched fragments at every node
+# count, so exchange buffers, re-homing, and journal validation all get
+# lifetime checks in both execution modes.
+"${ASAN_BUILD}/tools/shard_chaos_runner" --seed 42 --schedules 4
 
 echo "== tier-1: OK =="

@@ -1,0 +1,458 @@
+// Sharded-execution chaos harness: seeded node-crash, link-failure, and
+// skew schedules over the paper's TPC-D mix, every distributed answer
+// diffed against a crash-free single-node oracle on the same data.
+//
+// Three phases, all on simulated clocks so the emitted numbers are exactly
+// reproducible for a given seed:
+//
+//   1. Equivalence sweep — every TPC-D query at 2/4/8 nodes, row-at-a-time
+//      and batched fragments, must be bit-identical (Canon) to the
+//      coordinator-only oracle. The 4-node pass runs twice and the live
+//      page count must return to its post-first-pass value: temps,
+//      journals, and exchange buffers all drained.
+//
+//   2. Crash schedules — seeded sweeps arming one cluster point
+//      (node.crash, net.send, net.recv) with `error:nth:K`; the run must
+//      either absorb the fault (retry/backoff), or lose the node and
+//      complete on the survivors via re-homing + journal validation —
+//      never mismatch, never crash untyped. A fault-free re-run on the
+//      shrunken cluster must still match the oracle with stable pages.
+//
+//   3. Skew bench — the zipf build whose stale estimate hides it: the
+//      defended run (mid-query distribution switch) must beat the
+//      no-reopt control's charged makespan.
+//
+//   shard_chaos_runner [--seed N] [--schedules N] [--scale F] [--json PATH]
+//                      [--verbose]
+//
+// Exit status 0 only if every schedule converged on the oracle with zero
+// leaks and the skew defense paid off.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "shard/sharded_executor.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/queries.h"
+
+namespace reoptdb {
+namespace {
+
+bool Verbose = false;
+
+/// Canonical form of a result set: one rendered string per row, sorted;
+/// doubles rounded so aggregates compare equal bit-for-bit.
+std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (i) s += "|";
+      if (v.is_double()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", v.AsDouble());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// A TPC-D cluster: generator data (stale catalog, so distribution
+/// switches actually fire) sharded by primary key across `nodes`.
+std::unique_ptr<ShardCluster> MakeTpcdCluster(int nodes, double scale) {
+  ShardOptions so;
+  so.num_nodes = nodes;
+  auto cluster = std::make_unique<ShardCluster>(so);
+  tpcd::TpcdOptions gen;
+  gen.scale_factor = scale;
+  gen.update_fraction = 1.0;
+  Status st = tpcd::Load(cluster->db(), gen);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dbgen failed: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  static const std::pair<const char*, const char*> kKeys[] = {
+      {"region", "r_regionkey"},   {"nation", "n_nationkey"},
+      {"supplier", "s_suppkey"},   {"customer", "c_custkey"},
+      {"part", "p_partkey"},       {"partsupp", "ps_partkey"},
+      {"orders", "o_orderkey"},    {"lineitem", "l_orderkey"},
+  };
+  for (const auto& [table, col] : kKeys) {
+    st = cluster->ShardByHash(table, col);
+    if (!st.ok()) {
+      std::fprintf(stderr, "shard %s failed: %s\n", table,
+                   st.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  return cluster;
+}
+
+struct EquivRow {
+  int nodes = 0;
+  size_t batch = 0;
+  int queries = 0;
+  int matched = 0;
+  int fallbacks = 0;
+  int switches = 0;
+  double cluster_ms = 0;
+};
+
+/// One pass of the full mix at a node count + batch size. Oracles are
+/// computed per cluster (fault-free, coordinator only).
+bool RunEquivPass(ShardedExecutor* exec,
+                  const std::map<std::string, std::vector<std::string>>& oracle,
+                  int nodes, size_t batch, EquivRow* row) {
+  row->nodes = nodes;
+  row->batch = batch;
+  bool ok = true;
+  for (const tpcd::TpcdQuery& q : tpcd::AllQueries()) {
+    ++row->queries;
+    ShardQueryOptions opts;
+    opts.batch_size = batch;
+    Result<ShardExecResult> r = exec->Execute(q.sql, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "[equiv n=%d b=%zu] %s failed: %s\n", nodes, batch,
+                   q.name, r.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    if (Canon(r->result.rows) != oracle.at(q.name)) {
+      std::fprintf(stderr, "[equiv n=%d b=%zu] %s MISMATCH vs oracle\n", nodes,
+                   batch, q.name);
+      ok = false;
+      continue;
+    }
+    ++row->matched;
+    row->fallbacks += r->coordinator_fallback ? 1 : 0;
+    row->switches += r->distribution_switches;
+    row->cluster_ms += r->cluster_ms;
+    if (Verbose)
+      std::printf("[equiv n=%d b=%zu] %s ok (%.2f ms, %d switches%s)\n", nodes,
+                  batch, q.name, r->cluster_ms, r->distribution_switches,
+                  r->coordinator_fallback ? ", fallback" : "");
+  }
+  return ok;
+}
+
+struct CrashTally {
+  int schedules = 0;
+  int node_losses = 0;
+  int absorbed = 0;  ///< fault fired but retries/backoff hid it
+  int clean = 0;     ///< armed nth never reached
+  int mismatches = 0;
+  int errors = 0;
+};
+
+/// One seeded crash schedule on a fresh 4-node TPC-D cluster: arm a
+/// cluster point, run one query of the mix, diff, then prove the shrunken
+/// cluster still serves with stable pages.
+bool RunCrashSchedule(uint64_t seed, int which, double scale,
+                      CrashTally* tally) {
+  ++tally->schedules;
+  Rng rng(seed);
+  static const char* kPoints[] = {faults::kNodeCrash, faults::kNetSend,
+                                  faults::kNetRecv};
+  const char* point = kPoints[which % 3];
+  const std::vector<tpcd::TpcdQuery> mix = tpcd::AllQueries();
+  const tpcd::TpcdQuery& q = mix[static_cast<size_t>(which) % mix.size()];
+  const size_t batch = which % 2 ? 1024 : 1;
+
+  std::unique_ptr<ShardCluster> cluster = MakeTpcdCluster(4, scale);
+  ShardedExecutor exec(cluster.get());
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(q.sql, batch);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "[crash seed=%llu] oracle failed: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 oracle.status().ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+  const std::vector<std::string> want = Canon(oracle->rows);
+
+  const std::string schedule = std::string(point) + "=nth:" +
+                               std::to_string(rng.NextInt(1, 50));
+  if (!cluster->db()->faults()->Configure(schedule).ok()) {
+    ++tally->errors;
+    return false;
+  }
+  ShardQueryOptions opts;
+  opts.batch_size = batch;
+  Result<ShardExecResult> r = exec.Execute(q.sql, opts);
+  const uint64_t fires = cluster->db()->faults()->StatsFor(point).fires;
+  cluster->db()->faults()->Reset();
+  if (!r.ok()) {
+    std::fprintf(stderr, "[crash seed=%llu %s %s] failed: %s\n",
+                 static_cast<unsigned long long>(seed), q.name, schedule.c_str(),
+                 r.status().ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+  if (Canon(r->result.rows) != want) {
+    std::fprintf(stderr, "[crash seed=%llu %s %s] MISMATCH vs oracle\n",
+                 static_cast<unsigned long long>(seed), q.name,
+                 schedule.c_str());
+    ++tally->mismatches;
+    return false;
+  }
+  if (r->nodes_lost > 0)
+    ++tally->node_losses;
+  else if (fires > 0)
+    ++tally->absorbed;
+  else
+    ++tally->clean;
+
+  // The shrunken cluster must still serve the same answer, and a
+  // steady-state query must leave the live page count untouched.
+  const size_t pages = cluster->LivePagesAliveNodes();
+  Result<ShardExecResult> again = exec.Execute(q.sql, opts);
+  if (!again.ok() || Canon(again->result.rows) != want) {
+    std::fprintf(stderr, "[crash seed=%llu %s] post-fault re-run diverged\n",
+                 static_cast<unsigned long long>(seed), q.name);
+    ++tally->errors;
+    return false;
+  }
+  if (cluster->LivePagesAliveNodes() != pages) {
+    std::fprintf(stderr, "[crash seed=%llu %s] PAGE LEAK: %zu -> %zu\n",
+                 static_cast<unsigned long long>(seed), q.name, pages,
+                 cluster->LivePagesAliveNodes());
+    ++tally->errors;
+    return false;
+  }
+  if (Verbose)
+    std::printf("[crash seed=%llu %s %s] ok (%s)\n",
+                static_cast<unsigned long long>(seed), q.name, schedule.c_str(),
+                r->nodes_lost ? "node lost, survivors answered"
+                              : (fires ? "absorbed" : "clean"));
+  return true;
+}
+
+struct SkewBench {
+  double control_ms = 0;
+  double defended_ms = 0;
+  int switches = 0;
+  size_t skews = 0;
+  bool matched = false;
+};
+
+/// The skew scenario from tests/shard_test.cc at bench scale: a zipf
+/// build whose stale estimate makes the planner broadcast it; the
+/// defended arm must repartition mid-query and beat the control.
+bool RunSkewArm(bool reopt_enabled, SkewBench* bench) {
+  ShardOptions so;
+  so.num_nodes = 4;
+  so.reopt_enabled = reopt_enabled;
+  ShardCluster cluster(so);
+  Database* db = cluster.db();
+  Schema orders(std::vector<Column>{{"", "order_id", ValueType::kInt64, 8},
+                                    {"", "cust_id", ValueType::kInt64, 8},
+                                    {"", "amount", ValueType::kDouble, 8}});
+  Schema cust(std::vector<Column>{{"", "cust_id", ValueType::kInt64, 8},
+                                  {"", "region", ValueType::kInt64, 8},
+                                  {"", "score", ValueType::kDouble, 8}});
+  if (!db->CreateTable("orders", orders).ok() ||
+      !db->CreateTable("cust", cust).ok())
+    return false;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t key = rng.NextBelow(10) < 5
+                            ? 0
+                            : static_cast<int64_t>(rng.NextBelow(1200));
+    if (!db->Insert("orders", Tuple({Value(int64_t{i}), Value(key),
+                                     Value(10.0 + i * 0.25)}))
+             .ok())
+      return false;
+  }
+  for (int c = 0; c < 1200; ++c)
+    if (!db->Insert("cust", Tuple({Value(int64_t{c}), Value(int64_t{c % 5}),
+                                   Value(1.0 + c * 0.5)}))
+             .ok())
+      return false;
+  if (!db->Analyze("orders").ok() || !db->Analyze("cust").ok()) return false;
+  if (!cluster.ShardByHash("orders", "order_id").ok() ||
+      !cluster.ShardByHash("cust", "cust_id").ok())
+    return false;
+  Result<TableInfo*> info = db->catalog()->Get("orders");
+  if (!info.ok()) return false;
+  TableStats stale = info.value()->stats;
+  stale.row_count = 40;
+  stale.page_count = 1;
+  if (!db->catalog()->SetStats("orders", std::move(stale)).ok()) return false;
+
+  ShardedExecutor exec(&cluster);
+  const std::string sql =
+      "SELECT c.region, COUNT(*) AS n FROM orders o, cust c "
+      "WHERE o.cust_id = c.cust_id GROUP BY c.region";
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  Result<ShardExecResult> r = exec.Execute(sql);
+  if (!oracle.ok() || !r.ok()) return false;
+  bench->matched = Canon(r->result.rows) == Canon(oracle->rows);
+  if (reopt_enabled) {
+    bench->defended_ms = r->cluster_ms;
+    bench->switches = r->distribution_switches;
+    bench->skews = r->result.report.trace.shard_skews.size();
+  } else {
+    bench->control_ms = r->cluster_ms;
+  }
+  return bench->matched;
+}
+
+}  // namespace
+}  // namespace reoptdb
+
+int main(int argc, char** argv) {
+  using namespace reoptdb;
+  uint64_t seed = 42;
+  int schedules = 12;
+  double scale = 0.003;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--schedules") && i + 1 < argc) {
+      schedules = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: shard_chaos_runner [--seed N] [--schedules N] "
+                   "[--scale F] [--json PATH] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  int page_leaks = 0;
+
+  // --- Phase 1: equivalence sweep.
+  std::vector<EquivRow> equiv;
+  for (int nodes : {2, 4, 8}) {
+    std::unique_ptr<ShardCluster> cluster = MakeTpcdCluster(nodes, scale);
+    ShardedExecutor exec(cluster.get());
+    std::map<std::string, std::vector<std::string>> oracle;
+    for (const tpcd::TpcdQuery& q : tpcd::AllQueries()) {
+      Result<QueryResult> r = exec.ExecuteSingleNode(q.sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "oracle %s failed: %s\n", q.name,
+                     r.status().ToString().c_str());
+        return 2;
+      }
+      oracle[q.name] = Canon(r->rows);
+    }
+    for (size_t batch : {size_t{1}, size_t{1024}}) {
+      EquivRow row;
+      ok = RunEquivPass(&exec, oracle, nodes, batch, &row) && ok;
+      equiv.push_back(row);
+    }
+    if (nodes == 4) {
+      // Leak check: a repeat of the whole mix must leave live pages alone.
+      const size_t pages = cluster->LivePagesAliveNodes();
+      EquivRow repeat;
+      ok = RunEquivPass(&exec, oracle, nodes, 1024, &repeat) && ok;
+      if (cluster->LivePagesAliveNodes() != pages) {
+        std::fprintf(stderr, "[equiv n=4] PAGE LEAK: %zu -> %zu\n", pages,
+                     cluster->LivePagesAliveNodes());
+        ++page_leaks;
+        ok = false;
+      }
+    }
+  }
+  for (const EquivRow& r : equiv)
+    std::printf(
+        "equiv nodes=%d batch=%zu matched=%d/%d fallbacks=%d switches=%d "
+        "cluster_ms=%.2f\n",
+        r.nodes, r.batch, r.matched, r.queries, r.fallbacks, r.switches,
+        r.cluster_ms);
+
+  // --- Phase 2: crash schedules.
+  CrashTally tally;
+  for (int t = 0; t < schedules; ++t) {
+    const uint64_t trial_seed = seed * 1000003ULL + static_cast<uint64_t>(t);
+    ok = RunCrashSchedule(trial_seed, t, scale, &tally) && ok;
+  }
+  std::printf(
+      "crash schedules=%d node_losses=%d absorbed=%d clean=%d mismatches=%d "
+      "errors=%d\n",
+      tally.schedules, tally.node_losses, tally.absorbed, tally.clean,
+      tally.mismatches, tally.errors);
+
+  // --- Phase 3: skew bench.
+  SkewBench bench;
+  if (!RunSkewArm(/*reopt_enabled=*/false, &bench) ||
+      !RunSkewArm(/*reopt_enabled=*/true, &bench)) {
+    std::fprintf(stderr, "skew bench arm failed or mismatched\n");
+    ok = false;
+  } else {
+    if (bench.switches < 1) {
+      std::fprintf(stderr, "skew bench: no distribution switch fired\n");
+      ok = false;
+    }
+    if (bench.defended_ms >= bench.control_ms) {
+      std::fprintf(stderr, "skew bench: defense did not pay off\n");
+      ok = false;
+    }
+  }
+  std::printf(
+      "skew-bench control_ms=%.2f defended_ms=%.2f speedup=%.2fx switches=%d "
+      "skews=%zu\n",
+      bench.control_ms, bench.defended_ms,
+      bench.defended_ms > 0 ? bench.control_ms / bench.defended_ms : 0,
+      bench.switches, bench.skews);
+
+  if (json_path) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"equivalence\": [");
+    for (size_t i = 0; i < equiv.size(); ++i) {
+      const EquivRow& r = equiv[i];
+      std::fprintf(f,
+                   "%s\n    {\"nodes\": %d, \"batch\": %zu, \"queries\": %d, "
+                   "\"matched\": %d, \"coordinator_fallbacks\": %d, "
+                   "\"distribution_switches\": %d, \"cluster_ms\": %.3f}",
+                   i ? "," : "", r.nodes, r.batch, r.queries, r.matched,
+                   r.fallbacks, r.switches, r.cluster_ms);
+    }
+    std::fprintf(f,
+                 "\n  ],\n  \"crash_schedules\": {\"schedules\": %d, "
+                 "\"node_losses\": %d, \"absorbed\": %d, \"clean\": %d, "
+                 "\"mismatches\": %d, \"errors\": %d},\n",
+                 tally.schedules, tally.node_losses, tally.absorbed,
+                 tally.clean, tally.mismatches, tally.errors);
+    std::fprintf(f,
+                 "  \"skew_bench\": {\"control_ms\": %.3f, "
+                 "\"defended_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"distribution_switches\": %d, \"skews_recorded\": %zu},\n",
+                 bench.control_ms, bench.defended_ms,
+                 bench.defended_ms > 0 ? bench.control_ms / bench.defended_ms
+                                       : 0,
+                 bench.switches, bench.skews);
+    std::fprintf(f, "  \"page_leaks\": %d\n}\n", page_leaks);
+    std::fclose(f);
+  }
+
+  std::printf(ok ? "shard-chaos: all schedules converged on the oracle\n"
+                 : "shard-chaos: FAILURES above\n");
+  return ok ? 0 : 1;
+}
