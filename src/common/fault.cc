@@ -54,7 +54,7 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       faults::kWalAppend,       faults::kWalFsync,
       faults::kLockAcquire,     faults::kTxnCommit,
       faults::kNetSend,         faults::kNetRecv,
-      faults::kNodeCrash,
+      faults::kNodeCrash,       faults::kNodeResurrect,
   };
   return kPoints;
 }
@@ -110,6 +110,10 @@ Status FaultInjector::Check(const char* point) {
     return Status::Crashed("injected crash at " + it->first + " (call #" +
                            std::to_string(a.stats.calls) + ")");
   }
+  if (a.spec.action == FaultAction::kCorrupt) {
+    return Status::DataLoss("injected corruption at " + it->first +
+                            " (call #" + std::to_string(a.stats.calls) + ")");
+  }
   return InjectedError(it->first, a.stats.calls);
 }
 
@@ -136,6 +140,9 @@ Status FaultInjector::Configure(const std::string& config) {
     if (trig.rfind("crash:", 0) == 0) {
       spec.action = FaultAction::kCrash;
       trig = trig.substr(6);
+    } else if (trig.rfind("corrupt:", 0) == 0) {
+      spec.action = FaultAction::kCorrupt;
+      trig = trig.substr(8);
     }
     if (trig == "every") {
       spec.trigger = FaultTrigger::kEveryCall;
@@ -162,8 +169,8 @@ Status FaultInjector::Configure(const std::string& config) {
       }
     } else {
       return Status::InvalidArgument(
-          "unknown fault trigger (want [crash:]every|nth:<k>|prob:<p>[@seed])"
-          ": " +
+          "unknown fault trigger (want [crash:|corrupt:]every|nth:<k>|"
+          "prob:<p>[@seed]): " +
           trig);
     }
     RETURN_IF_ERROR(Arm(point, spec));
@@ -186,7 +193,9 @@ std::string FaultInjector::Describe() const {
   std::string out;
   char buf[192];
   for (const auto& [point, a] : armed_) {
-    const char* act = a.spec.action == FaultAction::kCrash ? "crash:" : "";
+    const char* act = a.spec.action == FaultAction::kCrash     ? "crash:"
+                      : a.spec.action == FaultAction::kCorrupt ? "corrupt:"
+                                                               : "";
     switch (a.spec.trigger) {
       case FaultTrigger::kNthCall:
         std::snprintf(buf, sizeof(buf),

@@ -15,10 +15,11 @@
 // Spec grammar (REOPTDB_FAULTS / REOPTDB_CRASH_SCHEDULE / \faults /
 // Configure):
 //   spec     := entry (',' entry)*
-//   entry    := point '=' ['crash:'] trigger
+//   entry    := point '=' ['crash:' | 'corrupt:'] trigger
 //   trigger  := 'every' | 'nth:' count | 'prob:' p ['@' seed]
 // e.g. REOPTDB_FAULTS="reopt.optimize=nth:1,storage.read=prob:0.01@7"
 //      REOPTDB_CRASH_SCHEDULE="reopt.materialize=nth:1"
+//      \faults storage.write=corrupt:nth:12   (silent bit-rot on write #12)
 //
 // The 'crash:' action prefix turns a firing point into a simulated process
 // death: instead of a recoverable layer error, Check() returns kCrashed and
@@ -66,6 +67,12 @@ inline constexpr char kTxnCommit[] = "txn.commit";
 inline constexpr char kNetSend[] = "net.send";
 inline constexpr char kNetRecv[] = "net.recv";
 inline constexpr char kNodeCrash[] = "node.crash";
+/// A dead node comes back mid-query with a stale view of the membership
+/// (the "zombie"). The shard executor checks this point at stage start;
+/// when it fires, the most recently dead node's buffered sends are replayed
+/// against the exchange and must be epoch-fenced, never merged into the
+/// stage. The zombie does not rejoin the membership.
+inline constexpr char kNodeResurrect[] = "node.resurrect";
 }  // namespace faults
 
 /// When an armed point fires.
@@ -79,6 +86,13 @@ enum class FaultTrigger : uint8_t {
 enum class FaultAction : uint8_t {
   kError,  ///< recoverable layer error (kIoError / kResourceExhausted / ...)
   kCrash,  ///< simulated process death: kCrashed + latched crash_pending
+  /// Silent bit-rot: Check() returns kDataLoss, which the DiskManager's
+  /// storage.write site interprets as "perform the write, then flip stored
+  /// bytes without updating the recorded checksum, and report success".
+  /// The damage surfaces only when the page is next read (kDataLoss) or a
+  /// scrubber compares the copy against a replica. At any other point the
+  /// kDataLoss status surfaces directly (no site knows how to be silent).
+  kCorrupt,
 };
 
 /// How an armed injection point behaves.

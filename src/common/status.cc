@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "LockWait";
     case StatusCode::kCrashed:
       return "Crashed";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -37,6 +37,10 @@ enum class StatusCode {
   /// immediately; durable state (journal, flushed temp pages) survives and
   /// the RecoveryManager resumes or re-runs on "restart".
   kCrashed,
+  /// Stored bytes failed their integrity check and a re-read confirmed the
+  /// damage is on the media, not the wire: retrying cannot help. Callers
+  /// must repair from a redundant copy (replica, coordinator) or fail.
+  kDataLoss,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -89,6 +93,9 @@ class Status {
   }
   static Status LockWait(std::string msg) {
     return Status(StatusCode::kLockWait, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

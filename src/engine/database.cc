@@ -153,6 +153,7 @@ Result<QueryResult> Database::ExecuteWithRoot(const std::string& sql,
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  opts_.query_mem_pages);
   reoptimizer.SetJournal(&journal_, journal_root);
+  reoptimizer.SetScrubSignal(scrub_signal_);
   if (feedback_enabled_) reoptimizer.SetFeedback(&feedback_store_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
@@ -255,6 +256,7 @@ Result<QueryResult> Database::ExecutePrepared(const PreparedQuery& prepared,
   DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts, reopt,
                                  actual_mem_pages);
   reoptimizer.SetJournal(&journal_);
+  reoptimizer.SetScrubSignal(scrub_signal_);
   ExecContext ctx(&pool_, &catalog_, &cost_, /*seed=*/1234 + ++query_counter_);
   ctx.SetFaultInjector(&faults_);
   CaptureScanSnapshots(&ctx);
@@ -408,6 +410,7 @@ Result<QueryResult> Database::ExecuteSqlInTxn(const std::string& sql,
       DynamicReoptimizer reoptimizer(&catalog_, &cost_, &cal, opt_opts,
                                      opts_.reopt, opts_.query_mem_pages);
       reoptimizer.SetJournal(&journal_);
+      reoptimizer.SetScrubSignal(scrub_signal_);
       if (feedback_enabled_) reoptimizer.SetFeedback(&feedback_store_);
       ExecContext ctx(&pool_, &catalog_, &cost_,
                       /*seed=*/1234 + ++query_counter_);

@@ -205,6 +205,15 @@ class Database {
   /// instance, written at every committed plan switch, read by Recover().
   QueryJournal* journal() { return &journal_; }
 
+  /// Installs a monotonically increasing scrub-findings counter (owned by
+  /// a ShardCluster's anti-entropy scrubber; see shard/scrubber.h). When
+  /// the counter advances while a query is in flight, the reoptimizer's
+  /// Eq.(2) gate revalidates the journaled temp checksums before any
+  /// decision trusts materialized results. Null (the default) disables the
+  /// recheck — single-node instances have no scrubber.
+  void SetScrubSignal(const uint64_t* counter) { scrub_signal_ = counter; }
+  const uint64_t* scrub_signal() const { return scrub_signal_; }
+
   /// The cardinality feedback store (always constructed; consulted and
   /// harvested only while feedback_enabled()). Exposed for persistence
   /// (Export/ImportManifest), the shell's \feedback command, and tests.
@@ -245,6 +254,7 @@ class Database {
   QueryJournal journal_;
   CardinalityFeedbackStore feedback_store_;
   PlanCorrectionCache plan_cache_;
+  const uint64_t* scrub_signal_ = nullptr;  ///< not owned; may be null
   bool feedback_enabled_ = false;
   bool plan_cache_enabled_ = false;
   bool calibrated_ = false;

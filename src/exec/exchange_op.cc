@@ -5,10 +5,12 @@
 namespace reoptdb {
 
 void ExchangeChannel::AddEndpoint(int id, ExecContext* ctx,
-                                  NetChannelStats* stats) {
+                                  NetChannelStats* stats,
+                                  uint64_t sender_epoch) {
   Endpoint& ep = endpoints_[id];
   ep.ctx = ctx;
   ep.stats = stats;
+  ep.sender_epoch = sender_epoch;
 }
 
 uint64_t ExchangeChannel::BufferBytes(const std::vector<Tuple>& rows) {
@@ -45,6 +47,21 @@ Status ExchangeChannel::Send(int from, int to, std::vector<Tuple> rows) {
   if (fit == endpoints_.end() || tit == endpoints_.end())
     return Status::Internal("exchange: unknown endpoint");
   Endpoint& sender = fit->second;
+  // Membership-epoch fence: a buffer stamped with a stale epoch is dropped
+  // here, before any fault/retry/cost machinery — a fenced zombie gets no
+  // say in the stage and pays no modeled cost (its "send" went nowhere).
+  // The send still reports OK: fencing is the receiver-side defense; the
+  // stale sender is not owed an error it could act on.
+  if (current_epoch_ != 0) {
+    const uint64_t stamp =
+        sender.sender_epoch == 0 ? current_epoch_ : sender.sender_epoch;
+    if (stamp != current_epoch_) {
+      if (sender.stats != nullptr) ++sender.stats->fenced_buffers;
+      fences_.push_back(
+          Fence{from, to, static_cast<uint64_t>(rows.size()), stamp});
+      return Status::OK();
+    }
+  }
   RETURN_IF_ERROR(CheckWithRetry(faults::kNetSend, &sender));
   const uint64_t bytes = BufferBytes(rows);
   const uint64_t msgs = Messages(rows.size());

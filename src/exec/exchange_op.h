@@ -38,6 +38,8 @@ struct NetChannelStats {
   uint64_t retries = 0;
   /// Simulated milliseconds spent in retry backoff.
   double retry_penalty_ms = 0;
+  /// Buffers rejected by the membership-epoch fence (stale senders).
+  uint64_t fenced_buffers = 0;
 };
 
 /// \brief Per-query send/recv queues between simulated nodes.
@@ -60,15 +62,43 @@ class ExchangeChannel {
   ExchangeChannel(const CostModel* cost, FaultInjector* faults)
       : cost_(cost), faults_(faults) {}
 
+  /// Arms the membership-epoch fence: every buffer is stamped with its
+  /// sender's epoch, and a stamp that disagrees with `epoch` is dropped at
+  /// the channel (recorded, never delivered). 0 (the default) disables
+  /// fencing — single-node and pre-replication callers are unaffected.
+  void SetEpoch(uint64_t epoch) { current_epoch_ = epoch; }
+
   /// Registers endpoint `id`. `ctx` and `stats` must outlive the channel.
-  void AddEndpoint(int id, ExecContext* ctx, NetChannelStats* stats);
+  /// `sender_epoch` is the membership epoch stamped on this endpoint's
+  /// sends; 0 means "current" (stamps whatever SetEpoch installed). A
+  /// zombie node re-registered with the epoch it last saw before dying
+  /// gets every send fenced.
+  void AddEndpoint(int id, ExecContext* ctx, NetChannelStats* stats,
+                   uint64_t sender_epoch = 0);
 
   /// Enqueues `rows` into `to`'s inbox, charging the sender for the
   /// transfer. Empty buffers are free (no message). On a transient
   /// net.send fault the send is retried with doubling backoff (charged to
   /// the sender); exhausted retries return the error with nothing
-  /// enqueued.
+  /// enqueued. A send stamped with a stale epoch returns OK — the zombie
+  /// believes it succeeded — but the buffer is dropped and logged
+  /// (TakeFences), exactly what a fencing token does in a real cluster.
   Status Send(int from, int to, std::vector<Tuple> rows);
+
+  /// One fenced (dropped) stale send.
+  struct Fence {
+    int from = -1;
+    int to = -1;
+    uint64_t rows = 0;
+    uint64_t stale_epoch = 0;
+  };
+
+  /// Drains the log of fenced sends accumulated since the last call.
+  std::vector<Fence> TakeFences() {
+    std::vector<Fence> out = std::move(fences_);
+    fences_.clear();
+    return out;
+  }
 
   /// Drains `to`'s inbox (sender id order, FIFO within a sender) into
   /// `*out`, charging the receiver. net.recv faults follow the same
@@ -82,6 +112,8 @@ class ExchangeChannel {
   struct Endpoint {
     ExecContext* ctx = nullptr;
     NetChannelStats* stats = nullptr;
+    /// Epoch stamped on this endpoint's sends (0 = current).
+    uint64_t sender_epoch = 0;
     /// sender id -> FIFO of buffers.
     std::map<int, std::vector<std::vector<Tuple>>> inbox;
   };
@@ -98,6 +130,8 @@ class ExchangeChannel {
   const CostModel* cost_;
   FaultInjector* faults_;
   std::map<int, Endpoint> endpoints_;
+  uint64_t current_epoch_ = 0;  ///< 0 = fencing disabled
+  std::vector<Fence> fences_;
 };
 
 /// \brief Leaf operator streaming a delivered exchange buffer.

@@ -102,6 +102,7 @@ std::string QueryTrace::ToJson() const {
     o.Set("fired", JsonValue::MakeBool(r.fired));
     o.Set("revocation_only", JsonValue::MakeBool(r.revocation_only));
     o.Set("stats_churn", JsonValue::MakeBool(r.stats_churn));
+    o.Set("integrity_recheck", JsonValue::MakeBool(r.integrity_recheck));
     eq2_j.Append(std::move(o));
   }
   root.Set("eq2_checks", std::move(eq2_j));
@@ -303,6 +304,11 @@ std::string QueryTrace::ToJson() const {
     o.Set("rehomed_rows",
           JsonValue::MakeNumber(static_cast<double>(r.rehomed_rows)));
     o.Set("journal_resume", JsonValue::MakeBool(r.journal_resume));
+    o.Set("promoted_rows",
+          JsonValue::MakeNumber(static_cast<double>(r.promoted_rows)));
+    o.Set("coordinator_rows",
+          JsonValue::MakeNumber(static_cast<double>(r.coordinator_rows)));
+    o.Set("epoch", JsonValue::MakeNumber(static_cast<double>(r.epoch)));
     nl_j.Append(std::move(o));
   }
   root.Set("node_losses", std::move(nl_j));
@@ -319,6 +325,60 @@ std::string QueryTrace::ToJson() const {
     ds_j.Append(std::move(o));
   }
   root.Set("distribution_switches", std::move(ds_j));
+
+  JsonValue ns_j = JsonValue::MakeArray();
+  for (const NodeSuspectRecord& r : node_suspects) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("reason", JsonValue::MakeString(r.reason));
+    o.Set("missed_beats", JsonValue::MakeNumber(r.missed_beats));
+    o.Set("lease_remaining_ms", JsonValue::MakeNumber(r.lease_remaining_ms));
+    ns_j.Append(std::move(o));
+  }
+  root.Set("node_suspects", std::move(ns_j));
+
+  JsonValue ef_j = JsonValue::MakeArray();
+  for (const EpochFenceRecord& r : epoch_fences) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("stage", JsonValue::MakeNumber(r.stage));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("stale_epoch",
+          JsonValue::MakeNumber(static_cast<double>(r.stale_epoch)));
+    o.Set("current_epoch",
+          JsonValue::MakeNumber(static_cast<double>(r.current_epoch)));
+    o.Set("fenced_rows",
+          JsonValue::MakeNumber(static_cast<double>(r.fenced_rows)));
+    ef_j.Append(std::move(o));
+  }
+  root.Set("epoch_fences", std::move(ef_j));
+
+  JsonValue rr_j = JsonValue::MakeArray();
+  for (const ReplicaRepairRecord& r : replica_repairs) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("table", JsonValue::MakeString(r.table));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("role", JsonValue::MakeString(r.role));
+    o.Set("source", JsonValue::MakeString(r.source));
+    o.Set("rows", JsonValue::MakeNumber(static_cast<double>(r.rows)));
+    o.Set("sim_ms", JsonValue::MakeNumber(r.sim_ms));
+    rr_j.Append(std::move(o));
+  }
+  root.Set("replica_repairs", std::move(rr_j));
+
+  JsonValue sr_j = JsonValue::MakeArray();
+  for (const ScrubReportRecord& r : scrub_reports) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("table", JsonValue::MakeString(r.table));
+    o.Set("node", JsonValue::MakeNumber(r.node));
+    o.Set("role", JsonValue::MakeString(r.role));
+    o.Set("finding", JsonValue::MakeString(r.finding));
+    o.Set("rows_expected",
+          JsonValue::MakeNumber(static_cast<double>(r.rows_expected)));
+    o.Set("repaired", JsonValue::MakeBool(r.repaired));
+    sr_j.Append(std::move(o));
+  }
+  root.Set("scrub_reports", std::move(sr_j));
 
   return root.Serialize();
 }
@@ -352,6 +412,7 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
     r.fired = GetBool(o, "fired");
     r.revocation_only = GetBool(o, "revocation_only");
     r.stats_churn = GetBool(o, "stats_churn");
+    r.integrity_recheck = GetBool(o, "integrity_recheck");
     t.eq2_checks.push_back(r);
   }
 
@@ -554,6 +615,10 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       r.survivors = static_cast<int>(GetNum(o, "survivors"));
       r.rehomed_rows = static_cast<uint64_t>(GetNum(o, "rehomed_rows"));
       r.journal_resume = GetBool(o, "journal_resume");
+      r.promoted_rows = static_cast<uint64_t>(GetNum(o, "promoted_rows"));
+      r.coordinator_rows =
+          static_cast<uint64_t>(GetNum(o, "coordinator_rows"));
+      r.epoch = static_cast<uint64_t>(GetNum(o, "epoch"));
       t.node_losses.push_back(std::move(r));
     }
   }
@@ -568,6 +633,58 @@ Result<QueryTrace> QueryTrace::FromJson(const std::string& json) {
       r.est_ms = GetNum(o, "est_ms");
       r.new_ms = GetNum(o, "new_ms");
       t.distribution_switches.push_back(std::move(r));
+    }
+  }
+  // Replication / integrity arrays are optional so traces serialized
+  // before the replication layer still parse.
+  if (const JsonValue* ns = root.Find("node_suspects");
+      ns != nullptr && ns->is_array()) {
+    for (const JsonValue& o : ns->items()) {
+      NodeSuspectRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.reason = GetStr(o, "reason");
+      r.missed_beats = static_cast<int>(GetNum(o, "missed_beats"));
+      r.lease_remaining_ms = GetNum(o, "lease_remaining_ms");
+      t.node_suspects.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* ef = root.Find("epoch_fences");
+      ef != nullptr && ef->is_array()) {
+    for (const JsonValue& o : ef->items()) {
+      EpochFenceRecord r;
+      r.stage = static_cast<int>(GetNum(o, "stage"));
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.stale_epoch = static_cast<uint64_t>(GetNum(o, "stale_epoch"));
+      r.current_epoch = static_cast<uint64_t>(GetNum(o, "current_epoch"));
+      r.fenced_rows = static_cast<uint64_t>(GetNum(o, "fenced_rows"));
+      t.epoch_fences.push_back(r);
+    }
+  }
+  if (const JsonValue* rr = root.Find("replica_repairs");
+      rr != nullptr && rr->is_array()) {
+    for (const JsonValue& o : rr->items()) {
+      ReplicaRepairRecord r;
+      r.table = GetStr(o, "table");
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.role = GetStr(o, "role");
+      r.source = GetStr(o, "source");
+      r.rows = static_cast<uint64_t>(GetNum(o, "rows"));
+      r.sim_ms = GetNum(o, "sim_ms");
+      t.replica_repairs.push_back(std::move(r));
+    }
+  }
+  if (const JsonValue* sr = root.Find("scrub_reports");
+      sr != nullptr && sr->is_array()) {
+    for (const JsonValue& o : sr->items()) {
+      ScrubReportRecord r;
+      r.table = GetStr(o, "table");
+      r.node = static_cast<int>(GetNum(o, "node"));
+      r.role = GetStr(o, "role");
+      r.finding = GetStr(o, "finding");
+      r.rows_expected = static_cast<uint64_t>(GetNum(o, "rows_expected"));
+      r.repaired = GetBool(o, "repaired");
+      t.scrub_reports.push_back(std::move(r));
     }
   }
 
@@ -644,6 +761,18 @@ std::string QueryTrace::Summary() const {
     for (const DistributionSwitchRecord& r : distribution_switches)
       out += "  " + Render(r) + "\n";
   }
+  if (!node_suspects.empty() || !epoch_fences.empty() ||
+      !replica_repairs.empty() || !scrub_reports.empty()) {
+    out += "replication:\n";
+    for (const NodeSuspectRecord& r : node_suspects)
+      out += "  " + Render(r) + "\n";
+    for (const EpochFenceRecord& r : epoch_fences)
+      out += "  " + Render(r) + "\n";
+    for (const ReplicaRepairRecord& r : replica_repairs)
+      out += "  " + Render(r) + "\n";
+    for (const ScrubReportRecord& r : scrub_reports)
+      out += "  " + Render(r) + "\n";
+  }
   return out;
 }
 
@@ -700,6 +829,10 @@ std::string QueryTrace::CompactSummaryJson() const {
   root.Set("node_losses", JsonValue::MakeNumber(node_losses.size()));
   root.Set("distribution_switches",
            JsonValue::MakeNumber(distribution_switches.size()));
+  root.Set("node_suspects", JsonValue::MakeNumber(node_suspects.size()));
+  root.Set("epoch_fences", JsonValue::MakeNumber(epoch_fences.size()));
+  root.Set("replica_repairs", JsonValue::MakeNumber(replica_repairs.size()));
+  root.Set("scrub_reports", JsonValue::MakeNumber(scrub_reports.size()));
   return root.Serialize();
 }
 
@@ -708,6 +841,7 @@ std::string Render(const Eq2Check& r) {
          ": improved=" + Ms(r.improved) + " est=" + Ms(r.est) +
          " degradation=" + Ms(r.degradation) +
          (r.stats_churn ? " [stats churn]" : "") +
+         (r.integrity_recheck ? " [integrity recheck]" : "") +
          (r.revocation_only
               ? " (suppressed: revocation-only change)"
               : (r.fired ? " (fired)" : " (below theta2)"));
@@ -834,8 +968,39 @@ std::string Render(const NodeLostRecord& r) {
                   std::to_string(r.stage) + ", " + r.reason + "): " +
                   std::to_string(r.survivors) + " survivor(s), " +
                   std::to_string(r.rehomed_rows) + " row(s) re-homed";
+  if (r.promoted_rows > 0 || r.coordinator_rows > 0)
+    s += " (" + std::to_string(r.promoted_rows) + " from replicas, " +
+         std::to_string(r.coordinator_rows) + " from coordinator)";
+  if (r.epoch > 0) s += ", epoch now " + std::to_string(r.epoch);
   if (r.journal_resume) s += ", prior stages validated from journal";
   return s;
+}
+
+std::string Render(const NodeSuspectRecord& r) {
+  return "node " + std::to_string(r.node) + " suspected (stage " +
+         std::to_string(r.stage) + ", " + r.reason + "): " +
+         std::to_string(r.missed_beats) + " missed beat(s), lease " +
+         Ms(r.lease_remaining_ms) + "ms remaining; stage retried";
+}
+
+std::string Render(const EpochFenceRecord& r) {
+  return "epoch fence (stage " + std::to_string(r.stage) + "): node " +
+         std::to_string(r.node) + " sent " + std::to_string(r.fenced_rows) +
+         " row(s) at stale epoch " + std::to_string(r.stale_epoch) +
+         " (cluster at " + std::to_string(r.current_epoch) + "); dropped";
+}
+
+std::string Render(const ReplicaRepairRecord& r) {
+  return "replica repair: " + r.table + " " + r.role + " copy on node " +
+         std::to_string(r.node) + " rebuilt from " + r.source + " (" +
+         std::to_string(r.rows) + " row(s), " + Ms(r.sim_ms) + "ms)";
+}
+
+std::string Render(const ScrubReportRecord& r) {
+  return "scrub: " + r.table + " " + r.role + " copy on node " +
+         std::to_string(r.node) + " " + r.finding + " (" +
+         std::to_string(r.rows_expected) + " row(s) expected)" +
+         (r.repaired ? ", repaired" : ", quarantined");
 }
 
 std::string Render(const DistributionSwitchRecord& r) {

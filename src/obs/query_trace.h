@@ -59,6 +59,12 @@ struct Eq2Check {
   /// factor before the gate was evaluated, so the check can fire on stats
   /// staleness alone even when collector feedback matched the estimates.
   bool stats_churn = false;
+  /// The cluster scrubber reported integrity findings since the previous
+  /// gate evaluation, so every journaled temp snapshot for this query was
+  /// re-verified (tuple count + content checksum) before the remainder was
+  /// allowed to resume from it; mismatching stages were dropped from the
+  /// journal.
+  bool integrity_recheck = false;
 };
 
 /// Eq. (1) optimizer-cost check: fired when t_opt_est <= theta1 * rem_cur.
@@ -318,6 +324,14 @@ struct NodeLostRecord {
   int survivors = 0;         ///< alive nodes after the loss
   uint64_t rehomed_rows = 0; ///< base-partition rows moved to survivors
   bool journal_resume = false;  ///< prior stages validated from the journal
+  /// Rows restored by promoting surviving replicas (local copies — no
+  /// coordinator I/O). With replication_factor >= 2 and any surviving
+  /// replica, coordinator_rows stays 0.
+  uint64_t promoted_rows = 0;
+  /// Rows that had no surviving replica and were re-read from the
+  /// coordinator's durable copy (the k=1 legacy path).
+  uint64_t coordinator_rows = 0;
+  uint64_t epoch = 0;  ///< membership epoch after the loss was fenced
 };
 
 /// The executor changed a join's distribution strategy — at planning time
@@ -330,6 +344,55 @@ struct DistributionSwitchRecord {
   std::string reason;  ///< "build-estimate" | "skew"
   double est_ms = 0;   ///< projected makespan of the rejected strategy
   double new_ms = 0;   ///< projected makespan of the chosen strategy
+};
+
+/// A node's health degraded to suspicion instead of death: an exchange
+/// transfer kept failing past the channel's retry budget, but the
+/// heartbeat lease had not expired, so the stage was retried on the same
+/// membership rather than evacuating the node. Only a lease expiry (or a
+/// node.crash) escalates to NodeLostRecord.
+struct NodeSuspectRecord {
+  int stage = 0;
+  int node = -1;
+  std::string reason;       ///< "net.send" | "net.recv"
+  int missed_beats = 0;     ///< consecutive missed heartbeats so far
+  double lease_remaining_ms = 0;  ///< sim-clock lease left before death
+};
+
+/// A stale send was fenced: a message stamped with a pre-failure membership
+/// epoch reached the exchange after the cluster had moved on (the "zombie"
+/// node of a node.resurrect fault). The buffer was dropped, never merged
+/// into the stage.
+struct EpochFenceRecord {
+  int stage = 0;
+  int node = -1;            ///< the stale sender
+  uint64_t stale_epoch = 0;    ///< epoch stamped on the fenced buffer
+  uint64_t current_epoch = 0;  ///< cluster epoch that rejected it
+  uint64_t fenced_rows = 0;    ///< rows dropped with the buffer
+};
+
+/// One partition copy was rebuilt from a healthy source: replica promotion
+/// after a node loss, k-copy re-establishment afterward, or a scrub repair
+/// of a quarantined copy.
+struct ReplicaRepairRecord {
+  std::string table;
+  int node = -1;        ///< node whose copy was rebuilt
+  std::string role;     ///< "primary" | "replica"
+  std::string source;   ///< "replica" | "primary" | "coordinator"
+  uint64_t rows = 0;
+  double sim_ms = 0;    ///< simulated repair cost charged to the cluster
+};
+
+/// Anti-entropy scrub finding for one partition copy: a kDataLoss read
+/// (bit-rot caught by the page checksum) or a content checksum that
+/// diverged from the coordinator's slice. Clean copies are not recorded.
+struct ScrubReportRecord {
+  std::string table;
+  int node = -1;
+  std::string role;     ///< "primary" | "replica"
+  std::string finding;  ///< "data-loss" | "divergence"
+  uint64_t rows_expected = 0;  ///< rows the directory assigns this copy
+  bool repaired = false;
 };
 
 /// The re-optimization configuration the query ran under.
@@ -371,6 +434,11 @@ class QueryTrace {
   std::vector<StragglerRecord> stragglers;
   std::vector<NodeLostRecord> node_losses;
   std::vector<DistributionSwitchRecord> distribution_switches;
+  // Replication / integrity (PR 10; empty for single-node queries).
+  std::vector<NodeSuspectRecord> node_suspects;
+  std::vector<EpochFenceRecord> epoch_fences;
+  std::vector<ReplicaRepairRecord> replica_repairs;
+  std::vector<ScrubReportRecord> scrub_reports;
 
   OperatorSpan* NewSpan() {
     spans.emplace_back();
@@ -410,6 +478,10 @@ std::string Render(const ShardSkewRecord& r);
 std::string Render(const StragglerRecord& r);
 std::string Render(const NodeLostRecord& r);
 std::string Render(const DistributionSwitchRecord& r);
+std::string Render(const NodeSuspectRecord& r);
+std::string Render(const EpochFenceRecord& r);
+std::string Render(const ReplicaRepairRecord& r);
+std::string Render(const ScrubReportRecord& r);
 std::string Render(const TxnBeginRecord& r);
 std::string Render(const TxnCommitRecord& r);
 std::string Render(const TxnAbortRecord& r);

@@ -500,7 +500,9 @@ struct QuerySession::State {
         mm(o->cost_, o->query_mem_pages_),
         temp_tables(o->catalog_, c->faults()),
         hook_guard(c, &o->live_plan_slot_),
-        journal_guard(o->journal_, &root_sql, c->faults()) {}
+        journal_guard(o->journal_, &root_sql, c->faults()) {
+    if (o->scrub_signal_ != nullptr) scrub_seen = *o->scrub_signal_;
+  }
 
   DynamicReoptimizer* owner;
   QuerySpec spec;
@@ -546,6 +548,9 @@ struct QuerySession::State {
   /// recorded as suppressed instead of firing (see Eq2Check's
   /// revocation_only).
   bool revoked_since_gate = false;
+  /// Scrub-findings counter value last acted on (see SetScrubSignal). An
+  /// advance forces journaled-temp revalidation at the next Eq.(2) gate.
+  uint64_t scrub_seen = 0;
   std::unique_ptr<PipelineExecutor> exec;
 
   Status Start();
@@ -841,10 +846,36 @@ Result<bool> QuerySession::State::Step() {
   const double rem_cur = std::max(
       1e-3, plan->improved.cost_total_ms - work_done);
 
+  // Anti-entropy tie-in: a scrub finding since the last gate evaluation
+  // means durable state somewhere in the cluster was silently wrong. The
+  // journaled temp snapshots are revalidated before any resume decision
+  // may trust them, and the gate record is annotated so traces show the
+  // recheck happened where the decision was made.
+  bool integrity_recheck = false;
+  if (owner->scrub_signal_ != nullptr &&
+      *owner->scrub_signal_ != scrub_seen) {
+    scrub_seen = *owner->scrub_signal_;
+    integrity_recheck = true;
+    Result<int> dropped = RevalidateJournaledStages(
+        owner->journal_, owner->catalog_, faults, root_sql);
+    if (!dropped.ok()) {
+      if (dropped.status().code() == StatusCode::kCrashed)
+        return dropped.status();
+      RecordFailure(faults::kRecoveryLoad, dropped.status(), "continued",
+                    frontier->id, 1);
+      NoteRecovered();
+    } else if (dropped.value() > 0) {
+      ctx->AddEvent("integrity recheck: dropped " +
+                    std::to_string(dropped.value()) +
+                    " journaled stage(s) with stale temp checksums");
+    }
+  }
+
   // Eq. (2): is the current plan likely sub-optimal?
   const double t_est = std::max(1e-9, plan->est.cost_total_ms);
   Eq2Check eq2;
   eq2.stage_node_id = frontier->id;
+  eq2.integrity_recheck = integrity_recheck;
   eq2.improved = plan->improved.cost_total_ms;
   eq2.est = plan->est.cost_total_ms;
   eq2.degradation = (eq2.improved - eq2.est) / t_est;
@@ -1304,6 +1335,47 @@ void QuerySession::OnGrantChanged(double new_total_pages) {
     RefreshImprovedEstimates(s->plan.get(), *s->owner->cost_);
   }
   if (new_total_pages < old_total) s->revoked_since_gate = true;
+}
+
+Result<int> RevalidateJournaledStages(QueryJournal* journal, Catalog* catalog,
+                                      FaultInjector* faults,
+                                      const std::string& root_sql) {
+  if (journal == nullptr || journal->empty()) return 0;
+  ASSIGN_OR_RETURN(std::vector<JournalStage> stages, journal->Load(faults));
+  int dropped = 0;
+  for (const JournalStage& js : stages) {
+    if (!root_sql.empty() && js.root_sql != root_sql) continue;
+    bool intact = true;
+    for (const TempSnapshot& snap : js.temps) {
+      if (!catalog->Exists(snap.name)) {
+        intact = false;
+        break;
+      }
+      Result<TableInfo*> info = catalog->Get(snap.name);
+      if (!info.ok()) {
+        intact = false;
+        break;
+      }
+      HeapFile* heap = info.value()->heap.get();
+      if (heap->tuple_count() != snap.tuple_count) {
+        intact = false;
+        break;
+      }
+      // Recompute from the stored bytes (charged I/O): the incremental
+      // checksum would only restate what Append was told, not what the
+      // media kept.
+      Result<uint64_t> cs = heap->ComputeContentChecksum();
+      if (!cs.ok() || cs.value() != snap.content_checksum) {
+        intact = false;
+        break;
+      }
+    }
+    if (!intact) {
+      journal->MarkComplete(js.root_sql);
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 }  // namespace reoptdb

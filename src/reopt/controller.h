@@ -203,6 +203,13 @@ class DynamicReoptimizer {
     feedback_ = feedback;
   }
 
+  /// Installs the cluster's monotonic scrub-findings counter (see
+  /// shard/scrubber.h). When it advances between gate evaluations the
+  /// controller revalidates this query's journaled temp snapshots before
+  /// any resume decision may trust them, and annotates the Eq.(2) record
+  /// (Eq2Check::integrity_recheck). Null disables the recheck.
+  void SetScrubSignal(const uint64_t* counter) { scrub_signal_ = counter; }
+
  private:
   friend class QuerySession;
 
@@ -215,6 +222,7 @@ class DynamicReoptimizer {
   QueryJournal* journal_ = nullptr;       ///< not owned; may be null
   std::string journal_root_override_;
   CardinalityFeedbackStore* feedback_ = nullptr;  ///< not owned; may be null
+  const uint64_t* scrub_signal_ = nullptr;        ///< not owned; may be null
   /// Shared slot holding the live plan root for the mid-execution hook;
   /// shared_ptr so the hook closure stays valid (and harmless, pointing at
   /// null) even if Execute unwinds early on an error.
@@ -294,6 +302,18 @@ BaseRelOverrides CollectBaseRelOverrides(const PlanNode& root,
 /// catalog statistics otherwise.
 TableStats BuildTempStats(const PlanNode& frontier, const QuerySpec& spec,
                           const Catalog& catalog);
+
+/// Re-verifies every journaled stage's temp snapshots against the live
+/// catalog: each temp table must still exist with the journaled row count
+/// and content checksum (recomputed from the stored bytes — charged I/O).
+/// A stage that fails is removed from the journal (MarkComplete): a resume
+/// must never trust a temp that integrity scrubbing has cast doubt on —
+/// saved work is sacrificed, the answer never is. `root_sql` restricts the
+/// check to one query's records; empty revalidates everything. Returns the
+/// number of stages dropped.
+Result<int> RevalidateJournaledStages(QueryJournal* journal, Catalog* catalog,
+                                      FaultInjector* faults,
+                                      const std::string& root_sql);
 
 ///// Harvests every valid observation in `plan` into the feedback store:
 /// base-table scans become (table, predicate-signature) entries with the

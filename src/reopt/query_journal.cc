@@ -161,6 +161,7 @@ std::string SerializeStage(const JournalStage& stage) {
   root.Set("remainder_sql", JsonValue::MakeString(stage.remainder_sql));
   root.Set("plan_fingerprint", U64(stage.plan_fingerprint));
   root.Set("work_done_ms", JsonValue::MakeNumber(stage.work_done_ms));
+  root.Set("membership_epoch", U64(stage.membership_epoch));
   JsonValue budgets = JsonValue::MakeArray();
   for (const auto& [node, pages] : stage.budgets) {
     JsonValue b = JsonValue::MakeObject();
@@ -185,6 +186,7 @@ Result<JournalStage> ParseStage(const std::string& payload) {
   stage.remainder_sql = GetStr(root, "remainder_sql");
   stage.plan_fingerprint = GetU64(root, "plan_fingerprint");
   stage.work_done_ms = GetNum(root, "work_done_ms");
+  stage.membership_epoch = GetU64(root, "membership_epoch");
   if (stage.root_sql.empty() || stage.remainder_sql.empty() ||
       stage.stage <= 0)
     return Status::ParseError("journal: record missing required fields");

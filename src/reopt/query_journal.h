@@ -57,6 +57,11 @@ struct JournalStage {
   std::string remainder_sql;  ///< the adopted remainder (QuerySpec::ToSql)
   uint64_t plan_fingerprint = 0;  ///< FNV of the adopted plan's ToString
   double work_done_ms = 0;    ///< simulated work already paid at commit
+  /// Cluster membership epoch at commit time (0 = single-node, no cluster).
+  /// A resume under a different epoch means nodes died or slices moved
+  /// since the stage committed; the sharded executor then revalidates the
+  /// temps instead of trusting them blindly.
+  uint64_t membership_epoch = 0;
   std::vector<std::pair<int, double>> budgets;  ///< node id -> mem pages
   std::vector<TempSnapshot> temps;  ///< every temp table the remainder reads
 };

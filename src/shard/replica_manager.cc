@@ -1,0 +1,390 @@
+#include "shard/replica_manager.h"
+
+#include <algorithm>
+
+namespace reoptdb {
+
+namespace {
+
+/// Trailing append-ordinal column of a partition/replica row.
+uint64_t OrdinalOf(const Tuple& row) {
+  return static_cast<uint64_t>(row.at(row.size() - 1).AsInt());
+}
+
+/// Refreshes a partition/replica table's catalog stats from its heap.
+Status RefreshStats(Catalog* catalog, const std::string& table,
+                    TableInfo* info) {
+  TableStats st = info->stats;
+  st.analyzed = true;
+  st.row_count = static_cast<double>(info->heap->tuple_count());
+  st.page_count = static_cast<double>(info->heap->page_count());
+  st.avg_tuple_bytes = info->heap->avg_tuple_bytes();
+  return catalog->SetStats(table, std::move(st));
+}
+
+}  // namespace
+
+ReplicaManager::ReplicaManager(ShardCluster* cluster, int factor)
+    : cluster_(cluster),
+      factor_(std::clamp(factor, 1, cluster->num_nodes())) {}
+
+Status ReplicaManager::PlaceReplicas(const std::string& table) {
+  // Drop any stale replica tables from a previous sharding first, so a
+  // re-shard at a lower factor does not leave orphan copies behind.
+  const std::string rt = ReplicaTableName(table);
+  for (int id = 0; id < cluster_->num_nodes(); ++id) {
+    ShardNode* n = cluster_->node(id);
+    if (n->alive && n->catalog->Exists(rt)) RETURN_IF_ERROR(n->catalog->Drop(rt));
+  }
+  dir_.erase(table);
+  const std::vector<int> alive = cluster_->AliveNodes();
+  const int copies = std::min<int>(factor_, static_cast<int>(alive.size()));
+  auto rit = cluster_->routes_.find(table);
+  if (rit == cluster_->routes_.end())
+    return Status::Internal("replicas before routing: " + table);
+  const std::vector<int>& route = rit->second;
+  if (copies <= 1) return Status::OK();
+
+  // Replica tables share the partition schema (ordinal column included).
+  ASSIGN_OR_RETURN(TableInfo * coord, cluster_->db_->catalog()->Get(table));
+  Schema part_schema = coord->schema;
+  part_schema.AddColumn(Column{ShardCluster::kOrdQualifier,
+                               ShardCluster::OrdColumnName(table),
+                               ValueType::kInt64, 8.0});
+  std::vector<TableInfo*> repl(static_cast<size_t>(cluster_->num_nodes()),
+                               nullptr);
+  for (int id : alive) {
+    ASSIGN_OR_RETURN(TableInfo * pt, cluster_->node(id)->catalog->CreateTable(
+                                         rt, part_schema));
+    repl[static_cast<size_t>(id)] = pt;
+  }
+
+  // Owners of each slice: the next copies-1 alive nodes after the primary
+  // in node-id order. Deterministic, distinct, and spread so that losing
+  // any single node leaves every slice at least one surviving copy.
+  std::vector<std::vector<int>>& dir = dir_[table];
+  dir.assign(route.size(), {});
+  std::vector<size_t> alive_pos(static_cast<size_t>(cluster_->num_nodes()), 0);
+  for (size_t i = 0; i < alive.size(); ++i)
+    alive_pos[static_cast<size_t>(alive[i])] = i;
+
+  // One more pass over the durable copy to write the replicas (charged:
+  // creating redundancy is real I/O, not bookkeeping).
+  HeapFile::Iterator it = coord->heap->Scan();
+  Tuple t;
+  uint64_t ord = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    if (ord >= route.size()) break;
+    const size_t base = alive_pos[static_cast<size_t>(route[ord])];
+    Tuple part_row = t;
+    part_row.Append(Value(static_cast<int64_t>(ord)));
+    for (int c = 1; c < copies; ++c) {
+      const int owner = alive[(base + static_cast<size_t>(c)) % alive.size()];
+      dir[ord].push_back(owner);
+      RETURN_IF_ERROR(
+          repl[static_cast<size_t>(owner)]->heap->Append(part_row).status());
+    }
+    ++ord;
+  }
+  for (int id : alive) {
+    TableInfo* pt = repl[static_cast<size_t>(id)];
+    RETURN_IF_ERROR(pt->heap->Flush());
+    RETURN_IF_ERROR(RefreshStats(cluster_->node(id)->catalog.get(), rt, pt));
+  }
+  return Status::OK();
+}
+
+std::vector<int> ReplicaManager::ReplicasOf(const std::string& table,
+                                            uint64_t ord) const {
+  auto it = dir_.find(table);
+  if (it == dir_.end() || ord >= it->second.size()) return {};
+  return it->second[ord];
+}
+
+std::vector<uint64_t> ReplicaManager::ExpectedOrdinals(
+    const std::string& table, int node, const std::string& role) const {
+  std::vector<uint64_t> out;
+  if (role == "primary") {
+    auto rit = cluster_->routes_.find(table);
+    if (rit == cluster_->routes_.end()) return out;
+    for (uint64_t o = 0; o < rit->second.size(); ++o)
+      if (rit->second[o] == node) out.push_back(o);
+    return out;
+  }
+  auto it = dir_.find(table);
+  if (it == dir_.end()) return out;
+  for (uint64_t o = 0; o < it->second.size(); ++o)
+    for (int owner : it->second[o])
+      if (owner == node) out.push_back(o);
+  return out;
+}
+
+std::vector<std::pair<int, bool>> ReplicaManager::OtherHolders(
+    const std::string& table, uint64_t ord, int skip_node,
+    bool skip_primary) const {
+  std::vector<std::pair<int, bool>> out;
+  auto rit = cluster_->routes_.find(table);
+  if (rit != cluster_->routes_.end() && ord < rit->second.size()) {
+    const int prim = rit->second[ord];
+    if (!(prim == skip_node && skip_primary) &&
+        cluster_->node(prim)->alive)
+      out.emplace_back(prim, true);
+  }
+  for (int owner : ReplicasOf(table, ord)) {
+    if (owner == skip_node && !skip_primary) continue;
+    if (cluster_->node(owner)->alive) out.emplace_back(owner, false);
+  }
+  return out;
+}
+
+Status ReplicaManager::CollectRows(const std::string& table, int node,
+                                   bool from_replica,
+                                   const std::set<uint64_t>& ords,
+                                   std::map<uint64_t, Tuple>* out) const {
+  if (ords.empty()) return Status::OK();
+  const std::string phys = from_replica ? ReplicaTableName(table) : table;
+  ASSIGN_OR_RETURN(TableInfo * info,
+                   cluster_->node(node)->catalog->Get(phys));
+  HeapFile::Iterator it = info->heap->Scan();
+  Tuple t;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    const uint64_t ord = OrdinalOf(t);
+    if (ords.count(ord) != 0) (*out)[ord] = t;
+  }
+  return Status::OK();
+}
+
+Status ReplicaManager::CollectCoordinatorRows(
+    const std::string& table, const std::set<uint64_t>& ords,
+    std::map<uint64_t, Tuple>* out) const {
+  if (ords.empty()) return Status::OK();
+  ASSIGN_OR_RETURN(TableInfo * info, cluster_->db_->catalog()->Get(table));
+  HeapFile::Iterator it = info->heap->Scan();
+  Tuple t;
+  uint64_t ord = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, it.Next(&t));
+    if (!more) break;
+    if (ords.count(ord) != 0) {
+      Tuple part_row = t;
+      part_row.Append(Value(static_cast<int64_t>(ord)));
+      (*out)[ord] = std::move(part_row);
+    }
+    ++ord;
+  }
+  return Status::OK();
+}
+
+Result<ShardCluster::RehomeResult> ReplicaManager::FailoverDeadNode(
+    int dead, std::vector<ReplicaRepairRecord>* repairs) {
+  const std::vector<int> alive = cluster_->AliveNodes();
+  if (alive.empty()) return Status::Internal("no survivors");
+
+  ShardCluster::RehomeResult res;
+  const double t_io = cluster_->db_->cost_model().params().t_io_ms;
+  const DiskStats coord_before = cluster_->db_->disk()->stats();
+  std::vector<DiskStats> node_before;
+  node_before.reserve(cluster_->nodes_.size());
+  for (const auto& n : cluster_->nodes_) node_before.push_back(n->disk->stats());
+
+  // Aggregated repair log: (node, role, source) -> rows, per table.
+  struct RepairKey {
+    int node;
+    std::string role, source;
+    bool operator<(const RepairKey& o) const {
+      return std::tie(node, role, source) < std::tie(o.node, o.role, o.source);
+    }
+  };
+  uint64_t copy_bytes = 0;  // node-to-node re-establishment traffic
+  uint64_t copy_rows = 0;
+
+  for (auto& [table, route] : cluster_->routes_) {
+    std::vector<std::vector<int>>& dir = dir_[table];
+    if (dir.size() < route.size()) dir.resize(route.size());
+
+    // Classify the dead node's slices. `promote[ord]` is the surviving
+    // replica owner taking over as primary; `fallback` holds slices whose
+    // every copy died (coordinator re-read).
+    std::map<uint64_t, int> promote;
+    std::set<uint64_t> fallback;
+    std::set<uint64_t> affected;  // any slice that lost a copy
+    for (uint64_t ord = 0; ord < route.size(); ++ord) {
+      std::vector<int>& owners = dir[ord];
+      const bool was_replica =
+          std::find(owners.begin(), owners.end(), dead) != owners.end();
+      owners.erase(std::remove(owners.begin(), owners.end(), dead),
+                   owners.end());
+      if (route[ord] == dead) {
+        affected.insert(ord);
+        int surv = -1;
+        for (int o : owners)
+          if (cluster_->node(o)->alive) {
+            surv = o;
+            break;
+          }
+        if (surv >= 0) {
+          promote[ord] = surv;
+          owners.erase(std::remove(owners.begin(), owners.end(), surv),
+                       owners.end());
+        } else {
+          fallback.insert(ord);
+        }
+      } else if (was_replica) {
+        affected.insert(ord);
+      }
+    }
+    if (affected.empty()) continue;
+
+    // Decide new replica owners to restore the k-way invariant, and which
+    // healthy copy sources each needed row. Group the reads into one scan
+    // per (node, heap) so the charged I/O stays honest.
+    const int desired = std::min<int>(factor_, static_cast<int>(alive.size()));
+    std::map<uint64_t, std::vector<int>> new_owners;  // ord -> added replicas
+    std::map<std::pair<int, bool>, std::set<uint64_t>> scan_jobs;
+    std::set<uint64_t> coord_job = fallback;
+    for (uint64_t ord : affected) {
+      const int prim = promote.count(ord) != 0 ? promote[ord] : route[ord];
+      std::vector<int>& owners = dir[ord];
+      int have = 1 + static_cast<int>(owners.size());
+      if (fallback.count(ord) != 0) have = 1;  // primary re-read, no replicas
+      for (size_t i = 0; have < desired && i < alive.size(); ++i) {
+        const int cand =
+            alive[(ord + 1 + i) % alive.size()];  // spread, deterministic
+        if (cand == prim) continue;
+        if (std::find(owners.begin(), owners.end(), cand) != owners.end())
+          continue;
+        owners.push_back(cand);
+        new_owners[ord].push_back(cand);
+        ++have;
+      }
+      // Row source: the promoted owner's replica heap covers both the
+      // promotion and any new copies; an intact primary serves new copies
+      // from its partition table; a fully-lost slice reads the coordinator.
+      if (promote.count(ord) != 0) {
+        scan_jobs[{promote[ord], true}].insert(ord);
+      } else if (fallback.count(ord) != 0) {
+        coord_job.insert(ord);
+      } else if (new_owners.count(ord) != 0) {
+        scan_jobs[{route[ord], false}].insert(ord);
+      }
+    }
+
+    std::map<uint64_t, Tuple> rows;
+    for (const auto& [src, ords] : scan_jobs)
+      RETURN_IF_ERROR(CollectRows(table, src.first, src.second, ords, &rows));
+    RETURN_IF_ERROR(CollectCoordinatorRows(table, coord_job, &rows));
+
+    // Apply, in ordinal order (deterministic layout for bit-identical
+    // re-runs): promotions and fallbacks land in partition tables, new
+    // copies in replica heaps.
+    std::map<RepairKey, uint64_t> log;
+    std::set<std::pair<int, bool>> touched;
+    auto heap_of = [&](int node, bool replica) -> Result<TableInfo*> {
+      ShardNode* n = cluster_->node(node);
+      const std::string phys = replica ? ReplicaTableName(table) : table;
+      if (replica && !n->catalog->Exists(phys)) {
+        // A survivor that never held replicas of this table gets one now.
+        ASSIGN_OR_RETURN(TableInfo * base, n->catalog->Get(table));
+        return n->catalog->CreateTable(phys, base->schema);
+      }
+      return n->catalog->Get(phys);
+    };
+    for (uint64_t ord : affected) {
+      auto row = rows.find(ord);
+      if (row == rows.end() && promote.count(ord) == 0) continue;
+      if (promote.count(ord) != 0) {
+        const int target = promote[ord];
+        if (row == rows.end())
+          return Status::DataLoss("replica of " + table + " ordinal " +
+                                  std::to_string(ord) + " missing on node " +
+                                  std::to_string(target));
+        ASSIGN_OR_RETURN(TableInfo * pt, heap_of(target, false));
+        RETURN_IF_ERROR(pt->heap->Append(row->second).status());
+        touched.insert({target, false});
+        route[ord] = target;
+        ++res.promoted_rows;
+        ++log[RepairKey{target, "primary", "replica"}];
+      } else if (fallback.count(ord) != 0) {
+        const int target = alive[ord % alive.size()];
+        ASSIGN_OR_RETURN(TableInfo * pt, heap_of(target, false));
+        RETURN_IF_ERROR(pt->heap->Append(row->second).status());
+        touched.insert({target, false});
+        route[ord] = target;
+        ++res.coordinator_rows;
+        ++log[RepairKey{target, "primary", "coordinator"}];
+      }
+      auto no = new_owners.find(ord);
+      if (no != new_owners.end() && row != rows.end()) {
+        const std::string source =
+            fallback.count(ord) != 0 ? "coordinator" : "primary";
+        for (int owner : no->second) {
+          ASSIGN_OR_RETURN(TableInfo * pt, heap_of(owner, true));
+          RETURN_IF_ERROR(pt->heap->Append(row->second).status());
+          touched.insert({owner, true});
+          ++res.restored_copies;
+          ++log[RepairKey{owner, "replica", source}];
+          if (source == "primary") {
+            copy_bytes += row->second.SerializedSize();
+            ++copy_rows;
+          }
+        }
+      }
+    }
+    for (const auto& [node, replica] : touched) {
+      const std::string phys = replica ? ReplicaTableName(table) : table;
+      ASSIGN_OR_RETURN(TableInfo * pt,
+                       cluster_->node(node)->catalog->Get(phys));
+      RETURN_IF_ERROR(pt->heap->Flush());
+      RETURN_IF_ERROR(
+          RefreshStats(cluster_->node(node)->catalog.get(), phys, pt));
+    }
+    if (repairs != nullptr) {
+      for (const auto& [key, count] : log) {
+        ReplicaRepairRecord r;
+        r.table = table;
+        r.node = key.node;
+        r.role = key.role;
+        r.source = key.source;
+        r.rows = count;
+        repairs->push_back(std::move(r));
+      }
+    }
+  }
+  res.rehomed_rows = res.promoted_rows + res.coordinator_rows;
+
+  // Simulated cost: the coordinator's re-read (zero on the all-replica
+  // path) plus the slowest survivor's local I/O (they work in parallel)
+  // plus the node-to-node traffic for re-established copies.
+  const DiskStats coord_delta = cluster_->db_->disk()->stats() - coord_before;
+  res.sim_ms = static_cast<double>(coord_delta.page_reads) * t_io +
+               coord_delta.retry_penalty_ms;
+  double worst_node = 0;
+  for (const auto& n : cluster_->nodes_) {
+    if (!n->alive) continue;
+    const DiskStats d =
+        n->disk->stats() - node_before[static_cast<size_t>(n->id)];
+    const double ms =
+        (static_cast<double>(d.page_reads + d.page_writes) * t_io +
+         d.retry_penalty_ms) *
+        n->slowdown;
+    worst_node = std::max(worst_node, ms);
+  }
+  res.sim_ms += worst_node;
+  if (copy_rows > 0)
+    res.sim_ms += cluster_->db_->cost_model().NetTransfer(
+        static_cast<double>(copy_bytes),
+        static_cast<double>((copy_rows + ExchangeChannel::kTuplesPerMessage -
+                             1) /
+                            ExchangeChannel::kTuplesPerMessage));
+  if (repairs != nullptr && !repairs->empty()) {
+    const double share = res.sim_ms / static_cast<double>(repairs->size());
+    for (ReplicaRepairRecord& r : *repairs) r.sim_ms = share;
+  }
+  return res;
+}
+
+}  // namespace reoptdb

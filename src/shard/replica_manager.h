@@ -1,0 +1,104 @@
+// K-way replica placement and failover for the simulated cluster
+// (DESIGN.md §16).
+//
+// Every partition slice (one append ordinal of one sharded table) lives on
+// k distinct nodes: the primary copy in the partition table queries scan,
+// plus k-1 replica copies in per-node `__replica_<table>` heaps that the
+// executor never reads. The ReplicaManager owns the replica directory
+// (table -> per-ordinal replica owner lists) and the failover engine behind
+// ShardCluster::RehomeDeadNode:
+//
+//   1. Promote — a slice whose primary died is re-pointed at a surviving
+//      replica owner, which copies the rows from its replica heap into its
+//      partition table. Local I/O only: zero coordinator reads.
+//   2. Fall back — a slice whose every copy died is re-read from the
+//      coordinator heap, the durable copy of last resort (the pre-replica
+//      behavior, now the exception instead of the rule).
+//   3. Re-establish — after promotion the slice is one copy short of k; a
+//      new owner is picked among the survivors and the copy re-created,
+//      charged as node-to-node transfer.
+//
+// At replication_factor 1 the manager is inert (no replica tables, no
+// directory, no extra cost) and failover degenerates to the legacy
+// coordinator re-read — bit-identical to the pre-replication cluster.
+
+#ifndef REOPTDB_SHARD_REPLICA_MANAGER_H_
+#define REOPTDB_SHARD_REPLICA_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/query_trace.h"
+#include "shard/shard_cluster.h"
+
+namespace reoptdb {
+
+/// \brief Replica directory + failover engine (owned by the ShardCluster).
+class ReplicaManager {
+ public:
+  ReplicaManager(ShardCluster* cluster, int factor);
+
+  /// Effective replication factor (clamped to [1, num_nodes]).
+  int factor() const { return factor_; }
+
+  /// Physical per-node table holding `table`'s replica rows.
+  static std::string ReplicaTableName(const std::string& table) {
+    return "__replica_" + table;
+  }
+
+  /// Places k-1 replica copies of every slice of `table`, reading the rows
+  /// from the coordinator heap (charged) and appending them to the chosen
+  /// owners' replica heaps. Owners are the next k-1 alive nodes after the
+  /// primary in node-id order — distinct from the primary and from each
+  /// other. Called by ShardCluster::Shard after primary routing; no-op at
+  /// factor 1. Re-placing (re-shard) replaces the directory and tables.
+  Status PlaceReplicas(const std::string& table);
+
+  /// Replica owners of `ord` (primary excluded); empty at factor 1.
+  std::vector<int> ReplicasOf(const std::string& table, uint64_t ord) const;
+
+  /// Ordinals `node` is expected to hold for `table` in `role`
+  /// ("primary" | "replica") — the scrubber's reference set.
+  std::vector<uint64_t> ExpectedOrdinals(const std::string& table, int node,
+                                         const std::string& role) const;
+
+  /// Failover engine behind ShardCluster::RehomeDeadNode; see the header
+  /// comment. `repairs` (optional) receives one aggregated record per
+  /// rebuilt (node, role, source) for the query trace.
+  Result<ShardCluster::RehomeResult> FailoverDeadNode(
+      int dead, std::vector<ReplicaRepairRecord>* repairs);
+
+  /// Copies of (`table`, `ord`) other than the one on (`skip_node` holding
+  /// it as primary iff `skip_primary`): alive holders first. Each entry is
+  /// (node, is_primary). The scrubber repairs from the first healthy one.
+  std::vector<std::pair<int, bool>> OtherHolders(const std::string& table,
+                                                 uint64_t ord, int skip_node,
+                                                 bool skip_primary) const;
+
+  /// Reads the rows of `table` whose trailing append ordinal is in `ords`
+  /// from `node`'s copy (`from_replica` picks the replica heap) into
+  /// `*out`, charging the node's disk. Rows keep the ordinal column.
+  Status CollectRows(const std::string& table, int node, bool from_replica,
+                     const std::set<uint64_t>& ords,
+                     std::map<uint64_t, Tuple>* out) const;
+
+  /// Same, from the coordinator heap (the rows gain the ordinal column).
+  Status CollectCoordinatorRows(const std::string& table,
+                                const std::set<uint64_t>& ords,
+                                std::map<uint64_t, Tuple>* out) const;
+
+ private:
+  friend class Scrubber;
+
+  ShardCluster* cluster_;
+  int factor_;
+  /// table -> replica owner node ids per append ordinal (primary excluded).
+  std::map<std::string, std::vector<std::vector<int>>> dir_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_SHARD_REPLICA_MANAGER_H_

@@ -1,0 +1,227 @@
+#include "shard/scrubber.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "shard/replica_manager.h"
+
+namespace reoptdb {
+
+namespace {
+
+/// Trailing append-ordinal column of a partition/replica row.
+uint64_t OrdinalOf(const Tuple& row) {
+  return static_cast<uint64_t>(row.at(row.size() - 1).AsInt());
+}
+
+}  // namespace
+
+Result<ScrubSummary> Scrubber::ScrubAll() {
+  std::vector<std::string> tables;
+  for (const auto& [table, route] : cluster_->routes_) {
+    (void)route;
+    tables.push_back(table);
+  }
+  return RunPass(tables);
+}
+
+Result<ScrubSummary> Scrubber::ScrubTable(const std::string& table) {
+  return RunPass({table});
+}
+
+Result<ScrubSummary> Scrubber::RunPass(
+    const std::vector<std::string>& tables) {
+  ScrubSummary sum;
+  const double t_io = cluster_->db_->cost_model().params().t_io_ms;
+  const DiskStats coord_before = cluster_->db_->disk()->stats();
+  std::vector<DiskStats> node_before;
+  node_before.reserve(cluster_->nodes_.size());
+  for (const auto& n : cluster_->nodes_)
+    node_before.push_back(n->disk->stats());
+
+  for (const std::string& table : tables)
+    RETURN_IF_ERROR(ScrubTableInto(table, &sum));
+
+  const DiskStats coord_delta = cluster_->db_->disk()->stats() - coord_before;
+  sum.sim_ms = static_cast<double>(coord_delta.page_reads) * t_io +
+               coord_delta.retry_penalty_ms;
+  double worst_node = 0;
+  for (const auto& n : cluster_->nodes_) {
+    if (!n->alive) continue;
+    const DiskStats d =
+        n->disk->stats() - node_before[static_cast<size_t>(n->id)];
+    const double ms =
+        (static_cast<double>(d.page_reads + d.page_writes) * t_io +
+         d.retry_penalty_ms) *
+        n->slowdown;
+    worst_node = std::max(worst_node, ms);
+  }
+  sum.sim_ms += worst_node;
+  if (!sum.repairs.empty()) {
+    const double share = sum.sim_ms / static_cast<double>(sum.repairs.size());
+    for (ReplicaRepairRecord& r : sum.repairs) r.sim_ms = share;
+  }
+  if (sum.findings > 0) cluster_->NoteScrubFindings(sum.findings);
+  return sum;
+}
+
+Status Scrubber::ScrubTableInto(const std::string& table, ScrubSummary* sum) {
+  auto rit = cluster_->routes_.find(table);
+  if (rit == cluster_->routes_.end())
+    return Status::InvalidArgument("not a sharded table: " + table);
+  ReplicaManager* rm = cluster_->replicas_.get();
+
+  // Reference content hashes from the coordinator's durable copy: one
+  // combined hash per row over the base columns (the ordinal column is the
+  // executor's bookkeeping, not data, and coordinator rows don't carry it).
+  ASSIGN_OR_RETURN(TableInfo * coord, cluster_->db_->catalog()->Get(table));
+  std::vector<size_t> base_cols(coord->schema.NumColumns());
+  for (size_t i = 0; i < base_cols.size(); ++i) base_cols[i] = i;
+  std::vector<uint64_t> ref;
+  ref.reserve(rit->second.size());
+  {
+    HeapFile::Iterator it = coord->heap->Scan();
+    Tuple t;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, it.Next(&t));
+      if (!more) break;
+      ref.push_back(t.HashOn(base_cols));
+    }
+  }
+
+  for (int id = 0; id < cluster_->num_nodes(); ++id) {
+    ShardNode* node = cluster_->node(id);
+    if (!node->alive) continue;
+    for (const char* role : {"primary", "replica"}) {
+      const std::vector<uint64_t> expected =
+          rm->ExpectedOrdinals(table, id, role);
+      if (expected.empty()) continue;
+      const bool is_replica = role[0] == 'r';
+      const std::string phys =
+          is_replica ? ReplicaManager::ReplicaTableName(table) : table;
+      if (!node->catalog->Exists(phys)) continue;
+      ASSIGN_OR_RETURN(TableInfo * info, node->catalog->Get(phys));
+      ++sum->copies_checked;
+
+      // Pass 1 — physical scan. A kDataLoss is the media telling us the
+      // copy rotted; any other error is a real failure and propagates.
+      std::string finding;
+      std::map<uint64_t, uint64_t> have;
+      {
+        HeapFile::Iterator it = info->heap->Scan();
+        Tuple t;
+        while (true) {
+          Result<bool> more = it.Next(&t);
+          if (!more.ok()) {
+            if (more.status().code() != StatusCode::kDataLoss)
+              return more.status();
+            finding = "data-loss";
+            break;
+          }
+          if (!more.value()) break;
+          have[OrdinalOf(t)] = t.HashOn(base_cols);
+        }
+      }
+
+      // Pass 2 — content comparison against the coordinator (chained over
+      // the owned ordinal set; stale leftover rows are ignored).
+      if (finding.empty()) {
+        for (uint64_t ord : expected) {
+          auto hit = have.find(ord);
+          if (hit == have.end() || ord >= ref.size() ||
+              hit->second != ref[ord]) {
+            finding = "divergence";
+            break;
+          }
+        }
+      }
+      if (finding.empty()) continue;
+
+      ++sum->findings;
+      ScrubReportRecord report;
+      report.table = table;
+      report.node = id;
+      report.role = role;
+      report.finding = finding;
+      report.rows_expected = static_cast<uint64_t>(expected.size());
+
+      // Quarantine + rebuild: gather every owned slice from the first
+      // healthy other holder (grouped into one scan per source heap); a
+      // source that turns out to be rotten itself falls back to the
+      // coordinator, as does a slice with no surviving copy.
+      std::map<std::pair<int, bool>, std::set<uint64_t>> jobs;
+      std::set<uint64_t> coord_job;
+      for (uint64_t ord : expected) {
+        const auto holders = rm->OtherHolders(table, ord, id, !is_replica);
+        if (holders.empty())
+          coord_job.insert(ord);
+        else
+          jobs[{holders[0].first, !holders[0].second}].insert(ord);
+      }
+      std::map<uint64_t, Tuple> rows;
+      std::map<std::string, uint64_t> by_source;
+      for (const auto& [src, ords] : jobs) {
+        std::map<uint64_t, Tuple> got;
+        Status st = rm->CollectRows(table, src.first, src.second, ords, &got);
+        if (st.code() == StatusCode::kDataLoss) {
+          coord_job.insert(ords.begin(), ords.end());
+          continue;
+        }
+        RETURN_IF_ERROR(st);
+        // Trust but verify: a repair sourced from a copy that is itself
+        // divergent would just clone the damage.
+        for (uint64_t ord : ords) {
+          auto hit = got.find(ord);
+          if (hit == got.end() || ord >= ref.size() ||
+              hit->second.HashOn(base_cols) != ref[ord]) {
+            coord_job.insert(ord);
+            continue;
+          }
+          rows[ord] = std::move(hit->second);
+          ++by_source[src.second ? "replica" : "primary"];
+        }
+      }
+      RETURN_IF_ERROR(rm->CollectCoordinatorRows(table, coord_job, &rows));
+      if (!coord_job.empty()) {
+        by_source["coordinator"] += static_cast<uint64_t>(coord_job.size());
+        sum->coordinator_rows += static_cast<uint64_t>(coord_job.size());
+      }
+
+      Schema schema = info->schema;
+      RETURN_IF_ERROR(node->catalog->Drop(phys));
+      ASSIGN_OR_RETURN(TableInfo * fresh,
+                       node->catalog->CreateTable(phys, schema));
+      for (uint64_t ord : expected) {
+        auto row = rows.find(ord);
+        if (row == rows.end())
+          return Status::DataLoss("scrub: no copy of " + table + " ordinal " +
+                                  std::to_string(ord) + " survives");
+        RETURN_IF_ERROR(fresh->heap->Append(row->second).status());
+      }
+      RETURN_IF_ERROR(fresh->heap->Flush());
+      TableStats st = coord->stats;
+      st.analyzed = true;
+      st.row_count = static_cast<double>(fresh->heap->tuple_count());
+      st.page_count = static_cast<double>(fresh->heap->page_count());
+      st.avg_tuple_bytes = fresh->heap->avg_tuple_bytes();
+      RETURN_IF_ERROR(node->catalog->SetStats(phys, std::move(st)));
+
+      ++sum->repaired;
+      report.repaired = true;
+      sum->reports.push_back(std::move(report));
+      for (const auto& [source, count] : by_source) {
+        ReplicaRepairRecord r;
+        r.table = table;
+        r.node = id;
+        r.role = role;
+        r.source = source;
+        r.rows = count;
+        sum->repairs.push_back(std::move(r));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace reoptdb

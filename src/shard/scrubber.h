@@ -1,0 +1,87 @@
+// Anti-entropy scrubber: background integrity pass over every copy of
+// every sharded table (DESIGN.md §16).
+//
+// Silent corruption is the failure RAID-style redundancy cannot see: the
+// device acks the write, the bytes rot, and nothing notices until a query
+// reads garbage. The scrubber closes that window by walking each
+// (table, node, role) copy — the primary partition heap and each
+// `__replica_<table>` heap — and checking it two ways:
+//
+//   data-loss   — the physical scan itself fails its page checksum
+//                 (DiskManager reports kDataLoss after one confirming
+//                 re-read): bit-rot on the node's media.
+//   divergence  — the pages read fine but the copy's content checksum
+//                 (chained per-row hash over the base columns, in append-
+//                 ordinal order) disagrees with the coordinator's durable
+//                 copy, or an expected slice is missing entirely: a lost or
+//                 misdirected write.
+//
+// A flagged copy is quarantined (dropped wholesale — a copy that lied once
+// is not worth per-page salvage at simulation scale) and rebuilt from the
+// first healthy holder of each slice: another replica or the primary where
+// one survives, the coordinator heap as last resort. Repair I/O is charged
+// to the simulated clocks like any other work. Every finding bumps the
+// cluster's scrub-findings counter, which the reoptimizer watches to force
+// journal revalidation before trusting materialized temps (Eq.2 site).
+//
+// Stale rows whose ordinal a copy no longer owns (left behind by replica
+// promotion) are ignored, not flagged: ownership lives in the directory,
+// and the checksums are computed over the owned ordinal set only.
+
+#ifndef REOPTDB_SHARD_SCRUBBER_H_
+#define REOPTDB_SHARD_SCRUBBER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/query_trace.h"
+#include "shard/shard_cluster.h"
+
+namespace reoptdb {
+
+/// Outcome of one scrub pass.
+struct ScrubSummary {
+  /// (table, node, role) copies whose checksums were verified.
+  uint64_t copies_checked = 0;
+  /// Copies flagged (data-loss or divergence).
+  uint64_t findings = 0;
+  /// Flagged copies successfully rebuilt.
+  uint64_t repaired = 0;
+  /// Rows the repair had to re-read from the coordinator because no
+  /// healthy node-local copy survived.
+  uint64_t coordinator_rows = 0;
+  /// Simulated cost of the pass (verification scans + repair I/O; nodes
+  /// scrub in parallel, so node time is the max, not the sum). The caller
+  /// decides where to charge it (cluster makespan, between-stage budget).
+  double sim_ms = 0;
+  /// One record per finding / per rebuilt copy, for the query trace.
+  std::vector<ScrubReportRecord> reports;
+  std::vector<ReplicaRepairRecord> repairs;
+};
+
+/// \brief Cross-replica integrity checker and repair engine.
+class Scrubber {
+ public:
+  explicit Scrubber(ShardCluster* cluster) : cluster_(cluster) {}
+
+  /// Scrubs every sharded table. Findings bump the cluster's
+  /// scrub-findings counter (ShardCluster::scrub_findings).
+  Result<ScrubSummary> ScrubAll();
+
+  /// Scrubs one table (same contract as ScrubAll).
+  Result<ScrubSummary> ScrubTable(const std::string& table);
+
+ private:
+  /// Checks and repairs every copy of `table`, accumulating into `*sum`
+  /// (cost accounting is the caller's).
+  Status ScrubTableInto(const std::string& table, ScrubSummary* sum);
+
+  /// Wraps ScrubTableInto calls with cost capture + findings accounting.
+  Result<ScrubSummary> RunPass(const std::vector<std::string>& tables);
+
+  ShardCluster* cluster_;
+};
+
+}  // namespace reoptdb
+
+#endif  // REOPTDB_SHARD_SCRUBBER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "shard/replica_manager.h"
+
 namespace reoptdb {
 
 namespace {
@@ -56,7 +58,14 @@ ShardCluster::ShardCluster(ShardOptions opts) : opts_(std::move(opts)) {
     node->catalog = std::make_unique<Catalog>(node->pool.get());
     nodes_.push_back(std::move(node));
   }
+  replicas_ = std::make_unique<ReplicaManager>(this, opts_.replication_factor);
+  // Integrity ratchet: a scrub finding anywhere in the cluster forces the
+  // coordinator's reoptimizer to revalidate journaled temps before trusting
+  // them for a resume (reopt/controller.h).
+  db_->SetScrubSignal(&scrub_findings_);
 }
+
+ShardCluster::~ShardCluster() = default;
 
 std::vector<int> ShardCluster::AliveNodes() const {
   std::vector<int> out;
@@ -144,96 +153,59 @@ Status ShardCluster::Shard(const std::string& table, TablePartitioning p) {
     st.avg_tuple_bytes = pt->heap->avg_tuple_bytes();
     RETURN_IF_ERROR(node->catalog->SetStats(table, std::move(st)));
   }
+  RETURN_IF_ERROR(replicas_->PlaceReplicas(table));
   return db_->catalog()->SetPartitioning(table, std::move(p));
+}
+
+ShardCluster::BeatVerdict ShardCluster::ReportMissedBeat(int id) {
+  ShardNode* n = nodes_[static_cast<size_t>(id)].get();
+  if (n->health == NodeHealth::kAlive) {
+    n->health = NodeHealth::kSuspect;
+    n->missed_beats = 0;
+    n->lease_expiry_ms = cluster_ms_ + opts_.lease_ms;
+  }
+  ++n->missed_beats;
+  if (n->missed_beats >= opts_.max_missed_beats ||
+      cluster_ms_ >= n->lease_expiry_ms)
+    return BeatVerdict::kDead;
+  return BeatVerdict::kSuspect;
+}
+
+void ShardCluster::ClearSuspicion(int id) {
+  ShardNode* n = nodes_[static_cast<size_t>(id)].get();
+  if (n->health == NodeHealth::kSuspect) {
+    n->health = NodeHealth::kAlive;
+    n->missed_beats = 0;
+    n->lease_expiry_ms = 0;
+  }
 }
 
 Status ShardCluster::MarkDead(int id) {
   if (id < 0 || id >= num_nodes())
     return Status::InvalidArgument("no such node");
-  nodes_[static_cast<size_t>(id)]->alive = false;
+  ShardNode* n = nodes_[static_cast<size_t>(id)].get();
+  n->alive = false;
+  n->health = NodeHealth::kDead;
+  // Freeze the epoch the node last observed, then advance the membership
+  // epoch: any send the node attempts after this point carries a stale
+  // stamp and is fenced at the exchange channel.
+  n->epoch_seen = epoch_;
+  ++epoch_;
+  last_dead_ = id;
   return Status::OK();
 }
 
-Result<ShardCluster::RehomeResult> ShardCluster::RehomeDeadNode(int dead) {
+Result<ShardCluster::RehomeResult> ShardCluster::RehomeDeadNode(
+    int dead, std::vector<ReplicaRepairRecord>* repairs) {
   if (dead < 0 || dead >= num_nodes())
     return Status::InvalidArgument("no such node");
   if (nodes_[static_cast<size_t>(dead)]->alive)
     return Status::InvalidArgument("node is alive");
-  const std::vector<int> alive = AliveNodes();
-  if (alive.empty()) return Status::Internal("no survivors");
-
-  RehomeResult res;
-  const double t_io = db_->cost_model().params().t_io_ms;
-  const DiskStats coord_before = db_->disk()->stats();
-  std::vector<DiskStats> node_before;
-  node_before.reserve(nodes_.size());
-  for (const auto& n : nodes_) node_before.push_back(n->disk->stats());
-
-  for (auto& [table, route] : routes_) {
-    ASSIGN_OR_RETURN(TableInfo * info, db_->catalog()->Get(table));
-    // Survivors' partition tables must exist (they do unless the table was
-    // sharded after this node died, in which case Shard already skipped it).
-    bool any = false;
-    for (int owner : route)
-      if (owner == dead) {
-        any = true;
-        break;
-      }
-    if (!any) continue;
-    std::vector<TableInfo*> part(nodes_.size(), nullptr);
-    for (int id : alive) {
-      ASSIGN_OR_RETURN(TableInfo * pt,
-                       nodes_[static_cast<size_t>(id)]->catalog->Get(table));
-      part[static_cast<size_t>(id)] = pt;
-    }
-    // Re-read the durable coordinator copy, pick out the dead node's slice.
-    HeapFile::Iterator it = info->heap->Scan();
-    Tuple t;
-    uint64_t ord = 0;
-    while (true) {
-      ASSIGN_OR_RETURN(bool more, it.Next(&t));
-      if (!more) break;
-      if (ord < route.size() && route[ord] == dead) {
-        const int target = alive[ord % alive.size()];
-        route[ord] = target;
-        Tuple part_row = t;
-        part_row.Append(Value(static_cast<int64_t>(ord)));
-        RETURN_IF_ERROR(
-            part[static_cast<size_t>(target)]->heap->Append(part_row)
-                .status());
-        ++res.rehomed_rows;
-      }
-      ++ord;
-    }
-    for (int id : alive) {
-      TableInfo* pt = part[static_cast<size_t>(id)];
-      RETURN_IF_ERROR(pt->heap->Flush());
-      TableStats st = pt->stats;
-      st.row_count = static_cast<double>(pt->heap->tuple_count());
-      st.page_count = static_cast<double>(pt->heap->page_count());
-      st.avg_tuple_bytes = pt->heap->avg_tuple_bytes();
-      RETURN_IF_ERROR(
-          nodes_[static_cast<size_t>(id)]->catalog->SetStats(table,
-                                                             std::move(st)));
-    }
-  }
-
-  // Simulated cost: the coordinator's re-read plus the slowest survivor's
-  // appends (they write in parallel).
-  const DiskStats coord_delta = db_->disk()->stats() - coord_before;
-  res.sim_ms = static_cast<double>(coord_delta.page_reads) * t_io +
-               coord_delta.retry_penalty_ms;
-  double worst_node = 0;
-  for (const auto& n : nodes_) {
-    if (!n->alive) continue;
-    const DiskStats d = n->disk->stats() - node_before[static_cast<size_t>(n->id)];
-    const double ms =
-        (static_cast<double>(d.page_reads + d.page_writes) * t_io +
-         d.retry_penalty_ms) *
-        n->slowdown;
-    worst_node = std::max(worst_node, ms);
-  }
-  res.sim_ms += worst_node;
+  ASSIGN_OR_RETURN(RehomeResult res,
+                   replicas_->FailoverDeadNode(dead, repairs));
+  // Failover is itself a membership change (routes moved, copies added):
+  // bump the epoch so in-flight work from before the move is fenced.
+  ++epoch_;
   return res;
 }
 

@@ -1,4 +1,4 @@
-// Simulated shared-nothing cluster (DESIGN.md §15).
+// Simulated shared-nothing cluster (DESIGN.md §15, §16).
 //
 // The cluster wraps one coordinator Database — which keeps the full copy of
 // every base table and stays the bit-identical single-node oracle — plus N
@@ -8,11 +8,26 @@
 // per-row global ordinal column that the sharded executor later uses to
 // reassemble single-node tuple order exactly.
 //
-// The coordinator's heap is treated as the durable, replicated copy of the
-// data (think: a distributed file system); a node's partition is a cache of
-// its slice. Losing a node therefore never loses rows — RehomeDeadNode
-// re-reads the dead node's slice from the coordinator heap and re-appends
-// it to the survivors, charging the simulated I/O honestly.
+// Redundancy has two tiers. The coordinator's heap is the durable copy of
+// last resort (think: a distributed file system). On top of it,
+// `replication_factor` k > 1 keeps every partition slice on k distinct
+// nodes: the primary copy in the partition table queries scan, plus k-1
+// replica copies in per-node `__replica_<table>` tables that queries never
+// touch. Losing a node then costs only local I/O on the survivors — a
+// surviving replica is promoted to primary and the k-way invariant is
+// re-established — with the coordinator re-read reserved for slices whose
+// every copy died (see shard/replica_manager.h).
+//
+// Membership changes are fenced by a cluster-wide epoch: every MarkDead and
+// every failover bumps it, the executor stamps it into exchange buffers and
+// journal records, and a resurrected "zombie" node still sending at its
+// death-time epoch is dropped at the channel (exec/exchange_op.h).
+//
+// Node death is decided by a heartbeat state machine, not by the first
+// failed transfer: a missed beat moves a node to kSuspect and starts a
+// sim-clock lease; the node returns to kAlive on the next successful stage,
+// or to kDead when the lease expires or max_missed_beats accumulate. Only
+// an injected node.crash kills instantly.
 
 #ifndef REOPTDB_SHARD_SHARD_CLUSTER_H_
 #define REOPTDB_SHARD_SHARD_CLUSTER_H_
@@ -28,6 +43,8 @@
 
 namespace reoptdb {
 
+class ReplicaManager;
+
 /// Cluster configuration.
 struct ShardOptions {
   int num_nodes = 4;
@@ -35,6 +52,17 @@ struct ShardOptions {
   size_t node_pool_pages = 512;
   /// Memory budget (pages) a node grants each fragment's hash join.
   double node_mem_pages = 128;
+  /// Copies of every partition slice kept on distinct nodes: the primary
+  /// the executor scans plus k-1 replicas (clamped to [1, num_nodes]).
+  /// 1 = the legacy layout where the coordinator is the only redundancy.
+  int replication_factor = 1;
+  /// Simulated cost of one heartbeat round (charged per missed beat).
+  double heartbeat_ms = 5.0;
+  /// Missed beats after which a suspect node is declared dead.
+  int max_missed_beats = 3;
+  /// Suspicion lease: a node still suspect this many sim-ms after its
+  /// first missed beat is declared dead even under max_missed_beats.
+  double lease_ms = 200.0;
   /// Skew / straggler thresholds (see shard/skew_detector.h).
   SkewThresholds skew;
   /// Mid-query defenses on (distribution switches, straggler re-weighting).
@@ -49,10 +77,24 @@ struct ShardOptions {
   DatabaseOptions coordinator;
 };
 
+/// Heartbeat health of a node (DESIGN.md §16).
+enum class NodeHealth { kAlive, kSuspect, kDead };
+
 /// One simulated worker node.
 struct ShardNode {
   int id = 0;
+  /// False iff health == kDead (kept alongside health because most callers
+  /// only care about membership, not the suspicion ladder).
   bool alive = true;
+  NodeHealth health = NodeHealth::kAlive;
+  /// Consecutive missed heartbeats while suspect (reset on recovery).
+  int missed_beats = 0;
+  /// Sim-clock deadline of the current suspicion lease (valid iff suspect).
+  double lease_expiry_ms = 0;
+  /// Membership epoch the node last observed. Frozen at death — a zombie
+  /// resurrected later still stamps this stale epoch on its sends, which is
+  /// exactly what the exchange fence rejects.
+  uint64_t epoch_seen = 1;
   /// Routing weight for hash repartitioning (lowered for stragglers).
   double weight = 1.0;
   double slowdown = 1.0;
@@ -67,6 +109,7 @@ struct ShardNode {
 class ShardCluster {
  public:
   explicit ShardCluster(ShardOptions opts = ShardOptions{});
+  ~ShardCluster();
 
   Database* db() { return db_.get(); }
   const ShardOptions& options() const { return opts_; }
@@ -79,6 +122,9 @@ class ShardCluster {
   /// The coordinator's injector, shared by every node's disk and the
   /// exchange channels — one schedule drives the whole cluster.
   FaultInjector* faults() { return db_->faults(); }
+  /// Replica directory and failover engine (never null; inert at k = 1).
+  ReplicaManager* replicas() { return replicas_.get(); }
+  const ReplicaManager* replicas() const { return replicas_.get(); }
 
   /// Qualifier/name of the ordinal column appended to partition tables.
   static constexpr char kOrdQualifier[] = "__shard";
@@ -88,9 +134,9 @@ class ShardCluster {
 
   /// Partitions a loaded coordinator table across all nodes: creates the
   /// per-node partition tables (same name, schema + trailing ordinal
-  /// column), routes every coordinator row by `p`, and records the
-  /// partitioning in the coordinator catalog. Re-sharding an already
-  /// sharded table replaces its partitions.
+  /// column), routes every coordinator row by `p`, places k-1 replica
+  /// copies per slice, and records the partitioning in the coordinator
+  /// catalog. Re-sharding an already sharded table replaces its partitions.
   Status Shard(const std::string& table, TablePartitioning p);
   Status ShardByHash(const std::string& table, const std::string& column) {
     TablePartitioning p;
@@ -100,24 +146,65 @@ class ShardCluster {
     return Shard(table, std::move(p));
   }
 
+  // --- Membership epoch (fencing token).
+
+  /// Current membership epoch; starts at 1 and bumps on every MarkDead and
+  /// every completed failover. Stamped into exchange buffers and journal
+  /// stage records; 0 is reserved for "fencing disabled".
+  uint64_t epoch() const { return epoch_; }
+
+  // --- Heartbeat / suspicion (sim clock).
+
+  /// Outcome of a missed heartbeat.
+  enum class BeatVerdict { kSuspect, kDead };
+
+  /// Registers a missed heartbeat against `id`: the first miss moves the
+  /// node to kSuspect and starts the lease; the verdict flips to kDead when
+  /// max_missed_beats accumulate or the lease expires on the cluster sim
+  /// clock. The caller owns the consequences (retry vs MarkDead) and is
+  /// expected to charge heartbeat_ms to the cluster per miss.
+  BeatVerdict ReportMissedBeat(int id);
+
+  /// A suspect node answered (its stage attempt succeeded): back to kAlive.
+  void ClearSuspicion(int id);
+
   // --- Node failure.
 
-  /// Marks a node dead. Its partitions stay on its (lost) disk; call
-  /// RehomeDeadNode to rebuild them on the survivors.
+  /// Declares a node dead: drops it from membership, freezes the epoch it
+  /// last saw (for zombie fencing), and bumps the membership epoch. Its
+  /// partitions stay on its (lost) disk; call RehomeDeadNode to rebuild
+  /// them on the survivors.
   Status MarkDead(int id);
 
+  /// Most recently declared-dead node (-1 if none died yet). The zombie
+  /// resurrection fault point replays this node's stale sends.
+  int last_dead() const { return last_dead_; }
+
   struct RehomeResult {
+    /// Total rows restored onto survivors (promoted + coordinator).
     uint64_t rehomed_rows = 0;
-    /// Simulated cost: coordinator re-read + the survivors' appends
-    /// (max over nodes, since they write in parallel).
+    /// Rows recovered by promoting a surviving replica (local node I/O).
+    uint64_t promoted_rows = 0;
+    /// Rows whose every copy died and had to be re-read from the
+    /// coordinator heap, the durable copy of last resort.
+    uint64_t coordinator_rows = 0;
+    /// Replica row-copies re-created to restore the k-way invariant
+    /// (one count per row appended to a new replica holder).
+    uint64_t restored_copies = 0;
+    /// Simulated cost: coordinator re-read (if any) + the slowest
+    /// survivor's local I/O + the copy traffic (nodes work in parallel).
     double sim_ms = 0;
   };
 
-  /// Re-appends every row the dead node held (re-read from the coordinator
-  /// heap, the durable copy) onto the surviving nodes' partition tables,
-  /// round-robin by ordinal. Updates the routing directory so subsequent
-  /// queries and stage re-runs see the new layout.
-  Result<RehomeResult> RehomeDeadNode(int dead);
+  /// Rebuilds every slice the dead node held. With replicas a surviving
+  /// copy is promoted in place (zero coordinator reads for that slice);
+  /// only slices with no surviving copy fall back to the coordinator
+  /// re-read. Afterwards the k-way replica invariant is re-established and
+  /// the routing directory updated so subsequent queries and stage re-runs
+  /// see the new layout. `repairs` (optional) receives one record per
+  /// rebuilt copy for the query trace.
+  Result<RehomeResult> RehomeDeadNode(
+      int dead, std::vector<struct ReplicaRepairRecord>* repairs = nullptr);
 
   /// Node currently holding append ordinal `ord` of `table` (-1 unknown).
   int RouteOf(const std::string& table, uint64_t ord) const;
@@ -127,18 +214,33 @@ class ShardCluster {
   void AddClusterMs(double ms) { cluster_ms_ += ms; }
   double cluster_ms() const { return cluster_ms_; }
 
+  // --- Anti-entropy scrub generation.
+
+  /// Total corrupt/divergent copies the scrubber has found (monotonic).
+  /// The reoptimizer watches this counter (Database::SetScrubSignal): a
+  /// bump between stages forces journaled-temp revalidation before any
+  /// resume decision trusts the journal.
+  uint64_t scrub_findings() const { return scrub_findings_; }
+  void NoteScrubFindings(uint64_t n) { scrub_findings_ += n; }
+
   /// Pages still allocated across every *alive* disk plus the coordinator
   /// (leak check; a dead node's disk is lost hardware and not counted).
   size_t LivePagesAliveNodes() const;
 
  private:
   friend class ShardedExecutor;
+  friend class ReplicaManager;
+  friend class Scrubber;
 
   ShardOptions opts_;
   std::unique_ptr<Database> db_;
   std::vector<std::unique_ptr<ShardNode>> nodes_;
+  std::unique_ptr<ReplicaManager> replicas_;
   /// Partition directory: table -> owning node id per append ordinal.
   std::map<std::string, std::vector<int>> routes_;
+  uint64_t epoch_ = 1;
+  int last_dead_ = -1;
+  uint64_t scrub_findings_ = 0;
   double cluster_ms_ = 0;
 };
 

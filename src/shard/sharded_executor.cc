@@ -16,6 +16,7 @@
 #include "parser/parser.h"
 #include "reopt/controller.h"
 #include "reopt/query_journal.h"
+#include "shard/scrubber.h"
 
 namespace reoptdb {
 
@@ -95,6 +96,7 @@ struct Run {
                   &c->db()->cost_model()) {
     coord_ctx.SetFaultInjector(db->faults());
     coord_ctx.SetBatchSize(q.batch_size);
+    scrub_seen = c->scrub_findings();
   }
 
   ShardCluster* cluster;
@@ -124,6 +126,10 @@ struct Run {
   std::string fail_reason;
   /// Alias-qualified schema of the temp MaterializeStage just wrote.
   Schema pending_logical_;
+  /// Cluster scrub generation when the run started; an advance means the
+  /// scrubber found (and repaired) corruption while this query was in
+  /// flight, so journaled temps are revalidated before being trusted.
+  uint64_t scrub_seen = 0;
 
   // ---------------------------------------------------------------------
 
@@ -139,6 +145,49 @@ struct Run {
     Status st = db->faults()->Check(faults::kNodeCrash);
     if (st.ok()) return st;
     return NodeFail(node_id, "node.crash", st);
+  }
+
+  /// node.resurrect injection point: the most recently evacuated node
+  /// comes back as a zombie that still believes it is a member, and
+  /// replays the sends it thinks it owes the stage — one buffer of its
+  /// (stale) probe partition to every surviving peer. Its endpoint is
+  /// registered with the epoch it last saw before dying, so the channel
+  /// fences every buffer: the stale data never merges into the stage, the
+  /// zombie pays no modeled cost, and each drop is recorded as a typed
+  /// EpochFenceRecord.
+  Status ReplayZombie(int stage_no, const std::vector<int>& alive,
+                      const std::string& probe_table,
+                      ExchangeChannel* channel) {
+    if (cluster->last_dead() < 0) return Status::OK();
+    Status rz = db->faults()->Check(faults::kNodeResurrect);
+    if (rz.ok()) return rz;  // point unarmed or trigger not hit
+    if (rz.code() == StatusCode::kCrashed) return rz;
+    const int z = cluster->last_dead();
+    ShardNode* zn = cluster->node(z);
+    if (zn == nullptr || zn->alive) return Status::OK();
+    channel->AddEndpoint(z, nullptr, &zn->net, zn->epoch_seen);
+    std::vector<Tuple> stale;
+    if (zn->catalog->Exists(probe_table)) {
+      Result<TableInfo*> zi = zn->catalog->Get(probe_table);
+      if (zi.ok()) {
+        HeapFile::Iterator it = zi.value()->heap->Scan();
+        Tuple t;
+        while (true) {
+          Result<bool> more = it.Next(&t);
+          if (!more.ok() || !more.value()) break;
+          stale.push_back(t);
+        }
+      }
+    }
+    if (stale.empty()) stale.emplace_back();  // at minimum a stale ping
+    // Fenced sends report OK to the zombie; a non-OK here is structural
+    // (unknown endpoint), not a link fault, and aborts the stage.
+    for (int r : alive) RETURN_IF_ERROR(channel->Send(z, r, stale));
+    for (const ExchangeChannel::Fence& f : channel->TakeFences()) {
+      Record(EpochFenceRecord{stage_no, f.from, f.stale_epoch,
+                              cluster->epoch(), f.rows});
+    }
+    return Status::OK();
   }
 
   /// Fragment scan schema: the node partition table re-qualified with the
@@ -247,6 +296,22 @@ struct Run {
     coord_ctx.AddEvent(Render(r));
     ++out.distribution_switches;
   }
+  void Record(NodeSuspectRecord r) {
+    coord_ctx.trace()->node_suspects.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(EpochFenceRecord r) {
+    coord_ctx.trace()->epoch_fences.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(ReplicaRepairRecord r) {
+    coord_ctx.trace()->replica_repairs.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
+  void Record(ScrubReportRecord r) {
+    coord_ctx.trace()->scrub_reports.push_back(r);
+    coord_ctx.AddEvent(Render(r));
+  }
 
   // --- One stage attempt. ------------------------------------------------
 
@@ -298,8 +363,10 @@ struct Run {
       a->ctxs[static_cast<size_t>(id)] = std::move(ctx);
     }
     channel.AddEndpoint(kCoordEndpoint, &coord_ctx, &coord_net);
+    channel.SetEpoch(cluster->epoch());
 
     for (int id : alive) RETURN_IF_ERROR(CheckNodeCrash(id));
+    RETURN_IF_ERROR(ReplayZombie(stage_no, alive, probe_scan->table, &channel));
 
     // --- Local scans (build side first for stage 0, then probe).
     std::vector<std::vector<Tuple>> build_src(
@@ -479,6 +546,10 @@ struct Run {
                                             "broadcast", "skew", repart_ms,
                                             bcast_ms});
             broadcast = true;
+            // The window between the switch decision and the re-exchange is
+            // a distinct kill point: a node that dies here has already
+            // received (and discarded) repartitioned build data.
+            RETURN_IF_ERROR(CheckNodeCrash(skew->node));
             for (auto& b : build_buf) b.clear();
             RETURN_IF_ERROR(ExchangeBuild(js, /*broadcast=*/true, alive,
                                           slots, build_keys, build_src,
@@ -753,6 +824,7 @@ struct Run {
     jstage.remainder_sql = remainder.ToSql();
     jstage.plan_fingerprint = FingerprintPlanText(plan->ToString());
     jstage.work_done_ms = cluster->cluster_ms();
+    jstage.membership_epoch = cluster->epoch();
     TempSnapshot snap;
     snap.name = ti->name;
     snap.schema = ti->schema;
@@ -822,6 +894,15 @@ struct Run {
     t.distribution_switches.insert(t.distribution_switches.end(),
                                    mine.distribution_switches.begin(),
                                    mine.distribution_switches.end());
+    t.node_suspects.insert(t.node_suspects.end(), mine.node_suspects.begin(),
+                           mine.node_suspects.end());
+    t.epoch_fences.insert(t.epoch_fences.end(), mine.epoch_fences.begin(),
+                          mine.epoch_fences.end());
+    t.replica_repairs.insert(t.replica_repairs.end(),
+                             mine.replica_repairs.begin(),
+                             mine.replica_repairs.end());
+    t.scrub_reports.insert(t.scrub_reports.end(), mine.scrub_reports.begin(),
+                           mine.scrub_reports.end());
     out.result.report.events.insert(out.result.report.events.end(),
                                     coord_ctx.events().begin(),
                                     coord_ctx.events().end());
@@ -925,6 +1006,9 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
     while (true) {
       Result<std::string> r = run.TryStage(js);
       if (r.ok()) {
+        // The stage's completion is this round's heartbeat: every node
+        // that participated is demonstrably reachable again.
+        for (int id : cluster_->AliveNodes()) cluster_->ClearSuspicion(id);
         new_temp = std::move(r).value();
         break;
       }
@@ -937,16 +1021,45 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
         run.Cleanup(false);
         return st;
       }
-      // Node loss: kill it, re-home its partitions from the coordinator's
-      // durable copy, validate completed stages from the journal, and
-      // re-run the stage on the survivors.
       const int victim = run.victim;
+      const int guard_limit =
+          cluster_->num_nodes() * (cluster_->options().max_missed_beats + 1) +
+          2;
+      // A link fault is a suspicion, not a death sentence: the node's
+      // heartbeat state degrades and the stage retries on the same
+      // membership. Only accumulated misses or an expired lease escalate
+      // to the evacuation below; a node.crash still kills outright.
+      const bool net_fault =
+          run.fail_reason == "net.send" || run.fail_reason == "net.recv";
+      if (net_fault && cluster_->node(victim)->alive) {
+        const ShardCluster::BeatVerdict verdict =
+            cluster_->ReportMissedBeat(victim);
+        const double beat_ms = cluster_->options().heartbeat_ms;
+        cluster_->AddClusterMs(beat_ms);
+        run.out.cluster_ms += beat_ms;
+        const ShardNode* sn = cluster_->node(victim);
+        run.Record(NodeSuspectRecord{
+            static_cast<int>(js) + 1, victim, run.fail_reason,
+            sn->missed_beats,
+            std::max(0.0, sn->lease_expiry_ms - cluster_->cluster_ms())});
+        if (verdict == ShardCluster::BeatVerdict::kSuspect) {
+          if (++guard > guard_limit) {
+            run.Cleanup(false);
+            return st;
+          }
+          continue;
+        }
+      }
+      // Node loss: kill it, restore its slices — from surviving replicas
+      // when the placement has them (local copies, zero coordinator I/O),
+      // from the coordinator's durable copy otherwise — validate completed
+      // stages from the journal, and re-run the stage on the survivors.
       RETURN_IF_ERROR(cluster_->MarkDead(victim));
-      uint64_t rehomed = 0;
+      uint64_t rehomed = 0, promoted = 0, coord_rows = 0;
+      std::vector<ReplicaRepairRecord> repairs;
       if (!cluster_->AliveNodes().empty()) {
-        // Survivors exist: rebuild the dead node's partitions on them.
         Result<ShardCluster::RehomeResult> rehome =
-            cluster_->RehomeDeadNode(victim);
+            cluster_->RehomeDeadNode(victim, &repairs);
         if (!rehome.ok()) {
           run.Cleanup(false);
           return rehome.status();
@@ -954,21 +1067,32 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
         cluster_->AddClusterMs(rehome->sim_ms);
         run.out.cluster_ms += rehome->sim_ms;
         rehomed = rehome->rehomed_rows;
+        promoted = rehome->promoted_rows;
+        coord_rows = rehome->coordinator_rows;
       }
       const bool jresume = !run.prev_temp.empty() && run.ValidateJournal();
-      run.Record(NodeLostRecord{static_cast<int>(js) + 1, victim,
-                                run.fail_reason,
-                                static_cast<int>(cluster_->AliveNodes().size()),
-                                rehomed, jresume});
+      NodeLostRecord lost;
+      lost.stage = static_cast<int>(js) + 1;
+      lost.node = victim;
+      lost.reason = run.fail_reason;
+      lost.survivors = static_cast<int>(cluster_->AliveNodes().size());
+      lost.rehomed_rows = rehomed;
+      lost.journal_resume = jresume;
+      lost.promoted_rows = promoted;
+      lost.coordinator_rows = coord_rows;
+      lost.epoch = cluster_->epoch();
+      run.Record(lost);
+      for (const ReplicaRepairRecord& rr : repairs) run.Record(rr);
       if (cluster_->AliveNodes().empty()) {
-        // No survivors: the coordinator finishes the query alone, from the
-        // last journaled temp when one exists.
+        // No survivors: the coordinator finishes the query alone — from
+        // the last journaled temp only when the journal just revalidated
+        // it; an unvalidated temp is sacrificed for a clean re-run.
         run.out.coordinator_fallback = true;
         ReoptOptions off = db->options().reopt;
         off.mode = ReoptMode::kOff;
         off.batch_size = q.batch_size == 0 ? 1 : q.batch_size;
         Result<QueryResult> qr = Status::Internal("unreachable");
-        if (run.prev_temp.empty()) {
+        if (!jresume) {
           qr = db->ExecuteWith(sql, off);
         } else {
           ASSIGN_OR_RETURN(
@@ -987,7 +1111,7 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
         run.Cleanup(false);
         return std::move(run.out);
       }
-      if (++guard > cluster_->num_nodes() + 2) {
+      if (++guard > guard_limit) {
         run.Cleanup(false);
         return st;
       }
@@ -1000,6 +1124,26 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
     for (size_t k = 0; k <= js && k + 1 < run.scans.size(); ++k)
       run.covered.insert(run.alias_rel[run.scans[k + 1]->alias]);
     ++run.out.stages_run;
+
+    // Optional anti-entropy pass at the stage boundary: silent corruption
+    // is caught (and repaired) before the next stage reads the partitions.
+    if (q.scrub_between_stages) {
+      Scrubber scrub(cluster_);
+      Result<ScrubSummary> ssum = scrub.ScrubAll();
+      if (!ssum.ok()) {
+        if (ssum.status().code() == StatusCode::kCrashed) {
+          run.Cleanup(/*crashed=*/true);
+          return ssum.status();
+        }
+        run.coord_ctx.AddEvent("scrub failed (continued): " +
+                               ssum.status().message());
+      } else {
+        cluster_->AddClusterMs(ssum->sim_ms);
+        run.out.cluster_ms += ssum->sim_ms;
+        for (const ScrubReportRecord& rr : ssum->reports) run.Record(rr);
+        for (const ReplicaRepairRecord& rr : ssum->repairs) run.Record(rr);
+      }
+    }
   }
 
   // Remainder (aggregation / sort / projection) on the coordinator, over
@@ -1010,9 +1154,30 @@ Result<ShardExecResult> ShardedExecutor::Execute(const std::string& sql,
     ReoptOptions off = db->options().reopt;
     off.mode = ReoptMode::kOff;
     off.batch_size = q.batch_size == 0 ? 1 : q.batch_size;
-    ASSIGN_OR_RETURN(QuerySpec remainder,
-                     BuildRemainderSpec(run.spec, run.covered, run.prev_temp));
-    Result<QueryResult> qr = db->ExecuteWith(remainder.ToSql(), off);
+    // Integrity ratchet: if the scrub generation advanced while this query
+    // was in flight, the journaled temp is revalidated (row count +
+    // content checksum) before the remainder trusts it; a failure
+    // sacrifices the saved work for a clean single-node re-run, never the
+    // answer.
+    bool trust_temp = true;
+    if (cluster_->scrub_findings() != run.scrub_seen) {
+      run.scrub_seen = cluster_->scrub_findings();
+      trust_temp = run.ValidateJournal();
+      run.coord_ctx.AddEvent(
+          trust_temp ? "scrub advanced: final temp revalidated"
+                     : "scrub advanced: final temp failed revalidation, "
+                       "re-running from scratch");
+    }
+    Result<QueryResult> qr = Status::Internal("unreachable");
+    if (trust_temp) {
+      ASSIGN_OR_RETURN(
+          QuerySpec remainder,
+          BuildRemainderSpec(run.spec, run.covered, run.prev_temp));
+      qr = db->ExecuteWith(remainder.ToSql(), off);
+    } else {
+      run.out.coordinator_fallback = true;
+      qr = db->ExecuteWith(sql, off);
+    }
     if (!qr.ok()) {
       run.Cleanup(qr.status().code() == StatusCode::kCrashed);
       return qr.status();

@@ -41,6 +41,11 @@ struct ShardQueryOptions {
   /// Pin the distribution strategy for every stage (tests/ablations).
   enum class Force : uint8_t { kAuto, kBroadcast, kRepartition };
   Force force = Force::kAuto;
+  /// Run an anti-entropy scrub pass (shard/scrubber.h) after every
+  /// committed stage. Findings are repaired in place, recorded in the
+  /// trace, and bump the cluster's scrub generation — which makes the
+  /// remainder revalidate journaled temps before trusting them.
+  bool scrub_between_stages = false;
 };
 
 /// Outcome of one distributed execution.

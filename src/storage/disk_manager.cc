@@ -54,9 +54,11 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
   if (it == pages_.end())
     return Status::IoError("read of unknown page " + std::to_string(id));
   // Verify the recorded checksum before handing bytes to the caller. A
-  // mismatch is treated like any transient device error — bounded
-  // retry/backoff — so on-media corruption (persistent by nature here)
-  // exhausts the retries and surfaces as kIoError, never as a wrong answer.
+  // mismatch gets exactly one confirming re-read: a transient transfer
+  // glitch would heal, on-media corruption would not. A confirmed mismatch
+  // is kDataLoss — burning the full transient-error retry budget on it
+  // would only delay the caller's repair-or-fail decision, and counting it
+  // as io_retries would disguise rot as a flaky device.
   auto verify = [&]() -> Status {
     auto cs = checksums_.find(id);
     if (cs != checksums_.end() && PageChecksum(*it->second) != cs->second)
@@ -65,25 +67,38 @@ Status DiskManager::ReadPage(PageId id, Page* out) {
     return Status::OK();
   };
   Status st = verify();
-  for (int attempt = 1; !st.ok() && attempt <= kMaxIoRetries; ++attempt) {
-    ++stats_.io_retries;
-    stats_.retry_penalty_ms += kRetryBackoffBaseMs * (1 << (attempt - 1));
+  if (!st.ok()) {
+    ++stats_.io_retries;  // the single confirming re-read
+    stats_.retry_penalty_ms += kRetryBackoffBaseMs;
     st = verify();
+    if (!st.ok()) {
+      ++stats_.data_loss_reads;
+      return Status::DataLoss("persistent checksum mismatch reading page " +
+                              std::to_string(id));
+    }
   }
-  RETURN_IF_ERROR(st);
   *out = *it->second;
   ++stats_.page_reads;
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
-  RETURN_IF_ERROR(CheckFault(faults::kStorageWrite));
+  Status fault = CheckFault(faults::kStorageWrite);
+  // A corrupt:-action fault is not a write failure: the device acks the
+  // write and then rots the stored bytes (checksum left stale). Any other
+  // non-OK status surfaces as usual.
+  const bool rot = fault.code() == StatusCode::kDataLoss;
+  if (!rot) RETURN_IF_ERROR(fault);
   auto it = pages_.find(id);
   if (it == pages_.end())
     return Status::IoError("write of unknown page " + std::to_string(id));
   *it->second = page;
   checksums_[id] = PageChecksum(page);
   ++stats_.page_writes;
+  if (rot) {
+    for (size_t i = 0; i < 16; ++i) it->second->data[i] ^= 0x5a;
+    ++stats_.pages_corrupted;
+  }
   return Status::OK();
 }
 
@@ -92,6 +107,7 @@ Status DiskManager::CorruptPageForTesting(PageId id) {
   if (it == pages_.end())
     return Status::IoError("corrupt of unknown page " + std::to_string(id));
   for (size_t i = 0; i < 16; ++i) it->second->data[i] ^= 0x5a;
+  ++stats_.pages_corrupted;
   return Status::OK();
 }
 

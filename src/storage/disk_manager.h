@@ -31,6 +31,13 @@ struct DiskStats {
   /// Simulated milliseconds spent in retry backoff; folded into the query
   /// clock by ExecContext::SimElapsedMs.
   double retry_penalty_ms = 0;
+  /// Reads that failed their checksum and whose single confirming re-read
+  /// failed too: surfaced as kDataLoss, never retried further. Distinct
+  /// from io_retries so bit-rot is not mistaken for a flaky device.
+  uint64_t data_loss_reads = 0;
+  /// Writes silently corrupted by an armed corrupt: fault (ground truth
+  /// for scrub-detection tests; the writer itself was told "OK").
+  uint64_t pages_corrupted = 0;
 
   DiskStats operator-(const DiskStats& o) const {
     return DiskStats{page_reads - o.page_reads,
@@ -38,7 +45,9 @@ struct DiskStats {
                      pages_allocated - o.pages_allocated,
                      pages_freed - o.pages_freed,
                      io_retries - o.io_retries,
-                     retry_penalty_ms - o.retry_penalty_ms};
+                     retry_penalty_ms - o.retry_penalty_ms,
+                     data_loss_reads - o.data_loss_reads,
+                     pages_corrupted - o.pages_corrupted};
   }
 
   DiskStats operator+(const DiskStats& o) const {
@@ -47,7 +56,9 @@ struct DiskStats {
                      pages_allocated + o.pages_allocated,
                      pages_freed + o.pages_freed,
                      io_retries + o.io_retries,
-                     retry_penalty_ms + o.retry_penalty_ms};
+                     retry_penalty_ms + o.retry_penalty_ms,
+                     data_loss_reads + o.data_loss_reads,
+                     pages_corrupted + o.pages_corrupted};
   }
 };
 
@@ -68,11 +79,16 @@ class DiskManager {
   Status FreePage(PageId id);
 
   /// Copies the page contents into `*out`, charging one read. The page's
-  /// stored checksum is verified first; a mismatch is retried like a
-  /// transient device error and, if persistent, surfaces as kIoError.
+  /// stored checksum is verified first; a mismatch gets exactly one
+  /// confirming re-read (a torn buffer would heal, on-media rot would not)
+  /// and then surfaces as kDataLoss — retry cannot fix bit-rot, so the
+  /// transient-error backoff budget is not burned on it.
   Status ReadPage(PageId id, Page* out);
 
-  /// Copies `page` to the simulated disk, charging one write.
+  /// Copies `page` to the simulated disk, charging one write. If a
+  /// corrupt:-action fault fires at storage.write, the write succeeds and
+  /// then stored bytes are flipped without updating the recorded checksum —
+  /// silent bit-rot, reported as OK to the writer.
   Status WritePage(PageId id, const Page& page);
 
   const DiskStats& stats() const { return stats_; }
@@ -92,8 +108,9 @@ class DiskManager {
   static constexpr double kRetryBackoffBaseMs = 1.0;
 
   /// Flips bytes of the stored page without updating its recorded checksum,
-  /// modeling on-media corruption. The next ReadPage exhausts its retries
-  /// and fails with kIoError. Test-only.
+  /// modeling on-media corruption. The next ReadPage confirms the damage
+  /// with one re-read and fails with kDataLoss. Test-only (the corrupt:
+  /// fault action drives the same flip through WritePage).
   Status CorruptPageForTesting(PageId id);
 
  private:

@@ -21,6 +21,7 @@
 #include "parser/binder.h"
 #include "parser/parser.h"
 #include "shard/sharded_executor.h"
+#include "storage/disk_manager.h"
 #include "test_util.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/queries.h"
@@ -108,7 +109,7 @@ TEST(FaultInjectorTest, ConfigureGrammar) {
   // pressure points (memory.revoke, exec.spill), the transaction layer
   // (wal.append, wal.fsync, lock.acquire, txn.commit), and the cluster
   // points (net.send, net.recv, node.crash).
-  EXPECT_EQ(FaultInjector::KnownPoints().size(), 19u);
+  EXPECT_EQ(FaultInjector::KnownPoints().size(), 20u);
 
   // The crash: prefix parses on any trigger and shows up in Describe().
   FaultInjector crash;
@@ -783,6 +784,119 @@ TEST(Cancellation, TokenUnwindsWithHookAndTempCleanup) {
   // The unwind defused the mid-execution hook and left no temp tables.
   EXPECT_FALSE(ctx.has_collector_hook());
   ExpectNoTempTables(&db);
+}
+
+// ---------------------------------------------------------------------------
+// corrupt: action — silent bit-rot injection (DESIGN.md §16). The device
+// acks the write, the bytes rot, and the damage surfaces only on the next
+// read as a typed kDataLoss after exactly one confirming re-read.
+
+TEST(CorruptAction, SilentRotOnWriteSurfacesAsSingleDataLossRead) {
+  FaultInjector fi;
+  DiskManager dm;
+  dm.set_fault_injector(&fi);
+  const PageId id = dm.AllocatePage();
+  Page p;
+  p.Zero();
+  std::memcpy(p.data, "payload", 7);
+  REOPTDB_ASSERT_OK(fi.Configure("storage.write=corrupt:nth:1"));
+  // The rotting write itself reports success — that is the "silent" part.
+  REOPTDB_ASSERT_OK(dm.WritePage(id, p));
+  EXPECT_EQ(dm.stats().pages_corrupted, 1u);
+  EXPECT_EQ(fi.StatsFor(faults::kStorageWrite).fires, 1u);
+
+  const DiskStats before = dm.stats();
+  Page out;
+  Status st = dm.ReadPage(id, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  const DiskStats d = dm.stats() - before;
+  // Exactly one confirming re-read, then kDataLoss: bit-rot must not burn
+  // the full transient-error retry budget (kMaxIoRetries) on damage a
+  // retry can never fix, and must be counted as rot, not device flakiness.
+  EXPECT_EQ(d.data_loss_reads, 1u);
+  EXPECT_EQ(d.io_retries, 1u);
+  EXPECT_EQ(d.retry_penalty_ms, DiskManager::kRetryBackoffBaseMs);
+  EXPECT_EQ(d.page_reads, 0u);  // no payload was delivered
+
+  // Other pages are unaffected; the injector only rotted write #1.
+  const PageId ok_id = dm.AllocatePage();
+  REOPTDB_ASSERT_OK(dm.WritePage(ok_id, p));
+  REOPTDB_ASSERT_OK(dm.ReadPage(ok_id, &out));
+  EXPECT_EQ(std::memcmp(out.data, p.data, kPageSize), 0);
+}
+
+TEST(CorruptAction, InjectedReadCorruptionSkipsTransientRetries) {
+  // At a point with no silent interpretation (storage.read), a corrupt:
+  // firing surfaces directly as kDataLoss — and because the retry loop only
+  // absorbs kIoError, no backoff is charged for it.
+  FaultInjector fi;
+  DiskManager dm;
+  dm.set_fault_injector(&fi);
+  const PageId id = dm.AllocatePage();
+  Page p;
+  p.Zero();
+  REOPTDB_ASSERT_OK(dm.WritePage(id, p));
+  REOPTDB_ASSERT_OK(fi.Configure("storage.read=corrupt:nth:1"));
+  Page out;
+  Status st = dm.ReadPage(id, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  EXPECT_EQ(dm.stats().io_retries, 0u);
+  EXPECT_EQ(dm.stats().retry_penalty_ms, 0.0);
+  EXPECT_EQ(dm.stats().pages_corrupted, 0u);  // stored bytes were never touched
+  fi.Reset();
+  REOPTDB_ASSERT_OK(dm.ReadPage(id, &out));  // the page itself is fine
+}
+
+TEST(CorruptAction, FireScheduleIsDeterministicAcrossRuns) {
+  // Two injectors armed with the same corrupt: spec must rot the same call
+  // ordinals — byte-identical chaos runs regardless of wall clock.
+  auto schedule = [](const std::string& spec) {
+    FaultInjector fi;
+    EXPECT_TRUE(fi.Configure(spec).ok()) << spec;
+    for (int i = 0; i < 200; ++i) {
+      const Status st = fi.Check(faults::kStorageWrite);
+      EXPECT_TRUE(st.ok() || st.code() == StatusCode::kDataLoss) << spec;
+    }
+    return fi.FireLog(faults::kStorageWrite);
+  };
+  for (const char* spec :
+       {"storage.write=corrupt:nth:7", "storage.write=corrupt:every",
+        "storage.write=corrupt:prob:0.25@11"}) {
+    const std::vector<uint64_t> a = schedule(spec);
+    const std::vector<uint64_t> b = schedule(spec);
+    EXPECT_EQ(a, b) << spec;
+    EXPECT_FALSE(a.empty()) << spec;
+  }
+  EXPECT_EQ(schedule("storage.write=corrupt:nth:7"),
+            (std::vector<uint64_t>{7}));
+}
+
+TEST(CorruptAction, RotLandsOnTheSamePageRegardlessOfLoadOrderNoise) {
+  // Loading identical data twice with the same corrupt: schedule rots the
+  // same physical pages: the damage itself is reproducible, not just the
+  // fire count. (Cluster-level batch-mode equivalence under rot is covered
+  // by shard_test's NodeFailure.BitRotOnPrimaryPartitionEvacuatesNode.)
+  auto corrupted = [] {
+    Database db;
+    Schema s(std::vector<Column>{{"", "a", ValueType::kInt64, 8},
+                                 {"", "b", ValueType::kString, 32}});
+    EXPECT_TRUE(db.CreateTable("t", s).ok());
+    EXPECT_TRUE(
+        db.faults()->Configure("storage.write=corrupt:prob:0.5@31").ok());
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_TRUE(db.Insert("t", Tuple({Value(int64_t{i}),
+                                        Value("row" + std::to_string(i))}))
+                      .ok());
+    }
+    auto log = db.faults()->FireLog(faults::kStorageWrite);
+    db.faults()->Reset();
+    return std::make_pair(db.disk()->stats().pages_corrupted, log);
+  };
+  const auto a = corrupted();
+  const auto b = corrupted();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first, 0u);
 }
 
 TEST(Cancellation, DeadlineFiresInsideOperatorNextLoop) {

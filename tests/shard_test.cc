@@ -21,6 +21,10 @@
 #include "gtest/gtest.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "reopt/controller.h"
+#include "reopt/query_journal.h"
+#include "shard/replica_manager.h"
+#include "shard/scrubber.h"
 #include "shard/sharded_executor.h"
 #include "shard/skew_detector.h"
 #include "test_util.h"
@@ -648,6 +652,568 @@ TEST(ShardAccounting, MakespanAndNetworkChargesAreVisible) {
   uint64_t bytes = 0;
   for (int id : cluster->AliveNodes()) bytes += cluster->node(id)->net.bytes_sent;
   EXPECT_GT(bytes, 0u) << "a distributed join moved no bytes?";
+}
+
+// ---------------------------------------------------------------------------
+// Replication & failover (DESIGN.md §16): every partition slice on k
+// distinct nodes; losing any single node promotes surviving replicas with
+// zero coordinator re-reads.
+
+std::unique_ptr<ShardCluster> MakeReplicatedCluster(int nodes, int factor,
+                                                    int nemp = 120,
+                                                    int ndept = 8) {
+  ShardOptions so;
+  so.num_nodes = nodes;
+  so.replication_factor = factor;
+  auto cluster = std::make_unique<ShardCluster>(so);
+  LoadEmpDept(cluster->db(), nemp, ndept);
+  EXPECT_TRUE(cluster->ShardByHash("emp", "emp_id").ok());
+  EXPECT_TRUE(cluster->ShardByHash("dept", "dept_id").ok());
+  return cluster;
+}
+
+TEST(Replication, PlacementIsKWayDistinctAndQueryInvisible) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 3, 80, 8);
+  for (const char* table : {"emp", "dept"}) {
+    const uint64_t nrows = table[0] == 'e' ? 80u : 8u;
+    for (uint64_t ord = 0; ord < nrows; ++ord) {
+      const int primary = cluster->RouteOf(table, ord);
+      const std::vector<int> reps = cluster->replicas()->ReplicasOf(table, ord);
+      ASSERT_EQ(reps.size(), 2u) << table << " ord " << ord;
+      EXPECT_NE(reps[0], reps[1]);
+      for (int r : reps) EXPECT_NE(r, primary) << table << " ord " << ord;
+    }
+  }
+  // Replicas are query-invisible: the distributed answer is still the
+  // oracle's, and no query-visible table with the replica prefix exists on
+  // the coordinator.
+  ShardedExecutor exec(cluster.get());
+  for (const char* sql : kJoinQueries) {
+    Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    Result<ShardExecResult> r = exec.Execute(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().coordinator_fallback);
+    EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows)) << sql;
+  }
+  EXPECT_FALSE(cluster->db()->catalog()->Exists("__replica_emp"));
+
+  // At factor 1 the manager is inert: no replica heaps anywhere.
+  std::unique_ptr<ShardCluster> k1 = MakeEmpDeptCluster(3);
+  for (int id = 0; id < 3; ++id)
+    EXPECT_FALSE(k1->node(id)->catalog->Exists("__replica_emp"));
+}
+
+TEST(Replication, FailoverPromotesReplicasWithZeroCoordinatorReads) {
+  const char* sql = kJoinQueries[1];
+  for (int victim = 0; victim < 4; ++victim) {
+    std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+    ShardedExecutor exec(cluster.get());
+    Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+    ASSERT_TRUE(oracle.ok());
+    uint64_t dead_primary_rows = 0;
+    for (uint64_t ord = 0; ord < 120; ++ord)
+      if (cluster->RouteOf("emp", ord) == victim) ++dead_primary_rows;
+    for (uint64_t ord = 0; ord < 8; ++ord)
+      if (cluster->RouteOf("dept", ord) == victim) ++dead_primary_rows;
+
+    const uint64_t epoch_before = cluster->epoch();
+    const DiskStats coord_before = cluster->db()->disk()->stats();
+    REOPTDB_ASSERT_OK(cluster->MarkDead(victim));
+    std::vector<ReplicaRepairRecord> repairs;
+    Result<ShardCluster::RehomeResult> r =
+        cluster->RehomeDeadNode(victim, &repairs);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const DiskStats coord_delta = cluster->db()->disk()->stats() - coord_before;
+
+    // The acceptance bar: with k=2 and one dead node, every lost primary
+    // slice has a surviving replica, so failover is node-local I/O only.
+    EXPECT_EQ(coord_delta.page_reads, 0u)
+        << "victim " << victim << ": failover re-read the coordinator";
+    EXPECT_EQ(r.value().promoted_rows, dead_primary_rows) << "victim " << victim;
+    EXPECT_EQ(r.value().coordinator_rows, 0u);
+    EXPECT_GT(r.value().restored_copies, 0u);  // k-way invariant re-established
+    EXPECT_GT(r.value().sim_ms, 0.0);
+    EXPECT_FALSE(repairs.empty());
+    EXPECT_GT(cluster->epoch(), epoch_before);  // membership change is fenced
+    for (uint64_t ord = 0; ord < 120; ++ord)
+      EXPECT_NE(cluster->RouteOf("emp", ord), victim);
+
+    Result<ShardExecResult> res = exec.Execute(sql);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res.value().nodes_lost, 0);
+    EXPECT_EQ(Canon(res.value().result.rows), Canon(oracle.value().rows))
+        << "victim " << victim;
+  }
+}
+
+TEST(Replication, CrashMidQueryPromotesFromReplicas) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[1];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+
+  REOPTDB_ASSERT_OK(cluster->faults()->Configure("node.crash=nth:1"));
+  Result<ShardExecResult> r = exec.Execute(sql);
+  cluster->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().nodes_lost, 1);
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+  const QueryTrace& trace = r.value().result.report.trace;
+  ASSERT_EQ(trace.node_losses.size(), 1u);
+  EXPECT_GT(trace.node_losses[0].promoted_rows, 0u);
+  EXPECT_EQ(trace.node_losses[0].coordinator_rows, 0u);
+  EXPECT_GE(trace.node_losses[0].epoch, 2u);
+  EXPECT_FALSE(trace.replica_repairs.empty());
+
+  Result<ShardExecResult> again = exec.Execute(sql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Canon(again.value().result.rows), Canon(oracle.value().rows));
+}
+
+TEST(Replication, LosingEveryCopyFallsBackToCoordinator) {
+  // With 3 nodes at k=2, node 0's primaries replicate to node 1 (the next
+  // alive node in id order). Killing both before failover runs leaves those
+  // slices with no surviving copy: the coordinator's durable heap is the
+  // documented last resort.
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(3, 2, 90, 9);
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[0];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+
+  REOPTDB_ASSERT_OK(cluster->MarkDead(0));
+  REOPTDB_ASSERT_OK(cluster->MarkDead(1));
+  Result<ShardCluster::RehomeResult> r0 = cluster->RehomeDeadNode(0);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_EQ(r0.value().promoted_rows, 0u);
+  EXPECT_GT(r0.value().coordinator_rows, 0u);
+  Result<ShardCluster::RehomeResult> r1 = cluster->RehomeDeadNode(1);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  Result<ShardExecResult> r = exec.Execute(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat state machine: transient trouble earns suspicion and a lease,
+// not instant evacuation; persistent trouble still escalates to death.
+
+TEST(Heartbeat, SuspicionLadderAndLeaseExpiry) {
+  ShardOptions so;
+  so.num_nodes = 2;
+  ShardCluster cluster(so);
+
+  // First miss: suspect, still a member.
+  EXPECT_EQ(cluster.ReportMissedBeat(0), ShardCluster::BeatVerdict::kSuspect);
+  EXPECT_EQ(cluster.node(0)->health, NodeHealth::kSuspect);
+  EXPECT_EQ(cluster.node(0)->missed_beats, 1);
+  EXPECT_TRUE(cluster.node(0)->alive);
+
+  // A successful stage clears the suspicion entirely.
+  cluster.ClearSuspicion(0);
+  EXPECT_EQ(cluster.node(0)->health, NodeHealth::kAlive);
+  EXPECT_EQ(cluster.node(0)->missed_beats, 0);
+
+  // max_missed_beats consecutive misses: the verdict flips to dead.
+  for (int i = 1; i < cluster.options().max_missed_beats; ++i)
+    EXPECT_EQ(cluster.ReportMissedBeat(0), ShardCluster::BeatVerdict::kSuspect);
+  EXPECT_EQ(cluster.ReportMissedBeat(0), ShardCluster::BeatVerdict::kDead);
+
+  // Lease expiry is the other edge: one miss starts the lease; a second
+  // miss after the simulated clock has run past it is fatal even though
+  // the miss count alone would not be.
+  EXPECT_EQ(cluster.ReportMissedBeat(1), ShardCluster::BeatVerdict::kSuspect);
+  EXPECT_GT(cluster.node(1)->lease_expiry_ms, cluster.cluster_ms());
+  cluster.AddClusterMs(cluster.options().lease_ms + 1.0);
+  EXPECT_EQ(cluster.ReportMissedBeat(1), ShardCluster::BeatVerdict::kDead);
+}
+
+TEST(Heartbeat, PersistentLinkFaultIsSuspectedBeforeEscalation) {
+  std::unique_ptr<ShardCluster> cluster = MakeEmpDeptCluster(2, 60, 6);
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[0];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+
+  REOPTDB_ASSERT_OK(cluster->faults()->Configure("net.send=every"));
+  Result<ShardExecResult> r = exec.Execute(sql);
+  cluster->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+  // A persistent link fault must walk the whole ladder — suspicion records
+  // first (with the heartbeat cost charged), death only after the miss
+  // budget is spent — and the answer is still correct.
+  const QueryTrace& trace = r.value().result.report.trace;
+  ASSERT_FALSE(trace.node_suspects.empty());
+  int max_missed = 0;
+  for (const NodeSuspectRecord& s : trace.node_suspects) {
+    EXPECT_EQ(s.reason, "net.send");
+    max_missed = std::max(max_missed, s.missed_beats);
+  }
+  EXPECT_EQ(max_missed, cluster->options().max_missed_beats);
+  EXPECT_TRUE(r.value().nodes_lost > 0 || r.value().coordinator_fallback);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch fencing: a dead node that resurrects with a stale membership view
+// gets every replayed send dropped at the exchange, recorded and typed.
+
+TEST(EpochFencing, ZombieReplayIsFencedAndHarmless) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[0];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+
+  // Kill node 2 out of band; failover bumps the epoch past its last view.
+  REOPTDB_ASSERT_OK(cluster->MarkDead(2));
+  ASSERT_TRUE(cluster->RehomeDeadNode(2).ok());
+  const uint64_t fenced_before = cluster->node(2)->net.fenced_buffers;
+
+  REOPTDB_ASSERT_OK(cluster->faults()->Configure("node.resurrect=nth:1"));
+  Result<ShardExecResult> r = exec.Execute(sql);
+  cluster->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().nodes_lost, 0);
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+
+  const QueryTrace& trace = r.value().result.report.trace;
+  ASSERT_FALSE(trace.epoch_fences.empty());
+  for (const EpochFenceRecord& f : trace.epoch_fences) {
+    EXPECT_EQ(f.node, 2);
+    EXPECT_LT(f.stale_epoch, f.current_epoch);
+    EXPECT_GT(f.fenced_rows, 0u);
+  }
+  EXPECT_GT(cluster->node(2)->net.fenced_buffers, fenced_before);
+  // The zombie never rejoins the membership.
+  EXPECT_FALSE(cluster->node(2)->alive);
+  EXPECT_EQ(cluster->AliveNodes().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// The window between a skew-switch decision and its re-exchange is a
+// distinct kill point (the executor checks node.crash there explicitly).
+
+TEST(NodeFailure, CrashDuringDistributionSwitchStaysBitIdentical) {
+  auto make_zipf_cluster = [] {
+    ShardOptions so;
+    so.num_nodes = 4;
+    // Near-free bytes (messages still cost) put the query in the window
+    // where the stale 20-row estimate picks broadcast, the observed 2000
+    // rows flip it to repartition, and the hot-key build skew then flips
+    // it back to broadcast — so the mid-switch kill point is reachable.
+    so.coordinator.cost_params.t_net_byte_ms = 2e-7;
+    auto cluster = std::make_unique<ShardCluster>(so);
+    LoadOrdersCust(cluster->db(), 2000, 6000, /*zipf=*/true);
+    EXPECT_TRUE(cluster->ShardByHash("orders", "order_id").ok());
+    EXPECT_TRUE(cluster->ShardByHash("cust", "cust_id").ok());
+    Result<TableInfo*> info = cluster->db()->catalog()->Get("orders");
+    EXPECT_TRUE(info.ok());
+    TableStats stale = info.value()->stats;
+    stale.row_count = 20;
+    stale.page_count = 1;
+    EXPECT_TRUE(
+        cluster->db()->catalog()->SetStats("orders", std::move(stale)).ok());
+    return cluster;
+  };
+  const std::string sql =
+      "SELECT c.region, COUNT(*) AS n FROM orders o, cust c "
+      "WHERE o.cust_id = c.cust_id GROUP BY c.region";
+
+  // Probe the node.crash cadence with a never-firing trigger on a twin
+  // cluster: per stage, one checkpoint per alive node at stage start, one
+  // per node in the fragment loop, plus exactly one in the switch window.
+  uint64_t mid_switch_call = 0;
+  {
+    std::unique_ptr<ShardCluster> probe = make_zipf_cluster();
+    ShardedExecutor exec(probe.get());
+    REOPTDB_ASSERT_OK(probe->faults()->Configure("node.crash=prob:0.0@1"));
+    Result<ShardExecResult> clean = exec.Execute(sql);
+    const uint64_t calls =
+        probe->faults()->StatsFor(faults::kNodeCrash).calls;
+    probe->faults()->Reset();
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    ASSERT_GE(clean.value().distribution_switches, 2);  // estimate + skew
+    ASSERT_FALSE(clean.value().result.report.trace.shard_skews.empty());
+    ASSERT_EQ(calls, 2u * 4 + 1)
+        << "node.crash checkpoint cadence changed; re-aim this test";
+    mid_switch_call = 4 + 1;  // after the 4 stage-start checks
+  }
+
+  std::unique_ptr<ShardCluster> cluster = make_zipf_cluster();
+  ShardedExecutor exec(cluster.get());
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+  REOPTDB_ASSERT_OK(cluster->faults()->Configure(
+      "node.crash=nth:" + std::to_string(mid_switch_call)));
+  Result<ShardExecResult> r = exec.Execute(sql);
+  cluster->faults()->Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().nodes_lost, 1);
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+  const QueryTrace& trace = r.value().result.report.trace;
+  ASSERT_EQ(trace.node_losses.size(), 1u);
+  EXPECT_EQ(trace.node_losses[0].reason, "node.crash");
+  // The mid-switch checkpoint targets the overloaded node the skew
+  // detector flagged — the victim must be that node.
+  ASSERT_FALSE(trace.shard_skews.empty());
+  EXPECT_EQ(trace.node_losses[0].node, trace.shard_skews[0].node);
+
+  Result<ShardExecResult> again = exec.Execute(sql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Canon(again.value().result.rows), Canon(oracle.value().rows));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-rot on a node's primary partition: the scan surfaces typed kDataLoss
+// (one confirming re-read, no transient-retry burn), the node is evacuated,
+// and the answer still matches the oracle — in both batch modes.
+
+TEST(NodeFailure, BitRotOnPrimaryPartitionEvacuatesNode) {
+  for (size_t batch : {size_t{1}, size_t{1024}}) {
+    std::unique_ptr<ShardCluster> cluster = MakeEmpDeptCluster(3);
+    ShardedExecutor exec(cluster.get());
+    const char* sql = kJoinQueries[0];
+    Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+    ASSERT_TRUE(oracle.ok());
+
+    Result<TableInfo*> part = cluster->node(1)->catalog->Get("emp");
+    ASSERT_TRUE(part.ok());
+    ASSERT_GT(part.value()->heap->flushed_page_count(), 0u);
+    REOPTDB_ASSERT_OK(cluster->node(1)->disk->CorruptPageForTesting(
+        part.value()->heap->page_id(0)));
+
+    ShardQueryOptions q;
+    q.batch_size = batch;
+    Result<ShardExecResult> r = exec.Execute(sql, q);
+    ASSERT_TRUE(r.ok()) << "batch " << batch << ": " << r.status().ToString();
+    EXPECT_EQ(r.value().nodes_lost, 1);
+    EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows))
+        << "batch " << batch;
+    const QueryTrace& trace = r.value().result.report.trace;
+    ASSERT_EQ(trace.node_losses.size(), 1u);
+    EXPECT_EQ(trace.node_losses[0].node, 1);
+    const DiskStats& ds = cluster->node(1)->disk->stats();
+    EXPECT_GE(ds.data_loss_reads, 1u);
+    EXPECT_EQ(ds.io_retries, ds.data_loss_reads);  // 1 confirming re-read each
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy scrubbing: checksum divergence across copies is detected,
+// quarantined, repaired from a healthy holder, and charged.
+
+TEST(Scrub, CleanClusterScrubsQuiet) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  Scrubber scrub(cluster.get());
+  Result<ScrubSummary> s = scrub.ScrubAll();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().findings, 0u);
+  EXPECT_EQ(s.value().repaired, 0u);
+  EXPECT_GE(s.value().copies_checked, 8u);  // primaries + replicas, 2 tables
+  EXPECT_GT(s.value().sim_ms, 0.0);         // verification reads are charged
+  EXPECT_EQ(cluster->scrub_findings(), 0u);
+}
+
+TEST(Scrub, BitRotOnReplicaIsDetectedAndRepaired) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  int victim = -1;
+  PageId pid = kInvalidPageId;
+  for (int id = 0; id < 4 && victim < 0; ++id) {
+    if (!cluster->node(id)->catalog->Exists("__replica_emp")) continue;
+    Result<TableInfo*> info = cluster->node(id)->catalog->Get("__replica_emp");
+    ASSERT_TRUE(info.ok());
+    if (info.value()->heap->flushed_page_count() == 0) continue;
+    victim = id;
+    pid = info.value()->heap->page_id(0);
+  }
+  ASSERT_GE(victim, 0) << "no flushed replica heap to corrupt";
+  REOPTDB_ASSERT_OK(cluster->node(victim)->disk->CorruptPageForTesting(pid));
+
+  Scrubber scrub(cluster.get());
+  Result<ScrubSummary> s = scrub.ScrubTable("emp");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().findings, 1u);
+  EXPECT_EQ(s.value().repaired, 1u);
+  EXPECT_EQ(s.value().coordinator_rows, 0u);  // healed from surviving primaries
+  ASSERT_EQ(s.value().reports.size(), 1u);
+  EXPECT_EQ(s.value().reports[0].table, "emp");
+  EXPECT_EQ(s.value().reports[0].node, victim);
+  EXPECT_EQ(s.value().reports[0].role, "replica");
+  EXPECT_EQ(s.value().reports[0].finding, "data-loss");
+  EXPECT_TRUE(s.value().reports[0].repaired);
+  EXPECT_FALSE(s.value().repairs.empty());
+  EXPECT_GT(s.value().sim_ms, 0.0);
+  EXPECT_GE(cluster->scrub_findings(), 1u);
+
+  // A second pass over the repaired cluster is quiet.
+  Result<ScrubSummary> s2 = scrub.ScrubAll();
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  EXPECT_EQ(s2.value().findings, 0u);
+
+  // The repaired replica is load-bearing: kill the primary whose slices it
+  // mirrors (replica owners are the next alive node in id order) and the
+  // promoted copy must produce the oracle answer with no coordinator rows.
+  const int primary = (victim + 3) % 4;
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[1];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+  REOPTDB_ASSERT_OK(cluster->MarkDead(primary));
+  Result<ShardCluster::RehomeResult> rh = cluster->RehomeDeadNode(primary);
+  ASSERT_TRUE(rh.ok()) << rh.status().ToString();
+  EXPECT_GT(rh.value().promoted_rows, 0u);
+  EXPECT_EQ(rh.value().coordinator_rows, 0u);
+  Result<ShardExecResult> r = exec.Execute(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+}
+
+TEST(Scrub, DivergentReplicaIsQuarantinedAndRebuilt) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  // Rewrite one node's replica of dept with a single mutated row: every
+  // page reads fine, but the copy's content diverges from the coordinator
+  // (a lost or misdirected write, invisible to page checksums).
+  int victim = -1;
+  for (int id = 0; id < 4 && victim < 0; ++id)
+    if (cluster->node(id)->catalog->Exists("__replica_dept")) victim = id;
+  ASSERT_GE(victim, 0);
+  Catalog* cat = cluster->node(victim)->catalog.get();
+  std::vector<Tuple> rows;
+  Schema schema;
+  {
+    Result<TableInfo*> info = cat->Get("__replica_dept");
+    ASSERT_TRUE(info.ok());
+    schema = info.value()->schema;
+    HeapFile::Iterator it = info.value()->heap->Scan();
+    Tuple t;
+    while (true) {
+      Result<bool> more = it.Next(&t);
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) break;
+      rows.push_back(t);
+    }
+  }
+  ASSERT_FALSE(rows.empty());
+  REOPTDB_ASSERT_OK(cat->Drop("__replica_dept"));
+  Result<TableInfo*> fresh = cat->CreateTable("__replica_dept", schema);
+  ASSERT_TRUE(fresh.ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::vector<Value> vals;
+    for (size_t c = 0; c < rows[i].size(); ++c) vals.push_back(rows[i].at(c));
+    if (i == 0) vals[0] = Value(int64_t{9999});  // the lost update
+    ASSERT_TRUE(fresh.value()->heap->Append(Tuple(std::move(vals))).ok());
+  }
+  REOPTDB_ASSERT_OK(fresh.value()->heap->Flush());
+
+  Scrubber scrub(cluster.get());
+  Result<ScrubSummary> s = scrub.ScrubTable("dept");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().findings, 1u);
+  ASSERT_EQ(s.value().reports.size(), 1u);
+  EXPECT_EQ(s.value().reports[0].finding, "divergence");
+  EXPECT_EQ(s.value().reports[0].node, victim);
+  EXPECT_EQ(s.value().reports[0].role, "replica");
+  EXPECT_TRUE(s.value().reports[0].repaired);
+
+  Result<ScrubSummary> s2 = scrub.ScrubTable("dept");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value().findings, 0u);
+}
+
+TEST(Scrub, MidQueryScrubRepairsAndIsTraced) {
+  std::unique_ptr<ShardCluster> cluster = MakeReplicatedCluster(4, 2);
+  int victim = -1;
+  PageId pid = kInvalidPageId;
+  for (int id = 0; id < 4 && victim < 0; ++id) {
+    if (!cluster->node(id)->catalog->Exists("__replica_emp")) continue;
+    Result<TableInfo*> info = cluster->node(id)->catalog->Get("__replica_emp");
+    ASSERT_TRUE(info.ok());
+    if (info.value()->heap->flushed_page_count() == 0) continue;
+    victim = id;
+    pid = info.value()->heap->page_id(0);
+  }
+  ASSERT_GE(victim, 0);
+  REOPTDB_ASSERT_OK(cluster->node(victim)->disk->CorruptPageForTesting(pid));
+
+  ShardedExecutor exec(cluster.get());
+  const char* sql = kJoinQueries[2];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(sql);
+  ASSERT_TRUE(oracle.ok());
+  ShardQueryOptions q;
+  q.scrub_between_stages = true;
+  Result<ShardExecResult> r = exec.Execute(sql, q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Canon(r.value().result.rows), Canon(oracle.value().rows));
+  const QueryTrace& trace = r.value().result.report.trace;
+  ASSERT_FALSE(trace.scrub_reports.empty());
+  EXPECT_EQ(trace.scrub_reports[0].finding, "data-loss");
+  EXPECT_GE(cluster->scrub_findings(), 1u);
+
+  Scrubber scrub(cluster.get());
+  Result<ScrubSummary> s2 = scrub.ScrubAll();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value().findings, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The scrub signal's Eq.2-site consumer: journaled stages whose temps no
+// longer verify are dropped rather than trusted on resume.
+
+TEST(ScrubSignal, RevalidateDropsStagesWithRottenTemps) {
+  Database db;
+  Schema s(std::vector<Column>{{"", "a", ValueType::kInt64, 8}});
+  for (const char* name : {"t_keep", "t_rot"}) {
+    ASSERT_TRUE(db.CreateTable(name, s).ok());
+    for (int i = 0; i < 64; ++i)
+      ASSERT_TRUE(db.Insert(name, Tuple({Value(int64_t{i})})).ok());
+  }
+  JournalStage js;
+  js.root_sql = "SELECT a FROM t_keep";
+  js.stage = 1;
+  js.remainder_sql = "SELECT a FROM t_keep";
+  js.membership_epoch = 7;
+  for (const char* name : {"t_keep", "t_rot"}) {
+    Result<TableInfo*> info = db.catalog()->Get(name);
+    ASSERT_TRUE(info.ok());
+    REOPTDB_ASSERT_OK(info.value()->heap->Flush());
+    TempSnapshot snap;
+    snap.name = name;
+    snap.schema = info.value()->schema;
+    snap.tuple_count = info.value()->heap->tuple_count();
+    Result<uint64_t> sum = info.value()->heap->ComputeContentChecksum();
+    ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+    snap.content_checksum = sum.value();
+    snap.stats = info.value()->stats;
+    for (size_t p = 0; p < info.value()->heap->flushed_page_count(); ++p)
+      snap.page_ids.push_back(info.value()->heap->page_id(p));
+    js.temps.push_back(std::move(snap));
+  }
+  REOPTDB_ASSERT_OK(db.journal()->AppendStage(js, db.faults()));
+  ASSERT_EQ(db.journal()->record_count(), 1u);
+
+  // Intact temps: nothing dropped.
+  Result<int> dropped =
+      RevalidateJournaledStages(db.journal(), db.catalog(), db.faults(), "");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped.value(), 0);
+  EXPECT_EQ(db.journal()->record_count(), 1u);
+
+  // Rot one referenced temp: the whole stage must be dropped — a resume
+  // never trusts a temp that integrity checking has cast doubt on.
+  Result<TableInfo*> rot = db.catalog()->Get("t_rot");
+  ASSERT_TRUE(rot.ok());
+  ASSERT_GT(rot.value()->heap->flushed_page_count(), 0u);
+  REOPTDB_ASSERT_OK(
+      db.disk()->CorruptPageForTesting(rot.value()->heap->page_id(0)));
+  dropped =
+      RevalidateJournaledStages(db.journal(), db.catalog(), db.faults(), "");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped.value(), 1);
+  EXPECT_EQ(db.journal()->record_count(), 0u);
 }
 
 }  // namespace

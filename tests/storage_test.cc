@@ -34,7 +34,7 @@ TEST(DiskManagerTest, FreedPageInaccessible) {
   EXPECT_EQ(disk.live_pages(), 0u);
 }
 
-TEST(DiskManagerTest, CorruptPageSurfacesAsIoErrorThroughRetries) {
+TEST(DiskManagerTest, CorruptPageSurfacesAsDataLossAfterOneReRead) {
   DiskManager disk;
   PageId id = disk.AllocatePage();
   Page p;
@@ -43,17 +43,18 @@ TEST(DiskManagerTest, CorruptPageSurfacesAsIoErrorThroughRetries) {
   ASSERT_TRUE(disk.WritePage(id, p).ok());
   ASSERT_TRUE(disk.CorruptPageForTesting(id).ok());
 
-  // On-media corruption is persistent: the checksum mismatch burns every
-  // retry (with simulated backoff charged) and surfaces as kIoError — the
-  // corrupt bytes are never handed to the caller.
+  // On-media corruption is persistent, not transient: one confirming
+  // re-read (to rule out a bus glitch) and the failure surfaces typed as
+  // kDataLoss — the transient-retry budget is not burned, and the corrupt
+  // bytes are never handed to the caller.
   Page q;
   Status st = disk.ReadPage(id, &q);
   ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
   EXPECT_NE(st.ToString().find("checksum mismatch"), std::string::npos);
-  EXPECT_EQ(disk.stats().io_retries,
-            static_cast<uint64_t>(DiskManager::kMaxIoRetries));
-  EXPECT_GT(disk.stats().retry_penalty_ms, 0.0);
+  EXPECT_EQ(disk.stats().io_retries, 1u);  // the confirming re-read only
+  EXPECT_EQ(disk.stats().retry_penalty_ms, DiskManager::kRetryBackoffBaseMs);
+  EXPECT_EQ(disk.stats().data_loss_reads, 1u);
   EXPECT_EQ(disk.stats().page_reads, 0u);  // a failed read charges nothing
 
   // A rewrite re-records the checksum: the page is readable again.

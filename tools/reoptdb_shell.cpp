@@ -41,11 +41,22 @@
 //                                  TPC-D tables hash-partitioned by key
 //                                  and routes every SELECT through the
 //                                  distributed executor, `off` drops it,
-//                                  `kill <id>` fails a node and re-homes
-//                                  its partitions onto the survivors,
+//                                  `replicas <K>` arms K-way replica
+//                                  placement for the next `on` (each slice
+//                                  on K distinct nodes), `kill <id>` fails
+//                                  a node — slices are promoted from
+//                                  surviving replicas, falling back to the
+//                                  coordinator copy only when none exists —
 //                                  `faults <spec|off>` arms the cluster's
 //                                  injector (net.send / net.recv /
-//                                  node.crash), no arg shows node status
+//                                  node.crash / node.resurrect / corrupt:),
+//                                  no arg shows node status (health, epoch)
+//   \scrub                         anti-entropy pass over every partition
+//                                  copy: content checksums are compared
+//                                  across replicas and against the
+//                                  coordinator, divergent or bit-rotted
+//                                  copies are quarantined and rebuilt from
+//                                  a healthy source
 //   \q                             quit
 
 #include <cstdio>
@@ -59,6 +70,7 @@
 
 #include "engine/database.h"
 #include "engine/workload_manager.h"
+#include "shard/scrubber.h"
 #include "shard/sharded_executor.h"
 #include "tpcd/dbgen.h"
 
@@ -130,10 +142,11 @@ int main(int argc, char** argv) {
   uint64_t session_txn = 0;  // the shell's ambient transaction (BEGIN..COMMIT)
   std::unique_ptr<ShardCluster> shard;  // \shard cluster (own coordinator db)
   std::unique_ptr<ShardedExecutor> shard_exec;
+  int shard_repl = 1;  // \shard replicas K, applied at the next \shard on
   std::printf("reoptdb shell — SQL or \\q to quit, \\mode, \\report, "
               "\\trace, \\tables, \\faults, \\crash, \\recover, \\batch, "
-              "\\workload, \\shard, \\feedback, \\plancache, \\txn, "
-              "\\checkpoint\n");
+              "\\workload, \\shard, \\scrub, \\feedback, \\plancache, "
+              "\\txn, \\checkpoint\n");
 
   std::string line, buffer;
   while (true) {
@@ -339,22 +352,34 @@ int main(int argc, char** argv) {
           if (!shard) {
             std::printf("sharding off — \\shard on [N] (needs --tpcd)\n");
           } else {
-            std::printf("sharded execution on: %d nodes, reopt %s\n",
+            std::printf("sharded execution on: %d nodes, replication %d, "
+                        "epoch %llu, reopt %s\n",
                         shard->num_nodes(),
+                        shard->options().replication_factor,
+                        static_cast<unsigned long long>(shard->epoch()),
                         shard->options().reopt_enabled ? "enabled"
                                                        : "disabled");
             for (int i = 0; i < shard->num_nodes(); ++i) {
               const ShardNode* n = shard->node(i);
+              const char* health =
+                  n->health == NodeHealth::kDead
+                      ? "DEAD"
+                      : (n->health == NodeHealth::kSuspect ? "SUSPECT"
+                                                           : "alive");
               std::printf(
                   "  node %d: %s, weight %.2f, net %llu msgs / %llu bytes "
-                  "sent, %llu retries\n",
-                  n->id, n->alive ? "alive" : "DEAD", n->weight,
+                  "sent, %llu retries, %llu fenced\n",
+                  n->id, health, n->weight,
                   static_cast<unsigned long long>(n->net.msgs_sent),
                   static_cast<unsigned long long>(n->net.bytes_sent),
-                  static_cast<unsigned long long>(n->net.retries));
+                  static_cast<unsigned long long>(n->net.retries),
+                  static_cast<unsigned long long>(n->net.fenced_buffers));
             }
-            std::printf("  cluster makespan charged so far: %.1f ms\n",
-                        shard->cluster_ms());
+            std::printf("  cluster makespan charged so far: %.1f ms, "
+                        "scrub findings: %llu\n",
+                        shard->cluster_ms(),
+                        static_cast<unsigned long long>(
+                            shard->scrub_findings()));
           }
         } else if (arg == "on") {
           if (tpcd_scale <= 0) {
@@ -365,6 +390,7 @@ int main(int argc, char** argv) {
             is >> v;
             ShardOptions so;
             so.num_nodes = v.empty() ? 4 : std::max(std::atoi(v.c_str()), 1);
+            so.replication_factor = shard_repl;
             shard = std::make_unique<ShardCluster>(so);
             tpcd::TpcdOptions gen;
             gen.scale_factor = tpcd_scale;
@@ -381,9 +407,11 @@ int main(int argc, char** argv) {
               shard.reset();
             } else {
               shard_exec = std::make_unique<ShardedExecutor>(shard.get());
-              std::printf("cluster up: %d nodes, TPC-D hash-partitioned by "
-                          "primary key; SELECTs now run distributed\n",
-                          shard->num_nodes());
+              std::printf("cluster up: %d nodes, %d-way replication, TPC-D "
+                          "hash-partitioned by primary key; SELECTs now run "
+                          "distributed\n",
+                          shard->num_nodes(),
+                          shard->options().replication_factor);
             }
           }
         } else if (arg == "off") {
@@ -404,10 +432,16 @@ int main(int argc, char** argv) {
                 std::printf("error: %s\n", r.status().ToString().c_str());
               } else {
                 shard->AddClusterMs(r->sim_ms);
-                std::printf("node %d down: %llu rows re-homed onto %zu "
-                            "survivors (%.1f ms charged)\n",
-                            id, static_cast<unsigned long long>(r->rehomed_rows),
-                            shard->AliveNodes().size(), r->sim_ms);
+                std::printf(
+                    "node %d down (epoch %llu): %llu rows promoted from "
+                    "replicas, %llu re-read from the coordinator, %llu "
+                    "replica rows re-copied onto %zu survivors "
+                    "(%.1f ms charged)\n",
+                    id, static_cast<unsigned long long>(shard->epoch()),
+                    static_cast<unsigned long long>(r->promoted_rows),
+                    static_cast<unsigned long long>(r->coordinator_rows),
+                    static_cast<unsigned long long>(r->restored_copies),
+                    shard->AliveNodes().size(), r->sim_ms);
               }
             } else {
               std::printf("error: %s\n", st.ToString().c_str());
@@ -430,9 +464,52 @@ int main(int argc, char** argv) {
             else
               std::printf("%s\n", shard->faults()->Describe().c_str());
           }
+        } else if (arg == "replicas") {
+          std::string v;
+          is >> v;
+          if (v.empty()) {
+            std::printf("replication factor: %d (set with \\shard "
+                        "replicas <K>)\n",
+                        shard_repl);
+          } else {
+            shard_repl = std::max(std::atoi(v.c_str()), 1);
+            if (shard) {
+              std::printf("replication factor %d armed — applies when the "
+                          "cluster is rebuilt (\\shard off; \\shard on "
+                          "[N])\n",
+                          shard_repl);
+            } else {
+              std::printf("replication factor %d armed for the next "
+                          "\\shard on\n",
+                          shard_repl);
+            }
+          }
         } else {
-          std::printf("usage: \\shard [on [N] | off | kill <id> | "
-                      "faults <spec|off>]\n");
+          std::printf("usage: \\shard [on [N] | off | replicas <K> | "
+                      "kill <id> | faults <spec|off>]\n");
+        }
+      } else if (cmd == "\\scrub") {
+        if (!shard) {
+          std::printf("cluster is off — \\shard on first\n");
+        } else {
+          Scrubber scrub(shard.get());
+          Result<ScrubSummary> s = scrub.ScrubAll();
+          if (!s.ok()) {
+            std::printf("error: %s\n", s.status().ToString().c_str());
+          } else {
+            shard->AddClusterMs(s->sim_ms);
+            std::printf(
+                "scrub: %llu copies checked, %llu findings, %llu repaired "
+                "(%llu rows refetched from the coordinator, %.1f ms "
+                "charged)\n",
+                static_cast<unsigned long long>(s->copies_checked),
+                static_cast<unsigned long long>(s->findings),
+                static_cast<unsigned long long>(s->repaired),
+                static_cast<unsigned long long>(s->coordinator_rows),
+                s->sim_ms);
+            for (const ScrubReportRecord& r : s->reports)
+              std::printf("  %s\n", Render(r).c_str());
+          }
         }
       } else if (cmd == "\\txn") {
         std::printf("%s", db.txn_manager()->Describe().c_str());

@@ -45,13 +45,19 @@ echo "== tier-1: incremental re-optimization bench (release, emits BENCH_pr8.jso
 # and the geometric-mean speedup clears 5x.
 "${BUILD}/tools/memo_bench" --iters 20 --json BENCH_pr8.json
 
-echo "== tier-1: sharded-execution chaos harness (release, emits BENCH_pr9.json) =="
+echo "== tier-1: sharded-execution chaos harness (release, emits BENCH_pr9.json + BENCH_pr10.json) =="
 # TPC-D at 2/4/8 nodes (row + batched fragments) bit-identical to the
 # single-node oracle; seeded node-crash / net-failure schedules that must
 # be absorbed or survived via re-homing + journal validation; the zipf
 # skew bench where the mid-query distribution switch must beat the
-# no-reopt control. Exits nonzero on any mismatch, leak, or unpaid defense.
-"${BUILD}/tools/shard_chaos_runner" --seed 42 --json BENCH_pr9.json
+# no-reopt control. PR 10 adds the replicated sweeps: k=2 node kills that
+# must recover from surviving replicas with zero coordinator re-reads,
+# seeded bit-rot that one scrub pass must fully detect and repair, and
+# the replica-promotion vs coordinator-rehome repair bench
+# (BENCH_pr10.json). Exits nonzero on any mismatch, leak, unpaid defense,
+# coordinator fallback with replicas alive, or unscrubbed rot.
+"${BUILD}/tools/shard_chaos_runner" --seed 42 --json BENCH_pr9.json \
+  --json-replication BENCH_pr10.json
 
 echo "== tier-1: ASan+UBSan fault/reopt/batch tests (${ASAN_BUILD}) =="
 cmake -B "${ASAN_BUILD}" -S . -DREOPTDB_SANITIZE=ON >/dev/null

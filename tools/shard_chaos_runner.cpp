@@ -22,11 +22,26 @@
 //      defended run (mid-query distribution switch) must beat the
 //      no-reopt control's charged makespan.
 //
+//   4. Replicated crash sweep — the same seeded node-crash schedules on
+//      k=2 clusters: a lost node must be rebuilt purely from surviving
+//      replicas (zero coordinator re-read rows in the trace), and the
+//      answer must still match the oracle.
+//
+//   5. Scrub sweep — seeded bit-rot injected into random (table, node,
+//      role) copies of a k=2 cluster; one anti-entropy pass must detect
+//      and repair 100% of the rotten copies, and a second pass must come
+//      back quiet.
+//
+//   6. Repair bench — time-to-repair for one dead node: replica
+//      promotion (k=2) vs coordinator re-read (k=1), emitted to the
+//      replication JSON for the paper's robustness table.
+//
 //   shard_chaos_runner [--seed N] [--schedules N] [--scale F] [--json PATH]
-//                      [--verbose]
+//                      [--json-replication PATH] [--verbose]
 //
 // Exit status 0 only if every schedule converged on the oracle with zero
-// leaks and the skew defense paid off.
+// leaks, the skew defense paid off, replica failover never touched the
+// coordinator, and every injected rot was scrubbed out.
 
 #include <algorithm>
 #include <cstdint>
@@ -34,11 +49,15 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/fault.h"
 #include "common/rng.h"
+#include "shard/replica_manager.h"
+#include "shard/scrubber.h"
 #include "shard/sharded_executor.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/queries.h"
@@ -72,11 +91,21 @@ std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
   return out;
 }
 
+/// TPC-D tables and the primary keys they shard by.
+constexpr std::pair<const char*, const char*> kShardKeys[] = {
+    {"region", "r_regionkey"},   {"nation", "n_nationkey"},
+    {"supplier", "s_suppkey"},   {"customer", "c_custkey"},
+    {"part", "p_partkey"},       {"partsupp", "ps_partkey"},
+    {"orders", "o_orderkey"},    {"lineitem", "l_orderkey"},
+};
+
 /// A TPC-D cluster: generator data (stale catalog, so distribution
 /// switches actually fire) sharded by primary key across `nodes`.
-std::unique_ptr<ShardCluster> MakeTpcdCluster(int nodes, double scale) {
+std::unique_ptr<ShardCluster> MakeTpcdCluster(int nodes, double scale,
+                                              int replicas = 1) {
   ShardOptions so;
   so.num_nodes = nodes;
+  so.replication_factor = replicas;
   auto cluster = std::make_unique<ShardCluster>(so);
   tpcd::TpcdOptions gen;
   gen.scale_factor = scale;
@@ -86,13 +115,7 @@ std::unique_ptr<ShardCluster> MakeTpcdCluster(int nodes, double scale) {
     std::fprintf(stderr, "dbgen failed: %s\n", st.ToString().c_str());
     std::exit(2);
   }
-  static const std::pair<const char*, const char*> kKeys[] = {
-      {"region", "r_regionkey"},   {"nation", "n_nationkey"},
-      {"supplier", "s_suppkey"},   {"customer", "c_custkey"},
-      {"part", "p_partkey"},       {"partsupp", "ps_partkey"},
-      {"orders", "o_orderkey"},    {"lineitem", "l_orderkey"},
-  };
-  for (const auto& [table, col] : kKeys) {
+  for (const auto& [table, col] : kShardKeys) {
     st = cluster->ShardByHash(table, col);
     if (!st.ok()) {
       std::fprintf(stderr, "shard %s failed: %s\n", table,
@@ -312,6 +335,246 @@ bool RunSkewArm(bool reopt_enabled, SkewBench* bench) {
   return bench->matched;
 }
 
+struct ReplTally {
+  int schedules = 0;
+  int node_losses = 0;
+  int clean = 0;  ///< armed nth never reached (or absorbed)
+  int zero_coordinator = 0;  ///< losses recovered without coordinator rows
+  uint64_t promoted_rows = 0;
+  uint64_t coordinator_rows = 0;
+  int mismatches = 0;
+  int errors = 0;
+};
+
+/// One seeded crash schedule on a k=2 replicated 4-node cluster. Killing
+/// one node (<= k-1) must leave a surviving replica of every slice it
+/// held, so the trace's loss record must show zero coordinator re-read
+/// rows — the whole point of paying for the second copy.
+bool RunReplicatedSchedule(uint64_t seed, int which, double scale,
+                           ReplTally* tally) {
+  ++tally->schedules;
+  Rng rng(seed);
+  const std::vector<tpcd::TpcdQuery> mix = tpcd::AllQueries();
+  const tpcd::TpcdQuery& q = mix[static_cast<size_t>(which) % mix.size()];
+  const size_t batch = which % 2 ? 1024 : 1;
+
+  std::unique_ptr<ShardCluster> cluster =
+      MakeTpcdCluster(4, scale, /*replicas=*/2);
+  ShardedExecutor exec(cluster.get());
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(q.sql, batch);
+  if (!oracle.ok()) {
+    ++tally->errors;
+    return false;
+  }
+  const std::vector<std::string> want = Canon(oracle->rows);
+
+  const std::string schedule =
+      std::string(faults::kNodeCrash) + "=nth:" +
+      std::to_string(rng.NextInt(1, 50));
+  if (!cluster->db()->faults()->Configure(schedule).ok()) {
+    ++tally->errors;
+    return false;
+  }
+  ShardQueryOptions opts;
+  opts.batch_size = batch;
+  Result<ShardExecResult> r = exec.Execute(q.sql, opts);
+  cluster->db()->faults()->Reset();
+  if (!r.ok()) {
+    std::fprintf(stderr, "[repl seed=%llu %s %s] failed: %s\n",
+                 static_cast<unsigned long long>(seed), q.name, schedule.c_str(),
+                 r.status().ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+  if (Canon(r->result.rows) != want) {
+    std::fprintf(stderr, "[repl seed=%llu %s %s] MISMATCH vs oracle\n",
+                 static_cast<unsigned long long>(seed), q.name,
+                 schedule.c_str());
+    ++tally->mismatches;
+    return false;
+  }
+  bool ok = true;
+  if (r->nodes_lost > 0) {
+    ++tally->node_losses;
+    for (const NodeLostRecord& lost : r->result.report.trace.node_losses) {
+      tally->promoted_rows += lost.promoted_rows;
+      tally->coordinator_rows += lost.coordinator_rows;
+      if (lost.coordinator_rows != 0) {
+        std::fprintf(stderr,
+                     "[repl seed=%llu %s] coordinator re-read %llu rows "
+                     "despite a surviving replica\n",
+                     static_cast<unsigned long long>(seed), q.name,
+                     static_cast<unsigned long long>(lost.coordinator_rows));
+        ok = false;
+      }
+    }
+    if (ok) ++tally->zero_coordinator;
+  } else {
+    ++tally->clean;
+  }
+
+  Result<ShardExecResult> again = exec.Execute(q.sql, opts);
+  if (!again.ok() || Canon(again->result.rows) != want) {
+    std::fprintf(stderr, "[repl seed=%llu %s] post-fault re-run diverged\n",
+                 static_cast<unsigned long long>(seed), q.name);
+    ++tally->errors;
+    return false;
+  }
+  if (Verbose)
+    std::printf("[repl seed=%llu %s %s] ok (%s)\n",
+                static_cast<unsigned long long>(seed), q.name, schedule.c_str(),
+                r->nodes_lost ? "replica failover, zero coordinator reads"
+                              : "clean");
+  return ok;
+}
+
+struct ScrubTally {
+  int schedules = 0;
+  uint64_t injected = 0;
+  uint64_t detected = 0;
+  uint64_t repaired = 0;
+  uint64_t residual = 0;  ///< findings on the verification re-scrub
+  int mismatches = 0;
+  int errors = 0;
+};
+
+/// One seeded bit-rot schedule: rot random pages of 1-3 distinct
+/// (table, node, role) copies on a k=2 cluster, then demand one scrub
+/// pass finds and repairs every one of them and a second pass is quiet.
+bool RunScrubSchedule(uint64_t seed, int which, double scale,
+                      ScrubTally* tally) {
+  ++tally->schedules;
+  Rng rng(seed);
+  std::unique_ptr<ShardCluster> cluster =
+      MakeTpcdCluster(4, scale, /*replicas=*/2);
+
+  // Pick distinct copies that actually have flushed pages to rot.
+  const int want_copies = 1 + which % 3;
+  std::set<std::tuple<std::string, int, int>> hit;
+  for (int attempt = 0; attempt < 64 &&
+                        static_cast<int>(hit.size()) < want_copies;
+       ++attempt) {
+    const char* table =
+        kShardKeys[rng.NextBelow(std::size(kShardKeys))].first;
+    const int node = static_cast<int>(rng.NextBelow(4));
+    const int role = static_cast<int>(rng.NextBelow(2));  // 0=primary
+    const std::string name =
+        role == 0 ? std::string(table)
+                  : ReplicaManager::ReplicaTableName(table);
+    if (hit.count({table, node, role})) continue;
+    Result<TableInfo*> info = cluster->node(node)->catalog->Get(name);
+    if (!info.ok() || info.value()->heap->flushed_page_count() == 0) continue;
+    const size_t page = rng.NextBelow(info.value()->heap->flushed_page_count());
+    if (!cluster->node(node)
+             ->disk->CorruptPageForTesting(info.value()->heap->page_id(page))
+             .ok()) {
+      ++tally->errors;
+      return false;
+    }
+    hit.insert({table, node, role});
+  }
+  if (hit.empty()) {
+    ++tally->errors;  // seed never found a page to rot: broken setup
+    return false;
+  }
+  tally->injected += hit.size();
+
+  Scrubber scrubber(cluster.get());
+  Result<ScrubSummary> pass = scrubber.ScrubAll();
+  if (!pass.ok()) {
+    std::fprintf(stderr, "[scrub seed=%llu] pass failed: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 pass.status().ToString().c_str());
+    ++tally->errors;
+    return false;
+  }
+  tally->detected += pass->findings;
+  tally->repaired += pass->repaired;
+  bool ok = true;
+  if (pass->findings != hit.size() || pass->repaired != pass->findings) {
+    std::fprintf(stderr,
+                 "[scrub seed=%llu] injected=%zu detected=%llu repaired=%llu\n",
+                 static_cast<unsigned long long>(seed), hit.size(),
+                 static_cast<unsigned long long>(pass->findings),
+                 static_cast<unsigned long long>(pass->repaired));
+    ok = false;
+  }
+
+  Result<ScrubSummary> again = scrubber.ScrubAll();
+  if (!again.ok()) {
+    ++tally->errors;
+    return false;
+  }
+  tally->residual += again->findings;
+  if (again->findings != 0) {
+    std::fprintf(stderr, "[scrub seed=%llu] re-scrub still found %llu\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(again->findings));
+    ok = false;
+  }
+
+  // The repaired cluster must still answer like the oracle.
+  ShardedExecutor exec(cluster.get());
+  const std::vector<tpcd::TpcdQuery> mix = tpcd::AllQueries();
+  const tpcd::TpcdQuery& q = mix[static_cast<size_t>(which) % mix.size()];
+  Result<QueryResult> oracle = exec.ExecuteSingleNode(q.sql);
+  Result<ShardExecResult> r = exec.Execute(q.sql);
+  if (!oracle.ok() || !r.ok()) {
+    std::fprintf(stderr, "[scrub seed=%llu %s] post-repair query: %s\n",
+                 static_cast<unsigned long long>(seed), q.name,
+                 (oracle.ok() ? r.status() : oracle.status())
+                     .ToString()
+                     .c_str());
+    ++tally->errors;
+    return false;
+  }
+  if (Canon(r->result.rows) != Canon(oracle->rows)) {
+    std::fprintf(stderr, "[scrub seed=%llu %s] MISMATCH after repair\n",
+                 static_cast<unsigned long long>(seed), q.name);
+    ++tally->mismatches;
+    return false;
+  }
+  if (Verbose)
+    std::printf("[scrub seed=%llu] rotted=%zu detected+repaired, quiet\n",
+                static_cast<unsigned long long>(seed), hit.size());
+  return ok;
+}
+
+struct RepairBench {
+  double replicated_ms = 0;   ///< k=2: promote surviving replicas
+  double coordinator_ms = 0;  ///< k=1: re-read from the coordinator heap
+  uint64_t promoted_rows = 0;
+  uint64_t coordinator_rows = 0;
+  bool ok = false;
+};
+
+/// Time-to-repair one dead node: replica promotion vs the legacy
+/// coordinator re-read, identical data and victim.
+bool RunRepairBench(double scale, RepairBench* bench) {
+  for (int replicas : {1, 2}) {
+    std::unique_ptr<ShardCluster> cluster =
+        MakeTpcdCluster(4, scale, replicas);
+    if (!cluster->MarkDead(2).ok()) return false;
+    Result<ShardCluster::RehomeResult> r = cluster->RehomeDeadNode(2);
+    if (!r.ok()) {
+      std::fprintf(stderr, "repair bench (k=%d) failed: %s\n", replicas,
+                   r.status().ToString().c_str());
+      return false;
+    }
+    if (replicas == 1) {
+      bench->coordinator_ms = r->sim_ms;
+      bench->coordinator_rows = r->coordinator_rows;
+      if (r->promoted_rows != 0) return false;  // k=1 has nothing to promote
+    } else {
+      bench->replicated_ms = r->sim_ms;
+      bench->promoted_rows = r->promoted_rows;
+      if (r->coordinator_rows != 0) return false;  // replicas must cover
+    }
+  }
+  bench->ok = bench->replicated_ms > 0 && bench->coordinator_ms > 0;
+  return bench->ok;
+}
+
 }  // namespace
 }  // namespace reoptdb
 
@@ -321,6 +584,7 @@ int main(int argc, char** argv) {
   int schedules = 12;
   double scale = 0.003;
   const char* json_path = nullptr;
+  const char* repl_json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -330,12 +594,15 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json-replication") && i + 1 < argc) {
+      repl_json_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--verbose")) {
       Verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: shard_chaos_runner [--seed N] [--schedules N] "
-                   "[--scale F] [--json PATH] [--verbose]\n");
+                   "[--scale F] [--json PATH] [--json-replication PATH] "
+                   "[--verbose]\n");
       return 2;
     }
   }
@@ -417,6 +684,86 @@ int main(int argc, char** argv) {
       bench.control_ms, bench.defended_ms,
       bench.defended_ms > 0 ? bench.control_ms / bench.defended_ms : 0,
       bench.switches, bench.skews);
+
+  // --- Phase 4: replicated crash sweep.
+  ReplTally repl;
+  for (int t = 0; t < schedules; ++t) {
+    const uint64_t trial_seed = seed * 2000003ULL + static_cast<uint64_t>(t);
+    ok = RunReplicatedSchedule(trial_seed, t, scale, &repl) && ok;
+  }
+  std::printf(
+      "replicated schedules=%d node_losses=%d zero_coordinator=%d clean=%d "
+      "promoted_rows=%llu coordinator_rows=%llu mismatches=%d errors=%d\n",
+      repl.schedules, repl.node_losses, repl.zero_coordinator, repl.clean,
+      static_cast<unsigned long long>(repl.promoted_rows),
+      static_cast<unsigned long long>(repl.coordinator_rows), repl.mismatches,
+      repl.errors);
+
+  // --- Phase 5: scrub sweep.
+  ScrubTally scrub;
+  for (int t = 0; t < schedules; ++t) {
+    const uint64_t trial_seed = seed * 3000017ULL + static_cast<uint64_t>(t);
+    ok = RunScrubSchedule(trial_seed, t, scale, &scrub) && ok;
+  }
+  std::printf(
+      "scrub schedules=%d injected=%llu detected=%llu repaired=%llu "
+      "residual=%llu mismatches=%d errors=%d\n",
+      scrub.schedules, static_cast<unsigned long long>(scrub.injected),
+      static_cast<unsigned long long>(scrub.detected),
+      static_cast<unsigned long long>(scrub.repaired),
+      static_cast<unsigned long long>(scrub.residual), scrub.mismatches,
+      scrub.errors);
+
+  // --- Phase 6: repair bench.
+  RepairBench repair;
+  ok = RunRepairBench(scale, &repair) && ok;
+  std::printf(
+      "repair-bench replicated_ms=%.3f coordinator_ms=%.3f speedup=%.2fx "
+      "promoted_rows=%llu coordinator_rows=%llu\n",
+      repair.replicated_ms, repair.coordinator_ms,
+      repair.replicated_ms > 0 ? repair.coordinator_ms / repair.replicated_ms
+                               : 0,
+      static_cast<unsigned long long>(repair.promoted_rows),
+      static_cast<unsigned long long>(repair.coordinator_rows));
+
+  if (repl_json_path) {
+    std::FILE* f = std::fopen(repl_json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", repl_json_path);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"replicated_schedules\": {\"schedules\": %d, "
+                 "\"node_losses\": %d, \"zero_coordinator\": %d, "
+                 "\"clean\": %d, \"promoted_rows\": %llu, "
+                 "\"coordinator_rows\": %llu, \"mismatches\": %d, "
+                 "\"errors\": %d},\n",
+                 repl.schedules, repl.node_losses, repl.zero_coordinator,
+                 repl.clean, static_cast<unsigned long long>(repl.promoted_rows),
+                 static_cast<unsigned long long>(repl.coordinator_rows),
+                 repl.mismatches, repl.errors);
+    std::fprintf(f,
+                 "  \"scrub_sweep\": {\"schedules\": %d, \"injected\": %llu, "
+                 "\"detected\": %llu, \"repaired\": %llu, \"residual\": %llu, "
+                 "\"mismatches\": %d, \"errors\": %d},\n",
+                 scrub.schedules,
+                 static_cast<unsigned long long>(scrub.injected),
+                 static_cast<unsigned long long>(scrub.detected),
+                 static_cast<unsigned long long>(scrub.repaired),
+                 static_cast<unsigned long long>(scrub.residual),
+                 scrub.mismatches, scrub.errors);
+    std::fprintf(f,
+                 "  \"repair_bench\": {\"replicated_ms\": %.3f, "
+                 "\"coordinator_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"promoted_rows\": %llu, \"coordinator_rows\": %llu}\n}\n",
+                 repair.replicated_ms, repair.coordinator_ms,
+                 repair.replicated_ms > 0
+                     ? repair.coordinator_ms / repair.replicated_ms
+                     : 0,
+                 static_cast<unsigned long long>(repair.promoted_rows),
+                 static_cast<unsigned long long>(repair.coordinator_rows));
+    std::fclose(f);
+  }
 
   if (json_path) {
     std::FILE* f = std::fopen(json_path, "w");
